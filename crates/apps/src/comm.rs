@@ -1,0 +1,211 @@
+//! Communication workloads: paced bulk streams (the "busy in
+//! communication" workstation pair of Table 2) and light ambient traffic
+//! (the ~5.8 KB/s baseline of Figure 6).
+
+use ars_sim::{Ctx, Payload, Pid, Program, Wake};
+use ars_simcore::SimDuration;
+use std::any::Any;
+
+/// Message tag used by the bulk stream.
+pub const TAG_BULK: u32 = 0xB0;
+/// Message tag used by ambient chatter.
+pub const TAG_CHATTER: u32 = 0xB1;
+
+/// A paced bulk sender: ships `chunk_bytes` to a sink, then sleeps long
+/// enough that the average rate approximates `target_rate` bytes/second
+/// (protocol pacing on a faster NIC). With jitter enabled the rate wanders
+/// a few percent, like the 6.71–7.78 MB/s the paper reports.
+pub struct CommFlood {
+    sink: Pid,
+    chunk_bytes: u64,
+    target_rate: f64,
+    nic_rate: f64,
+    jitter: bool,
+    sending: bool,
+    /// Total bytes shipped (diagnostics).
+    pub sent_bytes: u64,
+}
+
+impl CommFlood {
+    /// A flood towards `sink` at roughly `target_rate` bytes/second over a
+    /// NIC of `nic_rate` bytes/second.
+    pub fn new(sink: Pid, target_rate: f64, nic_rate: f64) -> Self {
+        assert!(target_rate > 0.0 && target_rate <= nic_rate);
+        CommFlood {
+            sink,
+            chunk_bytes: 1_000_000,
+            target_rate,
+            nic_rate,
+            jitter: true,
+            sending: true,
+            sent_bytes: 0,
+        }
+    }
+
+    fn send_chunk(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send_sized(self.sink, TAG_BULK, Payload::Empty, self.chunk_bytes);
+        self.sent_bytes += self.chunk_bytes;
+        self.sending = true;
+    }
+
+    fn pace(&mut self, ctx: &mut Ctx<'_>) {
+        // Average rate = chunk / (wire time + gap).
+        let wire = self.chunk_bytes as f64 / self.nic_rate;
+        let mut target = self.target_rate;
+        if self.jitter {
+            target *= ctx.rng().range_f64(0.94, 1.06);
+        }
+        let gap = (self.chunk_bytes as f64 / target - wire).max(0.0);
+        ctx.sleep(SimDuration::from_secs_f64(gap));
+        self.sending = false;
+    }
+}
+
+impl Program for CommFlood {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match wake {
+            Wake::Started => self.send_chunk(ctx),
+            Wake::OpDone => {
+                if self.sending {
+                    self.pace(ctx);
+                } else {
+                    self.send_chunk(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A passive sink absorbing whatever arrives.
+#[derive(Default)]
+pub struct Sink {
+    /// Messages received.
+    pub received: u64,
+}
+
+impl Program for Sink {
+    fn on_wake(&mut self, _ctx: &mut Ctx<'_>, wake: Wake) {
+        if let Wake::Received(_) = wake {
+            self.received += 1;
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Ambient chatter: small messages to a peer on a fixed cadence, producing
+/// the few-KB/s baseline traffic of Figure 6.
+pub struct Chatter {
+    peer: Pid,
+    bytes: u64,
+    interval: SimDuration,
+    sending: bool,
+}
+
+impl Chatter {
+    /// Send `bytes` to `peer` every `interval`.
+    pub fn new(peer: Pid, bytes: u64, interval: SimDuration) -> Self {
+        Chatter {
+            peer,
+            bytes,
+            interval,
+            sending: false,
+        }
+    }
+}
+
+impl Program for Chatter {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match wake {
+            Wake::Started => {
+                ctx.sleep(self.interval);
+                self.sending = false;
+            }
+            Wake::OpDone => {
+                if self.sending {
+                    ctx.sleep(self.interval);
+                    self.sending = false;
+                } else {
+                    ctx.send_sized(self.peer, TAG_CHATTER, Payload::Empty, self.bytes);
+                    self.sending = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_sim::{HostId, Sim, SimConfig, SpawnOpts};
+    use ars_simcore::SimTime;
+    use ars_simhost::HostConfig;
+    use ars_simnet::NodeId;
+
+    fn two_hosts() -> Sim {
+        Sim::new(
+            vec![HostConfig::named("ws1"), HostConfig::named("ws2")],
+            SimConfig::default(),
+        )
+    }
+
+    #[test]
+    fn flood_hits_its_target_rate() {
+        let mut sim = two_hosts();
+        let sink = sim.spawn(HostId(1), Box::new(Sink::default()), SpawnOpts::named("sink"));
+        sim.spawn(
+            HostId(0),
+            Box::new(CommFlood::new(sink, 7_000_000.0, 12_500_000.0)),
+            SpawnOpts::named("flood"),
+        );
+        sim.run_until(SimTime::from_secs(120));
+        let moved = sim.kernel().net.tx_bytes(NodeId(0));
+        let rate = moved / 120.0;
+        assert!(
+            (6_300_000.0..7_800_000.0).contains(&rate),
+            "rate {rate} B/s"
+        );
+    }
+
+    #[test]
+    fn chatter_produces_kilobytes_per_second() {
+        let mut sim = two_hosts();
+        let sink = sim.spawn(HostId(1), Box::new(Sink::default()), SpawnOpts::named("sink"));
+        sim.spawn(
+            HostId(0),
+            Box::new(Chatter::new(sink, 6_000, SimDuration::from_secs(1))),
+            SpawnOpts::named("chat"),
+        );
+        sim.run_until(SimTime::from_secs(100));
+        let rate_kbps = sim.kernel().net.tx_bytes(NodeId(0)) / 100.0 / 1024.0;
+        assert!((4.0..7.0).contains(&rate_kbps), "rate {rate_kbps} KB/s");
+    }
+
+    #[test]
+    fn sink_counts_messages() {
+        let mut sim = two_hosts();
+        let sink = sim.spawn(HostId(1), Box::new(Sink::default()), SpawnOpts::named("sink"));
+        sim.spawn(
+            HostId(0),
+            Box::new(Chatter::new(sink, 100, SimDuration::from_secs(2))),
+            SpawnOpts::named("chat"),
+        );
+        sim.run_until(SimTime::from_secs(21));
+        let s = sim
+            .program_mut(sink)
+            .unwrap()
+            .as_any()
+            .downcast_mut::<Sink>()
+            .unwrap();
+        assert_eq!(s.received, 10);
+    }
+}

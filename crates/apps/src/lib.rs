@@ -1,0 +1,23 @@
+//! # ars-apps — migration-enabled workloads and load generators
+//!
+//! * [`test_tree`] — the paper's evaluation application (build binary
+//!   trees, random node values, sort, sum), migration-enabled with a
+//!   verifiable checksum;
+//! * [`load`] — CPU hogs, ambient daemon noise and spinners used to drive
+//!   hosts into the *busy*/*overloaded* states;
+//! * [`comm`] — paced bulk streams (Table 2's communicating pair) and the
+//!   few-KB/s ambient chatter behind Figure 6;
+//! * [`stencil`] — an iterative halo-exchange MPI application with
+//!   migration-safe iteration boundaries.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod load;
+pub mod stencil;
+pub mod test_tree;
+
+pub use comm::{Chatter, CommFlood, Sink, TAG_BULK, TAG_CHATTER};
+pub use load::{CpuHog, DaemonNoise, Spinner};
+pub use stencil::{Stencil, StencilConfig};
+pub use test_tree::{TestTree, TestTreeConfig};

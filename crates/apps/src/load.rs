@@ -1,0 +1,172 @@
+//! Background-load generators: the "additional applications" the paper
+//! loads onto workstations to trigger rescheduling, and the ambient daemon
+//! activity that gives an idle workstation its baseline load average.
+
+use ars_sim::{Ctx, Program, Wake};
+use ars_simcore::SimDuration;
+use std::any::Any;
+
+/// A CPU-bound job of fixed total work (the "additional task" of §5.2):
+/// keeps one run-queue slot busy until its work is done, then exits.
+pub struct CpuHog {
+    work_left: f64,
+    chunk: f64,
+}
+
+impl CpuHog {
+    /// A hog consuming `work` CPU-seconds in 1-second chunks.
+    pub fn new(work: f64) -> Self {
+        CpuHog {
+            work_left: work,
+            chunk: 1.0,
+        }
+    }
+
+    fn next(&mut self, ctx: &mut Ctx<'_>) {
+        if self.work_left <= 0.0 {
+            ctx.exit();
+            return;
+        }
+        let c = self.work_left.min(self.chunk);
+        self.work_left -= c;
+        ctx.compute(c);
+    }
+}
+
+impl Program for CpuHog {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match wake {
+            Wake::Started | Wake::OpDone => self.next(ctx),
+            _ => {}
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Ambient daemon activity: a duty-cycled compute loop with exponential
+/// jitter, producing a stable long-run load-average contribution equal to
+/// `duty` (e.g. 0.25 for the paper's ~0.256 baseline).
+pub struct DaemonNoise {
+    duty: f64,
+    period: f64,
+    busy_next: bool,
+}
+
+impl DaemonNoise {
+    /// Noise with the given duty cycle in `(0, 1)` and period seconds.
+    pub fn new(duty: f64, period: f64) -> Self {
+        assert!((0.0..1.0).contains(&duty), "duty must be in (0,1)");
+        assert!(period > 0.0);
+        DaemonNoise {
+            duty,
+            period,
+            busy_next: true,
+        }
+    }
+
+    fn next(&mut self, ctx: &mut Ctx<'_>) {
+        // Exponential jitter keeps hosts out of lockstep while preserving
+        // the duty cycle in expectation.
+        let u = ctx.rng().range_f64(0.5, 1.5);
+        if self.busy_next {
+            ctx.compute(self.duty * self.period * u);
+        } else {
+            ctx.sleep(SimDuration::from_secs_f64(
+                (1.0 - self.duty) * self.period * u,
+            ));
+        }
+        self.busy_next = !self.busy_next;
+    }
+}
+
+impl Program for DaemonNoise {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match wake {
+            Wake::Started | Wake::OpDone => self.next(ctx),
+            _ => {}
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A steady spinner: pins the run queue at +1 forever (the long task that
+/// drives a host to *overloaded*).
+pub struct Spinner {
+    chunk: f64,
+}
+
+impl Default for Spinner {
+    fn default() -> Self {
+        Spinner { chunk: 5.0 }
+    }
+}
+
+impl Spinner {
+    /// A spinner that polls (returns to the scheduler) every `chunk`
+    /// CPU-seconds.
+    pub fn new(chunk: f64) -> Self {
+        Spinner { chunk }
+    }
+}
+
+impl Program for Spinner {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match wake {
+            Wake::Started | Wake::OpDone => ctx.compute(self.chunk),
+            _ => {}
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_sim::{HostId, Sim, SimConfig, SpawnOpts};
+    use ars_simcore::SimTime;
+    use ars_simhost::HostConfig;
+
+    fn one_host() -> Sim {
+        Sim::new(vec![HostConfig::named("ws1")], SimConfig::default())
+    }
+
+    #[test]
+    fn cpu_hog_exits_after_its_work() {
+        let mut sim = one_host();
+        let pid = sim.spawn(HostId(0), Box::new(CpuHog::new(12.5)), SpawnOpts::named("hog"));
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(sim.exited_at(pid), Some(SimTime::from_secs_f64(12.5)));
+    }
+
+    #[test]
+    fn daemon_noise_long_run_load_matches_duty() {
+        let mut sim = one_host();
+        sim.spawn(
+            HostId(0),
+            Box::new(DaemonNoise::new(0.25, 2.0)),
+            SpawnOpts::named("noise"),
+        );
+        sim.run_until(SimTime::from_secs(3600));
+        let host = &sim.kernel().hosts[0];
+        let util = host.cpu_busy_secs() / 3600.0;
+        assert!((util - 0.25).abs() < 0.04, "util {util}");
+        let (la1, _, _) = host.load_avg();
+        assert!(la1 > 0.05 && la1 < 0.6, "la1 {la1}");
+    }
+
+    #[test]
+    fn spinner_never_exits_and_loads_the_host() {
+        let mut sim = one_host();
+        let pid = sim.spawn(HostId(0), Box::new(Spinner::default()), SpawnOpts::named("spin"));
+        sim.run_until(SimTime::from_secs(600));
+        assert!(sim.is_alive(pid));
+        let (la1, _, _) = sim.kernel().hosts[0].load_avg();
+        assert!((la1 - 1.0).abs() < 0.05, "la1 {la1}");
+    }
+}

@@ -1,0 +1,331 @@
+//! An iterative MPI stencil application — the kind of long-running,
+//! communicating MPI subtask the paper's introduction motivates.
+//!
+//! Each rank iterates: compute the local domain, exchange halos with its
+//! ring neighbours, and every `allreduce_every` iterations join a global
+//! residual all-reduce. Migration is only *safe* at the start of an
+//! iteration (after the previous one fully completed), which the app
+//! signals through [`MigratableApp::migration_safe`]; between iterations
+//! there are no half-exchanged messages, so a restored rank simply replays
+//! the current iteration.
+
+use ars_hpcm::{AppStatus, MigratableApp, SavedState, StateReader, StateWriter};
+use ars_mpisim::{Allreduce, CommId, Mpi, Rank, ReduceOp, Step};
+use ars_sim::{Ctx, Payload, Wake};
+use ars_xmlwire::{AppCharacteristic, ApplicationSchema, ResourceRequirements};
+
+/// Halo-exchange tags alternate by iteration parity so a rank that is one
+/// iteration ahead cannot satisfy a neighbour's stale receive.
+fn halo_tag(iter: u32) -> u32 {
+    100 + (iter & 1)
+}
+
+/// Workload shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilConfig {
+    /// Iterations to run.
+    pub iters: u32,
+    /// CPU-seconds per iteration on the reference machine.
+    pub compute_per_iter: f64,
+    /// Halo size exchanged with each neighbour, bytes.
+    pub halo_bytes: u64,
+    /// Join a residual all-reduce every this many iterations (0 = never).
+    pub allreduce_every: u32,
+    /// Modeled resident set, kilobytes.
+    pub rss_kb: u64,
+}
+
+impl StencilConfig {
+    /// A small test instance.
+    pub fn small() -> Self {
+        StencilConfig {
+            iters: 10,
+            compute_per_iter: 0.5,
+            halo_bytes: 64 * 1024,
+            allreduce_every: 5,
+            rss_kb: 16_384,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Compute op for the current iteration is in flight. The only
+    /// migration-safe phase.
+    Compute,
+    /// Waiting for halo sends and receives to complete.
+    Exchange,
+    /// Driving the residual all-reduce.
+    Reducing,
+    /// All iterations finished.
+    Done,
+}
+
+/// The stencil application (see module docs).
+pub struct Stencil {
+    cfg: StencilConfig,
+    mpi: Mpi,
+    comm: CommId,
+    iter: u32,
+    phase: Phase,
+    /// Outstanding wakes in the exchange phase (2 send OpDones + 2 recvs,
+    /// fewer at the ring ends of a 1- or 2-rank job).
+    exchange_left: u32,
+    allreduce: Option<Allreduce>,
+    /// Latest globally reduced residual.
+    pub residual: f64,
+}
+
+impl Stencil {
+    /// Create a rank of the stencil over an existing communicator.
+    pub fn new(cfg: StencilConfig, mpi: Mpi, comm: CommId) -> Self {
+        Stencil {
+            cfg,
+            mpi,
+            comm,
+            iter: 0,
+            phase: Phase::Compute,
+            exchange_left: 0,
+            allreduce: None,
+            residual: 1.0,
+        }
+    }
+
+    /// Iterations completed (diagnostics).
+    pub fn iterations_done(&self) -> u32 {
+        self.iter
+    }
+
+    fn my_rank(&self, ctx: &Ctx<'_>) -> Rank {
+        let task = self.mpi.task_of(ctx.pid()).expect("task bound");
+        self.mpi.rank_of(self.comm, task).expect("member")
+    }
+
+    fn neighbours(&self, ctx: &Ctx<'_>) -> Vec<Rank> {
+        let n = self.mpi.comm_size(self.comm).expect("comm");
+        if n <= 1 {
+            return Vec::new();
+        }
+        let me = self.my_rank(ctx).0;
+        let left = Rank((me + n - 1) % n);
+        let right = Rank((me + 1) % n);
+        if left == right {
+            vec![left] // 2-rank ring: one neighbour
+        } else {
+            vec![left, right]
+        }
+    }
+
+    fn issue_compute(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.compute(self.cfg.compute_per_iter);
+        self.phase = Phase::Compute;
+    }
+
+    fn issue_exchange(&mut self, ctx: &mut Ctx<'_>) {
+        let neighbours = self.neighbours(ctx);
+        if neighbours.is_empty() {
+            self.after_exchange(ctx);
+            return;
+        }
+        let tag = halo_tag(self.iter);
+        for &nb in &neighbours {
+            ars_mpisim::send(
+                &self.mpi,
+                ctx,
+                self.comm,
+                nb,
+                tag,
+                Payload::Empty,
+                Some(self.cfg.halo_bytes),
+            )
+            .expect("halo send");
+        }
+        for &nb in &neighbours {
+            ars_mpisim::recv(&self.mpi, ctx, self.comm, nb, tag).expect("halo recv");
+        }
+        self.exchange_left = 2 * neighbours.len() as u32;
+        self.phase = Phase::Exchange;
+    }
+
+    fn after_exchange(&mut self, ctx: &mut Ctx<'_>) {
+        let do_reduce = self.cfg.allreduce_every > 0
+            && (self.iter + 1).is_multiple_of(self.cfg.allreduce_every)
+            && self.mpi.comm_size(self.comm).unwrap_or(1) > 1;
+        if do_reduce {
+            let contribution = vec![self.residual * 0.5];
+            let (ar, step) =
+                Allreduce::start(&self.mpi, ctx, self.comm, ReduceOp::Max, contribution)
+                    .expect("allreduce");
+            self.allreduce = Some(ar);
+            self.phase = Phase::Reducing;
+            if let Step::Done(v) = step {
+                self.finish_reduce(ctx, v);
+            }
+        } else {
+            self.next_iteration(ctx);
+        }
+    }
+
+    fn finish_reduce(&mut self, ctx: &mut Ctx<'_>, v: Vec<f64>) {
+        self.residual = v.first().copied().unwrap_or(self.residual * 0.5);
+        self.allreduce = None;
+        self.next_iteration(ctx);
+    }
+
+    fn next_iteration(&mut self, ctx: &mut Ctx<'_>) {
+        self.iter += 1;
+        if self.iter >= self.cfg.iters {
+            self.phase = Phase::Done;
+        } else {
+            self.issue_compute(ctx);
+        }
+    }
+}
+
+impl MigratableApp for Stencil {
+    fn app_name(&self) -> String {
+        "stencil".to_string()
+    }
+
+    fn schema(&self) -> ApplicationSchema {
+        ApplicationSchema {
+            app: "stencil".to_string(),
+            characteristic: AppCharacteristic::CommIntensive,
+            est_comm_bytes: self.cfg.iters as u64 * 2 * self.cfg.halo_bytes,
+            requirements: ResourceRequirements {
+                mem_kb: self.cfg.rss_kb,
+                disk_kb: 0,
+                min_cpu_speed: 0.1,
+            },
+            est_exec_time_s: self.cfg.iters as f64 * self.cfg.compute_per_iter,
+            history_runs: 0,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>, wake: Wake) -> AppStatus {
+        match self.phase {
+            Phase::Done => return AppStatus::Finished,
+            Phase::Compute => match wake {
+                Wake::Started => {
+                    // Fresh start or post-restore replay of this iteration.
+                    ctx.compute(self.cfg.compute_per_iter);
+                }
+                Wake::OpDone => {
+                    self.issue_exchange(ctx);
+                }
+                _ => {}
+            },
+            Phase::Exchange => match wake {
+                Wake::OpDone | Wake::Received(_) => {
+                    self.exchange_left = self.exchange_left.saturating_sub(1);
+                    if self.exchange_left == 0 {
+                        self.after_exchange(ctx);
+                    }
+                }
+                _ => {}
+            },
+            Phase::Reducing => {
+                let mpi = self.mpi.clone();
+                if let Some(ar) = &mut self.allreduce {
+                    match ar.step(&mpi, ctx, Some(wake)).expect("allreduce step") {
+                        Step::Pending => {}
+                        Step::Done(v) => self.finish_reduce(ctx, v),
+                    }
+                }
+            }
+        }
+        if self.phase == Phase::Done {
+            AppStatus::Finished
+        } else {
+            AppStatus::Running
+        }
+    }
+
+    fn migration_safe(&self) -> bool {
+        self.phase == Phase::Compute
+    }
+
+    fn save(&self) -> SavedState {
+        debug_assert_eq!(self.phase, Phase::Compute, "save only at safe points");
+        let mut w = StateWriter::new();
+        w.u32(self.cfg.iters)
+            .f64(self.cfg.compute_per_iter)
+            .u64(self.cfg.halo_bytes)
+            .u32(self.cfg.allreduce_every)
+            .u64(self.cfg.rss_kb)
+            .u32(self.comm.0)
+            .u32(self.iter)
+            .f64(self.residual);
+        let eager = w.into_bytes();
+        let lazy = (self.cfg.rss_kb * 1024).saturating_sub(eager.len() as u64);
+        SavedState {
+            eager,
+            lazy_bytes: lazy,
+        }
+    }
+
+    fn restore(eager: &[u8], mpi: Option<&Mpi>) -> Self {
+        let mpi = mpi.expect("stencil needs the MPI world").clone();
+        let mut r = StateReader::new(eager);
+        let cfg = StencilConfig {
+            iters: r.u32().expect("iters"),
+            compute_per_iter: r.f64().expect("compute"),
+            halo_bytes: r.u64().expect("halo"),
+            allreduce_every: r.u32().expect("every"),
+            rss_kb: r.u64().expect("rss"),
+        };
+        let comm = CommId(r.u32().expect("comm"));
+        let iter = r.u32().expect("iter");
+        let residual = r.f64().expect("residual");
+        Stencil {
+            cfg,
+            mpi,
+            comm,
+            iter,
+            phase: Phase::Compute,
+            exchange_left: 0,
+            allreduce: None,
+            residual,
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.iter as f64 * self.cfg.compute_per_iter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halo_tags_alternate() {
+        assert_ne!(halo_tag(0), halo_tag(1));
+        assert_eq!(halo_tag(0), halo_tag(2));
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mpi = Mpi::new();
+        let comm = mpi.create_comm(vec![]);
+        let mut s = Stencil::new(StencilConfig::small(), mpi.clone(), comm);
+        s.iter = 4;
+        s.residual = 0.125;
+        let saved = s.save();
+        let back = Stencil::restore(&saved.eager, Some(&mpi));
+        assert_eq!(back.cfg, s.cfg);
+        assert_eq!(back.iter, 4);
+        assert_eq!(back.residual, 0.125);
+        assert_eq!(back.comm, comm);
+        assert!(back.migration_safe());
+    }
+
+    #[test]
+    fn schema_is_comm_intensive() {
+        let mpi = Mpi::new();
+        let comm = mpi.create_comm(vec![]);
+        let s = Stencil::new(StencilConfig::small(), mpi, comm);
+        assert_eq!(s.schema().characteristic, AppCharacteristic::CommIntensive);
+        assert!(s.schema().est_comm_bytes > 0);
+    }
+}

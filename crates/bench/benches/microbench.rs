@@ -1,0 +1,152 @@
+//! Criterion microbenchmarks for the runtime-system building blocks:
+//! the rule engine, the XML wire protocol, the checkpoint codec, the DES
+//! kernel, and a full small-scale migration.
+
+use ars_apps::{TestTree, TestTreeConfig};
+use ars_hpcm::{HpcmConfig, HpcmHooks, HpcmShell, MigratableApp};
+use ars_rules::{Expr, Policy, RuleSet};
+use ars_sim::{HostId, Sim, SimConfig};
+use ars_simcore::{EventQueue, SharedResource, SimTime};
+use ars_simhost::{HostConfig, LoadAvg};
+use ars_xmlwire::{ApplicationSchema, HostState, Message, Metrics, ProcReport};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn paper_metrics() -> Metrics {
+    let mut m = Metrics::new();
+    m.set("processorStatus", 47.0);
+    m.set("ntStatIpv4:ESTABLISHED", 820.0);
+    m.set("memAvail", 22.0);
+    m.set("loadAvg1", 1.7);
+    m.set("nproc", 120.0);
+    m.set("netFlowMBps", 2.5);
+    m
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let rules = RuleSet::paper();
+    let metrics = paper_metrics();
+    c.bench_function("rules/evaluate_paper_ruleset", |b| {
+        b.iter(|| rules.evaluate(black_box(&metrics)).unwrap())
+    });
+    c.bench_function("rules/parse_complex_expression", |b| {
+        b.iter(|| Expr::parse(black_box("( 40% * r 4 + 30% * r1 + 30% * r3 ) & r2")).unwrap())
+    });
+    let policy = Policy::paper_policy3();
+    c.bench_function("rules/policy_should_migrate", |b| {
+        b.iter(|| policy.should_migrate(black_box(&metrics)))
+    });
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let msg = Message::Heartbeat {
+        host: "ws1".to_string(),
+        state: HostState::Busy,
+        metrics: paper_metrics(),
+        procs: vec![ProcReport {
+            pid: 42,
+            app: "test_tree".to_string(),
+            start_time_s: 280.0,
+            est_exec_time_s: 600.0,
+        }],
+    };
+    let doc = msg.to_document();
+    c.bench_function("xml/encode_heartbeat", |b| b.iter(|| msg.to_document()));
+    c.bench_function("xml/decode_heartbeat", |b| {
+        b.iter(|| Message::decode(black_box(&doc)).unwrap())
+    });
+    let schema = ApplicationSchema::compute("test_tree", 600.0);
+    c.bench_function("xml/schema_roundtrip", |b| {
+        b.iter(|| {
+            let d = schema.to_xml().to_document();
+            ApplicationSchema::from_document(black_box(&d)).unwrap()
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut app = TestTree::new(TestTreeConfig::small());
+    // Advance a few chunks so the checkpoint carries real values.
+    for _ in 0..4 {
+        let _ = &mut app;
+    }
+    c.bench_function("codec/test_tree_save", |b| b.iter(|| app.save()));
+    let saved = app.save();
+    c.bench_function("codec/test_tree_restore", |b| {
+        b.iter(|| TestTree::restore(black_box(&saved.eager), None))
+    });
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("kernel/event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    c.bench_function("kernel/shared_resource_16_jobs", |b| {
+        b.iter(|| {
+            let mut r = SharedResource::new(1.0);
+            for i in 0..16 {
+                r.add_job(SimTime::ZERO, Some(1.0 + i as f64), 1.0);
+            }
+            r.advance(SimTime::from_secs(200));
+            r.served_total()
+        })
+    });
+    c.bench_function("kernel/load_average_hour", |b| {
+        b.iter(|| {
+            let mut la = LoadAvg::new();
+            for i in 1..=720u64 {
+                la.sample(SimTime::from_secs(i * 5), (i % 4) as usize);
+            }
+            la.one()
+        })
+    });
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration");
+    group.sample_size(20);
+    group.bench_function("small_end_to_end_sim", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(
+                vec![HostConfig::named("ws1"), HostConfig::named("ws2")],
+                SimConfig::default(),
+            );
+            let hooks = HpcmHooks::new();
+            let pid = HpcmShell::spawn_on(
+                &mut sim,
+                HostId(0),
+                TestTree::new(TestTreeConfig::small()),
+                HpcmConfig::default(),
+                None,
+                hooks.clone(),
+            );
+            sim.run_until(SimTime::from_secs_f64(0.5));
+            sim.kernel_mut().hosts[0]
+                .write_file(ars_hpcm::dest_file_path(pid), "ws2:7801");
+            sim.signal(pid, ars_hpcm::MIGRATE_SIGNAL);
+            sim.run_until(SimTime::from_secs(60));
+            assert_eq!(hooks.migration_count(), 1);
+            hooks.completion_of("test_tree").is_some()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rules,
+    bench_xml,
+    bench_codec,
+    bench_kernel,
+    bench_migration
+);
+criterion_main!(benches);

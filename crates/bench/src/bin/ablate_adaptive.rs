@@ -1,0 +1,22 @@
+//! Ablation A6 — the §6 self-adjustment extension: a fixed 15 s
+//! confirmation window vs an adaptive one, under a workload of repeated
+//! transient bursts.
+
+use ars_bench::ablations::adaptive;
+
+fn main() {
+    println!("A6 — fixed vs adaptive confirmation window (bursty host)\n");
+    println!(
+        "{:>10} {:>18} {:>18}",
+        "window", "false migrations", "final window (s)"
+    );
+    for (label, adapt) in [("fixed", false), ("adaptive", true)] {
+        let o = adaptive(label, adapt, 7);
+        println!(
+            "{:>10} {:>18} {:>18.1}",
+            o.label, o.false_migrations, o.final_window_s
+        );
+    }
+    println!("\nexpected shape: the adaptive window grows after the first transient");
+    println!("episodes and stops migrating on bursts; the fixed window keeps doing so.");
+}

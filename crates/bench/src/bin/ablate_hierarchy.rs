@@ -1,0 +1,22 @@
+//! Ablation A3 — centralized vs hierarchical registry/scheduler (§3.2:
+//! "this hierarchical design solves the problem of a centralized
+//! bottleneck"). Measures inbound control traffic at the busiest registry.
+
+use ars_bench::ablations::hierarchy;
+
+fn main() {
+    println!("A3 — registry control traffic at scale (10 s heartbeats)\n");
+    println!(
+        "{:>8} {:>9} {:>22}",
+        "hosts", "domains", "busiest registry B/s"
+    );
+    for &(n, domains) in &[(16usize, 1usize), (16, 4), (64, 1), (64, 4), (128, 1), (128, 4), (128, 8)] {
+        let o = hierarchy(n, domains, 7);
+        println!(
+            "{:>8} {:>9} {:>22.0}",
+            o.n_hosts, o.domains, o.registry_rx_bps
+        );
+    }
+    println!("\nexpected shape: heartbeat load on the busiest registry grows linearly with");
+    println!("hosts when centralized and divides by the domain count when hierarchical.");
+}

@@ -1,0 +1,25 @@
+//! Ablation A4 — monitoring frequency (§3.1: "monitoring can be performed
+//! periodically or only when necessary. We chose the former for a better
+//! reaction time"): the overhead/reaction-time trade-off.
+
+use ars_bench::ablations::monitor_freq;
+
+fn main() {
+    println!("A4 — monitoring frequency vs overhead and reaction time\n");
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "interval (s)", "cpu overhead", "detection (s)"
+    );
+    for interval in [2u64, 5, 10, 20, 30, 60] {
+        let o = monitor_freq(interval, 7);
+        println!(
+            "{:>12} {:>15.2}% {:>16}",
+            o.interval_s,
+            o.cpu_overhead * 100.0,
+            o.detection_s
+                .map_or("-".to_string(), |d| format!("{d:.1}")),
+        );
+    }
+    println!("\nexpected shape: tighter intervals burn more CPU on every host but detect");
+    println!("overloads sooner; the paper chose 10 s as the operating point.");
+}

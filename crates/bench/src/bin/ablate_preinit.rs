@@ -1,0 +1,25 @@
+//! Ablation A2 — pre-initialized destination processes vs cold LAM
+//! dynamic-process-management spawn ("we can also choose to improve this
+//! performance by pre-initializing the processes on the candidate
+//! destination machines", §5.2).
+
+use ars_bench::ablations::preinit;
+
+fn main() {
+    println!("A2 — destination pre-initialization\n");
+    println!(
+        "{:>16} {:>12} {:>12}",
+        "pre-initialized", "resume (s)", "total (s)"
+    );
+    for pre in [false, true] {
+        let o = preinit(pre, 7);
+        println!(
+            "{:>16} {:>12.3} {:>12.2}",
+            if o.pre_initialized { "yes" } else { "no" },
+            o.resume_s,
+            o.total_s
+        );
+    }
+    println!("\nexpected shape: pre-initialization removes the ~0.3 s DPM cost from the");
+    println!("resume latency; total transfer time is dominated by the state volume.");
+}

@@ -1,0 +1,30 @@
+//! Ablation A7 — push vs pull registration (§3.2). The paper chose the
+//! push/soft-state model; the pull model "leads to the registry/scheduler
+//! having to make a query at runtime when a decision is expected, thus
+//! slowing down the process" — but guarantees no steady-state heartbeat
+//! traffic.
+
+use ars_bench::ablations::push_pull;
+
+fn main() {
+    println!("A7 — push vs pull registration (4 monitored hosts)\n");
+    println!(
+        "{:>8} {:>22} {:>16}",
+        "mode", "registry traffic B/s", "reaction (s)"
+    );
+    for (label, push) in [("push", true), ("pull", false)] {
+        let o = push_pull(label, push, 7);
+        println!(
+            "{:>8} {:>22.1} {:>16}",
+            o.label,
+            o.registry_rx_bps,
+            o.reaction_s
+                .map_or("-".to_string(), |d| format!("{d:.1}")),
+        );
+    }
+    println!("\nexpected shape: pull mode drops the steady heartbeat traffic by two orders");
+    println!("of magnitude. The decision itself slows from ~2 ms to up to a monitor cycle");
+    println!("(queries + replies), which disappears inside the minutes-scale detection");
+    println!("latency here — the paper still prefers push for exactly that decision-path");
+    println!("cost, plus the liveness information the heartbeats provide for free.");
+}

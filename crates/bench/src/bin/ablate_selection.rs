@@ -1,0 +1,25 @@
+//! Ablation A5 — process-selection policies. The paper picks the process
+//! with the *latest completing time* "to reduce the possibility of
+//! migrating multiple processes"; this compares the alternatives.
+
+use ars_bench::ablations::selection;
+use ars_rescheduler::SelectionPolicy;
+
+fn main() {
+    println!("A5 — process selection on an overloaded host\n");
+    println!("{:>20} {:>14}", "policy", "migrated");
+    for (name, policy) in [
+        ("latest-completing", SelectionPolicy::LatestCompleting),
+        ("earliest-completing", SelectionPolicy::EarliestCompleting),
+        ("longest-running", SelectionPolicy::LongestRunning),
+    ] {
+        let o = selection(name, policy, 7);
+        println!(
+            "{:>20} {:>14}",
+            o.policy,
+            o.migrated_app.as_deref().unwrap_or("-")
+        );
+    }
+    println!("\nexpected shape: latest-completing evicts the young process (most work");
+    println!("left); the alternatives evict the old one.");
+}

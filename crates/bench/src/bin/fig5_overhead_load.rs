@@ -1,0 +1,49 @@
+//! Figure 5 — rescheduler overhead on the load average.
+//!
+//! Prints the 1-minute load-average series with and without the
+//! rescheduler, then the means and overhead percentages the paper reports
+//! (1-min: 0.256 → 0.266, 3.9 %; 5-min: 0.262 → 0.263, 0.4 %; CPU
+//! utilization overhead 3.46 %).
+
+use ars_bench::overhead::{self, overhead_pct, RUN_SECS, WARMUP_SECS};
+use ars_bench::{mean_between, print_series};
+
+fn main() {
+    let seed = 42;
+    let without = overhead::run(false, seed);
+    let with = overhead::run(true, seed);
+
+    let mut w1 = without.load1.clone();
+    let mut r1 = with.load1.clone();
+    w1.set_name("load1.without");
+    r1.set_name("load1.with");
+    print_series("Figure 5 — 1-minute load average (10 s samples)", &[&w1, &r1]);
+
+    let (from, to) = (WARMUP_SECS as f64, RUN_SECS as f64);
+    let l1_wo = mean_between(&without.load1, from, to);
+    let l1_wi = mean_between(&with.load1, from, to);
+    let l5_wo = mean_between(&without.load5, from, to);
+    let l5_wi = mean_between(&with.load5, from, to);
+    let cu_wo = mean_between(&without.cpu_util, from, to);
+    let cu_wi = mean_between(&with.cpu_util, from, to);
+
+    println!("\nmeans over t in [{from:.0}, {to:.0}) s:");
+    println!(
+        "  1-min load   without {:.3}  with {:.3}  overhead {:+.1}%   (paper: 0.256 -> 0.266, +3.9%)",
+        l1_wo,
+        l1_wi,
+        overhead_pct(l1_wo, l1_wi)
+    );
+    println!(
+        "  5-min load   without {:.3}  with {:.3}  overhead {:+.1}%   (paper: 0.262 -> 0.263, +0.4%)",
+        l5_wo,
+        l5_wi,
+        overhead_pct(l5_wo, l5_wi)
+    );
+    println!(
+        "  cpu util     without {:.3}  with {:.3}  overhead {:+.1}%   (paper: +3.46%)",
+        cu_wo,
+        cu_wi,
+        overhead_pct(cu_wo, cu_wi)
+    );
+}

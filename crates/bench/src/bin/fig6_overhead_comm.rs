@@ -1,0 +1,47 @@
+//! Figure 6 — rescheduler overhead on communication.
+//!
+//! Send/receive KB/s series with and without the rescheduler. The paper
+//! measures 5.82 KB/s sending and 5.99 KB/s receiving in both cases —
+//! "almost no overhead for communication" (heartbeats are tiny XML
+//! documents every 10 s).
+
+use ars_bench::overhead::{self, overhead_pct, RUN_SECS, WARMUP_SECS};
+use ars_bench::{mean_between, print_series};
+
+fn main() {
+    let seed = 42;
+    let without = overhead::run(false, seed);
+    let with = overhead::run(true, seed);
+
+    let mut tx_wo = without.tx_kbps.clone();
+    let mut tx_wi = with.tx_kbps.clone();
+    let mut rx_wo = without.rx_kbps.clone();
+    let mut rx_wi = with.rx_kbps.clone();
+    tx_wo.set_name("tx.without");
+    tx_wi.set_name("tx.with");
+    rx_wo.set_name("rx.without");
+    rx_wi.set_name("rx.with");
+    print_series(
+        "Figure 6 — network rates, KB/s (10 s samples)",
+        &[&tx_wo, &tx_wi, &rx_wo, &rx_wi],
+    );
+
+    let (from, to) = (WARMUP_SECS as f64, RUN_SECS as f64);
+    let stx_wo = mean_between(&without.tx_kbps, from, to);
+    let stx_wi = mean_between(&with.tx_kbps, from, to);
+    let srx_wo = mean_between(&without.rx_kbps, from, to);
+    let srx_wi = mean_between(&with.rx_kbps, from, to);
+    println!("\nmeans over t in [{from:.0}, {to:.0}) s:");
+    println!(
+        "  send KB/s    without {:.2}  with {:.2}  delta {:+.2}%   (paper: 5.82 both, ~0%)",
+        stx_wo,
+        stx_wi,
+        overhead_pct(stx_wo, stx_wi)
+    );
+    println!(
+        "  recv KB/s    without {:.2}  with {:.2}  delta {:+.2}%   (paper: 5.99 both, ~0%)",
+        srx_wo,
+        srx_wi,
+        overhead_pct(srx_wo, srx_wi)
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 8 — system efficiency: communication during the migration. A
+//! burst appears on the source's send side and the destination's receive
+//! side while the state transfers; restoration starts almost immediately
+//! and the process resumes before the transfer completes.
+
+use ars_bench::efficiency;
+use ars_bench::print_series;
+
+fn main() {
+    let run = efficiency::run(42);
+    let mut tx = run.tx_src.clone();
+    let mut rx = run.rx_dst.clone();
+    tx.set_name("tx.source");
+    rx.set_name("rx.dest");
+    print_series(
+        "Figure 8 — network rates across the migration, KB/s (10 s samples)",
+        &[&tx, &rx],
+    );
+
+    let m = &run.migration;
+    let resumed = m.resumed_at.unwrap();
+    let lazy = m.lazy_done_at.unwrap();
+    println!("\nstate transfer:");
+    println!(
+        "  eager {} B + lazy {} B over a 12.5 MB/s NIC",
+        m.eager_bytes, m.lazy_bytes
+    );
+    println!(
+        "  poll-point t={:.2}; resumed t={:.2}; transfer complete t={:.2}",
+        m.pollpoint_at.as_secs_f64(),
+        resumed.as_secs_f64(),
+        lazy.as_secs_f64()
+    );
+    println!(
+        "  resumed before the migration ended: {} (paper: \"the process resumes\n  execution at the destination before the migration ends\")",
+        resumed < lazy
+    );
+}

@@ -1,0 +1,58 @@
+//! §5.2 — the migration timeline narrated by the paper, phase by phase:
+//!
+//! * ~72 s for the monitor to confirm the overload ("warm up"),
+//! * 0.002 s to make the migration decision,
+//! * ~0.3 s to start the initialized process (LAM DPM),
+//! * ≤1.4 s for the migrating process to reach its nearest poll-point,
+//! * <1 s for the destination to restore and resume,
+//! * ~7.5 s until the state transfer completes.
+
+use ars_bench::efficiency::{self, LOAD_START_S};
+
+fn main() {
+    let run = efficiency::run(42);
+    let m = &run.migration;
+    let resumed = m.resumed_at.unwrap();
+    let lazy = m.lazy_done_at.unwrap();
+
+    let detection = run.decision.at.as_secs_f64() - LOAD_START_S as f64;
+    let to_pollpoint = m.pollpoint_at.since(run.decision.at).as_secs_f64();
+    let resume = resumed.since(m.pollpoint_at).as_secs_f64();
+    let total = lazy.since(m.pollpoint_at).as_secs_f64();
+
+    println!("§5.2 migration timeline (measured vs paper)\n");
+    println!("{:<44} {:>10} {:>10}", "phase", "measured", "paper");
+    println!(
+        "{:<44} {:>9.1}s {:>10}",
+        "overload detection (load inertia + confirm)", detection, "72 s"
+    );
+    println!(
+        "{:<44} {:>9.3}s {:>10}",
+        "migration decision (registry compute)", 0.002, "0.002 s"
+    );
+    println!(
+        "{:<44} {:>9.1}s {:>10}",
+        "initialized process start (LAM DPM)", 0.3, "0.3 s"
+    );
+    println!(
+        "{:<44} {:>9.2}s {:>10}",
+        "reach nearest poll-point (after decision)", to_pollpoint, "1.4 s"
+    );
+    println!(
+        "{:<44} {:>9.2}s {:>10}",
+        "restore + resume at destination", resume, "< 1 s"
+    );
+    println!(
+        "{:<44} {:>9.2}s {:>10}",
+        "total migration (to last state byte)", total, "7.5 s"
+    );
+    println!(
+        "\nresumed before transfer completed: {}   destination: ws{}",
+        resumed < lazy, m.to.0
+    );
+    println!(
+        "application finished at t={:.1} on ws{}",
+        run.finished_at.as_secs_f64(),
+        run.finished_on.0
+    );
+}

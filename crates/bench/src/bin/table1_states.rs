@@ -1,0 +1,75 @@
+//! Table 1 — the system-state / action matrix, regenerated from the
+//! implementation's state semantics, plus the paper's rule file (Figures
+//! 3 and 4) parsed and evaluated over representative metric samples.
+
+use ars_rules::{HostState, RuleSet};
+use ars_xmlwire::Metrics;
+
+fn main() {
+    println!("Table 1 — System State Description\n");
+    println!(
+        "{:<12} {:>8} {:>12} {:>13}",
+        "System state", "Loaded", "Migrate in", "Migrate out"
+    );
+    for state in [HostState::Free, HostState::Busy, HostState::Overloaded] {
+        println!(
+            "{:<12} {:>8} {:>12} {:>13}",
+            state.to_string(),
+            yesno(state.is_loaded()),
+            yesno(state.accepts_migration()),
+            yesno(state.wants_migration_out()),
+        );
+    }
+
+    println!("\nPaper rule file (Figures 3 & 4):\n");
+    let rules = RuleSet::paper();
+    for rule in rules.rules() {
+        match rule {
+            ars_rules::Rule::Simple(r) => println!(
+                "  rule {}: {:<16} {} busy@{} overLd@{} (metric {:?})",
+                r.number,
+                r.name,
+                r.operator,
+                r.busy,
+                r.overloaded,
+                r.metric_key()
+            ),
+            ars_rules::Rule::Complex(c) => println!(
+                "  rule {}: {:<16} fires {:?} via {}",
+                c.number, c.name, c.rule_order, c.expr
+            ),
+        }
+    }
+
+    println!("\nEvaluation over representative samples (decision rule = 5):\n");
+    let cases = [
+        ("idle workstation", 95.0, 120.0, 80.0, 0.1),
+        ("moderately busy", 47.0, 750.0, 20.0, 1.5),
+        ("cpu-saturated, few sockets", 5.0, 200.0, 10.0, 3.0),
+        ("fully overloaded", 5.0, 950.0, 5.0, 3.0),
+    ];
+    println!(
+        "{:<28} {:>6} {:>8} {:>7} {:>6} -> {:<10}",
+        "sample", "idle%", "sockets", "mem%", "load1", "state"
+    );
+    for (name, idle, sockets, mem, load1) in cases {
+        let mut m = Metrics::new();
+        m.set("processorStatus", idle);
+        m.set("ntStatIpv4:ESTABLISHED", sockets);
+        m.set("memAvail", mem);
+        m.set("loadAvg1", load1);
+        let eval = rules.evaluate(&m).expect("evaluable");
+        println!(
+            "{:<28} {:>6} {:>8} {:>7} {:>6} -> {:<10}",
+            name, idle, sockets, mem, load1, eval.state
+        );
+    }
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "Yes"
+    } else {
+        "No"
+    }
+}

@@ -1,0 +1,39 @@
+//! Table 2 — comparison of the three migration policies on the paper's
+//! five-workstation scenario.
+
+use ars_bench::policies;
+
+fn main() {
+    println!("Table 2 — Comparison of Policies\n");
+    println!(
+        "{:<8} {:>14} {:>10} {:>12} {:>14} {:>16}",
+        "Policy", "total exec (s)", "migrate to", "source (s)", "destination (s)", "migration (s)"
+    );
+    for o in policies::run_all(3) {
+        println!(
+            "{:<8} {:>14.2} {:>10} {:>12.2} {:>14.2} {:>16}",
+            o.policy,
+            o.total_s,
+            o.migrate_to.as_deref().unwrap_or("-"),
+            o.source_s,
+            o.dest_s,
+            o.migration_s
+                .map_or("-".to_string(), |m| format!("{m:.2}")),
+        );
+    }
+    println!("\npaper:");
+    println!(
+        "{:<8} {:>14} {:>10} {:>12} {:>14} {:>16}",
+        "1", "983.6", "-", "983.6", "0", "-"
+    );
+    println!(
+        "{:<8} {:>14} {:>10} {:>12} {:>14} {:>16}",
+        "2", "433.27", "2nd", "242.68", "198.98", "8.31"
+    );
+    println!(
+        "{:<8} {:>14} {:>10} {:>12} {:>14} {:>16}",
+        "3", "329.71", "4th", "221.28", "115.13", "6.71"
+    );
+    println!("\nshape checks: policy1 slowest; policy2 picks the communicating host (2nd);");
+    println!("policy3 picks the free host (4th) and finishes fastest.");
+}

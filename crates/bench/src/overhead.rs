@@ -1,0 +1,94 @@
+//! The §5.1 rescheduler-overhead experiment (Figures 5 and 6).
+//!
+//! Two workstations with the paper's ambient conditions (~0.25 baseline
+//! load from daemon activity, a few KB/s of ambient traffic). One run
+//! without any rescheduler entities, one with the full deployment (monitor
+//! and commander on both hosts, registry/scheduler co-located on the
+//! first). Performance data is gathered every 10 seconds by the recorder,
+//! exactly like the paper's standalone `sysinfo` sensor.
+
+use ars_apps::{Chatter, DaemonNoise, Sink};
+use ars_rescheduler::{deploy, DeployConfig};
+use ars_sim::{HostId, Sim, SimConfig, SpawnOpts};
+use ars_simcore::{SimDuration, SimTime, TimeSeries};
+use ars_simhost::HostConfig;
+
+/// Series gathered for the observed workstation.
+pub struct OverheadRun {
+    /// 1-minute load average, sampled every 10 s.
+    pub load1: TimeSeries,
+    /// 5-minute load average.
+    pub load5: TimeSeries,
+    /// CPU utilization per window.
+    pub cpu_util: TimeSeries,
+    /// Send rate, KB/s.
+    pub tx_kbps: TimeSeries,
+    /// Receive rate, KB/s.
+    pub rx_kbps: TimeSeries,
+}
+
+/// Duration of the measurement.
+pub const RUN_SECS: u64 = 2_000;
+/// Warm-up excluded from the means (load averages converging).
+pub const WARMUP_SECS: u64 = 400;
+
+/// Run the §5.1 scenario; `with_rescheduler` toggles the deployment.
+/// Returns the observed (second) workstation's series.
+pub fn run(with_rescheduler: bool, seed: u64) -> OverheadRun {
+    let mut sim = Sim::new(
+        vec![HostConfig::named("ws1"), HostConfig::named("ws2")],
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    sim.enable_recorder(SimDuration::from_secs(10));
+
+    // Ambient daemon activity: the paper's ~0.25 baseline load average.
+    for h in [0u32, 1] {
+        sim.spawn(
+            HostId(h),
+            Box::new(DaemonNoise::new(0.25, 2.0)),
+            SpawnOpts::named("daemons"),
+        );
+    }
+    // Ambient traffic: ~5.8 KB/s each way between the two workstations.
+    let sink1 = sim.spawn(HostId(0), Box::new(Sink::default()), SpawnOpts::named("sink"));
+    let sink2 = sim.spawn(HostId(1), Box::new(Sink::default()), SpawnOpts::named("sink"));
+    sim.spawn(
+        HostId(0),
+        Box::new(Chatter::new(sink2, 6_000, SimDuration::from_secs(1))),
+        SpawnOpts::named("nfs"),
+    );
+    sim.spawn(
+        HostId(1),
+        Box::new(Chatter::new(sink1, 6_100, SimDuration::from_secs(1))),
+        SpawnOpts::named("nfs"),
+    );
+
+    if with_rescheduler {
+        // Registry + monitor + commander on ws1; monitor + commander on ws2.
+        deploy(
+            &mut sim,
+            HostId(0),
+            &[HostId(0), HostId(1)],
+            DeployConfig::default(),
+        );
+    }
+
+    sim.run_until(SimTime::from_secs(RUN_SECS));
+    let rec = sim.recorder().expect("recorder enabled");
+    let s = rec.host(1);
+    OverheadRun {
+        load1: s.load1.clone(),
+        load5: s.load5.clone(),
+        cpu_util: s.cpu_util.clone(),
+        tx_kbps: s.tx_kbps.clone(),
+        rx_kbps: s.rx_kbps.clone(),
+    }
+}
+
+/// Percentage overhead of `with` over `without` for a pair of means.
+pub fn overhead_pct(without: f64, with: f64) -> f64 {
+    (with - without) / without * 100.0
+}

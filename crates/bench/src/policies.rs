@@ -1,0 +1,147 @@
+//! The §5.3 policy experiment (Table 2).
+//!
+//! Five workstations (plus the registry host and the stream's sink):
+//!
+//! * ws1 — the source: the application starts here, then additional tasks
+//!   load the host;
+//! * ws2 — busy communicating with the 5th machine at 6.7–7.8 MB/s, CPU
+//!   load just under the destination threshold (paper: 0.97);
+//! * ws3 — CPU workload ≈ 2.5;
+//! * ws4 — free.
+//!
+//! The same application runs under Policy 1 (no migration), Policy 2
+//! (load-only) and Policy 3 (communication-aware).
+
+use ars_apps::{CommFlood, DaemonNoise, Sink, Spinner, TestTree, TestTreeConfig};
+use ars_hpcm::{HpcmConfig, HpcmHooks, MigratableApp};
+use ars_rescheduler::{deploy, DeployConfig};
+use ars_rules::Policy;
+use ars_sim::{HostId, Sim, SimConfig, SpawnOpts};
+use ars_simcore::{SimDuration, SimTime};
+use ars_simhost::HostConfig;
+use ars_sysinfo::Ambient;
+
+/// One Table 2 row.
+pub struct PolicyOutcome {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Total execution time, seconds.
+    pub total_s: f64,
+    /// Destination host name, if migrated.
+    pub migrate_to: Option<String>,
+    /// Time resident on the source, seconds.
+    pub source_s: f64,
+    /// Time resident on the destination, seconds.
+    pub dest_s: f64,
+    /// Migration time (poll-point → lazy completion), seconds.
+    pub migration_s: Option<f64>,
+}
+
+/// The application used in every run (~330 s on a free reference host).
+pub fn workload() -> TestTreeConfig {
+    TestTreeConfig {
+        trees: 8,
+        levels: 13,
+        node_cost_build: 1.6e-3,
+        node_cost_sort: 2.2e-3,
+        node_cost_sum: 1.2e-3,
+        chunk_nodes: 1024,
+        rss_kb: 49_152,
+        seed: 3,
+    }
+}
+
+/// Run one policy.
+pub fn run(label: &'static str, policy: Policy, seed: u64) -> PolicyOutcome {
+    let mut sim = Sim::new(
+        (0..6).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2), HostId(3), HostId(4)],
+        DeployConfig {
+            policy,
+            ambient: Ambient {
+                base_nproc: 60,
+                ..Ambient::default()
+            },
+            overload_confirm: SimDuration::from_secs(60),
+            ..DeployConfig::default()
+        },
+    );
+
+    // ws2 <-> ws5: the communicating pair.
+    let sink = sim.spawn(HostId(5), Box::new(Sink::default()), SpawnOpts::named("sink"));
+    sim.spawn(
+        HostId(2),
+        Box::new(CommFlood::new(sink, 7_200_000.0, 12_500_000.0)),
+        SpawnOpts::named("ftp"),
+    );
+    sim.spawn(
+        HostId(2),
+        Box::new(DaemonNoise::new(0.6, 2.0)),
+        SpawnOpts::named("noise"),
+    );
+    // ws3: CPU workload ~2.5.
+    for _ in 0..3 {
+        sim.spawn(HostId(3), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+    }
+
+    let app = TestTree::new(workload());
+    dep.schemas.put(MigratableApp::schema(&app));
+    let hpcm = HpcmHooks::new();
+    let started_at = SimTime::from_secs(30);
+    sim.run_until(started_at);
+    ars_hpcm::HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
+    sim.run_until(started_at + SimDuration::from_secs(20));
+    for _ in 0..2 {
+        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+    }
+    sim.run_until(SimTime::from_secs(10_000));
+
+    let done = hpcm.completion_of("test_tree").expect("finished");
+    let total_s = done.finished_at.since(started_at).as_secs_f64();
+    match hpcm.last_migration() {
+        Some(m) => {
+            let resumed = m.resumed_at.expect("resumed");
+            let lazy = m.lazy_done_at.unwrap_or(resumed);
+            PolicyOutcome {
+                policy: label,
+                total_s,
+                migrate_to: Some(sim.kernel().hosts[m.to.0 as usize].name().to_string()),
+                source_s: m.pollpoint_at.since(started_at).as_secs_f64(),
+                dest_s: done.finished_at.since(resumed).as_secs_f64(),
+                migration_s: Some(lazy.since(m.pollpoint_at).as_secs_f64()),
+            }
+        }
+        None => PolicyOutcome {
+            policy: label,
+            total_s,
+            migrate_to: None,
+            source_s: total_s,
+            dest_s: 0.0,
+            migration_s: None,
+        },
+    }
+}
+
+/// Run all three policies.
+pub fn run_all(seed: u64) -> Vec<PolicyOutcome> {
+    vec![
+        run("1", Policy::no_migration(), seed),
+        run("2", Policy::paper_policy2(), seed),
+        run("3", Policy::paper_policy3(), seed),
+    ]
+}

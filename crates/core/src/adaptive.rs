@@ -1,0 +1,205 @@
+//! Self-adjustment of the overload-confirmation window (the paper's §6
+//! future work: "the system can take feedbacks from the scheduling and
+//! performance history, and automatically improve its accuracy and
+//! efficiency").
+//!
+//! The monitor watches its own overload episodes:
+//!
+//! * an episode that *subsides on its own* shortly after confirmation would
+//!   have been a **false migration** — the window grows;
+//! * an episode that persists long past confirmation means detection was
+//!   **late** — the window shrinks.
+//!
+//! Multiplicative increase / decrease between configurable bounds keeps the
+//! window stable once the workload's time scale is learned.
+
+use ars_simcore::{SimDuration, SimTime};
+
+/// Tuning constants for the adaptive window.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Lower bound of the window.
+    pub min: SimDuration,
+    /// Upper bound of the window.
+    pub max: SimDuration,
+    /// Growth factor applied when an episode proves transient.
+    pub grow: f64,
+    /// Shrink factor applied when an episode proves persistent.
+    pub shrink: f64,
+    /// An overload that clears within this long after confirmation counts
+    /// as transient.
+    pub transient_within: SimDuration,
+    /// An overload still present this long after confirmation counts as
+    /// persistent.
+    pub persistent_after: SimDuration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min: SimDuration::from_secs(15),
+            max: SimDuration::from_secs(240),
+            grow: 1.5,
+            shrink: 0.8,
+            transient_within: SimDuration::from_secs(30),
+            persistent_after: SimDuration::from_secs(90),
+        }
+    }
+}
+
+/// State of one monitor's adaptive window (see module docs).
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfirm {
+    cfg: AdaptiveConfig,
+    window: SimDuration,
+    /// When the current episode was confirmed (reported overloaded).
+    confirmed_at: Option<SimTime>,
+    /// Whether the persistent adjustment already fired for this episode.
+    adjusted_this_episode: bool,
+    /// Episodes judged transient (diagnostics).
+    pub transients_seen: u32,
+    /// Episodes judged persistent (diagnostics).
+    pub persistents_seen: u32,
+}
+
+impl AdaptiveConfirm {
+    /// Start with an initial window.
+    pub fn new(initial: SimDuration, cfg: AdaptiveConfig) -> Self {
+        AdaptiveConfirm {
+            window: clamp(initial, &cfg),
+            cfg,
+            confirmed_at: None,
+            adjusted_this_episode: false,
+            transients_seen: 0,
+            persistents_seen: 0,
+        }
+    }
+
+    /// The current confirmation window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// The monitor reports that it just *confirmed* an overload at `now`.
+    pub fn on_confirmed(&mut self, now: SimTime) {
+        self.confirmed_at = Some(now);
+        self.adjusted_this_episode = false;
+    }
+
+    /// The monitor observed the raw overload condition still holding at
+    /// `now`. Call on every overloaded sample.
+    pub fn on_still_overloaded(&mut self, now: SimTime) {
+        if self.adjusted_this_episode {
+            return;
+        }
+        if let Some(at) = self.confirmed_at {
+            if now.since(at) >= self.cfg.persistent_after {
+                // Detection was late: react faster next time.
+                self.window = clamp(self.window.mul_f64(self.cfg.shrink), &self.cfg);
+                self.persistents_seen += 1;
+                self.adjusted_this_episode = true;
+            }
+        }
+    }
+
+    /// The monitor observed the overload *clearing* at `now` (the raw state
+    /// dropped back below the trigger).
+    pub fn on_cleared(&mut self, now: SimTime) {
+        if let Some(at) = self.confirmed_at.take() {
+            if !self.adjusted_this_episode && now.since(at) <= self.cfg.transient_within {
+                // The episode would not have deserved a migration: demand
+                // more persistence next time.
+                self.window = clamp(self.window.mul_f64(self.cfg.grow), &self.cfg);
+                self.transients_seen += 1;
+            }
+        }
+        self.adjusted_this_episode = false;
+    }
+}
+
+fn clamp(d: SimDuration, cfg: &AdaptiveConfig) -> SimDuration {
+    d.max(cfg.min).min(cfg.max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn secs(d: SimDuration) -> f64 {
+        d.as_secs_f64()
+    }
+
+    #[test]
+    fn transient_episode_grows_the_window() {
+        let mut a = AdaptiveConfirm::new(SimDuration::from_secs(60), AdaptiveConfig::default());
+        a.on_confirmed(t(100));
+        a.on_cleared(t(110)); // cleared 10 s after confirmation: transient
+        assert!((secs(a.window()) - 90.0).abs() < 1e-9);
+        assert_eq!(a.transients_seen, 1);
+    }
+
+    #[test]
+    fn persistent_episode_shrinks_the_window() {
+        let mut a = AdaptiveConfirm::new(SimDuration::from_secs(60), AdaptiveConfig::default());
+        a.on_confirmed(t(100));
+        a.on_still_overloaded(t(150)); // not yet persistent
+        assert!((secs(a.window()) - 60.0).abs() < 1e-9);
+        a.on_still_overloaded(t(195)); // 95 s after confirmation
+        assert!((secs(a.window()) - 48.0).abs() < 1e-9);
+        assert_eq!(a.persistents_seen, 1);
+        // Only one adjustment per episode.
+        a.on_still_overloaded(t(400));
+        assert!((secs(a.window()) - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_clear_is_not_transient() {
+        let mut a = AdaptiveConfirm::new(SimDuration::from_secs(60), AdaptiveConfig::default());
+        a.on_confirmed(t(100));
+        a.on_cleared(t(170)); // 70 s after confirmation: neither bucket
+        assert!((secs(a.window()) - 60.0).abs() < 1e-9);
+        assert_eq!(a.transients_seen, 0);
+    }
+
+    #[test]
+    fn window_respects_bounds() {
+        let cfg = AdaptiveConfig::default();
+        let mut a = AdaptiveConfirm::new(SimDuration::from_secs(200), cfg.clone());
+        for i in 0..20 {
+            a.on_confirmed(t(1000 + i * 100));
+            a.on_cleared(t(1005 + i * 100));
+        }
+        assert_eq!(a.window(), cfg.max);
+        let mut b = AdaptiveConfirm::new(SimDuration::from_secs(20), cfg.clone());
+        for i in 0..20 {
+            b.on_confirmed(t(1000 + i * 1000));
+            b.on_still_overloaded(t(1000 + i * 1000 + 95));
+            b.on_cleared(t(1000 + i * 1000 + 500));
+        }
+        assert_eq!(b.window(), cfg.min);
+    }
+
+    #[test]
+    fn converges_under_mixed_history() {
+        // Alternating transient/persistent episodes leave the window near
+        // where grow and shrink balance (1.5 * 0.8 = 1.2 per pair, clamped).
+        let mut a = AdaptiveConfirm::new(SimDuration::from_secs(60), AdaptiveConfig::default());
+        for i in 0..50u64 {
+            let base = 1000 + i * 1000;
+            a.on_confirmed(t(base));
+            if i % 2 == 0 {
+                a.on_cleared(t(base + 10));
+            } else {
+                a.on_still_overloaded(t(base + 95));
+                a.on_cleared(t(base + 500));
+            }
+        }
+        assert!(a.window() <= AdaptiveConfig::default().max);
+        assert!(a.window() >= AdaptiveConfig::default().min);
+        assert!(a.transients_seen > 0 && a.persistents_seen > 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! The per-host commander entity.
+//!
+//! "The registry/scheduler sends a message to the source machine's local
+//! commander to initialize the migration. After receiving the message, the
+//! source machine's local commander issues a command to the migrating
+//! process … the address and the port of the destination machine are
+//! written to a temporary file and are read by the migrating process. We
+//! defined this command as a user-defined signal." (§3, §3.3)
+
+use crate::hooks::CONTROL_TAG;
+use ars_hpcm::{dest_file_path, MIGRATE_SIGNAL};
+use ars_sim::{Ctx, Payload, Pid, Program, TraceKind, Wake};
+use ars_xmlwire::{EntityRole, HostStatic, Message};
+
+/// The commander program: a passive daemon waiting for migration commands.
+pub struct Commander {
+    registry: Pid,
+    /// Commands executed (diagnostics).
+    pub commands_handled: u64,
+}
+
+impl Commander {
+    /// Create a commander reporting to `registry`.
+    pub fn new(registry: Pid) -> Self {
+        Commander {
+            registry,
+            commands_handled: 0,
+        }
+    }
+
+    fn host_static(ctx: &Ctx<'_>) -> HostStatic {
+        let cfg = ctx.host().config();
+        HostStatic {
+            name: cfg.name.clone(),
+            ip: format!("10.0.0.{}", ctx.host_id().0 + 1),
+            os: cfg.os.clone(),
+            cpu_speed: cfg.cpu_speed,
+            n_cpus: cfg.n_cpus,
+            mem_kb: cfg.mem_kb,
+        }
+    }
+}
+
+impl Program for Commander {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match wake {
+            Wake::Started => {
+                let msg = Message::Register {
+                    host: Self::host_static(ctx),
+                    role: EntityRole::Commander,
+                };
+                ctx.send(self.registry, CONTROL_TAG, Payload::Text(msg.to_document()));
+            }
+            Wake::Received(env) => {
+                let Some(text) = env.payload.as_text() else {
+                    return;
+                };
+                let Ok(msg) = Message::decode(text) else {
+                    ctx.trace(TraceKind::Custom, "commander: undecodable message");
+                    return;
+                };
+                if let Message::MigrationCommand {
+                    pid,
+                    dest,
+                    dest_port,
+                    ..
+                } = msg
+                {
+                    // Temp-file handoff + user-defined signal.
+                    let target = Pid(pid);
+                    ctx.write_file(
+                        &dest_file_path(target),
+                        &format!("{dest}:{dest_port}"),
+                    );
+                    ctx.signal(target, MIGRATE_SIGNAL);
+                    self.commands_handled += 1;
+                    ctx.trace(
+                        TraceKind::Decision,
+                        format!(
+                            "commander {}: migrate pid{pid} -> {dest}",
+                            ctx.host().name()
+                        ),
+                    );
+                    let ack = Message::Ack {
+                        ok: true,
+                        info: format!("migration of {pid} initiated"),
+                    };
+                    ctx.send(
+                        self.registry,
+                        CONTROL_TAG,
+                        Payload::Text(ack.to_document()),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

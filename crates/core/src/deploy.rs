@@ -1,0 +1,125 @@
+//! Deployment helpers: wire a registry, monitors and commanders onto a
+//! simulated cluster the way the paper's evaluation does.
+
+use crate::commander::Commander;
+use crate::hooks::{ReschedHooks, SchemaBook};
+use crate::monitor::{Monitor, MonitorConfig, StateSource};
+use crate::registry::{RegistryConfig, RegistryScheduler};
+use ars_rules::{MonitoringFrequency, Policy};
+use ars_sim::{HostId, Pid, Sim, SpawnOpts};
+use ars_simcore::SimDuration;
+use ars_sysinfo::Ambient;
+
+/// Handles to a deployed rescheduler.
+pub struct Deployment {
+    /// The registry/scheduler process.
+    pub registry: Pid,
+    /// Monitor process per monitored host (same order as `monitored`).
+    pub monitors: Vec<Pid>,
+    /// Commander process per monitored host.
+    pub commanders: Vec<Pid>,
+    /// Shared decision log.
+    pub hooks: ReschedHooks,
+    /// Shared application-schema book.
+    pub schemas: SchemaBook,
+}
+
+/// Tunables for [`deploy`].
+pub struct DeployConfig {
+    /// Policy used by monitors (state) and the registry (destinations).
+    pub policy: Policy,
+    /// Per-state monitoring frequency.
+    pub freq: MonitoringFrequency,
+    /// Overload confirmation window.
+    pub overload_confirm: SimDuration,
+    /// Ambient workstation baseline for the sensors.
+    pub ambient: Ambient,
+    /// Classify state with the paper rule file instead of the policy.
+    pub use_paper_rules: bool,
+    /// Registry soft-state lease. Must comfortably exceed the heartbeat
+    /// interval or every entry expires between refreshes.
+    pub lease: SimDuration,
+    /// Self-adjusting confirmation windows for the monitors (§6).
+    pub adaptive: Option<crate::adaptive::AdaptiveConfig>,
+    /// Push-model heartbeats (the paper's choice); `false` switches the
+    /// deployment to on-change reports + registry pulls (§3.2).
+    pub push: bool,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig {
+            policy: Policy::paper_policy2(),
+            freq: MonitoringFrequency::default(),
+            overload_confirm: SimDuration::from_secs(60),
+            ambient: Ambient::default(),
+            use_paper_rules: false,
+            lease: SimDuration::from_secs(35),
+            adaptive: None,
+            push: true,
+        }
+    }
+}
+
+/// Deploy a registry on `registry_host` plus a monitor + commander pair on
+/// every host in `monitored`.
+pub fn deploy(
+    sim: &mut Sim,
+    registry_host: HostId,
+    monitored: &[HostId],
+    cfg: DeployConfig,
+) -> Deployment {
+    let hooks = ReschedHooks::new();
+    let schemas = SchemaBook::new();
+
+    let mut reg_cfg = RegistryConfig::new(cfg.policy.clone());
+    reg_cfg.name = format!("registry@h{}", registry_host.0);
+    reg_cfg.lease = cfg.lease;
+    reg_cfg.pull = !cfg.push;
+    let registry = sim.spawn(
+        registry_host,
+        Box::new(RegistryScheduler::new(
+            reg_cfg,
+            schemas.clone(),
+            hooks.clone(),
+        )),
+        SpawnOpts::named("ars_registry"),
+    );
+
+    let mut monitors = Vec::new();
+    let mut commanders = Vec::new();
+    for &host in monitored {
+        let state_source = if cfg.use_paper_rules {
+            StateSource::Rules(ars_rules::RuleSet::paper())
+        } else {
+            StateSource::Policy(cfg.policy.clone())
+        };
+        let mon_cfg = MonitorConfig {
+            registry,
+            state_source,
+            freq: cfg.freq,
+            ambient: cfg.ambient.clone(),
+            overload_confirm: cfg.overload_confirm,
+            adaptive: cfg.adaptive.clone(),
+            push: cfg.push,
+        };
+        monitors.push(sim.spawn(
+            host,
+            Box::new(Monitor::new(mon_cfg, schemas.clone())),
+            SpawnOpts::named("ars_monitor"),
+        ));
+        commanders.push(sim.spawn(
+            host,
+            Box::new(Commander::new(registry)),
+            SpawnOpts::named("ars_commander"),
+        ));
+    }
+
+    Deployment {
+        registry,
+        monitors,
+        commanders,
+        hooks,
+        schemas,
+    }
+}

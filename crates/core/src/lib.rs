@@ -1,0 +1,32 @@
+//! # ars-rescheduler — the autonomic rescheduling runtime (the paper's core)
+//!
+//! "We present the design and implementation of a runtime support system,
+//! which enables dynamic re-allocation of processes in a heterogeneous
+//! distributed environment", built from:
+//!
+//! * [`monitor`] — the per-host monitor: sensor scripts, rule-based state
+//!   decision, soft-state push heartbeats, overload confirmation windowing;
+//! * [`commander`] — the per-host commander: temp-file destination handoff
+//!   plus the user-defined migration signal;
+//! * [`registry`] — the registry/scheduler: soft-state host table with
+//!   leases, latest-completing-time process selection, first-fit
+//!   destination selection, hierarchical candidate escalation;
+//! * [`mod@deploy`] — helpers wiring the entities onto a simulated cluster;
+//! * [`live`] — the same protocol over real localhost TCP sockets.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod commander;
+pub mod deploy;
+pub mod hooks;
+pub mod live;
+pub mod monitor;
+pub mod registry;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveConfirm};
+pub use commander::Commander;
+pub use deploy::{deploy, DeployConfig, Deployment};
+pub use hooks::{DecisionRecord, ReschedHooks, ReschedLog, SchemaBook, CONTROL_TAG};
+pub use monitor::{Monitor, MonitorConfig, StateSource};
+pub use registry::{DomainHealth, HostEntry, RegistryConfig, RegistryScheduler, SelectionPolicy};

@@ -1,0 +1,297 @@
+//! Live mode: the rescheduler protocol over real TCP sockets.
+//!
+//! The paper's communication subsystem is "a custom XML based protocol with
+//! TCP/IP sockets". The simulated entities exchange exactly those XML
+//! documents as message payloads; this module runs the same documents over
+//! real localhost sockets — a registry/scheduler server plus client-side
+//! helpers — demonstrating that the wire format is transport independent.
+//!
+//! Framing: one XML document per line (the writer emits single-line
+//! documents; newline is therefore an unambiguous delimiter).
+
+use crate::hooks::DecisionRecord;
+use ars_xmlwire::{HostState, Message, Metrics};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Write one message to a stream (newline-framed).
+pub fn write_msg(stream: &mut impl Write, msg: &Message) -> std::io::Result<()> {
+    let doc = msg.to_document();
+    debug_assert!(!doc.contains('\n'), "documents are single-line");
+    stream.write_all(doc.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// Read one message from a buffered stream; `None` at EOF.
+pub fn read_msg(reader: &mut impl BufRead) -> std::io::Result<Option<Message>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    Message::decode(line.trim_end())
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Registry-side view of one live host.
+#[derive(Debug, Clone)]
+pub struct LiveEntry {
+    /// Last reported state.
+    pub state: HostState,
+    /// Last reported metrics.
+    pub metrics: Metrics,
+    /// Wall-clock instant of the last refresh.
+    pub last_seen: Instant,
+}
+
+/// Shared state of a live registry.
+#[derive(Default)]
+pub struct LiveTable {
+    /// Hosts in registration order (first-fit order).
+    pub order: Vec<String>,
+    /// Host entries.
+    pub entries: HashMap<String, LiveEntry>,
+    /// Decisions taken (candidate replies served).
+    pub decisions: Vec<DecisionRecord>,
+}
+
+/// Handle to a running live registry server.
+pub struct LiveRegistry {
+    addr: SocketAddr,
+    table: Arc<Mutex<LiveTable>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveRegistry {
+    /// Start a registry server on `127.0.0.1:0` (ephemeral port).
+    pub fn start() -> std::io::Result<LiveRegistry> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let table: Arc<Mutex<LiveTable>> = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let t_table = table.clone();
+        let t_stop = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            let mut workers = Vec::new();
+            while !t_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        let table = t_table.clone();
+                        let stop = t_stop.clone();
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_client(stream, table, stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(LiveRegistry {
+            addr,
+            table,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The server's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the registry table.
+    pub fn table(&self) -> Arc<Mutex<LiveTable>> {
+        self.table.clone()
+    }
+
+    /// Stop accepting and wind down (open client connections unblock at
+    /// their next message).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LiveRegistry {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn first_fit(table: &LiveTable, exclude: &str) -> Option<String> {
+    table
+        .order
+        .iter()
+        .find(|name| {
+            name.as_str() != exclude
+                && table
+                    .entries
+                    .get(*name)
+                    .is_some_and(|e| e.state == HostState::Free)
+        })
+        .cloned()
+}
+
+fn serve_client(
+    stream: TcpStream,
+    table: Arc<Mutex<LiveTable>>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    // Wake periodically so the stop flag is honoured even while idle. The
+    // line buffer persists across timeouts, so a message split across reads
+    // is never lost.
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !stop.load(Ordering::Relaxed) {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) if line.ends_with('\n') => {}
+            Ok(_) => continue, // partial line; keep accumulating
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+        let msg = match Message::decode(line.trim_end()) {
+            Ok(m) => m,
+            Err(_) => {
+                line.clear();
+                write_msg(
+                    &mut writer,
+                    &Message::Ack {
+                        ok: false,
+                        info: "undecodable message".to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        line.clear();
+        match msg {
+            Message::Register { host, .. } => {
+                let mut t = table.lock();
+                if !t.order.contains(&host.name) {
+                    t.order.push(host.name.clone());
+                }
+                t.entries.insert(
+                    host.name.clone(),
+                    LiveEntry {
+                        state: HostState::Free,
+                        metrics: Metrics::new(),
+                        last_seen: Instant::now(),
+                    },
+                );
+                write_msg(
+                    &mut writer,
+                    &Message::Ack {
+                        ok: true,
+                        info: format!("registered {}", host.name),
+                    },
+                )?;
+            }
+            Message::Heartbeat {
+                host,
+                state,
+                metrics,
+                ..
+            } => {
+                let mut t = table.lock();
+                let known = t.entries.contains_key(&host);
+                if known {
+                    t.entries.insert(
+                        host.clone(),
+                        LiveEntry {
+                            state,
+                            metrics,
+                            last_seen: Instant::now(),
+                        },
+                    );
+                }
+                write_msg(
+                    &mut writer,
+                    &Message::Ack {
+                        ok: known,
+                        info: if known {
+                            String::new()
+                        } else {
+                            format!("{host} is not registered")
+                        },
+                    },
+                )?;
+            }
+            Message::CandidateRequest { host, .. } => {
+                let mut t = table.lock();
+                let dest = first_fit(&t, &host);
+                t.decisions.push(DecisionRecord {
+                    at: ars_simcore::SimTime::ZERO,
+                    source: host,
+                    dest: dest.clone(),
+                    pid: None,
+                    escalated: false,
+                });
+                write_msg(&mut writer, &Message::CandidateReply { dest })?;
+            }
+            other => {
+                write_msg(
+                    &mut writer,
+                    &Message::Ack {
+                        ok: false,
+                        info: format!("unexpected {}", other.type_tag()),
+                    },
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A live client connection to the registry (monitor side).
+pub struct LiveClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl LiveClient {
+    /// Connect to a live registry.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<LiveClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(LiveClient {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send a message and read the reply.
+    pub fn call(&mut self, msg: &Message) -> std::io::Result<Message> {
+        write_msg(&mut self.writer, msg)?;
+        read_msg(&mut self.reader)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "registry closed")
+        })
+    }
+}

@@ -1,0 +1,854 @@
+//! The registry/scheduler entity (§3.2).
+//!
+//! A soft-state registry of hosts (push-model registration: monitors must
+//! refresh within the lease or be considered *unavailable*), plus the
+//! decision-making side: on a confirmed-overloaded heartbeat it selects the
+//! process with the *latest completing time* (start time + schema estimate)
+//! and the destination by *first fit* over the machine list — "the first
+//! host, which is ready and owns all the resources required".
+//!
+//! Registries compose into a hierarchy: a registry may register with a
+//! parent (role `Registry`); when its own domain has no candidate it
+//! escalates the search upward, and a parent probes its other children —
+//! "usually, it is preferred that the migration destination is chosen
+//! inside one's control domain".
+
+use crate::hooks::{DecisionRecord, ReschedHooks, SchemaBook, CONTROL_TAG};
+use ars_rules::Policy;
+use ars_sim::{Ctx, Payload, Pid, Program, TraceKind, Wake};
+use ars_simcore::{SimDuration, SimTime};
+use ars_xmlwire::{
+    ApplicationSchema, EntityRole, HostState, HostStatic, Message, Metrics, ProcReport,
+    ResourceRequirements,
+};
+use std::collections::HashMap;
+
+/// Which migratable process the scheduler picks from an overloaded host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// The paper's choice: "the registry/scheduler tends to migrate a
+    /// process that has the latest completing time to reduce the
+    /// possibility of migrating multiple processes."
+    #[default]
+    LatestCompleting,
+    /// The opposite: evict the process closest to finishing (cheapest to
+    /// re-run if the migration goes wrong; worst amortization).
+    EarliestCompleting,
+    /// Evict the longest-running process (classic age-based eviction).
+    LongestRunning,
+}
+
+impl SelectionPolicy {
+    /// Apply the policy to a host's reported migratable processes.
+    pub fn select<'a>(&self, procs: &'a [ProcReport]) -> Option<&'a ProcReport> {
+        let completion = |p: &ProcReport| p.start_time_s + p.est_exec_time_s;
+        let cmp_f64 = |a: f64, b: f64| a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
+        match self {
+            SelectionPolicy::LatestCompleting => {
+                procs.iter().max_by(|a, b| cmp_f64(completion(a), completion(b)))
+            }
+            SelectionPolicy::EarliestCompleting => {
+                procs.iter().min_by(|a, b| cmp_f64(completion(a), completion(b)))
+            }
+            SelectionPolicy::LongestRunning => {
+                procs.iter().min_by(|a, b| cmp_f64(a.start_time_s, b.start_time_s))
+            }
+        }
+    }
+}
+
+/// Registry/scheduler configuration.
+pub struct RegistryConfig {
+    /// Policy whose destination conditions gate candidate hosts.
+    pub policy: Policy,
+    /// Soft-state lease; entries older than this are unavailable.
+    pub lease: SimDuration,
+    /// CPU cost of one migration decision (the paper measures 0.002 s).
+    pub decision_cost: f64,
+    /// Minimum spacing between commands to the same source host.
+    pub command_cooldown: SimDuration,
+    /// Parent registry in a hierarchy.
+    pub parent: Option<Pid>,
+    /// Domain name (diagnostics).
+    pub name: String,
+    /// Process-selection policy.
+    pub selection: SelectionPolicy,
+    /// Pull-based scheduling (§3.2's alternative): instead of relying on
+    /// the periodic push heartbeats, query every host's monitor for fresh
+    /// status when a decision is expected, and decide once all replies are
+    /// in. More accurate data, slower decisions.
+    pub pull: bool,
+}
+
+impl RegistryConfig {
+    /// Stand-alone registry with the given policy.
+    pub fn new(policy: Policy) -> Self {
+        RegistryConfig {
+            policy,
+            lease: SimDuration::from_secs(35),
+            decision_cost: 0.002,
+            command_cooldown: SimDuration::from_secs(30),
+            parent: None,
+            name: "root".to_string(),
+            selection: SelectionPolicy::default(),
+            pull: false,
+        }
+    }
+}
+
+/// Aggregate health of a registry's domain.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DomainHealth {
+    /// Hosts currently free.
+    pub free: u32,
+    /// Hosts currently busy.
+    pub busy: u32,
+    /// Hosts currently overloaded.
+    pub overloaded: u32,
+    /// Hosts with expired leases.
+    pub unavailable: u32,
+    /// Sum of reported 1-minute load averages.
+    pub load_sum: f64,
+    /// Number of load samples in the sum.
+    pub load_samples: u32,
+}
+
+impl DomainHealth {
+    /// Mean 1-minute load over the domain, if any host reported one.
+    pub fn mean_load(&self) -> Option<f64> {
+        (self.load_samples > 0).then(|| self.load_sum / self.load_samples as f64)
+    }
+
+    /// Total registered hosts.
+    pub fn total(&self) -> u32 {
+        self.free + self.busy + self.overloaded + self.unavailable
+    }
+}
+
+/// Registry-side view of one registered host.
+#[derive(Debug, Clone)]
+pub struct HostEntry {
+    /// Static registration info.
+    pub statics: HostStatic,
+    /// Monitor pid (heartbeat sender).
+    pub monitor: Option<Pid>,
+    /// Commander pid (command addressee).
+    pub commander: Option<Pid>,
+    /// Last heartbeat time.
+    pub last_seen: SimTime,
+    /// Last reported state.
+    pub state: HostState,
+    /// Last reported metrics.
+    pub metrics: Metrics,
+    /// Last reported migratable processes.
+    pub procs: Vec<ProcReport>,
+}
+
+impl HostEntry {
+    /// State as of `now`, accounting for lease expiry.
+    pub fn effective_state(&self, now: SimTime, lease: SimDuration) -> HostState {
+        if now.since(self.last_seen) > lease {
+            HostState::Unavailable
+        } else {
+            self.state
+        }
+    }
+}
+
+/// A parent-side search over children domains.
+struct Escalation {
+    requester: Pid,
+    exclude: Option<Pid>,
+    requirements: ResourceRequirements,
+    next_child: usize,
+}
+
+/// What the next completed op of ours was (ops finish FIFO, so this queue
+/// attributes every `OpDone` exactly).
+enum OpKind {
+    Send,
+    Decision(String),
+}
+
+/// A child-side wait for the parent's candidate reply.
+struct AwaitingParent {
+    source: String,
+    pid: u64,
+    schema: ApplicationSchema,
+}
+
+/// A pull-mode decision waiting for fresh status replies.
+struct PullRound {
+    source: String,
+    pid: u64,
+    schema: ApplicationSchema,
+    awaiting: std::collections::HashSet<String>,
+    started_at: SimTime,
+}
+
+/// The registry/scheduler program.
+pub struct RegistryScheduler {
+    cfg: RegistryConfig,
+    hooks: ReschedHooks,
+    schemas: SchemaBook,
+    /// Hosts in registration order (first-fit order).
+    hosts: Vec<HostEntry>,
+    index: HashMap<String, usize>,
+    children: Vec<(String, Pid)>,
+    /// FIFO attribution of our in-flight ops' completions.
+    op_kinds: std::collections::VecDeque<OpKind>,
+    /// Last command *or* decision per source host (cooldown basis).
+    last_command: HashMap<String, SimTime>,
+    escalation: Option<Escalation>,
+    escalation_queue: std::collections::VecDeque<(Pid, ResourceRequirements)>,
+    awaiting_parent: std::collections::VecDeque<AwaitingParent>,
+    pull_round: Option<PullRound>,
+}
+
+impl RegistryScheduler {
+    /// Create a registry from its configuration and shared books.
+    pub fn new(cfg: RegistryConfig, schemas: SchemaBook, hooks: ReschedHooks) -> Self {
+        RegistryScheduler {
+            cfg,
+            hooks,
+            schemas,
+            hosts: Vec::new(),
+            index: HashMap::new(),
+            children: Vec::new(),
+            op_kinds: std::collections::VecDeque::new(),
+            last_command: HashMap::new(),
+            escalation: None,
+            escalation_queue: std::collections::VecDeque::new(),
+            awaiting_parent: std::collections::VecDeque::new(),
+            pull_round: None,
+        }
+    }
+
+    /// Registered host entries in first-fit order (diagnostics/tests).
+    pub fn entries(&self) -> &[HostEntry] {
+        &self.hosts
+    }
+
+    /// The domain's aggregate *health condition* (§3.2: each lower-level
+    /// registry "has its own health condition, which indicates its overall
+    /// workload and availability of each kind of resource").
+    pub fn domain_health(&self, now: SimTime) -> DomainHealth {
+        let mut h = DomainHealth::default();
+        for e in &self.hosts {
+            match e.effective_state(now, self.cfg.lease) {
+                HostState::Free => h.free += 1,
+                HostState::Busy => h.busy += 1,
+                HostState::Overloaded => h.overloaded += 1,
+                HostState::Unavailable => h.unavailable += 1,
+            }
+            if let Some(l) = e.metrics.get("loadAvg1") {
+                h.load_sum += l;
+                h.load_samples += 1;
+            }
+        }
+        h
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, to: Pid, msg: &Message) {
+        self.op_kinds.push_back(OpKind::Send);
+        ctx.send(to, CONTROL_TAG, Payload::Text(msg.to_document()));
+    }
+
+    fn entry_mut(&mut self, host: &str) -> Option<&mut HostEntry> {
+        self.index.get(host).map(|&i| &mut self.hosts[i])
+    }
+
+    fn on_register(&mut self, ctx: &mut Ctx<'_>, from: Pid, host: HostStatic, role: EntityRole) {
+        if role == EntityRole::Registry {
+            if !self.children.iter().any(|(_, p)| *p == from) {
+                self.children.push((host.name.clone(), from));
+            }
+            return;
+        }
+        let now = ctx.now();
+        let idx = match self.index.get(&host.name) {
+            Some(&i) => i,
+            None => {
+                self.hosts.push(HostEntry {
+                    statics: host.clone(),
+                    monitor: None,
+                    commander: None,
+                    last_seen: now,
+                    state: HostState::Free,
+                    metrics: Metrics::new(),
+                    procs: Vec::new(),
+                });
+                self.index.insert(host.name.clone(), self.hosts.len() - 1);
+                self.hosts.len() - 1
+            }
+        };
+        let entry = &mut self.hosts[idx];
+        entry.last_seen = now;
+        match role {
+            EntityRole::Monitor => entry.monitor = Some(from),
+            EntityRole::Commander => entry.commander = Some(from),
+            EntityRole::Registry => unreachable!("handled above"),
+        }
+    }
+
+    fn on_heartbeat(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: Pid,
+        host: String,
+        state: HostState,
+        metrics: Metrics,
+        procs: Vec<ProcReport>,
+    ) {
+        let now = ctx.now();
+        let Some(entry) = self.entry_mut(&host) else {
+            ctx.trace(
+                TraceKind::Custom,
+                format!("registry: heartbeat from unregistered {host}"),
+            );
+            return;
+        };
+        entry.last_seen = now;
+        entry.state = state;
+        entry.metrics = metrics;
+        entry.procs = procs;
+        entry.monitor.get_or_insert(from);
+
+        // A pull round in flight? This heartbeat may be one of its replies.
+        if let Some(round) = &mut self.pull_round {
+            round.awaiting.remove(&host);
+            if round.awaiting.is_empty() {
+                self.finish_pull_round(ctx);
+            }
+        }
+
+        if state == HostState::Overloaded {
+            let cooled = self
+                .last_command
+                .get(&host)
+                .is_none_or(|&t| now.since(t) >= self.cfg.command_cooldown);
+            let already_queued = self
+                .op_kinds
+                .iter()
+                .any(|k| matches!(k, OpKind::Decision(h) if *h == host));
+            if cooled && !already_queued {
+                // Charge the decision-making cost, then decide.
+                ctx.compute(self.cfg.decision_cost);
+                self.op_kinds.push_back(OpKind::Decision(host));
+            }
+        }
+    }
+
+
+    fn dest_ok(
+        &self,
+        entry: &HostEntry,
+        req: &ResourceRequirements,
+        exclude: &str,
+        now: SimTime,
+    ) -> bool {
+        if entry.statics.name == exclude {
+            return false;
+        }
+        if !entry
+            .effective_state(now, self.cfg.lease)
+            .accepts_migration()
+        {
+            return false;
+        }
+        if !self.cfg.policy.dest_acceptable(&entry.metrics) {
+            return false;
+        }
+        if entry.statics.cpu_speed < req.min_cpu_speed {
+            return false;
+        }
+        let mem_avail_kb = entry.metrics.get("memAvail").unwrap_or(0.0) / 100.0
+            * entry.statics.mem_kb as f64;
+        if mem_avail_kb < req.mem_kb as f64 {
+            return false;
+        }
+        if entry.metrics.get("diskAvailKb").unwrap_or(0.0) < req.disk_kb as f64 {
+            return false;
+        }
+        true
+    }
+
+    /// First-fit destination search over the machine list.
+    fn first_fit(&self, req: &ResourceRequirements, exclude: &str, now: SimTime) -> Option<usize> {
+        self.hosts
+            .iter()
+            .position(|e| self.dest_ok(e, req, exclude, now))
+    }
+
+    fn decide(&mut self, ctx: &mut Ctx<'_>, source: String) {
+        let now = ctx.now();
+        // Fruitless decisions also start the cooldown: an overloaded host
+        // with nothing migratable (or no candidate anywhere) is re-examined
+        // once per cooldown, not on every heartbeat.
+        self.last_command.insert(source.clone(), now);
+        let Some(&src_idx) = self.index.get(&source) else {
+            return;
+        };
+        // Re-check: the source must still be overloaded.
+        if self.hosts[src_idx].effective_state(now, self.cfg.lease) != HostState::Overloaded {
+            return;
+        }
+        let Some(proc_) = self
+            .cfg
+            .selection
+            .select(&self.hosts[src_idx].procs)
+            .cloned()
+        else {
+            self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
+                at: now,
+                source,
+                dest: None,
+                pid: None,
+                escalated: false,
+            });
+            return;
+        };
+        let schema = self
+            .schemas
+            .get(&proc_.app)
+            .unwrap_or_else(|| ApplicationSchema::compute(&proc_.app, proc_.est_exec_time_s));
+        if self.cfg.pull {
+            self.start_pull_round(ctx, source, proc_.pid, schema);
+            return;
+        }
+        match self.first_fit(&schema.requirements, &source, now) {
+            Some(dest_idx) => {
+                self.command_migration(ctx, src_idx, dest_idx, proc_.pid, schema, false);
+            }
+            None if self.cfg.parent.is_some() => {
+                // Escalate the candidate search to the parent domain.
+                let parent = self.cfg.parent.expect("checked");
+                let req_msg = Message::CandidateRequest {
+                    host: source.clone(),
+                    requirements: schema.requirements,
+                };
+                self.send(ctx, parent, &req_msg);
+                self.awaiting_parent.push_back(AwaitingParent {
+                    source,
+                    pid: proc_.pid,
+                    schema,
+                });
+            }
+            None => {
+                ctx.trace(
+                    TraceKind::Decision,
+                    format!("registry {}: no candidate for {source}", self.cfg.name),
+                );
+                self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
+                    at: now,
+                    source,
+                    dest: None,
+                    pid: Some(proc_.pid),
+                    escalated: false,
+                });
+            }
+        }
+    }
+
+    fn command_migration(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src_idx: usize,
+        dest_idx: usize,
+        pid: u64,
+        schema: ApplicationSchema,
+        escalated: bool,
+    ) {
+        let now = ctx.now();
+        let source = self.hosts[src_idx].statics.name.clone();
+        let dest = self.hosts[dest_idx].statics.name.clone();
+        self.dispatch_command(ctx, src_idx, &source, &dest, pid, schema, escalated);
+        // Optimistically mark the destination loaded until its next
+        // heartbeat, so concurrent decisions do not pile onto it.
+        self.hosts[dest_idx].state = HostState::Busy;
+        self.last_command.insert(source, now);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_command(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src_idx: usize,
+        source: &str,
+        dest: &str,
+        pid: u64,
+        schema: ApplicationSchema,
+        escalated: bool,
+    ) {
+        let now = ctx.now();
+        let Some(commander) = self.hosts[src_idx].commander else {
+            ctx.trace(
+                TraceKind::Custom,
+                format!("registry: no commander registered for {source}"),
+            );
+            return;
+        };
+        let cmd = Message::MigrationCommand {
+            host: source.to_string(),
+            pid,
+            dest: dest.to_string(),
+            dest_port: 7801,
+            schema,
+        };
+        self.send(ctx, commander, &cmd);
+        ctx.trace(
+            TraceKind::Decision,
+            format!(
+                "registry {}: migrate pid{pid} {source} -> {dest}{}",
+                self.cfg.name,
+                if escalated { " (escalated)" } else { "" }
+            ),
+        );
+        let mut log = self.hooks.0.borrow_mut();
+        log.decisions.push(DecisionRecord {
+            at: now,
+            source: source.to_string(),
+            dest: Some(dest.to_string()),
+            pid: Some(pid),
+            escalated,
+        });
+        log.commands_sent += 1;
+    }
+
+    // --- Pull-model decisions (§3.2) -----------------------------------------
+
+    /// Query every live monitored host for fresh status, then decide.
+    fn start_pull_round(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        source: String,
+        pid: u64,
+        schema: ApplicationSchema,
+    ) {
+        let now = ctx.now();
+        if let Some(round) = &self.pull_round {
+            // One round at a time — but a round stuck on a dead monitor
+            // must not wedge the scheduler forever.
+            if now.since(round.started_at) <= self.cfg.lease {
+                return; // the cooldown retries later
+            }
+            ctx.trace(
+                TraceKind::Custom,
+                format!(
+                    "registry {}: abandoning stale pull round for {}",
+                    self.cfg.name, round.source
+                ),
+            );
+            self.pull_round = None;
+        }
+        // No lease filter here: in the pull model hosts do not refresh
+        // periodically — the point of the query is to find out who is
+        // alive. Dead monitors simply never reply; their host stays in the
+        // awaiting set and the round is superseded by the next decision.
+        let targets: Vec<(String, Pid)> = self
+            .hosts
+            .iter()
+            .filter(|e| e.statics.name != source)
+            .filter_map(|e| e.monitor.map(|m| (e.statics.name.clone(), m)))
+            .collect();
+        if targets.is_empty() {
+            self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
+                at: now,
+                source,
+                dest: None,
+                pid: Some(pid),
+                escalated: false,
+            });
+            return;
+        }
+        let mut awaiting = std::collections::HashSet::new();
+        for (name, monitor) in targets {
+            let q = Message::StatusQuery { host: name.clone() };
+            self.send(ctx, monitor, &q);
+            awaiting.insert(name);
+        }
+        ctx.trace(
+            TraceKind::Decision,
+            format!(
+                "registry {}: pulling {} hosts for {source}",
+                self.cfg.name,
+                awaiting.len()
+            ),
+        );
+        self.pull_round = Some(PullRound {
+            source,
+            pid,
+            schema,
+            awaiting,
+            started_at: now,
+        });
+    }
+
+    /// All pull replies arrived: decide on the fresh data.
+    fn finish_pull_round(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(round) = self.pull_round.take() else {
+            return;
+        };
+        let now = ctx.now();
+        match self.first_fit(&round.schema.requirements, &round.source, now) {
+            Some(dest_idx) => {
+                let Some(&src_idx) = self.index.get(&round.source) else {
+                    return;
+                };
+                self.command_migration(ctx, src_idx, dest_idx, round.pid, round.schema, false);
+            }
+            None => {
+                self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
+                    at: now,
+                    source: round.source,
+                    dest: None,
+                    pid: Some(round.pid),
+                    escalated: false,
+                });
+            }
+        }
+    }
+
+    // --- Hierarchy: parent-side candidate search ----------------------------
+
+    fn on_candidate_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: Pid,
+        source_host: String,
+        requirements: ResourceRequirements,
+    ) {
+        let now = ctx.now();
+        // Local domain first.
+        if let Some(idx) = self.first_fit(&requirements, &source_host, now) {
+            let dest = self.hosts[idx].statics.name.clone();
+            self.hosts[idx].state = HostState::Busy;
+            let reply = Message::CandidateReply { dest: Some(dest) };
+            self.send(ctx, from, &reply);
+            return;
+        }
+        // Probe other children (one search at a time).
+        let is_child = self.children.iter().any(|(_, p)| *p == from);
+        if !self.children.is_empty() && is_child {
+            if self.escalation.is_some() {
+                self.escalation_queue.push_back((from, requirements));
+                return;
+            }
+            self.escalation = Some(Escalation {
+                requester: from,
+                exclude: Some(from),
+                requirements,
+                next_child: 0,
+            });
+            self.advance_escalation(ctx, None);
+        } else {
+            let reply = Message::CandidateReply { dest: None };
+            self.send(ctx, from, &reply);
+        }
+    }
+
+    /// Step the parent-side search: forward the request to the next child,
+    /// or finish with `found`.
+    fn advance_escalation(&mut self, ctx: &mut Ctx<'_>, found: Option<Option<String>>) {
+        let Some(esc) = &mut self.escalation else {
+            return;
+        };
+        if let Some(dest) = found {
+            if dest.is_some() {
+                let requester = esc.requester;
+                let reply = Message::CandidateReply { dest };
+                self.escalation = None;
+                self.send(ctx, requester, &reply);
+                self.pump_escalation_queue(ctx);
+                return;
+            }
+            // This child had nothing; fall through to the next.
+        }
+        loop {
+            let Some(esc) = &mut self.escalation else { return };
+            if esc.next_child >= self.children.len() {
+                let requester = esc.requester;
+                self.escalation = None;
+                let reply = Message::CandidateReply { dest: None };
+                self.send(ctx, requester, &reply);
+                self.pump_escalation_queue(ctx);
+                return;
+            }
+            let (_, child_pid) = self.children[esc.next_child];
+            esc.next_child += 1;
+            if Some(child_pid) == esc.exclude {
+                continue;
+            }
+            let msg = Message::CandidateRequest {
+                host: String::new(), // cross-domain: nothing to exclude below
+                requirements: esc.requirements,
+            };
+            self.send(ctx, child_pid, &msg);
+            return;
+        }
+    }
+
+    fn pump_escalation_queue(&mut self, ctx: &mut Ctx<'_>) {
+        if self.escalation.is_some() {
+            return;
+        }
+        if let Some((from, requirements)) = self.escalation_queue.pop_front() {
+            self.on_candidate_request(ctx, from, String::new(), requirements);
+        }
+    }
+
+    fn on_candidate_reply(&mut self, ctx: &mut Ctx<'_>, from: Pid, dest: Option<String>) {
+        // Parent replying to our escalation?
+        if Some(from) == self.cfg.parent {
+            let Some(wait) = self.awaiting_parent.pop_front() else {
+                return;
+            };
+            let now = ctx.now();
+            match dest {
+                Some(d) => {
+                    let Some(&src_idx) = self.index.get(&wait.source) else {
+                        return;
+                    };
+                    let source = wait.source.clone();
+                    self.dispatch_command(ctx, src_idx, &source, &d, wait.pid, wait.schema, true);
+                    self.last_command.insert(wait.source, now);
+                }
+                None => {
+                    self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
+                        at: now,
+                        source: wait.source,
+                        dest: None,
+                        pid: Some(wait.pid),
+                        escalated: true,
+                    });
+                }
+            }
+            return;
+        }
+        // A child answering our probe.
+        self.advance_escalation(ctx, Some(dest));
+    }
+}
+
+impl Program for RegistryScheduler {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match wake {
+            Wake::Started => {
+                if let Some(parent) = self.cfg.parent {
+                    let msg = Message::Register {
+                        host: HostStatic {
+                            name: self.cfg.name.clone(),
+                            ip: format!("10.1.0.{}", ctx.host_id().0 + 1),
+                            os: "registry".to_string(),
+                            cpu_speed: 0.0,
+                            n_cpus: 0,
+                            mem_kb: 0,
+                        },
+                        role: EntityRole::Registry,
+                    };
+                    self.send(ctx, parent, &msg);
+                }
+            }
+            Wake::OpDone => match self.op_kinds.pop_front() {
+                Some(OpKind::Decision(source)) => self.decide(ctx, source),
+                Some(OpKind::Send) | None => {}
+            },
+            Wake::Received(env) => {
+                let from = env.from;
+                let Some(text) = env.payload.as_text() else {
+                    return;
+                };
+                let Ok(msg) = Message::decode(text) else {
+                    ctx.trace(TraceKind::Custom, "registry: undecodable message");
+                    return;
+                };
+                match msg {
+                    Message::Register { host, role } => self.on_register(ctx, from, host, role),
+                    Message::Heartbeat {
+                        host,
+                        state,
+                        metrics,
+                        procs,
+                    } => self.on_heartbeat(ctx, from, host, state, metrics, procs),
+                    Message::CandidateRequest { host, requirements } => {
+                        self.on_candidate_request(ctx, from, host, requirements)
+                    }
+                    Message::CandidateReply { dest } => self.on_candidate_reply(ctx, from, dest),
+                    Message::MigrationComplete { from: src, to, .. } => {
+                        ctx.trace(
+                            TraceKind::Custom,
+                            format!("registry: migration complete {src} -> {to}"),
+                        );
+                    }
+                    Message::Ack { .. }
+                    | Message::MigrationCommand { .. }
+                    | Message::StatusQuery { .. } => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pid: u64, start: f64, est: f64) -> ProcReport {
+        ProcReport {
+            pid,
+            app: format!("app{pid}"),
+            start_time_s: start,
+            est_exec_time_s: est,
+        }
+    }
+
+    #[test]
+    fn selection_policies_pick_distinct_processes() {
+        // p1: started 0, est 100 -> completes 100 (oldest).
+        // p2: started 50, est 500 -> completes 550 (latest completing).
+        // p3: started 80, est 10 -> completes 90 (earliest completing).
+        let procs = vec![report(1, 0.0, 100.0), report(2, 50.0, 500.0), report(3, 80.0, 10.0)];
+        assert_eq!(SelectionPolicy::LatestCompleting.select(&procs).unwrap().pid, 2);
+        assert_eq!(SelectionPolicy::EarliestCompleting.select(&procs).unwrap().pid, 3);
+        assert_eq!(SelectionPolicy::LongestRunning.select(&procs).unwrap().pid, 1);
+    }
+
+    #[test]
+    fn selection_of_empty_list_is_none() {
+        assert!(SelectionPolicy::LatestCompleting.select(&[]).is_none());
+    }
+
+    #[test]
+    fn host_entry_lease_expiry() {
+        let entry = HostEntry {
+            statics: HostStatic {
+                name: "ws".to_string(),
+                ip: String::new(),
+                os: String::new(),
+                cpu_speed: 1.0,
+                n_cpus: 1,
+                mem_kb: 0,
+            },
+            monitor: None,
+            commander: None,
+            last_seen: SimTime::from_secs(100),
+            state: HostState::Free,
+            metrics: Metrics::new(),
+            procs: vec![],
+        };
+        let lease = SimDuration::from_secs(35);
+        assert_eq!(
+            entry.effective_state(SimTime::from_secs(120), lease),
+            HostState::Free
+        );
+        assert_eq!(
+            entry.effective_state(SimTime::from_secs(200), lease),
+            HostState::Unavailable
+        );
+    }
+}

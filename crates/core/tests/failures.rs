@@ -1,0 +1,269 @@
+//! Failure injection: the rescheduler must degrade gracefully when its own
+//! entities die or when the environment misbehaves.
+
+use ars_apps::{Spinner, TestTree, TestTreeConfig};
+use ars_hpcm::{HpcmConfig, HpcmHooks, HpcmShell, MigratableApp};
+use ars_rescheduler::{deploy, DeployConfig};
+use ars_sim::{Ctx, HostId, Pid, Program, Sim, SimConfig, SpawnOpts, Wake};
+use ars_simcore::{SimDuration, SimTime};
+use ars_simhost::HostConfig;
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+fn cluster(n: usize) -> Sim {
+    Sim::new(
+        (0..n).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        },
+    )
+}
+
+struct Killer {
+    victim: Pid,
+}
+
+impl Program for Killer {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        if let Wake::Started = wake {
+            ctx.kill(self.victim);
+            ctx.exit();
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn kill(sim: &mut Sim, victim: Pid) {
+    sim.spawn(HostId(0), Box::new(Killer { victim }), SpawnOpts::named("kill"));
+}
+
+fn tree() -> TestTreeConfig {
+    TestTreeConfig {
+        trees: 8,
+        levels: 13,
+        node_cost_build: 2e-3,
+        node_cost_sort: 3e-3,
+        node_cost_sum: 1e-3,
+        chunk_nodes: 1024,
+        rss_kb: 24_576,
+        seed: 31,
+    }
+}
+
+#[test]
+fn dead_registry_degrades_to_no_migration() {
+    let mut sim = cluster(3);
+    let dep = deploy(&mut sim, HostId(0), &[HostId(1), HostId(2)], DeployConfig::default());
+    let app = TestTree::new(tree());
+    dep.schemas.put(MigratableApp::schema(&app));
+    let hpcm = HpcmHooks::new();
+    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    sim.run_until(t(30.0));
+    kill(&mut sim, dep.registry);
+    for _ in 0..2 {
+        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+    }
+    sim.run_until(t(3000.0));
+    // Monitors keep heartbeating into the void; no migration is ever
+    // commanded, and the application still completes on the loaded host.
+    assert_eq!(hpcm.migration_count(), 0);
+    let done = hpcm.completion_of("test_tree").expect("finished anyway");
+    assert_eq!(done.host, HostId(1));
+}
+
+#[test]
+fn dead_commander_swallows_the_command_without_damage() {
+    let mut sim = cluster(3);
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2)],
+        DeployConfig {
+            overload_confirm: SimDuration::from_secs(40),
+            ..DeployConfig::default()
+        },
+    );
+    let app = TestTree::new(tree());
+    dep.schemas.put(MigratableApp::schema(&app));
+    let hpcm = HpcmHooks::new();
+    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    sim.run_until(t(30.0));
+    kill(&mut sim, dep.commanders[0]); // ws1's commander dies
+    for _ in 0..2 {
+        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+    }
+    sim.run_until(t(3000.0));
+    // The registry decided and commanded, but the command had no receiver;
+    // the process never saw a signal and finished where it was.
+    assert!(dep.hooks.commands_sent() >= 1, "registry did try");
+    assert_eq!(hpcm.migration_count(), 0);
+    let done = hpcm.completion_of("test_tree").expect("finished");
+    assert_eq!(done.host, HostId(1));
+}
+
+#[test]
+fn dead_monitor_makes_host_invisible_but_its_commander_still_works() {
+    // ws2's monitor dies; ws2 stops being offered as a destination but the
+    // rescheduler still migrates to ws3.
+    let mut sim = cluster(4);
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2), HostId(3)],
+        DeployConfig {
+            overload_confirm: SimDuration::from_secs(40),
+            ..DeployConfig::default()
+        },
+    );
+    let app = TestTree::new(tree());
+    dep.schemas.put(MigratableApp::schema(&app));
+    let hpcm = HpcmHooks::new();
+    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    sim.run_until(t(30.0));
+    kill(&mut sim, dep.monitors[1]);
+    sim.run_until(t(90.0)); // lease (35 s) expires for ws2
+    for _ in 0..2 {
+        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+    }
+    sim.run_until(t(3000.0));
+    let m = hpcm.last_migration().expect("migrated");
+    assert_eq!(m.to, HostId(3));
+}
+
+#[test]
+fn command_for_an_already_dead_pid_is_harmless() {
+    let mut sim = cluster(3);
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2)],
+        DeployConfig {
+            overload_confirm: SimDuration::from_secs(40),
+            ..DeployConfig::default()
+        },
+    );
+    // A short app that exits right around the decision point plus a long
+    // spinner keeping the host overloaded.
+    let app = TestTree::new(TestTreeConfig {
+        trees: 2,
+        levels: 12,
+        node_cost_build: 3e-3,
+        node_cost_sort: 4e-3,
+        node_cost_sum: 2e-3,
+        chunk_nodes: 1024,
+        rss_kb: 8_192,
+        seed: 5,
+    });
+    dep.schemas.put(MigratableApp::schema(&app));
+    let hpcm = HpcmHooks::new();
+    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    for _ in 0..2 {
+        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+    }
+    // Run long enough that heartbeats can still name the app while it is
+    // exiting; any command that races the exit must be dropped cleanly.
+    sim.run_until(t(2000.0));
+    assert!(hpcm.completion_of("test_tree").is_some());
+    // No migration of a dead process may ever be recorded as completed
+    // without a resume.
+    for m in hpcm.0.borrow().migrations.iter() {
+        assert!(m.resumed_at.is_some(), "half-migrations must not linger");
+    }
+}
+
+#[test]
+fn destination_killed_mid_restore_loses_only_that_process() {
+    // Harness-commanded migration whose destination process is killed
+    // before restoring: the source has already exited (state shipped), the
+    // application is lost, but the simulation and the other entities are
+    // unaffected. This documents the paper's (and HPCM's) fault model: the
+    // migration itself is not transactional.
+    let mut sim = cluster(3);
+    let hpcm = HpcmHooks::new();
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        TestTree::new(tree()),
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
+    sim.run_until(t(10.0));
+    sim.kernel_mut().hosts[1].write_file(ars_hpcm::dest_file_path(pid), "ws2:7801");
+    sim.signal(pid, ars_hpcm::MIGRATE_SIGNAL);
+    sim.run_until(t(11.0)); // poll-point hit, destination spawned
+    let m = hpcm.last_migration().expect("in flight");
+    kill(&mut sim, m.pid_new);
+    sim.run_until(t(2000.0));
+    assert!(!sim.is_alive(pid), "source exited");
+    assert!(!sim.is_alive(m.pid_new), "destination dead");
+    assert!(hpcm.completion_of("test_tree").is_none(), "process lost");
+    // The cluster itself is still healthy: a fresh app runs fine.
+    let hpcm2 = HpcmHooks::new();
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(2),
+        TestTree::new(TestTreeConfig::small()),
+        HpcmConfig::default(),
+        None,
+        hpcm2.clone(),
+    );
+    sim.run_until(t(2300.0));
+    assert!(hpcm2.completion_of("test_tree").is_some());
+}
+
+#[test]
+fn adaptive_window_learns_from_transient_bursts() {
+    use ars_apps::CpuHog;
+    use ars_rescheduler::AdaptiveConfig;
+    let mut sim = cluster(3);
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2)],
+        DeployConfig {
+            overload_confirm: SimDuration::from_secs(15),
+            adaptive: Some(AdaptiveConfig {
+                // The bursts in this test clear ~40 s after confirmation.
+                transient_within: SimDuration::from_secs(60),
+                ..AdaptiveConfig::default()
+            }),
+            ..DeployConfig::default()
+        },
+    );
+    // A long-lived migratable app so heartbeats carry processes.
+    let mut cfg = tree();
+    cfg.trees = 32;
+    let app = TestTree::new(cfg);
+    dep.schemas.put(MigratableApp::schema(&app));
+    let hpcm = HpcmHooks::new();
+    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+
+    // Repeated short bursts that clear soon after confirmation.
+    for round in 0..6u64 {
+        sim.run_until(t(200.0 + 300.0 * round as f64));
+        for _ in 0..2 {
+            sim.spawn(HostId(1), Box::new(CpuHog::new(30.0)), SpawnOpts::named("burst"));
+        }
+    }
+    sim.run_until(t(2200.0));
+
+    let monitor = sim
+        .program_mut(dep.monitors[0])
+        .expect("monitor alive")
+        .as_any()
+        .downcast_mut::<ars_rescheduler::Monitor>()
+        .unwrap();
+    let window = monitor.confirm_window();
+    assert!(
+        window > SimDuration::from_secs(15),
+        "window grew from 15 s to {window} after transient episodes"
+    );
+    let adaptive = monitor.adaptive.as_ref().unwrap();
+    assert!(adaptive.transients_seen >= 1);
+}

@@ -1,0 +1,125 @@
+//! The rescheduler protocol over real localhost TCP sockets.
+
+use ars_rescheduler::live::{LiveClient, LiveRegistry};
+use ars_xmlwire::{EntityRole, HostState, HostStatic, Message, Metrics, ResourceRequirements};
+
+fn statics(name: &str) -> HostStatic {
+    HostStatic {
+        name: name.to_string(),
+        ip: "127.0.0.1".to_string(),
+        os: "linux".to_string(),
+        cpu_speed: 1.0,
+        n_cpus: 1,
+        mem_kb: 131_072,
+    }
+}
+
+fn register(client: &mut LiveClient, name: &str) {
+    let reply = client
+        .call(&Message::Register {
+            host: statics(name),
+            role: EntityRole::Monitor,
+        })
+        .expect("register");
+    assert!(matches!(reply, Message::Ack { ok: true, .. }));
+}
+
+fn heartbeat(client: &mut LiveClient, name: &str, state: HostState) {
+    let mut metrics = Metrics::new();
+    metrics.set("loadAvg1", if state == HostState::Free { 0.2 } else { 2.5 });
+    let reply = client
+        .call(&Message::Heartbeat {
+            host: name.to_string(),
+            state,
+            metrics,
+            procs: vec![],
+        })
+        .expect("heartbeat");
+    assert!(matches!(reply, Message::Ack { ok: true, .. }));
+}
+
+#[test]
+fn live_registry_serves_first_fit_over_tcp() {
+    let registry = LiveRegistry::start().expect("bind");
+    let addr = registry.addr();
+
+    // Three monitors connect from "hosts" a, b, c.
+    let mut a = LiveClient::connect(addr).unwrap();
+    let mut b = LiveClient::connect(addr).unwrap();
+    let mut c = LiveClient::connect(addr).unwrap();
+    register(&mut a, "a");
+    register(&mut b, "b");
+    register(&mut c, "c");
+
+    heartbeat(&mut a, "a", HostState::Overloaded);
+    heartbeat(&mut b, "b", HostState::Busy);
+    heartbeat(&mut c, "c", HostState::Free);
+
+    // Overloaded host a asks for a candidate: first fit must skip busy b.
+    let reply = a
+        .call(&Message::CandidateRequest {
+            host: "a".to_string(),
+            requirements: ResourceRequirements::default(),
+        })
+        .unwrap();
+    assert_eq!(
+        reply,
+        Message::CandidateReply {
+            dest: Some("c".to_string())
+        }
+    );
+
+    // Table state is observable.
+    {
+        let table = registry.table();
+        let t = table.lock();
+        assert_eq!(t.order, vec!["a", "b", "c"]);
+        assert_eq!(t.entries["a"].state, HostState::Overloaded);
+        assert_eq!(t.decisions.len(), 1);
+    }
+
+    // Once c becomes busy too, no candidate exists.
+    heartbeat(&mut c, "c", HostState::Busy);
+    let reply = a
+        .call(&Message::CandidateRequest {
+            host: "a".to_string(),
+            requirements: ResourceRequirements::default(),
+        })
+        .unwrap();
+    assert_eq!(reply, Message::CandidateReply { dest: None });
+
+    registry.shutdown();
+}
+
+#[test]
+fn heartbeat_before_registration_is_rejected() {
+    let registry = LiveRegistry::start().expect("bind");
+    let mut x = LiveClient::connect(registry.addr()).unwrap();
+    let reply = x
+        .call(&Message::Heartbeat {
+            host: "ghost".to_string(),
+            state: HostState::Free,
+            metrics: Metrics::new(),
+            procs: vec![],
+        })
+        .unwrap();
+    assert!(matches!(reply, Message::Ack { ok: false, .. }));
+    registry.shutdown();
+}
+
+#[test]
+fn a_host_never_picks_itself() {
+    let registry = LiveRegistry::start().expect("bind");
+    let mut a = LiveClient::connect(registry.addr()).unwrap();
+    register(&mut a, "a");
+    heartbeat(&mut a, "a", HostState::Free);
+    // a is the only (free) host; it must not be offered to itself.
+    let reply = a
+        .call(&Message::CandidateRequest {
+            host: "a".to_string(),
+            requirements: ResourceRequirements::default(),
+        })
+        .unwrap();
+    assert_eq!(reply, Message::CandidateReply { dest: None });
+    registry.shutdown();
+}

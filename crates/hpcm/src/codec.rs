@@ -1,0 +1,293 @@
+//! Binary state codec for process checkpoints.
+//!
+//! HPCM's "data collection and restoration" serializes a process's live data
+//! into a machine-independent stream. This module is the stream format: a
+//! tiny length-prefixed little-endian codec with just the primitives the
+//! workloads need. Hand-rolled (rather than pulling a serde backend) so the
+//! byte counts the migration experiments measure are explicit and stable.
+
+/// Writes a checkpoint stream.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// Fresh empty stream.
+    pub fn new() -> Self {
+        StateWriter { buf: Vec::new() }
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a u8.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Write a u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write a u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write an f64.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Write a bool.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(v as u8)
+    }
+
+    /// Write length-prefixed bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Write a length-prefixed slice of f64.
+    pub fn f64s(&mut self, v: &[f64]) -> &mut Self {
+        self.u64(v.len() as u64);
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+        self
+    }
+
+    /// Write a length-prefixed slice of u64.
+    pub fn u64s(&mut self, v: &[u64]) -> &mut Self {
+        self.u64(v.len() as u64);
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+        self
+    }
+}
+
+/// Decode error: ran past the end of the stream or hit malformed data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Offset at which decoding failed.
+    pub at: usize,
+    /// What was being decoded.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint decode error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Reads a checkpoint stream.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Read from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        StateReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        // Checked arithmetic: a corrupt length field must error, not wrap.
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CodecError { at: self.pos, what })?;
+        if end > self.buf.len() {
+            return Err(CodecError { at: self.pos, what });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read a u8.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Read an f64.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().unwrap()))
+    }
+
+    /// Read a bool.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Read length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.u64()? as usize;
+        self.take(n, "bytes body")
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| CodecError {
+            at: self.pos,
+            what: "utf-8 string",
+        })
+    }
+
+    /// Read a length-prefixed slice of f64.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.u64()? as usize;
+        let len = n.checked_mul(8).ok_or(CodecError {
+            at: self.pos,
+            what: "f64s length",
+        })?;
+        let raw = self.take(len, "f64s body")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Read a length-prefixed slice of u64.
+    pub fn u64s(&mut self) -> Result<Vec<u64>, CodecError> {
+        let n = self.u64()? as usize;
+        let len = n.checked_mul(8).ok_or(CodecError {
+            at: self.pos,
+            what: "u64s length",
+        })?;
+        let raw = self.take(len, "u64s body")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = StateWriter::new();
+        w.u8(7)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX)
+            .f64(-2.5)
+            .bool(true)
+            .str("test_tree")
+            .bytes(&[1, 2, 3])
+            .f64s(&[1.0, 2.0])
+            .u64s(&[9, 8, 7]);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap(), -2.5);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "test_tree");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.f64s().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(r.u64s().unwrap(), vec![9, 8, 7]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut w = StateWriter::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes[..4]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn bogus_length_errors() {
+        let mut w = StateWriter::new();
+        w.u64(1_000_000); // claims a megabyte follows
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        let mut w = StateWriter::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn overflowing_length_field_errors_cleanly() {
+        // A length field claiming usize::MAX elements must not wrap.
+        let mut w = StateWriter::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(StateReader::new(&bytes).f64s().is_err());
+        assert!(StateReader::new(&bytes).u64s().is_err());
+        assert!(StateReader::new(&bytes).bytes().is_err());
+    }
+
+    #[test]
+    fn empty_collections() {
+        let mut w = StateWriter::new();
+        w.f64s(&[]).u64s(&[]).bytes(&[]).str("");
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert!(r.f64s().unwrap().is_empty());
+        assert!(r.u64s().unwrap().is_empty());
+        assert!(r.bytes().unwrap().is_empty());
+        assert_eq!(r.str().unwrap(), "");
+    }
+}

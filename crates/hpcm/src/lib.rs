@@ -1,0 +1,26 @@
+//! # ars-hpcm — heterogeneous process-migration middleware
+//!
+//! A faithful stand-in for the HPCM middleware the paper builds on: a
+//! pre-compiler would insert poll-points into a legacy C/Fortran program;
+//! here an application implements [`MigratableApp`] and the op boundaries
+//! of the simulator *are* the poll-points.
+//!
+//! * [`codec`] — the binary checkpoint stream ("data collection and
+//!   restoration for heterogeneous process migration");
+//! * [`state`] — the `MigratableApp` trait, configuration (DPM init cost,
+//!   pre-initialization, restore rates) and the shared migration log;
+//! * [`shell`] — [`HpcmShell`], the wrapper process implementing the
+//!   migration protocol over MPI-2 dynamic process management.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod shell;
+pub mod state;
+
+pub use codec::{CodecError, StateReader, StateWriter};
+pub use shell::HpcmShell;
+pub use state::{
+    dest_file_path, AppStatus, CompletionRecord, HpcmConfig, HpcmHooks, HpcmLog, MigratableApp,
+    MigrationRecord, SavedState, MIGRATE_SIGNAL, TAG_HPCM_EAGER, TAG_HPCM_LAZY,
+};

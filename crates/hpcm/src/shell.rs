@@ -1,0 +1,367 @@
+//! The HPCM migration shell.
+//!
+//! [`HpcmShell`] wraps a [`MigratableApp`] as a kernel [`Program`] and
+//! implements the paper's migration protocol:
+//!
+//! 1. the commander posts the user-defined signal and writes the
+//!    destination into a temp file ([`dest_file_path`]);
+//! 2. at the application's next poll-point the shell reads the destination,
+//!    dynamically creates the *initialized process* there (a restoring
+//!    shell, paying the LAM dynamic-process-management cost unless
+//!    pre-initialized);
+//! 3. the execution + memory state is captured ([`MigratableApp::save`])
+//!    and transferred: the eager part first, the bulk remainder streamed
+//!    lazily;
+//! 4. communication state is transferred: the task's pid binding is
+//!    re-pointed, a kernel forwarding entry reroutes in-flight messages,
+//!    and queued mailbox messages are re-sent to the new pid;
+//! 5. the destination restores, resumes the application *before the lazy
+//!    stream finishes*, and records the timeline in the shared log.
+
+use crate::state::{
+    dest_file_path, AppStatus, CompletionRecord, HpcmConfig, HpcmHooks, MigratableApp,
+    MigrationRecord, SavedState, MIGRATE_SIGNAL, TAG_HPCM_EAGER, TAG_HPCM_LAZY,
+};
+use ars_mpisim::Mpi;
+use ars_sim::{Ctx, Payload, Pid, Program, RecvFilter, SpawnOpts, TraceKind, Wake};
+use ars_simcore::SimDuration;
+
+enum Mode<A> {
+    /// Driving the application.
+    Running { app: A },
+    /// Source side: eager and lazy sends queued; counting completions.
+    SourceSending {
+        /// The source keeps its (already captured) state until it exits.
+        _app: A,
+        child: Pid,
+        sends_left: u8,
+    },
+    /// Destination side: waiting for the DPM init sleep / eager state.
+    Restoring { waited_init: bool },
+    /// Destination side: paying the restoration cost.
+    RestoreCompute { app: Option<A> },
+    /// Terminal.
+    Done,
+}
+
+/// Migration-enabled process wrapper (see module docs).
+pub struct HpcmShell<A: MigratableApp> {
+    mode: Mode<A>,
+    cfg: HpcmConfig,
+    mpi: Option<Mpi>,
+    hooks: HpcmHooks,
+    /// Lazy remainder not yet confirmed received (destination side).
+    pending_lazy: bool,
+}
+
+impl<A: MigratableApp> HpcmShell<A> {
+    /// Wrap a fresh application.
+    pub fn launch(app: A, cfg: HpcmConfig, mpi: Option<Mpi>, hooks: HpcmHooks) -> Self {
+        HpcmShell {
+            mode: Mode::Running { app },
+            cfg,
+            mpi,
+            hooks,
+            pending_lazy: false,
+        }
+    }
+
+    /// The restoring (destination) side, created by the source's shell.
+    fn restoring(cfg: HpcmConfig, mpi: Option<Mpi>, hooks: HpcmHooks) -> Self {
+        HpcmShell {
+            mode: Mode::Restoring { waited_init: false },
+            cfg,
+            mpi,
+            hooks,
+            pending_lazy: true,
+        }
+    }
+
+    /// Spawn options matching an app's schema.
+    fn spawn_opts(app: &A) -> SpawnOpts {
+        let schema = app.schema();
+        SpawnOpts::named(app.app_name())
+            .migratable()
+            .with_mem(schema.requirements.mem_kb, schema.requirements.mem_kb)
+    }
+
+    /// Spawn a wrapped app on a host (convenience for harnesses).
+    pub fn spawn_on(
+        sim: &mut ars_sim::Sim,
+        host: ars_sim::HostId,
+        app: A,
+        cfg: HpcmConfig,
+        mpi: Option<Mpi>,
+        hooks: HpcmHooks,
+    ) -> Pid {
+        let opts = Self::spawn_opts(&app);
+        let mpi_handle = mpi.clone();
+        let pid = sim.spawn(host, Box::new(Self::launch(app, cfg, mpi, hooks)), opts);
+        if let Some(m) = mpi_handle {
+            // Register the task identity at launch (MPI_Init).
+            if m.task_of(pid).is_none() {
+                m.bind_new_task(pid);
+            }
+        }
+        pid
+    }
+
+    fn drive_app(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        let Mode::Running { app } = &mut self.mode else {
+            return;
+        };
+        let status = app.step(ctx, wake);
+        match status {
+            AppStatus::Finished => {
+                self.hooks.0.borrow_mut().completions.push(CompletionRecord {
+                    app: app.app_name(),
+                    pid: ctx.pid(),
+                    host: ctx.host_id(),
+                    finished_at: ctx.now(),
+                    work_done: app.progress(),
+                    digest: app.result_digest(),
+                });
+                ctx.trace(
+                    TraceKind::Custom,
+                    format!("{} finished on h{}", app.app_name(), ctx.host_id().0),
+                );
+                self.mode = Mode::Done;
+                ctx.exit();
+            }
+            AppStatus::Running => {
+                // Poll-point: act on a pending migration signal.
+                if ctx.has_signal() && app.migration_safe() {
+                    let sig = ctx.take_signal().expect("signal present");
+                    if sig == MIGRATE_SIGNAL {
+                        self.begin_migration(ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn begin_migration(&mut self, ctx: &mut Ctx<'_>) {
+        let Mode::Running { app } = std::mem::replace(&mut self.mode, Mode::Done) else {
+            return;
+        };
+        let dest_name = match ctx.read_file(&dest_file_path(ctx.pid())) {
+            Some(d) => d,
+            None => {
+                // No destination written: spurious signal; keep running.
+                ctx.trace(TraceKind::Migration, "signal without destination file");
+                self.mode = Mode::Running { app };
+                return;
+            }
+        };
+        let dest_host = dest_name.split(':').next().unwrap_or(&dest_name);
+        let Some(dest) = ctx.host_id_by_name(dest_host) else {
+            ctx.trace(
+                TraceKind::Migration,
+                format!("unknown destination {dest_host:?}"),
+            );
+            self.mode = Mode::Running { app };
+            return;
+        };
+        ctx.remove_file(&dest_file_path(ctx.pid()));
+
+        // Roll back to this poll-point: drop ops the app just queued.
+        ctx.clear_pending_ops();
+        let me = ctx.pid();
+
+        // Capture execution + memory state.
+        let SavedState { eager, lazy_bytes } = app.save();
+        let eager_bytes = eager.len() as u64;
+
+        // Dynamically create the initialized process on the destination.
+        let child = ctx.spawn(
+            dest,
+            Box::new(Self::restoring(
+                self.cfg.clone(),
+                self.mpi.clone(),
+                self.hooks.clone(),
+            )),
+            Self::spawn_opts(&app),
+        );
+        // Communication-state transfer starts now: the task identity points
+        // at the destination immediately (the restored process may resume —
+        // and be addressed — before the lazy stream completes), while
+        // messages already in flight to the old pid are forwarded when the
+        // source winds down.
+        if let Some(mpi) = &self.mpi {
+            if let Some(task) = mpi.task_of(me) {
+                let _ = mpi.rebind(task, child);
+            }
+        }
+        ctx.trace(
+            TraceKind::Migration,
+            format!(
+                "pollpoint: {} h{} -> h{} ({} eager + {} lazy bytes)",
+                app.app_name(),
+                ctx.host_id().0,
+                dest.0,
+                eager_bytes,
+                lazy_bytes
+            ),
+        );
+
+        // Transfer the state: eager first, bulk remainder streamed after.
+        ctx.send(child, TAG_HPCM_EAGER, Payload::Bytes(eager));
+        let mut sends_left = 1;
+        if lazy_bytes > 0 {
+            ctx.send_sized(child, TAG_HPCM_LAZY, Payload::Empty, lazy_bytes);
+            sends_left += 1;
+        }
+
+        // Publish the record now: the destination resumes (and stamps its
+        // phases) before the lazy stream leaves the source.
+        self.hooks.0.borrow_mut().migrations.push(MigrationRecord {
+            pid_old: ctx.pid(),
+            pid_new: child,
+            from: ctx.host_id(),
+            to: dest,
+            app: app.app_name(),
+            pollpoint_at: ctx.now(),
+            spawned_at: ctx.now(),
+            eager_sent_at: ctx.now(), // updated when the send completes
+            resumed_at: None,
+            lazy_done_at: None,
+            eager_bytes,
+            lazy_bytes,
+        });
+        self.mode = Mode::SourceSending {
+            _app: app,
+            child,
+            sends_left,
+        };
+    }
+
+    fn finish_source(&mut self, ctx: &mut Ctx<'_>) {
+        let Mode::SourceSending { child, .. } = std::mem::replace(&mut self.mode, Mode::Done)
+        else {
+            return;
+        };
+        // Finish communication-state transfer: re-route in-flight
+        // messages and re-send anything already queued here.
+        ctx.set_forwarding(ctx.pid(), child);
+        for env in ctx.drain_mailbox() {
+            ctx.forward_envelope(env, child);
+        }
+        ctx.trace(TraceKind::Migration, "source state sent; exiting");
+        ctx.exit();
+    }
+}
+
+impl<A: MigratableApp> Program for HpcmShell<A> {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match &mut self.mode {
+            Mode::Running { .. } => {
+                // The lazy tail of our own inbound migration may still be
+                // streaming; its arrival is a protocol message, not an
+                // application one. It may come in as a wake (if we were
+                // passive) or sit in the mailbox (if we were computing) —
+                // check both at every poll-point.
+                if self.pending_lazy {
+                    let direct = matches!(&wake, Wake::Received(env) if env.tag == TAG_HPCM_LAZY);
+                    let queued = !direct
+                        && ctx.take_message(RecvFilter::tag(TAG_HPCM_LAZY)).is_some();
+                    if direct || queued {
+                        self.pending_lazy = false;
+                        let now = ctx.now();
+                        let mut log = self.hooks.0.borrow_mut();
+                        if let Some(m) = log
+                            .migrations
+                            .iter_mut()
+                            .rev()
+                            .find(|m| m.pid_new == ctx.pid())
+                        {
+                            m.lazy_done_at = Some(now);
+                        }
+                        drop(log);
+                        ctx.trace(TraceKind::Migration, "lazy state fully received");
+                        if direct {
+                            return;
+                        }
+                    }
+                }
+                self.drive_app(ctx, wake);
+            }
+            Mode::SourceSending { sends_left, .. } => {
+                if let Wake::OpDone = wake {
+                    *sends_left -= 1;
+                    let me = ctx.pid();
+                    let now = ctx.now();
+                    {
+                        let mut log = self.hooks.0.borrow_mut();
+                        if let Some(m) = log
+                            .migrations
+                            .iter_mut()
+                            .rev()
+                            .find(|m| m.pid_old == me)
+                        {
+                            if m.eager_sent_at == m.pollpoint_at {
+                                m.eager_sent_at = now;
+                            }
+                        }
+                    }
+                    if *sends_left == 0 {
+                        self.finish_source(ctx);
+                    }
+                }
+            }
+            Mode::Restoring { waited_init } => match wake {
+                Wake::Started => {
+                    if self.cfg.pre_initialized || self.cfg.dpm_init_cost.is_zero() {
+                        *waited_init = true;
+                        ctx.recv(RecvFilter::tag(TAG_HPCM_EAGER));
+                    } else {
+                        ctx.sleep(self.cfg.dpm_init_cost);
+                    }
+                }
+                Wake::OpDone if !*waited_init => {
+                    *waited_init = true;
+                    ctx.recv(RecvFilter::tag(TAG_HPCM_EAGER));
+                }
+                Wake::Received(env) if env.tag == TAG_HPCM_EAGER => {
+                    let bytes = env.payload.as_bytes().unwrap_or_default();
+                    let app = A::restore(bytes, self.mpi.as_ref());
+                    let restore_work = self.cfg.restore_fixed
+                        + SimDuration::from_secs_f64(bytes.len() as f64 / self.cfg.restore_rate);
+                    ctx.trace(
+                        TraceKind::Migration,
+                        format!("restoring {} ({} bytes)", app.app_name(), bytes.len()),
+                    );
+                    // Restoration burns CPU on the destination.
+                    ctx.compute(restore_work.as_secs_f64());
+                    self.mode = Mode::RestoreCompute { app: Some(app) };
+                }
+                _ => {}
+            },
+            Mode::RestoreCompute { app } => {
+                if let Wake::OpDone = wake {
+                    let app = app.take().expect("app restored");
+                    let now = ctx.now();
+                    {
+                        let mut log = self.hooks.0.borrow_mut();
+                        if let Some(m) = log
+                            .migrations
+                            .iter_mut()
+                            .rev()
+                            .find(|m| m.pid_new == ctx.pid())
+                        {
+                            m.resumed_at = Some(now);
+                        }
+                    }
+                    ctx.trace(TraceKind::Migration, "destination resumed execution");
+                    self.mode = Mode::Running { app };
+                    // Resume: the app re-issues ops for its current phase.
+                    self.drive_app(ctx, Wake::Started);
+                }
+            }
+            Mode::Done => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

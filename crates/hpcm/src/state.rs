@@ -1,0 +1,243 @@
+//! Migratable applications, configuration and migration records.
+
+use ars_sim::{Ctx, HostId, Pid, Wake};
+use ars_simcore::{SimDuration, SimTime};
+use ars_xmlwire::ApplicationSchema;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The user-defined signal the commander posts to start a migration
+/// (the paper binds a user-defined UNIX signal).
+pub const MIGRATE_SIGNAL: u32 = 30;
+
+/// Message tag carrying the eager checkpoint.
+pub const TAG_HPCM_EAGER: u32 = 0xE0E0;
+/// Message tag carrying the lazily streamed remainder of the state.
+pub const TAG_HPCM_LAZY: u32 = 0xE0E1;
+
+/// Host-file path the commander writes the destination into for `pid`.
+pub fn dest_file_path(pid: Pid) -> String {
+    format!("/tmp/hpcm/dest-{}", pid.0)
+}
+
+/// What an application's `step` reports back to the shell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppStatus {
+    /// More work queued; the shell keeps driving.
+    Running,
+    /// The application completed; the shell records and exits.
+    Finished,
+}
+
+/// A checkpoint split into the part needed to resume and the modeled bulk
+/// remainder (streamed lazily while the restored process already runs —
+/// "the process resumes execution at the destination before the migration
+/// ends", §5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedState {
+    /// Execution state + live data required to resume, as real bytes.
+    pub eager: Vec<u8>,
+    /// Remaining memory image, modeled by size only.
+    pub lazy_bytes: u64,
+}
+
+/// An application that HPCM can migrate.
+///
+/// The shell drives `step` with kernel wakes; every return from `step` is a
+/// *poll-point*: the shell may decide to capture the state (via [`save`])
+/// and move the process. After restoration on the destination, `step` is
+/// called with [`Wake::Started`] again and must re-issue the ops for the
+/// current phase (any work since the last poll-point is re-executed —
+/// exactly the paper's poll-point semantics).
+///
+/// [`save`]: MigratableApp::save
+pub trait MigratableApp: 'static {
+    /// Application name (matches the process table and schema).
+    fn app_name(&self) -> String;
+
+    /// The application schema shipped to the registry and destination.
+    fn schema(&self) -> ApplicationSchema;
+
+    /// Advance the application state machine.
+    fn step(&mut self, ctx: &mut Ctx<'_>, wake: Wake) -> AppStatus;
+
+    /// Capture state at a poll-point.
+    fn save(&self) -> SavedState;
+
+    /// Rebuild from the eager checkpoint on the destination. MPI
+    /// applications receive the shared [`Mpi`](ars_mpisim::Mpi) world to
+    /// re-attach their communicators (identifiers inside the checkpoint
+    /// stay valid because task identities survive migration).
+    fn restore(eager: &[u8], mpi: Option<&ars_mpisim::Mpi>) -> Self
+    where
+        Self: Sized;
+
+    /// True when the current poll-point is safe for migration (default:
+    /// always). Applications blocked mid-collective return false to defer.
+    fn migration_safe(&self) -> bool {
+        true
+    }
+
+    /// Application-defined progress measure (e.g. CPU-seconds of work
+    /// completed), carried into the completion record. Survives migration
+    /// because it is part of the saved state.
+    fn progress(&self) -> f64 {
+        0.0
+    }
+
+    /// Application-defined result digest (e.g. a checksum of the computed
+    /// answer), carried into the completion record so harnesses can verify
+    /// that migration did not corrupt the computation.
+    fn result_digest(&self) -> u64 {
+        0
+    }
+}
+
+/// HPCM tuning knobs.
+#[derive(Debug, Clone)]
+pub struct HpcmConfig {
+    /// Cost of LAM/MPI dynamic process creation on the destination
+    /// (the paper measures ~0.3 s; `pre_initialized` skips it).
+    pub dpm_init_cost: SimDuration,
+    /// Destination processes were created ahead of time ("we can also
+    /// choose to improve this performance by pre-initializing the processes
+    /// on the candidate destination machines").
+    pub pre_initialized: bool,
+    /// Fixed restoration overhead before the restored process resumes.
+    pub restore_fixed: SimDuration,
+    /// Restoration throughput for the eager checkpoint, bytes/second.
+    pub restore_rate: f64,
+}
+
+impl Default for HpcmConfig {
+    fn default() -> Self {
+        HpcmConfig {
+            dpm_init_cost: SimDuration::from_millis(300),
+            pre_initialized: false,
+            restore_fixed: SimDuration::from_millis(350),
+            restore_rate: 50_000_000.0,
+        }
+    }
+}
+
+/// Timeline of one completed migration (§5.2's phases).
+#[derive(Debug, Clone)]
+pub struct MigrationRecord {
+    /// Pid on the source.
+    pub pid_old: Pid,
+    /// Pid on the destination.
+    pub pid_new: Pid,
+    /// Source host.
+    pub from: HostId,
+    /// Destination host.
+    pub to: HostId,
+    /// Application name.
+    pub app: String,
+    /// When the migration signal was observed (poll-point reached).
+    pub pollpoint_at: SimTime,
+    /// When the initialized process was spawned on the destination.
+    pub spawned_at: SimTime,
+    /// When the eager checkpoint had fully left the source.
+    pub eager_sent_at: SimTime,
+    /// When the destination resumed executing the application.
+    pub resumed_at: Option<SimTime>,
+    /// When the lazy remainder finished arriving (migration complete).
+    pub lazy_done_at: Option<SimTime>,
+    /// Eager checkpoint size, bytes.
+    pub eager_bytes: u64,
+    /// Lazy remainder size, bytes.
+    pub lazy_bytes: u64,
+}
+
+/// Completion record of a migratable application.
+#[derive(Debug, Clone)]
+pub struct CompletionRecord {
+    /// Application name.
+    pub app: String,
+    /// Final pid.
+    pub pid: Pid,
+    /// Host it finished on.
+    pub host: HostId,
+    /// When it finished.
+    pub finished_at: SimTime,
+    /// The application's own progress measure at completion
+    /// ([`MigratableApp::progress`]).
+    pub work_done: f64,
+    /// The application's result digest ([`MigratableApp::result_digest`]).
+    pub digest: u64,
+}
+
+/// Shared event log the experiment harness reads.
+#[derive(Debug, Default)]
+pub struct HpcmLog {
+    /// Completed (or in-flight, with `resumed_at == None`) migrations.
+    pub migrations: Vec<MigrationRecord>,
+    /// Application completions.
+    pub completions: Vec<CompletionRecord>,
+}
+
+/// Cheap handle to the shared log.
+#[derive(Clone, Default)]
+pub struct HpcmHooks(pub Rc<RefCell<HpcmLog>>);
+
+impl HpcmHooks {
+    /// Fresh empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recent migration record, if any.
+    pub fn last_migration(&self) -> Option<MigrationRecord> {
+        self.0.borrow().migrations.last().cloned()
+    }
+
+    /// Number of migrations recorded.
+    pub fn migration_count(&self) -> usize {
+        self.0.borrow().migrations.len()
+    }
+
+    /// Completion record of the named app, if finished.
+    pub fn completion_of(&self, app: &str) -> Option<CompletionRecord> {
+        self.0
+            .borrow()
+            .completions
+            .iter()
+            .find(|c| c.app == app)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_file_paths_are_per_pid() {
+        assert_eq!(dest_file_path(Pid(3)), "/tmp/hpcm/dest-3");
+        assert_ne!(dest_file_path(Pid(1)), dest_file_path(Pid(2)));
+    }
+
+    #[test]
+    fn default_config_matches_paper_costs() {
+        let c = HpcmConfig::default();
+        assert_eq!(c.dpm_init_cost, SimDuration::from_millis(300));
+        assert!(!c.pre_initialized);
+    }
+
+    #[test]
+    fn hooks_are_shared() {
+        let hooks = HpcmHooks::new();
+        let clone = hooks.clone();
+        clone.0.borrow_mut().completions.push(CompletionRecord {
+            app: "x".to_string(),
+            pid: Pid(1),
+            host: HostId(0),
+            finished_at: SimTime::ZERO,
+            work_done: 1.0,
+            digest: 0,
+        });
+        assert!(hooks.completion_of("x").is_some());
+        assert!(hooks.completion_of("y").is_none());
+        assert_eq!(hooks.migration_count(), 0);
+    }
+}

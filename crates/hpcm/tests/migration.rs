@@ -1,0 +1,311 @@
+//! End-to-end migration tests: a chunked compute application wrapped in the
+//! HPCM shell moves between hosts under commander-style signals.
+
+use ars_hpcm::{
+    dest_file_path, AppStatus, HpcmConfig, HpcmHooks, HpcmShell, MigratableApp, SavedState,
+    StateReader, StateWriter, MIGRATE_SIGNAL,
+};
+use ars_sim::{Ctx, HostId, Pid, Sim, SimConfig, Wake};
+use ars_simcore::{SimDuration, SimTime};
+use ars_simhost::HostConfig;
+use ars_xmlwire::ApplicationSchema;
+
+/// A toy migratable app: `total_chunks` compute chunks of `chunk_work`
+/// CPU-seconds each, with a modeled memory image of `mem_bytes`.
+struct Chunks {
+    total_chunks: u32,
+    done: u32,
+    chunk_work: f64,
+    mem_bytes: u64,
+}
+
+impl MigratableApp for Chunks {
+    fn app_name(&self) -> String {
+        "chunks".to_string()
+    }
+
+    fn schema(&self) -> ApplicationSchema {
+        ApplicationSchema::compute("chunks", self.total_chunks as f64 * self.chunk_work)
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>, wake: Wake) -> AppStatus {
+        match wake {
+            Wake::Started => {
+                ctx.compute(self.chunk_work);
+                AppStatus::Running
+            }
+            Wake::OpDone => {
+                self.done += 1;
+                if self.done >= self.total_chunks {
+                    AppStatus::Finished
+                } else {
+                    ctx.compute(self.chunk_work);
+                    AppStatus::Running
+                }
+            }
+            _ => AppStatus::Running,
+        }
+    }
+
+    fn save(&self) -> SavedState {
+        let mut w = StateWriter::new();
+        w.u32(self.total_chunks)
+            .u32(self.done)
+            .f64(self.chunk_work)
+            .u64(self.mem_bytes);
+        SavedState {
+            eager: w.into_bytes(),
+            lazy_bytes: self.mem_bytes,
+        }
+    }
+
+    fn restore(eager: &[u8], _mpi: Option<&ars_mpisim::Mpi>) -> Self {
+        let mut r = StateReader::new(eager);
+        Chunks {
+            total_chunks: r.u32().expect("total"),
+            done: r.u32().expect("done"),
+            chunk_work: r.f64().expect("chunk"),
+            mem_bytes: r.u64().expect("mem"),
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.done as f64 * self.chunk_work
+    }
+}
+
+fn cluster() -> Sim {
+    Sim::new(
+        vec![
+            HostConfig::named("ws1"),
+            HostConfig::named("ws2"),
+            HostConfig::named("ws3"),
+        ],
+        SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        },
+    )
+}
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+/// Act as the commander: write the destination file and post the signal.
+fn command_migration(sim: &mut Sim, pid: Pid, src: HostId, dest_name: &str) {
+    sim.kernel_mut().hosts[src.0 as usize]
+        .write_file(dest_file_path(pid), format!("{dest_name}:7801"));
+    sim.signal(pid, MIGRATE_SIGNAL);
+}
+
+#[test]
+fn app_finishes_without_migration() {
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        Chunks { total_chunks: 10, done: 0, chunk_work: 1.0, mem_bytes: 0 },
+        HpcmConfig::default(),
+        None,
+        hooks.clone(),
+    );
+    sim.run_until(t(60.0));
+    assert!(!sim.is_alive(pid));
+    assert_eq!(sim.exited_at(pid), Some(t(10.0)));
+    let done = hooks.completion_of("chunks").unwrap();
+    assert_eq!(done.host, HostId(0));
+    assert_eq!(done.work_done, 10.0);
+    assert_eq!(hooks.migration_count(), 0);
+}
+
+#[test]
+fn migration_moves_the_computation_and_preserves_progress() {
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        Chunks { total_chunks: 20, done: 0, chunk_work: 1.0, mem_bytes: 4_000_000 },
+        HpcmConfig::default(),
+        None,
+        hooks.clone(),
+    );
+    sim.run_until(t(5.5)); // mid-chunk 6
+    command_migration(&mut sim, pid, HostId(0), "ws2");
+    sim.run_until(t(60.0));
+
+    assert!(!sim.is_alive(pid), "source process exited");
+    let m = hooks.last_migration().expect("one migration");
+    assert_eq!(m.from, HostId(0));
+    assert_eq!(m.to, HostId(1));
+    // Poll-point = end of chunk 6 (t = 6).
+    assert_eq!(m.pollpoint_at, t(6.0));
+    assert!(m.resumed_at.unwrap() > m.pollpoint_at);
+    assert!(m.lazy_done_at.unwrap() >= m.resumed_at.unwrap());
+
+    let done = hooks.completion_of("chunks").unwrap();
+    assert_eq!(done.host, HostId(1), "finished on the destination");
+    assert_eq!(done.work_done, 20.0, "all chunks executed exactly once");
+    // 6 chunks on ws1 + migration + 14 chunks on ws2.
+    let finished = done.finished_at;
+    assert!(finished > t(20.0) && finished < t(23.0), "finished at {finished}");
+}
+
+#[test]
+fn migration_timeline_phases_are_ordered_and_plausible() {
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    // A bigger memory image: 50 MB lazy state takes ~4 s on a 12.5 MB/s NIC.
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        Chunks { total_chunks: 100, done: 0, chunk_work: 1.4, mem_bytes: 50_000_000 },
+        HpcmConfig::default(),
+        None,
+        hooks.clone(),
+    );
+    sim.run_until(t(10.0));
+    command_migration(&mut sim, pid, HostId(0), "ws3");
+    sim.run_until(t(300.0));
+
+    let m = hooks.last_migration().unwrap();
+    // Reached the poll-point within one chunk of the signal.
+    assert!(m.pollpoint_at.since(t(10.0)) <= SimDuration::from_secs_f64(1.4));
+    let resumed = m.resumed_at.unwrap();
+    let lazy_done = m.lazy_done_at.unwrap();
+    // DPM init (0.3 s) + eager transfer + restore: resume within ~1 s.
+    assert!(
+        resumed.since(m.pollpoint_at) < SimDuration::from_secs_f64(1.0),
+        "resume took {}",
+        resumed.since(m.pollpoint_at)
+    );
+    // The process resumes *before* the lazy stream completes (§5.2).
+    assert!(lazy_done > resumed);
+    // Total migration time in the paper's ballpark (several seconds).
+    let total = lazy_done.since(m.pollpoint_at);
+    assert!(
+        total > SimDuration::from_secs_f64(3.0) && total < SimDuration::from_secs_f64(10.0),
+        "total migration {total}"
+    );
+}
+
+#[test]
+fn pre_initialization_skips_the_dpm_cost() {
+    let run = |pre: bool| -> SimDuration {
+        let mut sim = cluster();
+        let hooks = HpcmHooks::new();
+        let pid = HpcmShell::spawn_on(
+            &mut sim,
+            HostId(0),
+            Chunks { total_chunks: 50, done: 0, chunk_work: 1.0, mem_bytes: 1_000_000 },
+            HpcmConfig {
+                pre_initialized: pre,
+                ..HpcmConfig::default()
+            },
+            None,
+            hooks.clone(),
+        );
+        sim.run_until(t(4.5));
+        command_migration(&mut sim, pid, HostId(0), "ws2");
+        sim.run_until(t(120.0));
+        let m = hooks.last_migration().unwrap();
+        m.resumed_at.unwrap().since(m.pollpoint_at)
+    };
+    let cold = run(false);
+    let warm = run(true);
+    assert!(
+        cold.as_secs_f64() - warm.as_secs_f64() > 0.25,
+        "cold {cold} vs warm {warm}"
+    );
+}
+
+#[test]
+fn spurious_signal_without_destination_is_ignored() {
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        Chunks { total_chunks: 10, done: 0, chunk_work: 1.0, mem_bytes: 0 },
+        HpcmConfig::default(),
+        None,
+        hooks.clone(),
+    );
+    sim.run_until(t(3.5));
+    sim.signal(pid, MIGRATE_SIGNAL); // no destination file written
+    sim.run_until(t(60.0));
+    assert_eq!(hooks.migration_count(), 0);
+    assert_eq!(sim.exited_at(pid), Some(t(10.0)));
+    let done = hooks.completion_of("chunks").unwrap();
+    assert_eq!(done.host, HostId(0));
+}
+
+#[test]
+fn double_migration_chains_forwarding() {
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        Chunks { total_chunks: 30, done: 0, chunk_work: 1.0, mem_bytes: 1_000_000 },
+        HpcmConfig::default(),
+        None,
+        hooks.clone(),
+    );
+    sim.run_until(t(4.5));
+    command_migration(&mut sim, pid, HostId(0), "ws2");
+    sim.run_until(t(12.0));
+    let first = hooks.last_migration().unwrap();
+    let pid2 = first.pid_new;
+    assert!(sim.is_alive(pid2));
+    command_migration(&mut sim, pid2, HostId(1), "ws3");
+    sim.run_until(t(120.0));
+
+    assert_eq!(hooks.migration_count(), 2);
+    let done = hooks.completion_of("chunks").unwrap();
+    assert_eq!(done.host, HostId(2), "ended on the third host");
+    assert_eq!(done.work_done, 30.0);
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_app_state() {
+    let app = Chunks { total_chunks: 7, done: 3, chunk_work: 2.5, mem_bytes: 123 };
+    let saved = app.save();
+    let back = Chunks::restore(&saved.eager, None);
+    assert_eq!(back.total_chunks, 7);
+    assert_eq!(back.done, 3);
+    assert_eq!(back.chunk_work, 2.5);
+    assert_eq!(back.mem_bytes, 123);
+    assert_eq!(saved.lazy_bytes, 123);
+}
+
+#[test]
+fn eager_only_migration_has_no_lazy_phase() {
+    // An app whose whole state fits in the eager checkpoint (lazy = 0):
+    // the migration completes with the eager transfer and no lazy record.
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        Chunks { total_chunks: 20, done: 0, chunk_work: 1.0, mem_bytes: 0 },
+        HpcmConfig::default(),
+        None,
+        hooks.clone(),
+    );
+    sim.run_until(t(3.5));
+    command_migration(&mut sim, pid, HostId(0), "ws2");
+    sim.run_until(t(120.0));
+
+    let m = hooks.last_migration().expect("migrated");
+    assert_eq!(m.lazy_bytes, 0);
+    assert!(m.resumed_at.is_some());
+    // No lazy stream ever arrives; the record keeps lazy_done_at = None and
+    // the application still completes correctly on the destination.
+    assert_eq!(m.lazy_done_at, None);
+    let done = hooks.completion_of("chunks").expect("finished");
+    assert_eq!(done.host, HostId(1));
+    assert_eq!(done.work_done, 20.0);
+}

@@ -1,0 +1,768 @@
+//! Collective operations (`MPI_Barrier`, `MPI_Bcast`, `MPI_Reduce`,
+//! `MPI_Allreduce`, `MPI_Gather`, `MPI_Scatter`).
+//!
+//! Collectives are poll-style sub-state-machines: a program creates one,
+//! kicks it with [`step`](Bcast::step)`(…, None)`, forwards every subsequent
+//! [`Wake`] to `step(…, Some(wake))`, and continues when it returns
+//! [`Step::Done`]. Tree collectives use the classic binomial algorithm (the
+//! shape LAM/MPICH use); `Gather`/`Scatter` are linear, which is accurate
+//! enough at the paper's scales and documented as such.
+//!
+//! Data is a `Vec<f64>` (the only datatype the workloads need), reduced
+//! element-wise.
+
+use crate::p2p::{self, encode_f64s};
+use crate::world::{CommId, Mpi, MpiError, Rank};
+use ars_sim::{Ctx, Payload, Wake};
+
+/// Progress of a collective.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step<T> {
+    /// Still exchanging messages; keep forwarding wakes.
+    Pending,
+    /// Finished with this result.
+    Done(T),
+}
+
+/// Element-wise reduction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum.
+    Sum,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+}
+
+impl ReduceOp {
+    fn fold(self, acc: &mut [f64], other: &[f64]) {
+        debug_assert_eq!(acc.len(), other.len(), "reduce length mismatch");
+        for (a, b) in acc.iter_mut().zip(other) {
+            *a = match self {
+                ReduceOp::Sum => *a + b,
+                ReduceOp::Max => a.max(*b),
+                ReduceOp::Min => a.min(*b),
+            };
+        }
+    }
+}
+
+/// Reserved user tags for collective phases.
+mod tags {
+    pub const BCAST: u32 = 2040;
+    pub const REDUCE: u32 = 2041;
+    pub const GATHER: u32 = 2042;
+    pub const SCATTER: u32 = 2043;
+    pub const BARRIER_UP: u32 = 2044;
+    pub const BARRIER_DOWN: u32 = 2045;
+}
+
+/// Binomial-tree neighbourhood of `me` in a communicator of size `n`
+/// rooted at `root`: the parent (None at the root) and the children, in
+/// increasing-mask order.
+fn binomial(n: u32, root: Rank, me: Rank) -> (Option<Rank>, Vec<Rank>) {
+    let vrank = (me.0 + n - root.0) % n;
+    let to_real = |v: u32| Rank((v + root.0) % n);
+    let mut children = Vec::new();
+    let mut mask = 1;
+    let mut parent = None;
+    while mask < n {
+        if vrank & mask != 0 {
+            parent = Some(to_real(vrank - mask));
+            break;
+        }
+        if vrank + mask < n {
+            children.push(to_real(vrank + mask));
+        }
+        mask <<= 1;
+    }
+    (parent, children)
+}
+
+// ---------------------------------------------------------------------------
+// Bcast
+// ---------------------------------------------------------------------------
+
+enum BcastState {
+    Init,
+    WaitRecv,
+    Sending(usize),
+    Done,
+}
+
+/// Binomial broadcast of a `Vec<f64>` from `root`.
+pub struct Bcast {
+    comm: CommId,
+    root: Rank,
+    tag: u32,
+    parent: Option<Rank>,
+    /// Children in send order (largest subtree first, as MPICH sends).
+    children: Vec<Rank>,
+    data: Option<Vec<f64>>,
+    state: BcastState,
+}
+
+impl Bcast {
+    /// Create a broadcast; `data` must be `Some` at the root (and is
+    /// ignored elsewhere). `tag` distinguishes phases when composed.
+    pub fn new(
+        mpi: &Mpi,
+        ctx: &Ctx<'_>,
+        comm: CommId,
+        root: Rank,
+        data: Option<Vec<f64>>,
+        tag: u32,
+    ) -> Result<Bcast, MpiError> {
+        let me = mpi
+            .task_of(ctx.pid())
+            .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
+        let my_rank = mpi.rank_of(comm, me)?;
+        let n = mpi.comm_size(comm)?;
+        let (parent, mut children) = binomial(n, root, my_rank);
+        children.reverse(); // send the largest subtree first
+        Ok(Bcast {
+            comm,
+            root,
+            tag,
+            parent,
+            children,
+            data: if my_rank == root { data } else { None },
+            state: BcastState::Init,
+        })
+    }
+
+    /// A broadcast with the default tag.
+    pub fn start(
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        comm: CommId,
+        root: Rank,
+        data: Option<Vec<f64>>,
+    ) -> Result<(Bcast, Step<Vec<f64>>), MpiError> {
+        let mut b = Bcast::new(mpi, ctx, comm, root, data, tags::BCAST)?;
+        let s = b.step(mpi, ctx, None)?;
+        Ok((b, s))
+    }
+
+    /// Advance the machine (see module docs).
+    pub fn step(
+        &mut self,
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        wake: Option<Wake>,
+    ) -> Result<Step<Vec<f64>>, MpiError> {
+        loop {
+            match self.state {
+                BcastState::Init => {
+                    if let Some(parent) = self.parent {
+                        p2p::recv(mpi, ctx, self.comm, parent, self.tag)?;
+                        self.state = BcastState::WaitRecv;
+                        return Ok(Step::Pending);
+                    }
+                    debug_assert!(self.data.is_some(), "root bcast without data");
+                    self.state = BcastState::Sending(0);
+                }
+                BcastState::WaitRecv => match wake {
+                    Some(Wake::Received(ref env)) => {
+                        self.data = Some(p2p::decode_f64s(
+                            env.payload.as_bytes().unwrap_or_default(),
+                        ));
+                        self.state = BcastState::Sending(0);
+                    }
+                    _ => return Ok(Step::Pending),
+                },
+                BcastState::Sending(i) => {
+                    if let Some(&child) = self.children.get(i) {
+                        let data = self.data.as_ref().expect("data present when sending");
+                        p2p::send(
+                            mpi,
+                            ctx,
+                            self.comm,
+                            child,
+                            self.tag,
+                            Payload::Bytes(encode_f64s(data)),
+                            None,
+                        )?;
+                        self.state = BcastState::Sending(i + 1);
+                        return Ok(Step::Pending);
+                    }
+                    self.state = BcastState::Done;
+                    let _ = self.root;
+                    return Ok(Step::Done(self.data.clone().unwrap_or_default()));
+                }
+                BcastState::Done => {
+                    return Ok(Step::Done(self.data.clone().unwrap_or_default()))
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce
+// ---------------------------------------------------------------------------
+
+enum ReduceState {
+    Init,
+    WaitChild(usize),
+    SendParent,
+    WaitSend,
+    Done,
+}
+
+/// Binomial reduction of a `Vec<f64>` to `root`.
+pub struct Reduce {
+    comm: CommId,
+    tag: u32,
+    op: ReduceOp,
+    parent: Option<Rank>,
+    children: Vec<Rank>,
+    acc: Vec<f64>,
+    state: ReduceState,
+}
+
+impl Reduce {
+    /// Create a reduction carrying this rank's `contribution`.
+    pub fn new(
+        mpi: &Mpi,
+        ctx: &Ctx<'_>,
+        comm: CommId,
+        root: Rank,
+        op: ReduceOp,
+        contribution: Vec<f64>,
+        tag: u32,
+    ) -> Result<Reduce, MpiError> {
+        let me = mpi
+            .task_of(ctx.pid())
+            .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
+        let my_rank = mpi.rank_of(comm, me)?;
+        let n = mpi.comm_size(comm)?;
+        let (parent, children) = binomial(n, root, my_rank);
+        Ok(Reduce {
+            comm,
+            tag,
+            op,
+            parent,
+            children,
+            acc: contribution,
+            state: ReduceState::Init,
+        })
+    }
+
+    /// A reduction with the default tag.
+    pub fn start(
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        comm: CommId,
+        root: Rank,
+        op: ReduceOp,
+        contribution: Vec<f64>,
+    ) -> Result<(Reduce, Step<Vec<f64>>), MpiError> {
+        let mut r = Reduce::new(mpi, ctx, comm, root, op, contribution, tags::REDUCE)?;
+        let s = r.step(mpi, ctx, None)?;
+        Ok((r, s))
+    }
+
+    /// Advance the machine. The returned vector is the reduction result at
+    /// the root and this rank's partial elsewhere.
+    pub fn step(
+        &mut self,
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        wake: Option<Wake>,
+    ) -> Result<Step<Vec<f64>>, MpiError> {
+        loop {
+            match self.state {
+                ReduceState::Init => {
+                    if let Some(&child) = self.children.first() {
+                        p2p::recv(mpi, ctx, self.comm, child, self.tag)?;
+                        self.state = ReduceState::WaitChild(0);
+                        return Ok(Step::Pending);
+                    }
+                    self.state = ReduceState::SendParent;
+                }
+                ReduceState::WaitChild(i) => match wake {
+                    Some(Wake::Received(ref env)) => {
+                        let data =
+                            p2p::decode_f64s(env.payload.as_bytes().unwrap_or_default());
+                        self.op.fold(&mut self.acc, &data);
+                        let next = i + 1;
+                        if let Some(&child) = self.children.get(next) {
+                            p2p::recv(mpi, ctx, self.comm, child, self.tag)?;
+                            self.state = ReduceState::WaitChild(next);
+                            return Ok(Step::Pending);
+                        }
+                        self.state = ReduceState::SendParent;
+                    }
+                    _ => return Ok(Step::Pending),
+                },
+                ReduceState::SendParent => {
+                    if let Some(parent) = self.parent {
+                        p2p::send(
+                            mpi,
+                            ctx,
+                            self.comm,
+                            parent,
+                            self.tag,
+                            Payload::Bytes(encode_f64s(&self.acc)),
+                            None,
+                        )?;
+                        self.state = ReduceState::WaitSend;
+                        return Ok(Step::Pending);
+                    }
+                    self.state = ReduceState::Done;
+                    return Ok(Step::Done(self.acc.clone()));
+                }
+                ReduceState::WaitSend => match wake {
+                    Some(Wake::OpDone) => {
+                        self.state = ReduceState::Done;
+                        return Ok(Step::Done(self.acc.clone()));
+                    }
+                    _ => return Ok(Step::Pending),
+                },
+                ReduceState::Done => return Ok(Step::Done(self.acc.clone())),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allreduce / Barrier
+// ---------------------------------------------------------------------------
+
+enum TwoPhase {
+    Up(Reduce),
+    Down(Bcast),
+}
+
+/// Reduce-to-0 followed by broadcast-from-0.
+pub struct Allreduce {
+    comm: CommId,
+    phase: TwoPhase,
+    down_tag: u32,
+}
+
+impl Allreduce {
+    /// Start an all-reduce.
+    pub fn start(
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        comm: CommId,
+        op: ReduceOp,
+        contribution: Vec<f64>,
+    ) -> Result<(Allreduce, Step<Vec<f64>>), MpiError> {
+        Self::start_tagged(
+            mpi,
+            ctx,
+            comm,
+            op,
+            contribution,
+            tags::BARRIER_UP,
+            tags::BARRIER_DOWN,
+        )
+    }
+
+    fn start_tagged(
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        comm: CommId,
+        op: ReduceOp,
+        contribution: Vec<f64>,
+        up_tag: u32,
+        down_tag: u32,
+    ) -> Result<(Allreduce, Step<Vec<f64>>), MpiError> {
+        let mut reduce = Reduce::new(mpi, ctx, comm, Rank(0), op, contribution, up_tag)?;
+        let step = reduce.step(mpi, ctx, None)?;
+        let mut ar = Allreduce {
+            comm,
+            phase: TwoPhase::Up(reduce),
+            down_tag,
+        };
+        match step {
+            Step::Pending => Ok((ar, Step::Pending)),
+            Step::Done(partial) => {
+                let s = ar.enter_down(mpi, ctx, partial)?;
+                Ok((ar, s))
+            }
+        }
+    }
+
+    fn enter_down(
+        &mut self,
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        partial: Vec<f64>,
+    ) -> Result<Step<Vec<f64>>, MpiError> {
+        let me = mpi
+            .task_of(ctx.pid())
+            .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
+        let my_rank = mpi.rank_of(self.comm, me)?;
+        let data = if my_rank == Rank(0) { Some(partial) } else { None };
+        let mut bcast = Bcast::new(mpi, ctx, self.comm, Rank(0), data, self.down_tag)?;
+        let s = bcast.step(mpi, ctx, None)?;
+        self.phase = TwoPhase::Down(bcast);
+        Ok(s)
+    }
+
+    /// Advance the machine.
+    pub fn step(
+        &mut self,
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        wake: Option<Wake>,
+    ) -> Result<Step<Vec<f64>>, MpiError> {
+        match &mut self.phase {
+            TwoPhase::Up(reduce) => match reduce.step(mpi, ctx, wake)? {
+                Step::Pending => Ok(Step::Pending),
+                Step::Done(partial) => self.enter_down(mpi, ctx, partial),
+            },
+            TwoPhase::Down(bcast) => bcast.step(mpi, ctx, wake),
+        }
+    }
+}
+
+/// `MPI_Barrier`: an all-reduce of nothing.
+pub struct Barrier(Allreduce);
+
+impl Barrier {
+    /// Start a barrier.
+    pub fn start(
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        comm: CommId,
+    ) -> Result<(Barrier, Step<()>), MpiError> {
+        let (ar, s) = Allreduce::start(mpi, ctx, comm, ReduceOp::Sum, Vec::new())?;
+        Ok((Barrier(ar), strip(s)))
+    }
+
+    /// Advance the machine.
+    pub fn step(
+        &mut self,
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        wake: Option<Wake>,
+    ) -> Result<Step<()>, MpiError> {
+        Ok(strip(self.0.step(mpi, ctx, wake)?))
+    }
+}
+
+fn strip(s: Step<Vec<f64>>) -> Step<()> {
+    match s {
+        Step::Pending => Step::Pending,
+        Step::Done(_) => Step::Done(()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gather / Scatter (linear)
+// ---------------------------------------------------------------------------
+
+enum GatherState {
+    RootWaiting(u32),
+    LeafSending,
+    Done,
+}
+
+/// Linear gather of one `Vec<f64>` per rank to the root, concatenated in
+/// rank order.
+pub struct Gather {
+    comm: CommId,
+    root: Rank,
+    my_rank: Rank,
+    n: u32,
+    parts: Vec<Option<Vec<f64>>>,
+    state: GatherState,
+}
+
+impl Gather {
+    /// Start a gather carrying this rank's `contribution`.
+    pub fn start(
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        comm: CommId,
+        root: Rank,
+        contribution: Vec<f64>,
+    ) -> Result<(Gather, Step<Vec<f64>>), MpiError> {
+        let me = mpi
+            .task_of(ctx.pid())
+            .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
+        let my_rank = mpi.rank_of(comm, me)?;
+        let n = mpi.comm_size(comm)?;
+        let mut g = Gather {
+            comm,
+            root,
+            my_rank,
+            n,
+            parts: vec![None; n as usize],
+            state: GatherState::Done,
+        };
+        if my_rank == root {
+            g.parts[my_rank.0 as usize] = Some(contribution);
+            if n == 1 {
+                let all = g.concat();
+                return Ok((g, Step::Done(all)));
+            }
+            let first = g.next_pending_rank(0).expect("n > 1");
+            p2p::recv(mpi, ctx, comm, Rank(first), tags::GATHER)?;
+            g.state = GatherState::RootWaiting(first);
+            Ok((g, Step::Pending))
+        } else {
+            p2p::send(
+                mpi,
+                ctx,
+                comm,
+                root,
+                tags::GATHER,
+                Payload::Bytes(encode_f64s(&contribution)),
+                None,
+            )?;
+            g.state = GatherState::LeafSending;
+            Ok((g, Step::Pending))
+        }
+    }
+
+    fn next_pending_rank(&self, from: u32) -> Option<u32> {
+        (from..self.n).find(|&r| r != self.root.0 && self.parts[r as usize].is_none())
+    }
+
+    fn concat(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for p in self.parts.iter().flatten() {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Advance the machine. The root gets the concatenation; leaves get an
+    /// empty vector.
+    pub fn step(
+        &mut self,
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        wake: Option<Wake>,
+    ) -> Result<Step<Vec<f64>>, MpiError> {
+        match self.state {
+            GatherState::RootWaiting(expected) => match wake {
+                Some(Wake::Received(ref env)) => {
+                    let data = p2p::decode_f64s(env.payload.as_bytes().unwrap_or_default());
+                    self.parts[expected as usize] = Some(data);
+                    match self.next_pending_rank(0) {
+                        Some(next) => {
+                            p2p::recv(mpi, ctx, self.comm, Rank(next), tags::GATHER)?;
+                            self.state = GatherState::RootWaiting(next);
+                            Ok(Step::Pending)
+                        }
+                        None => {
+                            self.state = GatherState::Done;
+                            Ok(Step::Done(self.concat()))
+                        }
+                    }
+                }
+                _ => Ok(Step::Pending),
+            },
+            GatherState::LeafSending => match wake {
+                Some(Wake::OpDone) => {
+                    self.state = GatherState::Done;
+                    Ok(Step::Done(Vec::new()))
+                }
+                _ => Ok(Step::Pending),
+            },
+            GatherState::Done => Ok(Step::Done(if self.my_rank == self.root {
+                self.concat()
+            } else {
+                Vec::new()
+            })),
+        }
+    }
+}
+
+enum ScatterState {
+    RootSending(u32),
+    LeafWaiting,
+    Done(Vec<f64>),
+}
+
+/// Linear scatter: the root splits `data` into `n` equal chunks; rank `i`
+/// receives chunk `i`.
+pub struct Scatter {
+    comm: CommId,
+    root: Rank,
+    chunks: Vec<Vec<f64>>,
+    state: ScatterState,
+}
+
+impl Scatter {
+    /// Start a scatter; `data` is required at the root and must divide
+    /// evenly by the communicator size.
+    pub fn start(
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        comm: CommId,
+        root: Rank,
+        data: Option<Vec<f64>>,
+    ) -> Result<(Scatter, Step<Vec<f64>>), MpiError> {
+        let me = mpi
+            .task_of(ctx.pid())
+            .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
+        let my_rank = mpi.rank_of(comm, me)?;
+        let n = mpi.comm_size(comm)?;
+        if my_rank == root {
+            let data = data.expect("root scatter without data");
+            assert_eq!(
+                data.len() % n as usize,
+                0,
+                "scatter data must divide evenly"
+            );
+            let chunk = data.len() / n as usize;
+            let chunks: Vec<Vec<f64>> = if chunk == 0 {
+                vec![Vec::new(); n as usize]
+            } else {
+                data.chunks(chunk).map(<[f64]>::to_vec).collect()
+            };
+            let mut s = Scatter {
+                comm,
+                root,
+                chunks,
+                state: ScatterState::RootSending(0),
+            };
+            let step = s.advance_root(mpi, ctx)?;
+            Ok((s, step))
+        } else {
+            p2p::recv(mpi, ctx, comm, root, tags::SCATTER)?;
+            Ok((
+                Scatter {
+                    comm,
+                    root,
+                    chunks: Vec::new(),
+                    state: ScatterState::LeafWaiting,
+                },
+                Step::Pending,
+            ))
+        }
+    }
+
+    fn advance_root(
+        &mut self,
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+    ) -> Result<Step<Vec<f64>>, MpiError> {
+        let ScatterState::RootSending(mut i) = self.state else {
+            unreachable!("advance_root outside RootSending");
+        };
+        let n = self.chunks.len() as u32;
+        while i < n && Rank(i) == self.root {
+            i += 1;
+        }
+        if i < n {
+            p2p::send(
+                mpi,
+                ctx,
+                self.comm,
+                Rank(i),
+                tags::SCATTER,
+                Payload::Bytes(encode_f64s(&self.chunks[i as usize])),
+                None,
+            )?;
+            self.state = ScatterState::RootSending(i + 1);
+            Ok(Step::Pending)
+        } else {
+            let own = self.chunks[self.root.0 as usize].clone();
+            self.state = ScatterState::Done(own.clone());
+            Ok(Step::Done(own))
+        }
+    }
+
+    /// Advance the machine; each rank finishes with its own chunk.
+    pub fn step(
+        &mut self,
+        mpi: &Mpi,
+        ctx: &mut Ctx<'_>,
+        wake: Option<Wake>,
+    ) -> Result<Step<Vec<f64>>, MpiError> {
+        match &self.state {
+            ScatterState::RootSending(_) => match wake {
+                Some(Wake::OpDone) => self.advance_root(mpi, ctx),
+                _ => Ok(Step::Pending),
+            },
+            ScatterState::LeafWaiting => match wake {
+                Some(Wake::Received(env)) => {
+                    let data = p2p::decode_f64s(env.payload.as_bytes().unwrap_or_default());
+                    self.state = ScatterState::Done(data.clone());
+                    Ok(Step::Done(data))
+                }
+                _ => Ok(Step::Pending),
+            },
+            ScatterState::Done(d) => Ok(Step::Done(d.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_tree_shape_root_zero() {
+        // n=8, root=0: 0 -> {1,2,4}; 1 -> {3,5}? No: binomial children of
+        // vrank v are v+mask for masks below v's lowest set bit.
+        let (p, c) = binomial(8, Rank(0), Rank(0));
+        assert_eq!(p, None);
+        assert_eq!(c, vec![Rank(1), Rank(2), Rank(4)]);
+        let (p, c) = binomial(8, Rank(0), Rank(1));
+        assert_eq!(p, Some(Rank(0)));
+        assert_eq!(c, vec![]);
+        let (p, c) = binomial(8, Rank(0), Rank(2));
+        assert_eq!(p, Some(Rank(0)));
+        assert_eq!(c, vec![Rank(3)]);
+        let (p, c) = binomial(8, Rank(0), Rank(4));
+        assert_eq!(p, Some(Rank(0)));
+        assert_eq!(c, vec![Rank(5), Rank(6)]);
+        let (p, c) = binomial(8, Rank(0), Rank(6));
+        assert_eq!(p, Some(Rank(4)));
+        assert_eq!(c, vec![Rank(7)]);
+    }
+
+    #[test]
+    fn binomial_tree_rotates_with_root() {
+        let (p, c) = binomial(4, Rank(2), Rank(2));
+        assert_eq!(p, None);
+        assert_eq!(c, vec![Rank(3), Rank(0)]);
+        let (p, _) = binomial(4, Rank(2), Rank(0));
+        assert_eq!(p, Some(Rank(2)));
+    }
+
+    #[test]
+    fn every_nonroot_has_a_parent_and_trees_are_consistent() {
+        for n in 1..=33u32 {
+            for root in [0, 1, n / 2, n - 1] {
+                let root = Rank(root % n);
+                let mut child_count = 0;
+                for r in 0..n {
+                    let (p, c) = binomial(n, root, Rank(r));
+                    child_count += c.len();
+                    if Rank(r) == root {
+                        assert_eq!(p, None);
+                    } else {
+                        let parent = p.expect("non-root has parent");
+                        // Parent lists r among its children.
+                        let (_, pc) = binomial(n, root, parent);
+                        assert!(pc.contains(&Rank(r)), "n={n} root={root:?} r={r}");
+                    }
+                }
+                assert_eq!(child_count as u32, n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_op_folds() {
+        let mut acc = vec![1.0, 5.0, -2.0];
+        ReduceOp::Sum.fold(&mut acc, &[1.0, 1.0, 1.0]);
+        assert_eq!(acc, vec![2.0, 6.0, -1.0]);
+        ReduceOp::Max.fold(&mut acc, &[0.0, 10.0, 0.0]);
+        assert_eq!(acc, vec![2.0, 10.0, 0.0]);
+        ReduceOp::Min.fold(&mut acc, &[5.0, 5.0, -5.0]);
+        assert_eq!(acc, vec![2.0, 5.0, -5.0]);
+    }
+}

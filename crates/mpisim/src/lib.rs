@@ -1,0 +1,26 @@
+//! # ars-mpisim — the MPI-2 subset the rescheduler needs
+//!
+//! The paper migrates MPI processes by exploiting MPI-2 *dynamic process
+//! management* (LAM/MPI was the only implementation supporting it at the
+//! time): spawn an initialized process on the destination, join the
+//! communicators, transfer state, and re-route messages. This crate
+//! provides exactly that subset over the `ars-sim` kernel:
+//!
+//! * [`world`] — communicators, migration-stable task identities, pid
+//!   routing, ports (`MPI_Open_port`/`MPI_Comm_connect`), intercommunicator
+//!   merge, and the LAM-like dynamic-process-management init cost;
+//! * [`p2p`] — tagged point-to-point send/recv with `(comm, src, tag)`
+//!   matching packed into kernel tags;
+//! * [`collective`] — binomial `Bcast`/`Reduce`/`Allreduce`/`Barrier` and
+//!   linear `Gather`/`Scatter`, written as poll-style machines programs can
+//!   drive from their `on_wake`.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod p2p;
+pub mod world;
+
+pub use collective::{Allreduce, Barrier, Bcast, Gather, ReduceOp, Reduce, Scatter, Step};
+pub use p2p::{decode_f64s, encode_f64s, pack_tag, recv, recv_any, send, unpack_tag};
+pub use world::{CommId, Communicator, Mpi, MpiError, MpiWorld, Rank, TaskId};

@@ -1,0 +1,374 @@
+//! Communicator and process-identity bookkeeping.
+//!
+//! MPI identity is logical: a process is a [`TaskId`] that keeps its ranks
+//! in every communicator across migrations; only the `TaskId → Pid` binding
+//! changes when HPCM moves it. This is the "communication state transfer"
+//! half of the paper's migration: re-binding the task and installing kernel
+//! forwarding for in-flight messages lets every other rank keep
+//! communicating without noticing the move.
+//!
+//! The world is shared by all programs of one simulation through the
+//! cheaply-clonable [`Mpi`] handle (the simulator is single-threaded, so a
+//! plain `Rc<RefCell<…>>` suffices).
+
+use ars_sim::Pid;
+use ars_simcore::SimDuration;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Logical (migration-stable) process identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+/// Communicator identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommId(pub u32);
+
+/// Rank of a task within a communicator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank(pub u32);
+
+/// A communicator: an ordered group of tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Communicator {
+    /// Identifier.
+    pub id: CommId,
+    /// Members in rank order.
+    pub members: Vec<TaskId>,
+}
+
+impl Communicator {
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.members.len() as u32
+    }
+
+    /// Rank of a task, if a member.
+    pub fn rank_of(&self, task: TaskId) -> Option<Rank> {
+        self.members
+            .iter()
+            .position(|&t| t == task)
+            .map(|i| Rank(i as u32))
+    }
+
+    /// Task at a rank.
+    pub fn task_at(&self, rank: Rank) -> Option<TaskId> {
+        self.members.get(rank.0 as usize).copied()
+    }
+}
+
+/// Errors from the MPI layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Unknown communicator.
+    NoSuchComm(CommId),
+    /// Task is not a member of the communicator.
+    NotAMember(TaskId, CommId),
+    /// Rank out of range for the communicator.
+    BadRank(Rank, CommId),
+    /// Task has no live pid binding.
+    Unbound(TaskId),
+    /// Port name not published.
+    NoSuchPort(String),
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::NoSuchComm(c) => write!(f, "no communicator {c:?}"),
+            MpiError::NotAMember(t, c) => write!(f, "{t:?} not in {c:?}"),
+            MpiError::BadRank(r, c) => write!(f, "rank {r:?} out of range in {c:?}"),
+            MpiError::Unbound(t) => write!(f, "{t:?} has no pid binding"),
+            MpiError::NoSuchPort(p) => write!(f, "port {p:?} not published"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Shared MPI state (see module docs).
+#[derive(Debug, Default)]
+pub struct MpiWorld {
+    comms: HashMap<CommId, Communicator>,
+    routes: HashMap<TaskId, Pid>,
+    reverse: HashMap<Pid, TaskId>,
+    ports: HashMap<String, TaskId>,
+    next_comm: u32,
+    next_task: u64,
+    /// Cost of a LAM/MPI dynamic-process-management initialization (the
+    /// paper measures ~0.3 s and blames LAM's slow DPM operations).
+    pub dpm_init_cost: SimDuration,
+}
+
+/// Cheap handle to the shared MPI world.
+#[derive(Clone, Default)]
+pub struct Mpi(Rc<RefCell<MpiWorld>>);
+
+impl Mpi {
+    /// Fresh world with the default LAM-like DPM cost.
+    pub fn new() -> Self {
+        let w = MpiWorld {
+            dpm_init_cost: SimDuration::from_millis(300),
+            ..MpiWorld::default()
+        };
+        Mpi(Rc::new(RefCell::new(w)))
+    }
+
+    /// Override the dynamic-process-management initialization cost (the
+    /// pre-initialization ablation sets this to ~0).
+    pub fn set_dpm_init_cost(&self, d: SimDuration) {
+        self.0.borrow_mut().dpm_init_cost = d;
+    }
+
+    /// The dynamic-process-management initialization cost.
+    pub fn dpm_init_cost(&self) -> SimDuration {
+        self.0.borrow().dpm_init_cost
+    }
+
+    /// Bind a fresh task identity to a pid (process start / `MPI_Init`).
+    pub fn bind_new_task(&self, pid: Pid) -> TaskId {
+        let mut w = self.0.borrow_mut();
+        let task = TaskId(w.next_task);
+        w.next_task += 1;
+        w.routes.insert(task, pid);
+        w.reverse.insert(pid, task);
+        task
+    }
+
+    /// Re-bind a task to its post-migration pid; returns the previous pid.
+    pub fn rebind(&self, task: TaskId, new_pid: Pid) -> Result<Pid, MpiError> {
+        let mut w = self.0.borrow_mut();
+        let old = w
+            .routes
+            .insert(task, new_pid)
+            .ok_or(MpiError::Unbound(task))?;
+        w.reverse.remove(&old);
+        w.reverse.insert(new_pid, task);
+        Ok(old)
+    }
+
+    /// Current pid of a task.
+    pub fn pid_of(&self, task: TaskId) -> Result<Pid, MpiError> {
+        self.0
+            .borrow()
+            .routes
+            .get(&task)
+            .copied()
+            .ok_or(MpiError::Unbound(task))
+    }
+
+    /// Task bound to a pid, if any.
+    pub fn task_of(&self, pid: Pid) -> Option<TaskId> {
+        self.0.borrow().reverse.get(&pid).copied()
+    }
+
+    /// Create a communicator over `members` (rank order = vector order).
+    pub fn create_comm(&self, members: Vec<TaskId>) -> CommId {
+        let mut w = self.0.borrow_mut();
+        let id = CommId(w.next_comm);
+        w.next_comm += 1;
+        w.comms.insert(id, Communicator { id, members });
+        id
+    }
+
+    /// Clone of a communicator's current membership.
+    pub fn comm(&self, id: CommId) -> Result<Communicator, MpiError> {
+        self.0
+            .borrow()
+            .comms
+            .get(&id)
+            .cloned()
+            .ok_or(MpiError::NoSuchComm(id))
+    }
+
+    /// Size of a communicator.
+    pub fn comm_size(&self, id: CommId) -> Result<u32, MpiError> {
+        Ok(self.comm(id)?.size())
+    }
+
+    /// Rank of `task` in `comm`.
+    pub fn rank_of(&self, comm: CommId, task: TaskId) -> Result<Rank, MpiError> {
+        self.comm(comm)?
+            .rank_of(task)
+            .ok_or(MpiError::NotAMember(task, comm))
+    }
+
+    /// Task at `rank` in `comm`.
+    pub fn task_at(&self, comm: CommId, rank: Rank) -> Result<TaskId, MpiError> {
+        self.comm(comm)?
+            .task_at(rank)
+            .ok_or(MpiError::BadRank(rank, comm))
+    }
+
+    /// Pid currently bound to `rank` in `comm`.
+    pub fn pid_at(&self, comm: CommId, rank: Rank) -> Result<Pid, MpiError> {
+        self.pid_of(self.task_at(comm, rank)?)
+    }
+
+    /// Intercommunicator merge (`MPI_Intercomm_merge`): a new communicator
+    /// whose ranks are `a`'s members followed by `b`'s members not in `a`.
+    pub fn merge(&self, a: CommId, b: CommId) -> Result<CommId, MpiError> {
+        let ca = self.comm(a)?;
+        let cb = self.comm(b)?;
+        let mut members = ca.members.clone();
+        for t in cb.members {
+            if !members.contains(&t) {
+                members.push(t);
+            }
+        }
+        Ok(self.create_comm(members))
+    }
+
+    /// Grow a communicator in place by appending a task (used when a
+    /// dynamically spawned process joins its parent's communicator).
+    pub fn join(&self, comm: CommId, task: TaskId) -> Result<Rank, MpiError> {
+        let mut w = self.0.borrow_mut();
+        let c = w.comms.get_mut(&comm).ok_or(MpiError::NoSuchComm(comm))?;
+        if let Some(i) = c.members.iter().position(|&t| t == task) {
+            return Ok(Rank(i as u32));
+        }
+        c.members.push(task);
+        Ok(Rank(c.members.len() as u32 - 1))
+    }
+
+    /// Replace a member of a communicator (migration keeps the same task,
+    /// so this is only for substituting a failed rank with a respawn).
+    pub fn replace_member(
+        &self,
+        comm: CommId,
+        old: TaskId,
+        new: TaskId,
+    ) -> Result<(), MpiError> {
+        let mut w = self.0.borrow_mut();
+        let c = w.comms.get_mut(&comm).ok_or(MpiError::NoSuchComm(comm))?;
+        let slot = c
+            .members
+            .iter_mut()
+            .find(|t| **t == old)
+            .ok_or(MpiError::NotAMember(old, comm))?;
+        *slot = new;
+        Ok(())
+    }
+
+    /// Publish a named port (`MPI_Open_port` + `MPI_Publish_name`).
+    pub fn open_port(&self, name: impl Into<String>, task: TaskId) {
+        self.0.borrow_mut().ports.insert(name.into(), task);
+    }
+
+    /// Look up a published port (`MPI_Comm_connect` resolution).
+    pub fn lookup_port(&self, name: &str) -> Result<TaskId, MpiError> {
+        self.0
+            .borrow()
+            .ports
+            .get(name)
+            .copied()
+            .ok_or_else(|| MpiError::NoSuchPort(name.to_string()))
+    }
+
+    /// Remove a published port (`MPI_Close_port`).
+    pub fn close_port(&self, name: &str) -> Option<TaskId> {
+        self.0.borrow_mut().ports.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_route() {
+        let mpi = Mpi::new();
+        let t0 = mpi.bind_new_task(Pid(10));
+        let t1 = mpi.bind_new_task(Pid(11));
+        assert_ne!(t0, t1);
+        assert_eq!(mpi.pid_of(t0).unwrap(), Pid(10));
+        assert_eq!(mpi.task_of(Pid(11)), Some(t1));
+    }
+
+    #[test]
+    fn rebind_moves_route() {
+        let mpi = Mpi::new();
+        let t = mpi.bind_new_task(Pid(10));
+        let old = mpi.rebind(t, Pid(99)).unwrap();
+        assert_eq!(old, Pid(10));
+        assert_eq!(mpi.pid_of(t).unwrap(), Pid(99));
+        assert_eq!(mpi.task_of(Pid(10)), None);
+        assert_eq!(mpi.task_of(Pid(99)), Some(t));
+    }
+
+    #[test]
+    fn comm_ranks() {
+        let mpi = Mpi::new();
+        let a = mpi.bind_new_task(Pid(1));
+        let b = mpi.bind_new_task(Pid(2));
+        let comm = mpi.create_comm(vec![a, b]);
+        assert_eq!(mpi.comm_size(comm).unwrap(), 2);
+        assert_eq!(mpi.rank_of(comm, a).unwrap(), Rank(0));
+        assert_eq!(mpi.rank_of(comm, b).unwrap(), Rank(1));
+        assert_eq!(mpi.task_at(comm, Rank(1)).unwrap(), b);
+        assert_eq!(mpi.pid_at(comm, Rank(0)).unwrap(), Pid(1));
+        assert!(matches!(
+            mpi.task_at(comm, Rank(9)),
+            Err(MpiError::BadRank(_, _))
+        ));
+    }
+
+    #[test]
+    fn merge_unions_in_order() {
+        let mpi = Mpi::new();
+        let a = mpi.bind_new_task(Pid(1));
+        let b = mpi.bind_new_task(Pid(2));
+        let c = mpi.bind_new_task(Pid(3));
+        let ca = mpi.create_comm(vec![a, b]);
+        let cb = mpi.create_comm(vec![b, c]);
+        let merged = mpi.merge(ca, cb).unwrap();
+        let m = mpi.comm(merged).unwrap();
+        assert_eq!(m.members, vec![a, b, c]);
+    }
+
+    #[test]
+    fn join_appends_once() {
+        let mpi = Mpi::new();
+        let a = mpi.bind_new_task(Pid(1));
+        let b = mpi.bind_new_task(Pid(2));
+        let comm = mpi.create_comm(vec![a]);
+        assert_eq!(mpi.join(comm, b).unwrap(), Rank(1));
+        assert_eq!(mpi.join(comm, b).unwrap(), Rank(1)); // idempotent
+        assert_eq!(mpi.comm_size(comm).unwrap(), 2);
+    }
+
+    #[test]
+    fn rebind_preserves_ranks() {
+        // The heart of communication-state transfer: ranks never change.
+        let mpi = Mpi::new();
+        let a = mpi.bind_new_task(Pid(1));
+        let b = mpi.bind_new_task(Pid(2));
+        let comm = mpi.create_comm(vec![a, b]);
+        mpi.rebind(b, Pid(42)).unwrap();
+        assert_eq!(mpi.rank_of(comm, b).unwrap(), Rank(1));
+        assert_eq!(mpi.pid_at(comm, Rank(1)).unwrap(), Pid(42));
+    }
+
+    #[test]
+    fn ports() {
+        let mpi = Mpi::new();
+        let t = mpi.bind_new_task(Pid(5));
+        mpi.open_port("hpcm://ws4:7801", t);
+        assert_eq!(mpi.lookup_port("hpcm://ws4:7801").unwrap(), t);
+        assert_eq!(mpi.close_port("hpcm://ws4:7801"), Some(t));
+        assert!(mpi.lookup_port("hpcm://ws4:7801").is_err());
+    }
+
+    #[test]
+    fn replace_member_swaps_task() {
+        let mpi = Mpi::new();
+        let a = mpi.bind_new_task(Pid(1));
+        let b = mpi.bind_new_task(Pid(2));
+        let c = mpi.bind_new_task(Pid(3));
+        let comm = mpi.create_comm(vec![a, b]);
+        mpi.replace_member(comm, b, c).unwrap();
+        assert_eq!(mpi.comm(comm).unwrap().members, vec![a, c]);
+        assert!(mpi.replace_member(comm, b, c).is_err());
+    }
+}

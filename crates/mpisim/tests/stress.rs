@@ -1,0 +1,194 @@
+//! Collective correctness across many communicator sizes and roots — the
+//! binomial trees and linear fan-ins must deliver exact results for every
+//! shape, not just the power-of-two cases.
+
+use ars_mpisim::{Allreduce, Bcast, CommId, Gather, Mpi, Rank, ReduceOp, Step};
+use ars_sim::{Ctx, HostId, Program, Sim, SimConfig, SpawnOpts, Wake};
+use ars_simcore::SimTime;
+use ars_simhost::HostConfig;
+use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+/// Which collective to exercise.
+#[derive(Clone, Copy)]
+enum Op {
+    Bcast { root: u32 },
+    Allreduce,
+    Gather { root: u32 },
+}
+
+enum Machine {
+    None,
+    Bcast(Bcast),
+    Allreduce(Allreduce),
+    Gather(Gather),
+}
+
+/// Shared result sink: rank → final vector.
+type Results = Rc<RefCell<Vec<Option<Vec<f64>>>>>;
+
+struct RankProg {
+    mpi: Mpi,
+    comm: CommId,
+    me: u32,
+    op: Op,
+    machine: Machine,
+    results: Results,
+}
+
+impl RankProg {
+    fn finish(&mut self, v: Vec<f64>) {
+        self.results.borrow_mut()[self.me as usize] = Some(v);
+        self.machine = Machine::None;
+    }
+
+    fn begin(&mut self, ctx: &mut Ctx<'_>) {
+        let mpi = self.mpi.clone();
+        match self.op {
+            Op::Bcast { root } => {
+                let data = (self.me == root).then(|| vec![root as f64, 42.0]);
+                let (m, s) = Bcast::start(&mpi, ctx, self.comm, Rank(root), data).unwrap();
+                self.machine = Machine::Bcast(m);
+                if let Step::Done(v) = s {
+                    self.finish(v);
+                }
+            }
+            Op::Allreduce => {
+                let contribution = vec![self.me as f64, 1.0];
+                let (m, s) =
+                    Allreduce::start(&mpi, ctx, self.comm, ReduceOp::Sum, contribution).unwrap();
+                self.machine = Machine::Allreduce(m);
+                if let Step::Done(v) = s {
+                    self.finish(v);
+                }
+            }
+            Op::Gather { root } => {
+                let contribution = vec![self.me as f64 * 10.0];
+                let (m, s) = Gather::start(&mpi, ctx, self.comm, Rank(root), contribution).unwrap();
+                self.machine = Machine::Gather(m);
+                if let Step::Done(v) = s {
+                    self.finish(v);
+                }
+            }
+        }
+    }
+}
+
+impl Program for RankProg {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match wake {
+            Wake::Started => self.begin(ctx),
+            w => {
+                let mpi = self.mpi.clone();
+                let done = match &mut self.machine {
+                    Machine::None => None,
+                    Machine::Bcast(m) => match m.step(&mpi, ctx, Some(w)).unwrap() {
+                        Step::Done(v) => Some(v),
+                        Step::Pending => None,
+                    },
+                    Machine::Allreduce(m) => match m.step(&mpi, ctx, Some(w)).unwrap() {
+                        Step::Done(v) => Some(v),
+                        Step::Pending => None,
+                    },
+                    Machine::Gather(m) => match m.step(&mpi, ctx, Some(w)).unwrap() {
+                        Step::Done(v) => Some(v),
+                        Step::Pending => None,
+                    },
+                };
+                if let Some(v) = done {
+                    self.finish(v);
+                }
+            }
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn run(n: u32, op: Op) -> Vec<Option<Vec<f64>>> {
+    let mut sim = Sim::new(
+        (0..n).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        SimConfig::default(),
+    );
+    let mpi = Mpi::new();
+    let results: Results = Rc::new(RefCell::new(vec![None; n as usize]));
+    let mut pids = Vec::new();
+    let mut tasks = Vec::new();
+    for i in 0..n {
+        let pid = sim.spawn(
+            HostId(i),
+            Box::new(RankProg {
+                mpi: mpi.clone(),
+                comm: CommId(u32::MAX),
+                me: i,
+                op,
+                machine: Machine::None,
+                results: results.clone(),
+            }),
+            SpawnOpts::named(format!("rank{i}")),
+        );
+        tasks.push(mpi.bind_new_task(pid));
+        pids.push(pid);
+    }
+    let comm = mpi.create_comm(tasks);
+    for &pid in &pids {
+        sim.program_mut(pid)
+            .unwrap()
+            .as_any()
+            .downcast_mut::<RankProg>()
+            .unwrap()
+            .comm = comm;
+    }
+    sim.run_until(t(60.0));
+    let out = results.borrow().clone();
+    out
+}
+
+#[test]
+fn bcast_every_size_and_root() {
+    for n in 1..=17u32 {
+        for root in [0, 1, n / 2, n.saturating_sub(1)] {
+            let root = root.min(n - 1);
+            let results = run(n, Op::Bcast { root });
+            for (i, r) in results.iter().enumerate() {
+                let v = r.as_ref().unwrap_or_else(|| panic!("n={n} root={root} rank {i} hung"));
+                assert_eq!(v, &vec![root as f64, 42.0], "n={n} root={root} rank {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_every_size() {
+    for n in 1..=17u32 {
+        let results = run(n, Op::Allreduce);
+        let expect = vec![(0..n).map(f64::from).sum::<f64>(), n as f64];
+        for (i, r) in results.iter().enumerate() {
+            let v = r.as_ref().unwrap_or_else(|| panic!("n={n} rank {i} hung"));
+            assert_eq!(v, &expect, "n={n} rank {i}");
+        }
+    }
+}
+
+#[test]
+fn gather_every_size_and_root() {
+    for n in 1..=12u32 {
+        for root in [0, n - 1] {
+            let results = run(n, Op::Gather { root });
+            let expect: Vec<f64> = (0..n).map(|i| i as f64 * 10.0).collect();
+            let v = results[root as usize]
+                .as_ref()
+                .unwrap_or_else(|| panic!("n={n} root={root} root hung"));
+            assert_eq!(v, &expect, "n={n} root={root}");
+            for (i, r) in results.iter().enumerate() {
+                assert!(r.is_some(), "n={n} root={root} rank {i} hung");
+            }
+        }
+    }
+}

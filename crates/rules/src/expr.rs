@@ -1,0 +1,440 @@
+//! Complex-rule expressions (paper Figure 4).
+//!
+//! A complex rule combines the outcomes of simple rules with an expression
+//! such as the paper's
+//!
+//! ```text
+//! ( 40% * r 4 + 30% * r1 + 30% * r3 ) & r2
+//! ```
+//!
+//! Operands are rule references `rN` (whitespace between `r` and the number
+//! is accepted, as in the paper's listing) and numeric literals, where a
+//! trailing `%` divides by 100. Operators, loosest to tightest binding:
+//!
+//! * `&` (all must agree: score = **min**) and `|` (any escalates:
+//!   score = **max**);
+//! * `+` and `-` (weighted sums);
+//! * `*` (weighting).
+//!
+//! Rule outcomes enter as state scores (0 = free, 1 = busy, 2 = overloaded)
+//! and the expression evaluates to a score that [`StateCuts`] maps back to a
+//! three-state decision. With the defaults, the paper's example behaves as
+//! described: the combination is *busy* when both sides evaluate busy, or
+//! when one is busy and the other overloaded (min picks the milder), and
+//! only *overloaded* when both sides are.
+//!
+//! [`StateCuts`]: crate::state::StateCuts
+
+use std::fmt;
+
+/// Parsed complex-rule expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal (percentages already divided by 100).
+    Num(f64),
+    /// Reference to simple rule `rN`.
+    Rule(u32),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Conjunction: both must escalate (minimum).
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction: either escalates (maximum).
+    Or(Box<Expr>, Box<Expr>),
+}
+
+/// Expression parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprError {
+    /// Byte offset of the error.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(f64),
+    Rule(u32),
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Amp,
+    Pipe,
+}
+
+fn tokenize(s: &str) -> Result<Vec<(usize, Token)>, ExprError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push((i, Token::LParen));
+                i += 1;
+            }
+            b')' => {
+                out.push((i, Token::RParen));
+                i += 1;
+            }
+            b'*' => {
+                out.push((i, Token::Star));
+                i += 1;
+            }
+            b'+' => {
+                out.push((i, Token::Plus));
+                i += 1;
+            }
+            b'-' => {
+                out.push((i, Token::Minus));
+                i += 1;
+            }
+            b'&' => {
+                out.push((i, Token::Amp));
+                i += 1;
+            }
+            b'|' => {
+                out.push((i, Token::Pipe));
+                i += 1;
+            }
+            b'r' | b'R' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let num_start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if num_start == i {
+                    return Err(ExprError {
+                        pos: start,
+                        msg: "rule reference 'r' must be followed by a number".to_string(),
+                    });
+                }
+                let n: u32 = s[num_start..i].parse().map_err(|_| ExprError {
+                    pos: num_start,
+                    msg: "rule number out of range".to_string(),
+                })?;
+                out.push((start, Token::Rule(n)));
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let mut value: f64 = s[start..i].parse().map_err(|_| ExprError {
+                    pos: start,
+                    msg: format!("bad number {:?}", &s[start..i]),
+                })?;
+                if i < bytes.len() && bytes[i] == b'%' {
+                    value /= 100.0;
+                    i += 1;
+                }
+                out.push((start, Token::Num(value)));
+            }
+            other => {
+                return Err(ExprError {
+                    pos: i,
+                    msg: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.input_len, |&(p, _)| p)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ExprError {
+        ExprError {
+            pos: self.here(),
+            msg: msg.into(),
+        }
+    }
+
+    // expr := sum (('&' | '|') sum)*
+    fn expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.sum()?;
+        while let Some(tok) = self.peek() {
+            let op = match tok {
+                Token::Amp => true,
+                Token::Pipe => false,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.sum()?;
+            lhs = if op {
+                Expr::And(Box::new(lhs), Box::new(rhs))
+            } else {
+                Expr::Or(Box::new(lhs), Box::new(rhs))
+            };
+        }
+        Ok(lhs)
+    }
+
+    // sum := term (('+' | '-') term)*
+    fn sum(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.term()?;
+        while let Some(tok) = self.peek() {
+            let plus = match tok {
+                Token::Plus => true,
+                Token::Minus => false,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.term()?;
+            lhs = if plus {
+                Expr::Add(Box::new(lhs), Box::new(rhs))
+            } else {
+                Expr::Sub(Box::new(lhs), Box::new(rhs))
+            };
+        }
+        Ok(lhs)
+    }
+
+    // term := primary ('*' primary)*
+    fn term(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.primary()?;
+        while self.peek() == Some(&Token::Star) {
+            self.next();
+            let rhs = self.primary()?;
+            lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ExprError> {
+        match self.next() {
+            Some(Token::Num(v)) => Ok(Expr::Num(v)),
+            Some(Token::Rule(n)) => Ok(Expr::Rule(n)),
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(self.err("expected ')'")),
+                }
+            }
+            Some(other) => Err(self.err(format!("unexpected token {other:?}"))),
+            None => Err(self.err("unexpected end of expression")),
+        }
+    }
+}
+
+impl Expr {
+    /// Parse an expression from its rule-file text.
+    pub fn parse(s: &str) -> Result<Expr, ExprError> {
+        let tokens = tokenize(s)?;
+        if tokens.is_empty() {
+            return Err(ExprError {
+                pos: 0,
+                msg: "empty expression".to_string(),
+            });
+        }
+        let mut p = Parser {
+            tokens,
+            pos: 0,
+            input_len: s.len(),
+        };
+        let e = p.expr()?;
+        if p.pos != p.tokens.len() {
+            return Err(p.err("trailing tokens"));
+        }
+        Ok(e)
+    }
+
+    /// Evaluate with `lookup` providing the score of each referenced simple
+    /// rule. Returns an error listing the first unresolvable reference.
+    pub fn eval(&self, lookup: &impl Fn(u32) -> Option<f64>) -> Result<f64, u32> {
+        match self {
+            Expr::Num(v) => Ok(*v),
+            Expr::Rule(n) => lookup(*n).ok_or(*n),
+            Expr::Mul(a, b) => Ok(a.eval(lookup)? * b.eval(lookup)?),
+            Expr::Add(a, b) => Ok(a.eval(lookup)? + b.eval(lookup)?),
+            Expr::Sub(a, b) => Ok(a.eval(lookup)? - b.eval(lookup)?),
+            Expr::And(a, b) => Ok(a.eval(lookup)?.min(b.eval(lookup)?)),
+            Expr::Or(a, b) => Ok(a.eval(lookup)?.max(b.eval(lookup)?)),
+        }
+    }
+
+    /// All simple-rule numbers referenced, in evaluation (left-to-right)
+    /// order — the firing order of `rl_ruleNo`.
+    pub fn rule_refs(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs(&self, out: &mut Vec<u32>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Rule(n) => {
+                if !out.contains(n) {
+                    out.push(*n);
+                }
+            }
+            Expr::Mul(a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.collect_refs(out);
+                b.collect_refs(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(v) => write!(f, "{v}"),
+            Expr::Rule(n) => write!(f, "r{n}"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::And(a, b) => write!(f, "({a} & {b})"),
+            Expr::Or(a, b) => write!(f, "({a} | {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str, scores: &[(u32, f64)]) -> f64 {
+        Expr::parse(src)
+            .unwrap()
+            .eval(&|n| scores.iter().find(|&&(k, _)| k == n).map(|&(_, v)| v))
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_the_paper_expression() {
+        let e = Expr::parse("( 40% * r 4 + 30% * r1 + 30% * r3 ) & r2").unwrap();
+        assert_eq!(e.rule_refs(), vec![4, 1, 3, 2]); // matches rl_ruleNo: 4 1 3 2
+    }
+
+    #[test]
+    fn percent_literals() {
+        assert_eq!(eval("40%", &[]), 0.4);
+        assert_eq!(eval("100%", &[]), 1.0);
+        assert_eq!(eval("2.5", &[]), 2.5);
+    }
+
+    #[test]
+    fn weighted_sum() {
+        // All rules busy (score 1): weighted sum of weights summing to 1 is 1.
+        let scores = [(1, 1.0), (3, 1.0), (4, 1.0)];
+        let v = eval("40% * r4 + 30% * r1 + 30% * r3", &scores);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_is_min_or_is_max() {
+        assert_eq!(eval("r1 & r2", &[(1, 1.0), (2, 2.0)]), 1.0);
+        assert_eq!(eval("r1 | r2", &[(1, 1.0), (2, 2.0)]), 2.0);
+        assert_eq!(eval("r1 & r2", &[(1, 0.0), (2, 2.0)]), 0.0);
+    }
+
+    #[test]
+    fn paper_semantics_both_busy_is_busy() {
+        // "the system is in busy state if both rule 2 and a combination
+        //  evaluation of rule 4, 1 and 3 are in busy or one of them is in
+        //  busy and the other is in overloaded"
+        let src = "( 40% * r4 + 30% * r1 + 30% * r3 ) & r2";
+        // Both sides busy → 1.0 (busy).
+        let v = eval(src, &[(1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]);
+        assert!((v - 1.0).abs() < 1e-12);
+        // Combination busy, r2 overloaded → min = busy.
+        let v = eval(src, &[(1, 1.0), (2, 2.0), (3, 1.0), (4, 1.0)]);
+        assert!((v - 1.0).abs() < 1e-12);
+        // Both overloaded → overloaded.
+        let v = eval(src, &[(1, 2.0), (2, 2.0), (3, 2.0), (4, 2.0)]);
+        assert!((v - 2.0).abs() < 1e-12);
+        // One side free → min pulls the whole thing free-ward.
+        let v = eval(src, &[(1, 2.0), (2, 0.0), (3, 2.0), (4, 2.0)]);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_and() {
+        // 2 + 3 * 4 = 14; (2+12) & 1 = 1.
+        assert_eq!(eval("2 + 3 * 4 & 1", &[]), 1.0);
+        assert_eq!(eval("(2 + 3) * 4", &[]), 20.0);
+    }
+
+    #[test]
+    fn subtraction() {
+        assert_eq!(eval("r1 - 50%", &[(1, 2.0)]), 1.5);
+    }
+
+    #[test]
+    fn missing_rule_reported() {
+        let e = Expr::parse("r9").unwrap();
+        assert_eq!(e.eval(&|_| None), Err(9));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("r").is_err());
+        assert!(Expr::parse("( r1").is_err());
+        assert!(Expr::parse("r1 +").is_err());
+        assert!(Expr::parse("r1 r2").is_err());
+        assert!(Expr::parse("$").is_err());
+    }
+
+    #[test]
+    fn display_reparses_to_same_tree() {
+        let src = "( 40% * r 4 + 30% * r1 + 30% * r3 ) & r2";
+        let e = Expr::parse(src).unwrap();
+        let e2 = Expr::parse(&e.to_string()).unwrap();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn whitespace_inside_rule_refs() {
+        assert_eq!(Expr::parse("r   12").unwrap(), Expr::Rule(12));
+    }
+}

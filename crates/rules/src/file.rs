@@ -1,0 +1,497 @@
+//! The rule-file format (paper Figures 3 and 4).
+//!
+//! Rules are blocks of `rl_key: value` lines separated by blank lines:
+//!
+//! ```text
+//! rl_number: 1
+//! rl_name: processorStatus
+//! rl_type: simple
+//! rl_script: processorStatus.sh
+//! rl_desc: This rule determines the processor status i.e. the idle time.
+//! rl_operator: <
+//! rl_param:
+//! rl_busy: 50
+//! rl_overLd: 45
+//!
+//! rl_number: 5
+//! rl_name: cmp_rule
+//! rl_type: complex
+//! rl_desc: A Complex Rule.
+//! rl_ruleNo: 4 1 3 2
+//! rl_script: ( 40% * r 4 + 30% * r1 + 30% * r3 ) & r2
+//! ```
+//!
+//! For complex rules, `rl_script` holds the expression inline (the paper
+//! also allows a file name containing the expression; loading that file is
+//! the caller's job — pass the contents here). Two extension keys,
+//! `rl_busyCut` and `rl_overLdCut`, override the score→state thresholds of
+//! a complex rule.
+
+use crate::expr::Expr;
+use crate::simple::{RuleOp, SimpleRule};
+use crate::state::StateCuts;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A complex rule (`rl_type: complex`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexRule {
+    /// `rl_number`.
+    pub number: u32,
+    /// `rl_name`.
+    pub name: String,
+    /// `rl_desc`.
+    pub desc: String,
+    /// `rl_ruleNo` — declared firing order of the referenced simple rules.
+    pub rule_order: Vec<u32>,
+    /// Parsed `rl_script` expression.
+    pub expr: Expr,
+    /// Score→state thresholds (defaults unless overridden in the file).
+    pub cuts: StateCuts,
+}
+
+/// Any rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rule {
+    /// A threshold rule over one metric.
+    Simple(SimpleRule),
+    /// An expression over other rules.
+    Complex(ComplexRule),
+}
+
+impl Rule {
+    /// The rule's `rl_number`.
+    pub fn number(&self) -> u32 {
+        match self {
+            Rule::Simple(r) => r.number,
+            Rule::Complex(r) => r.number,
+        }
+    }
+
+    /// The rule's `rl_name`.
+    pub fn name(&self) -> &str {
+        match self {
+            Rule::Simple(r) => &r.name,
+            Rule::Complex(r) => &r.name,
+        }
+    }
+}
+
+/// Rule-file parsing errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleFileError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for RuleFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule file error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for RuleFileError {}
+
+/// Parse a rule file into its rules, in file order. Complex rules whose
+/// `rl_script` is a file name (the paper: "it can be represented in an
+/// expression or a file name containing the expression") fail here; use
+/// [`parse_rule_file_with`] to supply the file contents.
+pub fn parse_rule_file(input: &str) -> Result<Vec<Rule>, RuleFileError> {
+    parse_rule_file_with(input, &|_| None)
+}
+
+/// Parse a rule file, resolving complex-rule expression file references
+/// through `resolver` (name → file contents).
+pub fn parse_rule_file_with(
+    input: &str,
+    resolver: &dyn Fn(&str) -> Option<String>,
+) -> Result<Vec<Rule>, RuleFileError> {
+    let mut rules = Vec::new();
+    let mut block: HashMap<String, String> = HashMap::new();
+    let mut block_start = 1usize;
+
+    let flush = |block: &mut HashMap<String, String>,
+                 start: usize,
+                 rules: &mut Vec<Rule>|
+     -> Result<(), RuleFileError> {
+        if block.is_empty() {
+            return Ok(());
+        }
+        rules.push(block_to_rule(block, start, resolver)?);
+        block.clear();
+        Ok(())
+    };
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            flush(&mut block, block_start, &mut rules)?;
+            block_start = lineno + 1;
+            continue;
+        }
+        let (key, value) = line.split_once(':').ok_or_else(|| RuleFileError {
+            line: lineno,
+            msg: format!("expected 'rl_key: value', got {line:?}"),
+        })?;
+        let key = key.trim();
+        if !key.starts_with("rl_") {
+            return Err(RuleFileError {
+                line: lineno,
+                msg: format!("unknown key {key:?} (keys start with rl_)"),
+            });
+        }
+        block.insert(key.to_string(), value.trim().to_string());
+    }
+    flush(&mut block, block_start, &mut rules)?;
+    Ok(rules)
+}
+
+fn block_to_rule(
+    block: &HashMap<String, String>,
+    line: usize,
+    resolver: &dyn Fn(&str) -> Option<String>,
+) -> Result<Rule, RuleFileError> {
+    let get = |key: &str| -> Result<&str, RuleFileError> {
+        block.get(key).map(String::as_str).ok_or(RuleFileError {
+            line,
+            msg: format!("missing {key}"),
+        })
+    };
+    let parse_num = |key: &str, text: &str| -> Result<f64, RuleFileError> {
+        text.parse().map_err(|_| RuleFileError {
+            line,
+            msg: format!("{key} has unparsable value {text:?}"),
+        })
+    };
+
+    let number: u32 = get("rl_number")?.parse().map_err(|_| RuleFileError {
+        line,
+        msg: "rl_number must be an integer".to_string(),
+    })?;
+    let name = get("rl_name")?.to_string();
+    let desc = block.get("rl_desc").cloned().unwrap_or_default();
+    let rtype = get("rl_type")?;
+
+    match rtype {
+        "simple" => {
+            let operator =
+                RuleOp::parse(get("rl_operator")?).ok_or_else(|| RuleFileError {
+                    line,
+                    msg: format!("bad rl_operator {:?}", block["rl_operator"]),
+                })?;
+            let param = block
+                .get("rl_param")
+                .filter(|p| !p.is_empty())
+                .cloned();
+            Ok(Rule::Simple(SimpleRule {
+                number,
+                name,
+                script: get("rl_script")?.to_string(),
+                desc,
+                operator,
+                param,
+                busy: parse_num("rl_busy", get("rl_busy")?)?,
+                overloaded: parse_num("rl_overLd", get("rl_overLd")?)?,
+            }))
+        }
+        "complex" => {
+            let expr_src = get("rl_script")?;
+            // The script is either an inline expression or the name of a
+            // file containing one.
+            let looks_like_filename = !expr_src.is_empty()
+                && expr_src
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '/'));
+            let expr = match Expr::parse(expr_src) {
+                Ok(e) => e,
+                Err(_) if looks_like_filename => {
+                    let body = resolver(expr_src).ok_or_else(|| RuleFileError {
+                        line,
+                        msg: format!("expression file {expr_src:?} not found"),
+                    })?;
+                    Expr::parse(body.trim()).map_err(|e| RuleFileError {
+                        line,
+                        msg: format!("bad expression in {expr_src:?}: {e}"),
+                    })?
+                }
+                Err(e) => {
+                    return Err(RuleFileError {
+                        line,
+                        msg: format!("bad rl_script expression: {e}"),
+                    })
+                }
+            };
+            let rule_order: Vec<u32> = match block.get("rl_ruleNo") {
+                Some(s) => s
+                    .split_whitespace()
+                    .map(|tok| {
+                        tok.parse().map_err(|_| RuleFileError {
+                            line,
+                            msg: format!("bad rl_ruleNo entry {tok:?}"),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => expr.rule_refs(),
+            };
+            // The declared firing order must cover the referenced rules.
+            for r in expr.rule_refs() {
+                if !rule_order.contains(&r) {
+                    return Err(RuleFileError {
+                        line,
+                        msg: format!("rl_script references r{r} not listed in rl_ruleNo"),
+                    });
+                }
+            }
+            let mut cuts = StateCuts::default();
+            if let Some(v) = block.get("rl_busyCut") {
+                cuts.busy_cut = parse_num("rl_busyCut", v)?;
+            }
+            if let Some(v) = block.get("rl_overLdCut") {
+                cuts.overloaded_cut = parse_num("rl_overLdCut", v)?;
+            }
+            Ok(Rule::Complex(ComplexRule {
+                number,
+                name,
+                desc,
+                rule_order,
+                expr,
+                cuts,
+            }))
+        }
+        other => Err(RuleFileError {
+            line,
+            msg: format!("unknown rl_type {other:?}"),
+        }),
+    }
+}
+
+/// Serialize rules back to the file format.
+pub fn write_rule_file(rules: &[Rule]) -> String {
+    let mut out = String::new();
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match rule {
+            Rule::Simple(r) => {
+                out.push_str(&format!("rl_number: {}\n", r.number));
+                out.push_str(&format!("rl_name: {}\n", r.name));
+                out.push_str("rl_type: simple\n");
+                out.push_str(&format!("rl_script: {}\n", r.script));
+                out.push_str(&format!("rl_desc: {}\n", r.desc));
+                out.push_str(&format!("rl_operator: {}\n", r.operator));
+                out.push_str(&format!(
+                    "rl_param: {}\n",
+                    r.param.as_deref().unwrap_or("")
+                ));
+                out.push_str(&format!("rl_busy: {}\n", r.busy));
+                out.push_str(&format!("rl_overLd: {}\n", r.overloaded));
+            }
+            Rule::Complex(r) => {
+                out.push_str(&format!("rl_number: {}\n", r.number));
+                out.push_str(&format!("rl_name: {}\n", r.name));
+                out.push_str("rl_type: complex\n");
+                out.push_str(&format!("rl_desc: {}\n", r.desc));
+                out.push_str(&format!(
+                    "rl_ruleNo: {}\n",
+                    r.rule_order
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+                out.push_str(&format!("rl_script: {}\n", r.expr));
+                let defaults = StateCuts::default();
+                if r.cuts != defaults {
+                    out.push_str(&format!("rl_busyCut: {}\n", r.cuts.busy_cut));
+                    out.push_str(&format!("rl_overLdCut: {}\n", r.cuts.overloaded_cut));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The paper's Figure 3 + Figure 4 rule file (rules 1, 2 and the complex
+/// rule 5; rules 3 and 4 — memory and network load — are defined in the
+/// spirit of §3.1's metric list so the complex rule is evaluable).
+pub fn paper_rule_file() -> &'static str {
+    "\
+rl_number: 1
+rl_name: processorStatus
+rl_type: simple
+rl_script: processorStatus.sh
+rl_desc: This rule determines the processor status i.e. the idle time.
+rl_operator: <
+rl_param:
+rl_busy: 50
+rl_overLd: 45
+
+rl_number: 2
+rl_name: ntStatIpv4
+rl_type: simple
+rl_script: ntStatIpv4.sh
+rl_desc: This rule determines the number of sockets in a give state.
+rl_operator: >
+rl_param: ESTABLISHED
+rl_busy: 700
+rl_overLd: 900
+
+rl_number: 3
+rl_name: memAvail
+rl_type: simple
+rl_script: memAvail.sh
+rl_desc: Percentage of available physical memory.
+rl_operator: <
+rl_param:
+rl_busy: 30
+rl_overLd: 10
+
+rl_number: 4
+rl_name: loadAvg1
+rl_type: simple
+rl_script: loadAvg1.sh
+rl_desc: One minute load average.
+rl_operator: >
+rl_param:
+rl_busy: 1
+rl_overLd: 2
+
+rl_number: 5
+rl_name: cmp_rule
+rl_type: complex
+rl_desc: A Complex Rule.
+rl_ruleNo: 4 1 3 2
+rl_script: ( 40% * r 4 + 30% * r1 + 30% * r3 ) & r2
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_file() {
+        let rules = parse_rule_file(paper_rule_file()).unwrap();
+        assert_eq!(rules.len(), 5);
+        assert_eq!(rules[0].name(), "processorStatus");
+        assert_eq!(rules[1].name(), "ntStatIpv4");
+        let Rule::Complex(c) = &rules[4] else {
+            panic!("rule 5 should be complex")
+        };
+        assert_eq!(c.number, 5);
+        assert_eq!(c.rule_order, vec![4, 1, 3, 2]);
+    }
+
+    #[test]
+    fn figure3_rule1_fields() {
+        let rules = parse_rule_file(paper_rule_file()).unwrap();
+        let Rule::Simple(r) = &rules[0] else { panic!() };
+        assert_eq!(r.number, 1);
+        assert_eq!(r.script, "processorStatus.sh");
+        assert_eq!(r.operator, RuleOp::Less);
+        assert_eq!(r.param, None);
+        assert_eq!(r.busy, 50.0);
+        assert_eq!(r.overloaded, 45.0);
+    }
+
+    #[test]
+    fn figure3_rule2_fields() {
+        let rules = parse_rule_file(paper_rule_file()).unwrap();
+        let Rule::Simple(r) = &rules[1] else { panic!() };
+        assert_eq!(r.operator, RuleOp::Greater);
+        assert_eq!(r.param.as_deref(), Some("ESTABLISHED"));
+        assert_eq!(r.busy, 700.0);
+        assert_eq!(r.overloaded, 900.0);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let rules = parse_rule_file(paper_rule_file()).unwrap();
+        let text = write_rule_file(&rules);
+        let back = parse_rule_file(&text).unwrap();
+        assert_eq!(back, rules);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# a comment\n\nrl_number: 9\nrl_name: x\nrl_type: simple\nrl_script: s.sh\nrl_operator: >\nrl_busy: 1\nrl_overLd: 2\n";
+        let rules = parse_rule_file(src).unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].number(), 9);
+    }
+
+    #[test]
+    fn missing_required_key_errors() {
+        let src = "rl_number: 1\nrl_name: x\nrl_type: simple\n";
+        let e = parse_rule_file(src).unwrap_err();
+        assert!(e.msg.contains("missing"), "{e}");
+    }
+
+    #[test]
+    fn bad_type_errors() {
+        let src = "rl_number: 1\nrl_name: x\nrl_type: quantum\n";
+        let e = parse_rule_file(src).unwrap_err();
+        assert!(e.msg.contains("unknown rl_type"), "{e}");
+    }
+
+    #[test]
+    fn rule_order_must_cover_expression() {
+        let src = "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_ruleNo: 1 2\nrl_script: r1 & r3\n";
+        let e = parse_rule_file(src).unwrap_err();
+        assert!(e.msg.contains("r3"), "{e}");
+    }
+
+    #[test]
+    fn rule_order_defaults_to_expression_refs() {
+        let src = "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_script: r2 & r1\n";
+        let rules = parse_rule_file(src).unwrap();
+        let Rule::Complex(c) = &rules[0] else { panic!() };
+        assert_eq!(c.rule_order, vec![2, 1]);
+    }
+
+    #[test]
+    fn cut_overrides() {
+        let src = "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_script: r1\nrl_busyCut: 0.3\nrl_overLdCut: 1.8\n";
+        let rules = parse_rule_file(src).unwrap();
+        let Rule::Complex(c) = &rules[0] else { panic!() };
+        assert_eq!(c.cuts.busy_cut, 0.3);
+        assert_eq!(c.cuts.overloaded_cut, 1.8);
+    }
+
+    #[test]
+    fn expression_file_reference_resolves() {
+        let src = "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_ruleNo: 1 2\nrl_script: cmp_rule.expr\n";
+        let resolver = |name: &str| {
+            (name == "cmp_rule.expr").then(|| "r1 & r2".to_string())
+        };
+        let rules = parse_rule_file_with(src, &resolver).unwrap();
+        let Rule::Complex(c) = &rules[0] else { panic!() };
+        assert_eq!(c.expr, Expr::parse("r1 & r2").unwrap());
+    }
+
+    #[test]
+    fn missing_expression_file_errors() {
+        let src = "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_script: nowhere.expr\n";
+        let e = parse_rule_file(src).unwrap_err();
+        assert!(e.msg.contains("not found"), "{e}");
+    }
+
+    #[test]
+    fn bad_inline_expression_still_reports_inline_error() {
+        // Contains characters a filename cannot, so no resolver fallback.
+        let src = "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_script: r1 &&& r2\n";
+        let e = parse_rule_file(src).unwrap_err();
+        assert!(e.msg.contains("bad rl_script"), "{e}");
+    }
+
+    #[test]
+    fn garbage_line_errors_with_line_number() {
+        let src = "rl_number: 1\nwhat is this\n";
+        let e = parse_rule_file(src).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

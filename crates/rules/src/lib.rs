@@ -1,0 +1,34 @@
+//! # ars-rules — the rule-based decision-making mechanism (paper §4)
+//!
+//! "We established a rule to describe the requirement of the system based on
+//! one or some specific performance or availability parameters. … We defined
+//! a policy as a group of rules."
+//!
+//! * [`simple`] — threshold rules over one metric (Figure 3);
+//! * [`expr`] — the complex-rule expression language (Figure 4);
+//! * [`mod@file`] — the `rl_*` rule-file format, parser and writer;
+//! * [`ruleset`] — evaluation of a rule file against sensor metrics;
+//! * [`state`] — state scores, fine-grained levels, score→state cuts;
+//! * [`policy`] — migration policies (§5.3) and per-state monitoring
+//!   frequency;
+//! * [`xml`] — the on-wire XML form of rules and rule sets.
+
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod file;
+pub mod policy;
+pub mod ruleset;
+pub mod simple;
+pub mod state;
+pub mod xml;
+
+pub use expr::{Expr, ExprError};
+pub use file::{parse_rule_file, parse_rule_file_with, paper_rule_file, write_rule_file, ComplexRule, Rule, RuleFileError};
+pub use policy::{metric_keys, Condition, MonitoringFrequency, Policy};
+pub use ruleset::{EvalError, Evaluation, RuleSet};
+pub use simple::{RuleOp, SimpleRule};
+pub use state::{StateCuts, StateLevel, StateScore};
+
+// Re-export the protocol state vocabulary for convenience.
+pub use ars_xmlwire::HostState;

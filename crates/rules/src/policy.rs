@@ -1,0 +1,274 @@
+//! Migration policies (paper §5.3) and per-state monitoring frequency.
+//!
+//! A policy bundles the migration *trigger* conditions evaluated on the
+//! source host, a *source gate* that must also hold for migration to be
+//! worthwhile, and the conditions a *destination* must satisfy. The paper's
+//! three evaluation policies are provided as constructors.
+//!
+//! Interpretation note: Policy 3's third clause — "the current
+//! incoming/outgoing communication flow is no more than 5 MB/s" — is
+//! implemented as a source *gate* rather than a trigger: a host that is
+//! pumping more than 5 MB/s holds a communication-bound process whose
+//! migration would be counterproductive, so migration is allowed only below
+//! that rate. (Read as a trigger it would fire on every idle machine.) The
+//! destination-side clause is implemented exactly as written.
+
+use crate::simple::RuleOp;
+use ars_simcore::SimDuration;
+use ars_xmlwire::{HostState, Metrics};
+
+/// A single metric comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Metric key (as published by the sensor layer).
+    pub metric: String,
+    /// Comparison operator.
+    pub op: RuleOp,
+    /// Threshold value.
+    pub threshold: f64,
+}
+
+impl Condition {
+    /// Build a condition.
+    pub fn new(metric: impl Into<String>, op: RuleOp, threshold: f64) -> Self {
+        Condition {
+            metric: metric.into(),
+            op,
+            threshold,
+        }
+    }
+
+    /// Evaluate against a metric bag; `None` when the metric is missing.
+    pub fn holds(&self, metrics: &Metrics) -> Option<bool> {
+        metrics
+            .get(&self.metric)
+            .map(|v| self.op.apply(v, self.threshold))
+    }
+}
+
+/// Standard metric keys used by the built-in policies and sensors.
+pub mod metric_keys {
+    /// 1-minute load average.
+    pub const LOAD1: &str = "loadAvg1";
+    /// 5-minute load average.
+    pub const LOAD5: &str = "loadAvg5";
+    /// Number of active processes.
+    pub const NPROC: &str = "nproc";
+    /// CPU idle percentage over the last sample window.
+    pub const CPU_IDLE: &str = "processorStatus";
+    /// CPU utilization fraction over the last sample window.
+    pub const CPU_UTIL: &str = "cpuUtil";
+    /// Max of incoming/outgoing flow, MB/s, over the last sample window.
+    pub const NET_FLOW_MBPS: &str = "netFlowMBps";
+    /// Outgoing KB/s over the last sample window.
+    pub const NET_TX_KBPS: &str = "netTxKBps";
+    /// Incoming KB/s over the last sample window.
+    pub const NET_RX_KBPS: &str = "netRxKBps";
+    /// Available physical memory percentage.
+    pub const MEM_AVAIL: &str = "memAvail";
+    /// Established IPv4 sockets.
+    pub const SOCKETS_ESTABLISHED: &str = "ntStatIpv4:ESTABLISHED";
+}
+
+/// A migration policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    /// Policy name (for reports).
+    pub name: String,
+    /// False disables migration entirely (the paper's Policy 1).
+    pub migration_enabled: bool,
+    /// Migrate when ANY of these hold on the source.
+    pub trigger_any: Vec<Condition>,
+    /// …and ALL of these hold on the source.
+    pub source_gate_all: Vec<Condition>,
+    /// A destination must satisfy ALL of these.
+    pub dest_all: Vec<Condition>,
+    /// How long the trigger must hold continuously before the migration
+    /// decision fires (avoids "fault migration caused by small system
+    /// performance variations", §5.2; the paper observes 72 s).
+    pub warmup: SimDuration,
+}
+
+impl Policy {
+    /// Paper Policy 1: no migration.
+    pub fn no_migration() -> Policy {
+        Policy {
+            name: "policy1-no-migration".to_string(),
+            migration_enabled: false,
+            trigger_any: Vec::new(),
+            source_gate_all: Vec::new(),
+            dest_all: Vec::new(),
+            warmup: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Paper Policy 2: load/process-count thresholds, no communication
+    /// awareness.
+    pub fn paper_policy2() -> Policy {
+        Policy {
+            name: "policy2-load-only".to_string(),
+            migration_enabled: true,
+            trigger_any: vec![
+                Condition::new(metric_keys::LOAD1, RuleOp::Greater, 2.0),
+                Condition::new(metric_keys::NPROC, RuleOp::Greater, 150.0),
+            ],
+            source_gate_all: Vec::new(),
+            dest_all: vec![
+                Condition::new(metric_keys::LOAD1, RuleOp::Less, 1.0),
+                Condition::new(metric_keys::NPROC, RuleOp::Less, 100.0),
+            ],
+            warmup: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Paper Policy 3: Policy 2 plus communication-flow awareness.
+    pub fn paper_policy3() -> Policy {
+        let mut p = Policy::paper_policy2();
+        p.name = "policy3-comm-aware".to_string();
+        p.source_gate_all
+            .push(Condition::new(metric_keys::NET_FLOW_MBPS, RuleOp::LessEq, 5.0));
+        p.dest_all
+            .push(Condition::new(metric_keys::NET_FLOW_MBPS, RuleOp::LessEq, 3.0));
+        p
+    }
+
+    /// Does the source's metric bag ask for a migration?
+    /// Missing metrics make a trigger false and a gate false (conservative).
+    pub fn should_migrate(&self, metrics: &Metrics) -> bool {
+        if !self.migration_enabled {
+            return false;
+        }
+        let triggered = self
+            .trigger_any
+            .iter()
+            .any(|c| c.holds(metrics).unwrap_or(false));
+        let gated = self
+            .source_gate_all
+            .iter()
+            .all(|c| c.holds(metrics).unwrap_or(false));
+        triggered && gated
+    }
+
+    /// Is this destination acceptable? Missing metrics reject it.
+    pub fn dest_acceptable(&self, metrics: &Metrics) -> bool {
+        self.dest_all
+            .iter()
+            .all(|c| c.holds(metrics).unwrap_or(false))
+    }
+}
+
+/// Per-state monitoring frequency (§4: "We configure a time interval as
+/// Monitoring Frequency for each state").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitoringFrequency {
+    /// Interval while free.
+    pub free: SimDuration,
+    /// Interval while busy.
+    pub busy: SimDuration,
+    /// Interval while overloaded (typically the shortest — migration
+    /// decisions are pending).
+    pub overloaded: SimDuration,
+}
+
+impl Default for MonitoringFrequency {
+    fn default() -> Self {
+        MonitoringFrequency {
+            free: SimDuration::from_secs(10),
+            busy: SimDuration::from_secs(10),
+            overloaded: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl MonitoringFrequency {
+    /// The interval to use in a given state.
+    pub fn interval(&self, state: HostState) -> SimDuration {
+        match state {
+            HostState::Free => self.free,
+            HostState::Busy => self.busy,
+            HostState::Overloaded | HostState::Unavailable => self.overloaded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(load1: f64, nproc: f64, flow_mbps: f64) -> Metrics {
+        let mut m = Metrics::new();
+        m.set(metric_keys::LOAD1, load1);
+        m.set(metric_keys::NPROC, nproc);
+        m.set(metric_keys::NET_FLOW_MBPS, flow_mbps);
+        m
+    }
+
+    #[test]
+    fn policy1_never_migrates() {
+        let p = Policy::no_migration();
+        assert!(!p.should_migrate(&metrics(99.0, 9999.0, 0.0)));
+    }
+
+    #[test]
+    fn policy2_triggers_on_load_or_nproc() {
+        let p = Policy::paper_policy2();
+        assert!(!p.should_migrate(&metrics(1.5, 100.0, 0.0)));
+        assert!(p.should_migrate(&metrics(2.1, 100.0, 0.0)));
+        assert!(p.should_migrate(&metrics(0.5, 151.0, 0.0)));
+        // Boundary: the paper says "greater than 2", so 2.0 does not fire.
+        assert!(!p.should_migrate(&metrics(2.0, 150.0, 0.0)));
+    }
+
+    #[test]
+    fn policy2_destination_conditions() {
+        let p = Policy::paper_policy2();
+        // Host 2 of Table 2: load 0.97, communicating hard — still accepted
+        // because Policy 2 is communication-blind.
+        assert!(p.dest_acceptable(&metrics(0.97, 50.0, 7.5)));
+        assert!(!p.dest_acceptable(&metrics(1.2, 50.0, 0.0)));
+        assert!(!p.dest_acceptable(&metrics(0.5, 120.0, 0.0)));
+    }
+
+    #[test]
+    fn policy3_rejects_communicating_destination() {
+        let p = Policy::paper_policy3();
+        // Host 2: load fine, but flow 6.71-7.78 MB/s > 3 MB/s → rejected.
+        assert!(!p.dest_acceptable(&metrics(0.97, 50.0, 7.0)));
+        // Host 4: free → accepted.
+        assert!(p.dest_acceptable(&metrics(0.1, 40.0, 0.0)));
+    }
+
+    #[test]
+    fn policy3_source_gate_blocks_comm_bound_source() {
+        let p = Policy::paper_policy3();
+        assert!(p.should_migrate(&metrics(2.5, 100.0, 1.0)));
+        assert!(!p.should_migrate(&metrics(2.5, 100.0, 6.0))); // gate fails
+    }
+
+    #[test]
+    fn missing_metrics_are_conservative() {
+        let p = Policy::paper_policy3();
+        let mut m = Metrics::new();
+        m.set(metric_keys::LOAD1, 3.0);
+        // Trigger holds but the gate metric is missing → no migration.
+        assert!(!p.should_migrate(&m));
+        // Destination metrics missing → unacceptable.
+        assert!(!p.dest_acceptable(&Metrics::new()));
+    }
+
+    #[test]
+    fn monitoring_frequency_by_state() {
+        let f = MonitoringFrequency::default();
+        assert_eq!(f.interval(HostState::Free), SimDuration::from_secs(10));
+        assert_eq!(
+            f.interval(HostState::Overloaded),
+            SimDuration::from_secs(5)
+        );
+    }
+
+    #[test]
+    fn condition_missing_metric_is_none() {
+        let c = Condition::new("nope", RuleOp::Greater, 1.0);
+        assert_eq!(c.holds(&Metrics::new()), None);
+    }
+}

@@ -1,0 +1,288 @@
+//! Rule-set evaluation (paper Figure 2 — the rule-evaluator of the monitor).
+//!
+//! A [`RuleSet`] holds the rules parsed from a rule file. Evaluation reads
+//! metric values (produced by the sensor layer) keyed by each simple rule's
+//! [`metric_key`](crate::simple::SimpleRule::metric_key), scores every rule,
+//! and reports the host state decided by the designated *decision rule*
+//! (by default the last rule in the file — the paper's files end with the
+//! complex rule that combines the others).
+
+use crate::file::{parse_rule_file, ComplexRule, Rule, RuleFileError};
+use crate::simple::SimpleRule;
+use crate::state::{StateCuts, StateLevel, StateScore};
+use ars_xmlwire::{HostState, Metrics};
+use std::collections::BTreeMap;
+
+/// Outcome of evaluating a rule set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The decided host state (from the decision rule).
+    pub state: HostState,
+    /// The decision rule's continuous score.
+    pub score: StateScore,
+    /// The fine-grained 0–255 level ("a series of numbers to support more
+    /// complex migration rules and policies", §4).
+    pub level: StateLevel,
+    /// Per-rule outcomes, keyed by rule number.
+    pub per_rule: BTreeMap<u32, HostState>,
+}
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A simple rule's metric was absent from the sample bag.
+    MissingMetric(String),
+    /// A complex rule referenced an unknown rule number.
+    UnknownRule(u32),
+    /// The set has no rules.
+    Empty,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::MissingMetric(m) => write!(f, "metric {m:?} not sampled"),
+            EvalError::UnknownRule(n) => write!(f, "complex rule references unknown rule r{n}"),
+            EvalError::Empty => write!(f, "rule set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// An ordered set of rules with a designated decision rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    decision: u32,
+}
+
+impl RuleSet {
+    /// Build from parsed rules; the last rule is the decision rule.
+    pub fn new(rules: Vec<Rule>) -> Result<Self, EvalError> {
+        let decision = rules.last().ok_or(EvalError::Empty)?.number();
+        Ok(RuleSet { rules, decision })
+    }
+
+    /// Parse a rule file into a set.
+    pub fn from_file(text: &str) -> Result<Self, RuleFileError> {
+        let rules = parse_rule_file(text)?;
+        Self::new(rules).map_err(|_| RuleFileError {
+            line: 1,
+            msg: "rule file contains no rules".to_string(),
+        })
+    }
+
+    /// The paper's rules (Figures 3 and 4).
+    pub fn paper() -> Self {
+        Self::from_file(crate::file::paper_rule_file()).expect("paper rule file parses")
+    }
+
+    /// Choose which rule decides the host state.
+    pub fn set_decision_rule(&mut self, number: u32) -> Result<(), EvalError> {
+        if self.rule(number).is_none() {
+            return Err(EvalError::UnknownRule(number));
+        }
+        self.decision = number;
+        Ok(())
+    }
+
+    /// The decision rule's number.
+    pub fn decision_rule(&self) -> u32 {
+        self.decision
+    }
+
+    /// All rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Look up a rule by number.
+    pub fn rule(&self, number: u32) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.number() == number)
+    }
+
+    /// Metric keys needed to evaluate every simple rule — the scripts the
+    /// monitor must run each cycle.
+    pub fn metric_keys(&self) -> Vec<String> {
+        self.rules
+            .iter()
+            .filter_map(|r| match r {
+                Rule::Simple(s) => Some(s.metric_key()),
+                Rule::Complex(_) => None,
+            })
+            .collect()
+    }
+
+    /// Evaluate all rules against a metric sample bag.
+    pub fn evaluate(&self, metrics: &Metrics) -> Result<Evaluation, EvalError> {
+        if self.rules.is_empty() {
+            return Err(EvalError::Empty);
+        }
+        // Pass 1: simple rules.
+        let mut scores: BTreeMap<u32, f64> = BTreeMap::new();
+        let mut per_rule: BTreeMap<u32, HostState> = BTreeMap::new();
+        for rule in &self.rules {
+            if let Rule::Simple(s) = rule {
+                let key = s.metric_key();
+                let value = metrics
+                    .get(&key)
+                    .ok_or_else(|| EvalError::MissingMetric(key.clone()))?;
+                let state = s.evaluate(value);
+                scores.insert(s.number, StateScore::from(state).0);
+                per_rule.insert(s.number, state);
+            }
+        }
+        // Pass 2: complex rules (may reference earlier complex rules too,
+        // as long as they appear before in file order).
+        for rule in &self.rules {
+            if let Rule::Complex(c) = rule {
+                let score = c
+                    .expr
+                    .eval(&|n| scores.get(&n).copied())
+                    .map_err(EvalError::UnknownRule)?;
+                let state = c.cuts.classify(StateScore(score));
+                scores.insert(c.number, score);
+                per_rule.insert(c.number, state);
+            }
+        }
+        let decision_score = StateScore(
+            scores
+                .get(&self.decision)
+                .copied()
+                .ok_or(EvalError::UnknownRule(self.decision))?,
+        );
+        let state = match self.rule(self.decision) {
+            Some(Rule::Complex(c)) => c.cuts.classify(decision_score),
+            _ => StateCuts::default().classify(decision_score),
+        };
+        Ok(Evaluation {
+            state,
+            score: decision_score,
+            level: StateLevel::from_score(decision_score),
+            per_rule,
+        })
+    }
+}
+
+/// Convenience: a rule set holding one simple rule.
+impl From<SimpleRule> for RuleSet {
+    fn from(rule: SimpleRule) -> Self {
+        RuleSet::new(vec![Rule::Simple(rule)]).expect("non-empty")
+    }
+}
+
+/// Convenience: a rule set holding simple rules plus one complex decider.
+impl From<(Vec<SimpleRule>, ComplexRule)> for RuleSet {
+    fn from((simples, complex): (Vec<SimpleRule>, ComplexRule)) -> Self {
+        let mut rules: Vec<Rule> = simples.into_iter().map(Rule::Simple).collect();
+        rules.push(Rule::Complex(complex));
+        RuleSet::new(rules).expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_metrics(idle: f64, sockets: f64, mem_avail: f64, load1: f64) -> Metrics {
+        let mut m = Metrics::new();
+        m.set("processorStatus", idle);
+        m.set("ntStatIpv4:ESTABLISHED", sockets);
+        m.set("memAvail", mem_avail);
+        m.set("loadAvg1", load1);
+        m
+    }
+
+    #[test]
+    fn idle_host_is_free() {
+        let rs = RuleSet::paper();
+        let eval = rs.evaluate(&paper_metrics(95.0, 10.0, 80.0, 0.1)).unwrap();
+        assert_eq!(eval.state, HostState::Free);
+        assert_eq!(eval.per_rule[&1], HostState::Free);
+        assert_eq!(eval.per_rule[&5], HostState::Free);
+        assert_eq!(eval.level, crate::state::StateLevel(0));
+    }
+
+    #[test]
+    fn fine_grained_level_tracks_the_score() {
+        let rs = RuleSet::paper();
+        // Fully overloaded sample: score 2.0 -> level 255.
+        let eval = rs.evaluate(&paper_metrics(10.0, 1000.0, 5.0, 3.0)).unwrap();
+        assert_eq!(eval.level, crate::state::StateLevel(255));
+        // A busy mix lands strictly between the extremes.
+        let eval = rs.evaluate(&paper_metrics(47.0, 800.0, 20.0, 1.5)).unwrap();
+        assert!(eval.level > crate::state::StateLevel(0));
+        assert!(eval.level < crate::state::StateLevel(255));
+    }
+
+    #[test]
+    fn loaded_host_is_overloaded_when_all_rules_agree() {
+        let rs = RuleSet::paper();
+        // idle 10 (< 45), 1000 sockets (> 900), 5 % memory, load 3 (> 2).
+        let eval = rs.evaluate(&paper_metrics(10.0, 1000.0, 5.0, 3.0)).unwrap();
+        assert_eq!(eval.state, HostState::Overloaded);
+    }
+
+    #[test]
+    fn conjunction_caps_at_milder_side() {
+        let rs = RuleSet::paper();
+        // Weighted side overloaded, but socket rule free → min = free.
+        let eval = rs.evaluate(&paper_metrics(10.0, 10.0, 5.0, 3.0)).unwrap();
+        assert_eq!(eval.state, HostState::Free);
+        assert_eq!(eval.per_rule[&1], HostState::Overloaded);
+        assert_eq!(eval.per_rule[&2], HostState::Free);
+    }
+
+    #[test]
+    fn busy_when_both_sides_busy() {
+        let rs = RuleSet::paper();
+        // idle 47 → busy; sockets 800 → busy; mem 20 → busy; load 1.5 → busy.
+        let eval = rs
+            .evaluate(&paper_metrics(47.0, 800.0, 20.0, 1.5))
+            .unwrap();
+        assert_eq!(eval.state, HostState::Busy);
+    }
+
+    #[test]
+    fn missing_metric_is_an_error() {
+        let rs = RuleSet::paper();
+        let mut m = Metrics::new();
+        m.set("processorStatus", 50.0);
+        let e = rs.evaluate(&m).unwrap_err();
+        assert!(matches!(e, EvalError::MissingMetric(_)));
+    }
+
+    #[test]
+    fn decision_rule_defaults_to_last_and_can_be_changed() {
+        let mut rs = RuleSet::paper();
+        assert_eq!(rs.decision_rule(), 5);
+        rs.set_decision_rule(1).unwrap();
+        let eval = rs.evaluate(&paper_metrics(10.0, 0.0, 80.0, 0.0)).unwrap();
+        assert_eq!(eval.state, HostState::Overloaded); // rule 1 alone decides
+        assert!(rs.set_decision_rule(99).is_err());
+    }
+
+    #[test]
+    fn metric_keys_enumerate_scripts() {
+        let rs = RuleSet::paper();
+        let keys = rs.metric_keys();
+        assert_eq!(
+            keys,
+            vec![
+                "processorStatus",
+                "ntStatIpv4:ESTABLISHED",
+                "memAvail",
+                "loadAvg1"
+            ]
+        );
+    }
+
+    #[test]
+    fn single_rule_set_from_simple() {
+        let rs: RuleSet = SimpleRule::paper_rule1().into();
+        let mut m = Metrics::new();
+        m.set("processorStatus", 30.0);
+        assert_eq!(rs.evaluate(&m).unwrap().state, HostState::Overloaded);
+    }
+}

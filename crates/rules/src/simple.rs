@@ -1,0 +1,224 @@
+//! Simple rules (paper Figure 3).
+//!
+//! A simple rule names a metric-gathering script (`rl_script`), a comparison
+//! operator (`rl_operator`), an optional parameter passed to the script
+//! (`rl_param`) and the *busy* / *overloaded* thresholds (`rl_busy`,
+//! `rl_overLd`). Evaluation follows the paper's Rule 1 semantics:
+//!
+//! > "If the processor's idle time is higher than 45 but lower than 50 then
+//! > the system is kept in busy state; if the processor's idle time is
+//! > lesser than 45 then the system is kept in overloaded state; otherwise
+//! > the system is put into free."
+//!
+//! i.e. `value OP rl_overLd` → overloaded, else `value OP rl_busy` → busy,
+//! else free.
+
+use crate::state::StateScore;
+use ars_xmlwire::HostState;
+use std::fmt;
+
+/// Comparison operator of a simple rule (`rl_operator`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleOp {
+    /// `<` — smaller values are worse (e.g. CPU idle time).
+    Less,
+    /// `<=`
+    LessEq,
+    /// `>` — larger values are worse (e.g. socket counts, load average).
+    Greater,
+    /// `>=`
+    GreaterEq,
+    /// `==` (threshold equality; rarely useful but in the format).
+    Eq,
+}
+
+impl RuleOp {
+    /// Apply the operator.
+    pub fn apply(self, value: f64, threshold: f64) -> bool {
+        match self {
+            RuleOp::Less => value < threshold,
+            RuleOp::LessEq => value <= threshold,
+            RuleOp::Greater => value > threshold,
+            RuleOp::GreaterEq => value >= threshold,
+            RuleOp::Eq => value == threshold,
+        }
+    }
+
+    /// Parse the rule-file form.
+    pub fn parse(s: &str) -> Option<RuleOp> {
+        match s.trim() {
+            "<" => Some(RuleOp::Less),
+            "<=" => Some(RuleOp::LessEq),
+            ">" => Some(RuleOp::Greater),
+            ">=" => Some(RuleOp::GreaterEq),
+            "==" | "=" => Some(RuleOp::Eq),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RuleOp::Less => "<",
+            RuleOp::LessEq => "<=",
+            RuleOp::Greater => ">",
+            RuleOp::GreaterEq => ">=",
+            RuleOp::Eq => "==",
+        })
+    }
+}
+
+/// A simple rule (`rl_type: simple`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimpleRule {
+    /// `rl_number` — referenced by complex rules as `r<number>`.
+    pub number: u32,
+    /// `rl_name`.
+    pub name: String,
+    /// `rl_script` — the metric-gathering script, e.g. `processorStatus.sh`.
+    pub script: String,
+    /// `rl_desc`.
+    pub desc: String,
+    /// `rl_operator`.
+    pub operator: RuleOp,
+    /// `rl_param` — passed to the script; selects a metric variant.
+    pub param: Option<String>,
+    /// `rl_busy` threshold.
+    pub busy: f64,
+    /// `rl_overLd` threshold.
+    pub overloaded: f64,
+}
+
+impl SimpleRule {
+    /// The metric key this rule reads: the script stem, plus `:param` when a
+    /// parameter is present (`ntStatIpv4.sh` + `ESTABLISHED` →
+    /// `ntStatIpv4:ESTABLISHED`). The sensor layer publishes metrics under
+    /// these keys.
+    pub fn metric_key(&self) -> String {
+        let stem = self
+            .script
+            .strip_suffix(".sh")
+            .or_else(|| self.script.strip_suffix(".bat"))
+            .unwrap_or(&self.script);
+        match &self.param {
+            Some(p) if !p.is_empty() => format!("{stem}:{p}"),
+            _ => stem.to_string(),
+        }
+    }
+
+    /// Evaluate against a metric value.
+    pub fn evaluate(&self, value: f64) -> HostState {
+        if self.operator.apply(value, self.overloaded) {
+            HostState::Overloaded
+        } else if self.operator.apply(value, self.busy) {
+            HostState::Busy
+        } else {
+            HostState::Free
+        }
+    }
+
+    /// Evaluate to a continuous score.
+    pub fn score(&self, value: f64) -> StateScore {
+        StateScore::from(self.evaluate(value))
+    }
+
+    /// The paper's Rule 1: processor status from `vmstat` idle time.
+    pub fn paper_rule1() -> SimpleRule {
+        SimpleRule {
+            number: 1,
+            name: "processorStatus".to_string(),
+            script: "processorStatus.sh".to_string(),
+            desc: "This rule determines the processor status i.e. the idle time.".to_string(),
+            operator: RuleOp::Less,
+            param: None,
+            busy: 50.0,
+            overloaded: 45.0,
+        }
+    }
+
+    /// The paper's Rule 2: IPv4 sockets in a given state from `netstat`.
+    pub fn paper_rule2() -> SimpleRule {
+        SimpleRule {
+            number: 2,
+            name: "ntStatIpv4".to_string(),
+            script: "ntStatIpv4.sh".to_string(),
+            desc: "This rule determines the number of sockets in a give state.".to_string(),
+            operator: RuleOp::Greater,
+            param: Some("ESTABLISHED".to_string()),
+            busy: 700.0,
+            overloaded: 900.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule1_idle_time_semantics() {
+        // Paper: idle < 45 → overloaded; 45 <= idle < 50 → busy; else free.
+        let r = SimpleRule::paper_rule1();
+        assert_eq!(r.evaluate(30.0), HostState::Overloaded);
+        assert_eq!(r.evaluate(44.9), HostState::Overloaded);
+        assert_eq!(r.evaluate(45.0), HostState::Busy);
+        assert_eq!(r.evaluate(47.0), HostState::Busy);
+        assert_eq!(r.evaluate(49.9), HostState::Busy);
+        assert_eq!(r.evaluate(50.0), HostState::Free);
+        assert_eq!(r.evaluate(95.0), HostState::Free);
+    }
+
+    #[test]
+    fn rule2_socket_count_semantics() {
+        let r = SimpleRule::paper_rule2();
+        assert_eq!(r.evaluate(100.0), HostState::Free);
+        assert_eq!(r.evaluate(700.0), HostState::Free);
+        assert_eq!(r.evaluate(701.0), HostState::Busy);
+        assert_eq!(r.evaluate(900.0), HostState::Busy);
+        assert_eq!(r.evaluate(901.0), HostState::Overloaded);
+    }
+
+    #[test]
+    fn metric_keys() {
+        assert_eq!(SimpleRule::paper_rule1().metric_key(), "processorStatus");
+        assert_eq!(
+            SimpleRule::paper_rule2().metric_key(),
+            "ntStatIpv4:ESTABLISHED"
+        );
+    }
+
+    #[test]
+    fn all_operators() {
+        assert!(RuleOp::Less.apply(1.0, 2.0));
+        assert!(!RuleOp::Less.apply(2.0, 2.0));
+        assert!(RuleOp::LessEq.apply(2.0, 2.0));
+        assert!(RuleOp::Greater.apply(3.0, 2.0));
+        assert!(!RuleOp::Greater.apply(2.0, 2.0));
+        assert!(RuleOp::GreaterEq.apply(2.0, 2.0));
+        assert!(RuleOp::Eq.apply(2.0, 2.0));
+        assert!(!RuleOp::Eq.apply(2.1, 2.0));
+    }
+
+    #[test]
+    fn operator_parse_display_roundtrip() {
+        for op in [
+            RuleOp::Less,
+            RuleOp::LessEq,
+            RuleOp::Greater,
+            RuleOp::GreaterEq,
+            RuleOp::Eq,
+        ] {
+            assert_eq!(RuleOp::parse(&op.to_string()), Some(op));
+        }
+        assert_eq!(RuleOp::parse("!="), None);
+    }
+
+    #[test]
+    fn score_matches_state() {
+        let r = SimpleRule::paper_rule1();
+        assert_eq!(r.score(30.0).0, 2.0);
+        assert_eq!(r.score(47.0).0, 1.0);
+        assert_eq!(r.score(90.0).0, 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! State scores and the fine-grained state scale.
+//!
+//! The paper classifies system states "with a fine granularity using a
+//! series of numbers to support more complex migration rules and policies",
+//! then presents the simplified three-state view (*free*, *busy*,
+//! *overloaded*). This module implements both: a continuous score in
+//! `[0, 2]` (0 = free, 1 = busy, 2 = overloaded) used by the complex-rule
+//! algebra, and the mapping between scores, fine-grained levels and the
+//! protocol's [`HostState`].
+
+use ars_xmlwire::HostState;
+
+/// Continuous state score: 0 = free, 1 = busy, 2 = overloaded.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct StateScore(pub f64);
+
+impl StateScore {
+    /// The score of a fully free host.
+    pub const FREE: StateScore = StateScore(0.0);
+    /// The score of a busy host.
+    pub const BUSY: StateScore = StateScore(1.0);
+    /// The score of an overloaded host.
+    pub const OVERLOADED: StateScore = StateScore(2.0);
+
+    /// Clamp into the valid `[0, 2]` range.
+    pub fn clamped(self) -> StateScore {
+        StateScore(self.0.clamp(0.0, 2.0))
+    }
+}
+
+impl From<HostState> for StateScore {
+    fn from(s: HostState) -> StateScore {
+        match s {
+            HostState::Free => StateScore::FREE,
+            HostState::Busy => StateScore::BUSY,
+            // An expired host is treated as maximally loaded for scoring.
+            HostState::Overloaded | HostState::Unavailable => StateScore::OVERLOADED,
+        }
+    }
+}
+
+/// Score → three-state mapping thresholds.
+///
+/// A score below `busy_cut` is *free*, below `overloaded_cut` is *busy*,
+/// otherwise *overloaded*. Complex rules may override the defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateCuts {
+    /// Scores below this are free.
+    pub busy_cut: f64,
+    /// Scores below this (and >= `busy_cut`) are busy.
+    pub overloaded_cut: f64,
+}
+
+impl Default for StateCuts {
+    fn default() -> Self {
+        StateCuts {
+            busy_cut: 0.5,
+            overloaded_cut: 1.5,
+        }
+    }
+}
+
+impl StateCuts {
+    /// Map a score to the three-state representation.
+    pub fn classify(&self, score: StateScore) -> HostState {
+        if score.0 < self.busy_cut {
+            HostState::Free
+        } else if score.0 < self.overloaded_cut {
+            HostState::Busy
+        } else {
+            HostState::Overloaded
+        }
+    }
+}
+
+/// Fine-grained state level on a 0–255 scale (0 = fully free, 255 = fully
+/// overloaded), the "series of numbers" representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StateLevel(pub u8);
+
+impl StateLevel {
+    /// Convert a continuous score to a level.
+    pub fn from_score(score: StateScore) -> StateLevel {
+        StateLevel((score.clamped().0 / 2.0 * 255.0).round() as u8)
+    }
+
+    /// Convert back to a continuous score.
+    pub fn to_score(self) -> StateScore {
+        StateScore(self.0 as f64 / 255.0 * 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cuts_classify_canonical_scores() {
+        let cuts = StateCuts::default();
+        assert_eq!(cuts.classify(StateScore::FREE), HostState::Free);
+        assert_eq!(cuts.classify(StateScore::BUSY), HostState::Busy);
+        assert_eq!(cuts.classify(StateScore::OVERLOADED), HostState::Overloaded);
+    }
+
+    #[test]
+    fn cut_boundaries() {
+        let cuts = StateCuts::default();
+        assert_eq!(cuts.classify(StateScore(0.49)), HostState::Free);
+        assert_eq!(cuts.classify(StateScore(0.5)), HostState::Busy);
+        assert_eq!(cuts.classify(StateScore(1.49)), HostState::Busy);
+        assert_eq!(cuts.classify(StateScore(1.5)), HostState::Overloaded);
+    }
+
+    #[test]
+    fn scores_from_states() {
+        assert_eq!(StateScore::from(HostState::Free).0, 0.0);
+        assert_eq!(StateScore::from(HostState::Busy).0, 1.0);
+        assert_eq!(StateScore::from(HostState::Overloaded).0, 2.0);
+        assert_eq!(StateScore::from(HostState::Unavailable).0, 2.0);
+    }
+
+    #[test]
+    fn level_roundtrip_is_close() {
+        for i in 0..=255u8 {
+            let lvl = StateLevel(i);
+            let back = StateLevel::from_score(lvl.to_score());
+            assert_eq!(back, lvl);
+        }
+    }
+
+    #[test]
+    fn clamping() {
+        assert_eq!(StateScore(5.0).clamped().0, 2.0);
+        assert_eq!(StateScore(-1.0).clamped().0, 0.0);
+    }
+}

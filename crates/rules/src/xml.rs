@@ -1,0 +1,212 @@
+//! XML form of rules and rule sets.
+//!
+//! The rescheduler's entities speak XML (§3.3); serializing rule sets in
+//! the same format lets an operator ship rule updates to monitors over the
+//! existing wire — the "highly configurable and extensible rule-based
+//! mechanism" of the abstract. The `rl_*` text format (Figures 3/4) remains
+//! the on-disk form; this is the on-wire form.
+
+use crate::expr::Expr;
+use crate::file::{ComplexRule, Rule};
+use crate::ruleset::RuleSet;
+use crate::simple::{RuleOp, SimpleRule};
+use crate::state::StateCuts;
+use ars_xmlwire::{XmlElement, XmlError};
+
+impl Rule {
+    /// Serialize to the wire XML form.
+    pub fn to_xml(&self) -> XmlElement {
+        match self {
+            Rule::Simple(r) => {
+                let mut el = XmlElement::new("rule")
+                    .attr("number", r.number)
+                    .attr("type", "simple")
+                    .field("name", &r.name)
+                    .field("script", &r.script)
+                    .field("desc", &r.desc)
+                    .field("operator", r.operator);
+                if let Some(p) = &r.param {
+                    el = el.field("param", p);
+                }
+                el.field("busy", r.busy).field("overLd", r.overloaded)
+            }
+            Rule::Complex(c) => XmlElement::new("rule")
+                .attr("number", c.number)
+                .attr("type", "complex")
+                .field("name", &c.name)
+                .field("desc", &c.desc)
+                .field(
+                    "ruleNo",
+                    c.rule_order
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                )
+                .field("script", c.expr.to_string())
+                .field("busyCut", c.cuts.busy_cut)
+                .field("overLdCut", c.cuts.overloaded_cut),
+        }
+    }
+
+    /// Parse from the wire XML form.
+    pub fn from_xml(el: &XmlElement) -> Result<Rule, XmlError> {
+        if el.name != "rule" {
+            return Err(XmlError::UnexpectedRoot(el.name.clone()));
+        }
+        let number: u32 = el
+            .get_attr("number")
+            .ok_or_else(|| XmlError::MissingField("number".to_string()))?
+            .parse()
+            .map_err(|_| XmlError::BadField("number".to_string(), String::new()))?;
+        let name = el
+            .field_text("name")
+            .ok_or_else(|| XmlError::MissingField("name".to_string()))?;
+        let desc = el.field_text("desc").unwrap_or_default();
+        match el.get_attr("type") {
+            Some("simple") => {
+                let op_text = el
+                    .field_text("operator")
+                    .ok_or_else(|| XmlError::MissingField("operator".to_string()))?;
+                let operator = RuleOp::parse(&op_text)
+                    .ok_or_else(|| XmlError::BadField("operator".to_string(), op_text))?;
+                Ok(Rule::Simple(SimpleRule {
+                    number,
+                    name,
+                    script: el
+                        .field_text("script")
+                        .ok_or_else(|| XmlError::MissingField("script".to_string()))?,
+                    desc,
+                    operator,
+                    param: el.field_text("param").filter(|p| !p.is_empty()),
+                    busy: el.field_parse("busy")?,
+                    overloaded: el.field_parse("overLd")?,
+                }))
+            }
+            Some("complex") => {
+                let script = el
+                    .field_text("script")
+                    .ok_or_else(|| XmlError::MissingField("script".to_string()))?;
+                let expr = Expr::parse(&script)
+                    .map_err(|e| XmlError::BadField("script".to_string(), e.to_string()))?;
+                let rule_order = match el.field_text("ruleNo") {
+                    Some(s) => s
+                        .split_whitespace()
+                        .map(|tok| {
+                            tok.parse().map_err(|_| {
+                                XmlError::BadField("ruleNo".to_string(), tok.to_string())
+                            })
+                        })
+                        .collect::<Result<_, _>>()?,
+                    None => expr.rule_refs(),
+                };
+                let mut cuts = StateCuts::default();
+                if el.find("busyCut").is_some() {
+                    cuts.busy_cut = el.field_parse("busyCut")?;
+                }
+                if el.find("overLdCut").is_some() {
+                    cuts.overloaded_cut = el.field_parse("overLdCut")?;
+                }
+                Ok(Rule::Complex(ComplexRule {
+                    number,
+                    name,
+                    desc,
+                    rule_order,
+                    expr,
+                    cuts,
+                }))
+            }
+            other => Err(XmlError::BadField(
+                "type".to_string(),
+                other.unwrap_or("").to_string(),
+            )),
+        }
+    }
+}
+
+impl RuleSet {
+    /// Serialize the whole set (decision rule included) to XML.
+    pub fn to_xml(&self) -> XmlElement {
+        let mut el = XmlElement::new("rule-set").attr("decision", self.decision_rule());
+        for rule in self.rules() {
+            el = el.child(rule.to_xml());
+        }
+        el
+    }
+
+    /// Parse a rule set from XML.
+    pub fn from_xml(el: &XmlElement) -> Result<RuleSet, XmlError> {
+        if el.name != "rule-set" {
+            return Err(XmlError::UnexpectedRoot(el.name.clone()));
+        }
+        let rules: Vec<Rule> = el
+            .find_all("rule")
+            .map(Rule::from_xml)
+            .collect::<Result<_, _>>()?;
+        let mut set = RuleSet::new(rules)
+            .map_err(|_| XmlError::MissingField("rule".to_string()))?;
+        if let Some(d) = el.get_attr("decision") {
+            let number: u32 = d
+                .parse()
+                .map_err(|_| XmlError::BadField("decision".to_string(), d.to_string()))?;
+            set.set_decision_rule(number)
+                .map_err(|_| XmlError::BadField("decision".to_string(), d.to_string()))?;
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_xmlwire::parse;
+
+    #[test]
+    fn paper_rule_set_roundtrips_through_xml() {
+        let set = RuleSet::paper();
+        let doc = set.to_xml().to_document();
+        let back = RuleSet::from_xml(&parse(&doc).unwrap()).unwrap();
+        assert_eq!(back, set);
+        assert_eq!(back.decision_rule(), 5);
+    }
+
+    #[test]
+    fn individual_rules_roundtrip() {
+        for rule in RuleSet::paper().rules() {
+            let doc = rule.to_xml().to_document();
+            let back = Rule::from_xml(&parse(&doc).unwrap()).unwrap();
+            assert_eq!(&back, rule);
+        }
+    }
+
+    #[test]
+    fn xml_and_text_forms_agree() {
+        // rl_* file -> RuleSet -> XML -> RuleSet evaluates identically.
+        let set = RuleSet::paper();
+        let doc = set.to_xml().to_document();
+        let back = RuleSet::from_xml(&parse(&doc).unwrap()).unwrap();
+        let mut m = ars_xmlwire::Metrics::new();
+        m.set("processorStatus", 30.0);
+        m.set("ntStatIpv4:ESTABLISHED", 950.0);
+        m.set("memAvail", 5.0);
+        m.set("loadAvg1", 3.0);
+        assert_eq!(set.evaluate(&m).unwrap(), back.evaluate(&m).unwrap());
+    }
+
+    #[test]
+    fn wrong_roots_rejected() {
+        let el = parse("<nope/>").unwrap();
+        assert!(Rule::from_xml(&el).is_err());
+        assert!(RuleSet::from_xml(&el).is_err());
+    }
+
+    #[test]
+    fn bad_decision_attribute_rejected() {
+        let set = RuleSet::paper();
+        let doc = set.to_xml().to_document().replace(
+            "decision=\"5\"",
+            "decision=\"99\"",
+        );
+        assert!(RuleSet::from_xml(&parse(&doc).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the rule engine.
+
+use ars_rules::{Expr, HostState, RuleOp, SimpleRule, StateCuts, StateScore};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary well-formed expressions.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0.0f64..10.0).prop_map(Expr::Num),
+        (1u32..9).prop_map(Expr::Rule),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        (inner.clone(), inner).prop_flat_map(|(a, b)| {
+            prop_oneof![
+                Just(Expr::Mul(Box::new(a.clone()), Box::new(b.clone()))),
+                Just(Expr::Add(Box::new(a.clone()), Box::new(b.clone()))),
+                Just(Expr::Sub(Box::new(a.clone()), Box::new(b.clone()))),
+                Just(Expr::And(Box::new(a.clone()), Box::new(b.clone()))),
+                Just(Expr::Or(Box::new(a), Box::new(b))),
+            ]
+        })
+    })
+}
+
+proptest! {
+    /// Displayed expressions re-parse to the same tree (pretty-printer and
+    /// parser agree).
+    #[test]
+    fn display_parse_roundtrip(e in expr_strategy()) {
+        let printed = e.to_string();
+        let back = Expr::parse(&printed).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    /// `&`/`|` are commutative in evaluation (min/max), for any rule scores.
+    #[test]
+    fn and_or_commute(
+        a in expr_strategy(),
+        b in expr_strategy(),
+        scores in proptest::collection::vec(0.0f64..2.0, 9),
+    ) {
+        let lookup = |n: u32| scores.get(n as usize).copied();
+        let ab = Expr::And(Box::new(a.clone()), Box::new(b.clone())).eval(&lookup);
+        let ba = Expr::And(Box::new(b.clone()), Box::new(a.clone())).eval(&lookup);
+        prop_assert_eq!(ab, ba);
+        let ab = Expr::Or(Box::new(a.clone()), Box::new(b.clone())).eval(&lookup);
+        let ba = Expr::Or(Box::new(b), Box::new(a)).eval(&lookup);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// A conjunction never evaluates above either side; a disjunction never
+    /// below (min/max laws).
+    #[test]
+    fn and_bounded_by_operands(
+        a in expr_strategy(),
+        b in expr_strategy(),
+        scores in proptest::collection::vec(0.0f64..2.0, 9),
+    ) {
+        let lookup = |n: u32| scores.get(n as usize).copied();
+        if let (Ok(va), Ok(vb)) = (a.eval(&lookup), b.eval(&lookup)) {
+            let vand = Expr::And(Box::new(a.clone()), Box::new(b.clone()))
+                .eval(&lookup)
+                .unwrap();
+            let vor = Expr::Or(Box::new(a), Box::new(b)).eval(&lookup).unwrap();
+            prop_assert!(vand <= va && vand <= vb);
+            prop_assert!(vor >= va && vor >= vb);
+        }
+    }
+
+    /// Simple-rule evaluation is monotone in the metric for `<` and `>`:
+    /// making the metric "worse" never makes the state milder.
+    #[test]
+    fn simple_rule_monotone(
+        busy in -100.0f64..100.0,
+        margin in 0.1f64..50.0,
+        x in -200.0f64..200.0,
+        dx in 0.0f64..50.0,
+    ) {
+        // Less-is-worse rule (like CPU idle): overloaded below busy-margin.
+        let rule = SimpleRule {
+            number: 1,
+            name: "m".to_string(),
+            script: "m.sh".to_string(),
+            desc: String::new(),
+            operator: RuleOp::Less,
+            param: None,
+            busy,
+            overloaded: busy - margin,
+        };
+        let severity = |s: HostState| StateScore::from(s).0;
+        prop_assert!(severity(rule.evaluate(x - dx)) >= severity(rule.evaluate(x)));
+
+        let rule_gt = SimpleRule {
+            operator: RuleOp::Greater,
+            busy,
+            overloaded: busy + margin,
+            ..rule
+        };
+        prop_assert!(severity(rule_gt.evaluate(x + dx)) >= severity(rule_gt.evaluate(x)));
+    }
+
+    /// Cut classification is monotone in the score.
+    #[test]
+    fn cuts_monotone(score in 0.0f64..2.0, d in 0.0f64..2.0) {
+        let cuts = StateCuts::default();
+        let sev = |s: HostState| StateScore::from(s).0;
+        let lo = cuts.classify(StateScore(score));
+        let hi = cuts.classify(StateScore((score + d).min(2.0)));
+        prop_assert!(sev(hi) >= sev(lo));
+    }
+}

@@ -1,0 +1,14 @@
+//! Identifiers used across the cluster simulation.
+
+pub use ars_simhost::HostId;
+
+/// Simulator-wide process identifier. Pids are never reused; a migrated
+/// process gets a fresh pid on its destination host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u64);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}

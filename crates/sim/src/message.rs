@@ -1,0 +1,160 @@
+//! Inter-process messages.
+//!
+//! Every message is an [`Envelope`]: sender, receiver, a numeric tag, a
+//! payload, and a modeled wire size. Control traffic (the rescheduler's XML
+//! protocol) carries its document as [`Payload::Text`] so that the byte
+//! counts the communication-overhead experiment measures are the real,
+//! serialized sizes. Bulk transfers (process state) carry an empty payload
+//! with a large `wire_bytes`, avoiding the cost of materializing megabytes.
+
+use crate::ids::Pid;
+
+/// Message body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// No body (pure signal / modeled bulk data).
+    Empty,
+    /// A UTF-8 document (the XML wire protocol).
+    Text(String),
+    /// Raw bytes (serialized process state).
+    Bytes(Vec<u8>),
+}
+
+impl Payload {
+    /// The payload's own size in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Empty => 0,
+            Payload::Text(s) => s.len() as u64,
+            Payload::Bytes(b) => b.len() as u64,
+        }
+    }
+
+    /// True when the payload carries no data.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow as text, if textual.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Payload::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as bytes, if binary.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// A message in flight or in a mailbox.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Sender.
+    pub from: Pid,
+    /// Receiver (after any forwarding).
+    pub to: Pid,
+    /// Application-level tag for receive matching.
+    pub tag: u32,
+    /// Body.
+    pub payload: Payload,
+    /// Bytes on the wire (at least the payload length; a header allowance
+    /// plus any modeled bulk size).
+    pub wire_bytes: u64,
+}
+
+/// Per-message protocol overhead added to the payload size when the sender
+/// does not specify an explicit wire size (TCP/IP + framing allowance).
+pub const WIRE_HEADER_BYTES: u64 = 64;
+
+impl Envelope {
+    /// Build an envelope with the default wire size (payload + header).
+    pub fn new(from: Pid, to: Pid, tag: u32, payload: Payload) -> Self {
+        let wire_bytes = payload.len() + WIRE_HEADER_BYTES;
+        Envelope {
+            from,
+            to,
+            tag,
+            payload,
+            wire_bytes,
+        }
+    }
+}
+
+/// Receive filter: `None` fields match anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecvFilter {
+    /// Only accept messages from this sender.
+    pub from: Option<Pid>,
+    /// Only accept messages with this tag.
+    pub tag: Option<u32>,
+}
+
+impl RecvFilter {
+    /// Match anything.
+    pub fn any() -> Self {
+        RecvFilter::default()
+    }
+
+    /// Match a specific tag from anyone.
+    pub fn tag(tag: u32) -> Self {
+        RecvFilter {
+            from: None,
+            tag: Some(tag),
+        }
+    }
+
+    /// Match a specific sender and tag.
+    pub fn from_tag(from: Pid, tag: u32) -> Self {
+        RecvFilter {
+            from: Some(from),
+            tag: Some(tag),
+        }
+    }
+
+    /// Does this envelope pass the filter?
+    pub fn matches(&self, env: &Envelope) -> bool {
+        self.from.is_none_or(|f| f == env.from) && self.tag.is_none_or(|t| t == env.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Payload::Empty.len(), 0);
+        assert_eq!(Payload::Text("hello".to_string()).len(), 5);
+        assert_eq!(Payload::Bytes(vec![0; 9]).len(), 9);
+        assert!(Payload::Empty.is_empty());
+    }
+
+    #[test]
+    fn default_wire_size_includes_header() {
+        let env = Envelope::new(Pid(1), Pid(2), 7, Payload::Text("x".repeat(100)));
+        assert_eq!(env.wire_bytes, 100 + WIRE_HEADER_BYTES);
+    }
+
+    #[test]
+    fn filters() {
+        let env = Envelope::new(Pid(1), Pid(2), 7, Payload::Empty);
+        assert!(RecvFilter::any().matches(&env));
+        assert!(RecvFilter::tag(7).matches(&env));
+        assert!(!RecvFilter::tag(8).matches(&env));
+        assert!(RecvFilter::from_tag(Pid(1), 7).matches(&env));
+        assert!(!RecvFilter::from_tag(Pid(3), 7).matches(&env));
+    }
+
+    #[test]
+    fn payload_accessors() {
+        assert_eq!(Payload::Text("a".to_string()).as_text(), Some("a"));
+        assert_eq!(Payload::Empty.as_text(), None);
+        assert_eq!(Payload::Bytes(vec![1]).as_bytes(), Some(&[1u8][..]));
+    }
+}

@@ -1,0 +1,111 @@
+//! The process execution model.
+//!
+//! Simulated processes are *explicit-continuation state machines*: a
+//! [`Program`] is woken with a [`Wake`] describing what just happened, and
+//! reacts by enqueuing [`Op`]s through the [`crate::ctx::Ctx`]. The
+//! kernel executes the op queue; when it drains, the program is woken again
+//! to decide what to do next. A program whose queue is empty is *passive*
+//! and receives any arriving message directly via [`Wake::Received`] — the
+//! natural shape for daemons like the monitor, commander and
+//! registry/scheduler.
+//!
+//! The boundary between two ops is exactly an HPCM *poll-point*: the program
+//! regains control, can check for pending signals (the migration command),
+//! and can hand its state to the migration middleware.
+
+use crate::ctx::Ctx;
+use crate::ids::Pid;
+use crate::message::{Envelope, Payload, RecvFilter};
+use ars_simcore::SimTime;
+use ars_simhost::MemUse;
+
+/// An operation a process asks the kernel to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Burn `work` CPU-seconds (reference-machine units) on the local host.
+    Compute {
+        /// CPU-seconds at speed 1.0.
+        work: f64,
+    },
+    /// Transmit a message; the op completes when the last byte leaves the
+    /// wire (local sends complete immediately).
+    Send {
+        /// Destination process.
+        to: Pid,
+        /// Receive-matching tag.
+        tag: u32,
+        /// Body.
+        payload: Payload,
+        /// Explicit wire size override; `None` = payload + header.
+        wire_bytes: Option<u64>,
+    },
+    /// Block until a matching message arrives.
+    Recv {
+        /// Match criteria.
+        filter: RecvFilter,
+    },
+    /// Block until an absolute instant.
+    SleepUntil {
+        /// Wake-up time.
+        at: SimTime,
+    },
+    /// Terminate this process after the preceding ops complete.
+    Exit,
+}
+
+/// Why a program was woken.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Wake {
+    /// First activation after spawn.
+    Started,
+    /// The last queued op (compute/send/sleep) completed.
+    OpDone,
+    /// A `Recv` op matched, or a message arrived while passive.
+    Received(Envelope),
+    /// A signal arrived while the process was passive. (Processes that are
+    /// mid-op observe signals by polling at op boundaries instead.)
+    Signal(u32),
+}
+
+/// Options for spawning a process.
+#[derive(Debug, Clone)]
+pub struct SpawnOpts {
+    /// Executable name shown in the host process table.
+    pub name: String,
+    /// Mark as HPCM migration-enabled in the process table.
+    pub migratable: bool,
+    /// Memory reservation registered with the host.
+    pub mem: MemUse,
+}
+
+impl SpawnOpts {
+    /// Spawn options with just a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        SpawnOpts {
+            name: name.into(),
+            migratable: false,
+            mem: MemUse::default(),
+        }
+    }
+
+    /// Builder: mark migratable.
+    pub fn migratable(mut self) -> Self {
+        self.migratable = true;
+        self
+    }
+
+    /// Builder: set the memory reservation.
+    pub fn with_mem(mut self, rss_kb: u64, vsz_kb: u64) -> Self {
+        self.mem = MemUse { rss_kb, vsz_kb };
+        self
+    }
+}
+
+/// A simulated process body (see module docs).
+pub trait Program: 'static {
+    /// React to a wake-up by enqueuing ops through `ctx`.
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake);
+
+    /// Downcast support (used by the migration middleware and tests).
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}

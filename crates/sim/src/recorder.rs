@@ -1,0 +1,119 @@
+//! Periodic metric recording for the experiment figures.
+//!
+//! The paper gathers performance data "at an interval of 10 seconds" with a
+//! standalone sensor. The [`Recorder`] does the same inside the simulator:
+//! on every sample tick it records, per host, the 1- and 5-minute load
+//! averages, CPU utilization over the window, the run-queue length, process
+//! count, and NIC send/receive rates in KB/s.
+
+use ars_simcore::{RateCounter, SimDuration, SimTime, TimeSeries};
+use ars_simhost::Host;
+use ars_simnet::{Network, NodeId};
+
+/// Recorded series for one host.
+#[derive(Debug, Clone)]
+pub struct HostSeries {
+    /// 1-minute load average.
+    pub load1: TimeSeries,
+    /// 5-minute load average.
+    pub load5: TimeSeries,
+    /// CPU utilization over the sample window, `[0, 1]`.
+    pub cpu_util: TimeSeries,
+    /// Run-queue length at the sample instant.
+    pub run_queue: TimeSeries,
+    /// Process-table size at the sample instant.
+    pub nproc: TimeSeries,
+    /// Send rate over the window, KB/s.
+    pub tx_kbps: TimeSeries,
+    /// Receive rate over the window, KB/s.
+    pub rx_kbps: TimeSeries,
+}
+
+impl HostSeries {
+    fn new(host: &str) -> Self {
+        HostSeries {
+            load1: TimeSeries::new(format!("{host}.load1")),
+            load5: TimeSeries::new(format!("{host}.load5")),
+            cpu_util: TimeSeries::new(format!("{host}.cpu_util")),
+            run_queue: TimeSeries::new(format!("{host}.run_queue")),
+            nproc: TimeSeries::new(format!("{host}.nproc")),
+            tx_kbps: TimeSeries::new(format!("{host}.tx_kbps")),
+            rx_kbps: TimeSeries::new(format!("{host}.rx_kbps")),
+        }
+    }
+}
+
+struct HostCounters {
+    busy: RateCounter,
+    tx: RateCounter,
+    rx: RateCounter,
+}
+
+/// The periodic sampler (see module docs).
+pub struct Recorder {
+    interval: SimDuration,
+    series: Vec<HostSeries>,
+    counters: Vec<HostCounters>,
+}
+
+impl Recorder {
+    /// Create a recorder sampling every `interval` for the given hosts.
+    pub fn new(interval: SimDuration, host_names: &[String]) -> Self {
+        Recorder {
+            interval,
+            series: host_names.iter().map(|n| HostSeries::new(n)).collect(),
+            counters: host_names
+                .iter()
+                .map(|_| HostCounters {
+                    busy: RateCounter::new(),
+                    tx: RateCounter::new(),
+                    rx: RateCounter::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Take one sample of every host. Hosts must be settled (`advance`d to
+    /// `now`) by the caller.
+    pub fn sample_all(&mut self, now: SimTime, hosts: &[Host], net: &Network) {
+        for (i, host) in hosts.iter().enumerate() {
+            let s = &mut self.series[i];
+            let c = &mut self.counters[i];
+            let (la1, la5, _) = host.load_avg();
+            s.load1.push(now, la1);
+            s.load5.push(now, la5);
+            if let Some(rate) = c.busy.sample(now, host.cpu_busy_secs()) {
+                s.cpu_util.push(now, rate.clamp(0.0, host.config().n_cpus as f64));
+            }
+            s.run_queue.push(now, host.run_queue() as f64);
+            s.nproc.push(now, host.procs().len() as f64);
+            let node = NodeId(i as u32);
+            if let Some(rate) = c.tx.sample(now, net.tx_bytes(node)) {
+                s.tx_kbps.push(now, rate / 1024.0);
+            }
+            if let Some(rate) = c.rx.sample(now, net.rx_bytes(node)) {
+                s.rx_kbps.push(now, rate / 1024.0);
+            }
+        }
+    }
+
+    /// Recorded series for host `i`.
+    pub fn host(&self, i: usize) -> &HostSeries {
+        &self.series[i]
+    }
+
+    /// Number of hosts recorded.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when recording no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+}

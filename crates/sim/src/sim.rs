@@ -1,0 +1,718 @@
+//! The cluster simulator kernel.
+//!
+//! [`Sim`] owns the hosts, the network, the event queue and the process
+//! table, and drives [`Program`]s according to the execution model described
+//! in [`crate::program`]. All state changes flow through events, so a run is
+//! a deterministic function of the configuration and seed.
+
+use crate::ctx::Ctx;
+use crate::ids::{HostId, Pid};
+use crate::message::{Envelope, RecvFilter};
+use crate::program::{Op, Program, SpawnOpts, Wake};
+use crate::recorder::Recorder;
+use crate::trace::{Trace, TraceKind};
+use ars_simcore::{EventId, EventQueue, JobId, SimDuration, SimRng, SimTime};
+use ars_simhost::{Host, HostConfig, ProcEntry, ProcState, LOAD_SAMPLE_INTERVAL};
+use ars_simnet::{FlowId, Network, NetworkConfig, NodeId};
+use std::collections::HashMap;
+
+/// Simulator-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Delivery latency for same-host messages (pipes / loopback).
+    pub local_latency: SimDuration,
+    /// Network configuration.
+    pub net: NetworkConfig,
+    /// RNG seed; every run with the same seed and inputs is identical.
+    pub seed: u64,
+    /// Record a structured event trace.
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            local_latency: SimDuration::from_micros(50),
+            net: NetworkConfig::default(),
+            seed: 0x5EED,
+            trace: false,
+        }
+    }
+}
+
+/// Scheduling state of a process.
+#[derive(Debug, PartialEq)]
+pub(crate) enum RunState {
+    /// No op in flight; passive (receives messages/signals directly).
+    Idle,
+    /// Burning CPU.
+    Compute(JobId),
+    /// Transmitting over the network.
+    SendFlow(FlowId),
+    /// Blocked in a receive.
+    Recv(RecvFilter),
+    /// Blocked in a sleep (guarded by a sequence number).
+    Sleep(u64),
+    /// Terminated.
+    Dead,
+}
+
+/// Kernel-side process bookkeeping (the part of a process that is not the
+/// program itself).
+pub struct ProcMeta {
+    pub(crate) pid: Pid,
+    pub(crate) host: HostId,
+    pub(crate) name: String,
+    pub(crate) ops: std::collections::VecDeque<Op>,
+    pub(crate) run: RunState,
+    pub(crate) mailbox: std::collections::VecDeque<Envelope>,
+    pub(crate) signals: std::collections::VecDeque<u32>,
+    pub(crate) started_at: SimTime,
+    pub(crate) exited_at: Option<SimTime>,
+}
+
+struct ProcSlot {
+    meta: ProcMeta,
+    program: Option<Box<dyn Program>>,
+}
+
+pub(crate) struct PendingSpawn {
+    pub(crate) pid: Pid,
+    pub(crate) host: HostId,
+    pub(crate) program: Box<dyn Program>,
+    pub(crate) opts: SpawnOpts,
+}
+
+enum FlowPurpose {
+    Message(Envelope),
+    Background,
+}
+
+#[derive(Debug)]
+pub(crate) enum Event {
+    StartProc(Pid),
+    CpuDone { host: u32 },
+    NetDone,
+    Timer { pid: Pid, seq: u64 },
+    Deliver(Envelope),
+    Nudge(Pid),
+    LoadTick,
+    SampleTick,
+}
+
+/// Kernel state shared with programs through [`Ctx`].
+pub struct Kernel {
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue<Event>,
+    /// The simulated workstations, indexed by [`HostId`].
+    pub hosts: Vec<Host>,
+    /// The cluster network; host `i` is node `i`.
+    pub net: Network,
+    pub(crate) rng: SimRng,
+    /// Structured event trace.
+    pub trace: Trace,
+    pub(crate) config: SimConfig,
+    next_pid: u64,
+    pub(crate) pending_spawns: Vec<PendingSpawn>,
+    pub(crate) pending_kills: Vec<Pid>,
+    pub(crate) pending_signals: Vec<(Pid, u32)>,
+    cpu_jobs: HashMap<(u32, JobId), Pid>,
+    flow_purpose: HashMap<FlowId, FlowPurpose>,
+    pub(crate) forwarding: HashMap<Pid, Pid>,
+    cpu_sched: Vec<Option<(u64, SimTime, EventId)>>,
+    net_sched: Option<(u64, SimTime, EventId)>,
+    timer_seq: u64,
+    host_index: HashMap<String, u32>,
+    pub(crate) recorder: Option<Recorder>,
+}
+
+impl Kernel {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Resolve a hostname to its id.
+    pub fn host_id(&self, name: &str) -> Option<HostId> {
+        self.host_index.get(name).map(|&i| HostId(i))
+    }
+
+    /// Allocate a fresh pid (consumed by a pending spawn).
+    pub(crate) fn alloc_pid(&mut self) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        pid
+    }
+
+    /// Start a persistent background stream between two hosts (counts into
+    /// the NIC byte counters and contends for bandwidth forever).
+    pub fn start_background_stream(&mut self, src: HostId, dst: HostId) -> FlowId {
+        let id = self
+            .net
+            .start_flow(self.now, NodeId(src.0), NodeId(dst.0), None);
+        self.flow_purpose.insert(id, FlowPurpose::Background);
+        id
+    }
+
+    /// Stop a background stream; returns bytes it carried.
+    pub fn stop_background_stream(&mut self, id: FlowId) -> Option<f64> {
+        self.flow_purpose.remove(&id);
+        self.net.end_flow(self.now, id)
+    }
+}
+
+/// The cluster simulator (see module docs).
+pub struct Sim {
+    kernel: Kernel,
+    procs: Vec<ProcSlot>,
+}
+
+impl Sim {
+    /// Build a cluster from host configurations.
+    pub fn new(host_configs: Vec<HostConfig>, config: SimConfig) -> Sim {
+        let n = host_configs.len();
+        let host_index = host_configs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), i as u32))
+            .collect();
+        let mut trace = Trace::new();
+        trace.set_enabled(config.trace);
+        let mut kernel = Kernel {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            hosts: host_configs.into_iter().map(Host::new).collect(),
+            net: Network::new(n, config.net.clone()),
+            rng: SimRng::new(config.seed),
+            trace,
+            config,
+            next_pid: 0,
+            pending_spawns: Vec::new(),
+            pending_kills: Vec::new(),
+            pending_signals: Vec::new(),
+            cpu_jobs: HashMap::new(),
+            flow_purpose: HashMap::new(),
+            forwarding: HashMap::new(),
+            cpu_sched: vec![None; n],
+            net_sched: None,
+            timer_seq: 0,
+            host_index,
+            recorder: None,
+        };
+        kernel.queue.push(SimTime::ZERO + LOAD_SAMPLE_INTERVAL, Event::LoadTick);
+        Sim {
+            kernel,
+            procs: Vec::new(),
+        }
+    }
+
+    /// Enable the periodic metric recorder (the paper samples every 10 s).
+    pub fn enable_recorder(&mut self, interval: SimDuration) {
+        let names: Vec<String> = self
+            .kernel
+            .hosts
+            .iter()
+            .map(|h| h.name().to_string())
+            .collect();
+        self.kernel.recorder = Some(Recorder::new(interval, &names));
+        self.kernel
+            .queue
+            .push(self.kernel.now + interval, Event::SampleTick);
+    }
+
+    /// The recorder, if enabled.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.kernel.recorder.as_ref()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Kernel access (hosts, network, trace).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access (background streams, trace control).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Spawn a process on a host; it starts at the current time.
+    pub fn spawn(
+        &mut self,
+        host: HostId,
+        program: Box<dyn Program>,
+        opts: SpawnOpts,
+    ) -> Pid {
+        let pid = self.kernel.alloc_pid();
+        self.kernel.pending_spawns.push(PendingSpawn {
+            pid,
+            host,
+            program,
+            opts,
+        });
+        self.apply_pending();
+        pid
+    }
+
+    /// Post a signal to a process (delivered at op boundaries, or
+    /// immediately when the process is passive).
+    pub fn signal(&mut self, pid: Pid, sig: u32) {
+        self.kernel.pending_signals.push((pid, sig));
+        self.apply_pending();
+    }
+
+    /// True while the process has not exited.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.procs
+            .get(pid.0 as usize)
+            .is_some_and(|s| s.meta.run != RunState::Dead)
+    }
+
+    /// Exit time of a terminated process.
+    pub fn exited_at(&self, pid: Pid) -> Option<SimTime> {
+        self.procs.get(pid.0 as usize).and_then(|s| s.meta.exited_at)
+    }
+
+    /// Host a process runs (or ran) on.
+    pub fn host_of(&self, pid: Pid) -> Option<HostId> {
+        self.procs.get(pid.0 as usize).map(|s| s.meta.host)
+    }
+
+    /// Borrow a program for inspection (tests and result extraction).
+    pub fn program(&self, pid: Pid) -> Option<&dyn Program> {
+        self.procs
+            .get(pid.0 as usize)
+            .and_then(|s| s.program.as_deref())
+    }
+
+    /// Mutably borrow a program (result extraction after the run).
+    pub fn program_mut(&mut self, pid: Pid) -> Option<&mut (dyn Program + 'static)> {
+        self.procs
+            .get_mut(pid.0 as usize)
+            .and_then(|s| s.program.as_deref_mut())
+    }
+
+    /// Run until the event queue empties or `t_end` is reached. Hosts and
+    /// network are settled to the stop time.
+    pub fn run_until(&mut self, t_end: SimTime) {
+        while let Some(t) = self.kernel.queue.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let (t, ev) = self.kernel.queue.pop().expect("peeked event exists");
+            debug_assert!(t >= self.kernel.now, "event from the past");
+            self.kernel.now = t;
+            self.handle(ev);
+            self.apply_pending();
+            self.resync();
+        }
+        if t_end != SimTime::MAX {
+            self.kernel.now = t_end;
+        }
+        self.settle();
+    }
+
+    /// Run until no events remain (all processes finished or blocked);
+    /// time stops at the last event handled.
+    pub fn run_to_completion(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    fn settle(&mut self) {
+        let now = self.kernel.now;
+        for host in &mut self.kernel.hosts {
+            host.advance(now);
+        }
+        self.kernel.net.advance(now);
+    }
+
+    // --- Event handling -----------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::StartProc(pid) => self.dispatch(pid, Wake::Started),
+            Event::CpuDone { host } => self.on_cpu_done(host),
+            Event::NetDone => self.on_net_done(),
+            Event::Timer { pid, seq } => {
+                let slot = &mut self.procs[pid.0 as usize];
+                if slot.meta.run == RunState::Sleep(seq) {
+                    slot.meta.run = RunState::Idle;
+                    self.dispatch(pid, Wake::OpDone);
+                }
+            }
+            Event::Deliver(env) => self.on_deliver(env),
+            Event::Nudge(pid) => {
+                let slot = &mut self.procs[pid.0 as usize];
+                if slot.meta.run == RunState::Idle && slot.meta.ops.is_empty() {
+                    if let Some(sig) = slot.meta.signals.pop_front() {
+                        self.dispatch(pid, Wake::Signal(sig));
+                    }
+                }
+            }
+            Event::LoadTick => {
+                let now = self.kernel.now;
+                for host in &mut self.kernel.hosts {
+                    host.advance(now);
+                    host.sample_load(now);
+                }
+                self.kernel
+                    .queue
+                    .push(now + LOAD_SAMPLE_INTERVAL, Event::LoadTick);
+            }
+            Event::SampleTick => {
+                let now = self.kernel.now;
+                for host in &mut self.kernel.hosts {
+                    host.advance(now);
+                }
+                self.kernel.net.advance(now);
+                if let Some(rec) = &mut self.kernel.recorder {
+                    rec.sample_all(now, &self.kernel.hosts, &self.kernel.net);
+                    let interval = rec.interval();
+                    self.kernel.queue.push(now + interval, Event::SampleTick);
+                }
+            }
+        }
+    }
+
+    fn on_cpu_done(&mut self, host: u32) {
+        self.kernel.cpu_sched[host as usize] = None;
+        let now = self.kernel.now;
+        self.kernel.hosts[host as usize].advance(now);
+        let finished = self.kernel.hosts[host as usize].finished_cpu_jobs();
+        for job in finished {
+            self.kernel.hosts[host as usize].end_compute(now, job);
+            if let Some(pid) = self.kernel.cpu_jobs.remove(&(host, job)) {
+                self.kernel.hosts[host as usize].proc_set_state(pid.0, ProcState::Sleeping);
+                let slot = &mut self.procs[pid.0 as usize];
+                if matches!(slot.meta.run, RunState::Compute(j) if j == job) {
+                    slot.meta.run = RunState::Idle;
+                    self.dispatch(pid, Wake::OpDone);
+                }
+            }
+        }
+    }
+
+    fn on_net_done(&mut self) {
+        self.kernel.net_sched = None;
+        let now = self.kernel.now;
+        self.kernel.net.advance(now);
+        let finished = self.kernel.net.finished_flows();
+        for flow in finished {
+            self.kernel.net.end_flow(now, flow);
+            match self.kernel.flow_purpose.remove(&flow) {
+                Some(FlowPurpose::Message(env)) => {
+                    let latency = self.kernel.config.net.latency;
+                    let sender = env.from;
+                    self.kernel.queue.push(now + latency, Event::Deliver(env));
+                    let slot = &mut self.procs[sender.0 as usize];
+                    if matches!(slot.meta.run, RunState::SendFlow(f) if f == flow) {
+                        slot.meta.run = RunState::Idle;
+                        self.dispatch(sender, Wake::OpDone);
+                    }
+                }
+                Some(FlowPurpose::Background) | None => {}
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, mut env: Envelope) {
+        // Follow the forwarding chain set up by migrations.
+        let mut hops = 0;
+        while let Some(&next) = self.kernel.forwarding.get(&env.to) {
+            env.to = next;
+            hops += 1;
+            assert!(hops < 64, "forwarding loop");
+        }
+        let pid = env.to;
+        let Some(slot) = self.procs.get_mut(pid.0 as usize) else {
+            return;
+        };
+        match &slot.meta.run {
+            RunState::Dead => {
+                self.kernel.trace.record(
+                    self.kernel.now,
+                    TraceKind::Deliver,
+                    format!("dropped message tag {} for dead {pid}", env.tag),
+                );
+            }
+            RunState::Recv(filter) if filter.matches(&env) => {
+                slot.meta.run = RunState::Idle;
+                self.dispatch(pid, Wake::Received(env));
+            }
+            RunState::Idle if slot.meta.ops.is_empty() => {
+                self.dispatch(pid, Wake::Received(env));
+            }
+            _ => slot.meta.mailbox.push_back(env),
+        }
+    }
+
+    // --- Program dispatch ----------------------------------------------------
+
+    fn dispatch(&mut self, pid: Pid, wake: Wake) {
+        let mut wake = Some(wake);
+        while let Some(w) = wake.take() {
+            {
+                let Sim { kernel, procs } = self;
+                let slot = &mut procs[pid.0 as usize];
+                if slot.meta.run == RunState::Dead {
+                    return;
+                }
+                let Some(mut program) = slot.program.take() else {
+                    return;
+                };
+                {
+                    let mut ctx = Ctx::new(kernel, &mut slot.meta);
+                    program.on_wake(&mut ctx, w);
+                }
+                slot.program = Some(program);
+            }
+            self.apply_pending();
+            wake = self.start_next_op(pid);
+        }
+    }
+
+    /// Start the next queued op. Returns a wake to deliver immediately when
+    /// the op completed synchronously; `None` when the process is blocked,
+    /// passive, or dead.
+    fn start_next_op(&mut self, pid: Pid) -> Option<Wake> {
+        let now = self.kernel.now;
+        let (host, op) = {
+            let slot = &mut self.procs[pid.0 as usize];
+            if slot.meta.run != RunState::Idle {
+                return None;
+            }
+            match slot.meta.ops.pop_front() {
+                Some(op) => (slot.meta.host, op),
+                None => {
+                    // Passive: drain one queued message or signal.
+                    if let Some(env) = slot.meta.mailbox.pop_front() {
+                        return Some(Wake::Received(env));
+                    }
+                    if let Some(sig) = slot.meta.signals.pop_front() {
+                        return Some(Wake::Signal(sig));
+                    }
+                    return None;
+                }
+            }
+        };
+        match op {
+            Op::Compute { work } => {
+                let job = self.kernel.hosts[host.0 as usize].start_compute(now, work);
+                self.kernel.cpu_jobs.insert((host.0, job), pid);
+                self.kernel.hosts[host.0 as usize].proc_set_state(pid.0, ProcState::Runnable);
+                self.procs[pid.0 as usize].meta.run = RunState::Compute(job);
+                None
+            }
+            Op::Send {
+                mut to,
+                tag,
+                payload,
+                wire_bytes,
+            } => {
+                let mut hops = 0;
+                while let Some(&next) = self.kernel.forwarding.get(&to) {
+                    to = next;
+                    hops += 1;
+                    assert!(hops < 64, "forwarding loop");
+                }
+                let mut env = Envelope::new(pid, to, tag, payload);
+                if let Some(b) = wire_bytes {
+                    env.wire_bytes = env.wire_bytes.max(b);
+                }
+                let dst_host = self
+                    .procs
+                    .get(to.0 as usize)
+                    .map(|s| s.meta.host)
+                    .unwrap_or(host);
+                if dst_host == host {
+                    let latency = self.kernel.config.local_latency;
+                    self.kernel.queue.push(now + latency, Event::Deliver(env));
+                    Some(Wake::OpDone)
+                } else {
+                    let flow = self.kernel.net.start_flow(
+                        now,
+                        NodeId(host.0),
+                        NodeId(dst_host.0),
+                        Some(env.wire_bytes as f64),
+                    );
+                    self.kernel
+                        .flow_purpose
+                        .insert(flow, FlowPurpose::Message(env));
+                    self.procs[pid.0 as usize].meta.run = RunState::SendFlow(flow);
+                    None
+                }
+            }
+            Op::Recv { filter } => {
+                let slot = &mut self.procs[pid.0 as usize];
+                if let Some(idx) = slot.meta.mailbox.iter().position(|e| filter.matches(e)) {
+                    let env = slot.meta.mailbox.remove(idx).expect("index valid");
+                    Some(Wake::Received(env))
+                } else {
+                    slot.meta.run = RunState::Recv(filter);
+                    None
+                }
+            }
+            Op::SleepUntil { at } => {
+                if at <= now {
+                    Some(Wake::OpDone)
+                } else {
+                    self.kernel.timer_seq += 1;
+                    let seq = self.kernel.timer_seq;
+                    self.kernel.queue.push(at, Event::Timer { pid, seq });
+                    self.procs[pid.0 as usize].meta.run = RunState::Sleep(seq);
+                    None
+                }
+            }
+            Op::Exit => {
+                self.cleanup(pid);
+                None
+            }
+        }
+    }
+
+    // --- Pending actions ------------------------------------------------------
+
+    fn apply_pending(&mut self) {
+        // Spawns: allocate slots in pid order.
+        while !self.kernel.pending_spawns.is_empty() {
+            let spawn = self.kernel.pending_spawns.remove(0);
+            debug_assert_eq!(spawn.pid.0 as usize, self.procs.len(), "pid/slot skew");
+            let now = self.kernel.now;
+            let host = &mut self.kernel.hosts[spawn.host.0 as usize];
+            host.proc_add(ProcEntry {
+                pid: spawn.pid.0,
+                name: spawn.opts.name.clone(),
+                start_time: now,
+                state: ProcState::Sleeping,
+                migratable: spawn.opts.migratable,
+            });
+            if host.mem_reserve(spawn.pid.0, spawn.opts.mem).is_err() {
+                self.kernel.trace.record(
+                    now,
+                    TraceKind::Custom,
+                    format!("{} OOM reserving for {}", spawn.opts.name, spawn.pid),
+                );
+            }
+            self.kernel.trace.record(
+                now,
+                TraceKind::Spawn,
+                format!("{} ({}) on h{}", spawn.pid, spawn.opts.name, spawn.host.0),
+            );
+            self.procs.push(ProcSlot {
+                meta: ProcMeta {
+                    pid: spawn.pid,
+                    host: spawn.host,
+                    name: spawn.opts.name,
+                    ops: std::collections::VecDeque::new(),
+                    run: RunState::Idle,
+                    mailbox: std::collections::VecDeque::new(),
+                    signals: std::collections::VecDeque::new(),
+                    started_at: now,
+                    exited_at: None,
+                },
+                program: Some(spawn.program),
+            });
+            self.kernel.queue.push(now, Event::StartProc(spawn.pid));
+        }
+        // Kills.
+        while let Some(pid) = self.kernel.pending_kills.pop() {
+            self.cleanup(pid);
+        }
+        // Signals.
+        while !self.kernel.pending_signals.is_empty() {
+            let (pid, sig) = self.kernel.pending_signals.remove(0);
+            if let Some(slot) = self.procs.get_mut(pid.0 as usize) {
+                if slot.meta.run != RunState::Dead {
+                    slot.meta.signals.push_back(sig);
+                    self.kernel.trace.record(
+                        self.kernel.now,
+                        TraceKind::Signal,
+                        format!("signal {sig} -> {pid}"),
+                    );
+                    self.kernel.queue.push(self.kernel.now, Event::Nudge(pid));
+                }
+            }
+        }
+    }
+
+    fn cleanup(&mut self, pid: Pid) {
+        let now = self.kernel.now;
+        let Some(slot) = self.procs.get_mut(pid.0 as usize) else {
+            return;
+        };
+        if slot.meta.run == RunState::Dead {
+            return;
+        }
+        match slot.meta.run {
+            RunState::Compute(job) => {
+                let h = slot.meta.host.0;
+                self.kernel.hosts[h as usize].end_compute(now, job);
+                self.kernel.cpu_jobs.remove(&(h, job));
+            }
+            RunState::SendFlow(flow) => {
+                self.kernel.net.end_flow(now, flow);
+                self.kernel.flow_purpose.remove(&flow);
+            }
+            _ => {}
+        }
+        slot.meta.run = RunState::Dead;
+        slot.meta.exited_at = Some(now);
+        slot.meta.ops.clear();
+        slot.meta.mailbox.clear();
+        slot.program = None;
+        let h = slot.meta.host.0;
+        let name = slot.meta.name.clone();
+        self.kernel.hosts[h as usize].proc_remove(pid.0);
+        self.kernel
+            .trace
+            .record(now, TraceKind::Exit, format!("{pid} ({name}) on h{h}"));
+    }
+
+    // --- Completion-event resynchronization -----------------------------------
+
+    fn resync(&mut self) {
+        let now = self.kernel.now;
+        for i in 0..self.kernel.hosts.len() {
+            let version = self.kernel.hosts[i].cpu_version();
+            let cached_ok = matches!(self.kernel.cpu_sched[i], Some((v, _, _)) if v == version);
+            if cached_ok {
+                continue;
+            }
+            if let Some((_, _, ev)) = self.kernel.cpu_sched[i].take() {
+                self.kernel.queue.cancel(ev);
+            }
+            if let Some((t, _)) = self.kernel.hosts[i].next_cpu_completion(now) {
+                let ev = self
+                    .kernel
+                    .queue
+                    .push(t, Event::CpuDone { host: i as u32 });
+                self.kernel.cpu_sched[i] = Some((version, t, ev));
+            }
+        }
+        let version = self.kernel.net.version();
+        let cached_ok = matches!(self.kernel.net_sched, Some((v, _, _)) if v == version);
+        if !cached_ok {
+            if let Some((_, _, ev)) = self.kernel.net_sched.take() {
+                self.kernel.queue.cancel(ev);
+            }
+            if let Some((t, _)) = self.kernel.net.next_completion(now) {
+                let ev = self.kernel.queue.push(t, Event::NetDone);
+                self.kernel.net_sched = Some((version, t, ev));
+            }
+        }
+    }
+}

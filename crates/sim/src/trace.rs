@@ -1,0 +1,115 @@
+//! Simulation event trace.
+//!
+//! A lightweight structured log of notable events (spawns, exits, messages,
+//! migration phases, scheduling decisions). Tests assert on it; the figure
+//! harness prints the migration timeline from it.
+
+use ars_simcore::SimTime;
+
+/// Category of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Process created.
+    Spawn,
+    /// Process terminated.
+    Exit,
+    /// Message delivered.
+    Deliver,
+    /// Signal posted.
+    Signal,
+    /// Migration protocol phase (detail names the phase).
+    Migration,
+    /// Scheduling decision (registry/scheduler).
+    Decision,
+    /// Anything else.
+    Custom,
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub t: SimTime,
+    /// Category.
+    pub kind: TraceKind,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// The trace buffer.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A disabled trace (recording off).
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True when recording.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op while disabled).
+    pub fn record(&mut self, t: SimTime, kind: TraceKind, detail: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                t,
+                kind,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// First event of a kind whose detail contains `needle`.
+    pub fn find(&self, kind: TraceKind, needle: &str) -> Option<&TraceEvent> {
+        self.events
+            .iter()
+            .find(|e| e.kind == kind && e.detail.contains(needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, TraceKind::Spawn, "x");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_filters() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(SimTime::from_secs(1), TraceKind::Spawn, "pid1 on h0");
+        t.record(SimTime::from_secs(2), TraceKind::Migration, "poll-point");
+        t.record(SimTime::from_secs(3), TraceKind::Migration, "restore");
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.of_kind(TraceKind::Migration).count(), 2);
+        let found = t.find(TraceKind::Migration, "restore").unwrap();
+        assert_eq!(found.t, SimTime::from_secs(3));
+        assert!(t.find(TraceKind::Exit, "").is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! # ars-simcore — discrete-event simulation kernel
+//!
+//! The foundation of the `ars` cluster simulator: a deterministic virtual
+//! clock ([`SimTime`]), a future-event queue with stable tie-breaking
+//! ([`EventQueue`]), a seeded pseudo-random stream ([`SimRng`]), the
+//! processor-sharing resource model used for host CPUs ([`SharedResource`]),
+//! and time-series recording for experiment output ([`TimeSeries`]).
+//!
+//! Everything in this crate is pure (no I/O, no wall-clock, no threads), so
+//! every simulation run is exactly reproducible from its seed — a property
+//! the paper-reproduction harness relies on.
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod series;
+pub mod time;
+
+pub use queue::{EventId, EventQueue};
+pub use resource::{JobId, SharedResource};
+pub use rng::SimRng;
+pub use series::{RateCounter, TimeSeries};
+pub use time::{SimDuration, SimTime, MICROS_PER_SEC};

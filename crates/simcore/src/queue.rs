@@ -1,0 +1,189 @@
+//! Deterministic future-event queue.
+//!
+//! A binary-heap priority queue keyed by [`SimTime`] with a monotonically
+//! increasing sequence number breaking ties, so two events scheduled for the
+//! same instant always fire in scheduling order regardless of heap internals.
+//! Events can be cancelled lazily via the [`EventId`] returned at push time.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that the earliest (time, seq) pops first from a max-heap.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The future-event list of the simulation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Seqs of entries still in the heap; keeps `cancel` of already-fired
+    /// events a true no-op and `len` exact.
+    live: HashSet<u64>,
+    cancelled: HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+        }
+    }
+
+    /// Remove and return the earliest pending event with its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live.remove(&entry.seq);
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Firing time of the earliest pending event, skipping cancelled ones.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of entries in the heap, including not-yet-skipped cancellations.
+    #[allow(clippy::len_without_is_empty)] // is_empty needs &mut self (below)
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain. Takes `&mut self` because checking
+    /// must skip (and drop) lazily cancelled entries at the heap top.
+    #[allow(clippy::wrong_self_convention)]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3), "c");
+        q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.pop(), Some((t(3), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(7), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        let c = q.push(t(3), "c");
+        q.cancel(a);
+        q.cancel(c);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        q.cancel(a); // fired already; must not affect later events
+        q.push(t(2), "b");
+        assert_eq!(q.pop(), Some((t(2), "b")));
+    }
+}

@@ -1,0 +1,409 @@
+//! Processor-sharing resource model.
+//!
+//! A [`SharedResource`] serves a set of jobs simultaneously, dividing its
+//! capacity among them in proportion to their weights (egalitarian processor
+//! sharing when all weights are equal). It is the building block for the host
+//! CPU model: with `k` runnable tasks on a 1-CPU host, each progresses at
+//! `speed / k` — exactly the behaviour the paper's load-average and
+//! CPU-utilization experiments depend on.
+//!
+//! The resource is advanced explicitly: every mutating call takes the current
+//! [`SimTime`] and first settles all service accrued since the previous call.
+//! Settlement handles completions *inside* the interval correctly — when a
+//! job finishes mid-interval it stops consuming capacity and the survivors
+//! speed up from that instant. A `version` counter is bumped on every
+//! membership change so the simulator can lazily invalidate stale completion
+//! events.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Identifier of a job within one [`SharedResource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(u64);
+
+/// Service amounts below this are considered complete (absolute units).
+const COMPLETION_EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct Job {
+    /// Remaining service units; `None` means unbounded (a background job that
+    /// consumes capacity forever, e.g. a persistent traffic stream).
+    remaining: Option<f64>,
+    weight: f64,
+    served: f64,
+    finished: bool,
+}
+
+impl Job {
+    fn active(&self) -> bool {
+        !self.finished
+    }
+}
+
+/// A capacity shared among concurrent jobs (see module docs).
+#[derive(Debug, Clone)]
+pub struct SharedResource {
+    capacity: f64,
+    jobs: BTreeMap<JobId, Job>,
+    /// Sum of weights over *active* (unfinished) jobs.
+    active_weight: f64,
+    active_count: usize,
+    next_id: u64,
+    last_advance: SimTime,
+    busy_secs: f64,
+    served_total: f64,
+    version: u64,
+}
+
+impl SharedResource {
+    /// Create a resource serving `capacity` units per second.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        SharedResource {
+            capacity,
+            jobs: BTreeMap::new(),
+            active_weight: 0.0,
+            active_count: 0,
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+            busy_secs: 0.0,
+            served_total: 0.0,
+            version: 0,
+        }
+    }
+
+    /// Units served per second when fully utilized.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of jobs currently registered (including finished-but-unreaped).
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of jobs still consuming capacity.
+    pub fn active_len(&self) -> usize {
+        self.active_count
+    }
+
+    /// True if no jobs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Monotone counter bumped on every membership change; completion events
+    /// scheduled against an older version are stale.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Total time the resource has had at least one active job.
+    pub fn busy_time(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.busy_secs)
+    }
+
+    /// Total busy time in fractional seconds (exact accumulation).
+    pub fn busy_secs(&self) -> f64 {
+        self.busy_secs
+    }
+
+    /// Total service units delivered so far.
+    pub fn served_total(&self) -> f64 {
+        self.served_total
+    }
+
+    /// Instantaneous service rate for `id`, in units per second.
+    pub fn rate_of(&self, id: JobId) -> f64 {
+        match self.jobs.get(&id) {
+            Some(j) if j.active() && self.active_weight > 0.0 => {
+                self.capacity * j.weight / self.active_weight
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Remaining service units for `id` as of the last settlement.
+    pub fn remaining_of(&self, id: JobId) -> Option<f64> {
+        self.jobs.get(&id).and_then(|j| j.remaining)
+    }
+
+    /// Settle service accrued in `[last_advance, now]`, processing any
+    /// completions that occur inside the interval.
+    ///
+    /// Panics in debug builds if `now` is before the last settlement.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance, "time ran backwards");
+        let mut remaining_dt = now.since(self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        while remaining_dt > 0.0 && self.active_count > 0 {
+            // Time until the next in-interval completion at current shares.
+            let per_weight_rate = self.capacity / self.active_weight;
+            let mut dt_next = f64::INFINITY;
+            for job in self.jobs.values() {
+                if let (true, Some(rem)) = (job.active(), job.remaining) {
+                    dt_next = dt_next.min(rem / (per_weight_rate * job.weight));
+                }
+            }
+            let step = remaining_dt.min(dt_next);
+            let per_weight = per_weight_rate * step;
+            for job in self.jobs.values_mut() {
+                if !job.active() {
+                    continue;
+                }
+                let service = per_weight * job.weight;
+                job.served += service;
+                self.served_total += service;
+                if let Some(rem) = &mut job.remaining {
+                    *rem -= service;
+                    if *rem <= COMPLETION_EPS {
+                        *rem = 0.0;
+                        job.finished = true;
+                        self.active_weight -= job.weight;
+                        self.active_count -= 1;
+                    }
+                }
+            }
+            if self.active_count == 0 {
+                self.active_weight = 0.0; // kill float drift when idle
+            }
+            self.busy_secs += step;
+            remaining_dt -= step;
+        }
+    }
+
+    /// Add a job with `amount` service units remaining (`None` = unbounded)
+    /// and the given weight. Call at the current time.
+    pub fn add_job(&mut self, now: SimTime, amount: Option<f64>, weight: f64) -> JobId {
+        assert!(weight > 0.0, "weight must be positive");
+        if let Some(a) = amount {
+            assert!(a >= 0.0, "amount must be non-negative");
+        }
+        self.advance(now);
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let finished = amount == Some(0.0);
+        self.jobs.insert(
+            id,
+            Job {
+                remaining: amount,
+                weight,
+                served: 0.0,
+                finished,
+            },
+        );
+        if !finished {
+            self.active_weight += weight;
+            self.active_count += 1;
+        }
+        self.version += 1;
+        id
+    }
+
+    /// Remove a job, returning the service it received. Removing an unknown
+    /// job returns `None`.
+    pub fn remove_job(&mut self, now: SimTime, id: JobId) -> Option<f64> {
+        self.advance(now);
+        let job = self.jobs.remove(&id)?;
+        if job.active() {
+            self.active_weight -= job.weight;
+            self.active_count -= 1;
+            if self.active_count == 0 {
+                self.active_weight = 0.0;
+            }
+        }
+        self.version += 1;
+        Some(job.served)
+    }
+
+    /// The earliest upcoming completion `(time, job)` assuming the membership
+    /// does not change in the meantime, or `None` when no bounded active job
+    /// is in service. Check [`version`](Self::version) when the event fires.
+    pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, JobId)> {
+        debug_assert!(now >= self.last_advance);
+        if self.active_count == 0 {
+            return None;
+        }
+        let already = now.since(self.last_advance).as_secs_f64();
+        let per_weight_rate = self.capacity / self.active_weight;
+        let mut best: Option<(f64, JobId)> = None;
+        for (&id, job) in &self.jobs {
+            if !job.active() {
+                continue;
+            }
+            let Some(rem) = job.remaining else { continue };
+            let dt = (rem / (per_weight_rate * job.weight) - already).max(0.0);
+            if best.is_none_or(|(b, _)| dt < b) {
+                best = Some((dt, id));
+            }
+        }
+        best.map(|(dt, id)| (now + SimDuration::from_secs_f64_ceil(dt), id))
+    }
+
+    /// Jobs whose remaining service has reached zero (call after `advance`).
+    pub fn finished_jobs(&self) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .filter(|(_, j)| j.finished)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn single_job_runs_at_full_capacity() {
+        let mut r = SharedResource::new(2.0);
+        let j = r.add_job(t(0.0), Some(10.0), 1.0);
+        let (finish, id) = r.next_completion(t(0.0)).unwrap();
+        assert_eq!(id, j);
+        assert_eq!(finish, t(5.0));
+        r.advance(t(5.0));
+        assert_eq!(r.finished_jobs(), vec![j]);
+    }
+
+    #[test]
+    fn two_jobs_share_equally() {
+        let mut r = SharedResource::new(1.0);
+        let a = r.add_job(t(0.0), Some(10.0), 1.0);
+        let b = r.add_job(t(0.0), Some(10.0), 1.0);
+        assert!((r.rate_of(a) - 0.5).abs() < 1e-12);
+        let (finish, _) = r.next_completion(t(0.0)).unwrap();
+        assert_eq!(finish, t(20.0));
+        r.advance(t(20.0));
+        let mut done = r.finished_jobs();
+        done.sort();
+        assert_eq!(done, vec![a, b]);
+    }
+
+    #[test]
+    fn departure_speeds_up_survivor() {
+        let mut r = SharedResource::new(1.0);
+        let a = r.add_job(t(0.0), Some(10.0), 1.0);
+        let b = r.add_job(t(0.0), Some(2.0), 1.0);
+        // b finishes at t=4 (rate 0.5). a then has 8 left at rate 1.
+        let (fb, id) = r.next_completion(t(0.0)).unwrap();
+        assert_eq!((fb, id), (t(4.0), b));
+        r.advance(t(4.0));
+        let served_b = r.remove_job(t(4.0), b).unwrap();
+        assert!((served_b - 2.0).abs() < 1e-9);
+        let (fa, id) = r.next_completion(t(4.0)).unwrap();
+        assert_eq!(id, a);
+        assert_eq!(fa, t(12.0));
+    }
+
+    #[test]
+    fn completion_inside_interval_speeds_up_survivor() {
+        // Same as above but settled in a single advance spanning b's finish:
+        // a must still finish at t=12, not later.
+        let mut r = SharedResource::new(1.0);
+        let a = r.add_job(t(0.0), Some(10.0), 1.0);
+        let _b = r.add_job(t(0.0), Some(2.0), 1.0);
+        r.advance(t(12.0));
+        assert_eq!(r.remaining_of(a), Some(0.0));
+        assert_eq!(r.finished_jobs().len(), 2);
+    }
+
+    #[test]
+    fn finished_job_stops_consuming_capacity() {
+        let mut r = SharedResource::new(1.0);
+        let _short = r.add_job(t(0.0), Some(1.0), 1.0);
+        let long = r.add_job(t(0.0), Some(10.0), 1.0);
+        r.advance(t(2.0)); // short finished at t=2 exactly
+        // long got 1.0 in [0,2]; now runs alone.
+        let (f, id) = r.next_completion(t(2.0)).unwrap();
+        assert_eq!(id, long);
+        assert_eq!(f, t(11.0));
+    }
+
+    #[test]
+    fn weights_bias_shares() {
+        let mut r = SharedResource::new(3.0);
+        let a = r.add_job(t(0.0), Some(100.0), 2.0);
+        let b = r.add_job(t(0.0), Some(100.0), 1.0);
+        assert!((r.rate_of(a) - 2.0).abs() < 1e-12);
+        assert!((r.rate_of(b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbounded_job_never_completes_but_consumes_share() {
+        let mut r = SharedResource::new(1.0);
+        let bg = r.add_job(t(0.0), None, 1.0);
+        let a = r.add_job(t(0.0), Some(5.0), 1.0);
+        let (fa, id) = r.next_completion(t(0.0)).unwrap();
+        assert_eq!(id, a);
+        assert_eq!(fa, t(10.0)); // rate halved by the background job
+        r.advance(t(10.0));
+        let served_bg = r.remove_job(t(10.0), bg).unwrap();
+        // bg got half share for 10 s, then (after a finished) full share for 0 s.
+        assert!((served_bg - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_time_only_accrues_when_loaded() {
+        let mut r = SharedResource::new(1.0);
+        r.advance(t(5.0)); // idle
+        assert_eq!(r.busy_time(), SimDuration::ZERO);
+        let j = r.add_job(t(5.0), Some(1.0), 1.0);
+        r.advance(t(6.0));
+        r.remove_job(t(6.0), j);
+        r.advance(t(10.0)); // idle again
+        assert_eq!(r.busy_time(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn busy_time_stops_after_all_jobs_finish() {
+        let mut r = SharedResource::new(1.0);
+        r.add_job(t(0.0), Some(2.0), 1.0);
+        r.advance(t(10.0)); // finished at t=2; idle afterwards
+        assert_eq!(r.busy_time(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn version_bumps_on_membership_changes() {
+        let mut r = SharedResource::new(1.0);
+        let v0 = r.version();
+        let j = r.add_job(t(0.0), Some(1.0), 1.0);
+        assert!(r.version() > v0);
+        let v1 = r.version();
+        r.remove_job(t(0.0), j);
+        assert!(r.version() > v1);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let mut r = SharedResource::new(2.0);
+        r.add_job(t(0.0), Some(4.0), 1.0);
+        r.add_job(t(1.0), Some(4.0), 1.0);
+        r.add_job(t(2.0), Some(4.0), 3.0);
+        r.advance(t(3.5));
+        let busy = r.busy_time().as_secs_f64();
+        assert!((r.served_total() - 2.0 * busy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_completion_between_advances() {
+        let mut r = SharedResource::new(1.0);
+        let j = r.add_job(t(0.0), Some(10.0), 1.0);
+        let (f, id) = r.next_completion(t(4.0)).unwrap();
+        assert_eq!((f, id), (t(10.0), j));
+    }
+
+    #[test]
+    fn zero_amount_job_is_born_finished() {
+        let mut r = SharedResource::new(1.0);
+        let j = r.add_job(t(0.0), Some(0.0), 1.0);
+        assert_eq!(r.finished_jobs(), vec![j]);
+        assert_eq!(r.next_completion(t(0.0)), None);
+        r.advance(t(5.0));
+        assert_eq!(r.busy_time(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,195 @@
+//! Time-series recording for experiment output.
+//!
+//! Every figure in the paper is a sampled time series (load average, CPU
+//! utilization, KB/s sent and received). [`TimeSeries`] stores `(t, value)`
+//! samples; [`RateCounter`] turns a cumulative byte/work counter into a rate
+//! series the way the paper's `sysinfo` sensor does — by differencing between
+//! 10-second samples.
+
+use crate::time::SimTime;
+
+/// A recorded sequence of `(time, value)` samples.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Create an empty, named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Series name (used as the column header in harness output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the series (harness output relabeling).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Append a sample. Samples must be pushed in non-decreasing time order.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.samples.last().is_none_or(|&(lt, _)| t >= lt),
+            "samples out of order"
+        );
+        self.samples.push((t, v));
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of all sample values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Mean over samples with `t` in `[from, to)`.
+    pub fn mean_between(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Value at or before `t` (step interpolation).
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.samples.partition_point(|&(st, _)| st <= t) {
+            0 => None,
+            i => Some(self.samples[i - 1].1),
+        }
+    }
+}
+
+/// Differencing sampler: converts a cumulative counter into a rate series.
+#[derive(Debug, Clone)]
+pub struct RateCounter {
+    last_t: SimTime,
+    last_total: f64,
+}
+
+impl Default for RateCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RateCounter {
+    /// Start differencing at `t = 0`, counter value 0.
+    pub fn new() -> Self {
+        RateCounter {
+            last_t: SimTime::ZERO,
+            last_total: 0.0,
+        }
+    }
+
+    /// Given the cumulative `total` observed at `now`, return the average
+    /// rate (units per second) since the previous call, or `None` when no
+    /// time has elapsed.
+    pub fn sample(&mut self, now: SimTime, total: f64) -> Option<f64> {
+        let dt = now.since(self.last_t).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
+        }
+        let rate = (total - self.last_total) / dt;
+        self.last_t = now;
+        self.last_total = total;
+        Some(rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut s = TimeSeries::new("x");
+        s.push(t(0), 1.0);
+        s.push(t(10), 2.0);
+        s.push(t(20), 6.0);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.max(), Some(6.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn mean_between_half_open() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..10 {
+            s.push(t(i * 10), i as f64);
+        }
+        // [20, 50) covers samples at 20, 30, 40 -> values 2, 3, 4.
+        assert_eq!(s.mean_between(t(20), t(50)), Some(3.0));
+        assert_eq!(s.mean_between(t(900), t(1000)), None);
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut s = TimeSeries::new("x");
+        s.push(t(10), 1.0);
+        s.push(t(20), 2.0);
+        assert_eq!(s.value_at(t(5)), None);
+        assert_eq!(s.value_at(t(10)), Some(1.0));
+        assert_eq!(s.value_at(t(15)), Some(1.0));
+        assert_eq!(s.value_at(t(25)), Some(2.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn rate_counter_differences() {
+        let mut rc = RateCounter::new();
+        assert_eq!(rc.sample(t(0), 0.0), None); // no elapsed time
+        assert_eq!(rc.sample(t(10), 100.0), Some(10.0));
+        assert_eq!(rc.sample(t(20), 100.0), Some(0.0));
+        assert_eq!(rc.sample(t(30), 130.0), Some(3.0));
+    }
+}

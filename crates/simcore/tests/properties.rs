@@ -1,0 +1,110 @@
+//! Property-based tests for the simulation kernel invariants.
+
+use ars_simcore::{EventQueue, SharedResource, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue always pops in non-decreasing (time, insertion) order.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "order violated");
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn queue_cancellation_exact(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.push(SimTime::from_micros(t), i))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if mask[i % mask.len()] {
+                q.cancel(*id);
+            } else {
+                expect.push(i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(popped, expect);
+    }
+
+    /// Work conservation: after arbitrary arrivals and settlements, the total
+    /// service delivered equals capacity x busy time (within float noise).
+    #[test]
+    fn resource_conserves_work(
+        capacity in 0.1f64..100.0,
+        arrivals in proptest::collection::vec((0u64..100_000_000, 0.01f64..50.0), 1..40),
+    ) {
+        let mut r = SharedResource::new(capacity);
+        let mut evs: Vec<(u64, f64)> = arrivals;
+        evs.sort_by_key(|&(t, _)| t);
+        for &(t, amount) in &evs {
+            r.add_job(SimTime::from_micros(t), Some(amount), 1.0);
+        }
+        let end = SimTime::from_micros(200_000_000);
+        r.advance(end);
+        let served = r.served_total();
+        let cap_busy = capacity * r.busy_secs();
+        prop_assert!((served - cap_busy).abs() < 1e-6 * (1.0 + cap_busy),
+            "served {} vs capacity*busy {}", served, cap_busy);
+    }
+
+    /// No job is served more than its requested amount.
+    #[test]
+    fn resource_never_overserves(
+        amounts in proptest::collection::vec(0.01f64..20.0, 1..20),
+    ) {
+        let mut r = SharedResource::new(1.0);
+        let ids: Vec<_> = amounts
+            .iter()
+            .map(|&a| r.add_job(SimTime::ZERO, Some(a), 1.0))
+            .collect();
+        // Advance far enough that all jobs are done.
+        let total: f64 = amounts.iter().sum();
+        r.advance(SimTime::from_secs_f64(total + 1.0));
+        for (id, &a) in ids.iter().zip(&amounts) {
+            let served = r.remove_job(SimTime::from_secs_f64(total + 1.0), *id).unwrap();
+            prop_assert!(served <= a + 1e-6, "served {} > amount {}", served, a);
+        }
+    }
+
+    /// RNG stream depends only on the seed.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// `below(n)` is always within range for any n, seed.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+}

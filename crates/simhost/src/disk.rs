@@ -1,0 +1,152 @@
+//! Disk / mount-point accounting.
+//!
+//! The monitor "gathers the disk usage parameters of the various mount
+//! points" (§3.1); rules can condition on used or available space per mount.
+
+/// One mounted filesystem.
+#[derive(Debug, Clone)]
+pub struct Mount {
+    name: String,
+    total_kb: u64,
+    used_kb: u64,
+}
+
+impl Mount {
+    /// Create a mount with the given capacity and initial usage.
+    pub fn new(name: impl Into<String>, total_kb: u64, used_kb: u64) -> Self {
+        let used = used_kb.min(total_kb);
+        Mount {
+            name: name.into(),
+            total_kb,
+            used_kb: used,
+        }
+    }
+
+    /// Mount-point name (e.g. `/`, `/export/home`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in kilobytes.
+    pub fn total_kb(&self) -> u64 {
+        self.total_kb
+    }
+
+    /// Used kilobytes.
+    pub fn used_kb(&self) -> u64 {
+        self.used_kb
+    }
+
+    /// Available kilobytes.
+    pub fn avail_kb(&self) -> u64 {
+        self.total_kb - self.used_kb
+    }
+
+    /// Used fraction in `[0, 1]`.
+    pub fn used_frac(&self) -> f64 {
+        if self.total_kb == 0 {
+            1.0
+        } else {
+            self.used_kb as f64 / self.total_kb as f64
+        }
+    }
+
+    /// Consume `kb`, saturating at capacity. Returns the amount granted.
+    pub fn consume(&mut self, kb: u64) -> u64 {
+        let granted = kb.min(self.avail_kb());
+        self.used_kb += granted;
+        granted
+    }
+
+    /// Free `kb`, saturating at zero.
+    pub fn free(&mut self, kb: u64) {
+        self.used_kb = self.used_kb.saturating_sub(kb);
+    }
+}
+
+/// The set of mounts on one host.
+#[derive(Debug, Clone, Default)]
+pub struct DiskSet {
+    mounts: Vec<Mount>,
+}
+
+impl DiskSet {
+    /// Create from a list of mounts.
+    pub fn new(mounts: Vec<Mount>) -> Self {
+        DiskSet { mounts }
+    }
+
+    /// All mounts.
+    pub fn mounts(&self) -> &[Mount] {
+        &self.mounts
+    }
+
+    /// Look up by mount name.
+    pub fn get(&self, name: &str) -> Option<&Mount> {
+        self.mounts.iter().find(|m| m.name() == name)
+    }
+
+    /// Mutable lookup by mount name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Mount> {
+        self.mounts.iter_mut().find(|m| m.name() == name)
+    }
+
+    /// Total available kilobytes across all mounts.
+    pub fn total_avail_kb(&self) -> u64 {
+        self.mounts.iter().map(Mount::avail_kb).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_and_free() {
+        let mut m = Mount::new("/", 1000, 100);
+        assert_eq!(m.avail_kb(), 900);
+        assert_eq!(m.consume(200), 200);
+        assert_eq!(m.used_kb(), 300);
+        m.free(50);
+        assert_eq!(m.used_kb(), 250);
+    }
+
+    #[test]
+    fn consume_saturates_at_capacity() {
+        let mut m = Mount::new("/", 100, 90);
+        assert_eq!(m.consume(50), 10);
+        assert_eq!(m.avail_kb(), 0);
+        assert_eq!(m.used_frac(), 1.0);
+    }
+
+    #[test]
+    fn free_saturates_at_zero() {
+        let mut m = Mount::new("/", 100, 10);
+        m.free(500);
+        assert_eq!(m.used_kb(), 0);
+    }
+
+    #[test]
+    fn initial_usage_clamped() {
+        let m = Mount::new("/", 100, 500);
+        assert_eq!(m.used_kb(), 100);
+    }
+
+    #[test]
+    fn diskset_lookup_and_totals() {
+        let mut ds = DiskSet::new(vec![
+            Mount::new("/", 1000, 500),
+            Mount::new("/export", 2000, 0),
+        ]);
+        assert_eq!(ds.total_avail_kb(), 2500);
+        ds.get_mut("/export").unwrap().consume(100);
+        assert_eq!(ds.get("/export").unwrap().used_kb(), 100);
+        assert!(ds.get("/nope").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_mount_reports_full() {
+        let m = Mount::new("/tiny", 0, 0);
+        assert_eq!(m.used_frac(), 1.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # ars-simhost — simulated workstation model
+//!
+//! Models one host of the paper's testbed: a processor-sharing CPU with a
+//! speed factor, Solaris-style damped load averages, physical/virtual memory,
+//! mounted disks, a `ps`-style process table, and a host-local file store
+//! used for the commander → migrating-process destination handoff.
+//!
+//! The model is passive (no event queue); the cluster simulator in `ars-sim`
+//! drives it. Each submodel is unit-tested in isolation here.
+
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod host;
+pub mod loadavg;
+pub mod mem;
+pub mod procs;
+
+pub use disk::{DiskSet, Mount};
+pub use host::{Host, HostConfig, HostId};
+pub use loadavg::{LoadAvg, LOAD_SAMPLE_INTERVAL};
+pub use mem::{MemUse, Memory, OutOfMemory};
+pub use procs::{ProcEntry, ProcState, ProcTable};

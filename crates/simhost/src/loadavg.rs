@@ -1,0 +1,185 @@
+//! Solaris-style exponentially damped load averages.
+//!
+//! The kernel samples the length of the run queue every 5 seconds and folds
+//! it into three exponentially damped averages with time constants of 1, 5
+//! and 15 minutes:
+//!
+//! ```text
+//! la += (n_runnable - la) * (1 - e^(-dt/tau))
+//! ```
+//!
+//! The rescheduler's rules and the paper's Figure 5 are expressed in terms of
+//! the 1-minute and 5-minute values, so reproducing the damping dynamics is
+//! essential: a load spike takes tens of seconds to show in `la1` — the
+//! source of the 72-second "warm-up" the paper measures before a migration
+//! decision.
+
+use ars_simcore::{SimDuration, SimTime};
+
+/// Interval at which the kernel samples the run queue.
+pub const LOAD_SAMPLE_INTERVAL: SimDuration = SimDuration::from_secs(5);
+
+const TAU_1MIN: f64 = 60.0;
+const TAU_5MIN: f64 = 300.0;
+const TAU_15MIN: f64 = 900.0;
+
+/// The three damped load averages of one host.
+#[derive(Debug, Clone)]
+pub struct LoadAvg {
+    la1: f64,
+    la5: f64,
+    la15: f64,
+    last_sample: SimTime,
+}
+
+impl Default for LoadAvg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoadAvg {
+    /// Start with all averages at zero (idle boot).
+    pub fn new() -> Self {
+        LoadAvg {
+            la1: 0.0,
+            la5: 0.0,
+            la15: 0.0,
+            last_sample: SimTime::ZERO,
+        }
+    }
+
+    /// Fold in a run-queue sample of `n_runnable` tasks taken at `now`.
+    ///
+    /// The damping factor uses the actual elapsed time since the previous
+    /// sample, so irregular sampling still converges correctly.
+    pub fn sample(&mut self, now: SimTime, n_runnable: usize) {
+        let dt = now.since(self.last_sample).as_secs_f64();
+        self.last_sample = now;
+        if dt <= 0.0 {
+            return;
+        }
+        let n = n_runnable as f64;
+        for (la, tau) in [
+            (&mut self.la1, TAU_1MIN),
+            (&mut self.la5, TAU_5MIN),
+            (&mut self.la15, TAU_15MIN),
+        ] {
+            let decay = (-dt / tau).exp();
+            *la = *la * decay + n * (1.0 - decay);
+        }
+    }
+
+    /// 1-minute load average.
+    pub fn one(&self) -> f64 {
+        self.la1
+    }
+
+    /// 5-minute load average.
+    pub fn five(&self) -> f64 {
+        self.la5
+    }
+
+    /// 15-minute load average.
+    pub fn fifteen(&self) -> f64 {
+        self.la15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(la: &mut LoadAvg, from_s: u64, to_s: u64, n: usize) {
+        let mut t = from_s;
+        while t < to_s {
+            t += 5;
+            la.sample(SimTime::from_secs(t), n);
+        }
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        let la = LoadAvg::new();
+        assert_eq!(la.one(), 0.0);
+        assert_eq!(la.five(), 0.0);
+        assert_eq!(la.fifteen(), 0.0);
+    }
+
+    #[test]
+    fn converges_to_constant_load() {
+        let mut la = LoadAvg::new();
+        run(&mut la, 0, 3600, 2);
+        assert!((la.one() - 2.0).abs() < 0.01, "la1={}", la.one());
+        assert!((la.five() - 2.0).abs() < 0.01, "la5={}", la.five());
+        assert!((la.fifteen() - 2.0).abs() < 0.1, "la15={}", la.fifteen());
+    }
+
+    #[test]
+    fn one_minute_reacts_faster_than_five() {
+        let mut la = LoadAvg::new();
+        run(&mut la, 0, 60, 4);
+        assert!(la.one() > la.five());
+        assert!(la.five() > la.fifteen());
+    }
+
+    #[test]
+    fn sixty_three_percent_after_one_time_constant() {
+        // After tau seconds of constant load n, the average reaches
+        // n * (1 - 1/e) ~ 0.632 n.
+        let mut la = LoadAvg::new();
+        run(&mut la, 0, 60, 1);
+        assert!((la.one() - 0.632).abs() < 0.01, "la1={}", la.one());
+    }
+
+    #[test]
+    fn decays_when_idle() {
+        let mut la = LoadAvg::new();
+        run(&mut la, 0, 600, 3);
+        let peak = la.one();
+        run(&mut la, 600, 780, 0); // 3 min idle
+        assert!(la.one() < peak * 0.06, "la1={} after idle", la.one());
+    }
+
+    #[test]
+    fn spike_takes_about_a_minute_to_register() {
+        // The dynamics behind the paper's 72 s warm-up: load jumps to 3,
+        // and the 1-minute average crosses 2.0 only after ~55-75 s.
+        let mut la = LoadAvg::new();
+        let mut crossed_at = None;
+        let mut t = 0;
+        while t < 300 {
+            t += 5;
+            la.sample(SimTime::from_secs(t), 3);
+            if crossed_at.is_none() && la.one() > 2.0 {
+                crossed_at = Some(t);
+            }
+        }
+        let crossed = crossed_at.expect("should cross threshold");
+        assert!(
+            (50..=80).contains(&crossed),
+            "crossed at {crossed}s, expected ~1 min"
+        );
+    }
+
+    #[test]
+    fn irregular_sampling_still_converges() {
+        let mut la = LoadAvg::new();
+        let mut t = 0u64;
+        let steps = [3u64, 7, 5, 11, 2, 9];
+        for i in 0..600 {
+            t += steps[i % steps.len()];
+            la.sample(SimTime::from_secs(t), 1);
+        }
+        assert!((la.one() - 1.0).abs() < 0.05, "la1={}", la.one());
+    }
+
+    #[test]
+    fn zero_dt_sample_is_ignored() {
+        let mut la = LoadAvg::new();
+        la.sample(SimTime::from_secs(5), 10);
+        let v = la.one();
+        la.sample(SimTime::from_secs(5), 100); // same instant
+        assert_eq!(la.one(), v);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the workstation model.
+
+use ars_simcore::SimTime;
+use ars_simhost::{Host, HostConfig, LoadAvg, MemUse, Memory};
+use proptest::prelude::*;
+
+proptest! {
+    /// Load averages are always within [0, max runnable seen].
+    #[test]
+    fn load_average_bounded(samples in proptest::collection::vec(0usize..16, 1..200)) {
+        let mut la = LoadAvg::new();
+        let mut t = 0u64;
+        let max = *samples.iter().max().unwrap() as f64;
+        for &n in &samples {
+            t += 5;
+            la.sample(SimTime::from_secs(t), n);
+            prop_assert!(la.one() >= 0.0 && la.one() <= max + 1e-9);
+            prop_assert!(la.five() >= 0.0 && la.five() <= max + 1e-9);
+            prop_assert!(la.fifteen() >= 0.0 && la.fifteen() <= max + 1e-9);
+        }
+    }
+
+    /// The 1-minute average always reacts at least as strongly as the
+    /// 5-minute, which reacts at least as strongly as the 15-minute, to a
+    /// sustained step from idle.
+    #[test]
+    fn time_constants_order(n in 1usize..8, steps in 1u64..100) {
+        let mut la = LoadAvg::new();
+        for i in 1..=steps {
+            la.sample(SimTime::from_secs(i * 5), n);
+        }
+        prop_assert!(la.one() >= la.five() - 1e-12);
+        prop_assert!(la.five() >= la.fifteen() - 1e-12);
+    }
+
+    /// Memory accounting: reservations and releases never corrupt the
+    /// totals, and availability never exceeds physical capacity.
+    #[test]
+    fn memory_invariants(
+        ops in proptest::collection::vec((0u64..8, 0u64..100_000, any::<bool>()), 1..60),
+    ) {
+        let mut m = Memory::new(262_144, 262_144);
+        for (owner, kb, release) in ops {
+            if release {
+                m.release(owner);
+            } else {
+                let _ = m.reserve(owner, MemUse { rss_kb: kb, vsz_kb: kb });
+            }
+            prop_assert!(m.phys_avail_kb() <= 262_144);
+            prop_assert!(m.virt_avail_kb() <= 524_288);
+            let f = m.phys_avail_frac();
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+        // Releasing everything restores full availability.
+        for owner in 0..8 {
+            m.release(owner);
+        }
+        prop_assert_eq!(m.phys_avail_kb(), 262_144);
+        prop_assert_eq!(m.virt_avail_kb(), 524_288);
+    }
+
+    /// CPU busy time never exceeds elapsed time x capacity and total served
+    /// work never exceeds what was requested.
+    #[test]
+    fn host_cpu_accounting(
+        jobs in proptest::collection::vec((0u64..50_000_000, 0.1f64..30.0), 1..20),
+        speed in 0.25f64..4.0,
+    ) {
+        let mut host = Host::new(HostConfig {
+            cpu_speed: speed,
+            ..HostConfig::default()
+        });
+        let mut evs = jobs.clone();
+        evs.sort_by_key(|&(t, _)| t);
+        for &(at, work) in &evs {
+            host.start_compute(SimTime::from_micros(at), work);
+        }
+        let end = SimTime::from_secs(1_000);
+        host.advance(end);
+        let busy = host.cpu_busy_secs();
+        prop_assert!(busy <= 1_000.0 + 1e-6);
+        let total_work: f64 = jobs.iter().map(|&(_, w)| w).sum();
+        // served = busy * speed <= total work requested (+ float noise)
+        prop_assert!(busy * speed <= total_work + 1e-6,
+            "busy {busy} * speed {speed} > work {total_work}");
+    }
+}

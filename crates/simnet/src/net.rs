@@ -1,0 +1,437 @@
+//! Flow-level network simulation (see crate docs for the sharing model).
+
+use ars_simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Index of a node (host NIC) in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an in-flight flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u64);
+
+/// Bytes below this are considered fully transferred.
+const COMPLETION_EPS: f64 = 1e-6;
+
+/// Network-wide configuration.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// NIC capacity in bytes/second for each direction (full duplex).
+    /// 100 Mbps Ethernet = 12.5 MB/s = 12 500 000.
+    pub nic_bytes_per_sec: f64,
+    /// One-way propagation + protocol latency per message.
+    pub latency: SimDuration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            nic_bytes_per_sec: 12_500_000.0,
+            latency: SimDuration::from_micros(300),
+        }
+    }
+}
+
+/// One unidirectional data transfer.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Bytes still to transfer; `None` for persistent background streams.
+    remaining: Option<f64>,
+    /// Current fair-share rate (bytes/s), updated on membership changes.
+    rate: f64,
+    /// Bytes moved so far.
+    transferred: f64,
+    finished: bool,
+}
+
+impl Flow {
+    fn active(&self) -> bool {
+        !self.finished
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Nic {
+    tx_bytes: f64,
+    rx_bytes: f64,
+    tx_flows: u32,
+    rx_flows: u32,
+}
+
+/// The cluster network: a set of NICs plus the in-flight flow set.
+pub struct Network {
+    config: NetworkConfig,
+    nics: Vec<Nic>,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+    last_advance: SimTime,
+    version: u64,
+}
+
+impl Network {
+    /// Create a network of `n_nodes` identical NICs.
+    pub fn new(n_nodes: usize, config: NetworkConfig) -> Self {
+        Network {
+            config,
+            nics: vec![Nic::default(); n_nodes],
+            flows: BTreeMap::new(),
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+            version: 0,
+        }
+    }
+
+    /// Network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// True when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nics.is_empty()
+    }
+
+    /// Membership version for lazy event invalidation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Cumulative bytes sent by a node.
+    pub fn tx_bytes(&self, node: NodeId) -> f64 {
+        self.nics[node.0 as usize].tx_bytes
+    }
+
+    /// Cumulative bytes received by a node.
+    pub fn rx_bytes(&self, node: NodeId) -> f64 {
+        self.nics[node.0 as usize].rx_bytes
+    }
+
+    /// Number of active flows originating at `node`.
+    pub fn tx_flow_count(&self, node: NodeId) -> u32 {
+        self.nics[node.0 as usize].tx_flows
+    }
+
+    /// Number of active flows terminating at `node`.
+    pub fn rx_flow_count(&self, node: NodeId) -> u32 {
+        self.nics[node.0 as usize].rx_flows
+    }
+
+    /// Look up a flow.
+    pub fn flow(&self, id: FlowId) -> Option<&Flow> {
+        self.flows.get(&id)
+    }
+
+    /// Current rate of a flow in bytes/second (0 for finished/unknown).
+    pub fn rate_of(&self, id: FlowId) -> f64 {
+        self.flows.get(&id).map_or(0.0, |f| {
+            if f.active() {
+                f.rate
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Bytes transferred by a flow so far.
+    pub fn transferred_of(&self, id: FlowId) -> f64 {
+        self.flows.get(&id).map_or(0.0, |f| f.transferred)
+    }
+
+    fn recompute_rates(&mut self) {
+        let cap = self.config.nic_bytes_per_sec;
+        for flow in self.flows.values_mut() {
+            if !flow.active() {
+                continue;
+            }
+            let n_tx = self.nics[flow.src.0 as usize].tx_flows.max(1) as f64;
+            let n_rx = self.nics[flow.dst.0 as usize].rx_flows.max(1) as f64;
+            flow.rate = (cap / n_tx).min(cap / n_rx);
+        }
+    }
+
+    /// Settle transfers in `[last_advance, now]`, handling completions that
+    /// occur inside the interval (survivors speed up when a flow finishes).
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance, "time ran backwards");
+        let mut remaining_dt = now.since(self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        while remaining_dt > 0.0 {
+            // Earliest in-interval completion at current rates.
+            let mut dt_next = f64::INFINITY;
+            let mut any_active = false;
+            for f in self.flows.values() {
+                if !f.active() {
+                    continue;
+                }
+                any_active = true;
+                if let Some(rem) = f.remaining {
+                    if f.rate > 0.0 {
+                        dt_next = dt_next.min(rem / f.rate);
+                    }
+                }
+            }
+            if !any_active {
+                break;
+            }
+            let step = remaining_dt.min(dt_next);
+            let mut membership_changed = false;
+            for f in self.flows.values_mut() {
+                if !f.active() {
+                    continue;
+                }
+                let moved = f.rate * step;
+                f.transferred += moved;
+                self.nics[f.src.0 as usize].tx_bytes += moved;
+                self.nics[f.dst.0 as usize].rx_bytes += moved;
+                if let Some(rem) = &mut f.remaining {
+                    *rem -= moved;
+                    if *rem <= COMPLETION_EPS {
+                        *rem = 0.0;
+                        f.finished = true;
+                        self.nics[f.src.0 as usize].tx_flows -= 1;
+                        self.nics[f.dst.0 as usize].rx_flows -= 1;
+                        membership_changed = true;
+                    }
+                }
+            }
+            if membership_changed {
+                self.recompute_rates();
+            }
+            remaining_dt -= step;
+        }
+    }
+
+    /// Start transferring `bytes` from `src` to `dst` (`None` = persistent
+    /// background stream). Call at the current time.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: Option<f64>,
+    ) -> FlowId {
+        assert_ne!(src, dst, "loopback traffic does not touch the network");
+        if let Some(b) = bytes {
+            assert!(b > 0.0, "flow must carry at least one byte");
+        }
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.nics[src.0 as usize].tx_flows += 1;
+        self.nics[dst.0 as usize].rx_flows += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                src,
+                dst,
+                remaining: bytes,
+                rate: 0.0,
+                transferred: 0.0,
+                finished: false,
+            },
+        );
+        self.recompute_rates();
+        self.version += 1;
+        id
+    }
+
+    /// Remove a flow (finished or aborted), returning bytes it transferred.
+    pub fn end_flow(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
+        self.advance(now);
+        let flow = self.flows.remove(&id)?;
+        if flow.active() {
+            self.nics[flow.src.0 as usize].tx_flows -= 1;
+            self.nics[flow.dst.0 as usize].rx_flows -= 1;
+            self.recompute_rates();
+        }
+        self.version += 1;
+        Some(flow.transferred)
+    }
+
+    /// The earliest upcoming flow completion assuming the flow set does not
+    /// change; check [`version`](Self::version) when the event fires.
+    pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, FlowId)> {
+        debug_assert!(now >= self.last_advance);
+        let already = now.since(self.last_advance).as_secs_f64();
+        let mut best: Option<(f64, FlowId)> = None;
+        for (&id, f) in &self.flows {
+            if !f.active() {
+                continue;
+            }
+            let Some(rem) = f.remaining else { continue };
+            if f.rate <= 0.0 {
+                continue;
+            }
+            let dt = (rem / f.rate - already).max(0.0);
+            if best.is_none_or(|(b, _)| dt < b) {
+                best = Some((dt, id));
+            }
+        }
+        best.map(|(dt, id)| (now + SimDuration::from_secs_f64_ceil(dt), id))
+    }
+
+    /// Flows that have completed as of the last `advance`.
+    pub fn finished_flows(&self) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .filter(|(_, f)| f.finished)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: f64 = 12_500_000.0; // 100 Mbps in bytes/s
+
+    fn net(n: usize) -> Network {
+        Network::new(n, NetworkConfig::default())
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn lone_flow_gets_full_capacity() {
+        let mut net = net(2);
+        let f = net.start_flow(t(0.0), n(0), n(1), Some(CAP));
+        assert_eq!(net.rate_of(f), CAP);
+        let (done, id) = net.next_completion(t(0.0)).unwrap();
+        assert_eq!(id, f);
+        assert_eq!(done, t(1.0));
+    }
+
+    #[test]
+    fn two_flows_same_source_share_tx() {
+        let mut net = net(3);
+        let a = net.start_flow(t(0.0), n(0), n(1), Some(CAP));
+        let b = net.start_flow(t(0.0), n(0), n(2), Some(CAP));
+        assert_eq!(net.rate_of(a), CAP / 2.0);
+        assert_eq!(net.rate_of(b), CAP / 2.0);
+    }
+
+    #[test]
+    fn two_flows_same_destination_share_rx() {
+        let mut net = net(3);
+        let a = net.start_flow(t(0.0), n(0), n(2), Some(CAP));
+        let b = net.start_flow(t(0.0), n(1), n(2), Some(CAP));
+        assert_eq!(net.rate_of(a), CAP / 2.0);
+        assert_eq!(net.rate_of(b), CAP / 2.0);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_contend() {
+        let mut net = net(4);
+        let a = net.start_flow(t(0.0), n(0), n(1), Some(CAP));
+        let b = net.start_flow(t(0.0), n(2), n(3), Some(CAP));
+        assert_eq!(net.rate_of(a), CAP);
+        assert_eq!(net.rate_of(b), CAP);
+    }
+
+    #[test]
+    fn full_duplex_opposite_directions_independent() {
+        let mut net = net(2);
+        let a = net.start_flow(t(0.0), n(0), n(1), Some(CAP));
+        let b = net.start_flow(t(0.0), n(1), n(0), Some(CAP));
+        assert_eq!(net.rate_of(a), CAP);
+        assert_eq!(net.rate_of(b), CAP);
+    }
+
+    #[test]
+    fn completion_frees_capacity_mid_advance() {
+        let mut net = net(3);
+        // a: 2 cap-seconds worth; b: 0.5 cap-seconds. Sharing the tx NIC:
+        // b done at t=1 (rate cap/2). a then speeds up.
+        let a = net.start_flow(t(0.0), n(0), n(1), Some(2.0 * CAP));
+        let _b = net.start_flow(t(0.0), n(0), n(2), Some(0.5 * CAP));
+        net.advance(t(1.0));
+        assert!((net.transferred_of(a) - 0.5 * CAP).abs() < 1.0);
+        // a has 1.5 cap-seconds left at full rate.
+        let (done, id) = net.next_completion(t(1.0)).unwrap();
+        assert_eq!(id, a);
+        assert!((done.as_secs_f64() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn counters_track_both_ends() {
+        let mut net = net(2);
+        net.start_flow(t(0.0), n(0), n(1), Some(1000.0));
+        net.advance(t(1.0));
+        assert!((net.tx_bytes(n(0)) - 1000.0).abs() < 1e-3);
+        assert!((net.rx_bytes(n(1)) - 1000.0).abs() < 1e-3);
+        assert_eq!(net.tx_bytes(n(1)), 0.0);
+        assert_eq!(net.rx_bytes(n(0)), 0.0);
+    }
+
+    #[test]
+    fn persistent_stream_consumes_share_forever() {
+        let mut net = net(3);
+        let bg = net.start_flow(t(0.0), n(0), n(1), None);
+        let f = net.start_flow(t(0.0), n(0), n(2), Some(CAP));
+        assert_eq!(net.rate_of(f), CAP / 2.0);
+        let (done, _) = net.next_completion(t(0.0)).unwrap();
+        assert_eq!(done, t(2.0));
+        net.advance(t(2.0));
+        // bg carried cap/2 * 2 s; f finished and bg got the tx NIC back.
+        assert!((net.transferred_of(bg) - CAP).abs() < 1.0);
+        assert_eq!(net.rate_of(bg), CAP);
+        assert!(net.next_completion(t(2.0)).is_none());
+    }
+
+    #[test]
+    fn end_flow_aborts_and_returns_transferred() {
+        let mut net = net(2);
+        let f = net.start_flow(t(0.0), n(0), n(1), Some(10.0 * CAP));
+        net.advance(t(1.0));
+        let moved = net.end_flow(t(1.0), f).unwrap();
+        assert!((moved - CAP).abs() < 1.0);
+        assert!(net.flow(f).is_none());
+    }
+
+    #[test]
+    fn version_changes_on_flow_set_changes() {
+        let mut net = net(2);
+        let v0 = net.version();
+        let f = net.start_flow(t(0.0), n(0), n(1), Some(1.0));
+        assert!(net.version() > v0);
+        let v1 = net.version();
+        net.end_flow(t(0.0), f);
+        assert!(net.version() > v1);
+    }
+
+    #[test]
+    fn conservation_tx_equals_rx() {
+        let mut net = net(4);
+        net.start_flow(t(0.0), n(0), n(1), Some(5e6));
+        net.start_flow(t(0.5), n(2), n(1), Some(3e6));
+        net.start_flow(t(1.0), n(0), n(3), None);
+        net.advance(t(4.0));
+        let tx: f64 = (0..4).map(|i| net.tx_bytes(n(i))).sum();
+        let rx: f64 = (0..4).map(|i| net.rx_bytes(n(i))).sum();
+        assert!((tx - rx).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_flows_rejected() {
+        let mut net = net(2);
+        net.start_flow(t(0.0), n(0), n(0), Some(1.0));
+    }
+}

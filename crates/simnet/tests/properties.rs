@@ -1,0 +1,76 @@
+//! Property-based tests for the network model.
+
+use ars_simnet::{Network, NetworkConfig, NodeId};
+use ars_simcore::SimTime;
+use proptest::prelude::*;
+
+fn t_us(us: u64) -> SimTime {
+    SimTime::from_micros(us)
+}
+
+proptest! {
+    /// Conservation: every byte sent is received (total tx == total rx).
+    #[test]
+    fn tx_equals_rx(
+        n_nodes in 2usize..8,
+        flows in proptest::collection::vec(
+            (0u32..8, 0u32..8, 1_000.0f64..50_000_000.0, 0u64..5_000_000),
+            1..20,
+        ),
+    ) {
+        let mut net = Network::new(n_nodes, NetworkConfig::default());
+        let mut evs: Vec<(u64, u32, u32, f64)> = flows
+            .into_iter()
+            .map(|(s, d, b, at)| (at, s % n_nodes as u32, d % n_nodes as u32, b))
+            .filter(|&(_, s, d, _)| s != d)
+            .collect();
+        evs.sort_by_key(|&(at, ..)| at);
+        for &(at, s, d, b) in &evs {
+            net.start_flow(t_us(at), NodeId(s), NodeId(d), Some(b));
+        }
+        net.advance(t_us(60_000_000));
+        let tx: f64 = (0..n_nodes).map(|i| net.tx_bytes(NodeId(i as u32))).sum();
+        let rx: f64 = (0..n_nodes).map(|i| net.rx_bytes(NodeId(i as u32))).sum();
+        prop_assert!((tx - rx).abs() < 1e-3, "tx {tx} rx {rx}");
+    }
+
+    /// No flow transfers more than it asked for, and all bounded flows
+    /// complete given enough time.
+    #[test]
+    fn flows_complete_exactly(
+        bytes in proptest::collection::vec(1_000.0f64..10_000_000.0, 1..10),
+    ) {
+        let mut net = Network::new(2, NetworkConfig::default());
+        let ids: Vec<_> = bytes
+            .iter()
+            .map(|&b| net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), Some(b)))
+            .collect();
+        // Total work bounded by sum/capacity; give it double.
+        let total: f64 = bytes.iter().sum();
+        let enough = SimTime::from_secs_f64(2.0 * total / 12_500_000.0 + 1.0);
+        net.advance(enough);
+        for (id, &b) in ids.iter().zip(&bytes) {
+            let moved = net.transferred_of(*id);
+            prop_assert!((moved - b).abs() < 1e-3, "moved {moved} of {b}");
+        }
+        prop_assert_eq!(net.finished_flows().len(), bytes.len());
+    }
+
+    /// A NIC never carries more than its capacity: cumulative bytes out of
+    /// one node over a window never exceed capacity * window.
+    #[test]
+    fn nic_capacity_respected(
+        bytes in proptest::collection::vec(1_000.0f64..20_000_000.0, 1..10),
+        window_us in 100_000u64..5_000_000,
+    ) {
+        let mut net = Network::new(3, NetworkConfig::default());
+        for (i, &b) in bytes.iter().enumerate() {
+            let dst = NodeId(1 + (i % 2) as u32);
+            net.start_flow(SimTime::ZERO, NodeId(0), dst, Some(b));
+        }
+        net.advance(t_us(window_us));
+        let tx = net.tx_bytes(NodeId(0));
+        let cap = 12_500_000.0 * window_us as f64 / 1e6;
+        prop_assert!(tx <= cap * (1.0 + 1e-9) + 1.0, "tx {tx} cap {cap}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # ars-xmlwire — the rescheduler's XML wire protocol
+//!
+//! A hand-written minimal XML document model ([`doc`]), the *application
+//! schema* carried with every migration-enabled process ([`schema`]), and
+//! the monitor ↔ registry/scheduler ↔ commander message set ([`msg`]).
+//!
+//! The same encoding is used in two places:
+//!
+//! * inside the cluster simulation, where messages travel as payload bytes
+//!   over the simulated network (so the communication-overhead figures see
+//!   realistic message sizes), and
+//! * over real TCP sockets in the `live` mode of `ars-rescheduler`.
+
+#![warn(missing_docs)]
+
+pub mod doc;
+pub mod msg;
+pub mod schema;
+
+pub use doc::{parse, XmlElement, XmlError, XmlNode};
+pub use msg::{EntityRole, HostState, HostStatic, Message, Metrics, ProcReport};
+pub use schema::{AppCharacteristic, ApplicationSchema, ResourceRequirements};

@@ -1,0 +1,629 @@
+//! Wire messages of the rescheduler protocol (§3.3).
+//!
+//! "We combine a custom XML based protocol with TCP/IP sockets to form the
+//! communication subsystem of the rescheduler. The XML based protocol is
+//! used for communications between the monitor, registry/scheduler and
+//! commander entities."
+//!
+//! Every message is one XML document with root `<msg type="...">`. The same
+//! encoding is used by the in-simulation entities (as payload bytes, so byte
+//! counts are realistic) and by the real-TCP live mode.
+
+use crate::doc::{parse, XmlElement, XmlError};
+use crate::schema::{ApplicationSchema, ResourceRequirements};
+
+/// Host state vocabulary of the protocol (paper Table 1, plus the
+/// soft-state expiry state `Unavailable`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HostState {
+    /// Willing and able to accept incoming HPCM-enabled applications.
+    Free,
+    /// Loaded; neither accepts nor evicts applications ("as is").
+    Busy,
+    /// Needs to offload applications onto another host.
+    Overloaded,
+    /// Lease expired or host explicitly withdrawn.
+    Unavailable,
+}
+
+impl HostState {
+    /// Protocol string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HostState::Free => "free",
+            HostState::Busy => "busy",
+            HostState::Overloaded => "overloaded",
+            HostState::Unavailable => "unavailable",
+        }
+    }
+
+    /// Parse the protocol string form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "free" => Some(HostState::Free),
+            "busy" => Some(HostState::Busy),
+            "overloaded" => Some(HostState::Overloaded),
+            "unavailable" => Some(HostState::Unavailable),
+            _ => None,
+        }
+    }
+
+    /// Whether this host accepts migrated-in processes (Table 1).
+    pub fn accepts_migration(self) -> bool {
+        self == HostState::Free
+    }
+
+    /// Whether this host should migrate processes out (Table 1).
+    pub fn wants_migration_out(self) -> bool {
+        self == HostState::Overloaded
+    }
+
+    /// Whether the host is loaded (Table 1).
+    pub fn is_loaded(self) -> bool {
+        matches!(self, HostState::Busy | HostState::Overloaded)
+    }
+}
+
+impl std::fmt::Display for HostState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Static host information sent once at registration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostStatic {
+    /// Hostname.
+    pub name: String,
+    /// Dotted-quad address (simulated hosts fabricate one).
+    pub ip: String,
+    /// Operating system label.
+    pub os: String,
+    /// Relative CPU speed.
+    pub cpu_speed: f64,
+    /// Processor count.
+    pub n_cpus: u32,
+    /// Physical memory, kilobytes.
+    pub mem_kb: u64,
+}
+
+/// A named metric sample bag (load averages, idle %, KB/s, socket counts…).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics(Vec<(String, f64)>);
+
+impl Metrics {
+    /// Empty bag.
+    pub fn new() -> Self {
+        Metrics(Vec::new())
+    }
+
+    /// Insert or replace a metric.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        if let Some(slot) = self.0.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.0.push((name, value));
+        }
+    }
+
+    /// Look up a metric.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.0.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// All metrics in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.0.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no metrics are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// One migration-enabled process as reported in a heartbeat.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcReport {
+    /// Simulator-wide pid.
+    pub pid: u64,
+    /// Application name (matches its schema).
+    pub app: String,
+    /// Start time on this host, seconds (the pid-file timestamp).
+    pub start_time_s: f64,
+    /// Estimated execution time from the application schema, seconds.
+    pub est_exec_time_s: f64,
+}
+
+/// Which entity is registering with the registry/scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityRole {
+    /// The per-host monitor (pushes heartbeats).
+    Monitor,
+    /// The per-host commander (receives migration commands).
+    Commander,
+    /// A lower-level registry/scheduler in a hierarchy.
+    Registry,
+}
+
+impl EntityRole {
+    /// Protocol string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EntityRole::Monitor => "monitor",
+            EntityRole::Commander => "commander",
+            EntityRole::Registry => "registry",
+        }
+    }
+
+    /// Parse the protocol string form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "monitor" => Some(EntityRole::Monitor),
+            "commander" => Some(EntityRole::Commander),
+            "registry" => Some(EntityRole::Registry),
+            _ => None,
+        }
+    }
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// One-time static registration of an entity with the registry.
+    Register {
+        /// Static host description.
+        host: HostStatic,
+        /// Which entity on that host is registering.
+        role: EntityRole,
+    },
+    /// Periodic soft-state refresh: state + metrics + migratable processes.
+    Heartbeat {
+        /// Reporting hostname.
+        host: String,
+        /// Rule-evaluated local state.
+        state: HostState,
+        /// Raw metric samples backing the state decision.
+        metrics: Metrics,
+        /// Migration-enabled processes currently running.
+        procs: Vec<ProcReport>,
+    },
+    /// Registry → commander: start migrating `pid` to `dest`.
+    MigrationCommand {
+        /// Commander's hostname (addressee).
+        host: String,
+        /// Process to migrate.
+        pid: u64,
+        /// Destination hostname.
+        dest: String,
+        /// Destination port for the state-transfer channel.
+        dest_port: u16,
+        /// Schema of the application, forwarded to initialize the process
+        /// on the destination.
+        schema: ApplicationSchema,
+    },
+    /// Commander/monitor → registry: ask for a destination candidate.
+    CandidateRequest {
+        /// Requesting hostname.
+        host: String,
+        /// Resources the process needs on the destination.
+        requirements: ResourceRequirements,
+    },
+    /// Registry → requester: a destination, or none available.
+    CandidateReply {
+        /// Chosen destination hostname, if any.
+        dest: Option<String>,
+    },
+    /// Commander → registry: migration finished (feeds scheduling history).
+    MigrationComplete {
+        /// Migrated pid (source numbering).
+        pid: u64,
+        /// Source hostname.
+        from: String,
+        /// Destination hostname.
+        to: String,
+        /// End-to-end migration time, seconds.
+        migration_time_s: f64,
+    },
+    /// Registry → monitor (pull model): "report your current status now".
+    StatusQuery {
+        /// Queried hostname.
+        host: String,
+    },
+    /// Generic acknowledgement.
+    Ack {
+        /// True on success.
+        ok: bool,
+        /// Optional human-readable detail.
+        info: String,
+    },
+}
+
+impl Message {
+    /// Message type tag used on the wire.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Message::Register { .. } => "register",
+            Message::Heartbeat { .. } => "heartbeat",
+            Message::MigrationCommand { .. } => "migration-command",
+            Message::CandidateRequest { .. } => "candidate-request",
+            Message::CandidateReply { .. } => "candidate-reply",
+            Message::MigrationComplete { .. } => "migration-complete",
+            Message::StatusQuery { .. } => "status-query",
+            Message::Ack { .. } => "ack",
+        }
+    }
+
+    /// Serialize to the XML element form.
+    pub fn to_xml(&self) -> XmlElement {
+        let root = XmlElement::new("msg").attr("type", self.type_tag());
+        match self {
+            Message::Register { host, role } => root.attr("role", role.as_str()).child(
+                XmlElement::new("host")
+                    .attr("name", &host.name)
+                    .field("ip", &host.ip)
+                    .field("os", &host.os)
+                    .field("cpu-speed", host.cpu_speed)
+                    .field("n-cpus", host.n_cpus)
+                    .field("mem-kb", host.mem_kb),
+            ),
+            Message::Heartbeat {
+                host,
+                state,
+                metrics,
+                procs,
+            } => {
+                let mut el = root
+                    .field("host", host)
+                    .field("state", state.as_str());
+                let mut metrics_el = XmlElement::new("metrics");
+                for (name, value) in metrics.iter() {
+                    metrics_el =
+                        metrics_el.child(XmlElement::new("metric").attr("name", name).text(value.to_string()));
+                }
+                el = el.child(metrics_el);
+                let mut procs_el = XmlElement::new("procs");
+                for p in procs {
+                    procs_el = procs_el.child(
+                        XmlElement::new("proc")
+                            .attr("pid", p.pid)
+                            .attr("app", &p.app)
+                            .attr("start", p.start_time_s)
+                            .attr("est", p.est_exec_time_s),
+                    );
+                }
+                el.child(procs_el)
+            }
+            Message::MigrationCommand {
+                host,
+                pid,
+                dest,
+                dest_port,
+                schema,
+            } => root
+                .field("host", host)
+                .field("pid", pid)
+                .field("dest", dest)
+                .field("dest-port", dest_port)
+                .child(schema.to_xml()),
+            Message::CandidateRequest { host, requirements } => root.field("host", host).child(
+                XmlElement::new("requirements")
+                    .field("mem-kb", requirements.mem_kb)
+                    .field("disk-kb", requirements.disk_kb)
+                    .field("min-cpu-speed", requirements.min_cpu_speed),
+            ),
+            Message::CandidateReply { dest } => match dest {
+                Some(d) => root.field("dest", d),
+                None => root.child(XmlElement::new("none")),
+            },
+            Message::MigrationComplete {
+                pid,
+                from,
+                to,
+                migration_time_s,
+            } => root
+                .field("pid", pid)
+                .field("from", from)
+                .field("to", to)
+                .field("migration-time-s", migration_time_s),
+            Message::StatusQuery { host } => root.field("host", host),
+            Message::Ack { ok, info } => root.field("ok", ok).field("info", info),
+        }
+    }
+
+    /// Serialize to the full wire document.
+    pub fn to_document(&self) -> String {
+        self.to_xml().to_document()
+    }
+
+    /// Parse a wire document.
+    pub fn decode(doc: &str) -> Result<Message, XmlError> {
+        let el = parse(doc)?;
+        Self::from_xml(&el)
+    }
+
+    /// Parse the XML element form.
+    pub fn from_xml(el: &XmlElement) -> Result<Message, XmlError> {
+        if el.name != "msg" {
+            return Err(XmlError::UnexpectedRoot(el.name.clone()));
+        }
+        let ty = el
+            .get_attr("type")
+            .ok_or_else(|| XmlError::MissingField("type".to_string()))?;
+        match ty {
+            "register" => {
+                let role_text = el.get_attr("role").unwrap_or("monitor");
+                let role = EntityRole::parse(role_text)
+                    .ok_or_else(|| XmlError::BadField("role".to_string(), role_text.to_string()))?;
+                let h = el
+                    .find("host")
+                    .ok_or_else(|| XmlError::MissingField("host".to_string()))?;
+                Ok(Message::Register {
+                    role,
+                    host: HostStatic {
+                        name: h
+                            .get_attr("name")
+                            .ok_or_else(|| XmlError::MissingField("name".to_string()))?
+                            .to_string(),
+                        ip: h
+                            .field_text("ip")
+                            .ok_or_else(|| XmlError::MissingField("ip".to_string()))?,
+                        os: h
+                            .field_text("os")
+                            .ok_or_else(|| XmlError::MissingField("os".to_string()))?,
+                        cpu_speed: h.field_parse("cpu-speed")?,
+                        n_cpus: h.field_parse("n-cpus")?,
+                        mem_kb: h.field_parse("mem-kb")?,
+                    },
+                })
+            }
+            "heartbeat" => {
+                let state_text = el
+                    .field_text("state")
+                    .ok_or_else(|| XmlError::MissingField("state".to_string()))?;
+                let state = HostState::parse(&state_text)
+                    .ok_or_else(|| XmlError::BadField("state".to_string(), state_text))?;
+                let mut metrics = Metrics::new();
+                if let Some(m) = el.find("metrics") {
+                    for metric in m.find_all("metric") {
+                        let name = metric
+                            .get_attr("name")
+                            .ok_or_else(|| XmlError::MissingField("metric name".to_string()))?;
+                        let text = metric.text_content();
+                        let value: f64 = text
+                            .trim()
+                            .parse()
+                            .map_err(|_| XmlError::BadField(name.to_string(), text))?;
+                        metrics.set(name, value);
+                    }
+                }
+                let mut procs = Vec::new();
+                if let Some(ps) = el.find("procs") {
+                    for p in ps.find_all("proc") {
+                        procs.push(ProcReport {
+                            pid: attr_parse(p, "pid")?,
+                            app: p
+                                .get_attr("app")
+                                .ok_or_else(|| XmlError::MissingField("app".to_string()))?
+                                .to_string(),
+                            start_time_s: attr_parse(p, "start")?,
+                            est_exec_time_s: attr_parse(p, "est")?,
+                        });
+                    }
+                }
+                Ok(Message::Heartbeat {
+                    host: el
+                        .field_text("host")
+                        .ok_or_else(|| XmlError::MissingField("host".to_string()))?,
+                    state,
+                    metrics,
+                    procs,
+                })
+            }
+            "migration-command" => {
+                let schema_el = el
+                    .find("application-schema")
+                    .ok_or_else(|| XmlError::MissingField("application-schema".to_string()))?;
+                Ok(Message::MigrationCommand {
+                    host: el
+                        .field_text("host")
+                        .ok_or_else(|| XmlError::MissingField("host".to_string()))?,
+                    pid: el.field_parse("pid")?,
+                    dest: el
+                        .field_text("dest")
+                        .ok_or_else(|| XmlError::MissingField("dest".to_string()))?,
+                    dest_port: el.field_parse("dest-port")?,
+                    schema: ApplicationSchema::from_xml(schema_el)?,
+                })
+            }
+            "candidate-request" => {
+                let req = el
+                    .find("requirements")
+                    .ok_or_else(|| XmlError::MissingField("requirements".to_string()))?;
+                Ok(Message::CandidateRequest {
+                    host: el
+                        .field_text("host")
+                        .ok_or_else(|| XmlError::MissingField("host".to_string()))?,
+                    requirements: ResourceRequirements {
+                        mem_kb: req.field_parse("mem-kb")?,
+                        disk_kb: req.field_parse("disk-kb")?,
+                        min_cpu_speed: req.field_parse("min-cpu-speed")?,
+                    },
+                })
+            }
+            "candidate-reply" => Ok(Message::CandidateReply {
+                dest: el.field_text("dest"),
+            }),
+            "migration-complete" => Ok(Message::MigrationComplete {
+                pid: el.field_parse("pid")?,
+                from: el
+                    .field_text("from")
+                    .ok_or_else(|| XmlError::MissingField("from".to_string()))?,
+                to: el
+                    .field_text("to")
+                    .ok_or_else(|| XmlError::MissingField("to".to_string()))?,
+                migration_time_s: el.field_parse("migration-time-s")?,
+            }),
+            "status-query" => Ok(Message::StatusQuery {
+                host: el
+                    .field_text("host")
+                    .ok_or_else(|| XmlError::MissingField("host".to_string()))?,
+            }),
+            "ack" => Ok(Message::Ack {
+                ok: el.field_parse("ok")?,
+                info: el.field_text("info").unwrap_or_default(),
+            }),
+            other => Err(XmlError::BadField("type".to_string(), other.to_string())),
+        }
+    }
+}
+
+fn attr_parse<T: std::str::FromStr>(el: &XmlElement, key: &str) -> Result<T, XmlError> {
+    let raw = el
+        .get_attr(key)
+        .ok_or_else(|| XmlError::MissingField(key.to_string()))?;
+    raw.parse()
+        .map_err(|_| XmlError::BadField(key.to_string(), raw.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let doc = m.to_document();
+        let back = Message::decode(&doc).unwrap();
+        assert_eq!(back, m, "doc: {doc}");
+    }
+
+    #[test]
+    fn register_roundtrip() {
+        for role in [EntityRole::Monitor, EntityRole::Commander, EntityRole::Registry] {
+            roundtrip(Message::Register {
+                role,
+                host: HostStatic {
+                    name: "ws1".to_string(),
+                    ip: "10.0.0.1".to_string(),
+                    os: "SunOS 5.8".to_string(),
+                    cpu_speed: 1.0,
+                    n_cpus: 1,
+                    mem_kb: 131_072,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn heartbeat_roundtrip() {
+        let mut metrics = Metrics::new();
+        metrics.set("load1", 0.97);
+        metrics.set("nproc", 112.0);
+        metrics.set("cpu_idle", 48.5);
+        roundtrip(Message::Heartbeat {
+            host: "ws2".to_string(),
+            state: HostState::Busy,
+            metrics,
+            procs: vec![ProcReport {
+                pid: 1234,
+                app: "test_tree".to_string(),
+                start_time_s: 280.0,
+                est_exec_time_s: 600.0,
+            }],
+        });
+    }
+
+    #[test]
+    fn migration_command_roundtrip() {
+        roundtrip(Message::MigrationCommand {
+            host: "ws1".to_string(),
+            pid: 1234,
+            dest: "ws4".to_string(),
+            dest_port: 7801,
+            schema: ApplicationSchema::compute("test_tree", 600.0),
+        });
+    }
+
+    #[test]
+    fn candidate_roundtrips() {
+        roundtrip(Message::CandidateRequest {
+            host: "ws1".to_string(),
+            requirements: ResourceRequirements {
+                mem_kb: 1024,
+                disk_kb: 0,
+                min_cpu_speed: 0.5,
+            },
+        });
+        roundtrip(Message::CandidateReply {
+            dest: Some("ws4".to_string()),
+        });
+        roundtrip(Message::CandidateReply { dest: None });
+    }
+
+    #[test]
+    fn completion_and_ack_roundtrip() {
+        roundtrip(Message::MigrationComplete {
+            pid: 7,
+            from: "ws1".to_string(),
+            to: "ws4".to_string(),
+            migration_time_s: 6.71,
+        });
+        roundtrip(Message::Ack {
+            ok: true,
+            info: "registered".to_string(),
+        });
+        roundtrip(Message::StatusQuery {
+            host: "ws3".to_string(),
+        });
+    }
+
+    #[test]
+    fn host_state_protocol_strings() {
+        for s in [
+            HostState::Free,
+            HostState::Busy,
+            HostState::Overloaded,
+            HostState::Unavailable,
+        ] {
+            assert_eq!(HostState::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(HostState::parse("idle"), None);
+    }
+
+    #[test]
+    fn table1_action_matrix() {
+        // Paper Table 1: state x (loaded, migrate in, migrate out).
+        assert!(!HostState::Free.is_loaded());
+        assert!(HostState::Free.accepts_migration());
+        assert!(!HostState::Free.wants_migration_out());
+
+        assert!(HostState::Busy.is_loaded());
+        assert!(!HostState::Busy.accepts_migration());
+        assert!(!HostState::Busy.wants_migration_out());
+
+        assert!(HostState::Overloaded.is_loaded());
+        assert!(!HostState::Overloaded.accepts_migration());
+        assert!(HostState::Overloaded.wants_migration_out());
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let doc = r#"<msg type="warp-drive"/>"#;
+        assert!(Message::decode(doc).is_err());
+    }
+
+    #[test]
+    fn metrics_set_replaces() {
+        let mut m = Metrics::new();
+        m.set("x", 1.0);
+        m.set("x", 2.0);
+        assert_eq!(m.get("x"), Some(2.0));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("y"), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! The paper's testbed scale: a 64-workstation cluster (Sun Blade 100s on
+//! 100 Mbps Ethernet) under the full rescheduler, with a fleet of
+//! migration-enabled jobs and rolling background load. Prints a cluster
+//! summary: jobs completed, migrations, decision statistics, and where the
+//! work ended up.
+//!
+//! ```sh
+//! cargo run --release --example cluster64
+//! ```
+
+use ars::prelude::*;
+
+const N_HOSTS: u32 = 64;
+const N_JOBS: u32 = 12;
+
+fn main() {
+    let mut sim = Sim::new(
+        (0..N_HOSTS).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        SimConfig {
+            seed: 64,
+            trace: true,
+            ..SimConfig::default()
+        },
+    );
+    // Registry on ws0; monitors/commanders on ws1..ws63.
+    let monitored: Vec<HostId> = (1..N_HOSTS).map(HostId).collect();
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &monitored,
+        DeployConfig {
+            overload_confirm: SimDuration::from_secs(50),
+            ..DeployConfig::default()
+        },
+    );
+
+    // Ambient daemon noise everywhere.
+    for h in 1..N_HOSTS {
+        sim.spawn(
+            HostId(h),
+            Box::new(DaemonNoise::new(0.15, 4.0)),
+            SpawnOpts::named("daemons"),
+        );
+    }
+
+    // A dozen migration-enabled jobs spread over the first hosts.
+    let hpcm = HpcmHooks::new();
+    let mut job_cfg = TestTreeConfig {
+        trees: 10,
+        levels: 13,
+        node_cost_build: 2e-3,
+        node_cost_sort: 3e-3,
+        node_cost_sum: 1e-3,
+        chunk_nodes: 1024,
+        rss_kb: 24_576,
+        seed: 0,
+    };
+    dep.schemas
+        .put(MigratableApp::schema(&TestTree::new(job_cfg.clone())));
+    for j in 0..N_JOBS {
+        job_cfg.seed = j as u64;
+        HpcmShell::spawn_on(
+            &mut sim,
+            HostId(1 + (j % 6)), // crowd them onto six hosts
+            TestTree::new(job_cfg.clone()),
+            HpcmConfig::default(),
+            None,
+            hpcm.clone(),
+        );
+    }
+    println!("{N_JOBS} jobs started on ws1..ws6 of a {N_HOSTS}-node cluster");
+
+    // Rolling load: every 400 s, two long hogs land on one of the job hosts.
+    for round in 0..5u64 {
+        sim.run_until(SimTime::from_secs(120 + 400 * round));
+        let target = HostId(1 + (round % 6) as u32);
+        for _ in 0..2 {
+            sim.spawn(target, Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        }
+        println!("t={:<5} load burst on ws{}", 120 + 400 * round, target.0);
+    }
+    sim.run_until(SimTime::from_secs(6000));
+
+    let log = hpcm.0.borrow();
+    println!("\n--- cluster summary at t=6000 ---");
+    println!("jobs finished:   {}/{}", log.completions.len(), N_JOBS);
+    println!("migrations:      {}", log.migrations.len());
+    println!("decisions:       {}", dep.hooks.decision_count());
+    println!("commands sent:   {}", dep.hooks.commands_sent());
+
+    let mut by_host: std::collections::BTreeMap<u32, usize> = Default::default();
+    for c in &log.completions {
+        *by_host.entry(c.host.0).or_default() += 1;
+    }
+    println!("completions by host:");
+    for (h, n) in by_host {
+        println!("  ws{h:<3} {n}");
+    }
+    if let Some(m) = log.migrations.first() {
+        println!(
+            "first migration: {} ws{} -> ws{} at t={:.0}",
+            m.app,
+            m.from.0,
+            m.to.0,
+            m.pollpoint_at.as_secs_f64()
+        );
+    }
+    let avg_migration = if log.migrations.is_empty() {
+        0.0
+    } else {
+        log.migrations
+            .iter()
+            .filter_map(|m| Some(m.lazy_done_at?.since(m.pollpoint_at).as_secs_f64()))
+            .sum::<f64>()
+            / log.migrations.len() as f64
+    };
+    println!("mean migration time: {avg_migration:.2} s");
+}

@@ -1,0 +1,87 @@
+//! The XML wire protocol over real TCP sockets (§3.3): a registry/scheduler
+//! server on localhost, three monitor clients registering, heartbeating and
+//! requesting migration candidates.
+//!
+//! ```sh
+//! cargo run --release --example live_registry
+//! ```
+
+use ars::prelude::*;
+use ars::rescheduler::live::{LiveClient, LiveRegistry};
+use ars::xmlwire::{EntityRole, HostStatic, ResourceRequirements};
+
+fn statics(name: &str) -> HostStatic {
+    HostStatic {
+        name: name.to_string(),
+        ip: "127.0.0.1".to_string(),
+        os: std::env::consts::OS.to_string(),
+        cpu_speed: 1.0,
+        n_cpus: 1,
+        mem_kb: 131_072,
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let registry = LiveRegistry::start()?;
+    println!("registry/scheduler listening on {}", registry.addr());
+
+    let mut clients: Vec<(String, LiveClient)> = ["alpha", "beta", "gamma"]
+        .iter()
+        .map(|name| {
+            (
+                name.to_string(),
+                LiveClient::connect(registry.addr()).expect("connect"),
+            )
+        })
+        .collect();
+
+    // Registration (one-time static info).
+    for (name, client) in &mut clients {
+        let msg = Message::Register {
+            host: statics(name),
+            role: EntityRole::Monitor,
+        };
+        println!("> {}", msg.to_document());
+        let reply = client.call(&msg)?;
+        println!("< {}", reply.to_document());
+    }
+
+    // Soft-state heartbeats: alpha overloaded, beta busy, gamma free.
+    let states = [
+        ("alpha", HostState::Overloaded, 2.6),
+        ("beta", HostState::Busy, 1.4),
+        ("gamma", HostState::Free, 0.2),
+    ];
+    for (name, state, load) in states {
+        let mut metrics = Metrics::new();
+        metrics.set("loadAvg1", load);
+        metrics.set("nproc", 92.0);
+        let msg = Message::Heartbeat {
+            host: name.to_string(),
+            state,
+            metrics,
+            procs: vec![],
+        };
+        let client = &mut clients.iter_mut().find(|(n, _)| n == name).unwrap().1;
+        client.call(&msg)?;
+        println!("heartbeat: {name} -> {state}");
+    }
+
+    // The overloaded host consults the registry for a candidate.
+    let req = Message::CandidateRequest {
+        host: "alpha".to_string(),
+        requirements: ResourceRequirements::default(),
+    };
+    println!("> {}", req.to_document());
+    let reply = clients[0].1.call(&req)?;
+    println!("< {}", reply.to_document());
+    match reply {
+        Message::CandidateReply { dest: Some(d) } => {
+            println!("first-fit destination over real TCP: {d}")
+        }
+        _ => println!("no candidate (unexpected)"),
+    }
+
+    registry.shutdown();
+    Ok(())
+}

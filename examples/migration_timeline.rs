@@ -1,0 +1,124 @@
+//! The §5.2 efficiency experiment: a detailed timeline of one autonomic
+//! migration — detection, decision, initialization, poll-point, state
+//! transfer, resume — printed phase by phase.
+//!
+//! ```sh
+//! cargo run --release --example migration_timeline
+//! ```
+
+use ars::prelude::*;
+
+fn main() {
+    let mut sim = Sim::new(
+        (0..3).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        },
+    );
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2)],
+        DeployConfig {
+            overload_confirm: SimDuration::from_secs(50),
+            ..DeployConfig::default()
+        },
+    );
+
+    // Ambient daemon activity (the paper's ~0.25 baseline load).
+    for h in [1u32, 2] {
+        sim.spawn(
+            HostId(h),
+            Box::new(DaemonNoise::new(0.22, 2.0)),
+            SpawnOpts::named("daemons"),
+        );
+    }
+
+    // Start the migration-enabled process at t = 280 s, as in the paper.
+    sim.run_until(SimTime::from_secs(280));
+    let cfg = TestTreeConfig {
+        trees: 16,
+        levels: 14,
+        node_cost_build: 1.2e-3,
+        node_cost_sort: 1.6e-3,
+        node_cost_sum: 0.8e-3,
+        chunk_nodes: 1024, // ~1.4 s per chunk at this cost — the poll spacing
+        rss_kb: 73_728,    // ~72 MB image: ~6-8 s of state transfer
+        seed: 4,
+    };
+    let app = TestTree::new(cfg);
+    dep.schemas.put(MigratableApp::schema(&app));
+    let hpcm = HpcmHooks::new();
+    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    println!("t=280.0  test_tree started on ws1");
+
+    // Add the load that makes ws1 overloaded.
+    sim.run_until(SimTime::from_secs(300));
+    for _ in 0..2 {
+        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+    }
+    println!("t=300.0  additional long tasks loaded onto ws1");
+
+    sim.run_until(SimTime::from_secs(2000));
+
+    let m = hpcm.last_migration().expect("migration happened");
+    let decision = dep
+        .hooks
+        .0
+        .borrow()
+        .decisions
+        .iter()
+        .find(|d| d.dest.is_some())
+        .cloned()
+        .expect("decision");
+
+    let resumed = m.resumed_at.expect("resumed");
+    let lazy = m.lazy_done_at.expect("lazy complete");
+    println!("\n--- migration timeline ---");
+    println!(
+        "t={:<8.3} registry decision: {} -> {} (detection {:.1} s after load)",
+        decision.at.as_secs_f64(),
+        decision.source,
+        decision.dest.as_deref().unwrap(),
+        decision.at.as_secs_f64() - 300.0
+    );
+    println!(
+        "t={:<8.3} poll-point reached ({:.3} s after the decision)",
+        m.pollpoint_at.as_secs_f64(),
+        m.pollpoint_at.since(decision.at).as_secs_f64()
+    );
+    println!(
+        "t={:<8.3} initialized process spawned on ws{} (LAM DPM ~0.3 s)",
+        m.spawned_at.as_secs_f64(),
+        m.to.0
+    );
+    println!(
+        "t={:<8.3} eager state ({} B) fully sent",
+        m.eager_sent_at.as_secs_f64(),
+        m.eager_bytes
+    );
+    println!(
+        "t={:<8.3} destination resumed execution ({:.2} s after the poll-point)",
+        resumed.as_secs_f64(),
+        resumed.since(m.pollpoint_at).as_secs_f64()
+    );
+    println!(
+        "t={:<8.3} lazy state ({} B) fully arrived — migration complete",
+        lazy.as_secs_f64(),
+        m.lazy_bytes
+    );
+    println!(
+        "\ntotal migration time: {:.2} s (paper: ~7.5 s); resume before completion: {}",
+        lazy.since(m.pollpoint_at).as_secs_f64(),
+        resumed < lazy
+    );
+
+    if let Some(done) = hpcm.completion_of("test_tree") {
+        println!(
+            "t={:<8.3} test_tree finished on ws{}",
+            done.finished_at.as_secs_f64(),
+            done.host.0
+        );
+    }
+}

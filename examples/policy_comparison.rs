@@ -1,0 +1,136 @@
+//! The §5.3 experiment as a runnable example: the same application under
+//! the three migration policies, on the paper's five-workstation setup.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison
+//! ```
+//!
+//! * ws1 — source; the application starts here, then the host is loaded;
+//! * ws2 — streaming 6.7–7.8 MB/s to a fifth machine (light CPU);
+//! * ws3 — CPU load ≈ 2.5;
+//! * ws4 — free.
+
+use ars::prelude::*;
+
+struct Outcome {
+    total_s: f64,
+    migrated_to: Option<String>,
+    migration_s: Option<f64>,
+    source_s: f64,
+    dest_s: f64,
+}
+
+fn run(policy: Policy) -> Outcome {
+    let mut sim = Sim::new(
+        (0..6).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        SimConfig::default(),
+    );
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2), HostId(3), HostId(4)],
+        DeployConfig {
+            policy,
+            ambient: Ambient {
+                base_nproc: 60,
+                ..Ambient::default()
+            },
+            overload_confirm: SimDuration::from_secs(60),
+            ..DeployConfig::default()
+        },
+    );
+
+    // ws2 <-> ws5 bulk stream + sub-threshold CPU noise (paper: load 0.97).
+    let sink = sim.spawn(HostId(5), Box::new(Sink::default()), SpawnOpts::named("sink"));
+    sim.spawn(
+        HostId(2),
+        Box::new(CommFlood::new(sink, 7_200_000.0, 12_500_000.0)),
+        SpawnOpts::named("ftp"),
+    );
+    sim.spawn(
+        HostId(2),
+        Box::new(DaemonNoise::new(0.6, 2.0)),
+        SpawnOpts::named("noise"),
+    );
+    // ws3: CPU workload of ~2.5.
+    for _ in 0..3 {
+        sim.spawn(HostId(3), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+    }
+
+    // The application (~330 s alone on a free reference host).
+    let cfg = TestTreeConfig {
+        trees: 8,
+        levels: 13,
+        node_cost_build: 1.6e-3,
+        node_cost_sort: 2.2e-3,
+        node_cost_sum: 1.2e-3,
+        chunk_nodes: 1024,
+        rss_kb: 49_152,
+        seed: 3,
+    };
+    let app = TestTree::new(cfg);
+    dep.schemas.put(MigratableApp::schema(&app));
+    let hpcm = HpcmHooks::new();
+    let started_at = SimTime::from_secs(30);
+    sim.run_until(started_at);
+    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+
+    // Load the source right away ("additional tasks are loaded to the 1st
+    // workstation and the system becomes busy").
+    sim.run_until(started_at + SimDuration::from_secs(20));
+    for _ in 0..2 {
+        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+    }
+    sim.run_until(SimTime::from_secs(8000));
+
+    let done = hpcm
+        .completion_of("test_tree")
+        .expect("application finished");
+    let total_s = done.finished_at.since(started_at).as_secs_f64();
+    match hpcm.last_migration() {
+        Some(m) => {
+            let resumed = m.resumed_at.unwrap();
+            let lazy = m.lazy_done_at.unwrap_or(resumed);
+            Outcome {
+                total_s,
+                migrated_to: Some(format!("ws{}", m.to.0)),
+                migration_s: Some(lazy.since(m.pollpoint_at).as_secs_f64()),
+                source_s: m.pollpoint_at.since(started_at).as_secs_f64(),
+                dest_s: done.finished_at.since(resumed).as_secs_f64(),
+            }
+        }
+        None => Outcome {
+            total_s,
+            migrated_to: None,
+            migration_s: None,
+            source_s: total_s,
+            dest_s: 0.0,
+        },
+    }
+}
+
+fn main() {
+    println!("Policy comparison (paper Table 2 layout)\n");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10} {:>12} {:>14}",
+        "policy", "total (s)", "migrate to", "source (s)", "dest (s)", "migration (s)"
+    );
+    for (name, policy) in [
+        ("1", Policy::no_migration()),
+        ("2", Policy::paper_policy2()),
+        ("3", Policy::paper_policy3()),
+    ] {
+        let o = run(policy);
+        println!(
+            "{:<8} {:>12.2} {:>10} {:>10.2} {:>12.2} {:>14}",
+            name,
+            o.total_s,
+            o.migrated_to.as_deref().unwrap_or("-"),
+            o.source_s,
+            o.dest_s,
+            o.migration_s
+                .map_or("-".to_string(), |m| format!("{m:.2}")),
+        );
+    }
+    println!("\nPaper reference: 983.6 / 433.27 (→2nd, 8.31 s) / 329.71 (→4th, 6.71 s)");
+}

@@ -1,0 +1,85 @@
+//! Quickstart: deploy the rescheduler on a small cluster, run a
+//! migration-enabled job, overload its host, and watch the runtime move it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ars::prelude::*;
+
+fn main() {
+    // Four Sun-Blade-class workstations; ws0 hosts the registry/scheduler.
+    let mut sim = Sim::new(
+        (0..4).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        },
+    );
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2), HostId(3)],
+        DeployConfig::default(),
+    );
+
+    // A migration-enabled test_tree on ws1 (the paper's workload).
+    let cfg = TestTreeConfig {
+        trees: 8,
+        levels: 13,
+        node_cost_build: 3e-3,
+        node_cost_sort: 4e-3,
+        node_cost_sum: 2e-3,
+        chunk_nodes: 1024,
+        rss_kb: 24_576,
+        seed: 1,
+    };
+    let expected = TestTree::expected_sum(&cfg);
+    let app = TestTree::new(cfg);
+    dep.schemas.put(MigratableApp::schema(&app));
+    let hpcm = HpcmHooks::new();
+    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+
+    println!("t=0      test_tree started on ws1");
+    sim.run_until(SimTime::from_secs(280));
+
+    println!("t=280    injecting two CPU hogs on ws1…");
+    for _ in 0..2 {
+        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+    }
+    sim.run_until(SimTime::from_secs(3000));
+
+    match hpcm.last_migration() {
+        Some(m) => {
+            println!(
+                "t={:<7.1} rescheduler migrated test_tree ws{} -> ws{}",
+                m.pollpoint_at.as_secs_f64(),
+                m.from.0,
+                m.to.0
+            );
+            println!(
+                "         eager {} B + lazy {} B; resumed {:.2} s after the poll-point",
+                m.eager_bytes,
+                m.lazy_bytes,
+                m.resumed_at.unwrap().since(m.pollpoint_at).as_secs_f64()
+            );
+        }
+        None => println!("no migration happened (unexpected)"),
+    }
+    match hpcm.completion_of("test_tree") {
+        Some(done) => {
+            println!(
+                "t={:<7.1} test_tree finished on ws{} — checksum {} ({})",
+                done.finished_at.as_secs_f64(),
+                done.host.0,
+                done.digest,
+                if done.digest == expected { "correct" } else { "CORRUPTED" }
+            );
+        }
+        None => println!("test_tree still running at t=3000 (unexpected)"),
+    }
+    println!(
+        "decisions taken by the registry: {}",
+        dep.hooks.decision_count()
+    );
+}
