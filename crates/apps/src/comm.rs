@@ -161,7 +161,11 @@ mod tests {
     #[test]
     fn flood_hits_its_target_rate() {
         let mut sim = two_hosts();
-        let sink = sim.spawn(HostId(1), Box::new(Sink::default()), SpawnOpts::named("sink"));
+        let sink = sim.spawn(
+            HostId(1),
+            Box::new(Sink::default()),
+            SpawnOpts::named("sink"),
+        );
         sim.spawn(
             HostId(0),
             Box::new(CommFlood::new(sink, 7_000_000.0, 12_500_000.0)),
@@ -179,7 +183,11 @@ mod tests {
     #[test]
     fn chatter_produces_kilobytes_per_second() {
         let mut sim = two_hosts();
-        let sink = sim.spawn(HostId(1), Box::new(Sink::default()), SpawnOpts::named("sink"));
+        let sink = sim.spawn(
+            HostId(1),
+            Box::new(Sink::default()),
+            SpawnOpts::named("sink"),
+        );
         sim.spawn(
             HostId(0),
             Box::new(Chatter::new(sink, 6_000, SimDuration::from_secs(1))),
@@ -193,7 +201,11 @@ mod tests {
     #[test]
     fn sink_counts_messages() {
         let mut sim = two_hosts();
-        let sink = sim.spawn(HostId(1), Box::new(Sink::default()), SpawnOpts::named("sink"));
+        let sink = sim.spawn(
+            HostId(1),
+            Box::new(Sink::default()),
+            SpawnOpts::named("sink"),
+        );
         sim.spawn(
             HostId(0),
             Box::new(Chatter::new(sink, 100, SimDuration::from_secs(2))),

@@ -18,6 +18,6 @@ pub mod stencil;
 pub mod test_tree;
 
 pub use comm::{Chatter, CommFlood, Sink, TAG_BULK, TAG_CHATTER};
-pub use load::{CpuHog, DaemonNoise, Spinner};
+pub use load::{CpuHog, DaemonNoise, PollDaemon, Spinner};
 pub use stencil::{Stencil, StencilConfig};
 pub use test_tree::{TestTree, TestTreeConfig};

@@ -93,6 +93,42 @@ impl Program for DaemonNoise {
     }
 }
 
+/// A polling daemon: wakes on a jittered period, does negligible work and
+/// immediately re-sleeps — the network services, session managers and
+/// cron-style pollers that give a non-dedicated workstation its constant
+/// trickle of scheduler activity without any measurable CPU load. Each wake
+/// is a single-host event, which makes fleets of these the workload where
+/// per-event O(cluster) bookkeeping hurts most.
+pub struct PollDaemon {
+    period: f64,
+}
+
+impl PollDaemon {
+    /// A poller waking every `period` seconds on average (uniform jitter in
+    /// `[0.5, 1.5) x period` keeps hosts out of lockstep).
+    pub fn new(period: f64) -> Self {
+        assert!(period > 0.0);
+        PollDaemon { period }
+    }
+
+    fn next(&mut self, ctx: &mut Ctx<'_>) {
+        let u = ctx.rng().range_f64(0.5, 1.5);
+        ctx.sleep(SimDuration::from_secs_f64(self.period * u));
+    }
+}
+
+impl Program for PollDaemon {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match wake {
+            Wake::Started | Wake::OpDone => self.next(ctx),
+            _ => {}
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
 /// A steady spinner: pins the run queue at +1 forever (the long task that
 /// drives a host to *overloaded*).
 pub struct Spinner {
@@ -139,7 +175,11 @@ mod tests {
     #[test]
     fn cpu_hog_exits_after_its_work() {
         let mut sim = one_host();
-        let pid = sim.spawn(HostId(0), Box::new(CpuHog::new(12.5)), SpawnOpts::named("hog"));
+        let pid = sim.spawn(
+            HostId(0),
+            Box::new(CpuHog::new(12.5)),
+            SpawnOpts::named("hog"),
+        );
         sim.run_until(SimTime::from_secs(60));
         assert_eq!(sim.exited_at(pid), Some(SimTime::from_secs_f64(12.5)));
     }
@@ -163,7 +203,11 @@ mod tests {
     #[test]
     fn spinner_never_exits_and_loads_the_host() {
         let mut sim = one_host();
-        let pid = sim.spawn(HostId(0), Box::new(Spinner::default()), SpawnOpts::named("spin"));
+        let pid = sim.spawn(
+            HostId(0),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("spin"),
+        );
         sim.run_until(SimTime::from_secs(600));
         assert!(sim.is_alive(pid));
         let (la1, _, _) = sim.kernel().hosts[0].load_avg();

@@ -370,10 +370,7 @@ mod tests {
     fn lazy_bytes_cover_the_rss() {
         let app = TestTree::new(TestTreeConfig::small());
         let saved = app.save();
-        assert_eq!(
-            saved.eager.len() as u64 + saved.lazy_bytes,
-            8_192 * 1024
-        );
+        assert_eq!(saved.eager.len() as u64 + saved.lazy_bytes, 8_192 * 1024);
     }
 
     #[test]

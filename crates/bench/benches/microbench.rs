@@ -90,6 +90,26 @@ fn bench_kernel(c: &mut Criterion) {
             n
         })
     });
+    // Steady-state queue churn at cluster scale: 1e5 pending events, each
+    // iteration schedules, cancels and fires — the exact op mix the
+    // completion-event resync produces.
+    c.bench_function("kernel/event_queue_churn_100k_pending", |b| {
+        let mut q = EventQueue::new();
+        for i in 0..100_000u64 {
+            q.push(SimTime::from_micros((i * 7919) % 1_000_000_000), i);
+        }
+        let mut i = 100_000u64;
+        b.iter(|| {
+            // Push two (one immediately cancelled), pop one: the pending set
+            // stays ~1e5 as every cancelled entry is eventually skipped.
+            i += 1;
+            let at = SimTime::from_micros((i * 7919) % 1_000_000_000);
+            let id = q.push(at, i);
+            q.cancel(id);
+            q.push(at, i);
+            q.pop()
+        })
+    });
     c.bench_function("kernel/shared_resource_16_jobs", |b| {
         b.iter(|| {
             let mut r = SharedResource::new(1.0);
@@ -108,6 +128,66 @@ fn bench_kernel(c: &mut Criterion) {
             }
             la.one()
         })
+    });
+}
+
+fn bench_destination_selection(c: &mut Criterion) {
+    use ars_rescheduler::{RegistryConfig, RegistryScheduler, ReschedHooks, SchemaBook};
+    use ars_rules::Policy;
+    use ars_xmlwire::{HostStatic, ResourceRequirements};
+
+    // A 1024-host cluster where most machines are loaded and the few free
+    // ones sit at the end of the registration order — the worst case for the
+    // linear scan and the common case after hours of uptime.
+    let build = |linear: bool| {
+        let mut cfg = RegistryConfig::new(Policy::paper_policy2());
+        cfg.linear_first_fit = linear;
+        let mut reg = RegistryScheduler::new(cfg, SchemaBook::new(), ReschedHooks::new());
+        let now = SimTime::from_secs(100);
+        for i in 0..1024u32 {
+            let free = i >= 1000;
+            let mut m = Metrics::new();
+            m.set("loadAvg1", if free { 0.2 } else { 2.5 });
+            m.set("nproc", if free { 60.0 } else { 180.0 });
+            m.set("diskAvailKb", 4_000_000.0);
+            reg.debug_install_host(
+                HostStatic {
+                    name: format!("ws{i}"),
+                    ip: format!("10.0.0.{i}"),
+                    os: "SunOS 5.8".to_string(),
+                    cpu_speed: 1.0,
+                    n_cpus: 1,
+                    mem_kb: 131_072,
+                },
+                if free {
+                    HostState::Free
+                } else {
+                    HostState::Busy
+                },
+                m,
+                now,
+            );
+        }
+        reg
+    };
+    let req = ResourceRequirements {
+        mem_kb: 24_576,
+        disk_kb: 1_024,
+        min_cpu_speed: 0.5,
+    };
+    let now = SimTime::from_secs(100);
+    let linear = build(true);
+    let indexed = build(false);
+    assert_eq!(
+        linear.debug_first_fit(&req, "ws0", now),
+        indexed.debug_first_fit(&req, "ws0", now),
+        "both searches must agree on the destination"
+    );
+    c.bench_function("registry/first_fit_linear_1024_hosts", |b| {
+        b.iter(|| linear.debug_first_fit(black_box(&req), "ws0", now))
+    });
+    c.bench_function("registry/first_fit_indexed_1024_hosts", |b| {
+        b.iter(|| indexed.debug_first_fit(black_box(&req), "ws0", now))
     });
 }
 
@@ -130,8 +210,7 @@ fn bench_migration(c: &mut Criterion) {
                 hooks.clone(),
             );
             sim.run_until(SimTime::from_secs_f64(0.5));
-            sim.kernel_mut().hosts[0]
-                .write_file(ars_hpcm::dest_file_path(pid), "ws2:7801");
+            sim.kernel_mut().hosts[0].write_file(ars_hpcm::dest_file_path(pid), "ws2:7801");
             sim.signal(pid, ars_hpcm::MIGRATE_SIGNAL);
             sim.run_until(SimTime::from_secs(60));
             assert_eq!(hooks.migration_count(), 1);
@@ -147,6 +226,7 @@ criterion_group!(
     bench_xml,
     bench_codec,
     bench_kernel,
+    bench_destination_selection,
     bench_migration
 );
 criterion_main!(benches);

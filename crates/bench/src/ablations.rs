@@ -46,7 +46,9 @@ pub struct WarmupOutcome {
 /// Run A1 for one window length.
 pub fn warmup(confirm_s: u64, seed: u64) -> WarmupOutcome {
     let mut sim = Sim::new(
-        (0..3).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..3)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             seed,
             ..SimConfig::default()
@@ -81,14 +83,22 @@ pub fn warmup(confirm_s: u64, seed: u64) -> WarmupOutcome {
     // trigger, short enough that only a weakly-confirmed monitor migrates.
     sim.run_until(SimTime::from_secs(100));
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(CpuHog::new(30.0)), SpawnOpts::named("burst"));
+        sim.spawn(
+            HostId(1),
+            Box::new(CpuHog::new(30.0)),
+            SpawnOpts::named("burst"),
+        );
     }
     sim.run_until(SimTime::from_secs(400));
     let false_migration = hpcm.migration_count() > 0;
 
     // Real overload at t = 400.
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(SimTime::from_secs(2500));
     let detection_s = hpcm
@@ -115,7 +125,9 @@ pub struct PreinitOutcome {
 /// Run A2 for one setting.
 pub fn preinit(pre_initialized: bool, seed: u64) -> PreinitOutcome {
     let mut sim = Sim::new(
-        (0..3).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..3)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             seed,
             ..SimConfig::default()
@@ -143,11 +155,7 @@ pub fn preinit(pre_initialized: bool, seed: u64) -> PreinitOutcome {
     PreinitOutcome {
         pre_initialized,
         resume_s: m.resumed_at.unwrap().since(m.pollpoint_at).as_secs_f64(),
-        total_s: m
-            .lazy_done_at
-            .unwrap()
-            .since(m.pollpoint_at)
-            .as_secs_f64(),
+        total_s: m.lazy_done_at.unwrap().since(m.pollpoint_at).as_secs_f64(),
     }
 }
 
@@ -172,7 +180,9 @@ pub fn hierarchy(n_hosts: usize, domains: usize, seed: u64) -> HierarchyOutcome 
     // Hosts 0..domains are registry machines; the rest are workstations.
     let total = domains + n_hosts;
     let mut sim = Sim::new(
-        (0..total).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..total)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             seed,
             ..SimConfig::default()
@@ -238,7 +248,11 @@ pub fn hierarchy(n_hosts: usize, domains: usize, seed: u64) -> HierarchyOutcome 
             )),
             SpawnOpts::named("ars_monitor"),
         );
-        sim.spawn(host, Box::new(Commander::new(registry)), SpawnOpts::named("ars_commander"));
+        sim.spawn(
+            host,
+            Box::new(Commander::new(registry)),
+            SpawnOpts::named("ars_commander"),
+        );
         // Light ambient activity so heartbeats carry realistic metrics.
         sim.spawn(
             host,
@@ -278,7 +292,9 @@ pub fn monitor_freq(interval_s: u64, seed: u64) -> FreqOutcome {
         overloaded: SimDuration::from_secs(interval_s.min(5)),
     };
     let mut sim = Sim::new(
-        (0..3).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..3)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             seed,
             ..SimConfig::default()
@@ -316,7 +332,11 @@ pub fn monitor_freq(interval_s: u64, seed: u64) -> FreqOutcome {
     let cpu_overhead = idle_busy / 400.0;
 
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(SimTime::from_secs(2500));
     let detection_s = hpcm
@@ -348,7 +368,9 @@ pub fn selection(
 ) -> SelectionOutcome {
     use ars_hpcm::HpcmShell;
     let mut sim = Sim::new(
-        (0..3).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..3)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             seed,
             ..SimConfig::default()
@@ -360,7 +382,11 @@ pub fn selection(
     reg_cfg.selection = selection;
     let registry = sim.spawn(
         HostId(0),
-        Box::new(RegistryScheduler::new(reg_cfg, schemas.clone(), hooks.clone())),
+        Box::new(RegistryScheduler::new(
+            reg_cfg,
+            schemas.clone(),
+            hooks.clone(),
+        )),
         SpawnOpts::named("ars_registry"),
     );
     for host in [HostId(1), HostId(2)] {
@@ -380,7 +406,11 @@ pub fn selection(
             )),
             SpawnOpts::named("ars_monitor"),
         );
-        sim.spawn(host, Box::new(Commander::new(registry)), SpawnOpts::named("ars_commander"));
+        sim.spawn(
+            host,
+            Box::new(Commander::new(registry)),
+            SpawnOpts::named("ars_commander"),
+        );
     }
 
     let hpcm = HpcmHooks::new();
@@ -392,19 +422,36 @@ pub fn selection(
     // report as "test_tree"; differentiate by start time instead, so the
     // heartbeat carries distinct (pid, start) pairs as in the paper.
     schemas.put(MigratableApp::schema(&old));
-    let old_pid = HpcmShell::spawn_on(&mut sim, HostId(1), old, HpcmConfig::default(), None, hpcm.clone());
+    let old_pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        old,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     // "young": started 300 s later with the same estimate — its completion
     // time is the latest.
     sim.run_until(SimTime::from_secs(300));
     let mut young_cfg = small_tree(seed + 1);
     young_cfg.trees = 40;
     let young = TestTree::new(young_cfg);
-    let young_pid =
-        HpcmShell::spawn_on(&mut sim, HostId(1), young, HpcmConfig::default(), None, hpcm.clone());
+    let young_pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        young,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
 
     sim.run_until(SimTime::from_secs(330));
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(SimTime::from_secs(2500));
 
@@ -437,7 +484,9 @@ pub struct AdaptiveOutcome {
 pub fn adaptive(label: &'static str, adapt: bool, seed: u64) -> AdaptiveOutcome {
     use ars_rescheduler::AdaptiveConfig;
     let mut sim = Sim::new(
-        (0..3).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..3)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             seed,
             ..SimConfig::default()
@@ -475,12 +524,13 @@ pub fn adaptive(label: &'static str, adapt: bool, seed: u64) -> AdaptiveOutcome 
         // The bursts chase the application: every episode hits whichever
         // host it currently lives on, so each one is a potential false
         // migration (all bursts are transient by construction).
-        let app_host = hpcm
-            .last_migration()
-            .map(|m| m.to)
-            .unwrap_or(HostId(1));
+        let app_host = hpcm.last_migration().map(|m| m.to).unwrap_or(HostId(1));
         for _ in 0..2 {
-            sim.spawn(app_host, Box::new(CpuHog::new(30.0)), SpawnOpts::named("burst"));
+            sim.spawn(
+                app_host,
+                Box::new(CpuHog::new(30.0)),
+                SpawnOpts::named("burst"),
+            );
         }
     }
     sim.run_until(SimTime::from_secs(3600));
@@ -515,7 +565,9 @@ pub struct PushPullOutcome {
 /// traffic, then an overload whose reaction time is measured.
 pub fn push_pull(label: &'static str, push: bool, seed: u64) -> PushPullOutcome {
     let mut sim = Sim::new(
-        (0..5).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..5)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             seed,
             ..SimConfig::default()
@@ -555,12 +607,18 @@ pub fn push_pull(label: &'static str, push: bool, seed: u64) -> PushPullOutcome 
 
     // Overload phase.
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(SimTime::from_secs(3000));
-    let reaction_s = hpcm
-        .last_migration()
-        .map(|m| m.pollpoint_at.since(SimTime::from_secs_f64(quiet_to)).as_secs_f64());
+    let reaction_s = hpcm.last_migration().map(|m| {
+        m.pollpoint_at
+            .since(SimTime::from_secs_f64(quiet_to))
+            .as_secs_f64()
+    });
     PushPullOutcome {
         label,
         registry_rx_bps,

@@ -10,7 +10,15 @@ fn main() {
         "{:>8} {:>9} {:>22}",
         "hosts", "domains", "busiest registry B/s"
     );
-    for &(n, domains) in &[(16usize, 1usize), (16, 4), (64, 1), (64, 4), (128, 1), (128, 4), (128, 8)] {
+    for &(n, domains) in &[
+        (16usize, 1usize),
+        (16, 4),
+        (64, 1),
+        (64, 4),
+        (128, 1),
+        (128, 4),
+        (128, 8),
+    ] {
         let o = hierarchy(n, domains, 7);
         println!(
             "{:>8} {:>9} {:>22.0}",

@@ -16,8 +16,7 @@ fn main() {
             "{:>12} {:>15.2}% {:>16}",
             o.interval_s,
             o.cpu_overhead * 100.0,
-            o.detection_s
-                .map_or("-".to_string(), |d| format!("{d:.1}")),
+            o.detection_s.map_or("-".to_string(), |d| format!("{d:.1}")),
         );
     }
     println!("\nexpected shape: tighter intervals burn more CPU on every host but detect");

@@ -18,8 +18,7 @@ fn main() {
             "{:>8} {:>22.1} {:>16}",
             o.label,
             o.registry_rx_bps,
-            o.reaction_s
-                .map_or("-".to_string(), |d| format!("{d:.1}")),
+            o.reaction_s.map_or("-".to_string(), |d| format!("{d:.1}")),
         );
     }
     println!("\nexpected shape: pull mode drops the steady heartbeat traffic by two orders");

@@ -15,8 +15,7 @@ fn main() {
             "{:>10} {:>16} {:>14}",
             o.confirm_s,
             if o.false_migration { "YES" } else { "no" },
-            o.detection_s
-                .map_or("-".to_string(), |d| format!("{d:.1}")),
+            o.detection_s.map_or("-".to_string(), |d| format!("{d:.1}")),
         );
     }
     println!("\nexpected shape: small windows migrate on the ~90 s burst (fault migration);");

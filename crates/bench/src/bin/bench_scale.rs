@@ -1,0 +1,111 @@
+//! Wall-clock scaling of the DES kernel: settle-everything baseline vs the
+//! O(touched)-work path (dirty-set settlement, incremental fair-share
+//! rates, indexed first-fit), on the heartbeat + migration scenario at
+//! N ∈ {64, 256, 1024} workstations.
+//!
+//! Before timing anything the two modes are run with tracing at the
+//! smallest N and their event traces must match line for line — the
+//! baseline flags exist to measure the same computation, not a different
+//! one. Results land in `BENCH_scale.json` in the working directory.
+
+use ars_bench::scale::{heartbeat_migration, ScaleMode, ScaleRun, RUN_S};
+use std::time::Instant;
+
+const SEED: u64 = 11;
+const SIZES: [usize; 3] = [64, 256, 1024];
+
+struct Row {
+    n_hosts: usize,
+    baseline_s: f64,
+    optimized_s: f64,
+    migrations: usize,
+}
+
+fn timed(n_hosts: usize, mode: ScaleMode) -> (f64, ScaleRun) {
+    let start = Instant::now();
+    let run = heartbeat_migration(n_hosts, SEED, mode, false);
+    (start.elapsed().as_secs_f64(), run)
+}
+
+fn main() {
+    let trace_n = SIZES[0];
+    println!("trace-equivalence gate: N = {trace_n}, both kernel modes, tracing on");
+    let base = heartbeat_migration(trace_n, SEED, ScaleMode::Baseline, true);
+    let opt = heartbeat_migration(trace_n, SEED, ScaleMode::Optimized, true);
+    let (bt, ot) = (base.trace.unwrap(), opt.trace.unwrap());
+    assert_eq!(
+        bt.len(),
+        ot.len(),
+        "trace lengths differ between kernel modes"
+    );
+    for (i, (b, o)) in bt.iter().zip(&ot).enumerate() {
+        assert_eq!(b, o, "trace diverges at event {i}");
+    }
+    assert!(base.migrations >= 1, "scenario never migrated");
+    println!(
+        "  identical: {} events, {} migration(s)\n",
+        bt.len(),
+        base.migrations
+    );
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "hosts", "baseline s", "optimized s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        let (baseline_s, run_b) = timed(n, ScaleMode::Baseline);
+        let (optimized_s, run_o) = timed(n, ScaleMode::Optimized);
+        assert_eq!(
+            run_b.migrations, run_o.migrations,
+            "kernel modes disagree on migration count at N = {n}"
+        );
+        println!(
+            "{:>8} {:>14.3} {:>14.3} {:>9.1}x",
+            n,
+            baseline_s,
+            optimized_s,
+            baseline_s / optimized_s
+        );
+        rows.push(Row {
+            n_hosts: n,
+            baseline_s,
+            optimized_s,
+            migrations: run_o.migrations,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"bench_scale\",\n");
+    json.push_str(&format!(
+        "  \"scenario\": \"heartbeat + migration, {RUN_S} s simulated, seed {SEED}\",\n"
+    ));
+    json.push_str(&format!("  \"trace_equivalence_n\": {trace_n},\n"));
+    json.push_str("  \"trace_equivalent\": true,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n_hosts\": {}, \"baseline_s\": {:.4}, \"optimized_s\": {:.4}, \
+             \"speedup\": {:.2}, \"migrations\": {}}}{}\n",
+            r.n_hosts,
+            r.baseline_s,
+            r.optimized_s,
+            r.baseline_s / r.optimized_s,
+            r.migrations,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("\nwrote BENCH_scale.json");
+
+    let last = rows.last().unwrap();
+    let speedup = last.baseline_s / last.optimized_s;
+    if speedup < 5.0 {
+        eprintln!(
+            "warning: N = {} speedup {:.1}x below the 5x target",
+            last.n_hosts, speedup
+        );
+    }
+}

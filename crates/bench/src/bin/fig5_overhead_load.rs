@@ -17,7 +17,10 @@ fn main() {
     let mut r1 = with.load1.clone();
     w1.set_name("load1.without");
     r1.set_name("load1.with");
-    print_series("Figure 5 — 1-minute load average (10 s samples)", &[&w1, &r1]);
+    print_series(
+        "Figure 5 — 1-minute load average (10 s samples)",
+        &[&w1, &r1],
+    );
 
     let (from, to) = (WARMUP_SECS as f64, RUN_SECS as f64);
     let l1_wo = mean_between(&without.load1, from, to);

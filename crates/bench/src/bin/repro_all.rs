@@ -6,8 +6,8 @@
 //! cargo run --release -p ars-bench --bin repro_all
 //! ```
 
-use ars_bench::{efficiency, mean_between, overhead, policies};
 use ars_bench::overhead::{overhead_pct, RUN_SECS, WARMUP_SECS};
+use ars_bench::{efficiency, mean_between, overhead, policies};
 
 fn main() {
     println!("=== ars: full paper reproduction ===\n");

@@ -48,7 +48,8 @@ fn main() {
     );
     println!(
         "\nresumed before transfer completed: {}   destination: ws{}",
-        resumed < lazy, m.to.0
+        resumed < lazy,
+        m.to.0
     );
     println!(
         "application finished at t={:.1} on ws{}",

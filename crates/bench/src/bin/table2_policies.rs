@@ -17,8 +17,7 @@ fn main() {
             o.migrate_to.as_deref().unwrap_or("-"),
             o.source_s,
             o.dest_s,
-            o.migration_s
-                .map_or("-".to_string(), |m| format!("{m:.2}")),
+            o.migration_s.map_or("-".to_string(), |m| format!("{m:.2}")),
         );
     }
     println!("\npaper:");

@@ -9,7 +9,7 @@
 
 use ars_apps::{DaemonNoise, Spinner, TestTree, TestTreeConfig};
 use ars_hpcm::{HpcmConfig, HpcmHooks, MigratableApp, MigrationRecord};
-use ars_rescheduler::{deploy, DeployConfig, DecisionRecord};
+use ars_rescheduler::{deploy, DecisionRecord, DeployConfig};
 use ars_sim::{HostId, Sim, SimConfig, SpawnOpts};
 use ars_simcore::{SimDuration, SimTime, TimeSeries};
 use ars_simhost::HostConfig;
@@ -103,7 +103,11 @@ pub fn run(seed: u64) -> EfficiencyRun {
 
     sim.run_until(SimTime::from_secs(LOAD_START_S));
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(SimTime::from_secs(RUN_SECS));
 

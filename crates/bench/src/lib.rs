@@ -21,6 +21,7 @@ pub mod ablations;
 pub mod efficiency;
 pub mod overhead;
 pub mod policies;
+pub mod scale;
 
 use ars_simcore::TimeSeries;
 

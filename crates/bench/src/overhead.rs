@@ -53,8 +53,16 @@ pub fn run(with_rescheduler: bool, seed: u64) -> OverheadRun {
         );
     }
     // Ambient traffic: ~5.8 KB/s each way between the two workstations.
-    let sink1 = sim.spawn(HostId(0), Box::new(Sink::default()), SpawnOpts::named("sink"));
-    let sink2 = sim.spawn(HostId(1), Box::new(Sink::default()), SpawnOpts::named("sink"));
+    let sink1 = sim.spawn(
+        HostId(0),
+        Box::new(Sink::default()),
+        SpawnOpts::named("sink"),
+    );
+    let sink2 = sim.spawn(
+        HostId(1),
+        Box::new(Sink::default()),
+        SpawnOpts::named("sink"),
+    );
     sim.spawn(
         HostId(0),
         Box::new(Chatter::new(sink2, 6_000, SimDuration::from_secs(1))),

@@ -54,7 +54,9 @@ pub fn workload() -> TestTreeConfig {
 /// Run one policy.
 pub fn run(label: &'static str, policy: Policy, seed: u64) -> PolicyOutcome {
     let mut sim = Sim::new(
-        (0..6).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..6)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             seed,
             ..SimConfig::default()
@@ -76,7 +78,11 @@ pub fn run(label: &'static str, policy: Policy, seed: u64) -> PolicyOutcome {
     );
 
     // ws2 <-> ws5: the communicating pair.
-    let sink = sim.spawn(HostId(5), Box::new(Sink::default()), SpawnOpts::named("sink"));
+    let sink = sim.spawn(
+        HostId(5),
+        Box::new(Sink::default()),
+        SpawnOpts::named("sink"),
+    );
     sim.spawn(
         HostId(2),
         Box::new(CommFlood::new(sink, 7_200_000.0, 12_500_000.0)),
@@ -89,7 +95,11 @@ pub fn run(label: &'static str, policy: Policy, seed: u64) -> PolicyOutcome {
     );
     // ws3: CPU workload ~2.5.
     for _ in 0..3 {
-        sim.spawn(HostId(3), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(3),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
 
     let app = TestTree::new(workload());
@@ -107,7 +117,11 @@ pub fn run(label: &'static str, policy: Policy, seed: u64) -> PolicyOutcome {
     );
     sim.run_until(started_at + SimDuration::from_secs(20));
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(SimTime::from_secs(10_000));
 

@@ -1,0 +1,195 @@
+//! The `bench_scale` scenario: an N-workstation cluster under push-model
+//! heartbeats with one host overloading and migrating its application.
+//!
+//! The same scenario runs in two kernel modes so the wall-clock difference
+//! isolates the O(touched)-work settlement path:
+//!
+//! * **baseline** — `SimConfig::baseline_full_resync`,
+//!   `NetworkConfig::baseline_full_scan` and
+//!   `RegistryConfig::linear_first_fit` all set: every event settles every
+//!   host, every flow change re-rates every flow, and destination selection
+//!   scans the whole host table.
+//! * **optimized** — the default dirty-set / incremental / indexed path.
+//!
+//! Both modes must produce the identical event trace; `bench_scale` asserts
+//! that at the smallest N before timing anything.
+
+use ars_apps::{DaemonNoise, PollDaemon, Spinner, TestTree, TestTreeConfig};
+use ars_hpcm::{HpcmConfig, HpcmHooks, MigratableApp};
+use ars_rescheduler::{
+    Commander, Monitor, MonitorConfig, RegistryConfig, RegistryScheduler, ReschedHooks, SchemaBook,
+    StateSource,
+};
+use ars_rules::{MonitoringFrequency, Policy};
+use ars_sim::{HostId, Sim, SimConfig, SpawnOpts};
+use ars_simcore::{SimDuration, SimTime};
+use ars_simhost::HostConfig;
+use ars_sysinfo::Ambient;
+
+/// Which kernel paths the run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleMode {
+    /// Settle-everything baseline (all `baseline_*` flags set).
+    Baseline,
+    /// The default O(touched)-work path.
+    Optimized,
+}
+
+/// Result of one scenario run.
+pub struct ScaleRun {
+    /// Completed migrations (must be ≥ 1 or the scenario is vacuous).
+    pub migrations: usize,
+    /// Rendered trace events when recording was requested.
+    pub trace: Option<Vec<String>>,
+}
+
+/// Simulated horizon of the scenario, seconds.
+pub const RUN_S: u64 = 900;
+
+/// Run the heartbeat + migration scenario on `n_hosts` workstations.
+///
+/// Host 0 is the registry machine; hosts `1..=n_hosts` each run a monitor,
+/// a commander and light ambient daemon noise. An HPCM-wrapped application
+/// starts on host 1; two spinners arrive there at t = 100 s, the monitor
+/// confirms the overload and the registry picks a destination among the
+/// other `n_hosts - 1` free workstations.
+pub fn heartbeat_migration(
+    n_hosts: usize,
+    seed: u64,
+    mode: ScaleMode,
+    record_trace: bool,
+) -> ScaleRun {
+    assert!(n_hosts >= 2, "need a migration destination");
+    let baseline = mode == ScaleMode::Baseline;
+    let mut sim = Sim::new(
+        (0..=n_hosts)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
+        SimConfig {
+            seed,
+            trace: record_trace,
+            baseline_full_resync: baseline,
+            net: ars_simnet::NetworkConfig {
+                baseline_full_scan: baseline,
+                ..ars_simnet::NetworkConfig::default()
+            },
+            ..SimConfig::default()
+        },
+    );
+
+    let hooks = ReschedHooks::new();
+    let schemas = SchemaBook::new();
+    let registry = sim.spawn(
+        HostId(0),
+        Box::new(RegistryScheduler::new(
+            {
+                let mut c = RegistryConfig::new(Policy::paper_policy2());
+                c.name = "registry@h0".to_string();
+                c.linear_first_fit = baseline;
+                c
+            },
+            schemas.clone(),
+            hooks.clone(),
+        )),
+        SpawnOpts::named("ars_registry"),
+    );
+    // Monitors come up staggered across the first heartbeat interval, the
+    // way real daemons boot — this also keeps the registration burst and
+    // every later heartbeat round from hitting the registry NIC in lockstep.
+    let stagger = SimDuration::from_secs(10) / n_hosts as u64;
+    for i in 1..=n_hosts {
+        let host = HostId(i as u32);
+        sim.run_until(SimTime::ZERO + stagger * (i - 1) as u64);
+        sim.spawn(
+            host,
+            Box::new(Monitor::new(
+                MonitorConfig {
+                    registry,
+                    state_source: StateSource::Policy(Policy::paper_policy2()),
+                    freq: MonitoringFrequency {
+                        free: SimDuration::from_secs(10),
+                        busy: SimDuration::from_secs(10),
+                        overloaded: SimDuration::from_secs(5),
+                    },
+                    ambient: Ambient::default(),
+                    overload_confirm: SimDuration::from_secs(60),
+                    adaptive: None,
+                    push: true,
+                },
+                schemas.clone(),
+            )),
+            SpawnOpts::named("ars_monitor"),
+        );
+        sim.spawn(
+            host,
+            Box::new(Commander::new(registry)),
+            SpawnOpts::named("ars_commander"),
+        );
+        // Workstation owner + OS housekeeping activity: short sub-second
+        // bursts. This is what "non-dedicated cluster" means for the DES —
+        // a steady stream of events that touch exactly one host each.
+        sim.spawn(
+            host,
+            Box::new(DaemonNoise::new(0.1, 1.0)),
+            SpawnOpts::named("daemons"),
+        );
+        // Plus the polling services every real workstation runs (session
+        // manager, network daemons): frequent single-host wake-ups with no
+        // CPU load — the event class where per-event O(cluster) work in the
+        // baseline kernel is pure overhead.
+        sim.spawn(
+            host,
+            Box::new(PollDaemon::new(0.5)),
+            SpawnOpts::named("session"),
+        );
+        sim.spawn(
+            host,
+            Box::new(PollDaemon::new(1.0)),
+            SpawnOpts::named("netsvc"),
+        );
+    }
+
+    let app = TestTree::new(TestTreeConfig {
+        trees: 16,
+        levels: 13,
+        node_cost_build: 2e-3,
+        node_cost_sort: 3e-3,
+        node_cost_sum: 1e-3,
+        chunk_nodes: 1024,
+        rss_kb: 24_576,
+        seed,
+    });
+    let hpcm = HpcmHooks::new();
+    schemas.put(MigratableApp::schema(&app));
+    ars_hpcm::HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
+
+    sim.run_until(SimTime::from_secs(100));
+    for _ in 0..2 {
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
+    }
+    sim.run_until(SimTime::from_secs(RUN_S));
+
+    let trace = record_trace.then(|| {
+        sim.kernel()
+            .trace
+            .events()
+            .iter()
+            .map(|e| format!("{:?} {:?} {}", e.t, e.kind, e.detail))
+            .collect()
+    });
+    ScaleRun {
+        migrations: hpcm.migration_count(),
+        trace,
+    }
+}

@@ -68,10 +68,7 @@ impl Program for Commander {
                 {
                     // Temp-file handoff + user-defined signal.
                     let target = Pid(pid);
-                    ctx.write_file(
-                        &dest_file_path(target),
-                        &format!("{dest}:{dest_port}"),
-                    );
+                    ctx.write_file(&dest_file_path(target), &format!("{dest}:{dest_port}"));
                     ctx.signal(target, MIGRATE_SIGNAL);
                     self.commands_handled += 1;
                     ctx.trace(
@@ -85,11 +82,7 @@ impl Program for Commander {
                         ok: true,
                         info: format!("migration of {pid} initiated"),
                     };
-                    ctx.send(
-                        self.registry,
-                        CONTROL_TAG,
-                        Payload::Text(ack.to_document()),
-                    );
+                    ctx.send(self.registry, CONTROL_TAG, Payload::Text(ack.to_document()));
                 }
             }
             _ => {}

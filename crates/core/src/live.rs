@@ -11,12 +11,12 @@
 
 use crate::hooks::DecisionRecord;
 use ars_xmlwire::{HostState, Message, Metrics};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Write one message to a stream (newline-framed).
@@ -194,7 +194,7 @@ fn serve_client(
         line.clear();
         match msg {
             Message::Register { host, .. } => {
-                let mut t = table.lock();
+                let mut t = table.lock().expect("live table lock poisoned");
                 if !t.order.contains(&host.name) {
                     t.order.push(host.name.clone());
                 }
@@ -220,7 +220,7 @@ fn serve_client(
                 metrics,
                 ..
             } => {
-                let mut t = table.lock();
+                let mut t = table.lock().expect("live table lock poisoned");
                 let known = t.entries.contains_key(&host);
                 if known {
                     t.entries.insert(
@@ -245,7 +245,7 @@ fn serve_client(
                 )?;
             }
             Message::CandidateRequest { host, .. } => {
-                let mut t = table.lock();
+                let mut t = table.lock().expect("live table lock poisoned");
                 let dest = first_fit(&t, &host);
                 t.decisions.push(DecisionRecord {
                     at: ars_simcore::SimTime::ZERO,

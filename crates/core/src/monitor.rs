@@ -198,8 +198,7 @@ impl Monitor {
             }
             raw
         };
-        if reported == HostState::Overloaded && self.last_reported_state != HostState::Overloaded
-        {
+        if reported == HostState::Overloaded && self.last_reported_state != HostState::Overloaded {
             ctx.trace(
                 TraceKind::Custom,
                 format!("monitor {}: overloaded confirmed", ctx.host().name()),
@@ -253,10 +252,7 @@ impl Monitor {
                 pid: p.pid,
                 app: p.name.clone(),
                 start_time_s: p.start_time.as_secs_f64(),
-                est_exec_time_s: self
-                    .schemas
-                    .get(&p.name)
-                    .map_or(0.0, |s| s.est_exec_time_s),
+                est_exec_time_s: self.schemas.get(&p.name).map_or(0.0, |s| s.est_exec_time_s),
             })
             .collect()
     }
@@ -275,7 +271,9 @@ impl Monitor {
     /// Serve any queued registry pulls with the freshest sample.
     fn drain_queries(&mut self, ctx: &mut Ctx<'_>) {
         while let Some(env) = ctx.take_message(RecvFilter::tag(CONTROL_TAG)) {
-            let Some(text) = env.payload.as_text() else { continue };
+            let Some(text) = env.payload.as_text() else {
+                continue;
+            };
             if let Ok(Message::StatusQuery { .. }) = Message::decode(text) {
                 let reply = self.build_heartbeat(ctx);
                 ctx.send(env.from, CONTROL_TAG, Payload::Text(reply.to_document()));

@@ -21,7 +21,8 @@ use ars_xmlwire::{
     ApplicationSchema, EntityRole, HostState, HostStatic, Message, Metrics, ProcReport,
     ResourceRequirements,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Which migratable process the scheduler picks from an overloaded host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,15 +45,15 @@ impl SelectionPolicy {
         let completion = |p: &ProcReport| p.start_time_s + p.est_exec_time_s;
         let cmp_f64 = |a: f64, b: f64| a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
         match self {
-            SelectionPolicy::LatestCompleting => {
-                procs.iter().max_by(|a, b| cmp_f64(completion(a), completion(b)))
-            }
-            SelectionPolicy::EarliestCompleting => {
-                procs.iter().min_by(|a, b| cmp_f64(completion(a), completion(b)))
-            }
-            SelectionPolicy::LongestRunning => {
-                procs.iter().min_by(|a, b| cmp_f64(a.start_time_s, b.start_time_s))
-            }
+            SelectionPolicy::LatestCompleting => procs
+                .iter()
+                .max_by(|a, b| cmp_f64(completion(a), completion(b))),
+            SelectionPolicy::EarliestCompleting => procs
+                .iter()
+                .min_by(|a, b| cmp_f64(completion(a), completion(b))),
+            SelectionPolicy::LongestRunning => procs
+                .iter()
+                .min_by(|a, b| cmp_f64(a.start_time_s, b.start_time_s)),
         }
     }
 }
@@ -78,6 +79,11 @@ pub struct RegistryConfig {
     /// status when a decision is expected, and decide once all replies are
     /// in. More accurate data, slower decisions.
     pub pull: bool,
+    /// Scan the whole machine list on every destination search (the
+    /// original first-fit) instead of only the hosts whose last reported
+    /// state can accept a migration. Results are identical; this exists so
+    /// `bench_scale` can measure the indexed search against a live baseline.
+    pub linear_first_fit: bool,
 }
 
 impl RegistryConfig {
@@ -92,6 +98,7 @@ impl RegistryConfig {
             name: "root".to_string(),
             selection: SelectionPolicy::default(),
             pull: false,
+            linear_first_fit: false,
         }
     }
 }
@@ -128,6 +135,9 @@ impl DomainHealth {
 /// Registry-side view of one registered host.
 #[derive(Debug, Clone)]
 pub struct HostEntry {
+    /// Interned host name (shared with the index and cooldown maps, so
+    /// per-decision bookkeeping clones a refcount, not a `String`).
+    pub name: Arc<str>,
     /// Static registration info.
     pub statics: HostStatic,
     /// Monitor pid (heartbeat sender).
@@ -167,22 +177,22 @@ struct Escalation {
 /// attributes every `OpDone` exactly).
 enum OpKind {
     Send,
-    Decision(String),
+    Decision(Arc<str>),
 }
 
 /// A child-side wait for the parent's candidate reply.
 struct AwaitingParent {
-    source: String,
+    source: Arc<str>,
     pid: u64,
     schema: ApplicationSchema,
 }
 
 /// A pull-mode decision waiting for fresh status replies.
 struct PullRound {
-    source: String,
+    source: Arc<str>,
     pid: u64,
     schema: ApplicationSchema,
-    awaiting: std::collections::HashSet<String>,
+    awaiting: std::collections::HashSet<Arc<str>>,
     started_at: SimTime,
 }
 
@@ -193,12 +203,18 @@ pub struct RegistryScheduler {
     schemas: SchemaBook,
     /// Hosts in registration order (first-fit order).
     hosts: Vec<HostEntry>,
-    index: HashMap<String, usize>,
+    index: HashMap<Arc<str>, usize>,
+    /// Hosts whose last *reported* state accepts migrations, by
+    /// registration index. Lease expiry can only disqualify a host, never
+    /// qualify one, so this is a sound candidate superset for `first_fit`
+    /// — and iterating the set ascending reproduces the linear scan's
+    /// first-fit order exactly.
+    free_hosts: BTreeSet<usize>,
     children: Vec<(String, Pid)>,
     /// FIFO attribution of our in-flight ops' completions.
     op_kinds: std::collections::VecDeque<OpKind>,
     /// Last command *or* decision per source host (cooldown basis).
-    last_command: HashMap<String, SimTime>,
+    last_command: HashMap<Arc<str>, SimTime>,
     escalation: Option<Escalation>,
     escalation_queue: std::collections::VecDeque<(Pid, ResourceRequirements)>,
     awaiting_parent: std::collections::VecDeque<AwaitingParent>,
@@ -214,6 +230,7 @@ impl RegistryScheduler {
             schemas,
             hosts: Vec::new(),
             index: HashMap::new(),
+            free_hosts: BTreeSet::new(),
             children: Vec::new(),
             op_kinds: std::collections::VecDeque::new(),
             last_command: HashMap::new(),
@@ -254,8 +271,14 @@ impl RegistryScheduler {
         ctx.send(to, CONTROL_TAG, Payload::Text(msg.to_document()));
     }
 
-    fn entry_mut(&mut self, host: &str) -> Option<&mut HostEntry> {
-        self.index.get(host).map(|&i| &mut self.hosts[i])
+    /// Record a host's reported state, keeping the free-host index in sync.
+    fn set_state(&mut self, idx: usize, state: HostState) {
+        self.hosts[idx].state = state;
+        if state.accepts_migration() {
+            self.free_hosts.insert(idx);
+        } else {
+            self.free_hosts.remove(&idx);
+        }
     }
 
     fn on_register(&mut self, ctx: &mut Ctx<'_>, from: Pid, host: HostStatic, role: EntityRole) {
@@ -266,10 +289,12 @@ impl RegistryScheduler {
             return;
         }
         let now = ctx.now();
-        let idx = match self.index.get(&host.name) {
+        let idx = match self.index.get(host.name.as_str()) {
             Some(&i) => i,
             None => {
+                let name: Arc<str> = Arc::from(host.name.as_str());
                 self.hosts.push(HostEntry {
+                    name: name.clone(),
                     statics: host.clone(),
                     monitor: None,
                     commander: None,
@@ -278,8 +303,10 @@ impl RegistryScheduler {
                     metrics: Metrics::new(),
                     procs: Vec::new(),
                 });
-                self.index.insert(host.name.clone(), self.hosts.len() - 1);
-                self.hosts.len() - 1
+                let idx = self.hosts.len() - 1;
+                self.index.insert(name, idx);
+                self.free_hosts.insert(idx);
+                idx
             }
         };
         let entry = &mut self.hosts[idx];
@@ -301,22 +328,26 @@ impl RegistryScheduler {
         procs: Vec<ProcReport>,
     ) {
         let now = ctx.now();
-        let Some(entry) = self.entry_mut(&host) else {
+        let Some(&idx) = self.index.get(host.as_str()) else {
             ctx.trace(
                 TraceKind::Custom,
                 format!("registry: heartbeat from unregistered {host}"),
             );
             return;
         };
-        entry.last_seen = now;
-        entry.state = state;
-        entry.metrics = metrics;
-        entry.procs = procs;
-        entry.monitor.get_or_insert(from);
+        let name = self.hosts[idx].name.clone();
+        {
+            let entry = &mut self.hosts[idx];
+            entry.last_seen = now;
+            entry.metrics = metrics;
+            entry.procs = procs;
+            entry.monitor.get_or_insert(from);
+        }
+        self.set_state(idx, state);
 
         // A pull round in flight? This heartbeat may be one of its replies.
         if let Some(round) = &mut self.pull_round {
-            round.awaiting.remove(&host);
+            round.awaiting.remove(host.as_str());
             if round.awaiting.is_empty() {
                 self.finish_pull_round(ctx);
             }
@@ -325,20 +356,19 @@ impl RegistryScheduler {
         if state == HostState::Overloaded {
             let cooled = self
                 .last_command
-                .get(&host)
+                .get(host.as_str())
                 .is_none_or(|&t| now.since(t) >= self.cfg.command_cooldown);
             let already_queued = self
                 .op_kinds
                 .iter()
-                .any(|k| matches!(k, OpKind::Decision(h) if *h == host));
+                .any(|k| matches!(k, OpKind::Decision(h) if h.as_ref() == host));
             if cooled && !already_queued {
                 // Charge the decision-making cost, then decide.
                 ctx.compute(self.cfg.decision_cost);
-                self.op_kinds.push_back(OpKind::Decision(host));
+                self.op_kinds.push_back(OpKind::Decision(name));
             }
         }
     }
-
 
     fn dest_ok(
         &self,
@@ -362,8 +392,8 @@ impl RegistryScheduler {
         if entry.statics.cpu_speed < req.min_cpu_speed {
             return false;
         }
-        let mem_avail_kb = entry.metrics.get("memAvail").unwrap_or(0.0) / 100.0
-            * entry.statics.mem_kb as f64;
+        let mem_avail_kb =
+            entry.metrics.get("memAvail").unwrap_or(0.0) / 100.0 * entry.statics.mem_kb as f64;
         if mem_avail_kb < req.mem_kb as f64 {
             return false;
         }
@@ -374,19 +404,32 @@ impl RegistryScheduler {
     }
 
     /// First-fit destination search over the machine list.
+    ///
+    /// Only hosts whose last reported state accepts a migration can pass
+    /// [`dest_ok`](Self::dest_ok) (lease expiry only disqualifies), so the
+    /// indexed search walks the free-host set — ascending registration
+    /// index, i.e. exactly the linear scan's first-fit order — instead of
+    /// the whole machine list.
     fn first_fit(&self, req: &ResourceRequirements, exclude: &str, now: SimTime) -> Option<usize> {
-        self.hosts
+        if self.cfg.linear_first_fit {
+            return self
+                .hosts
+                .iter()
+                .position(|e| self.dest_ok(e, req, exclude, now));
+        }
+        self.free_hosts
             .iter()
-            .position(|e| self.dest_ok(e, req, exclude, now))
+            .copied()
+            .find(|&i| self.dest_ok(&self.hosts[i], req, exclude, now))
     }
 
-    fn decide(&mut self, ctx: &mut Ctx<'_>, source: String) {
+    fn decide(&mut self, ctx: &mut Ctx<'_>, source: Arc<str>) {
         let now = ctx.now();
         // Fruitless decisions also start the cooldown: an overloaded host
         // with nothing migratable (or no candidate anywhere) is re-examined
         // once per cooldown, not on every heartbeat.
         self.last_command.insert(source.clone(), now);
-        let Some(&src_idx) = self.index.get(&source) else {
+        let Some(&src_idx) = self.index.get(source.as_ref()) else {
             return;
         };
         // Re-check: the source must still be overloaded.
@@ -401,7 +444,7 @@ impl RegistryScheduler {
         else {
             self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
                 at: now,
-                source,
+                source: source.to_string(),
                 dest: None,
                 pid: None,
                 escalated: false,
@@ -416,7 +459,7 @@ impl RegistryScheduler {
             self.start_pull_round(ctx, source, proc_.pid, schema);
             return;
         }
-        match self.first_fit(&schema.requirements, &source, now) {
+        match self.first_fit(&schema.requirements, source.as_ref(), now) {
             Some(dest_idx) => {
                 self.command_migration(ctx, src_idx, dest_idx, proc_.pid, schema, false);
             }
@@ -424,7 +467,7 @@ impl RegistryScheduler {
                 // Escalate the candidate search to the parent domain.
                 let parent = self.cfg.parent.expect("checked");
                 let req_msg = Message::CandidateRequest {
-                    host: source.clone(),
+                    host: source.to_string(),
                     requirements: schema.requirements,
                 };
                 self.send(ctx, parent, &req_msg);
@@ -441,7 +484,7 @@ impl RegistryScheduler {
                 );
                 self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
                     at: now,
-                    source,
+                    source: source.to_string(),
                     dest: None,
                     pid: Some(proc_.pid),
                     escalated: false,
@@ -460,12 +503,12 @@ impl RegistryScheduler {
         escalated: bool,
     ) {
         let now = ctx.now();
-        let source = self.hosts[src_idx].statics.name.clone();
-        let dest = self.hosts[dest_idx].statics.name.clone();
+        let source = self.hosts[src_idx].name.clone();
+        let dest = self.hosts[dest_idx].name.clone();
         self.dispatch_command(ctx, src_idx, &source, &dest, pid, schema, escalated);
         // Optimistically mark the destination loaded until its next
         // heartbeat, so concurrent decisions do not pile onto it.
-        self.hosts[dest_idx].state = HostState::Busy;
+        self.set_state(dest_idx, HostState::Busy);
         self.last_command.insert(source, now);
     }
 
@@ -521,7 +564,7 @@ impl RegistryScheduler {
     fn start_pull_round(
         &mut self,
         ctx: &mut Ctx<'_>,
-        source: String,
+        source: Arc<str>,
         pid: u64,
         schema: ApplicationSchema,
     ) {
@@ -545,16 +588,16 @@ impl RegistryScheduler {
         // periodically — the point of the query is to find out who is
         // alive. Dead monitors simply never reply; their host stays in the
         // awaiting set and the round is superseded by the next decision.
-        let targets: Vec<(String, Pid)> = self
+        let targets: Vec<(Arc<str>, Pid)> = self
             .hosts
             .iter()
-            .filter(|e| e.statics.name != source)
-            .filter_map(|e| e.monitor.map(|m| (e.statics.name.clone(), m)))
+            .filter(|e| e.name != source)
+            .filter_map(|e| e.monitor.map(|m| (e.name.clone(), m)))
             .collect();
         if targets.is_empty() {
             self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
                 at: now,
-                source,
+                source: source.to_string(),
                 dest: None,
                 pid: Some(pid),
                 escalated: false,
@@ -563,7 +606,9 @@ impl RegistryScheduler {
         }
         let mut awaiting = std::collections::HashSet::new();
         for (name, monitor) in targets {
-            let q = Message::StatusQuery { host: name.clone() };
+            let q = Message::StatusQuery {
+                host: name.to_string(),
+            };
             self.send(ctx, monitor, &q);
             awaiting.insert(name);
         }
@@ -592,7 +637,7 @@ impl RegistryScheduler {
         let now = ctx.now();
         match self.first_fit(&round.schema.requirements, &round.source, now) {
             Some(dest_idx) => {
-                let Some(&src_idx) = self.index.get(&round.source) else {
+                let Some(&src_idx) = self.index.get(round.source.as_ref()) else {
                     return;
                 };
                 self.command_migration(ctx, src_idx, dest_idx, round.pid, round.schema, false);
@@ -600,7 +645,7 @@ impl RegistryScheduler {
             None => {
                 self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
                     at: now,
-                    source: round.source,
+                    source: round.source.to_string(),
                     dest: None,
                     pid: Some(round.pid),
                     escalated: false,
@@ -621,8 +666,8 @@ impl RegistryScheduler {
         let now = ctx.now();
         // Local domain first.
         if let Some(idx) = self.first_fit(&requirements, &source_host, now) {
-            let dest = self.hosts[idx].statics.name.clone();
-            self.hosts[idx].state = HostState::Busy;
+            let dest = self.hosts[idx].name.to_string();
+            self.set_state(idx, HostState::Busy);
             let reply = Message::CandidateReply { dest: Some(dest) };
             self.send(ctx, from, &reply);
             return;
@@ -665,7 +710,9 @@ impl RegistryScheduler {
             // This child had nothing; fall through to the next.
         }
         loop {
-            let Some(esc) = &mut self.escalation else { return };
+            let Some(esc) = &mut self.escalation else {
+                return;
+            };
             if esc.next_child >= self.children.len() {
                 let requester = esc.requester;
                 self.escalation = None;
@@ -706,7 +753,7 @@ impl RegistryScheduler {
             let now = ctx.now();
             match dest {
                 Some(d) => {
-                    let Some(&src_idx) = self.index.get(&wait.source) else {
+                    let Some(&src_idx) = self.index.get(wait.source.as_ref()) else {
                         return;
                     };
                     let source = wait.source.clone();
@@ -716,7 +763,7 @@ impl RegistryScheduler {
                 None => {
                     self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
                         at: now,
-                        source: wait.source,
+                        source: wait.source.to_string(),
                         dest: None,
                         pid: Some(wait.pid),
                         escalated: true,
@@ -727,6 +774,44 @@ impl RegistryScheduler {
         }
         // A child answering our probe.
         self.advance_escalation(ctx, Some(dest));
+    }
+
+    /// Bench/test hook: install a host entry directly, skipping the wire
+    /// round-trip. Not part of the public API.
+    #[doc(hidden)]
+    pub fn debug_install_host(
+        &mut self,
+        statics: HostStatic,
+        state: HostState,
+        metrics: Metrics,
+        now: SimTime,
+    ) {
+        let name: Arc<str> = Arc::from(statics.name.as_str());
+        self.hosts.push(HostEntry {
+            name: name.clone(),
+            statics,
+            monitor: None,
+            commander: None,
+            last_seen: now,
+            state: HostState::Free,
+            metrics,
+            procs: Vec::new(),
+        });
+        let idx = self.hosts.len() - 1;
+        self.index.insert(name, idx);
+        self.free_hosts.insert(idx);
+        self.set_state(idx, state);
+    }
+
+    /// Bench/test hook: run the destination search directly.
+    #[doc(hidden)]
+    pub fn debug_first_fit(
+        &self,
+        req: &ResourceRequirements,
+        exclude: &str,
+        now: SimTime,
+    ) -> Option<usize> {
+        self.first_fit(req, exclude, now)
     }
 }
 
@@ -812,10 +897,29 @@ mod tests {
         // p1: started 0, est 100 -> completes 100 (oldest).
         // p2: started 50, est 500 -> completes 550 (latest completing).
         // p3: started 80, est 10 -> completes 90 (earliest completing).
-        let procs = vec![report(1, 0.0, 100.0), report(2, 50.0, 500.0), report(3, 80.0, 10.0)];
-        assert_eq!(SelectionPolicy::LatestCompleting.select(&procs).unwrap().pid, 2);
-        assert_eq!(SelectionPolicy::EarliestCompleting.select(&procs).unwrap().pid, 3);
-        assert_eq!(SelectionPolicy::LongestRunning.select(&procs).unwrap().pid, 1);
+        let procs = vec![
+            report(1, 0.0, 100.0),
+            report(2, 50.0, 500.0),
+            report(3, 80.0, 10.0),
+        ];
+        assert_eq!(
+            SelectionPolicy::LatestCompleting
+                .select(&procs)
+                .unwrap()
+                .pid,
+            2
+        );
+        assert_eq!(
+            SelectionPolicy::EarliestCompleting
+                .select(&procs)
+                .unwrap()
+                .pid,
+            3
+        );
+        assert_eq!(
+            SelectionPolicy::LongestRunning.select(&procs).unwrap().pid,
+            1
+        );
     }
 
     #[test]
@@ -826,6 +930,7 @@ mod tests {
     #[test]
     fn host_entry_lease_expiry() {
         let entry = HostEntry {
+            name: Arc::from("ws"),
             statics: HostStatic {
                 name: "ws".to_string(),
                 ip: String::new(),

@@ -4,9 +4,11 @@
 
 use ars_apps::{CommFlood, DaemonNoise, Sink, Spinner, TestTree, TestTreeConfig};
 use ars_hpcm::{HpcmConfig, HpcmHooks, HpcmShell};
-use ars_rescheduler::{deploy, DeployConfig, Monitor, RegistryConfig, RegistryScheduler, SchemaBook};
 #[allow(unused_imports)]
 use ars_rescheduler::DomainHealth;
+use ars_rescheduler::{
+    deploy, DeployConfig, Monitor, RegistryConfig, RegistryScheduler, SchemaBook,
+};
 use ars_rules::Policy;
 use ars_sim::{HostId, Sim, SimConfig, SpawnOpts};
 use ars_simcore::{SimDuration, SimTime};
@@ -86,7 +88,11 @@ fn autonomic_migration_end_to_end() {
 
     // Inject two long CPU hogs: la1 rises above 2 within ~a minute.
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(1200.0));
 
@@ -153,10 +159,21 @@ fn policy1_never_migrates_even_under_load() {
     let app = TestTree::new(long_tree());
     dep.schemas.put(ars_hpcm::MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     sim.run_until(t(100.0));
     for _ in 0..3 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(2000.0));
     assert_eq!(dep.hooks.commands_sent(), 0);
@@ -179,7 +196,11 @@ fn policy3_avoids_communicating_destination_policy2_does_not() {
             },
         );
         // ws2 <-> ws5: heavy stream (6.7-7.8 MB/s) but light CPU.
-        let sink = sim.spawn(HostId(5), Box::new(Sink::default()), SpawnOpts::named("sink"));
+        let sink = sim.spawn(
+            HostId(5),
+            Box::new(Sink::default()),
+            SpawnOpts::named("sink"),
+        );
         sim.spawn(
             HostId(2),
             Box::new(CommFlood::new(sink, 7_200_000.0, 12_500_000.0)),
@@ -193,17 +214,32 @@ fn policy3_avoids_communicating_destination_policy2_does_not() {
         );
         // ws3: heavy CPU load (paper: 2.52).
         for _ in 0..3 {
-            sim.spawn(HostId(3), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+            sim.spawn(
+                HostId(3),
+                Box::new(Spinner::default()),
+                SpawnOpts::named("hog"),
+            );
         }
         // The app on ws1.
         let app = TestTree::new(long_tree());
         dep.schemas.put(ars_hpcm::MigratableApp::schema(&app));
         let hpcm = HpcmHooks::new();
-        HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+        HpcmShell::spawn_on(
+            &mut sim,
+            HostId(1),
+            app,
+            HpcmConfig::default(),
+            None,
+            hpcm.clone(),
+        );
         sim.run_until(t(200.0));
         // Overload ws1.
         for _ in 0..2 {
-            sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+            sim.spawn(
+                HostId(1),
+                Box::new(Spinner::default()),
+                SpawnOpts::named("hog"),
+            );
         }
         sim.run_until(t(1500.0));
         hpcm.last_migration()
@@ -233,7 +269,14 @@ fn soft_state_expiry_excludes_dead_hosts() {
     let app = TestTree::new(long_tree());
     dep.schemas.put(ars_hpcm::MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     sim.run_until(t(100.0));
 
     // ws2 would be the first-fit destination; kill its monitor so its soft
@@ -253,11 +296,21 @@ fn soft_state_expiry_excludes_dead_hosts() {
             self
         }
     }
-    sim.spawn(HostId(0), Box::new(Killer { victim: ws2_monitor }), SpawnOpts::named("kill"));
+    sim.spawn(
+        HostId(0),
+        Box::new(Killer {
+            victim: ws2_monitor,
+        }),
+        SpawnOpts::named("kill"),
+    );
     sim.run_until(t(160.0)); // lease (35 s) expires
 
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(1500.0));
     let m = hpcm.last_migration().expect("migration still happens");
@@ -346,16 +399,31 @@ fn hierarchical_registry_escalates_across_domains() {
 
     // Load ws2 so domain A has no free host once ws1 overloads.
     for _ in 0..2 {
-        sim.spawn(HostId(2), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(2),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
 
     let app = TestTree::new(long_tree());
     schemas.put(ars_hpcm::MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     sim.run_until(t(120.0));
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(1500.0));
 
@@ -419,7 +487,11 @@ fn domain_health_aggregates_host_states() {
     );
     // Load ws3 hard so it classifies busy/overloaded.
     for _ in 0..3 {
-        sim.spawn(HostId(3), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(3),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(300.0));
     let now = sim.now();
@@ -458,10 +530,21 @@ fn pull_mode_migrates_with_fresh_queries() {
     let app = TestTree::new(long_tree());
     dep.schemas.put(ars_hpcm::MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     sim.run_until(t(100.0));
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(3000.0));
     assert_eq!(hpcm.migration_count(), 1, "pull mode still migrates");

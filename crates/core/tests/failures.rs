@@ -14,7 +14,9 @@ fn t(s: f64) -> SimTime {
 
 fn cluster(n: usize) -> Sim {
     Sim::new(
-        (0..n).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..n)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             trace: true,
             ..SimConfig::default()
@@ -39,7 +41,11 @@ impl Program for Killer {
 }
 
 fn kill(sim: &mut Sim, victim: Pid) {
-    sim.spawn(HostId(0), Box::new(Killer { victim }), SpawnOpts::named("kill"));
+    sim.spawn(
+        HostId(0),
+        Box::new(Killer { victim }),
+        SpawnOpts::named("kill"),
+    );
 }
 
 fn tree() -> TestTreeConfig {
@@ -58,15 +64,31 @@ fn tree() -> TestTreeConfig {
 #[test]
 fn dead_registry_degrades_to_no_migration() {
     let mut sim = cluster(3);
-    let dep = deploy(&mut sim, HostId(0), &[HostId(1), HostId(2)], DeployConfig::default());
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2)],
+        DeployConfig::default(),
+    );
     let app = TestTree::new(tree());
     dep.schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     sim.run_until(t(30.0));
     kill(&mut sim, dep.registry);
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(3000.0));
     // Monitors keep heartbeating into the void; no migration is ever
@@ -91,11 +113,22 @@ fn dead_commander_swallows_the_command_without_damage() {
     let app = TestTree::new(tree());
     dep.schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     sim.run_until(t(30.0));
     kill(&mut sim, dep.commanders[0]); // ws1's commander dies
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(3000.0));
     // The registry decided and commanded, but the command had no receiver;
@@ -123,12 +156,23 @@ fn dead_monitor_makes_host_invisible_but_its_commander_still_works() {
     let app = TestTree::new(tree());
     dep.schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     sim.run_until(t(30.0));
     kill(&mut sim, dep.monitors[1]);
     sim.run_until(t(90.0)); // lease (35 s) expires for ws2
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(3000.0));
     let m = hpcm.last_migration().expect("migrated");
@@ -161,9 +205,20 @@ fn command_for_an_already_dead_pid_is_harmless() {
     });
     dep.schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     // Run long enough that heartbeats can still name the app while it is
     // exiting; any command that races the exit must be dropped cleanly.
@@ -242,13 +297,24 @@ fn adaptive_window_learns_from_transient_bursts() {
     let app = TestTree::new(cfg);
     dep.schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
 
     // Repeated short bursts that clear soon after confirmation.
     for round in 0..6u64 {
         sim.run_until(t(200.0 + 300.0 * round as f64));
         for _ in 0..2 {
-            sim.spawn(HostId(1), Box::new(CpuHog::new(30.0)), SpawnOpts::named("burst"));
+            sim.spawn(
+                HostId(1),
+                Box::new(CpuHog::new(30.0)),
+                SpawnOpts::named("burst"),
+            );
         }
     }
     sim.run_until(t(2200.0));

@@ -72,7 +72,7 @@ fn live_registry_serves_first_fit_over_tcp() {
     // Table state is observable.
     {
         let table = registry.table();
-        let t = table.lock();
+        let t = table.lock().expect("live table lock poisoned");
         assert_eq!(t.order, vec!["a", "b", "c"]);
         assert_eq!(t.entries["a"].state, HostState::Overloaded);
         assert_eq!(t.decisions.len(), 1);

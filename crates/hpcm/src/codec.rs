@@ -104,7 +104,11 @@ pub struct CodecError {
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "checkpoint decode error at byte {}: {}", self.at, self.what)
+        write!(
+            f,
+            "checkpoint decode error at byte {}: {}",
+            self.at, self.what
+        )
     }
 }
 

@@ -113,14 +113,18 @@ impl<A: MigratableApp> HpcmShell<A> {
         let status = app.step(ctx, wake);
         match status {
             AppStatus::Finished => {
-                self.hooks.0.borrow_mut().completions.push(CompletionRecord {
-                    app: app.app_name(),
-                    pid: ctx.pid(),
-                    host: ctx.host_id(),
-                    finished_at: ctx.now(),
-                    work_done: app.progress(),
-                    digest: app.result_digest(),
-                });
+                self.hooks
+                    .0
+                    .borrow_mut()
+                    .completions
+                    .push(CompletionRecord {
+                        app: app.app_name(),
+                        pid: ctx.pid(),
+                        host: ctx.host_id(),
+                        finished_at: ctx.now(),
+                        work_done: app.progress(),
+                        digest: app.result_digest(),
+                    });
                 ctx.trace(
                     TraceKind::Custom,
                     format!("{} finished on h{}", app.app_name(), ctx.host_id().0),
@@ -262,8 +266,8 @@ impl<A: MigratableApp> Program for HpcmShell<A> {
                 // check both at every poll-point.
                 if self.pending_lazy {
                     let direct = matches!(&wake, Wake::Received(env) if env.tag == TAG_HPCM_LAZY);
-                    let queued = !direct
-                        && ctx.take_message(RecvFilter::tag(TAG_HPCM_LAZY)).is_some();
+                    let queued =
+                        !direct && ctx.take_message(RecvFilter::tag(TAG_HPCM_LAZY)).is_some();
                     if direct || queued {
                         self.pending_lazy = false;
                         let now = ctx.now();
@@ -292,12 +296,7 @@ impl<A: MigratableApp> Program for HpcmShell<A> {
                     let now = ctx.now();
                     {
                         let mut log = self.hooks.0.borrow_mut();
-                        if let Some(m) = log
-                            .migrations
-                            .iter_mut()
-                            .rev()
-                            .find(|m| m.pid_old == me)
-                        {
+                        if let Some(m) = log.migrations.iter_mut().rev().find(|m| m.pid_old == me) {
                             if m.eager_sent_at == m.pollpoint_at {
                                 m.eager_sent_at = now;
                             }

@@ -106,7 +106,12 @@ fn app_finishes_without_migration() {
     let pid = HpcmShell::spawn_on(
         &mut sim,
         HostId(0),
-        Chunks { total_chunks: 10, done: 0, chunk_work: 1.0, mem_bytes: 0 },
+        Chunks {
+            total_chunks: 10,
+            done: 0,
+            chunk_work: 1.0,
+            mem_bytes: 0,
+        },
         HpcmConfig::default(),
         None,
         hooks.clone(),
@@ -127,7 +132,12 @@ fn migration_moves_the_computation_and_preserves_progress() {
     let pid = HpcmShell::spawn_on(
         &mut sim,
         HostId(0),
-        Chunks { total_chunks: 20, done: 0, chunk_work: 1.0, mem_bytes: 4_000_000 },
+        Chunks {
+            total_chunks: 20,
+            done: 0,
+            chunk_work: 1.0,
+            mem_bytes: 4_000_000,
+        },
         HpcmConfig::default(),
         None,
         hooks.clone(),
@@ -150,7 +160,10 @@ fn migration_moves_the_computation_and_preserves_progress() {
     assert_eq!(done.work_done, 20.0, "all chunks executed exactly once");
     // 6 chunks on ws1 + migration + 14 chunks on ws2.
     let finished = done.finished_at;
-    assert!(finished > t(20.0) && finished < t(23.0), "finished at {finished}");
+    assert!(
+        finished > t(20.0) && finished < t(23.0),
+        "finished at {finished}"
+    );
 }
 
 #[test]
@@ -161,7 +174,12 @@ fn migration_timeline_phases_are_ordered_and_plausible() {
     let pid = HpcmShell::spawn_on(
         &mut sim,
         HostId(0),
-        Chunks { total_chunks: 100, done: 0, chunk_work: 1.4, mem_bytes: 50_000_000 },
+        Chunks {
+            total_chunks: 100,
+            done: 0,
+            chunk_work: 1.4,
+            mem_bytes: 50_000_000,
+        },
         HpcmConfig::default(),
         None,
         hooks.clone(),
@@ -199,7 +217,12 @@ fn pre_initialization_skips_the_dpm_cost() {
         let pid = HpcmShell::spawn_on(
             &mut sim,
             HostId(0),
-            Chunks { total_chunks: 50, done: 0, chunk_work: 1.0, mem_bytes: 1_000_000 },
+            Chunks {
+                total_chunks: 50,
+                done: 0,
+                chunk_work: 1.0,
+                mem_bytes: 1_000_000,
+            },
             HpcmConfig {
                 pre_initialized: pre,
                 ..HpcmConfig::default()
@@ -228,7 +251,12 @@ fn spurious_signal_without_destination_is_ignored() {
     let pid = HpcmShell::spawn_on(
         &mut sim,
         HostId(0),
-        Chunks { total_chunks: 10, done: 0, chunk_work: 1.0, mem_bytes: 0 },
+        Chunks {
+            total_chunks: 10,
+            done: 0,
+            chunk_work: 1.0,
+            mem_bytes: 0,
+        },
         HpcmConfig::default(),
         None,
         hooks.clone(),
@@ -249,7 +277,12 @@ fn double_migration_chains_forwarding() {
     let pid = HpcmShell::spawn_on(
         &mut sim,
         HostId(0),
-        Chunks { total_chunks: 30, done: 0, chunk_work: 1.0, mem_bytes: 1_000_000 },
+        Chunks {
+            total_chunks: 30,
+            done: 0,
+            chunk_work: 1.0,
+            mem_bytes: 1_000_000,
+        },
         HpcmConfig::default(),
         None,
         hooks.clone(),
@@ -271,7 +304,12 @@ fn double_migration_chains_forwarding() {
 
 #[test]
 fn checkpoint_roundtrip_preserves_app_state() {
-    let app = Chunks { total_chunks: 7, done: 3, chunk_work: 2.5, mem_bytes: 123 };
+    let app = Chunks {
+        total_chunks: 7,
+        done: 3,
+        chunk_work: 2.5,
+        mem_bytes: 123,
+    };
     let saved = app.save();
     let back = Chunks::restore(&saved.eager, None);
     assert_eq!(back.total_chunks, 7);
@@ -290,7 +328,12 @@ fn eager_only_migration_has_no_lazy_phase() {
     let pid = HpcmShell::spawn_on(
         &mut sim,
         HostId(0),
-        Chunks { total_chunks: 20, done: 0, chunk_work: 1.0, mem_bytes: 0 },
+        Chunks {
+            total_chunks: 20,
+            done: 0,
+            chunk_work: 1.0,
+            mem_bytes: 0,
+        },
         HpcmConfig::default(),
         None,
         hooks.clone(),

@@ -165,9 +165,8 @@ impl Bcast {
                 }
                 BcastState::WaitRecv => match wake {
                     Some(Wake::Received(ref env)) => {
-                        self.data = Some(p2p::decode_f64s(
-                            env.payload.as_bytes().unwrap_or_default(),
-                        ));
+                        self.data =
+                            Some(p2p::decode_f64s(env.payload.as_bytes().unwrap_or_default()));
                         self.state = BcastState::Sending(0);
                     }
                     _ => return Ok(Step::Pending),
@@ -191,9 +190,7 @@ impl Bcast {
                     let _ = self.root;
                     return Ok(Step::Done(self.data.clone().unwrap_or_default()));
                 }
-                BcastState::Done => {
-                    return Ok(Step::Done(self.data.clone().unwrap_or_default()))
-                }
+                BcastState::Done => return Ok(Step::Done(self.data.clone().unwrap_or_default())),
             }
         }
     }
@@ -284,8 +281,7 @@ impl Reduce {
                 }
                 ReduceState::WaitChild(i) => match wake {
                     Some(Wake::Received(ref env)) => {
-                        let data =
-                            p2p::decode_f64s(env.payload.as_bytes().unwrap_or_default());
+                        let data = p2p::decode_f64s(env.payload.as_bytes().unwrap_or_default());
                         self.op.fold(&mut self.acc, &data);
                         let next = i + 1;
                         if let Some(&child) = self.children.get(next) {
@@ -398,7 +394,11 @@ impl Allreduce {
             .task_of(ctx.pid())
             .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
         let my_rank = mpi.rank_of(self.comm, me)?;
-        let data = if my_rank == Rank(0) { Some(partial) } else { None };
+        let data = if my_rank == Rank(0) {
+            Some(partial)
+        } else {
+            None
+        };
         let mut bcast = Bcast::new(mpi, ctx, self.comm, Rank(0), data, self.down_tag)?;
         let s = bcast.step(mpi, ctx, None)?;
         self.phase = TwoPhase::Down(bcast);
@@ -642,11 +642,7 @@ impl Scatter {
         }
     }
 
-    fn advance_root(
-        &mut self,
-        mpi: &Mpi,
-        ctx: &mut Ctx<'_>,
-    ) -> Result<Step<Vec<f64>>, MpiError> {
+    fn advance_root(&mut self, mpi: &Mpi, ctx: &mut Ctx<'_>) -> Result<Step<Vec<f64>>, MpiError> {
         let ScatterState::RootSending(mut i) = self.state else {
             unreachable!("advance_root outside RootSending");
         };

@@ -234,12 +234,7 @@ impl Mpi {
 
     /// Replace a member of a communicator (migration keeps the same task,
     /// so this is only for substituting a failed rank with a respawn).
-    pub fn replace_member(
-        &self,
-        comm: CommId,
-        old: TaskId,
-        new: TaskId,
-    ) -> Result<(), MpiError> {
+    pub fn replace_member(&self, comm: CommId, old: TaskId, new: TaskId) -> Result<(), MpiError> {
         let mut w = self.0.borrow_mut();
         let c = w.comms.get_mut(&comm).ok_or(MpiError::NoSuchComm(comm))?;
         let slot = c

@@ -10,7 +10,9 @@ use ars_simhost::HostConfig;
 use std::any::Any;
 
 fn cluster(n: usize) -> Sim {
-    let hosts = (0..n).map(|i| HostConfig::named(format!("ws{i}"))).collect();
+    let hosts = (0..n)
+        .map(|i| HostConfig::named(format!("ws{i}")))
+        .collect();
     Sim::new(hosts, SimConfig::default())
 }
 
@@ -27,7 +29,11 @@ where
     let mut pids = Vec::new();
     let mut tasks = Vec::new();
     for i in 0..n {
-        let pid = sim.spawn(HostId(i as u32), make(i as u32), SpawnOpts::named(format!("rank{i}")));
+        let pid = sim.spawn(
+            HostId(i as u32),
+            make(i as u32),
+            SpawnOpts::named(format!("rank{i}")),
+        );
         tasks.push(mpi.bind_new_task(pid));
         pids.push(pid);
     }
@@ -124,7 +130,12 @@ fn ring_token_visits_every_rank() {
     }
     let comm = mpi.create_comm(tasks);
     for &pid in &pids {
-        let prog = sim.program_mut(pid).unwrap().as_any().downcast_mut::<RingRank>().unwrap();
+        let prog = sim
+            .program_mut(pid)
+            .unwrap()
+            .as_any()
+            .downcast_mut::<RingRank>()
+            .unwrap();
         prog.comm = Some(comm);
     }
     sim.run_until(t(10.0));
@@ -180,7 +191,11 @@ impl CollectiveRank {
                 }
             }
             Coll::Bcast { root, data } => {
-                let payload = if self.me == *root { Some(data.clone()) } else { None };
+                let payload = if self.me == *root {
+                    Some(data.clone())
+                } else {
+                    None
+                };
                 let (m, s) = Bcast::start(&mpi, ctx, comm, Rank(*root), payload).unwrap();
                 self.machine = Machine::Bcast(m);
                 if let Step::Done(v) = s {
@@ -189,8 +204,7 @@ impl CollectiveRank {
             }
             Coll::Allreduce { contribution } => {
                 let (m, s) =
-                    Allreduce::start(&mpi, ctx, comm, ReduceOp::Sum, contribution.clone())
-                        .unwrap();
+                    Allreduce::start(&mpi, ctx, comm, ReduceOp::Sum, contribution.clone()).unwrap();
                 self.machine = Machine::Allreduce(m);
                 if let Step::Done(v) = s {
                     self.finish(ctx, v);
@@ -205,7 +219,11 @@ impl CollectiveRank {
                 }
             }
             Coll::Scatter { root, data } => {
-                let payload = if self.me == *root { Some(data.clone()) } else { None };
+                let payload = if self.me == *root {
+                    Some(data.clone())
+                } else {
+                    None
+                };
                 let (m, s) = Scatter::start(&mpi, ctx, comm, Rank(*root), payload).unwrap();
                 self.machine = Machine::Scatter(m);
                 if let Step::Done(v) = s {
@@ -336,7 +354,13 @@ impl Coll {
 #[test]
 fn bcast_reaches_all_ranks() {
     let data = vec![3.25, -1.0, 99.0];
-    let results = run_collective(7, Coll::Bcast { root: 2, data: data.clone() });
+    let results = run_collective(
+        7,
+        Coll::Bcast {
+            root: 2,
+            data: data.clone(),
+        },
+    );
     for (result, at) in results {
         assert_eq!(result.unwrap(), data);
         assert!(at.unwrap() < t(1.0));
@@ -346,7 +370,12 @@ fn bcast_reaches_all_ranks() {
 #[test]
 fn allreduce_sums_everywhere() {
     let n = 8;
-    let results = run_collective(n, Coll::Allreduce { contribution: vec![] });
+    let results = run_collective(
+        n,
+        Coll::Allreduce {
+            contribution: vec![],
+        },
+    );
     let expect = vec![(0..n as u32).map(f64::from).sum::<f64>(), n as f64];
     for (result, _) in results {
         assert_eq!(result.unwrap(), expect);
@@ -393,7 +422,12 @@ fn scatter_distributes_chunks() {
 
 #[test]
 fn single_rank_collectives_complete_immediately() {
-    let results = run_collective(1, Coll::Allreduce { contribution: vec![] });
+    let results = run_collective(
+        1,
+        Coll::Allreduce {
+            contribution: vec![],
+        },
+    );
     assert_eq!(results[0].0.clone().unwrap(), vec![0.0, 1.0]);
     let results = run_collective(1, Coll::Gather { root: 0 });
     assert_eq!(results[0].0.clone().unwrap(), vec![0.0]);
@@ -591,7 +625,10 @@ fn task_identity_survives_rebinding() {
     let old_task = mpi.bind_new_task(old_pid);
     let new_pid = sim.spawn(
         HostId(1),
-        Box::new(NewHome { mpi: mpi.clone(), got: None }),
+        Box::new(NewHome {
+            mpi: mpi.clone(),
+            got: None,
+        }),
         SpawnOpts::named("new"),
     );
     // Rebind the task to its new pid ("communication state transfer").
@@ -599,7 +636,10 @@ fn task_identity_survives_rebinding() {
 
     let sender_pid = sim.spawn(
         HostId(0),
-        Box::new(Sender0 { mpi: mpi.clone(), comm: CommId(u32::MAX) }),
+        Box::new(Sender0 {
+            mpi: mpi.clone(),
+            comm: CommId(u32::MAX),
+        }),
         SpawnOpts::named("s0"),
     );
     let sender_task = mpi.bind_new_task(sender_pid);
@@ -646,8 +686,7 @@ fn port_connect_accept_establishes_communication() {
                     ars_mpisim::recv_any(ctx);
                 }
                 Wake::Received(env) => {
-                    self.got =
-                        Some(ars_mpisim::decode_f64s(env.payload.as_bytes().unwrap())[0]);
+                    self.got = Some(ars_mpisim::decode_f64s(env.payload.as_bytes().unwrap())[0]);
                     ctx.exit();
                 }
                 _ => {}
@@ -688,7 +727,10 @@ fn port_connect_accept_establishes_communication() {
 
     let server = sim.spawn(
         HostId(0),
-        Box::new(Server { mpi: mpi.clone(), got: None }),
+        Box::new(Server {
+            mpi: mpi.clone(),
+            got: None,
+        }),
         SpawnOpts::named("server"),
     );
     mpi.bind_new_task(server);

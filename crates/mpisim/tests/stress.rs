@@ -113,7 +113,9 @@ impl Program for RankProg {
 
 fn run(n: u32, op: Op) -> Vec<Option<Vec<f64>>> {
     let mut sim = Sim::new(
-        (0..n).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..n)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig::default(),
     );
     let mpi = Mpi::new();
@@ -157,7 +159,9 @@ fn bcast_every_size_and_root() {
             let root = root.min(n - 1);
             let results = run(n, Op::Bcast { root });
             for (i, r) in results.iter().enumerate() {
-                let v = r.as_ref().unwrap_or_else(|| panic!("n={n} root={root} rank {i} hung"));
+                let v = r
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("n={n} root={root} rank {i} hung"));
                 assert_eq!(v, &vec![root as f64, 42.0], "n={n} root={root} rank {i}");
             }
         }

@@ -177,15 +177,11 @@ fn block_to_rule(
 
     match rtype {
         "simple" => {
-            let operator =
-                RuleOp::parse(get("rl_operator")?).ok_or_else(|| RuleFileError {
-                    line,
-                    msg: format!("bad rl_operator {:?}", block["rl_operator"]),
-                })?;
-            let param = block
-                .get("rl_param")
-                .filter(|p| !p.is_empty())
-                .cloned();
+            let operator = RuleOp::parse(get("rl_operator")?).ok_or_else(|| RuleFileError {
+                line,
+                msg: format!("bad rl_operator {:?}", block["rl_operator"]),
+            })?;
+            let param = block.get("rl_param").filter(|p| !p.is_empty()).cloned();
             Ok(Rule::Simple(SimpleRule {
                 number,
                 name,
@@ -283,10 +279,7 @@ pub fn write_rule_file(rules: &[Rule]) -> String {
                 out.push_str(&format!("rl_script: {}\n", r.script));
                 out.push_str(&format!("rl_desc: {}\n", r.desc));
                 out.push_str(&format!("rl_operator: {}\n", r.operator));
-                out.push_str(&format!(
-                    "rl_param: {}\n",
-                    r.param.as_deref().unwrap_or("")
-                ));
+                out.push_str(&format!("rl_param: {}\n", r.param.as_deref().unwrap_or("")));
                 out.push_str(&format!("rl_busy: {}\n", r.busy));
                 out.push_str(&format!("rl_overLd: {}\n", r.overloaded));
             }
@@ -440,7 +433,8 @@ mod tests {
 
     #[test]
     fn rule_order_must_cover_expression() {
-        let src = "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_ruleNo: 1 2\nrl_script: r1 & r3\n";
+        let src =
+            "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_ruleNo: 1 2\nrl_script: r1 & r3\n";
         let e = parse_rule_file(src).unwrap_err();
         assert!(e.msg.contains("r3"), "{e}");
     }
@@ -449,7 +443,9 @@ mod tests {
     fn rule_order_defaults_to_expression_refs() {
         let src = "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_script: r2 & r1\n";
         let rules = parse_rule_file(src).unwrap();
-        let Rule::Complex(c) = &rules[0] else { panic!() };
+        let Rule::Complex(c) = &rules[0] else {
+            panic!()
+        };
         assert_eq!(c.rule_order, vec![2, 1]);
     }
 
@@ -457,7 +453,9 @@ mod tests {
     fn cut_overrides() {
         let src = "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_script: r1\nrl_busyCut: 0.3\nrl_overLdCut: 1.8\n";
         let rules = parse_rule_file(src).unwrap();
-        let Rule::Complex(c) = &rules[0] else { panic!() };
+        let Rule::Complex(c) = &rules[0] else {
+            panic!()
+        };
         assert_eq!(c.cuts.busy_cut, 0.3);
         assert_eq!(c.cuts.overloaded_cut, 1.8);
     }
@@ -465,11 +463,11 @@ mod tests {
     #[test]
     fn expression_file_reference_resolves() {
         let src = "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_ruleNo: 1 2\nrl_script: cmp_rule.expr\n";
-        let resolver = |name: &str| {
-            (name == "cmp_rule.expr").then(|| "r1 & r2".to_string())
-        };
+        let resolver = |name: &str| (name == "cmp_rule.expr").then(|| "r1 & r2".to_string());
         let rules = parse_rule_file_with(src, &resolver).unwrap();
-        let Rule::Complex(c) = &rules[0] else { panic!() };
+        let Rule::Complex(c) = &rules[0] else {
+            panic!()
+        };
         assert_eq!(c.expr, Expr::parse("r1 & r2").unwrap());
     }
 

@@ -24,7 +24,10 @@ pub mod state;
 pub mod xml;
 
 pub use expr::{Expr, ExprError};
-pub use file::{parse_rule_file, parse_rule_file_with, paper_rule_file, write_rule_file, ComplexRule, Rule, RuleFileError};
+pub use file::{
+    paper_rule_file, parse_rule_file, parse_rule_file_with, write_rule_file, ComplexRule, Rule,
+    RuleFileError,
+};
 pub use policy::{metric_keys, Condition, MonitoringFrequency, Policy};
 pub use ruleset::{EvalError, Evaluation, RuleSet};
 pub use simple::{RuleOp, SimpleRule};

@@ -125,10 +125,16 @@ impl Policy {
     pub fn paper_policy3() -> Policy {
         let mut p = Policy::paper_policy2();
         p.name = "policy3-comm-aware".to_string();
-        p.source_gate_all
-            .push(Condition::new(metric_keys::NET_FLOW_MBPS, RuleOp::LessEq, 5.0));
-        p.dest_all
-            .push(Condition::new(metric_keys::NET_FLOW_MBPS, RuleOp::LessEq, 3.0));
+        p.source_gate_all.push(Condition::new(
+            metric_keys::NET_FLOW_MBPS,
+            RuleOp::LessEq,
+            5.0,
+        ));
+        p.dest_all.push(Condition::new(
+            metric_keys::NET_FLOW_MBPS,
+            RuleOp::LessEq,
+            3.0,
+        ));
         p
     }
 
@@ -260,10 +266,7 @@ mod tests {
     fn monitoring_frequency_by_state() {
         let f = MonitoringFrequency::default();
         assert_eq!(f.interval(HostState::Free), SimDuration::from_secs(10));
-        assert_eq!(
-            f.interval(HostState::Overloaded),
-            SimDuration::from_secs(5)
-        );
+        assert_eq!(f.interval(HostState::Overloaded), SimDuration::from_secs(5));
     }
 
     #[test]

@@ -238,9 +238,7 @@ mod tests {
     fn busy_when_both_sides_busy() {
         let rs = RuleSet::paper();
         // idle 47 → busy; sockets 800 → busy; mem 20 → busy; load 1.5 → busy.
-        let eval = rs
-            .evaluate(&paper_metrics(47.0, 800.0, 20.0, 1.5))
-            .unwrap();
+        let eval = rs.evaluate(&paper_metrics(47.0, 800.0, 20.0, 1.5)).unwrap();
         assert_eq!(eval.state, HostState::Busy);
     }
 

@@ -143,8 +143,8 @@ impl RuleSet {
             .find_all("rule")
             .map(Rule::from_xml)
             .collect::<Result<_, _>>()?;
-        let mut set = RuleSet::new(rules)
-            .map_err(|_| XmlError::MissingField("rule".to_string()))?;
+        let mut set =
+            RuleSet::new(rules).map_err(|_| XmlError::MissingField("rule".to_string()))?;
         if let Some(d) = el.get_attr("decision") {
             let number: u32 = d
                 .parse()
@@ -203,10 +203,10 @@ mod tests {
     #[test]
     fn bad_decision_attribute_rejected() {
         let set = RuleSet::paper();
-        let doc = set.to_xml().to_document().replace(
-            "decision=\"5\"",
-            "decision=\"99\"",
-        );
+        let doc = set
+            .to_xml()
+            .to_document()
+            .replace("decision=\"5\"", "decision=\"99\"");
         assert!(RuleSet::from_xml(&parse(&doc).unwrap()).is_err());
     }
 }

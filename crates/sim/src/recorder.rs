@@ -88,7 +88,8 @@ impl Recorder {
             s.load1.push(now, la1);
             s.load5.push(now, la5);
             if let Some(rate) = c.busy.sample(now, host.cpu_busy_secs()) {
-                s.cpu_util.push(now, rate.clamp(0.0, host.config().n_cpus as f64));
+                s.cpu_util
+                    .push(now, rate.clamp(0.0, host.config().n_cpus as f64));
             }
             s.run_queue.push(now, host.run_queue() as f64);
             s.nproc.push(now, host.procs().len() as f64);

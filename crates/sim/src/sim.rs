@@ -11,10 +11,9 @@ use crate::message::{Envelope, RecvFilter};
 use crate::program::{Op, Program, SpawnOpts, Wake};
 use crate::recorder::Recorder;
 use crate::trace::{Trace, TraceKind};
-use ars_simcore::{EventId, EventQueue, JobId, SimDuration, SimRng, SimTime};
+use ars_simcore::{EventId, EventQueue, FxHashMap, JobId, SimDuration, SimRng, SimTime};
 use ars_simhost::{Host, HostConfig, ProcEntry, ProcState, LOAD_SAMPLE_INTERVAL};
 use ars_simnet::{FlowId, Network, NetworkConfig, NodeId};
-use std::collections::HashMap;
 
 /// Simulator-wide configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +26,11 @@ pub struct SimConfig {
     pub seed: u64,
     /// Record a structured event trace.
     pub trace: bool,
+    /// Re-examine every host and the network after each event (the original
+    /// O(events × hosts) behaviour) instead of only the entities the event
+    /// touched. Results are identical; this exists so `bench_scale` can
+    /// measure the dirty-set speedup against a live baseline.
+    pub baseline_full_resync: bool,
 }
 
 impl Default for SimConfig {
@@ -36,6 +40,7 @@ impl Default for SimConfig {
             net: NetworkConfig::default(),
             seed: 0x5EED,
             trace: false,
+            baseline_full_resync: false,
         }
     }
 }
@@ -94,7 +99,9 @@ pub(crate) enum Event {
     CpuDone { host: u32 },
     NetDone,
     Timer { pid: Pid, seq: u64 },
-    Deliver(Envelope),
+    // Boxed: the envelope would otherwise quadruple the size of every
+    // queue entry, and heap sifting copies entries around.
+    Deliver(Box<Envelope>),
     Nudge(Pid),
     LoadTick,
     SampleTick,
@@ -116,14 +123,21 @@ pub struct Kernel {
     pub(crate) pending_spawns: Vec<PendingSpawn>,
     pub(crate) pending_kills: Vec<Pid>,
     pub(crate) pending_signals: Vec<(Pid, u32)>,
-    cpu_jobs: HashMap<(u32, JobId), Pid>,
-    flow_purpose: HashMap<FlowId, FlowPurpose>,
-    pub(crate) forwarding: HashMap<Pid, Pid>,
+    cpu_jobs: FxHashMap<(u32, JobId), Pid>,
+    flow_purpose: FxHashMap<FlowId, FlowPurpose>,
+    pub(crate) forwarding: FxHashMap<Pid, Pid>,
     cpu_sched: Vec<Option<(u64, SimTime, EventId)>>,
     net_sched: Option<(u64, SimTime, EventId)>,
     timer_seq: u64,
-    host_index: HashMap<String, u32>,
+    host_index: FxHashMap<String, u32>,
     pub(crate) recorder: Option<Recorder>,
+    /// Hosts whose CPU state an event may have changed since the last
+    /// resync (`dirty_cpu` de-duplicates the list). Only these are
+    /// re-examined; everything else provably needs no rescheduling.
+    dirty_hosts: Vec<u32>,
+    dirty_cpu: Vec<bool>,
+    /// The network flow set may have changed since the last resync.
+    net_dirty: bool,
 }
 
 impl Kernel {
@@ -161,13 +175,24 @@ impl Kernel {
             .net
             .start_flow(self.now, NodeId(src.0), NodeId(dst.0), None);
         self.flow_purpose.insert(id, FlowPurpose::Background);
+        self.net_dirty = true;
         id
     }
 
     /// Stop a background stream; returns bytes it carried.
     pub fn stop_background_stream(&mut self, id: FlowId) -> Option<f64> {
         self.flow_purpose.remove(&id);
+        self.net_dirty = true;
         self.net.end_flow(self.now, id)
+    }
+
+    /// Note that `host`'s CPU job set may have changed; the next resync will
+    /// re-examine its completion schedule. Idempotent and cheap.
+    fn mark_cpu_dirty(&mut self, host: u32) {
+        if !self.dirty_cpu[host as usize] {
+            self.dirty_cpu[host as usize] = true;
+            self.dirty_hosts.push(host);
+        }
     }
 }
 
@@ -200,16 +225,21 @@ impl Sim {
             pending_spawns: Vec::new(),
             pending_kills: Vec::new(),
             pending_signals: Vec::new(),
-            cpu_jobs: HashMap::new(),
-            flow_purpose: HashMap::new(),
-            forwarding: HashMap::new(),
+            cpu_jobs: FxHashMap::default(),
+            flow_purpose: FxHashMap::default(),
+            forwarding: FxHashMap::default(),
             cpu_sched: vec![None; n],
             net_sched: None,
             timer_seq: 0,
             host_index,
             recorder: None,
+            dirty_hosts: Vec::new(),
+            dirty_cpu: vec![false; n],
+            net_dirty: false,
         };
-        kernel.queue.push(SimTime::ZERO + LOAD_SAMPLE_INTERVAL, Event::LoadTick);
+        kernel
+            .queue
+            .push(SimTime::ZERO + LOAD_SAMPLE_INTERVAL, Event::LoadTick);
         Sim {
             kernel,
             procs: Vec::new(),
@@ -251,12 +281,7 @@ impl Sim {
     }
 
     /// Spawn a process on a host; it starts at the current time.
-    pub fn spawn(
-        &mut self,
-        host: HostId,
-        program: Box<dyn Program>,
-        opts: SpawnOpts,
-    ) -> Pid {
+    pub fn spawn(&mut self, host: HostId, program: Box<dyn Program>, opts: SpawnOpts) -> Pid {
         let pid = self.kernel.alloc_pid();
         self.kernel.pending_spawns.push(PendingSpawn {
             pid,
@@ -284,7 +309,9 @@ impl Sim {
 
     /// Exit time of a terminated process.
     pub fn exited_at(&self, pid: Pid) -> Option<SimTime> {
-        self.procs.get(pid.0 as usize).and_then(|s| s.meta.exited_at)
+        self.procs
+            .get(pid.0 as usize)
+            .and_then(|s| s.meta.exited_at)
     }
 
     /// Host a process runs (or ran) on.
@@ -354,7 +381,7 @@ impl Sim {
                     self.dispatch(pid, Wake::OpDone);
                 }
             }
-            Event::Deliver(env) => self.on_deliver(env),
+            Event::Deliver(env) => self.on_deliver(*env),
             Event::Nudge(pid) => {
                 let slot = &mut self.procs[pid.0 as usize];
                 if slot.meta.run == RunState::Idle && slot.meta.ops.is_empty() {
@@ -390,10 +417,14 @@ impl Sim {
 
     fn on_cpu_done(&mut self, host: u32) {
         self.kernel.cpu_sched[host as usize] = None;
+        // The scheduled completion was consumed (and end_compute below bumps
+        // the version): this host must be re-examined either way.
+        self.kernel.mark_cpu_dirty(host);
         let now = self.kernel.now;
         self.kernel.hosts[host as usize].advance(now);
-        let finished = self.kernel.hosts[host as usize].finished_cpu_jobs();
-        for job in finished {
+        // Reap one at a time (ascending job id, same order as the finished
+        // list) to keep this hot path allocation-free.
+        while let Some(job) = self.kernel.hosts[host as usize].first_finished_cpu_job() {
             self.kernel.hosts[host as usize].end_compute(now, job);
             if let Some(pid) = self.kernel.cpu_jobs.remove(&(host, job)) {
                 self.kernel.hosts[host as usize].proc_set_state(pid.0, ProcState::Sleeping);
@@ -408,16 +439,18 @@ impl Sim {
 
     fn on_net_done(&mut self) {
         self.kernel.net_sched = None;
+        self.kernel.net_dirty = true;
         let now = self.kernel.now;
         self.kernel.net.advance(now);
-        let finished = self.kernel.net.finished_flows();
-        for flow in finished {
+        while let Some(flow) = self.kernel.net.first_finished_flow() {
             self.kernel.net.end_flow(now, flow);
             match self.kernel.flow_purpose.remove(&flow) {
                 Some(FlowPurpose::Message(env)) => {
                     let latency = self.kernel.config.net.latency;
                     let sender = env.from;
-                    self.kernel.queue.push(now + latency, Event::Deliver(env));
+                    self.kernel
+                        .queue
+                        .push(now + latency, Event::Deliver(Box::new(env)));
                     let slot = &mut self.procs[sender.0 as usize];
                     if matches!(slot.meta.run, RunState::SendFlow(f) if f == flow) {
                         slot.meta.run = RunState::Idle;
@@ -512,6 +545,7 @@ impl Sim {
         match op {
             Op::Compute { work } => {
                 let job = self.kernel.hosts[host.0 as usize].start_compute(now, work);
+                self.kernel.mark_cpu_dirty(host.0);
                 self.kernel.cpu_jobs.insert((host.0, job), pid);
                 self.kernel.hosts[host.0 as usize].proc_set_state(pid.0, ProcState::Runnable);
                 self.procs[pid.0 as usize].meta.run = RunState::Compute(job);
@@ -540,7 +574,9 @@ impl Sim {
                     .unwrap_or(host);
                 if dst_host == host {
                     let latency = self.kernel.config.local_latency;
-                    self.kernel.queue.push(now + latency, Event::Deliver(env));
+                    self.kernel
+                        .queue
+                        .push(now + latency, Event::Deliver(Box::new(env)));
                     Some(Wake::OpDone)
                 } else {
                     let flow = self.kernel.net.start_flow(
@@ -549,6 +585,7 @@ impl Sim {
                         NodeId(dst_host.0),
                         Some(env.wire_bytes as f64),
                     );
+                    self.kernel.net_dirty = true;
                     self.kernel
                         .flow_purpose
                         .insert(flow, FlowPurpose::Message(env));
@@ -661,10 +698,12 @@ impl Sim {
             RunState::Compute(job) => {
                 let h = slot.meta.host.0;
                 self.kernel.hosts[h as usize].end_compute(now, job);
+                self.kernel.mark_cpu_dirty(h);
                 self.kernel.cpu_jobs.remove(&(h, job));
             }
             RunState::SendFlow(flow) => {
                 self.kernel.net.end_flow(now, flow);
+                self.kernel.net_dirty = true;
                 self.kernel.flow_purpose.remove(&flow);
             }
             _ => {}
@@ -684,25 +723,60 @@ impl Sim {
 
     // --- Completion-event resynchronization -----------------------------------
 
+    /// Re-align scheduled completion events with host/network state.
+    ///
+    /// Only the hosts marked dirty since the last resync (and the network,
+    /// when flagged) are re-examined: an event can only invalidate the
+    /// schedule of an entity it mutated, and every mutation site marks its
+    /// entity. Dirty hosts are visited in ascending id order — the same
+    /// order the old full scan used — so the events pushed (and therefore
+    /// their queue sequence numbers, which break same-time ties) are
+    /// identical to the settle-everything baseline.
     fn resync(&mut self) {
-        let now = self.kernel.now;
-        for i in 0..self.kernel.hosts.len() {
-            let version = self.kernel.hosts[i].cpu_version();
-            let cached_ok = matches!(self.kernel.cpu_sched[i], Some((v, _, _)) if v == version);
-            if cached_ok {
-                continue;
+        if self.kernel.config.baseline_full_resync {
+            self.kernel.dirty_hosts.clear();
+            self.kernel.dirty_cpu.fill(false);
+            self.kernel.net_dirty = false;
+            for i in 0..self.kernel.hosts.len() {
+                self.resync_host(i);
             }
-            if let Some((_, _, ev)) = self.kernel.cpu_sched[i].take() {
-                self.kernel.queue.cancel(ev);
-            }
-            if let Some((t, _)) = self.kernel.hosts[i].next_cpu_completion(now) {
-                let ev = self
-                    .kernel
-                    .queue
-                    .push(t, Event::CpuDone { host: i as u32 });
-                self.kernel.cpu_sched[i] = Some((version, t, ev));
-            }
+            self.resync_net();
+            return;
         }
+        if !self.kernel.dirty_hosts.is_empty() {
+            let mut dirty = std::mem::take(&mut self.kernel.dirty_hosts);
+            dirty.sort_unstable();
+            for &i in &dirty {
+                self.kernel.dirty_cpu[i as usize] = false;
+                self.resync_host(i as usize);
+            }
+            dirty.clear();
+            self.kernel.dirty_hosts = dirty; // keep the allocation
+        }
+        if self.kernel.net_dirty {
+            self.kernel.net_dirty = false;
+            self.resync_net();
+        }
+    }
+
+    fn resync_host(&mut self, i: usize) {
+        let now = self.kernel.now;
+        let version = self.kernel.hosts[i].cpu_version();
+        let cached_ok = matches!(self.kernel.cpu_sched[i], Some((v, _, _)) if v == version);
+        if cached_ok {
+            return;
+        }
+        if let Some((_, _, ev)) = self.kernel.cpu_sched[i].take() {
+            self.kernel.queue.cancel(ev);
+        }
+        if let Some((t, _)) = self.kernel.hosts[i].next_cpu_completion(now) {
+            let ev = self.kernel.queue.push(t, Event::CpuDone { host: i as u32 });
+            self.kernel.cpu_sched[i] = Some((version, t, ev));
+        }
+    }
+
+    fn resync_net(&mut self) {
+        let now = self.kernel.now;
         let version = self.kernel.net.version();
         let cached_ok = matches!(self.kernel.net_sched, Some((v, _, _)) if v == version);
         if !cached_ok {

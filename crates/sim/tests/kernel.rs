@@ -46,7 +46,10 @@ fn lone_compute_takes_its_work_time() {
     let mut sim = two_hosts();
     let pid = sim.spawn(
         HostId(0),
-        Box::new(Cruncher { work: 10.0, finished_at: None }),
+        Box::new(Cruncher {
+            work: 10.0,
+            finished_at: None,
+        }),
         SpawnOpts::named("crunch"),
     );
     sim.run_until(t(100.0));
@@ -59,12 +62,18 @@ fn two_crunchers_share_the_cpu() {
     let mut sim = two_hosts();
     let a = sim.spawn(
         HostId(0),
-        Box::new(Cruncher { work: 10.0, finished_at: None }),
+        Box::new(Cruncher {
+            work: 10.0,
+            finished_at: None,
+        }),
         SpawnOpts::named("a"),
     );
     let b = sim.spawn(
         HostId(0),
-        Box::new(Cruncher { work: 10.0, finished_at: None }),
+        Box::new(Cruncher {
+            work: 10.0,
+            finished_at: None,
+        }),
         SpawnOpts::named("b"),
     );
     sim.run_until(t(100.0));
@@ -78,12 +87,18 @@ fn crunchers_on_different_hosts_do_not_interfere() {
     let mut sim = two_hosts();
     let a = sim.spawn(
         HostId(0),
-        Box::new(Cruncher { work: 10.0, finished_at: None }),
+        Box::new(Cruncher {
+            work: 10.0,
+            finished_at: None,
+        }),
         SpawnOpts::named("a"),
     );
     let b = sim.spawn(
         HostId(1),
-        Box::new(Cruncher { work: 10.0, finished_at: None }),
+        Box::new(Cruncher {
+            work: 10.0,
+            finished_at: None,
+        }),
         SpawnOpts::named("b"),
     );
     sim.run_until(t(100.0));
@@ -144,7 +159,10 @@ fn remote_message_time_is_latency_plus_bandwidth() {
     let mut sim = two_hosts();
     let rx = sim.spawn(
         HostId(1),
-        Box::new(Receiver { filter: RecvFilter::any(), got: None }),
+        Box::new(Receiver {
+            filter: RecvFilter::any(),
+            got: None,
+        }),
         SpawnOpts::named("rx"),
     );
     // 12.5 MB over a 12.5 MB/s NIC = 1 s wire time + 300 us latency.
@@ -171,7 +189,10 @@ fn local_message_is_fast_and_payload_survives() {
     let mut sim = two_hosts();
     let rx = sim.spawn(
         HostId(0),
-        Box::new(Receiver { filter: RecvFilter::tag(7), got: None }),
+        Box::new(Receiver {
+            filter: RecvFilter::tag(7),
+            got: None,
+        }),
         SpawnOpts::named("rx"),
     );
     sim.spawn(
@@ -264,7 +285,11 @@ fn recv_filter_defers_non_matching_messages() {
             self
         }
     }
-    sim.spawn(HostId(1), Box::new(TwoSends { to: rx }), SpawnOpts::named("tx"));
+    sim.spawn(
+        HostId(1),
+        Box::new(TwoSends { to: rx }),
+        SpawnOpts::named("tx"),
+    );
     sim.run_until(t(5.0));
     assert!(!sim.is_alive(rx), "receiver matched the tag-7 message");
 }
@@ -387,7 +412,10 @@ fn forwarding_reroutes_messages() {
     let mut sim = two_hosts();
     let new_rx = sim.spawn(
         HostId(1),
-        Box::new(Receiver { filter: RecvFilter::any(), got: None }),
+        Box::new(Receiver {
+            filter: RecvFilter::any(),
+            got: None,
+        }),
         SpawnOpts::named("new"),
     );
     let old_rx = sim.spawn(
@@ -413,7 +441,10 @@ fn forwarding_reroutes_messages() {
     }
     sim.spawn(
         HostId(0),
-        Box::new(Forwarder { old: old_rx, new: new_rx }),
+        Box::new(Forwarder {
+            old: old_rx,
+            new: new_rx,
+        }),
         SpawnOpts::named("fwd"),
     );
     sim.run_until(t(0.1));
@@ -461,7 +492,10 @@ fn load_average_reflects_running_work() {
     for _ in 0..2 {
         sim.spawn(
             HostId(0),
-            Box::new(Cruncher { work: 1e9, finished_at: None }),
+            Box::new(Cruncher {
+                work: 1e9,
+                finished_at: None,
+            }),
             SpawnOpts::named("burn"),
         );
     }
@@ -478,7 +512,10 @@ fn recorder_samples_metrics() {
     sim.enable_recorder(SimDuration::from_secs(10));
     sim.spawn(
         HostId(0),
-        Box::new(Cruncher { work: 1e9, finished_at: None }),
+        Box::new(Cruncher {
+            work: 1e9,
+            finished_at: None,
+        }),
         SpawnOpts::named("burn"),
     );
     sim.run_until(t(100.0));
@@ -508,7 +545,10 @@ fn kill_releases_resources() {
     let mut sim = two_hosts();
     let pid = sim.spawn(
         HostId(0),
-        Box::new(Cruncher { work: 1e9, finished_at: None }),
+        Box::new(Cruncher {
+            work: 1e9,
+            finished_at: None,
+        }),
         SpawnOpts::named("burn").with_mem(1000, 1000),
     );
     sim.run_until(t(10.0));
@@ -527,7 +567,11 @@ fn kill_releases_resources() {
             self
         }
     }
-    sim.spawn(HostId(0), Box::new(Killer { victim: pid }), SpawnOpts::named("kill"));
+    sim.spawn(
+        HostId(0),
+        Box::new(Killer { victim: pid }),
+        SpawnOpts::named("kill"),
+    );
     sim.run_until(t(11.0));
     assert!(!sim.is_alive(pid));
     assert_eq!(sim.kernel().hosts[0].run_queue(), 0);

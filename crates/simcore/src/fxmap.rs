@@ -1,0 +1,117 @@
+//! A fast, non-cryptographic hasher for the simulator's internal maps.
+//!
+//! The kernel keys its bookkeeping maps (job → pid, flow → purpose,
+//! pid → forward target) by small integer ids, where SipHash's DoS
+//! resistance buys nothing and its latency sits on the per-event hot path.
+//! This is the Fowler–Noll–Vo–style multiply hash used by rustc ("FxHash"):
+//! one rotate, one xor and one multiply per 8-byte word.
+//!
+//! Only use these maps for lookups keyed by values the simulation itself
+//! generates (ids, interned names); never for untrusted external input.
+//! Iteration order is unspecified, exactly like `std::collections::HashMap` —
+//! code that iterates must not let the order become observable behaviour.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc multiply-xor hasher (64-bit state).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<(u32, u64), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, u64::from(i) * 7), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, u64::from(i) * 7)), Some(&i));
+            assert!(m.remove(&(i, u64::from(i) * 7)).is_some());
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn hashes_are_stable_within_a_process() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+        assert_ne!(b.hash_one(42u64), b.hash_one(43u64));
+    }
+
+    #[test]
+    fn uneven_byte_tails_differ() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        assert_ne!(
+            b.hash_one([1u8, 2, 3].as_slice()),
+            b.hash_one([1u8, 2].as_slice())
+        );
+    }
+}

@@ -12,12 +12,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fxmap;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod series;
 pub mod time;
 
+pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use queue::{EventId, EventQueue};
 pub use resource::{JobId, SharedResource};
 pub use rng::SimRng;

@@ -7,7 +7,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Handle identifying a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,14 +37,27 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Lifecycle of a scheduled entry, indexed by its sequence number.
+#[derive(Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum SeqState {
+    /// Still in the heap, will fire.
+    Live,
+    /// Still in the heap, will be skipped.
+    Cancelled,
+    /// Popped (fired or skipped); `cancel` is a no-op from here on.
+    Done,
+}
+
 /// The future-event list of the simulation.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
-    /// Seqs of entries still in the heap; keeps `cancel` of already-fired
-    /// events a true no-op and `len` exact.
-    live: HashSet<u64>,
-    cancelled: HashSet<u64>,
+    /// Per-seq lifecycle, indexed directly by seq (seqs are dense from 0, so
+    /// a flat vector replaces hash lookups on the pop/cancel hot paths at the
+    /// cost of one byte per event ever scheduled).
+    states: Vec<SeqState>,
+    /// Entries in the heap whose state is [`SeqState::Cancelled`].
+    n_cancelled: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -58,17 +71,15 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            next_seq: 0,
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            states: Vec::new(),
+            n_cancelled: 0,
         }
     }
 
     /// Schedule `event` to fire at absolute time `at`.
     pub fn push(&mut self, at: SimTime, event: E) -> EventId {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.live.insert(seq);
+        let seq = self.states.len() as u64;
+        self.states.push(SeqState::Live);
         self.heap.push(Entry { at, seq, event });
         EventId(seq)
     }
@@ -76,18 +87,23 @@ impl<E> EventQueue<E> {
     /// Cancel a previously scheduled event. Cancelling an already-fired or
     /// already-cancelled event is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        if self.live.remove(&id.0) {
-            self.cancelled.insert(id.0);
+        let slot = &mut self.states[id.0 as usize];
+        if *slot == SeqState::Live {
+            *slot = SeqState::Cancelled;
+            self.n_cancelled += 1;
         }
     }
 
     /// Remove and return the earliest pending event with its firing time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            let slot = &mut self.states[entry.seq as usize];
+            let cancelled = *slot == SeqState::Cancelled;
+            *slot = SeqState::Done;
+            if cancelled {
+                self.n_cancelled -= 1;
                 continue;
             }
-            self.live.remove(&entry.seq);
             return Some((entry.at, entry.event));
         }
         None
@@ -96,9 +112,10 @@ impl<E> EventQueue<E> {
     /// Firing time of the earliest pending event, skipping cancelled ones.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
+            if self.states[entry.seq as usize] == SeqState::Cancelled {
                 let e = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&e.seq);
+                self.states[e.seq as usize] = SeqState::Done;
+                self.n_cancelled -= 1;
                 continue;
             }
             return Some(entry.at);
@@ -109,7 +126,7 @@ impl<E> EventQueue<E> {
     /// Number of entries in the heap, including not-yet-skipped cancellations.
     #[allow(clippy::len_without_is_empty)] // is_empty needs &mut self (below)
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.n_cancelled
     }
 
     /// True if no live events remain. Takes `&mut self` because checking

@@ -16,7 +16,6 @@
 //! events.
 
 use crate::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// Identifier of a job within one [`SharedResource`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -45,7 +44,11 @@ impl Job {
 #[derive(Debug, Clone)]
 pub struct SharedResource {
     capacity: f64,
-    jobs: BTreeMap<JobId, Job>,
+    /// Jobs sorted by ascending id. Ids are allocated monotonically, so
+    /// insertion is always a push at the tail; the job count per resource is
+    /// small (a host's runnable tasks), so the flat layout beats a tree on
+    /// every hot path while iterating in exactly the same order.
+    jobs: Vec<(JobId, Job)>,
     /// Sum of weights over *active* (unfinished) jobs.
     active_weight: f64,
     active_count: usize,
@@ -62,7 +65,7 @@ impl SharedResource {
         assert!(capacity > 0.0, "capacity must be positive");
         SharedResource {
             capacity,
-            jobs: BTreeMap::new(),
+            jobs: Vec::new(),
             active_weight: 0.0,
             active_count: 0,
             next_id: 0,
@@ -114,9 +117,14 @@ impl SharedResource {
         self.served_total
     }
 
+    /// Index of `id` in the sorted job list.
+    fn index_of(&self, id: JobId) -> Option<usize> {
+        self.jobs.binary_search_by_key(&id, |&(jid, _)| jid).ok()
+    }
+
     /// Instantaneous service rate for `id`, in units per second.
     pub fn rate_of(&self, id: JobId) -> f64 {
-        match self.jobs.get(&id) {
+        match self.index_of(id).map(|i| &self.jobs[i].1) {
             Some(j) if j.active() && self.active_weight > 0.0 => {
                 self.capacity * j.weight / self.active_weight
             }
@@ -126,7 +134,7 @@ impl SharedResource {
 
     /// Remaining service units for `id` as of the last settlement.
     pub fn remaining_of(&self, id: JobId) -> Option<f64> {
-        self.jobs.get(&id).and_then(|j| j.remaining)
+        self.index_of(id).and_then(|i| self.jobs[i].1.remaining)
     }
 
     /// Settle service accrued in `[last_advance, now]`, processing any
@@ -135,20 +143,25 @@ impl SharedResource {
     /// Panics in debug builds if `now` is before the last settlement.
     pub fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_advance, "time ran backwards");
+        if now == self.last_advance {
+            // Coincident settlement (sample tick at an event's timestamp):
+            // nothing can have accrued, skip the interval walk.
+            return;
+        }
         let mut remaining_dt = now.since(self.last_advance).as_secs_f64();
         self.last_advance = now;
         while remaining_dt > 0.0 && self.active_count > 0 {
             // Time until the next in-interval completion at current shares.
             let per_weight_rate = self.capacity / self.active_weight;
             let mut dt_next = f64::INFINITY;
-            for job in self.jobs.values() {
+            for (_, job) in &self.jobs {
                 if let (true, Some(rem)) = (job.active(), job.remaining) {
                     dt_next = dt_next.min(rem / (per_weight_rate * job.weight));
                 }
             }
             let step = remaining_dt.min(dt_next);
             let per_weight = per_weight_rate * step;
-            for job in self.jobs.values_mut() {
+            for (_, job) in &mut self.jobs {
                 if !job.active() {
                     continue;
                 }
@@ -184,7 +197,7 @@ impl SharedResource {
         let id = JobId(self.next_id);
         self.next_id += 1;
         let finished = amount == Some(0.0);
-        self.jobs.insert(
+        self.jobs.push((
             id,
             Job {
                 remaining: amount,
@@ -192,7 +205,7 @@ impl SharedResource {
                 served: 0.0,
                 finished,
             },
-        );
+        ));
         if !finished {
             self.active_weight += weight;
             self.active_count += 1;
@@ -205,7 +218,8 @@ impl SharedResource {
     /// job returns `None`.
     pub fn remove_job(&mut self, now: SimTime, id: JobId) -> Option<f64> {
         self.advance(now);
-        let job = self.jobs.remove(&id)?;
+        let i = self.index_of(id)?;
+        let (_, job) = self.jobs.remove(i);
         if job.active() {
             self.active_weight -= job.weight;
             self.active_count -= 1;
@@ -228,7 +242,7 @@ impl SharedResource {
         let already = now.since(self.last_advance).as_secs_f64();
         let per_weight_rate = self.capacity / self.active_weight;
         let mut best: Option<(f64, JobId)> = None;
-        for (&id, job) in &self.jobs {
+        for &(id, ref job) in &self.jobs {
             if !job.active() {
                 continue;
             }
@@ -246,8 +260,18 @@ impl SharedResource {
         self.jobs
             .iter()
             .filter(|(_, j)| j.finished)
-            .map(|(&id, _)| id)
+            .map(|&(id, _)| id)
             .collect()
+    }
+
+    /// Lowest-id finished job, if any — the allocation-free way to reap
+    /// completions one at a time (same ascending-id order as
+    /// [`finished_jobs`](Self::finished_jobs)).
+    pub fn first_finished_job(&self) -> Option<JobId> {
+        self.jobs
+            .iter()
+            .find(|(_, j)| j.finished)
+            .map(|&(id, _)| id)
     }
 }
 
@@ -318,7 +342,7 @@ mod tests {
         let _short = r.add_job(t(0.0), Some(1.0), 1.0);
         let long = r.add_job(t(0.0), Some(10.0), 1.0);
         r.advance(t(2.0)); // short finished at t=2 exactly
-        // long got 1.0 in [0,2]; now runs alone.
+                           // long got 1.0 in [0,2]; now runs alone.
         let (f, id) = r.next_completion(t(2.0)).unwrap();
         assert_eq!(id, long);
         assert_eq!(f, t(11.0));

@@ -145,6 +145,11 @@ impl Host {
         self.cpu.finished_jobs()
     }
 
+    /// Lowest-id completed CPU job (allocation-free reaping).
+    pub fn first_finished_cpu_job(&self) -> Option<JobId> {
+        self.cpu.first_finished_job()
+    }
+
     /// Length of the run queue (jobs actively consuming CPU).
     pub fn run_queue(&self) -> usize {
         self.cpu.active_len()
@@ -318,7 +323,14 @@ mod tests {
             state: ProcState::Runnable,
             migratable: true,
         });
-        h.mem_reserve(7, MemUse { rss_kb: 1000, vsz_kb: 1000 }).unwrap();
+        h.mem_reserve(
+            7,
+            MemUse {
+                rss_kb: 1000,
+                vsz_kb: 1000,
+            },
+        )
+        .unwrap();
         assert_eq!(h.mem().phys_avail_kb(), 131_072 - 1000);
         let gone = h.proc_remove(7).unwrap();
         assert_eq!(gone.pid, 7);

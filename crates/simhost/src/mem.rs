@@ -92,7 +92,8 @@ impl Memory {
             });
         }
         // Page out whatever does not fit physically.
-        let phys_free = self.phys_total_kb - (self.rss_used_kb - prev.rss_kb).min(self.phys_total_kb);
+        let phys_free =
+            self.phys_total_kb - (self.rss_used_kb - prev.rss_kb).min(self.phys_total_kb);
         use_.rss_kb = use_.rss_kb.min(phys_free);
         self.rss_used_kb = self.rss_used_kb - prev.rss_kb + use_.rss_kb;
         self.vsz_used_kb = new_vsz;
@@ -124,7 +125,14 @@ mod tests {
     #[test]
     fn reserve_and_release() {
         let mut m = Memory::new(1000, 1000);
-        m.reserve(1, MemUse { rss_kb: 400, vsz_kb: 600 }).unwrap();
+        m.reserve(
+            1,
+            MemUse {
+                rss_kb: 400,
+                vsz_kb: 600,
+            },
+        )
+        .unwrap();
         assert_eq!(m.phys_avail_kb(), 600);
         assert_eq!(m.virt_avail_kb(), 1400);
         m.release(1);
@@ -135,8 +143,22 @@ mod tests {
     #[test]
     fn re_reserve_replaces() {
         let mut m = Memory::new(1000, 0);
-        m.reserve(1, MemUse { rss_kb: 300, vsz_kb: 300 }).unwrap();
-        m.reserve(1, MemUse { rss_kb: 500, vsz_kb: 500 }).unwrap();
+        m.reserve(
+            1,
+            MemUse {
+                rss_kb: 300,
+                vsz_kb: 300,
+            },
+        )
+        .unwrap();
+        m.reserve(
+            1,
+            MemUse {
+                rss_kb: 500,
+                vsz_kb: 500,
+            },
+        )
+        .unwrap();
         assert_eq!(m.phys_avail_kb(), 500);
         assert_eq!(m.usage_of(1).rss_kb, 500);
     }
@@ -144,16 +166,36 @@ mod tests {
     #[test]
     fn vsz_at_least_rss() {
         let mut m = Memory::new(1000, 1000);
-        m.reserve(1, MemUse { rss_kb: 400, vsz_kb: 100 }).unwrap();
+        m.reserve(
+            1,
+            MemUse {
+                rss_kb: 400,
+                vsz_kb: 100,
+            },
+        )
+        .unwrap();
         assert_eq!(m.usage_of(1).vsz_kb, 400);
     }
 
     #[test]
     fn oom_when_virtual_exhausted() {
         let mut m = Memory::new(500, 500);
-        m.reserve(1, MemUse { rss_kb: 0, vsz_kb: 900 }).unwrap();
+        m.reserve(
+            1,
+            MemUse {
+                rss_kb: 0,
+                vsz_kb: 900,
+            },
+        )
+        .unwrap();
         let err = m
-            .reserve(2, MemUse { rss_kb: 0, vsz_kb: 200 })
+            .reserve(
+                2,
+                MemUse {
+                    rss_kb: 0,
+                    vsz_kb: 200,
+                },
+            )
             .unwrap_err();
         assert_eq!(err.available_kb, 100);
     }
@@ -161,9 +203,23 @@ mod tests {
     #[test]
     fn residency_pages_out_when_physical_full() {
         let mut m = Memory::new(500, 1000);
-        m.reserve(1, MemUse { rss_kb: 400, vsz_kb: 400 }).unwrap();
+        m.reserve(
+            1,
+            MemUse {
+                rss_kb: 400,
+                vsz_kb: 400,
+            },
+        )
+        .unwrap();
         // Only 100 kb physical left; the rest of this rss is paged.
-        m.reserve(2, MemUse { rss_kb: 300, vsz_kb: 300 }).unwrap();
+        m.reserve(
+            2,
+            MemUse {
+                rss_kb: 300,
+                vsz_kb: 300,
+            },
+        )
+        .unwrap();
         assert_eq!(m.usage_of(2).rss_kb, 100);
         assert_eq!(m.phys_avail_kb(), 0);
         assert_eq!(m.virt_avail_kb(), 1500 - 700);

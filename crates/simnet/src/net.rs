@@ -1,7 +1,32 @@
 //! Flow-level network simulation (see crate docs for the sharing model).
+//!
+//! # Incremental bookkeeping
+//!
+//! The settlement and rate machinery is O(touched), not O(all flows):
+//!
+//! * Each NIC keeps lists of the active flows that transmit from / receive at
+//!   it. A membership change (flow start, end, or in-interval completion)
+//!   only re-rates the flows sharing a NIC whose count changed. Because a
+//!   flow's fair-share rate is a pure function of its two NICs' counts —
+//!   `(cap/n_tx).min(cap/n_rx)` — the incremental update is bit-identical to
+//!   a from-scratch [`recompute`](Network::start_flow).
+//! * A min-heap of projected completions (keyed by `remaining/rate` at the
+//!   settlement point) lets [`Network::advance`] find the next in-interval
+//!   completion with an O(1) peek instead of scanning every flow, and lets
+//!   [`Network::next_completion`] consider only bounded flows. Entries are
+//!   rebuilt whenever any bounded flow's `(remaining, rate)` changes, so the
+//!   heap is always exact at the current settlement point.
+//! * The `active` flow list is kept in ascending [`FlowId`] order, matching
+//!   the old full-map iteration, so per-NIC byte counters accumulate in the
+//!   same float order and settlements stay bit-identical.
+//!
+//! [`NetworkConfig::baseline_full_scan`] preserves the original
+//! settle-everything algorithm for A/B benchmarking (`bench_scale`); both
+//! paths produce identical results.
 
 use ars_simcore::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Index of a node (host NIC) in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -22,6 +47,10 @@ pub struct NetworkConfig {
     pub nic_bytes_per_sec: f64,
     /// One-way propagation + protocol latency per message.
     pub latency: SimDuration,
+    /// Use the original O(all flows) settlement/rate loops instead of the
+    /// incremental bookkeeping. Results are identical; this exists so
+    /// `bench_scale` can measure the speedup against a live baseline.
+    pub baseline_full_scan: bool,
 }
 
 impl Default for NetworkConfig {
@@ -29,6 +58,7 @@ impl Default for NetworkConfig {
         NetworkConfig {
             nic_bytes_per_sec: 12_500_000.0,
             latency: SimDuration::from_micros(300),
+            baseline_full_scan: false,
         }
     }
 }
@@ -61,13 +91,25 @@ struct Nic {
     rx_bytes: f64,
     tx_flows: u32,
     rx_flows: u32,
+    /// Active flows transmitting from this NIC, ascending by id.
+    tx_active: Vec<FlowId>,
+    /// Active flows received at this NIC, ascending by id.
+    rx_active: Vec<FlowId>,
 }
 
 /// The cluster network: a set of NICs plus the in-flight flow set.
+#[derive(Debug, Clone)]
 pub struct Network {
     config: NetworkConfig,
     nics: Vec<Nic>,
     flows: BTreeMap<FlowId, Flow>,
+    /// Active flows in ascending id order (the non-finished subset of
+    /// `flows`, in the same order the map iterates them).
+    active: Vec<FlowId>,
+    /// Min-heap over bounded active flows keyed by `(bits(remaining/rate),
+    /// id)`; exact at `last_advance` (see module docs). Positive finite
+    /// floats order identically to their IEEE-754 bit patterns.
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
     next_id: u64,
     last_advance: SimTime,
     version: u64,
@@ -80,6 +122,8 @@ impl Network {
             config,
             nics: vec![Nic::default(); n_nodes],
             flows: BTreeMap::new(),
+            active: Vec::new(),
+            completions: BinaryHeap::new(),
             next_id: 0,
             last_advance: SimTime::ZERO,
             version: 0,
@@ -133,13 +177,9 @@ impl Network {
 
     /// Current rate of a flow in bytes/second (0 for finished/unknown).
     pub fn rate_of(&self, id: FlowId) -> f64 {
-        self.flows.get(&id).map_or(0.0, |f| {
-            if f.active() {
-                f.rate
-            } else {
-                0.0
-            }
-        })
+        self.flows
+            .get(&id)
+            .map_or(0.0, |f| if f.active() { f.rate } else { 0.0 })
     }
 
     /// Bytes transferred by a flow so far.
@@ -147,7 +187,17 @@ impl Network {
         self.flows.get(&id).map_or(0.0, |f| f.transferred)
     }
 
-    fn recompute_rates(&mut self) {
+    /// Fair-share rate from the NIC flow counts (the only inputs).
+    fn fair_rate(&self, src: NodeId, dst: NodeId) -> f64 {
+        let cap = self.config.nic_bytes_per_sec;
+        let n_tx = self.nics[src.0 as usize].tx_flows.max(1) as f64;
+        let n_rx = self.nics[dst.0 as usize].rx_flows.max(1) as f64;
+        (cap / n_tx).min(cap / n_rx)
+    }
+
+    /// From-scratch re-rate of every active flow (baseline path; also the
+    /// reference the incremental path is checked against).
+    fn recompute_rates_full(&mut self) {
         let cap = self.config.nic_bytes_per_sec;
         for flow in self.flows.values_mut() {
             if !flow.active() {
@@ -159,14 +209,138 @@ impl Network {
         }
     }
 
+    /// Re-rate only the flows sharing one of `touched` NICs. Rates of flows
+    /// on untouched NICs cannot have changed (their NIC counts did not), so
+    /// this matches [`recompute_rates_full`](Self::recompute_rates_full)
+    /// bit for bit.
+    fn recompute_rates_touched(&mut self, touched: &[u32]) {
+        let mut todo: Vec<FlowId> = Vec::new();
+        for &n in touched {
+            let nic = &self.nics[n as usize];
+            todo.extend_from_slice(&nic.tx_active);
+            todo.extend_from_slice(&nic.rx_active);
+        }
+        todo.sort_unstable();
+        todo.dedup();
+        for id in todo {
+            let flow = &self.flows[&id];
+            let rate = self.fair_rate(flow.src, flow.dst);
+            self.flows.get_mut(&id).expect("listed flow exists").rate = rate;
+        }
+    }
+
+    fn recompute_after(&mut self, touched: &[u32]) {
+        if self.config.baseline_full_scan {
+            self.recompute_rates_full();
+        } else {
+            self.recompute_rates_touched(touched);
+        }
+    }
+
+    /// Rebuild the projected-completion heap from the current `(remaining,
+    /// rate)` of every bounded active flow. Called whenever those change.
+    fn rebuild_completions(&mut self) {
+        self.completions.clear();
+        for &id in &self.active {
+            let f = &self.flows[&id];
+            if let Some(rem) = f.remaining {
+                if f.rate > 0.0 {
+                    self.completions
+                        .push(Reverse(((rem / f.rate).to_bits(), id.0)));
+                }
+            }
+        }
+    }
+
+    /// Register a newly started active flow in the NIC / active lists.
+    /// Ids are handed out in increasing order, so appending keeps the lists
+    /// ascending.
+    fn link_flow(&mut self, id: FlowId, src: NodeId, dst: NodeId) {
+        self.nics[src.0 as usize].tx_flows += 1;
+        self.nics[dst.0 as usize].rx_flows += 1;
+        self.nics[src.0 as usize].tx_active.push(id);
+        self.nics[dst.0 as usize].rx_active.push(id);
+        self.active.push(id);
+    }
+
+    /// Drop an active flow from the NIC lists and counts (not from `active`;
+    /// callers handle that, as completions batch the removal).
+    fn unlink_flow(&mut self, id: FlowId, src: NodeId, dst: NodeId) {
+        let tx = &mut self.nics[src.0 as usize];
+        tx.tx_flows -= 1;
+        tx.tx_active.retain(|&f| f != id);
+        let rx = &mut self.nics[dst.0 as usize];
+        rx.rx_flows -= 1;
+        rx.rx_active.retain(|&f| f != id);
+    }
+
     /// Settle transfers in `[last_advance, now]`, handling completions that
     /// occur inside the interval (survivors speed up when a flow finishes).
     pub fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_advance, "time ran backwards");
+        if now == self.last_advance {
+            // Coincident settlement (e.g. a sample tick at the same timestamp
+            // as an event): nothing can have accrued.
+            return;
+        }
         let mut remaining_dt = now.since(self.last_advance).as_secs_f64();
         self.last_advance = now;
+        if self.config.baseline_full_scan {
+            self.advance_full_scan(remaining_dt);
+            return;
+        }
+        while remaining_dt > 0.0 && !self.active.is_empty() {
+            // Earliest in-interval completion at current rates: the heap is
+            // exact here (rebuilt whenever remaining/rate changed), so the
+            // peek equals the old min-over-all-flows scan.
+            let dt_next = match self.completions.peek() {
+                Some(&Reverse((bits, _))) => f64::from_bits(bits),
+                None => f64::INFINITY,
+            };
+            let step = remaining_dt.min(dt_next);
+            let mut finished: Vec<FlowId> = Vec::new();
+            let mut touched: Vec<u32> = Vec::new();
+            for &id in &self.active {
+                let f = self.flows.get_mut(&id).expect("active flow exists");
+                let moved = f.rate * step;
+                f.transferred += moved;
+                self.nics[f.src.0 as usize].tx_bytes += moved;
+                self.nics[f.dst.0 as usize].rx_bytes += moved;
+                if let Some(rem) = &mut f.remaining {
+                    *rem -= moved;
+                    if *rem <= COMPLETION_EPS {
+                        *rem = 0.0;
+                        f.finished = true;
+                        finished.push(id);
+                        touched.push(f.src.0);
+                        touched.push(f.dst.0);
+                    }
+                }
+            }
+            if !finished.is_empty() {
+                for &id in &finished {
+                    let (src, dst) = {
+                        let f = &self.flows[&id];
+                        (f.src, f.dst)
+                    };
+                    self.unlink_flow(id, src, dst);
+                }
+                self.active.retain(|id| !finished.contains(id));
+                touched.sort_unstable();
+                touched.dedup();
+                self.recompute_rates_touched(&touched);
+            }
+            remaining_dt -= step;
+            // Every surviving bounded flow's remaining just shrank (and
+            // completions may have re-rated others): refresh the heap so it
+            // is exact at the new settlement point.
+            self.rebuild_completions();
+        }
+    }
+
+    /// The original settle-everything loop, kept for A/B benchmarking.
+    fn advance_full_scan(&mut self, mut remaining_dt: f64) {
         while remaining_dt > 0.0 {
-            // Earliest in-interval completion at current rates.
             let mut dt_next = f64::INFINITY;
             let mut any_active = false;
             for f in self.flows.values() {
@@ -184,8 +358,8 @@ impl Network {
                 break;
             }
             let step = remaining_dt.min(dt_next);
-            let mut membership_changed = false;
-            for f in self.flows.values_mut() {
+            let mut finished: Vec<FlowId> = Vec::new();
+            for (&id, f) in self.flows.iter_mut() {
                 if !f.active() {
                     continue;
                 }
@@ -198,14 +372,20 @@ impl Network {
                     if *rem <= COMPLETION_EPS {
                         *rem = 0.0;
                         f.finished = true;
-                        self.nics[f.src.0 as usize].tx_flows -= 1;
-                        self.nics[f.dst.0 as usize].rx_flows -= 1;
-                        membership_changed = true;
+                        finished.push(id);
                     }
                 }
             }
-            if membership_changed {
-                self.recompute_rates();
+            if !finished.is_empty() {
+                for &id in &finished {
+                    let (src, dst) = {
+                        let f = &self.flows[&id];
+                        (f.src, f.dst)
+                    };
+                    self.unlink_flow(id, src, dst);
+                }
+                self.active.retain(|id| !finished.contains(id));
+                self.recompute_rates_full();
             }
             remaining_dt -= step;
         }
@@ -227,8 +407,7 @@ impl Network {
         self.advance(now);
         let id = FlowId(self.next_id);
         self.next_id += 1;
-        self.nics[src.0 as usize].tx_flows += 1;
-        self.nics[dst.0 as usize].rx_flows += 1;
+        self.link_flow(id, src, dst);
         self.flows.insert(
             id,
             Flow {
@@ -240,21 +419,27 @@ impl Network {
                 finished: false,
             },
         );
-        self.recompute_rates();
+        self.recompute_after(&[src.0, dst.0]);
+        self.rebuild_completions();
         self.version += 1;
         id
     }
 
     /// Remove a flow (finished or aborted), returning bytes it transferred.
+    ///
+    /// Reaping an already-finished flow changes no rates and bumps no
+    /// version: its NIC counts were released when it completed, so pending
+    /// completion events stay valid and need no resync churn.
     pub fn end_flow(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
         self.advance(now);
         let flow = self.flows.remove(&id)?;
         if flow.active() {
-            self.nics[flow.src.0 as usize].tx_flows -= 1;
-            self.nics[flow.dst.0 as usize].rx_flows -= 1;
-            self.recompute_rates();
+            self.unlink_flow(id, flow.src, flow.dst);
+            self.active.retain(|&f| f != id);
+            self.recompute_after(&[flow.src.0, flow.dst.0]);
+            self.rebuild_completions();
+            self.version += 1;
         }
-        self.version += 1;
         Some(flow.transferred)
     }
 
@@ -264,17 +449,32 @@ impl Network {
         debug_assert!(now >= self.last_advance);
         let already = now.since(self.last_advance).as_secs_f64();
         let mut best: Option<(f64, FlowId)> = None;
-        for (&id, f) in &self.flows {
-            if !f.active() {
-                continue;
+        if self.config.baseline_full_scan {
+            for (&id, f) in &self.flows {
+                if !f.active() {
+                    continue;
+                }
+                let Some(rem) = f.remaining else { continue };
+                if f.rate <= 0.0 {
+                    continue;
+                }
+                let dt = (rem / f.rate - already).max(0.0);
+                if best.is_none_or(|(b, _)| dt < b) {
+                    best = Some((dt, id));
+                }
             }
-            let Some(rem) = f.remaining else { continue };
-            if f.rate <= 0.0 {
-                continue;
-            }
-            let dt = (rem / f.rate - already).max(0.0);
-            if best.is_none_or(|(b, _)| dt < b) {
-                best = Some((dt, id));
+        } else {
+            // The winner under the old ascending-id strict-< scan is the
+            // lexicographic minimum of (dt, id), which is order-independent:
+            // fold it over the heap's (unordered) entries. Only bounded
+            // active flows have entries, so this skips persistent streams.
+            for &Reverse((bits, raw)) in self.completions.iter() {
+                let dt = (f64::from_bits(bits) - already).max(0.0);
+                let id = FlowId(raw);
+                match best {
+                    Some((b, bid)) if (b, bid) <= (dt, id) => {}
+                    _ => best = Some((dt, id)),
+                }
             }
         }
         best.map(|(dt, id)| (now + SimDuration::from_secs_f64_ceil(dt), id))
@@ -287,6 +487,65 @@ impl Network {
             .filter(|(_, f)| f.finished)
             .map(|(&id, _)| id)
             .collect()
+    }
+
+    /// Lowest-id finished flow, if any — the allocation-free way to reap
+    /// completions one at a time (same ascending-id order as
+    /// [`finished_flows`](Self::finished_flows)).
+    pub fn first_finished_flow(&self) -> Option<FlowId> {
+        self.flows
+            .iter()
+            .find(|(_, f)| f.finished)
+            .map(|(&id, _)| id)
+    }
+
+    /// Debug check: every stored rate equals the from-scratch fair-share
+    /// recompute, and the NIC lists agree with the flow table. Used by the
+    /// property tests; not part of the public API.
+    #[doc(hidden)]
+    pub fn debug_invariants_hold(&self) -> bool {
+        // Rates match a from-scratch recompute bit for bit.
+        for flow in self.flows.values() {
+            if flow.active() && flow.rate.to_bits() != self.fair_rate(flow.src, flow.dst).to_bits()
+            {
+                return false;
+            }
+        }
+        // `active` is exactly the non-finished flows, ascending.
+        let expect: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.active())
+            .map(|(&id, _)| id)
+            .collect();
+        if self.active != expect {
+            return false;
+        }
+        // NIC counts and lists agree with the flow table.
+        for (n, nic) in self.nics.iter().enumerate() {
+            let node = NodeId(n as u32);
+            let tx: Vec<FlowId> = expect
+                .iter()
+                .copied()
+                .filter(|id| self.flows[id].src == node)
+                .collect();
+            let rx: Vec<FlowId> = expect
+                .iter()
+                .copied()
+                .filter(|id| self.flows[id].dst == node)
+                .collect();
+            if nic.tx_flows as usize != tx.len() || nic.rx_flows as usize != rx.len() {
+                return false;
+            }
+            let mut tx_list = nic.tx_active.clone();
+            let mut rx_list = nic.rx_active.clone();
+            tx_list.sort_unstable();
+            rx_list.sort_unstable();
+            if tx_list != tx || rx_list != rx {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -417,6 +676,31 @@ mod tests {
     }
 
     #[test]
+    fn reaping_finished_flow_keeps_version_and_rates() {
+        let mut net = net(3);
+        let short = net.start_flow(t(0.0), n(0), n(1), Some(CAP));
+        let long = net.start_flow(t(0.0), n(0), n(2), Some(10.0 * CAP));
+        net.advance(t(3.0)); // short completed in-interval at t=2
+        let v = net.version();
+        let rate = net.rate_of(long);
+        let moved = net.end_flow(t(3.0), short).unwrap();
+        assert!((moved - CAP).abs() < 1.0);
+        // The reap removed a finished flow: no rate changed, no resync churn.
+        assert_eq!(net.version(), v);
+        assert_eq!(net.rate_of(long).to_bits(), rate.to_bits());
+    }
+
+    #[test]
+    fn coincident_advance_is_a_no_op() {
+        let mut net = net(2);
+        net.start_flow(t(0.0), n(0), n(1), Some(CAP));
+        net.advance(t(0.5));
+        let moved = net.tx_bytes(n(0));
+        net.advance(t(0.5)); // same timestamp: early return, nothing accrues
+        assert_eq!(net.tx_bytes(n(0)).to_bits(), moved.to_bits());
+    }
+
+    #[test]
     fn conservation_tx_equals_rx() {
         let mut net = net(4);
         net.start_flow(t(0.0), n(0), n(1), Some(5e6));
@@ -426,6 +710,7 @@ mod tests {
         let tx: f64 = (0..4).map(|i| net.tx_bytes(n(i))).sum();
         let rx: f64 = (0..4).map(|i| net.rx_bytes(n(i))).sum();
         assert!((tx - rx).abs() < 1e-6);
+        assert!(net.debug_invariants_hold());
     }
 
     #[test]
@@ -433,5 +718,56 @@ mod tests {
     fn loopback_flows_rejected() {
         let mut net = net(2);
         net.start_flow(t(0.0), n(0), n(0), Some(1.0));
+    }
+
+    #[test]
+    fn incremental_matches_baseline_full_scan() {
+        // Same op sequence on both paths; every observable must agree.
+        let mut inc = Network::new(4, NetworkConfig::default());
+        let mut base = Network::new(
+            4,
+            NetworkConfig {
+                baseline_full_scan: true,
+                ..NetworkConfig::default()
+            },
+        );
+        let ops: &[(f64, u32, u32, Option<f64>)] = &[
+            (0.0, 0, 1, Some(5e6)),
+            (0.0, 0, 2, None),
+            (0.2, 1, 2, Some(2e6)),
+            (0.5, 3, 2, Some(9e6)),
+            (0.9, 2, 0, Some(1e3)),
+        ];
+        let mut ids = Vec::new();
+        for &(at, s, d, bytes) in ops {
+            let a = inc.start_flow(t(at), n(s), n(d), bytes);
+            let b = base.start_flow(t(at), n(s), n(d), bytes);
+            assert_eq!(a, b);
+            ids.push(a);
+        }
+        for step in 1..=40 {
+            let now = t(0.9 + step as f64 * 0.1);
+            inc.advance(now);
+            base.advance(now);
+            assert_eq!(inc.next_completion(now), base.next_completion(now));
+            for &id in &ids {
+                assert_eq!(inc.rate_of(id).to_bits(), base.rate_of(id).to_bits());
+                assert_eq!(
+                    inc.transferred_of(id).to_bits(),
+                    base.transferred_of(id).to_bits()
+                );
+            }
+            for node in 0..4 {
+                assert_eq!(
+                    inc.tx_bytes(n(node)).to_bits(),
+                    base.tx_bytes(n(node)).to_bits()
+                );
+                assert_eq!(
+                    inc.rx_bytes(n(node)).to_bits(),
+                    base.rx_bytes(n(node)).to_bits()
+                );
+            }
+            assert!(inc.debug_invariants_hold());
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for the network model.
 
-use ars_simnet::{Network, NetworkConfig, NodeId};
 use ars_simcore::SimTime;
+use ars_simnet::{Network, NetworkConfig, NodeId};
 use proptest::prelude::*;
 
 fn t_us(us: u64) -> SimTime {
@@ -72,5 +72,70 @@ proptest! {
         let tx = net.tx_bytes(NodeId(0));
         let cap = 12_500_000.0 * window_us as f64 / 1e6;
         prop_assert!(tx <= cap * (1.0 + 1e-9) + 1.0, "tx {tx} cap {cap}");
+    }
+
+    /// The incremental per-NIC fair-share bookkeeping stays bit-identical to
+    /// the settle-everything rescan under arbitrary interleavings of flow
+    /// starts, flow ends and advances: same rates (to the bit), same served
+    /// byte counts, same projected completions — and the incremental side's
+    /// internal invariants hold throughout.
+    #[test]
+    fn incremental_rates_match_full_rescan(
+        n_nodes in 2usize..6,
+        ops in proptest::collection::vec(
+            (0u8..3, 0u32..8, 0u32..8, 1_000.0f64..2_000_000.0, 1u64..500_000),
+            1..60,
+        ),
+    ) {
+        let mut inc = Network::new(n_nodes, NetworkConfig::default());
+        let mut base = Network::new(
+            n_nodes,
+            NetworkConfig {
+                baseline_full_scan: true,
+                ..NetworkConfig::default()
+            },
+        );
+        let mut now = 0u64;
+        let mut live = Vec::new();
+        for &(kind, s, d, bytes, dt) in &ops {
+            now += dt;
+            let t = t_us(now);
+            match kind {
+                0 => {
+                    let src = NodeId(s % n_nodes as u32);
+                    let dst = NodeId(d % n_nodes as u32);
+                    if src == dst {
+                        continue;
+                    }
+                    // The top of the byte range doubles as "unbounded".
+                    let b = (bytes < 1_500_000.0).then_some(bytes);
+                    let id = inc.start_flow(t, src, dst, b);
+                    prop_assert_eq!(id, base.start_flow(t, src, dst, b));
+                    live.push(id);
+                }
+                1 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.swap_remove((s as usize + d as usize) % live.len());
+                    prop_assert_eq!(inc.end_flow(t, id), base.end_flow(t, id));
+                }
+                _ => {
+                    inc.advance(t);
+                    base.advance(t);
+                }
+            }
+            prop_assert!(inc.debug_invariants_hold());
+            for &id in &live {
+                prop_assert_eq!(
+                    inc.rate_of(id).to_bits(),
+                    base.rate_of(id).to_bits(),
+                    "rate diverges for {:?}",
+                    id
+                );
+                prop_assert_eq!(inc.transferred_of(id).to_bits(), base.transferred_of(id).to_bits());
+            }
+            prop_assert_eq!(inc.next_completion(t), base.next_completion(t));
+        }
     }
 }

@@ -120,8 +120,8 @@ impl Sensors {
 
         // netstat: established sockets.
         let flows = net.tx_flow_count(node) + net.rx_flow_count(node);
-        let sockets = self.ambient.base_sockets as f64
-            + self.ambient.sockets_per_flow as f64 * flows as f64;
+        let sockets =
+            self.ambient.base_sockets as f64 + self.ambient.sockets_per_flow as f64 * flows as f64;
         m.set("ntStatIpv4:ESTABLISHED", sockets);
 
         // sar: NIC rates.
@@ -134,10 +134,7 @@ impl Sensors {
         // memory & df: availability percentages.
         m.set("memAvail", 100.0 * host.mem().phys_avail_frac());
         m.set("virtMemAvail", 100.0 * host.mem().virt_avail_frac());
-        m.set(
-            "diskAvailKb",
-            host.disks().total_avail_kb() as f64,
-        );
+        m.set("diskAvailKb", host.disks().total_avail_kb() as f64);
 
         m
     }

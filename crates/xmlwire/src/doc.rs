@@ -104,6 +104,17 @@ impl XmlElement {
         s
     }
 
+    /// Borrowed text content when this element holds exactly one text child —
+    /// the `<key>value</key>` shape of every protocol field. Returns `None`
+    /// for mixed or element-only content; callers fall back to
+    /// [`text_content`](Self::text_content).
+    pub fn text_str(&self) -> Option<&str> {
+        match self.children.as_slice() {
+            [XmlNode::Text(t)] => Some(t),
+            _ => None,
+        }
+    }
+
     /// Text content of the first child element with the given name.
     pub fn field_text(&self, name: &str) -> Option<String> {
         self.find(name).map(XmlElement::text_content)
@@ -111,12 +122,24 @@ impl XmlElement {
 
     /// Parse the text of child `name` as `T`.
     pub fn field_parse<T: std::str::FromStr>(&self, name: &str) -> Result<T, XmlError> {
-        let text = self
-            .field_text(name)
+        let child = self
+            .find(name)
             .ok_or_else(|| XmlError::MissingField(name.to_string()))?;
+        // Borrow the text in the single-text-child case; only the error path
+        // and mixed content allocate.
+        let text = match child.text_str() {
+            Some(t) => t,
+            None => {
+                let owned = child.text_content();
+                return owned
+                    .trim()
+                    .parse()
+                    .map_err(|_| XmlError::BadField(name.to_string(), owned));
+            }
+        };
         text.trim()
             .parse()
-            .map_err(|_| XmlError::BadField(name.to_string(), text))
+            .map_err(|_| XmlError::BadField(name.to_string(), text.to_string()))
     }
 
     /// Serialize to a compact single-line document (no declaration).
@@ -161,6 +184,12 @@ impl XmlElement {
 }
 
 fn escape_into(s: &str, out: &mut String, in_attr: bool) {
+    // Protocol values are almost always clean ASCII: copy wholesale unless a
+    // character actually needs escaping.
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"')) {
+        out.push_str(s);
+        return;
+    }
     for c in s.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -265,7 +294,8 @@ impl<'a> Parser<'a> {
         self.skip_ws_and_comments()
     }
 
-    fn name(&mut self) -> Result<String, XmlError> {
+    /// Scan a name token, returning its byte range.
+    fn name_span(&mut self) -> Result<(usize, usize), XmlError> {
         let start = self.pos;
         while let Some(c) = self.peek() {
             if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
@@ -277,7 +307,12 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return Err(self.err("expected a name"));
         }
-        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+        Ok((start, self.pos))
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let (start, end) = self.name_span()?;
+        Ok(String::from_utf8_lossy(&self.bytes[start..end]).into_owned())
     }
 
     fn expect(&mut self, c: u8) -> Result<(), XmlError> {
@@ -344,8 +379,11 @@ impl<'a> Parser<'a> {
             }
             if self.starts_with("</") {
                 self.pos += 2;
-                let end_name = self.name()?;
-                if end_name != el.name {
+                // Compare the end tag in place; allocating is only needed to
+                // report a mismatch.
+                let (start, end) = self.name_span()?;
+                if self.bytes[start..end] != *el.name.as_bytes() {
+                    let end_name = String::from_utf8_lossy(&self.bytes[start..end]);
                     return Err(self.err(&format!(
                         "mismatched end tag </{end_name}> for <{}>",
                         el.name
@@ -382,9 +420,7 @@ impl<'a> Parser<'a> {
 }
 
 fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 fn decode_entities(raw: &[u8], at: usize) -> Result<String, XmlError> {

@@ -279,13 +279,14 @@ impl Message {
                 metrics,
                 procs,
             } => {
-                let mut el = root
-                    .field("host", host)
-                    .field("state", state.as_str());
+                let mut el = root.field("host", host).field("state", state.as_str());
                 let mut metrics_el = XmlElement::new("metrics");
                 for (name, value) in metrics.iter() {
-                    metrics_el =
-                        metrics_el.child(XmlElement::new("metric").attr("name", name).text(value.to_string()));
+                    metrics_el = metrics_el.child(
+                        XmlElement::new("metric")
+                            .attr("name", name)
+                            .text(value.to_string()),
+                    );
                 }
                 el = el.child(metrics_el);
                 let mut procs_el = XmlElement::new("procs");
@@ -395,11 +396,14 @@ impl Message {
                         let name = metric
                             .get_attr("name")
                             .ok_or_else(|| XmlError::MissingField("metric name".to_string()))?;
-                        let text = metric.text_content();
+                        let text = metric.text_str().map_or_else(
+                            || std::borrow::Cow::Owned(metric.text_content()),
+                            std::borrow::Cow::Borrowed,
+                        );
                         let value: f64 = text
                             .trim()
                             .parse()
-                            .map_err(|_| XmlError::BadField(name.to_string(), text))?;
+                            .map_err(|_| XmlError::BadField(name.to_string(), text.to_string()))?;
                         metrics.set(name, value);
                     }
                 }
@@ -504,7 +508,11 @@ mod tests {
 
     #[test]
     fn register_roundtrip() {
-        for role in [EntityRole::Monitor, EntityRole::Commander, EntityRole::Registry] {
+        for role in [
+            EntityRole::Monitor,
+            EntityRole::Commander,
+            EntityRole::Registry,
+        ] {
             roundtrip(Message::Register {
                 role,
                 host: HostStatic {

@@ -190,7 +190,11 @@ mod tests {
         for _ in 0..200 {
             s.record_run(500.0);
         }
-        assert!((s.est_exec_time_s - 500.0).abs() < 10.0, "{}", s.est_exec_time_s);
+        assert!(
+            (s.est_exec_time_s - 500.0).abs() < 10.0,
+            "{}",
+            s.est_exec_time_s
+        );
         assert_eq!(s.history_runs, 200);
     }
 

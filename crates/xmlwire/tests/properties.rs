@@ -38,17 +38,13 @@ fn element_strategy() -> impl Strategy<Value = XmlElement> {
             el
         });
     leaf.prop_recursive(3, 24, 4, |inner| {
-        (
-            name_strategy(),
-            proptest::collection::vec(inner, 0..4),
-        )
-            .prop_map(|(name, children)| {
-                let mut el = XmlElement::new(name);
-                for c in children {
-                    el.children.push(XmlNode::Element(c));
-                }
-                el
-            })
+        (name_strategy(), proptest::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
+            let mut el = XmlElement::new(name);
+            for c in children {
+                el.children.push(XmlNode::Element(c));
+            }
+            el
+        })
     })
 }
 

@@ -15,7 +15,9 @@ const N_JOBS: u32 = 12;
 
 fn main() {
     let mut sim = Sim::new(
-        (0..N_HOSTS).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..N_HOSTS)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             seed: 64,
             trace: true,
@@ -75,7 +77,11 @@ fn main() {
         sim.run_until(SimTime::from_secs(120 + 400 * round));
         let target = HostId(1 + (round % 6) as u32);
         for _ in 0..2 {
-            sim.spawn(target, Box::new(Spinner::default()), SpawnOpts::named("hog"));
+            sim.spawn(
+                target,
+                Box::new(Spinner::default()),
+                SpawnOpts::named("hog"),
+            );
         }
         println!("t={:<5} load burst on ws{}", 120 + 400 * round, target.0);
     }

@@ -12,7 +12,9 @@ use ars::prelude::*;
 fn main() {
     // ws0 runs the registries; ws1-ws2 = domain A, ws3-ws4 = domain B.
     let mut sim = Sim::new(
-        (0..5).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..5)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             trace: true,
             ..SimConfig::default()
@@ -29,7 +31,11 @@ fn main() {
     };
     let parent = sim.spawn(
         HostId(0),
-        Box::new(RegistryScheduler::new(mk_cfg("vo-parent", None), schemas.clone(), hooks.clone())),
+        Box::new(RegistryScheduler::new(
+            mk_cfg("vo-parent", None),
+            schemas.clone(),
+            hooks.clone(),
+        )),
         SpawnOpts::named("ars_registry_parent"),
     );
     let reg_a = sim.spawn(
@@ -72,7 +78,11 @@ fn main() {
             )),
             SpawnOpts::named("ars_monitor"),
         );
-        sim.spawn(host, Box::new(Commander::new(registry)), SpawnOpts::named("ars_commander"));
+        sim.spawn(
+            host,
+            Box::new(Commander::new(registry)),
+            SpawnOpts::named("ars_commander"),
+        );
     };
     attach(&mut sim, HostId(1), reg_a);
     attach(&mut sim, HostId(2), reg_a);
@@ -81,7 +91,11 @@ fn main() {
 
     // Saturate the only other host of domain A.
     for _ in 0..2 {
-        sim.spawn(HostId(2), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(2),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
 
     let app = TestTree::new(TestTreeConfig {
@@ -96,12 +110,23 @@ fn main() {
     });
     schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     println!("test_tree started on ws1 (domain A); ws2 is saturated");
 
     sim.run_until(SimTime::from_secs(120));
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     println!("ws1 overloaded at t=120; domain A has no free host…");
     sim.run_until(SimTime::from_secs(3000));

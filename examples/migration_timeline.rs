@@ -10,7 +10,9 @@ use ars::prelude::*;
 
 fn main() {
     let mut sim = Sim::new(
-        (0..3).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..3)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             trace: true,
             ..SimConfig::default()
@@ -50,13 +52,24 @@ fn main() {
     let app = TestTree::new(cfg);
     dep.schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     println!("t=280.0  test_tree started on ws1");
 
     // Add the load that makes ws1 overloaded.
     sim.run_until(SimTime::from_secs(300));
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     println!("t=300.0  additional long tasks loaded onto ws1");
 

@@ -12,7 +12,9 @@ use ars::prelude::*;
 
 fn main() {
     let mut sim = Sim::new(
-        (0..6).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..6)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             trace: true,
             ..SimConfig::default()
@@ -47,7 +49,10 @@ fn main() {
         tasks.push(task);
         pids.push(pid);
     }
-    println!("4-rank stencil started on ws1..ws4 ({} iterations)", cfg.iters);
+    println!(
+        "4-rank stencil started on ws1..ws4 ({} iterations)",
+        cfg.iters
+    );
 
     // Let it run, then migrate rank 2 (on ws3) to the spare host ws5.
     sim.run_until(SimTime::from_secs(20));

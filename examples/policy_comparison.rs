@@ -22,7 +22,9 @@ struct Outcome {
 
 fn run(policy: Policy) -> Outcome {
     let mut sim = Sim::new(
-        (0..6).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..6)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig::default(),
     );
     let dep = deploy(
@@ -41,7 +43,11 @@ fn run(policy: Policy) -> Outcome {
     );
 
     // ws2 <-> ws5 bulk stream + sub-threshold CPU noise (paper: load 0.97).
-    let sink = sim.spawn(HostId(5), Box::new(Sink::default()), SpawnOpts::named("sink"));
+    let sink = sim.spawn(
+        HostId(5),
+        Box::new(Sink::default()),
+        SpawnOpts::named("sink"),
+    );
     sim.spawn(
         HostId(2),
         Box::new(CommFlood::new(sink, 7_200_000.0, 12_500_000.0)),
@@ -54,7 +60,11 @@ fn run(policy: Policy) -> Outcome {
     );
     // ws3: CPU workload of ~2.5.
     for _ in 0..3 {
-        sim.spawn(HostId(3), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(3),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
 
     // The application (~330 s alone on a free reference host).
@@ -73,13 +83,24 @@ fn run(policy: Policy) -> Outcome {
     let hpcm = HpcmHooks::new();
     let started_at = SimTime::from_secs(30);
     sim.run_until(started_at);
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
 
     // Load the source right away ("additional tasks are loaded to the 1st
     // workstation and the system becomes busy").
     sim.run_until(started_at + SimDuration::from_secs(20));
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(SimTime::from_secs(8000));
 
@@ -128,8 +149,7 @@ fn main() {
             o.migrated_to.as_deref().unwrap_or("-"),
             o.source_s,
             o.dest_s,
-            o.migration_s
-                .map_or("-".to_string(), |m| format!("{m:.2}")),
+            o.migration_s.map_or("-".to_string(), |m| format!("{m:.2}")),
         );
     }
     println!("\nPaper reference: 983.6 / 433.27 (→2nd, 8.31 s) / 329.71 (→4th, 6.71 s)");

@@ -10,7 +10,9 @@ use ars::prelude::*;
 fn main() {
     // Four Sun-Blade-class workstations; ws0 hosts the registry/scheduler.
     let mut sim = Sim::new(
-        (0..4).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..4)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             trace: true,
             ..SimConfig::default()
@@ -38,14 +40,25 @@ fn main() {
     let app = TestTree::new(cfg);
     dep.schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
 
     println!("t=0      test_tree started on ws1");
     sim.run_until(SimTime::from_secs(280));
 
     println!("t=280    injecting two CPU hogs on ws1…");
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(SimTime::from_secs(3000));
 
@@ -73,7 +86,11 @@ fn main() {
                 done.finished_at.as_secs_f64(),
                 done.host.0,
                 done.digest,
-                if done.digest == expected { "correct" } else { "CORRUPTED" }
+                if done.digest == expected {
+                    "correct"
+                } else {
+                    "CORRUPTED"
+                }
             );
         }
         None => println!("test_tree still running at t=3000 (unexpected)"),

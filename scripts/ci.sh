@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before it lands.
+#   - build + full test suite (release, so the DES scenarios stay fast)
+#   - rustfmt (no diffs)
+#   - clippy with warnings denied
+# Run from the repository root: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test --release --workspace -q
+
+echo "== rustfmt =="
+# Vendored crates (vendor/*) keep their upstream formatting, so list our
+# packages explicitly instead of using --all.
+fmt_packages=(-p ars)
+for manifest in crates/*/Cargo.toml; do
+    fmt_packages+=(-p "$(sed -n 's/^name = "\(.*\)"/\1/p' "$manifest" | head -1)")
+done
+cargo fmt "${fmt_packages[@]}" -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --exclude proptest --exclude criterion --all-targets -- -D warnings
+
+echo "ci: all green"

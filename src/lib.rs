@@ -85,8 +85,8 @@ pub use ars_xmlwire as xmlwire;
 /// The names most programs need.
 pub mod prelude {
     pub use ars_apps::{
-        Chatter, CommFlood, CpuHog, DaemonNoise, Sink, Spinner, Stencil, StencilConfig,
-        TestTree, TestTreeConfig,
+        Chatter, CommFlood, CpuHog, DaemonNoise, Sink, Spinner, Stencil, StencilConfig, TestTree,
+        TestTreeConfig,
     };
     pub use ars_hpcm::{
         dest_file_path, AppStatus, HpcmConfig, HpcmHooks, HpcmShell, MigratableApp,
@@ -98,8 +98,7 @@ pub mod prelude {
         RegistryScheduler, ReschedHooks, SchemaBook, StateSource,
     };
     pub use ars_rules::{
-        metric_keys, Condition, HostState, MonitoringFrequency, Policy, RuleOp, RuleSet,
-        SimpleRule,
+        metric_keys, Condition, HostState, MonitoringFrequency, Policy, RuleOp, RuleSet, SimpleRule,
     };
     pub use ars_sim::{
         Ctx, Envelope, HostId, Payload, Pid, Program, RecvFilter, Sim, SimConfig, SpawnOpts,

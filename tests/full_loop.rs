@@ -9,7 +9,9 @@ fn t(s: f64) -> SimTime {
 
 fn cluster(n: usize) -> Sim {
     Sim::new(
-        (0..n).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+        (0..n)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
         SimConfig {
             trace: true,
             ..SimConfig::default()
@@ -62,11 +64,22 @@ fn full_autonomic_loop_through_public_api() {
     let app = TestTree::new(cfg);
     dep.schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
 
     sim.run_until(t(60.0));
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(3000.0));
 
@@ -119,7 +132,11 @@ fn mpi_rank_is_autonomically_migrated_with_communicators_intact() {
 
     sim.run_until(t(50.0));
     for _ in 0..2 {
-        sim.spawn(HostId(2), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(2),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(4000.0));
 
@@ -145,7 +162,9 @@ fn mpi_rank_is_autonomically_migrated_with_communicators_intact() {
 fn same_seed_same_story() {
     let story = |seed: u64| -> Vec<(u64, String)> {
         let mut sim = Sim::new(
-            (0..4).map(|i| HostConfig::named(format!("ws{i}"))).collect(),
+            (0..4)
+                .map(|i| HostConfig::named(format!("ws{i}")))
+                .collect(),
             SimConfig {
                 seed,
                 trace: true,
@@ -178,8 +197,16 @@ fn same_seed_same_story() {
             SpawnOpts::named("noise"),
         );
         sim.run_until(t(50.0));
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
         sim.run_until(t(1200.0));
         sim.kernel()
             .trace
@@ -209,9 +236,20 @@ fn rescheduler_survives_process_that_finishes_before_decision() {
     let app = TestTree::new(TestTreeConfig::small()); // finishes in seconds
     dep.schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm.clone());
+    HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
     for _ in 0..2 {
-        sim.spawn(HostId(1), Box::new(Spinner::default()), SpawnOpts::named("hog"));
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
     }
     sim.run_until(t(600.0));
     assert_eq!(hpcm.migration_count(), 0);

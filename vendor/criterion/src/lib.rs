@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the subset of criterion's API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple median-of-samples
+//! wall-clock timer — good enough for regression spotting, with no
+//! statistical machinery or HTML reports.
+//!
+//! `cargo bench` runs every function and prints `name: <median>/iter`.
+//! Under `cargo test` (criterion benches compile as tests too) each bench
+//! executes one iteration as a smoke test, exactly like real criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long to keep sampling one benchmark (override: `CRITERION_SAMPLE_MS`).
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Measure `f`, running it enough times to fill the sample budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke_only {
+            black_box(f());
+            return;
+        }
+        // Calibrate: how many iterations fit in ~1 ms?
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(1) {
+            black_box(f());
+            calib_iters += 1;
+        }
+        self.iters_per_sample = calib_iters.max(1);
+        let budget = sample_budget();
+        let run_start = Instant::now();
+        while run_start.elapsed() < budget && self.samples.len() < 100 {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.smoke_only {
+            println!("{name}: ok (smoke)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            println!("{name}: no samples");
+            return;
+        }
+        s.sort();
+        let median = s[s.len() / 2];
+        let (lo, hi) = (s[s.len() / 20], s[s.len() - 1 - s.len() / 20]);
+        println!(
+            "{name}: {} /iter  [{} .. {}]  ({} samples x {} iters)",
+            fmt_dur(median),
+            fmt_dur(lo),
+            fmt_dur(hi),
+            s.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    smoke_only: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes "--bench"; `cargo test` passes test-harness
+        // flags instead. Run full measurements only under `cargo bench`.
+        let args: Vec<String> = std::env::args().collect();
+        let bench_mode = args.iter().any(|a| a == "--bench");
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            smoke_only: !bench_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filt) = &self.filter {
+            if !name.contains(filt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            smoke_only: self.smoke_only,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Start a named group (a flat namespace here).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Group of related benchmarks (`group/name` reporting).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

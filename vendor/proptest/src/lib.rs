@@ -1,0 +1,682 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! implements exactly the slice of proptest's API that the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `prop_recursive`, range and tuple strategies,
+//! `collection::vec`, `option::of`, a tiny `string_regex` subset,
+//! `prop_oneof!`, `any::<T>()`, and the [`proptest!`] test macro.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking — a failing case reports its seed instead;
+//! - a fixed deterministic case count (`PROPTEST_CASES` env overrides);
+//! - `string_regex` supports only character-class sequences like
+//!   `[A-Za-z][A-Za-z0-9_.-]{0,15}`, which is all the tests need.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+// --- Deterministic generator -------------------------------------------------
+
+/// Splitmix64 — small, fast, and plenty for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// --- Test-case errors ---------------------------------------------------------
+
+/// Failure raised by `prop_assert!`-style macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> Self {
+        TestCaseError(s)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(s: &str) -> Self {
+        TestCaseError(s.to_string())
+    }
+}
+
+// --- Strategy trait -----------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.gen_value(rng)))
+    }
+
+    /// Recursive strategies: expand `self` (the leaf) `depth` times through
+    /// `f`. Unlike real proptest there is no size budget — the fixed-depth
+    /// expansion bounds recursion on its own.
+    fn prop_recursive<F, S2>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = f(strat).boxed();
+        }
+        strat
+    }
+}
+
+/// Clonable type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!` backend).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].gen_value(rng)
+    }
+}
+
+// --- Range strategies ---------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn gen_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+// --- Tuple strategies ---------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.gen_value(rng),)*)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+// --- any::<T>() ---------------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary_value(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        // Finite floats across a wide dynamic range.
+        let mag = (rng.unit_f64() * 600.0) - 300.0;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * 10f64.powf(mag)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// --- collection / option / sample / string ------------------------------------
+
+/// `proptest::collection` subset.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element count for [`vec`]: an exact size or a half-open range.
+    pub trait IntoSizeRange {
+        /// Pick a concrete length.
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy for vectors of `element` with `size` elements.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Generate vectors from an element strategy.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick_len(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option` subset.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>` (3:1 Some:None, like proptest's default).
+    pub struct OptionStrategy<S>(S);
+
+    /// Wrap a strategy's values in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.gen_value(rng))
+            }
+        }
+    }
+}
+
+/// `proptest::sample` subset.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Project onto `[0, len)`; `len` must be non-zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "indexing an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary_value(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// `proptest::string` subset.
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// Error from [`string_regex`] on an unsupported pattern.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a character-class regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let span = atom.max - atom.min + 1;
+                let n = atom.min + rng.below(span as u64) as usize;
+                for _ in 0..n {
+                    out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Parse a regex of the form `([class]{m,n}?)*` where `class` is a
+    /// bracketed set of literals and ranges. Covers every pattern the
+    /// workspace tests use.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut atoms = Vec::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| Error("unclosed [".into()))?
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                }
+                c if c.is_ascii_alphanumeric() || c == ' ' || c == '_' => {
+                    i += 1;
+                    vec![c]
+                }
+                c => return Err(Error(format!("unsupported regex char {c:?}"))),
+            };
+            if set.is_empty() {
+                return Err(Error("empty character class".into()));
+            }
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error("unclosed {".into()))?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().map_err(|_| Error("bad repeat".into()))?,
+                        hi.parse().map_err(|_| Error("bad repeat".into()))?,
+                    ),
+                    None => {
+                        let n: usize = body.parse().map_err(|_| Error("bad repeat".into()))?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+}
+
+/// String literals act as regex strategies, as in real proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {}", e.0))
+            .gen_value(rng)
+    }
+}
+
+// --- Runner -------------------------------------------------------------------
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    /// Number of cases per property (override with `PROPTEST_CASES`).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Base seed (override with `PROPTEST_SEED` to replay a failure).
+    pub fn base_seed() -> u64 {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xA5EED)
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, collection, option, prop_assert, prop_assert_eq, prop_oneof, proptest, sample, string,
+        Just, Strategy, TestCaseError, TestRng,
+    };
+    /// `prop::sample::Index`-style paths.
+    pub mod prop {
+        pub use crate::{collection, option, sample, string};
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert inside a property (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}) at {}:{}",
+                stringify!($a), stringify!($b), a, b, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}; {}) at {}:{}",
+                stringify!($a), stringify!($b), a, b, format!($($fmt)*), file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Define property tests. Each runs `test_runner::cases()` deterministic
+/// cases; a failure reports the per-case seed for replay via `PROPTEST_SEED`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let base = $crate::test_runner::base_seed();
+                for case in 0..cases {
+                    let seed = base
+                        .wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let mut rng = $crate::TestRng::new(seed);
+                    $(let $arg = $crate::Strategy::gen_value(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body #[allow(unreachable_code)] Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property {} failed on case {case} (PROPTEST_SEED={seed}): {e}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn regex_shapes(s in "[A-Za-z][A-Za-z0-9_.-]{0,15}") {
+            prop_assert!(!s.is_empty() && s.len() <= 16);
+            prop_assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1u32), (5u32..9), any::<bool>().prop_map(|b| b as u32)]) {
+            prop_assert!(v <= 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
