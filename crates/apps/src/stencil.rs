@@ -9,7 +9,7 @@
 //! there are no half-exchanged messages, so a restored rank simply replays
 //! the current iteration.
 
-use ars_hpcm::{AppStatus, MigratableApp, SavedState, StateReader, StateWriter};
+use ars_hpcm::{AppStatus, CodecError, MigratableApp, SavedState, StateReader, StateWriter};
 use ars_mpisim::{Allreduce, CommId, Mpi, Rank, ReduceOp, Step};
 use ars_sim::{Ctx, Payload, Wake};
 use ars_xmlwire::{AppCharacteristic, ApplicationSchema, ResourceRequirements};
@@ -264,20 +264,20 @@ impl MigratableApp for Stencil {
         }
     }
 
-    fn restore(eager: &[u8], mpi: Option<&Mpi>) -> Self {
+    fn restore(eager: &[u8], mpi: Option<&Mpi>) -> Result<Self, CodecError> {
         let mpi = mpi.expect("stencil needs the MPI world").clone();
         let mut r = StateReader::new(eager);
         let cfg = StencilConfig {
-            iters: r.u32().expect("iters"),
-            compute_per_iter: r.f64().expect("compute"),
-            halo_bytes: r.u64().expect("halo"),
-            allreduce_every: r.u32().expect("every"),
-            rss_kb: r.u64().expect("rss"),
+            iters: r.u32()?,
+            compute_per_iter: r.f64()?,
+            halo_bytes: r.u64()?,
+            allreduce_every: r.u32()?,
+            rss_kb: r.u64()?,
         };
-        let comm = CommId(r.u32().expect("comm"));
-        let iter = r.u32().expect("iter");
-        let residual = r.f64().expect("residual");
-        Stencil {
+        let comm = CommId(r.u32()?);
+        let iter = r.u32()?;
+        let residual = r.f64()?;
+        Ok(Stencil {
             cfg,
             mpi,
             comm,
@@ -286,7 +286,7 @@ impl MigratableApp for Stencil {
             exchange_left: 0,
             allreduce: None,
             residual,
-        }
+        })
     }
 
     fn progress(&self) -> f64 {
@@ -312,7 +312,7 @@ mod tests {
         s.iter = 4;
         s.residual = 0.125;
         let saved = s.save();
-        let back = Stencil::restore(&saved.eager, Some(&mpi));
+        let back = Stencil::restore(&saved.eager, Some(&mpi)).expect("valid checkpoint");
         assert_eq!(back.cfg, s.cfg);
         assert_eq!(back.iter, 4);
         assert_eq!(back.residual, 0.125);

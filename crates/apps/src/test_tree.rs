@@ -12,7 +12,7 @@
 //! migration state; the rest of the resident set is the lazily streamed
 //! remainder.
 
-use ars_hpcm::{AppStatus, MigratableApp, SavedState, StateReader, StateWriter};
+use ars_hpcm::{AppStatus, CodecError, MigratableApp, SavedState, StateReader, StateWriter};
 use ars_sim::{Ctx, Wake};
 use ars_xmlwire::{AppCharacteristic, ApplicationSchema, ResourceRequirements};
 
@@ -296,27 +296,27 @@ impl MigratableApp for TestTree {
         }
     }
 
-    fn restore(eager: &[u8], _mpi: Option<&ars_mpisim::Mpi>) -> Self {
+    fn restore(eager: &[u8], _mpi: Option<&ars_mpisim::Mpi>) -> Result<Self, CodecError> {
         let mut r = StateReader::new(eager);
         let cfg = TestTreeConfig {
-            trees: r.u32().expect("trees"),
-            levels: r.u32().expect("levels"),
-            node_cost_build: r.f64().expect("build cost"),
-            node_cost_sort: r.f64().expect("sort cost"),
-            node_cost_sum: r.f64().expect("sum cost"),
-            chunk_nodes: r.u64().expect("chunk"),
-            rss_kb: r.u64().expect("rss"),
-            seed: r.u64().expect("seed"),
+            trees: r.u32()?,
+            levels: r.u32()?,
+            node_cost_build: r.f64()?,
+            node_cost_sort: r.f64()?,
+            node_cost_sum: r.f64()?,
+            chunk_nodes: r.u64()?,
+            rss_kb: r.u64()?,
+            seed: r.u64()?,
         };
-        TestTree {
+        Ok(TestTree {
             cfg,
-            phase: Phase::from_code(r.u8().expect("phase")),
-            tree: r.u32().expect("tree"),
-            node: r.u64().expect("node"),
-            values: r.u64s().expect("values"),
-            total_sum: r.u64().expect("sum"),
-            work_done: r.f64().expect("work"),
-        }
+            phase: Phase::from_code(r.u8()?),
+            tree: r.u32()?,
+            node: r.u64()?,
+            values: r.u64s()?,
+            total_sum: r.u64()?,
+            work_done: r.f64()?,
+        })
     }
 
     fn progress(&self) -> f64 {
@@ -357,7 +357,7 @@ mod tests {
         app.complete_chunk();
         app.complete_chunk();
         let saved = app.save();
-        let back = TestTree::restore(&saved.eager, None);
+        let back = TestTree::restore(&saved.eager, None).expect("valid checkpoint");
         assert_eq!(back.cfg, app.cfg);
         assert_eq!(back.phase, app.phase);
         assert_eq!(back.tree, app.tree);

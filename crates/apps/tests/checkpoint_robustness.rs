@@ -1,0 +1,54 @@
+//! Checkpoint-decode robustness for the workload apps: `restore` on a
+//! truncated or bit-flipped checkpoint must return `Err` (or a valid
+//! re-decode for flips in don't-care bytes) — never panic. The wire layer
+//! catches corruption with a checksum before `restore` runs; this is the
+//! defense-in-depth behind it.
+
+use ars_apps::{Stencil, StencilConfig, TestTree, TestTreeConfig};
+use ars_hpcm::MigratableApp;
+use ars_mpisim::Mpi;
+
+fn assert_restore_never_panics<F: Fn(&[u8])>(eager: &[u8], restore: F) {
+    // Every strict truncation.
+    for n in 0..eager.len() {
+        restore(&eager[..n]);
+    }
+    // Every single-bit flip.
+    for i in 0..eager.len() * 8 {
+        let mut bad = eager.to_vec();
+        bad[i / 8] ^= 1 << (i % 8);
+        restore(&bad);
+    }
+}
+
+#[test]
+fn test_tree_restore_survives_corrupt_checkpoints() {
+    let app = TestTree::new(TestTreeConfig::small());
+    let saved = app.save();
+    assert!(TestTree::restore(&saved.eager, None).is_ok());
+    assert_restore_never_panics(&saved.eager, |bytes| {
+        let _ = TestTree::restore(bytes, None);
+    });
+}
+
+#[test]
+fn stencil_restore_survives_corrupt_checkpoints() {
+    let mpi = Mpi::new();
+    let comm = mpi.create_comm(vec![]);
+    let app = Stencil::new(StencilConfig::small(), mpi.clone(), comm);
+    let saved = app.save();
+    assert!(Stencil::restore(&saved.eager, Some(&mpi)).is_ok());
+    assert_restore_never_panics(&saved.eager, |bytes| {
+        let _ = Stencil::restore(bytes, Some(&mpi));
+    });
+}
+
+#[test]
+fn truncations_that_cut_required_fields_error() {
+    // The first bytes of every checkpoint hold required fields; cutting
+    // into them must yield a typed error, not a default-valued app.
+    let saved = TestTree::new(TestTreeConfig::small()).save();
+    for n in 0..8.min(saved.eager.len()) {
+        assert!(TestTree::restore(&saved.eager[..n], None).is_err());
+    }
+}

@@ -243,6 +243,7 @@ pub fn hierarchy(n_hosts: usize, domains: usize, seed: u64) -> HierarchyOutcome 
                     overload_confirm: SimDuration::from_secs(60),
                     adaptive: None,
                     push: true,
+                    commander: None,
                 },
                 schemas.clone(),
             )),
@@ -401,6 +402,7 @@ pub fn selection(
                     overload_confirm: SimDuration::from_secs(40),
                     adaptive: None,
                     push: true,
+                    commander: None,
                 },
                 schemas.clone(),
             )),

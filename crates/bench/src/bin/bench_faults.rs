@@ -1,0 +1,143 @@
+//! Recovery latency and app-completion rate vs fault rate at
+//! N ∈ {64, 256} workstations, under the chaos scenario in
+//! [`ars_bench::faults`]: every app host overloads so every app must
+//! migrate off while a seeded fault plan crashes hosts, stalls monitors
+//! and corrupts control messages.
+//!
+//! Before timing anything the heaviest level is replayed at the smallest N
+//! with tracing on and both traces must match line for line — faults are
+//! part of the deterministic schedule, not noise. Results land in
+//! `BENCH_faults.json` in the working directory.
+
+use ars_bench::faults::{chaos_completion, levels, FaultRun, RUN_S};
+
+const SEED: u64 = 11;
+const SIZES: [usize; 2] = [64, 256];
+
+struct Row {
+    n_hosts: usize,
+    level: &'static str,
+    crash_frac: f64,
+    msg_drop: f64,
+    run: FaultRun,
+}
+
+fn main() {
+    let sweep = levels();
+    let heavy = sweep.last().unwrap();
+    let gate_n = SIZES[0];
+    println!(
+        "replay gate: N = {gate_n}, level {}, tracing on",
+        heavy.name
+    );
+    let a = chaos_completion(gate_n, SEED, heavy, true);
+    let b = chaos_completion(gate_n, SEED, heavy, true);
+    let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+    assert_eq!(ta.len(), tb.len(), "replay trace lengths differ");
+    for (i, (x, y)) in ta.iter().zip(tb).enumerate() {
+        assert_eq!(x, y, "replay diverges at event {i}");
+    }
+    println!(
+        "  identical: {} events, {}/{} apps completed under {} faults\n",
+        ta.len(),
+        a.completed,
+        a.apps,
+        heavy.name
+    );
+
+    println!(
+        "{:>6} {:>9} {:>7} {:>9} {:>9} {:>8} {:>7} {:>11} {:>8} {:>12}",
+        "hosts",
+        "level",
+        "apps",
+        "completed",
+        "committed",
+        "aborted",
+        "retx",
+        "recovery(s)",
+        "crashes",
+        "msgs dropped"
+    );
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        for level in &sweep {
+            let run = chaos_completion(n, SEED, level, false);
+            println!(
+                "{:>6} {:>9} {:>7} {:>9} {:>9} {:>8} {:>7} {:>11} {:>8} {:>12}",
+                n,
+                level.name,
+                run.apps,
+                run.completed,
+                run.committed,
+                run.aborted,
+                run.retransmits,
+                run.mean_recovery_s
+                    .map(|s| format!("{s:.2}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                run.crashes,
+                run.msgs_dropped
+            );
+            rows.push(Row {
+                n_hosts: n,
+                level: level.name,
+                crash_frac: level.crash_frac,
+                msg_drop: level.messages.drop,
+                run,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"bench_faults\",\n");
+    json.push_str(&format!(
+        "  \"scenario\": \"overload + forced migration under seeded faults, {RUN_S} s simulated, seed {SEED}\",\n"
+    ));
+    json.push_str(&format!("  \"replay_gate_n\": {gate_n},\n"));
+    json.push_str("  \"replay_deterministic\": true,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let recovery = r
+            .run
+            .mean_recovery_s
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".to_string());
+        json.push_str(&format!(
+            "    {{\"n_hosts\": {}, \"level\": \"{}\", \"crash_frac\": {:.2}, \
+             \"msg_drop\": {:.3}, \"apps\": {}, \"completed\": {}, \
+             \"completion_rate\": {:.3}, \"committed\": {}, \"aborted\": {}, \
+             \"retransmits\": {}, \"commands_aborted\": {}, \
+             \"mean_recovery_s\": {}, \"crashes\": {}, \"procs_killed\": {}, \
+             \"msgs_dropped\": {}}}{}\n",
+            r.n_hosts,
+            r.level,
+            r.crash_frac,
+            r.msg_drop,
+            r.run.apps,
+            r.run.completed,
+            r.run.completed as f64 / r.run.apps as f64,
+            r.run.committed,
+            r.run.aborted,
+            r.run.retransmits,
+            r.run.commands_aborted,
+            recovery,
+            r.run.crashes,
+            r.run.procs_killed,
+            r.run.msgs_dropped,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    println!("\nwrote BENCH_faults.json");
+
+    for r in &rows {
+        if r.level == "none" && r.run.completed < r.run.apps {
+            eprintln!(
+                "warning: N = {} lost {} app(s) with faults disabled",
+                r.n_hosts,
+                r.run.apps - r.run.completed
+            );
+        }
+    }
+}

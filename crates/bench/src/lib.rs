@@ -19,6 +19,7 @@
 
 pub mod ablations;
 pub mod efficiency;
+pub mod faults;
 pub mod overhead;
 pub mod policies;
 pub mod scale;

@@ -115,6 +115,7 @@ pub fn heartbeat_migration(
                     overload_confirm: SimDuration::from_secs(60),
                     adaptive: None,
                     push: true,
+                    commander: None,
                 },
                 schemas.clone(),
             )),

@@ -59,30 +59,51 @@ impl Program for Commander {
                     ctx.trace(TraceKind::Custom, "commander: undecodable message");
                     return;
                 };
-                if let Message::MigrationCommand {
-                    pid,
-                    dest,
-                    dest_port,
-                    ..
-                } = msg
-                {
-                    // Temp-file handoff + user-defined signal.
-                    let target = Pid(pid);
-                    ctx.write_file(&dest_file_path(target), &format!("{dest}:{dest_port}"));
-                    ctx.signal(target, MIGRATE_SIGNAL);
-                    self.commands_handled += 1;
-                    ctx.trace(
-                        TraceKind::Decision,
-                        format!(
-                            "commander {}: migrate pid{pid} -> {dest}",
-                            ctx.host().name()
-                        ),
-                    );
-                    let ack = Message::Ack {
-                        ok: true,
-                        info: format!("migration of {pid} initiated"),
-                    };
-                    ctx.send(self.registry, CONTROL_TAG, Payload::Text(ack.to_document()));
+                match msg {
+                    Message::MigrationCommand {
+                        pid,
+                        dest,
+                        dest_port,
+                        ..
+                    } => {
+                        // Temp-file handoff + user-defined signal. Commands
+                        // are retransmitted until acknowledged, so this may
+                        // run more than once per migration; the handoff is
+                        // idempotent and the migration shell ignores the
+                        // signal while a transaction is already in flight.
+                        let target = Pid(pid);
+                        ctx.write_file(&dest_file_path(target), &format!("{dest}:{dest_port}"));
+                        ctx.signal(target, MIGRATE_SIGNAL);
+                        self.commands_handled += 1;
+                        ctx.trace(
+                            TraceKind::Decision,
+                            format!(
+                                "commander {}: migrate pid{pid} -> {dest}",
+                                ctx.host().name()
+                            ),
+                        );
+                        let ack = Message::CommandAck {
+                            host: ctx.host().name().to_string(),
+                            pid,
+                            ok: true,
+                        };
+                        ctx.send(self.registry, CONTROL_TAG, Payload::Text(ack.to_document()));
+                    }
+                    Message::ReRegister { .. } => {
+                        // The registry lost its soft state (restart); the
+                        // monitor relayed its nudge to us. Introduce
+                        // ourselves again so commands can be addressed.
+                        ctx.trace(
+                            TraceKind::Recovery,
+                            format!("commander {}: re-registering", ctx.host().name()),
+                        );
+                        let msg = Message::Register {
+                            host: Self::host_static(ctx),
+                            role: EntityRole::Commander,
+                        };
+                        ctx.send(self.registry, CONTROL_TAG, Payload::Text(msg.to_document()));
+                    }
+                    _ => {}
                 }
             }
             _ => {}

@@ -94,6 +94,15 @@ pub fn deploy(
         } else {
             StateSource::Policy(cfg.policy.clone())
         };
+        // Commander first so the monitor can be pointed at it: after a
+        // registry restart the monitor relays the `ReRegister` nudge to the
+        // local commander, which re-sends its own `Register`.
+        let commander = sim.spawn(
+            host,
+            Box::new(Commander::new(registry)),
+            SpawnOpts::named("ars_commander"),
+        );
+        commanders.push(commander);
         let mon_cfg = MonitorConfig {
             registry,
             state_source,
@@ -102,16 +111,12 @@ pub fn deploy(
             overload_confirm: cfg.overload_confirm,
             adaptive: cfg.adaptive.clone(),
             push: cfg.push,
+            commander: Some(commander),
         };
         monitors.push(sim.spawn(
             host,
             Box::new(Monitor::new(mon_cfg, schemas.clone())),
             SpawnOpts::named("ars_monitor"),
-        ));
-        commanders.push(sim.spawn(
-            host,
-            Box::new(Commander::new(registry)),
-            SpawnOpts::named("ars_commander"),
         ));
     }
 

@@ -62,6 +62,10 @@ pub struct ReschedLog {
     pub decisions: Vec<DecisionRecord>,
     /// Migration commands actually sent to commanders.
     pub commands_sent: usize,
+    /// Command retransmits after a missed acknowledgement.
+    pub command_retransmits: usize,
+    /// Commands abandoned after exhausting retransmits (or rejected).
+    pub commands_aborted: usize,
 }
 
 /// Cheap handle to the shared decision log.
@@ -87,6 +91,16 @@ impl ReschedHooks {
     /// Migration commands sent.
     pub fn commands_sent(&self) -> usize {
         self.0.borrow().commands_sent
+    }
+
+    /// Command retransmits after a missed acknowledgement.
+    pub fn command_retransmits(&self) -> usize {
+        self.0.borrow().command_retransmits
+    }
+
+    /// Commands abandoned after exhausting retransmits (or rejected).
+    pub fn commands_aborted(&self) -> usize {
+        self.0.borrow().commands_aborted
     }
 }
 

@@ -29,4 +29,6 @@ pub use commander::Commander;
 pub use deploy::{deploy, DeployConfig, Deployment};
 pub use hooks::{DecisionRecord, ReschedHooks, ReschedLog, SchemaBook, CONTROL_TAG};
 pub use monitor::{Monitor, MonitorConfig, StateSource};
-pub use registry::{DomainHealth, HostEntry, RegistryConfig, RegistryScheduler, SelectionPolicy};
+pub use registry::{
+    DomainHealth, HostEntry, Liveness, RegistryConfig, RegistryScheduler, SelectionPolicy,
+};

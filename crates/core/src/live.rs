@@ -17,7 +17,52 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Default deadline for connecting to and calling a live registry. A dead
+/// registry process must surface as an error, not a hung monitor.
+pub const LIVE_CALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// What went wrong talking to a live registry.
+#[derive(Debug)]
+pub enum LiveError {
+    /// Could not connect, or the connection broke mid-call.
+    Io(std::io::Error),
+    /// The registry did not answer within the call deadline.
+    Timeout(Duration),
+    /// The registry closed the connection (clean EOF mid-call).
+    Closed,
+    /// The reply was not a decodable protocol document.
+    Protocol(String),
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Io(e) => write!(f, "registry i/o error: {e}"),
+            LiveError::Timeout(d) => {
+                write!(f, "registry did not reply within {:.1}s", d.as_secs_f64())
+            }
+            LiveError::Closed => write!(f, "registry closed the connection"),
+            LiveError::Protocol(e) => write!(f, "undecodable registry reply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LiveError {
+    fn from(e: std::io::Error) -> Self {
+        LiveError::Io(e)
+    }
+}
 
 /// Write one message to a stream (newline-framed).
 pub fn write_msg(stream: &mut impl Write, msg: &Message) -> std::io::Result<()> {
@@ -271,27 +316,74 @@ fn serve_client(
 }
 
 /// A live client connection to the registry (monitor side).
+///
+/// Every operation is bounded by a deadline: a registry process that dies
+/// mid-call makes [`call`](LiveClient::call) return [`LiveError`] rather
+/// than blocking the monitor forever.
 pub struct LiveClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    timeout: Duration,
 }
 
 impl LiveClient {
-    /// Connect to a live registry.
-    pub fn connect(addr: SocketAddr) -> std::io::Result<LiveClient> {
-        let stream = TcpStream::connect(addr)?;
+    /// Connect to a live registry with the default deadline
+    /// ([`LIVE_CALL_TIMEOUT`]) for both the connect and each call.
+    pub fn connect(addr: SocketAddr) -> Result<LiveClient, LiveError> {
+        Self::connect_with_timeout(addr, LIVE_CALL_TIMEOUT)
+    }
+
+    /// Connect with an explicit deadline applied to the connect itself and
+    /// to every subsequent [`call`](LiveClient::call).
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> Result<LiveClient, LiveError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         let writer = stream.try_clone()?;
         Ok(LiveClient {
             writer,
             reader: BufReader::new(stream),
+            timeout,
         })
     }
 
-    /// Send a message and read the reply.
-    pub fn call(&mut self, msg: &Message) -> std::io::Result<Message> {
-        write_msg(&mut self.writer, msg)?;
-        read_msg(&mut self.reader)?.ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "registry closed")
-        })
+    /// Change the per-call deadline.
+    pub fn set_call_timeout(&mut self, timeout: Duration) -> Result<(), LiveError> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        self.timeout = timeout;
+        Ok(())
+    }
+
+    /// Send a message and read the reply. Returns
+    /// [`LiveError::Timeout`] when the registry goes silent past the
+    /// deadline and [`LiveError::Closed`] when it hangs up.
+    pub fn call(&mut self, msg: &Message) -> Result<Message, LiveError> {
+        let timed_out = |e: &std::io::Error| {
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        };
+        write_msg(&mut self.writer, msg).map_err(|e| {
+            if timed_out(&e) {
+                LiveError::Timeout(self.timeout)
+            } else {
+                LiveError::Io(e)
+            }
+        })?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err(LiveError::Closed),
+            Ok(_) => {
+                Message::decode(line.trim_end()).map_err(|e| LiveError::Protocol(e.to_string()))
+            }
+            Err(e) if timed_out(&e) => Err(LiveError::Timeout(self.timeout)),
+            Err(e) => Err(LiveError::Io(e)),
+        }
     }
 }

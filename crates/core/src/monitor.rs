@@ -67,6 +67,11 @@ pub struct MonitorConfig {
     /// the §3.2 alternative ("the registry/scheduler… queries the current
     /// information… thus slowing down the process").
     pub push: bool,
+    /// The local commander, if any. When the registry answers a heartbeat
+    /// with `ReRegister` (it restarted and lost its soft state), the
+    /// monitor re-registers itself and relays the request here so the
+    /// commander's pid is re-learned too.
+    pub commander: Option<Pid>,
 }
 
 impl MonitorConfig {
@@ -80,6 +85,7 @@ impl MonitorConfig {
             overload_confirm: SimDuration::from_secs(60),
             adaptive: None,
             push: true,
+            commander: None,
         }
     }
 }
@@ -274,12 +280,35 @@ impl Monitor {
             let Some(text) = env.payload.as_text() else {
                 continue;
             };
-            if let Ok(Message::StatusQuery { .. }) = Message::decode(text) {
-                let reply = self.build_heartbeat(ctx);
-                ctx.send(env.from, CONTROL_TAG, Payload::Text(reply.to_document()));
-                self.op_kinds.push_back(MonOp::ReplySent);
-                self.queries_answered += 1;
-                self.last_sent_state = Some(self.last_reported_state);
+            match Message::decode(text) {
+                Ok(Message::StatusQuery { .. }) => {
+                    let reply = self.build_heartbeat(ctx);
+                    ctx.send(env.from, CONTROL_TAG, Payload::Text(reply.to_document()));
+                    self.op_kinds.push_back(MonOp::ReplySent);
+                    self.queries_answered += 1;
+                    self.last_sent_state = Some(self.last_reported_state);
+                }
+                Ok(msg @ Message::ReRegister { .. }) => {
+                    // The registry restarted and lost its soft state:
+                    // re-push our static registration (the next heartbeat
+                    // repopulates the dynamic half) and relay to the local
+                    // commander so its pid is re-learned as well.
+                    ctx.trace(
+                        TraceKind::Recovery,
+                        format!("monitor {}: re-registering", ctx.host().name()),
+                    );
+                    let reg = Message::Register {
+                        host: Self::host_static(ctx),
+                        role: EntityRole::Monitor,
+                    };
+                    Self::send_control(ctx, self.cfg.registry, &reg);
+                    self.op_kinds.push_back(MonOp::ReplySent);
+                    if let Some(commander) = self.cfg.commander {
+                        ctx.send(commander, CONTROL_TAG, Payload::Text(msg.to_document()));
+                        self.op_kinds.push_back(MonOp::ReplySent);
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -309,8 +338,8 @@ impl Program for Monitor {
             },
             // The monitor always has an op in flight, so direct deliveries
             // cannot happen; queued messages are drained at cycle
-            // boundaries. Signals are not used by monitors.
-            Wake::Received(_) | Wake::Signal(_) => {}
+            // boundaries. Signals and alarms are not used by monitors.
+            Wake::Received(_) | Wake::Signal(_) | Wake::Alarm(_) => {}
         }
     }
 

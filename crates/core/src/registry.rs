@@ -15,7 +15,7 @@
 
 use crate::hooks::{DecisionRecord, ReschedHooks, SchemaBook, CONTROL_TAG};
 use ars_rules::Policy;
-use ars_sim::{Ctx, Payload, Pid, Program, TraceKind, Wake};
+use ars_sim::{Ctx, Payload, Pid, Program, TraceKind, Wake, RESTART_SIGNAL};
 use ars_simcore::{SimDuration, SimTime};
 use ars_xmlwire::{
     ApplicationSchema, EntityRole, HostState, HostStatic, Message, Metrics, ProcReport,
@@ -84,6 +84,12 @@ pub struct RegistryConfig {
     /// state can accept a migration. Results are identical; this exists so
     /// `bench_scale` can measure the indexed search against a live baseline.
     pub linear_first_fit: bool,
+    /// How long to wait for a commander's [`Message::CommandAck`] before
+    /// retransmitting a migration command (doubles per attempt).
+    pub ack_timeout: SimDuration,
+    /// Retransmits before a command is abandoned and the source becomes
+    /// eligible for a fresh decision (destination re-selection).
+    pub max_command_retries: u32,
 }
 
 impl RegistryConfig {
@@ -99,6 +105,8 @@ impl RegistryConfig {
             selection: SelectionPolicy::default(),
             pull: false,
             linear_first_fit: false,
+            ack_timeout: SimDuration::from_secs(5),
+            max_command_retries: 3,
         }
     }
 }
@@ -152,6 +160,27 @@ pub struct HostEntry {
     pub metrics: Metrics,
     /// Last reported migratable processes.
     pub procs: Vec<ProcReport>,
+    /// Observed gap between the last two heartbeats (the push period this
+    /// monitor is actually running at; feeds the failure detector).
+    pub hb_interval: Option<SimDuration>,
+}
+
+/// Failure-detector verdict for a registered host.
+///
+/// The soft-state lease alone reacts slowly (tens of seconds); the
+/// missed-heartbeat detector compares silence against the host's *observed*
+/// push period and downgrades much earlier. `Suspect` hosts are excluded as
+/// migration destinations ahead of lease expiry, so a crashed host stops
+/// attracting processes after ~2 missed beats instead of a full lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heartbeats arriving on schedule.
+    Alive,
+    /// At least two expected heartbeats missed — not trusted as a
+    /// destination, but not yet written off.
+    Suspect,
+    /// Three or more missed heartbeats, or the lease expired.
+    Down,
 }
 
 impl HostEntry {
@@ -162,6 +191,28 @@ impl HostEntry {
         } else {
             self.state
         }
+    }
+
+    /// Missed-heartbeat failure detection (see [`Liveness`]). Hosts that
+    /// have not yet established a push period only age out by lease.
+    pub fn liveness(&self, now: SimTime, lease: SimDuration) -> Liveness {
+        let silent = now.since(self.last_seen);
+        if silent > lease {
+            return Liveness::Down;
+        }
+        if let Some(iv) = self.hb_interval {
+            let iv_s = iv.as_secs_f64();
+            if iv_s > 0.0 {
+                let missed = (silent.as_secs_f64() / iv_s) as u32;
+                if missed >= 3 {
+                    return Liveness::Down;
+                }
+                if missed >= 2 {
+                    return Liveness::Suspect;
+                }
+            }
+        }
+        Liveness::Alive
     }
 }
 
@@ -178,6 +229,19 @@ struct Escalation {
 enum OpKind {
     Send,
     Decision(Arc<str>),
+}
+
+/// A migration command awaiting its commander's acknowledgement. Keyed by
+/// the alarm token of its retransmit deadline; an arriving ack removes the
+/// entry, so a later alarm with that token finds nothing and is ignored.
+struct PendingCommand {
+    source: Arc<str>,
+    dest: String,
+    pid: u64,
+    commander: Pid,
+    cmd: Message,
+    /// Retransmits already performed (0 after the initial send).
+    attempts: u32,
 }
 
 /// A child-side wait for the parent's candidate reply.
@@ -215,6 +279,8 @@ pub struct RegistryScheduler {
     op_kinds: std::collections::VecDeque<OpKind>,
     /// Last command *or* decision per source host (cooldown basis).
     last_command: HashMap<Arc<str>, SimTime>,
+    /// Unacknowledged migration commands, by retransmit-alarm token.
+    pending: HashMap<u64, PendingCommand>,
     escalation: Option<Escalation>,
     escalation_queue: std::collections::VecDeque<(Pid, ResourceRequirements)>,
     awaiting_parent: std::collections::VecDeque<AwaitingParent>,
@@ -234,6 +300,7 @@ impl RegistryScheduler {
             children: Vec::new(),
             op_kinds: std::collections::VecDeque::new(),
             last_command: HashMap::new(),
+            pending: HashMap::new(),
             escalation: None,
             escalation_queue: std::collections::VecDeque::new(),
             awaiting_parent: std::collections::VecDeque::new(),
@@ -302,6 +369,7 @@ impl RegistryScheduler {
                     state: HostState::Free,
                     metrics: Metrics::new(),
                     procs: Vec::new(),
+                    hb_interval: None,
                 });
                 let idx = self.hosts.len() - 1;
                 self.index.insert(name, idx);
@@ -329,15 +397,26 @@ impl RegistryScheduler {
     ) {
         let now = ctx.now();
         let Some(&idx) = self.index.get(host.as_str()) else {
+            // Unknown sender — most likely we restarted and lost the soft
+            // state. Nudge the monitor to re-introduce its host.
             ctx.trace(
-                TraceKind::Custom,
-                format!("registry: heartbeat from unregistered {host}"),
+                TraceKind::Recovery,
+                format!("registry: heartbeat from unregistered {host}, asking to re-register"),
             );
+            let nudge = Message::ReRegister { host };
+            self.send(ctx, from, &nudge);
             return;
         };
         let name = self.hosts[idx].name.clone();
         {
             let entry = &mut self.hosts[idx];
+            let gap = now.since(entry.last_seen);
+            // Track the observed push period for the failure detector.
+            // Sub-second gaps are pull replies or registration bursts, not
+            // the periodic push, and would make the detector hair-trigger.
+            if gap >= SimDuration::from_secs(1) {
+                entry.hb_interval = Some(gap);
+            }
             entry.last_seen = now;
             entry.metrics = metrics;
             entry.procs = procs;
@@ -361,7 +440,8 @@ impl RegistryScheduler {
             let already_queued = self
                 .op_kinds
                 .iter()
-                .any(|k| matches!(k, OpKind::Decision(h) if h.as_ref() == host));
+                .any(|k| matches!(k, OpKind::Decision(h) if h.as_ref() == host))
+                || self.pending.values().any(|p| p.source.as_ref() == host);
             if cooled && !already_queued {
                 // Charge the decision-making cost, then decide.
                 ctx.compute(self.cfg.decision_cost);
@@ -384,6 +464,12 @@ impl RegistryScheduler {
             .effective_state(now, self.cfg.lease)
             .accepts_migration()
         {
+            return false;
+        }
+        // Failure detector: don't migrate onto a host that has gone quiet,
+        // even if its lease has not expired yet. (Pull mode has no periodic
+        // push, so silence there is normal.)
+        if !self.cfg.pull && entry.liveness(now, self.cfg.lease) != Liveness::Alive {
             return false;
         }
         if !self.cfg.policy.dest_acceptable(&entry.metrics) {
@@ -539,6 +625,20 @@ impl RegistryScheduler {
             schema,
         };
         self.send(ctx, commander, &cmd);
+        // Arm the ack deadline; a CommandAck removes the entry and the
+        // alarm then fires into nothing.
+        let token = ctx.alarm(self.cfg.ack_timeout);
+        self.pending.insert(
+            token,
+            PendingCommand {
+                source: self.hosts[src_idx].name.clone(),
+                dest: dest.to_string(),
+                pid,
+                commander,
+                cmd: cmd.clone(),
+                attempts: 0,
+            },
+        );
         ctx.trace(
             TraceKind::Decision,
             format!(
@@ -556,6 +656,101 @@ impl RegistryScheduler {
             escalated,
         });
         log.commands_sent += 1;
+    }
+
+    // --- Command reliability (ack + retransmit + abort) ----------------------
+
+    /// The retransmit deadline of a pending command fired. Resend with a
+    /// doubled deadline, or — retries exhausted — abort and clear the
+    /// source's cooldown so the next heartbeat triggers a fresh decision
+    /// (which re-runs first-fit, i.e. re-selects the destination).
+    fn on_ack_timeout(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let Some(mut p) = self.pending.remove(&token) else {
+            return; // acknowledged (or superseded) before the deadline
+        };
+        if p.attempts >= self.cfg.max_command_retries {
+            ctx.trace(
+                TraceKind::Recovery,
+                format!(
+                    "registry {}: migrate pid{} {} -> {} unacked after {} sends, aborting",
+                    self.cfg.name,
+                    p.pid,
+                    p.source,
+                    p.dest,
+                    p.attempts + 1
+                ),
+            );
+            self.hooks.0.borrow_mut().commands_aborted += 1;
+            self.last_command.remove(&p.source);
+            return;
+        }
+        p.attempts += 1;
+        let backoff = SimDuration::from_secs_f64(
+            self.cfg.ack_timeout.as_secs_f64() * (1u64 << p.attempts) as f64,
+        );
+        ctx.trace(
+            TraceKind::Recovery,
+            format!(
+                "registry {}: retransmit #{} of migrate pid{} {} -> {}",
+                self.cfg.name, p.attempts, p.pid, p.source, p.dest
+            ),
+        );
+        self.hooks.0.borrow_mut().command_retransmits += 1;
+        let cmd = p.cmd.clone();
+        let commander = p.commander;
+        self.send(ctx, commander, &cmd);
+        let token = ctx.alarm(backoff);
+        self.pending.insert(token, p);
+    }
+
+    /// A commander acknowledged (or rejected) a migration command.
+    fn on_command_ack(&mut self, ctx: &mut Ctx<'_>, host: String, pid: u64, ok: bool) {
+        let key = self
+            .pending
+            .iter()
+            .find(|(_, p)| p.source.as_ref() == host && p.pid == pid)
+            .map(|(&k, _)| k);
+        let Some(key) = key else {
+            return; // duplicate ack from a retransmit — already settled
+        };
+        let p = self.pending.remove(&key).expect("key just found");
+        if !ok {
+            ctx.trace(
+                TraceKind::Recovery,
+                format!(
+                    "registry {}: commander rejected migrate pid{} {} -> {}",
+                    self.cfg.name, p.pid, p.source, p.dest
+                ),
+            );
+            self.hooks.0.borrow_mut().commands_aborted += 1;
+            self.last_command.remove(&p.source);
+        }
+    }
+
+    /// Process-restart fault: drop all soft state, exactly as a freshly
+    /// exec'd registry would start. Monitors repopulate it — their next
+    /// heartbeat gets a [`Message::ReRegister`] nudge and they re-introduce
+    /// their host. In-flight op completions (`op_kinds`) are kept: those
+    /// sends are already queued in the kernel and will still finish.
+    fn restart(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.trace(
+            TraceKind::Recovery,
+            format!(
+                "registry {}: restarted, soft state lost ({} hosts)",
+                self.cfg.name,
+                self.hosts.len()
+            ),
+        );
+        self.hosts.clear();
+        self.index.clear();
+        self.free_hosts.clear();
+        self.children.clear();
+        self.last_command.clear();
+        self.pending.clear();
+        self.escalation = None;
+        self.escalation_queue.clear();
+        self.awaiting_parent.clear();
+        self.pull_round = None;
     }
 
     // --- Pull-model decisions (§3.2) -----------------------------------------
@@ -796,6 +991,7 @@ impl RegistryScheduler {
             state: HostState::Free,
             metrics,
             procs: Vec::new(),
+            hb_interval: None,
         });
         let idx = self.hosts.len() - 1;
         self.index.insert(name, idx);
@@ -865,11 +1061,17 @@ impl Program for RegistryScheduler {
                             format!("registry: migration complete {src} -> {to}"),
                         );
                     }
+                    Message::CommandAck { host, pid, ok } => {
+                        self.on_command_ack(ctx, host, pid, ok)
+                    }
                     Message::Ack { .. }
                     | Message::MigrationCommand { .. }
-                    | Message::StatusQuery { .. } => {}
+                    | Message::StatusQuery { .. }
+                    | Message::ReRegister { .. } => {}
                 }
             }
+            Wake::Alarm(token) => self.on_ack_timeout(ctx, token),
+            Wake::Signal(sig) if sig == RESTART_SIGNAL => self.restart(ctx),
             _ => {}
         }
     }
@@ -945,6 +1147,7 @@ mod tests {
             state: HostState::Free,
             metrics: Metrics::new(),
             procs: vec![],
+            hb_interval: None,
         };
         let lease = SimDuration::from_secs(35);
         assert_eq!(
@@ -955,5 +1158,62 @@ mod tests {
             entry.effective_state(SimTime::from_secs(200), lease),
             HostState::Unavailable
         );
+    }
+
+    fn entry_seen_at(last_seen: SimTime, hb_interval: Option<SimDuration>) -> HostEntry {
+        HostEntry {
+            name: Arc::from("ws"),
+            statics: HostStatic {
+                name: "ws".to_string(),
+                ip: String::new(),
+                os: String::new(),
+                cpu_speed: 1.0,
+                n_cpus: 1,
+                mem_kb: 0,
+            },
+            monitor: None,
+            commander: None,
+            last_seen,
+            state: HostState::Free,
+            metrics: Metrics::new(),
+            procs: vec![],
+            hb_interval,
+        }
+    }
+
+    #[test]
+    fn lease_expiry_exactly_at_the_boundary_tick_is_inclusive() {
+        // last_seen = 100 s, lease = 35 s: the entry is valid up to and
+        // including t = 135 s exactly; the first tick past expires it.
+        let entry = entry_seen_at(SimTime::from_secs(100), None);
+        let lease = SimDuration::from_secs(35);
+        let boundary = SimTime::from_secs(135);
+        let just_past = SimTime::from_secs_f64(135.000_001);
+        assert_eq!(entry.effective_state(boundary, lease), HostState::Free);
+        assert_eq!(
+            entry.effective_state(just_past, lease),
+            HostState::Unavailable
+        );
+        // The failure detector agrees at the same boundary.
+        assert_eq!(entry.liveness(boundary, lease), Liveness::Alive);
+        assert_eq!(entry.liveness(just_past, lease), Liveness::Down);
+    }
+
+    #[test]
+    fn missed_heartbeat_detector_downgrades_ahead_of_the_lease() {
+        // Observed push period 10 s, lease 35 s: 2 missed beats -> Suspect
+        // at 20 s of silence, 3 missed -> Down at 30 s — both well before
+        // lease expiry at 35 s.
+        let entry = entry_seen_at(SimTime::from_secs(100), Some(SimDuration::from_secs(10)));
+        let lease = SimDuration::from_secs(35);
+        let at = |s: f64| SimTime::from_secs_f64(100.0 + s);
+        assert_eq!(entry.liveness(at(15.0), lease), Liveness::Alive);
+        assert_eq!(entry.liveness(at(19.9), lease), Liveness::Alive);
+        assert_eq!(entry.liveness(at(20.0), lease), Liveness::Suspect);
+        assert_eq!(entry.liveness(at(29.9), lease), Liveness::Suspect);
+        assert_eq!(entry.liveness(at(30.0), lease), Liveness::Down);
+        // A host with no observed period only ages out by lease.
+        let fresh = entry_seen_at(SimTime::from_secs(100), None);
+        assert_eq!(fresh.liveness(at(30.0), lease), Liveness::Alive);
     }
 }

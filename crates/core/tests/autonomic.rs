@@ -380,6 +380,7 @@ fn hierarchical_registry_escalates_across_domains() {
             overload_confirm: SimDuration::from_secs(30),
             adaptive: None,
             push: true,
+            commander: None,
         };
         sim.spawn(
             host,

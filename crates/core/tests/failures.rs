@@ -234,10 +234,11 @@ fn command_for_an_already_dead_pid_is_harmless() {
 #[test]
 fn destination_killed_mid_restore_loses_only_that_process() {
     // Harness-commanded migration whose destination process is killed
-    // before restoring: the source has already exited (state shipped), the
-    // application is lost, but the simulation and the other entities are
-    // unaffected. This documents the paper's (and HPCM's) fault model: the
-    // migration itself is not transactional.
+    // just after the transaction commits: ownership has moved, the source
+    // has wound down, so the application is lost — but the simulation and
+    // the other entities are unaffected. Pre-commit destination losses
+    // roll back instead (crates/hpcm/tests/rollback.rs); this documents
+    // what the commit point means.
     let mut sim = cluster(3);
     let hpcm = HpcmHooks::new();
     let pid = HpcmShell::spawn_on(

@@ -1,6 +1,6 @@
 //! The rescheduler protocol over real localhost TCP sockets.
 
-use ars_rescheduler::live::{LiveClient, LiveRegistry};
+use ars_rescheduler::live::{LiveClient, LiveError, LiveRegistry};
 use ars_xmlwire::{EntityRole, HostState, HostStatic, Message, Metrics, ResourceRequirements};
 
 fn statics(name: &str) -> HostStatic {
@@ -105,6 +105,67 @@ fn heartbeat_before_registration_is_rejected() {
         .unwrap();
     assert!(matches!(reply, Message::Ack { ok: false, .. }));
     registry.shutdown();
+}
+
+#[test]
+fn call_times_out_instead_of_hanging_on_a_silent_registry() {
+    // A listener that accepts the connection but never replies models a
+    // registry process that wedged mid-call.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+
+    let mut client =
+        LiveClient::connect_with_timeout(addr, std::time::Duration::from_millis(200)).unwrap();
+    let started = std::time::Instant::now();
+    let reply = client.call(&Message::CandidateRequest {
+        host: "a".to_string(),
+        requirements: ResourceRequirements::default(),
+    });
+    assert!(
+        matches!(reply, Err(LiveError::Timeout(_))),
+        "expected timeout, got {reply:?}"
+    );
+    // Bounded: well under the historical forever-hang.
+    assert!(started.elapsed() < std::time::Duration::from_secs(5));
+    drop(hold.join());
+}
+
+#[test]
+fn call_reports_a_closed_registry() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    // Accept, then hang up immediately.
+    let closer = std::thread::spawn(move || {
+        let _ = listener.accept();
+    });
+    let mut client = LiveClient::connect(addr).unwrap();
+    client
+        .set_call_timeout(std::time::Duration::from_secs(2))
+        .unwrap();
+    closer.join().unwrap();
+    let reply = client.call(&Message::CandidateRequest {
+        host: "a".to_string(),
+        requirements: ResourceRequirements::default(),
+    });
+    // Depending on scheduling the write may succeed (buffered) and the
+    // read sees EOF, or the write itself errors; both are typed, neither
+    // hangs.
+    assert!(
+        matches!(reply, Err(LiveError::Closed) | Err(LiveError::Io(_))),
+        "expected closed/io error, got {reply:?}"
+    );
+}
+
+#[test]
+fn connect_to_a_dead_address_fails_fast() {
+    // Bind then drop: the port is (momentarily) known-dead.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let r = LiveClient::connect_with_timeout(addr, std::time::Duration::from_millis(500));
+    assert!(r.is_err());
 }
 
 #[test]

@@ -1,0 +1,290 @@
+//! # ars-faults — deterministic fault-injection schedules
+//!
+//! The paper's runtime is *autonomic*: soft-state registration survives
+//! monitor loss, poll-point migration moves processes off failing hosts.
+//! Exercising those recovery paths requires faults, and faults in a
+//! deterministic DES must themselves be deterministic. This crate defines
+//! the *plan* layer: a seeded description of what goes wrong and when.
+//! Interpretation (killing processes, black-holing messages) lives in
+//! `ars-sim`, which owns the machinery being faulted.
+//!
+//! Determinism contract:
+//!
+//! * A [`FaultPlan`] is pure data; two runs with the same kernel seed and
+//!   the same plan produce bit-identical traces.
+//! * Message-level faults draw from a **dedicated** RNG seeded from
+//!   [`FaultPlan::seed`] — never from the kernel RNG — so enabling or
+//!   reshaping a plan cannot perturb any fault-free random stream.
+//! * A disabled plan ([`FaultPlan::is_enabled`] == false) installs nothing:
+//!   no events, no RNG draws, no interception. Runs with faults disabled
+//!   are byte-identical to a build without the fault layer.
+
+use ars_simcore::{SimDuration, SimRng, SimTime};
+
+/// Signal number used to ask a runtime daemon (the registry) to restart:
+/// the process survives but drops all soft state, as if the OS process had
+/// been killed and relaunched. Distinct from `MIGRATE_SIGNAL` (30) in
+/// `ars-hpcm`.
+pub const RESTART_SIGNAL: u32 = 31;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Power off a host: every resident process dies, in-flight transfers
+    /// touching the host are torn down, and new spawns onto it fail until
+    /// it recovers.
+    HostCrash { host: u32 },
+    /// Power the host back on (empty — crashed processes do not revive).
+    HostRecover { host: u32 },
+    /// Sever connectivity between every host in `a` and every host in `b`
+    /// (both directions). Messages and new transfers across the cut are
+    /// black-holed.
+    PartitionStart { a: Vec<u32>, b: Vec<u32> },
+    /// Heal *all* active partitions.
+    PartitionEnd,
+    /// Freeze a host's outbound messages for `duration` (a GC-pause /
+    /// livelocked-daemon model): sends complete locally but deliveries are
+    /// held until the stall ends, then flushed in order.
+    MonitorStall { host: u32, duration: SimDuration },
+    /// Deliver [`RESTART_SIGNAL`] to a process, asking it to drop its soft
+    /// state (used to model a registry restart).
+    ProcessRestart { pid: u64 },
+}
+
+/// A fault with its injection time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedFault {
+    pub at: SimTime,
+    pub fault: Fault,
+}
+
+/// Per-message fault probabilities, applied to every *cross-host* delivery
+/// (loopback is reliable). Probabilities are cumulative and evaluated with
+/// a single RNG draw per delivery: drop wins over duplicate wins over delay.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MessageFaults {
+    /// Probability a delivery is silently dropped.
+    pub drop: f64,
+    /// Probability a delivery arrives twice.
+    pub duplicate: f64,
+    /// Probability a delivery is held for an extra `delay_by`.
+    pub delay: f64,
+    /// Extra latency applied to delayed deliveries.
+    pub delay_by: SimDuration,
+}
+
+impl MessageFaults {
+    /// True if any probability is set.
+    pub fn any(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0 || self.delay > 0.0
+    }
+}
+
+/// A complete, seeded fault schedule for one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Timed faults, injected at their `at` times (order within the vec is
+    /// preserved for simultaneous faults).
+    pub events: Vec<TimedFault>,
+    /// Per-message fault probabilities.
+    pub messages: MessageFaults,
+    /// Seed for the dedicated message-fault RNG.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing is intercepted, nothing is perturbed.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_enabled(&self) -> bool {
+        !self.events.is_empty() || self.messages.any()
+    }
+
+    /// Builder: add one timed fault.
+    pub fn at(mut self, at: SimTime, fault: Fault) -> Self {
+        self.events.push(TimedFault { at, fault });
+        self
+    }
+
+    /// Builder: set the per-message fault probabilities.
+    pub fn with_messages(mut self, messages: MessageFaults) -> Self {
+        self.messages = messages;
+        self
+    }
+
+    /// Builder: set the message-fault RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate a random-but-reproducible schedule from `seed`: the same
+    /// seed and parameters always yield the same plan. Crash/stall targets
+    /// and times are drawn from a private RNG forked off `seed`, so the
+    /// plan is stable regardless of what else the caller does.
+    pub fn seeded(seed: u64, p: &ScheduleParams) -> Self {
+        let mut rng = SimRng::new(seed ^ 0x000F_A117_5EED);
+        let mut events = Vec::new();
+        let horizon = p.horizon.as_secs_f64();
+        let n_hosts = (p.host_hi - p.host_lo).max(1);
+        for _ in 0..p.crashes {
+            let host = p.host_lo + (rng.below(n_hosts as u64) as u32);
+            let at = SimTime::from_secs_f64(rng.range_f64(0.05 * horizon, 0.7 * horizon));
+            events.push(TimedFault {
+                at,
+                fault: Fault::HostCrash { host },
+            });
+            events.push(TimedFault {
+                at: at.saturating_add(p.recover_after),
+                fault: Fault::HostRecover { host },
+            });
+        }
+        for _ in 0..p.stalls {
+            let host = p.host_lo + (rng.below(n_hosts as u64) as u32);
+            let at = SimTime::from_secs_f64(rng.range_f64(0.05 * horizon, 0.8 * horizon));
+            events.push(TimedFault {
+                at,
+                fault: Fault::MonitorStall {
+                    host,
+                    duration: p.stall_for,
+                },
+            });
+        }
+        // Stable injection order for simultaneous events.
+        events.sort_by_key(|e| e.at);
+        FaultPlan {
+            events,
+            messages: p.messages,
+            seed,
+        }
+    }
+}
+
+/// Parameters for [`FaultPlan::seeded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleParams {
+    /// Hosts eligible for crashes/stalls: `host_lo..host_hi` (half-open).
+    /// Keep the registry host out of this range unless you mean it.
+    pub host_lo: u32,
+    pub host_hi: u32,
+    /// Run horizon; injection times are drawn inside it.
+    pub horizon: SimTime,
+    /// Number of crash (+paired recover) events.
+    pub crashes: u32,
+    /// Downtime before each crashed host recovers.
+    pub recover_after: SimDuration,
+    /// Number of monitor-stall events.
+    pub stalls: u32,
+    /// Stall length.
+    pub stall_for: SimDuration,
+    /// Per-message fault probabilities.
+    pub messages: MessageFaults,
+}
+
+impl Default for ScheduleParams {
+    fn default() -> Self {
+        ScheduleParams {
+            host_lo: 1,
+            host_hi: 2,
+            horizon: SimTime::from_secs_f64(600.0),
+            crashes: 0,
+            recover_after: SimDuration::from_secs_f64(60.0),
+            stalls: 0,
+            stall_for: SimDuration::from_secs_f64(45.0),
+            messages: MessageFaults::default(),
+        }
+    }
+}
+
+/// Counters kept by the interpreter (`ars-sim`) while a plan runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultStats {
+    pub crashes: u64,
+    pub recoveries: u64,
+    /// Processes killed by host crashes.
+    pub procs_killed: u64,
+    /// Spawns refused because the target host was down.
+    pub spawns_failed: u64,
+    /// Deliveries dropped by the random message-fault roll.
+    pub msgs_dropped: u64,
+    pub msgs_duplicated: u64,
+    pub msgs_delayed: u64,
+    /// Deliveries black-holed because the destination host was down or the
+    /// link was partitioned.
+    pub msgs_blackholed: u64,
+    /// Deliveries held by a monitor stall.
+    pub msgs_stalled: u64,
+    /// RESTART_SIGNALs delivered.
+    pub restarts: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn empty_plan_is_disabled() {
+        assert!(!FaultPlan::none().is_enabled());
+        assert!(!FaultPlan::default().is_enabled());
+    }
+
+    #[test]
+    fn any_event_or_probability_enables_the_plan() {
+        let p = FaultPlan::none().at(t(5.0), Fault::HostCrash { host: 1 });
+        assert!(p.is_enabled());
+        let p = FaultPlan::none().with_messages(MessageFaults {
+            drop: 0.01,
+            ..MessageFaults::default()
+        });
+        assert!(p.is_enabled());
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let params = ScheduleParams {
+            host_lo: 1,
+            host_hi: 9,
+            crashes: 3,
+            stalls: 2,
+            ..ScheduleParams::default()
+        };
+        let a = FaultPlan::seeded(42, &params);
+        let b = FaultPlan::seeded(42, &params);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = FaultPlan::seeded(43, &params);
+        assert_ne!(a, c, "different seeds diverge");
+        assert_eq!(a.events.len(), 2 * 3 + 2); // crash+recover pairs + stalls
+    }
+
+    #[test]
+    fn seeded_events_are_time_ordered_and_in_range() {
+        let params = ScheduleParams {
+            host_lo: 2,
+            host_hi: 6,
+            crashes: 4,
+            stalls: 3,
+            ..ScheduleParams::default()
+        };
+        let p = FaultPlan::seeded(7, &params);
+        let mut last = SimTime::ZERO;
+        for e in &p.events {
+            assert!(e.at >= last, "events sorted");
+            last = e.at;
+            match &e.fault {
+                Fault::HostCrash { host }
+                | Fault::HostRecover { host }
+                | Fault::MonitorStall { host, .. } => {
+                    assert!((2..6).contains(host), "host {host} in range");
+                }
+                other => panic!("unexpected fault {other:?}"),
+            }
+        }
+    }
+}

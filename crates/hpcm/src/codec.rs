@@ -215,6 +215,48 @@ impl<'a> StateReader<'a> {
     }
 }
 
+// --- Checkpoint framing ------------------------------------------------------
+
+/// FNV-1a 64-bit hash of `bytes` (the checkpoint integrity checksum).
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Frame a checkpoint for the wire: payload followed by its
+/// [`checksum64`], little-endian. The destination verifies before
+/// restoring, so a corrupted transfer aborts the migration instead of
+/// resurrecting a process from garbage.
+pub fn frame_state(payload: &[u8]) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(payload.len() + 8);
+    framed.extend_from_slice(payload);
+    framed.extend_from_slice(&checksum64(payload).to_le_bytes());
+    framed
+}
+
+/// Verify and strip the [`frame_state`] trailer, returning the payload.
+pub fn unframe_state(framed: &[u8]) -> Result<&[u8], CodecError> {
+    if framed.len() < 8 {
+        return Err(CodecError {
+            at: framed.len(),
+            what: "checkpoint frame too short",
+        });
+    }
+    let (payload, tail) = framed.split_at(framed.len() - 8);
+    let got = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if got != checksum64(payload) {
+        return Err(CodecError {
+            at: payload.len(),
+            what: "checkpoint checksum mismatch",
+        });
+    }
+    Ok(payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +323,30 @@ mod tests {
         assert!(StateReader::new(&bytes).f64s().is_err());
         assert!(StateReader::new(&bytes).u64s().is_err());
         assert!(StateReader::new(&bytes).bytes().is_err());
+    }
+
+    #[test]
+    fn frame_roundtrip_and_corruption() {
+        let payload = b"checkpoint bytes".to_vec();
+        let framed = frame_state(&payload);
+        assert_eq!(unframe_state(&framed).unwrap(), payload.as_slice());
+        // Flip every bit position in turn: all must be caught.
+        for i in 0..framed.len() * 8 {
+            let mut bad = framed.clone();
+            bad[i / 8] ^= 1 << (i % 8);
+            assert!(unframe_state(&bad).is_err(), "bit flip {i} undetected");
+        }
+        // Truncations must be caught too.
+        for n in 0..framed.len() {
+            assert!(unframe_state(&framed[..n]).is_err(), "truncation to {n}");
+        }
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let framed = frame_state(&[]);
+        assert_eq!(framed.len(), 8);
+        assert_eq!(unframe_state(&framed).unwrap(), &[] as &[u8]);
     }
 
     #[test]

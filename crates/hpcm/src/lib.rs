@@ -18,9 +18,10 @@ pub mod codec;
 pub mod shell;
 pub mod state;
 
-pub use codec::{CodecError, StateReader, StateWriter};
+pub use codec::{checksum64, frame_state, unframe_state, CodecError, StateReader, StateWriter};
 pub use shell::HpcmShell;
 pub use state::{
     dest_file_path, AppStatus, CompletionRecord, HpcmConfig, HpcmHooks, HpcmLog, MigratableApp,
-    MigrationRecord, SavedState, MIGRATE_SIGNAL, TAG_HPCM_EAGER, TAG_HPCM_LAZY,
+    MigrationOutcome, MigrationRecord, SavedState, MIGRATE_SIGNAL, TAG_HPCM_COMMIT,
+    TAG_HPCM_COMMIT_ACK, TAG_HPCM_EAGER, TAG_HPCM_LAZY, TAG_HPCM_READY,
 };

@@ -1,45 +1,85 @@
 //! The HPCM migration shell.
 //!
 //! [`HpcmShell`] wraps a [`MigratableApp`] as a kernel [`Program`] and
-//! implements the paper's migration protocol:
+//! implements the paper's migration protocol as a *transaction* —
+//! prepare → transfer → commit — that either completes on the destination
+//! or rolls the application back to the poll-point it was captured at:
 //!
 //! 1. the commander posts the user-defined signal and writes the
 //!    destination into a temp file ([`dest_file_path`]);
 //! 2. at the application's next poll-point the shell reads the destination,
-//!    dynamically creates the *initialized process* there (a restoring
-//!    shell, paying the LAM dynamic-process-management cost unless
-//!    pre-initialized);
-//! 3. the execution + memory state is captured ([`MigratableApp::save`])
-//!    and transferred: the eager part first, the bulk remainder streamed
-//!    lazily;
-//! 4. communication state is transferred: the task's pid binding is
-//!    re-pointed, a kernel forwarding entry reroutes in-flight messages,
-//!    and queued mailbox messages are re-sent to the new pid;
-//! 5. the destination restores, resumes the application *before the lazy
-//!    stream finishes*, and records the timeline in the shared log.
+//!    captures the state ([`MigratableApp::save`]) and dynamically creates
+//!    the *initialized process* there (a restoring shell, paying the LAM
+//!    dynamic-process-management cost unless pre-initialized). **Prepare:**
+//!    the source waits for the destination's READY, bounded by
+//!    [`HpcmConfig::prepare_timeout`];
+//! 3. **Transfer:** the eager checkpoint is framed with an integrity
+//!    checksum ([`crate::codec::frame_state`]) and sent; the destination
+//!    verifies, restores (rejecting corrupt state), and answers COMMIT,
+//!    all bounded by [`HpcmConfig::commit_timeout`] on the source;
+//! 4. **Commit:** the source installs the kernel forwarding entry,
+//!    re-sends held and queued application messages to the new pid,
+//!    acknowledges with COMMIT_ACK and streams the bulk remainder lazily
+//!    while winding down. Only on COMMIT_ACK does the destination re-bind
+//!    the MPI task identity and resume the application — so a timed-out,
+//!    rolled-back source can never race a resumed destination (no double
+//!    execution);
+//! 5. on any deadline expiry the source kills the half-restored child,
+//!    re-queues the application messages it held, and resumes the
+//!    application from the poll-point (rollback). The destination aborts
+//!    itself if the source goes quiet.
+//!
+//! Every transition is recorded: [`MigrationRecord::outcome`] ends as
+//! `Committed` or `Aborted` (with a reason), never silently lost.
 
+use crate::codec::{frame_state, unframe_state};
 use crate::state::{
     dest_file_path, AppStatus, CompletionRecord, HpcmConfig, HpcmHooks, MigratableApp,
-    MigrationRecord, SavedState, MIGRATE_SIGNAL, TAG_HPCM_EAGER, TAG_HPCM_LAZY,
+    MigrationOutcome, MigrationRecord, SavedState, MIGRATE_SIGNAL, TAG_HPCM_COMMIT,
+    TAG_HPCM_COMMIT_ACK, TAG_HPCM_EAGER, TAG_HPCM_LAZY, TAG_HPCM_READY,
 };
 use ars_mpisim::Mpi;
-use ars_sim::{Ctx, Payload, Pid, Program, RecvFilter, SpawnOpts, TraceKind, Wake};
+use ars_sim::{Ctx, Envelope, Payload, Pid, Program, RecvFilter, SpawnOpts, TraceKind, Wake};
 use ars_simcore::SimDuration;
+
+/// True for tags owned by the migration protocol itself (never delivered
+/// to the application).
+fn is_protocol_tag(tag: u32) -> bool {
+    matches!(
+        tag,
+        TAG_HPCM_EAGER | TAG_HPCM_LAZY | TAG_HPCM_READY | TAG_HPCM_COMMIT | TAG_HPCM_COMMIT_ACK
+    )
+}
 
 enum Mode<A> {
     /// Driving the application.
     Running { app: A },
-    /// Source side: eager and lazy sends queued; counting completions.
+    /// Source, prepare phase: child spawned, waiting for its READY.
+    SourcePrepare {
+        app: A,
+        child: Pid,
+        saved: SavedState,
+    },
+    /// Source, transfer phase: eager checkpoint send in flight.
     SourceSending {
-        /// The source keeps its (already captured) state until it exits.
-        _app: A,
+        app: A,
         child: Pid,
         sends_left: u8,
+        lazy_bytes: u64,
     },
-    /// Destination side: waiting for the DPM init sleep / eager state.
-    Restoring { waited_init: bool },
-    /// Destination side: paying the restoration cost.
-    RestoreCompute { app: Option<A> },
+    /// Source, transfer phase: eager sent, waiting for the COMMIT.
+    SourceAwaitCommit { app: A, child: Pid, lazy_bytes: u64 },
+    /// Source, commit phase: ack + forwarded messages + lazy stream in
+    /// flight; exits when the last send completes. The application state
+    /// now lives on the destination — no rollback from here.
+    SourceCommitting { sends_left: u32 },
+    /// Destination: waiting for the DPM init sleep, then the eager state.
+    Restoring { waited_init: bool, source: Pid },
+    /// Destination: paying the restoration cost.
+    RestoreCompute { app: Option<A>, source: Pid },
+    /// Destination: restored, waiting for the source's COMMIT_ACK before
+    /// re-binding the task identity and resuming the application.
+    AwaitCommitAck { app: Option<A>, source: Pid },
     /// Terminal.
     Done,
 }
@@ -52,6 +92,16 @@ pub struct HpcmShell<A: MigratableApp> {
     hooks: HpcmHooks,
     /// Lazy remainder not yet confirmed received (destination side).
     pending_lazy: bool,
+    /// Application messages that arrived while a transaction was in
+    /// flight: forwarded to the destination on commit, re-queued into our
+    /// own mailbox on rollback.
+    held: Vec<Envelope>,
+    /// Token of the current phase deadline; alarms with any other token
+    /// are stale and ignored.
+    deadline: u64,
+    /// Checkpoint-send ops still in flight after a rollback; their
+    /// completions must not be delivered to the application.
+    protocol_sends_in_flight: u8,
 }
 
 impl<A: MigratableApp> HpcmShell<A> {
@@ -63,17 +113,26 @@ impl<A: MigratableApp> HpcmShell<A> {
             mpi,
             hooks,
             pending_lazy: false,
+            held: Vec::new(),
+            deadline: 0,
+            protocol_sends_in_flight: 0,
         }
     }
 
     /// The restoring (destination) side, created by the source's shell.
-    fn restoring(cfg: HpcmConfig, mpi: Option<Mpi>, hooks: HpcmHooks) -> Self {
+    fn restoring(cfg: HpcmConfig, mpi: Option<Mpi>, hooks: HpcmHooks, source: Pid) -> Self {
         HpcmShell {
-            mode: Mode::Restoring { waited_init: false },
+            mode: Mode::Restoring {
+                waited_init: false,
+                source,
+            },
             cfg,
             mpi,
             hooks,
             pending_lazy: true,
+            held: Vec::new(),
+            deadline: 0,
+            protocol_sends_in_flight: 0,
         }
     }
 
@@ -104,6 +163,22 @@ impl<A: MigratableApp> HpcmShell<A> {
             }
         }
         pid
+    }
+
+    /// Update this pid's migration record (source side keys by `pid_old`,
+    /// destination side by `pid_new`).
+    fn with_record(&self, me: Pid, as_source: bool, f: impl FnOnce(&mut MigrationRecord)) {
+        let mut log = self.hooks.0.borrow_mut();
+        let found = log.migrations.iter_mut().rev().find(|m| {
+            if as_source {
+                m.pid_old == me
+            } else {
+                m.pid_new == me
+            }
+        });
+        if let Some(m) = found {
+            f(m);
+        }
     }
 
     fn drive_app(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
@@ -144,6 +219,8 @@ impl<A: MigratableApp> HpcmShell<A> {
         }
     }
 
+    /// Prepare phase: capture state, create the initialized process on the
+    /// destination, and wait (bounded) for it to report READY.
     fn begin_migration(&mut self, ctx: &mut Ctx<'_>) {
         let Mode::Running { app } = std::mem::replace(&mut self.mode, Mode::Done) else {
             return;
@@ -172,30 +249,23 @@ impl<A: MigratableApp> HpcmShell<A> {
         ctx.clear_pending_ops();
         let me = ctx.pid();
 
-        // Capture execution + memory state.
-        let SavedState { eager, lazy_bytes } = app.save();
-        let eager_bytes = eager.len() as u64;
+        // Capture execution + memory state at the poll-point.
+        let saved = app.save();
 
         // Dynamically create the initialized process on the destination.
+        // The task identity is NOT re-pointed yet: until the transaction
+        // commits, this process owns the application and holds (then
+        // forwards or re-queues) messages addressed to it.
         let child = ctx.spawn(
             dest,
             Box::new(Self::restoring(
                 self.cfg.clone(),
                 self.mpi.clone(),
                 self.hooks.clone(),
+                me,
             )),
             Self::spawn_opts(&app),
         );
-        // Communication-state transfer starts now: the task identity points
-        // at the destination immediately (the restored process may resume —
-        // and be addressed — before the lazy stream completes), while
-        // messages already in flight to the old pid are forwarded when the
-        // source winds down.
-        if let Some(mpi) = &self.mpi {
-            if let Some(task) = mpi.task_of(me) {
-                let _ = mpi.rebind(task, child);
-            }
-        }
         ctx.trace(
             TraceKind::Migration,
             format!(
@@ -203,23 +273,13 @@ impl<A: MigratableApp> HpcmShell<A> {
                 app.app_name(),
                 ctx.host_id().0,
                 dest.0,
-                eager_bytes,
-                lazy_bytes
+                saved.eager.len(),
+                saved.lazy_bytes
             ),
         );
 
-        // Transfer the state: eager first, bulk remainder streamed after.
-        ctx.send(child, TAG_HPCM_EAGER, Payload::Bytes(eager));
-        let mut sends_left = 1;
-        if lazy_bytes > 0 {
-            ctx.send_sized(child, TAG_HPCM_LAZY, Payload::Empty, lazy_bytes);
-            sends_left += 1;
-        }
-
-        // Publish the record now: the destination resumes (and stamps its
-        // phases) before the lazy stream leaves the source.
         self.hooks.0.borrow_mut().migrations.push(MigrationRecord {
-            pid_old: ctx.pid(),
+            pid_old: me,
             pid_new: child,
             from: ctx.host_id(),
             to: dest,
@@ -229,88 +289,267 @@ impl<A: MigratableApp> HpcmShell<A> {
             eager_sent_at: ctx.now(), // updated when the send completes
             resumed_at: None,
             lazy_done_at: None,
-            eager_bytes,
-            lazy_bytes,
+            eager_bytes: saved.eager.len() as u64 + 8, // framed size
+            lazy_bytes: saved.lazy_bytes,
+            outcome: MigrationOutcome::InFlight,
+            abort_reason: None,
         });
-        self.mode = Mode::SourceSending {
-            _app: app,
-            child,
-            sends_left,
-        };
+        self.deadline = ctx.alarm(self.cfg.prepare_timeout);
+        self.mode = Mode::SourcePrepare { app, child, saved };
     }
 
-    fn finish_source(&mut self, ctx: &mut Ctx<'_>) {
-        let Mode::SourceSending { child, .. } = std::mem::replace(&mut self.mode, Mode::Done)
+    /// Prepare done: the destination is initialized — transfer the framed
+    /// eager checkpoint, with the commit deadline running.
+    fn on_ready(&mut self, ctx: &mut Ctx<'_>) {
+        let Mode::SourcePrepare { app, child, saved } =
+            std::mem::replace(&mut self.mode, Mode::Done)
         else {
             return;
         };
-        // Finish communication-state transfer: re-route in-flight
-        // messages and re-send anything already queued here.
-        ctx.set_forwarding(ctx.pid(), child);
-        for env in ctx.drain_mailbox() {
+        let SavedState { eager, lazy_bytes } = saved;
+        ctx.send(child, TAG_HPCM_EAGER, Payload::Bytes(frame_state(&eager)));
+        self.deadline = ctx.alarm(self.cfg.commit_timeout);
+        self.mode = Mode::SourceSending {
+            app,
+            child,
+            sends_left: 1,
+            lazy_bytes,
+        };
+    }
+
+    /// Commit phase, source side: the destination restored successfully.
+    /// Hand over the communication state, acknowledge, stream the lazy
+    /// remainder, and wind down.
+    fn commit_source(&mut self, ctx: &mut Ctx<'_>) {
+        let Mode::SourceAwaitCommit {
+            app: _app,
+            child,
+            lazy_bytes,
+        } = std::mem::replace(&mut self.mode, Mode::Done)
+        else {
+            return;
+        };
+        let me = ctx.pid();
+        // Communication-state transfer: in-flight messages re-route via
+        // the kernel forwarding entry; held + queued messages re-send.
+        // Order matters — the ack unblocks the destination, the small
+        // app messages follow, the bulk stream goes last.
+        ctx.set_forwarding(me, child);
+        let mut sends: u32 = 1;
+        ctx.send(child, TAG_HPCM_COMMIT_ACK, Payload::Empty);
+        for env in self.held.drain(..) {
             ctx.forward_envelope(env, child);
+            sends += 1;
         }
-        ctx.trace(TraceKind::Migration, "source state sent; exiting");
-        ctx.exit();
+        for env in ctx.drain_mailbox() {
+            if is_protocol_tag(env.tag) {
+                continue; // e.g. a duplicated COMMIT — consumed, not forwarded
+            }
+            ctx.forward_envelope(env, child);
+            sends += 1;
+        }
+        if lazy_bytes > 0 {
+            ctx.send_sized(child, TAG_HPCM_LAZY, Payload::Empty, lazy_bytes);
+            sends += 1;
+        }
+        self.with_record(me, true, |m| m.outcome = MigrationOutcome::Committed);
+        ctx.trace(
+            TraceKind::Migration,
+            format!("commit: handover to {child:?}, streaming {lazy_bytes} lazy bytes"),
+        );
+        self.mode = Mode::SourceCommitting { sends_left: sends };
+    }
+
+    /// Rollback, source side: kill the half-restored child, return held
+    /// messages to our own mailbox, and resume the application from the
+    /// poll-point it was captured at.
+    fn rollback(&mut self, ctx: &mut Ctx<'_>, why: &str) {
+        let (app, child, in_flight) = match std::mem::replace(&mut self.mode, Mode::Done) {
+            Mode::SourcePrepare { app, child, .. } => (app, child, 0),
+            Mode::SourceSending {
+                app,
+                child,
+                sends_left,
+                ..
+            } => (app, child, sends_left),
+            Mode::SourceAwaitCommit { app, child, .. } => (app, child, 0),
+            other => {
+                self.mode = other;
+                return;
+            }
+        };
+        ctx.kill(child);
+        ctx.clear_pending_ops();
+        self.protocol_sends_in_flight = in_flight;
+        for env in self.held.drain(..) {
+            ctx.requeue_envelope(env);
+        }
+        let me = ctx.pid();
+        self.with_record(me, true, |m| {
+            m.outcome = MigrationOutcome::Aborted;
+            m.abort_reason = Some(why.to_string());
+        });
+        ctx.trace(
+            TraceKind::Recovery,
+            format!(
+                "migration aborted ({why}); rolled back to poll-point on h{}",
+                ctx.host_id().0
+            ),
+        );
+        self.mode = Mode::Running { app };
+        // Resume: the app re-issues the ops for its current phase.
+        self.drive_app(ctx, Wake::Started);
+    }
+
+    /// Abort, destination side: the source went quiet (crashed, or rolled
+    /// back and our messages to it were lost). Record the cause if nobody
+    /// else settled the transaction, then disappear.
+    fn abort_destination(&mut self, ctx: &mut Ctx<'_>, why: &str) {
+        let me = ctx.pid();
+        self.with_record(me, false, |m| {
+            if m.outcome == MigrationOutcome::InFlight {
+                m.outcome = MigrationOutcome::Aborted;
+                m.abort_reason = Some(why.to_string());
+            }
+        });
+        ctx.trace(
+            TraceKind::Recovery,
+            format!("destination shell aborting ({why})"),
+        );
+        self.mode = Mode::Done;
+        // `kill`, not `exit`: we may be blocked on a receive, and a queued
+        // Exit op would never start.
+        ctx.kill(me);
     }
 }
 
 impl<A: MigratableApp> Program for HpcmShell<A> {
     fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        // The lazy tail of our own inbound migration may still be
+        // streaming; its arrival is a protocol message, not an application
+        // one, and can land in any mode (we may already be a migration
+        // source again). Settle it here.
+        if self.pending_lazy {
+            if let Wake::Received(env) = &wake {
+                if env.tag == TAG_HPCM_LAZY {
+                    self.pending_lazy = false;
+                    let now = ctx.now();
+                    let me = ctx.pid();
+                    self.with_record(me, false, |m| m.lazy_done_at = Some(now));
+                    ctx.trace(TraceKind::Migration, "lazy state fully received");
+                    return;
+                }
+            }
+        }
         match &mut self.mode {
             Mode::Running { .. } => {
-                // The lazy tail of our own inbound migration may still be
-                // streaming; its arrival is a protocol message, not an
-                // application one. It may come in as a wake (if we were
-                // passive) or sit in the mailbox (if we were computing) —
-                // check both at every poll-point.
-                if self.pending_lazy {
-                    let direct = matches!(&wake, Wake::Received(env) if env.tag == TAG_HPCM_LAZY);
-                    let queued =
-                        !direct && ctx.take_message(RecvFilter::tag(TAG_HPCM_LAZY)).is_some();
-                    if direct || queued {
-                        self.pending_lazy = false;
-                        let now = ctx.now();
-                        let mut log = self.hooks.0.borrow_mut();
-                        if let Some(m) = log
-                            .migrations
-                            .iter_mut()
-                            .rev()
-                            .find(|m| m.pid_new == ctx.pid())
-                        {
-                            m.lazy_done_at = Some(now);
-                        }
-                        drop(log);
-                        ctx.trace(TraceKind::Migration, "lazy state fully received");
-                        if direct {
-                            return;
-                        }
-                    }
+                // Swallow completions of checkpoint sends orphaned by a
+                // rollback — they are not application op completions.
+                if self.protocol_sends_in_flight > 0 && matches!(wake, Wake::OpDone) {
+                    self.protocol_sends_in_flight -= 1;
+                    return;
+                }
+                // A lazy tail that arrived while we were computing sits in
+                // the mailbox instead — check at every poll-point.
+                if self.pending_lazy && ctx.take_message(RecvFilter::tag(TAG_HPCM_LAZY)).is_some() {
+                    self.pending_lazy = false;
+                    let now = ctx.now();
+                    let me = ctx.pid();
+                    self.with_record(me, false, |m| m.lazy_done_at = Some(now));
+                    ctx.trace(TraceKind::Migration, "lazy state fully received");
+                }
+                // Stale protocol traffic (a duplicated READY/COMMIT after a
+                // rollback, a re-sent ack…) never reaches the application.
+                if matches!(&wake, Wake::Received(env) if is_protocol_tag(env.tag)) {
+                    return;
                 }
                 self.drive_app(ctx, wake);
             }
-            Mode::SourceSending { sends_left, .. } => {
-                if let Wake::OpDone = wake {
+
+            // --- Source side ------------------------------------------------
+            Mode::SourcePrepare { child, .. } => match wake {
+                Wake::Received(env) if env.tag == TAG_HPCM_READY && env.from == *child => {
+                    self.on_ready(ctx);
+                }
+                Wake::Received(env) if !is_protocol_tag(env.tag) => self.held.push(env),
+                Wake::Alarm(t) if t == self.deadline => {
+                    self.rollback(ctx, "destination never initialized (prepare timeout)");
+                }
+                _ => {}
+            },
+            Mode::SourceSending {
+                sends_left, child, ..
+            } => match wake {
+                Wake::OpDone => {
                     *sends_left -= 1;
+                    let all_sent = *sends_left == 0;
                     let me = ctx.pid();
                     let now = ctx.now();
-                    {
-                        let mut log = self.hooks.0.borrow_mut();
-                        if let Some(m) = log.migrations.iter_mut().rev().find(|m| m.pid_old == me) {
-                            if m.eager_sent_at == m.pollpoint_at {
-                                m.eager_sent_at = now;
-                            }
+                    self.with_record(me, true, |m| {
+                        if m.eager_sent_at == m.pollpoint_at {
+                            m.eager_sent_at = now;
                         }
+                    });
+                    if all_sent {
+                        let (app, child, lazy_bytes) =
+                            match std::mem::replace(&mut self.mode, Mode::Done) {
+                                Mode::SourceSending {
+                                    app,
+                                    child,
+                                    lazy_bytes,
+                                    ..
+                                } => (app, child, lazy_bytes),
+                                _ => unreachable!("matched above"),
+                            };
+                        self.mode = Mode::SourceAwaitCommit {
+                            app,
+                            child,
+                            lazy_bytes,
+                        };
                     }
+                }
+                Wake::Received(env) if env.tag == TAG_HPCM_COMMIT && env.from == *child => {
+                    // Cannot happen before our send op completes (the eager
+                    // state has not left yet) — but a duplicated COMMIT is
+                    // consumed here so it never reaches the app.
+                }
+                Wake::Received(env) if !is_protocol_tag(env.tag) => self.held.push(env),
+                Wake::Alarm(t) if t == self.deadline => {
+                    self.rollback(ctx, "destination never restored (commit timeout)");
+                }
+                _ => {}
+            },
+            Mode::SourceAwaitCommit { child, .. } => match wake {
+                Wake::Received(env) if env.tag == TAG_HPCM_COMMIT && env.from == *child => {
+                    self.commit_source(ctx);
+                }
+                Wake::Received(env) if !is_protocol_tag(env.tag) => self.held.push(env),
+                Wake::Alarm(t) if t == self.deadline => {
+                    self.rollback(ctx, "destination never restored (commit timeout)");
+                }
+                _ => {}
+            },
+            Mode::SourceCommitting { sends_left } => {
+                if let Wake::OpDone = wake {
+                    *sends_left -= 1;
                     if *sends_left == 0 {
-                        self.finish_source(ctx);
+                        ctx.trace(TraceKind::Migration, "source state sent; exiting");
+                        self.mode = Mode::Done;
+                        ctx.exit();
                     }
                 }
             }
-            Mode::Restoring { waited_init } => match wake {
+
+            // --- Destination side -------------------------------------------
+            Mode::Restoring {
+                waited_init,
+                source,
+            } => match wake {
                 Wake::Started => {
+                    self.deadline = ctx.alarm(self.cfg.restore_wait_timeout);
                     if self.cfg.pre_initialized || self.cfg.dpm_init_cost.is_zero() {
                         *waited_init = true;
+                        ctx.send(*source, TAG_HPCM_READY, Payload::Empty);
                         ctx.recv(RecvFilter::tag(TAG_HPCM_EAGER));
                     } else {
                         ctx.sleep(self.cfg.dpm_init_cost);
@@ -318,44 +557,81 @@ impl<A: MigratableApp> Program for HpcmShell<A> {
                 }
                 Wake::OpDone if !*waited_init => {
                     *waited_init = true;
+                    ctx.send(*source, TAG_HPCM_READY, Payload::Empty);
                     ctx.recv(RecvFilter::tag(TAG_HPCM_EAGER));
                 }
                 Wake::Received(env) if env.tag == TAG_HPCM_EAGER => {
-                    let bytes = env.payload.as_bytes().unwrap_or_default();
-                    let app = A::restore(bytes, self.mpi.as_ref());
-                    let restore_work = self.cfg.restore_fixed
-                        + SimDuration::from_secs_f64(bytes.len() as f64 / self.cfg.restore_rate);
-                    ctx.trace(
-                        TraceKind::Migration,
-                        format!("restoring {} ({} bytes)", app.app_name(), bytes.len()),
-                    );
-                    // Restoration burns CPU on the destination.
-                    ctx.compute(restore_work.as_secs_f64());
-                    self.mode = Mode::RestoreCompute { app: Some(app) };
+                    let framed = env.payload.as_bytes().unwrap_or_default();
+                    let restored = unframe_state(framed)
+                        .and_then(|bytes| A::restore(bytes, self.mpi.as_ref()));
+                    match restored {
+                        Ok(app) => {
+                            let restore_work = self.cfg.restore_fixed
+                                + SimDuration::from_secs_f64(
+                                    framed.len() as f64 / self.cfg.restore_rate,
+                                );
+                            ctx.trace(
+                                TraceKind::Migration,
+                                format!("restoring {} ({} bytes)", app.app_name(), framed.len()),
+                            );
+                            // Restoration burns CPU on the destination.
+                            ctx.compute(restore_work.as_secs_f64());
+                            let source = *source;
+                            self.mode = Mode::RestoreCompute {
+                                app: Some(app),
+                                source,
+                            };
+                        }
+                        Err(e) => {
+                            // Corrupt checkpoint: refuse to resurrect from
+                            // garbage. The source's commit deadline will
+                            // expire and roll the application back.
+                            self.abort_destination(ctx, &format!("checkpoint rejected: {e}"));
+                        }
+                    }
+                }
+                Wake::Alarm(t) if t == self.deadline => {
+                    self.abort_destination(ctx, "eager state never arrived");
                 }
                 _ => {}
             },
-            Mode::RestoreCompute { app } => {
+            Mode::RestoreCompute { app, source } => {
                 if let Wake::OpDone = wake {
                     let app = app.take().expect("app restored");
-                    let now = ctx.now();
-                    {
-                        let mut log = self.hooks.0.borrow_mut();
-                        if let Some(m) = log
-                            .migrations
-                            .iter_mut()
-                            .rev()
-                            .find(|m| m.pid_new == ctx.pid())
-                        {
-                            m.resumed_at = Some(now);
+                    let source = *source;
+                    // Request the commit; resume only once it is granted.
+                    ctx.send(source, TAG_HPCM_COMMIT, Payload::Empty);
+                    self.deadline = ctx.alarm(self.cfg.restore_wait_timeout);
+                    self.mode = Mode::AwaitCommitAck {
+                        app: Some(app),
+                        source,
+                    };
+                }
+            }
+            Mode::AwaitCommitAck { app, source } => match wake {
+                Wake::Received(env) if env.tag == TAG_HPCM_COMMIT_ACK => {
+                    let app = app.take().expect("app restored");
+                    let source = *source;
+                    let me = ctx.pid();
+                    // Commit granted: communication-state transfer — the
+                    // task identity now points at this process.
+                    if let Some(mpi) = &self.mpi {
+                        if let Some(task) = mpi.task_of(source) {
+                            let _ = mpi.rebind(task, me);
                         }
                     }
+                    let now = ctx.now();
+                    self.with_record(me, false, |m| m.resumed_at = Some(now));
                     ctx.trace(TraceKind::Migration, "destination resumed execution");
                     self.mode = Mode::Running { app };
                     // Resume: the app re-issues ops for its current phase.
                     self.drive_app(ctx, Wake::Started);
                 }
-            }
+                Wake::Alarm(t) if t == self.deadline => {
+                    self.abort_destination(ctx, "commit never acknowledged");
+                }
+                _ => {}
+            },
             Mode::Done => {}
         }
     }

@@ -14,6 +14,12 @@ pub const MIGRATE_SIGNAL: u32 = 30;
 pub const TAG_HPCM_EAGER: u32 = 0xE0E0;
 /// Message tag carrying the lazily streamed remainder of the state.
 pub const TAG_HPCM_LAZY: u32 = 0xE0E1;
+/// Destination → source: initialized and ready to receive the checkpoint.
+pub const TAG_HPCM_READY: u32 = 0xE0E2;
+/// Destination → source: state restored, requesting the commit.
+pub const TAG_HPCM_COMMIT: u32 = 0xE0E3;
+/// Source → destination: commit acknowledged, resume the application.
+pub const TAG_HPCM_COMMIT_ACK: u32 = 0xE0E4;
 
 /// Host-file path the commander writes the destination into for `pid`.
 pub fn dest_file_path(pid: Pid) -> String {
@@ -68,7 +74,11 @@ pub trait MigratableApp: 'static {
     /// applications receive the shared [`Mpi`](ars_mpisim::Mpi) world to
     /// re-attach their communicators (identifiers inside the checkpoint
     /// stay valid because task identities survive migration).
-    fn restore(eager: &[u8], mpi: Option<&ars_mpisim::Mpi>) -> Self
+    ///
+    /// Returns an error — never panics — on a malformed checkpoint; the
+    /// shell then aborts the restore and the source rolls the application
+    /// back to its poll-point.
+    fn restore(eager: &[u8], mpi: Option<&ars_mpisim::Mpi>) -> Result<Self, crate::CodecError>
     where
         Self: Sized;
 
@@ -107,6 +117,17 @@ pub struct HpcmConfig {
     pub restore_fixed: SimDuration,
     /// Restoration throughput for the eager checkpoint, bytes/second.
     pub restore_rate: f64,
+    /// Source-side deadline for the destination's READY message. Expiry
+    /// rolls the application back to its poll-point (destination host
+    /// down, spawn refused, READY lost…).
+    pub prepare_timeout: SimDuration,
+    /// Source-side deadline, armed at READY, for the destination's COMMIT
+    /// (covers the eager transfer and restoration). Expiry rolls back.
+    pub commit_timeout: SimDuration,
+    /// Destination-side deadline for the eager checkpoint and, re-armed at
+    /// COMMIT, for the source's COMMIT_ACK. Expiry makes the destination
+    /// shell abort itself (the source has crashed or rolled back).
+    pub restore_wait_timeout: SimDuration,
 }
 
 impl Default for HpcmConfig {
@@ -116,8 +137,24 @@ impl Default for HpcmConfig {
             pre_initialized: false,
             restore_fixed: SimDuration::from_millis(350),
             restore_rate: 50_000_000.0,
+            prepare_timeout: SimDuration::from_secs(10),
+            commit_timeout: SimDuration::from_secs(30),
+            restore_wait_timeout: SimDuration::from_secs(30),
         }
     }
+}
+
+/// Transactional outcome of a migration attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MigrationOutcome {
+    /// Transaction still in flight (prepare/transfer/commit).
+    #[default]
+    InFlight,
+    /// Committed: the destination owns the process; the source wound down.
+    Committed,
+    /// Aborted: the source rolled the application back to its poll-point
+    /// (see [`MigrationRecord::abort_reason`]).
+    Aborted,
 }
 
 /// Timeline of one completed migration (§5.2's phases).
@@ -143,10 +180,14 @@ pub struct MigrationRecord {
     pub resumed_at: Option<SimTime>,
     /// When the lazy remainder finished arriving (migration complete).
     pub lazy_done_at: Option<SimTime>,
-    /// Eager checkpoint size, bytes.
+    /// Eager checkpoint size, bytes (as framed on the wire).
     pub eager_bytes: u64,
     /// Lazy remainder size, bytes.
     pub lazy_bytes: u64,
+    /// How the transaction ended.
+    pub outcome: MigrationOutcome,
+    /// Why it aborted, when it did.
+    pub abort_reason: Option<String>,
 }
 
 /// Completion record of a migratable application.
@@ -204,6 +245,16 @@ impl HpcmHooks {
             .iter()
             .find(|c| c.app == app)
             .cloned()
+    }
+
+    /// Number of migrations that ended in the given outcome.
+    pub fn outcome_count(&self, outcome: MigrationOutcome) -> usize {
+        self.0
+            .borrow()
+            .migrations
+            .iter()
+            .filter(|m| m.outcome == outcome)
+            .count()
     }
 }
 

@@ -2,8 +2,8 @@
 //! HPCM shell moves between hosts under commander-style signals.
 
 use ars_hpcm::{
-    dest_file_path, AppStatus, HpcmConfig, HpcmHooks, HpcmShell, MigratableApp, SavedState,
-    StateReader, StateWriter, MIGRATE_SIGNAL,
+    dest_file_path, AppStatus, CodecError, HpcmConfig, HpcmHooks, HpcmShell, MigratableApp,
+    SavedState, StateReader, StateWriter, MIGRATE_SIGNAL,
 };
 use ars_sim::{Ctx, HostId, Pid, Sim, SimConfig, Wake};
 use ars_simcore::{SimDuration, SimTime};
@@ -59,14 +59,14 @@ impl MigratableApp for Chunks {
         }
     }
 
-    fn restore(eager: &[u8], _mpi: Option<&ars_mpisim::Mpi>) -> Self {
+    fn restore(eager: &[u8], _mpi: Option<&ars_mpisim::Mpi>) -> Result<Self, CodecError> {
         let mut r = StateReader::new(eager);
-        Chunks {
-            total_chunks: r.u32().expect("total"),
-            done: r.u32().expect("done"),
-            chunk_work: r.f64().expect("chunk"),
-            mem_bytes: r.u64().expect("mem"),
-        }
+        Ok(Chunks {
+            total_chunks: r.u32()?,
+            done: r.u32()?,
+            chunk_work: r.f64()?,
+            mem_bytes: r.u64()?,
+        })
     }
 
     fn progress(&self) -> f64 {
@@ -311,7 +311,7 @@ fn checkpoint_roundtrip_preserves_app_state() {
         mem_bytes: 123,
     };
     let saved = app.save();
-    let back = Chunks::restore(&saved.eager, None);
+    let back = Chunks::restore(&saved.eager, None).expect("valid checkpoint");
     assert_eq!(back.total_chunks, 7);
     assert_eq!(back.done, 3);
     assert_eq!(back.chunk_work, 2.5);

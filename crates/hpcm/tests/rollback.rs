@@ -1,0 +1,301 @@
+//! Transactional migration: prepare → transfer → commit with rollback to
+//! the poll-point. The source keeps the application alive until the
+//! destination's COMMIT arrives; any failure before that (destination host
+//! down, spawn refused, checkpoint rejected, messages lost) aborts the
+//! attempt and the application resumes on the source — no work is lost
+//! beyond the re-execution since the last poll-point.
+
+use ars_hpcm::{
+    dest_file_path, AppStatus, CodecError, HpcmConfig, HpcmHooks, HpcmShell, MigratableApp,
+    MigrationOutcome, SavedState, StateReader, StateWriter, MIGRATE_SIGNAL,
+};
+use ars_sim::{Ctx, Fault, HostId, Pid, Sim, SimConfig, TraceKind, Wake};
+use ars_simcore::{SimDuration, SimTime};
+use ars_simhost::HostConfig;
+use ars_xmlwire::ApplicationSchema;
+
+/// Same toy app as the happy-path migration tests: `total_chunks` compute
+/// chunks with a modeled memory image.
+struct Chunks {
+    total_chunks: u32,
+    done: u32,
+    chunk_work: f64,
+    mem_bytes: u64,
+    /// When set, `restore` rejects the checkpoint (models a corrupted or
+    /// version-skewed state blob that decodes but fails validation).
+    poison: bool,
+}
+
+impl Chunks {
+    fn new(total_chunks: u32, chunk_work: f64, mem_bytes: u64) -> Self {
+        Chunks {
+            total_chunks,
+            done: 0,
+            chunk_work,
+            mem_bytes,
+            poison: false,
+        }
+    }
+}
+
+impl MigratableApp for Chunks {
+    fn app_name(&self) -> String {
+        "chunks".to_string()
+    }
+
+    fn schema(&self) -> ApplicationSchema {
+        ApplicationSchema::compute("chunks", self.total_chunks as f64 * self.chunk_work)
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>, wake: Wake) -> AppStatus {
+        match wake {
+            Wake::Started => {
+                ctx.compute(self.chunk_work);
+                AppStatus::Running
+            }
+            Wake::OpDone => {
+                self.done += 1;
+                if self.done >= self.total_chunks {
+                    AppStatus::Finished
+                } else {
+                    ctx.compute(self.chunk_work);
+                    AppStatus::Running
+                }
+            }
+            _ => AppStatus::Running,
+        }
+    }
+
+    fn save(&self) -> SavedState {
+        let mut w = StateWriter::new();
+        w.u32(self.total_chunks)
+            .u32(self.done)
+            .f64(self.chunk_work)
+            .u64(self.mem_bytes)
+            .bool(self.poison);
+        SavedState {
+            eager: w.into_bytes(),
+            lazy_bytes: self.mem_bytes,
+        }
+    }
+
+    fn restore(eager: &[u8], _mpi: Option<&ars_mpisim::Mpi>) -> Result<Self, CodecError> {
+        let mut r = StateReader::new(eager);
+        let app = Chunks {
+            total_chunks: r.u32()?,
+            done: r.u32()?,
+            chunk_work: r.f64()?,
+            mem_bytes: r.u64()?,
+            poison: r.bool()?,
+        };
+        if app.poison {
+            return Err(CodecError {
+                at: 0,
+                what: "poisoned checkpoint rejected by validation",
+            });
+        }
+        Ok(app)
+    }
+
+    fn progress(&self) -> f64 {
+        self.done as f64 * self.chunk_work
+    }
+}
+
+fn cluster() -> Sim {
+    Sim::new(
+        vec![
+            HostConfig::named("ws1"),
+            HostConfig::named("ws2"),
+            HostConfig::named("ws3"),
+        ],
+        SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        },
+    )
+}
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+/// Act as the commander: write the destination file and post the signal.
+fn command_migration(sim: &mut Sim, pid: Pid, src: HostId, dest_name: &str) {
+    sim.kernel_mut().hosts[src.0 as usize]
+        .write_file(dest_file_path(pid), format!("{dest_name}:7801"));
+    sim.signal(pid, MIGRATE_SIGNAL);
+}
+
+fn fast_timeouts() -> HpcmConfig {
+    HpcmConfig {
+        prepare_timeout: SimDuration::from_secs(3),
+        commit_timeout: SimDuration::from_secs(5),
+        restore_wait_timeout: SimDuration::from_secs(5),
+        ..HpcmConfig::default()
+    }
+}
+
+fn assert_aborted_and_completed_on_source(sim: &Sim, hooks: &HpcmHooks, work: f64) {
+    assert_eq!(hooks.outcome_count(MigrationOutcome::Aborted), 1);
+    assert_eq!(hooks.outcome_count(MigrationOutcome::Committed), 0);
+    let m = hooks.last_migration().unwrap();
+    assert_eq!(m.outcome, MigrationOutcome::Aborted);
+    assert!(m.abort_reason.is_some(), "abort carries a cause");
+    assert_eq!(m.resumed_at, None, "aborted attempts never resume remotely");
+    let done = hooks.completion_of("chunks").expect("finished on source");
+    assert_eq!(done.host, HostId(0));
+    assert_eq!(done.work_done, work, "every chunk executed");
+    // The rollback is auditable in the trace.
+    assert!(
+        sim.kernel()
+            .trace
+            .events()
+            .iter()
+            .any(|e| e.kind == TraceKind::Recovery && e.detail.contains("rolled back")),
+        "rollback traced"
+    );
+}
+
+#[test]
+fn destination_host_down_at_spawn_rolls_back() {
+    // ws2 is already crashed when the command arrives: the spawn is refused
+    // (stillborn child), READY never comes, and the prepare timeout rolls
+    // the application back to its poll-point.
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        Chunks::new(20, 1.0, 4_000_000),
+        fast_timeouts(),
+        None,
+        hooks.clone(),
+    );
+    sim.schedule_fault(t(2.0), Fault::HostCrash { host: 1 });
+    sim.run_until(t(4.5));
+    command_migration(&mut sim, pid, HostId(0), "ws2");
+    sim.run_until(t(120.0));
+
+    assert!(!sim.is_alive(pid), "source finished and exited");
+    assert_aborted_and_completed_on_source(&sim, &hooks, 20.0);
+    assert!(sim.fault_stats().unwrap().spawns_failed >= 1);
+    // 20 chunks + ~3 s of stalled prepare + re-executed partial chunk.
+    let done = hooks.completion_of("chunks").unwrap();
+    assert!(done.finished_at < t(30.0), "bounded recovery");
+}
+
+#[test]
+fn destination_crash_mid_transfer_rolls_back() {
+    // The destination host dies after the child spawned but before it can
+    // COMMIT: the in-flight transfer is torn down and the source's commit
+    // deadline expires.
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    // 50 MB lazy image is irrelevant here (lazy streams only after commit);
+    // what matters is the window between spawn and COMMIT.
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        Chunks::new(20, 1.0, 50_000_000),
+        fast_timeouts(),
+        None,
+        hooks.clone(),
+    );
+    sim.run_until(t(4.5));
+    command_migration(&mut sim, pid, HostId(0), "ws2");
+    // Poll-point at t=5; child spawns then ws2 dies 100 ms later, mid
+    // prepare/transfer.
+    sim.schedule_fault(t(5.1), Fault::HostCrash { host: 1 });
+    sim.run_until(t(120.0));
+
+    assert_aborted_and_completed_on_source(&sim, &hooks, 20.0);
+    let m = hooks.last_migration().unwrap();
+    assert!(!sim.is_alive(m.pid_new), "orphaned child is gone");
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_and_source_rolls_back() {
+    // The checkpoint decodes but fails the application's own validation on
+    // the destination: the destination aborts (never COMMITs), the source's
+    // deadline expires and the application resumes at its poll-point.
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    let mut app = Chunks::new(20, 1.0, 1_000_000);
+    app.poison = true;
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        app,
+        fast_timeouts(),
+        None,
+        hooks.clone(),
+    );
+    sim.run_until(t(4.5));
+    command_migration(&mut sim, pid, HostId(0), "ws2");
+    sim.run_until(t(120.0));
+
+    assert_aborted_and_completed_on_source(&sim, &hooks, 20.0);
+    // The destination recorded the rejection before the source's rollback.
+    assert!(
+        sim.kernel()
+            .trace
+            .events()
+            .iter()
+            .any(|e| e.kind == TraceKind::Recovery && e.detail.contains("checkpoint rejected")),
+        "rejection traced"
+    );
+}
+
+#[test]
+fn committed_migration_still_works_with_fast_timeouts() {
+    // Control: the same aggressive deadlines do not break a healthy
+    // migration.
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        Chunks::new(20, 1.0, 4_000_000),
+        fast_timeouts(),
+        None,
+        hooks.clone(),
+    );
+    sim.run_until(t(4.5));
+    command_migration(&mut sim, pid, HostId(0), "ws2");
+    sim.run_until(t(120.0));
+
+    assert_eq!(hooks.outcome_count(MigrationOutcome::Committed), 1);
+    assert_eq!(hooks.outcome_count(MigrationOutcome::Aborted), 0);
+    let done = hooks.completion_of("chunks").unwrap();
+    assert_eq!(done.host, HostId(1));
+    assert_eq!(done.work_done, 20.0);
+}
+
+#[test]
+fn second_attempt_after_rollback_succeeds() {
+    // Abort (dest down) then retry to a healthy host: the poll-point state
+    // is still valid and the second transaction commits.
+    let mut sim = cluster();
+    let hooks = HpcmHooks::new();
+    let pid = HpcmShell::spawn_on(
+        &mut sim,
+        HostId(0),
+        Chunks::new(30, 1.0, 1_000_000),
+        fast_timeouts(),
+        None,
+        hooks.clone(),
+    );
+    sim.schedule_fault(t(2.0), Fault::HostCrash { host: 1 });
+    sim.run_until(t(4.5));
+    command_migration(&mut sim, pid, HostId(0), "ws2"); // will abort
+    sim.run_until(t(12.0));
+    assert_eq!(hooks.outcome_count(MigrationOutcome::Aborted), 1);
+    command_migration(&mut sim, pid, HostId(0), "ws3"); // retry elsewhere
+    sim.run_until(t(200.0));
+
+    assert_eq!(hooks.outcome_count(MigrationOutcome::Committed), 1);
+    let done = hooks.completion_of("chunks").expect("finished");
+    assert_eq!(done.host, HostId(2), "second attempt landed on ws3");
+    assert_eq!(done.work_done, 30.0);
+}

@@ -125,6 +125,22 @@ impl<'a> Ctx<'a> {
         self.push_op(Op::SleepUntil { at });
     }
 
+    /// Set a one-shot alarm `d` from now. Unlike a sleep this is not an op:
+    /// the wake ([`crate::program::Wake::Alarm`] carrying the returned
+    /// token) is delivered even while ops are in flight, so programs can
+    /// bound a phase with a timeout. There is no cancel — compare the token
+    /// and ignore stale alarms.
+    pub fn alarm(&mut self, d: SimDuration) -> u64 {
+        self.kernel.alarm_seq += 1;
+        let token = self.kernel.alarm_seq;
+        let at = self.kernel.now() + d;
+        let pid = self.meta.pid;
+        self.kernel
+            .queue
+            .push(at, crate::sim::Event::Alarm { pid, token });
+        token
+    }
+
     /// Terminate after the queued ops finish.
     pub fn exit(&mut self) {
         self.push_op(Op::Exit);
@@ -148,6 +164,14 @@ impl<'a> Ctx<'a> {
     /// destination process.
     pub fn drain_mailbox(&mut self) -> Vec<crate::message::Envelope> {
         self.meta.mailbox.drain(..).collect()
+    }
+
+    /// Put an envelope back into this process's own mailbox (tail position).
+    /// The migration shell uses this to return application messages it held
+    /// while a transaction was in flight, so a rolled-back application can
+    /// still receive them.
+    pub fn requeue_envelope(&mut self, env: crate::message::Envelope) {
+        self.meta.mailbox.push_back(env);
     }
 
     /// Re-transmit a drained envelope to another process, preserving its

@@ -23,6 +23,9 @@ pub mod recorder;
 pub mod sim;
 pub mod trace;
 
+pub use ars_faults::{
+    Fault, FaultPlan, FaultStats, MessageFaults, ScheduleParams, TimedFault, RESTART_SIGNAL,
+};
 pub use ctx::Ctx;
 pub use ids::{HostId, Pid};
 pub use message::{Envelope, Payload, RecvFilter, WIRE_HEADER_BYTES};

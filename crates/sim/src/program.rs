@@ -65,6 +65,10 @@ pub enum Wake {
     /// A signal arrived while the process was passive. (Processes that are
     /// mid-op observe signals by polling at op boundaries instead.)
     Signal(u32),
+    /// An alarm set with [`crate::ctx::Ctx::alarm`] fired. Delivered even
+    /// mid-op (it does not disturb the op queue); the token identifies
+    /// which alarm, so programs ignore stale ones instead of cancelling.
+    Alarm(u64),
 }
 
 /// Options for spawning a process.

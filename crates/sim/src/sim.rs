@@ -11,7 +11,8 @@ use crate::message::{Envelope, RecvFilter};
 use crate::program::{Op, Program, SpawnOpts, Wake};
 use crate::recorder::Recorder;
 use crate::trace::{Trace, TraceKind};
-use ars_simcore::{EventId, EventQueue, FxHashMap, JobId, SimDuration, SimRng, SimTime};
+use ars_faults::{Fault, FaultPlan, FaultStats};
+use ars_simcore::{EventId, EventQueue, FxHashMap, FxHashSet, JobId, SimDuration, SimRng, SimTime};
 use ars_simhost::{Host, HostConfig, ProcEntry, ProcState, LOAD_SAMPLE_INTERVAL};
 use ars_simnet::{FlowId, Network, NetworkConfig, NodeId};
 
@@ -31,6 +32,10 @@ pub struct SimConfig {
     /// touched. Results are identical; this exists so `bench_scale` can
     /// measure the dirty-set speedup against a live baseline.
     pub baseline_full_resync: bool,
+    /// Fault-injection schedule. The default (disabled) plan installs
+    /// nothing: no events, no RNG draws, no interception — runs are
+    /// byte-identical to a build without the fault layer.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -41,6 +46,7 @@ impl Default for SimConfig {
             seed: 0x5EED,
             trace: false,
             baseline_full_resync: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -96,15 +102,87 @@ enum FlowPurpose {
 #[derive(Debug)]
 pub(crate) enum Event {
     StartProc(Pid),
-    CpuDone { host: u32 },
+    CpuDone {
+        host: u32,
+    },
     NetDone,
-    Timer { pid: Pid, seq: u64 },
+    Timer {
+        pid: Pid,
+        seq: u64,
+    },
     // Boxed: the envelope would otherwise quadruple the size of every
     // queue entry, and heap sifting copies entries around.
     Deliver(Box<Envelope>),
     Nudge(Pid),
     LoadTick,
     SampleTick,
+    /// Inject `plan.events[i]`.
+    Fault(u32),
+    /// A one-shot alarm set with [`Ctx::alarm`] fires.
+    Alarm {
+        pid: Pid,
+        token: u64,
+    },
+}
+
+/// Runtime state of the fault layer: who is down, which links are severed,
+/// who is stalled, plus the dedicated message-fault RNG. Present only when
+/// the plan is enabled (or faults were scheduled later), so the disabled
+/// path costs nothing and perturbs nothing.
+pub(crate) struct FaultEngine {
+    plan: FaultPlan,
+    /// Dedicated RNG for message-fault rolls — never the kernel RNG, so
+    /// plan changes cannot perturb fault-free random streams.
+    rng: SimRng,
+    host_down: Vec<bool>,
+    /// Severed host pairs, normalized to (min, max).
+    severed: FxHashSet<(u32, u32)>,
+    /// Per-host outbound-message hold deadline (monitor stalls).
+    stall_until: Vec<SimTime>,
+    stats: FaultStats,
+}
+
+enum MsgVerdict {
+    Deliver,
+    Drop,
+    Duplicate,
+    Delay,
+}
+
+impl FaultEngine {
+    fn new(plan: FaultPlan, n_hosts: usize) -> Self {
+        FaultEngine {
+            rng: SimRng::new(plan.seed ^ 0xFA17_CA57),
+            host_down: vec![false; n_hosts],
+            severed: FxHashSet::default(),
+            stall_until: vec![SimTime::ZERO; n_hosts],
+            stats: FaultStats::default(),
+            plan,
+        }
+    }
+
+    fn sever_key(a: u32, b: u32) -> (u32, u32) {
+        (a.min(b), a.max(b))
+    }
+
+    /// One RNG draw per cross-host delivery; cumulative thresholds make
+    /// drop win over duplicate win over delay.
+    fn roll(&mut self) -> MsgVerdict {
+        let m = self.plan.messages;
+        if !m.any() {
+            return MsgVerdict::Deliver;
+        }
+        let r = self.rng.next_f64();
+        if r < m.drop {
+            MsgVerdict::Drop
+        } else if r < m.drop + m.duplicate {
+            MsgVerdict::Duplicate
+        } else if r < m.drop + m.duplicate + m.delay {
+            MsgVerdict::Delay
+        } else {
+            MsgVerdict::Deliver
+        }
+    }
 }
 
 /// Kernel state shared with programs through [`Ctx`].
@@ -129,6 +207,8 @@ pub struct Kernel {
     cpu_sched: Vec<Option<(u64, SimTime, EventId)>>,
     net_sched: Option<(u64, SimTime, EventId)>,
     timer_seq: u64,
+    pub(crate) alarm_seq: u64,
+    pub(crate) faults: Option<FaultEngine>,
     host_index: FxHashMap<String, u32>,
     pub(crate) recorder: Option<Recorder>,
     /// Hosts whose CPU state an event may have changed since the last
@@ -231,6 +311,8 @@ impl Sim {
             cpu_sched: vec![None; n],
             net_sched: None,
             timer_seq: 0,
+            alarm_seq: 0,
+            faults: None,
             host_index,
             recorder: None,
             dirty_hosts: Vec::new(),
@@ -240,10 +322,48 @@ impl Sim {
         kernel
             .queue
             .push(SimTime::ZERO + LOAD_SAMPLE_INTERVAL, Event::LoadTick);
+        if kernel.config.faults.is_enabled() {
+            let plan = kernel.config.faults.clone();
+            for (i, tf) in plan.events.iter().enumerate() {
+                kernel.queue.push(tf.at, Event::Fault(i as u32));
+            }
+            kernel.faults = Some(FaultEngine::new(plan, n));
+        }
         Sim {
             kernel,
             procs: Vec::new(),
         }
+    }
+
+    /// Schedule one more fault after construction (tests often need fault
+    /// times relative to pids or events that only exist once the run is
+    /// set up). Installs the fault engine on first use.
+    pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
+        let n = self.kernel.hosts.len();
+        let engine = self
+            .kernel
+            .faults
+            .get_or_insert_with(|| FaultEngine::new(FaultPlan::none(), n));
+        let idx = engine.plan.events.len() as u32;
+        engine
+            .plan
+            .events
+            .push(ars_faults::TimedFault { at, fault });
+        self.kernel.queue.push(at, Event::Fault(idx));
+    }
+
+    /// Counters kept by the fault layer; `None` when no faults were ever
+    /// configured or scheduled.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.kernel.faults.as_ref().map(|e| &e.stats)
+    }
+
+    /// True while `host` is crashed by the fault layer.
+    pub fn host_is_down(&self, host: HostId) -> bool {
+        self.kernel
+            .faults
+            .as_ref()
+            .is_some_and(|e| e.host_down[host.0 as usize])
     }
 
     /// Enable the periodic metric recorder (the paper samples every 10 s).
@@ -412,6 +532,173 @@ impl Sim {
                     self.kernel.queue.push(now + interval, Event::SampleTick);
                 }
             }
+            Event::Fault(idx) => self.apply_fault(idx as usize),
+            Event::Alarm { pid, token } => {
+                let alive = self
+                    .procs
+                    .get(pid.0 as usize)
+                    .is_some_and(|s| s.meta.run != RunState::Dead);
+                if alive {
+                    self.dispatch(pid, Wake::Alarm(token));
+                }
+            }
+        }
+    }
+
+    // --- Fault injection ------------------------------------------------------
+
+    /// Interpret one timed fault from the plan.
+    fn apply_fault(&mut self, idx: usize) {
+        let Some(engine) = &self.kernel.faults else {
+            return;
+        };
+        let fault = engine.plan.events[idx].fault.clone();
+        let now = self.kernel.now;
+        match fault {
+            Fault::HostCrash { host } => {
+                let h = host as usize;
+                let engine = self.kernel.faults.as_mut().expect("engine present");
+                if engine.host_down[h] {
+                    return;
+                }
+                engine.host_down[h] = true;
+                engine.stats.crashes += 1;
+                self.kernel
+                    .trace
+                    .record(now, TraceKind::Fault, format!("host h{host} crashed"));
+                // Every resident process dies with the host.
+                let victims: Vec<Pid> = self
+                    .procs
+                    .iter()
+                    .filter(|s| s.meta.host.0 == host && s.meta.run != RunState::Dead)
+                    .map(|s| s.meta.pid)
+                    .collect();
+                for pid in victims {
+                    let name = self.procs[pid.0 as usize].meta.name.clone();
+                    self.kernel.trace.record(
+                        now,
+                        TraceKind::Fault,
+                        format!("crash of h{host} killed {pid} ({name})"),
+                    );
+                    if let Some(e) = self.kernel.faults.as_mut() {
+                        e.stats.procs_killed += 1;
+                    }
+                    self.cleanup(pid);
+                }
+                // In-flight transfers touching the host die with it
+                // (cleanup above already ended the victims' own flows).
+                for flow in self.kernel.net.flows_touching(NodeId(host)) {
+                    self.abort_flow(flow, &format!("h{host} down"));
+                }
+                self.kernel.hosts[h].set_down(true);
+            }
+            Fault::HostRecover { host } => {
+                let h = host as usize;
+                let engine = self.kernel.faults.as_mut().expect("engine present");
+                if !engine.host_down[h] {
+                    return;
+                }
+                engine.host_down[h] = false;
+                engine.stats.recoveries += 1;
+                self.kernel.hosts[h].set_down(false);
+                self.kernel.trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!("host h{host} recovered (empty)"),
+                );
+            }
+            Fault::PartitionStart { a, b } => {
+                let engine = self.kernel.faults.as_mut().expect("engine present");
+                for &x in &a {
+                    for &y in &b {
+                        if x != y {
+                            engine.severed.insert(FaultEngine::sever_key(x, y));
+                        }
+                    }
+                }
+                self.kernel.trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!("partition: {a:?} | {b:?}"),
+                );
+                // Transfers crossing the cut are torn down.
+                let crossing: Vec<FlowId> = {
+                    let engine = self.kernel.faults.as_ref().expect("engine present");
+                    self.kernel
+                        .net
+                        .active_flow_endpoints()
+                        .filter(|(_, s, d)| {
+                            engine.severed.contains(&FaultEngine::sever_key(s.0, d.0))
+                        })
+                        .map(|(id, _, _)| id)
+                        .collect()
+                };
+                for flow in crossing {
+                    self.abort_flow(flow, "link partitioned");
+                }
+            }
+            Fault::PartitionEnd => {
+                let engine = self.kernel.faults.as_mut().expect("engine present");
+                engine.severed.clear();
+                self.kernel
+                    .trace
+                    .record(now, TraceKind::Fault, "partition healed");
+            }
+            Fault::MonitorStall { host, duration } => {
+                let engine = self.kernel.faults.as_mut().expect("engine present");
+                let until = now + duration;
+                let h = host as usize;
+                if engine.stall_until[h] < until {
+                    engine.stall_until[h] = until;
+                }
+                self.kernel.trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!("h{host} stalled for {duration}"),
+                );
+            }
+            Fault::ProcessRestart { pid } => {
+                let pid = Pid(pid);
+                if let Some(e) = self.kernel.faults.as_mut() {
+                    e.stats.restarts += 1;
+                }
+                self.kernel
+                    .trace
+                    .record(now, TraceKind::Fault, format!("restart signal -> {pid}"));
+                self.kernel
+                    .pending_signals
+                    .push((pid, ars_faults::RESTART_SIGNAL));
+                self.apply_pending();
+            }
+        }
+    }
+
+    /// Tear down an in-flight flow killed by a fault. A message flow's
+    /// envelope is lost (fire-and-forget: the blocked sender's op still
+    /// completes); background streams just end.
+    fn abort_flow(&mut self, flow: FlowId, why: &str) {
+        let now = self.kernel.now;
+        self.kernel.net.end_flow(now, flow);
+        self.kernel.net_dirty = true;
+        match self.kernel.flow_purpose.remove(&flow) {
+            Some(FlowPurpose::Message(env)) => {
+                let sender = env.from;
+                self.kernel.trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!(
+                        "in-flight message tag {} {} -> {} lost: {why}",
+                        env.tag, env.from, env.to
+                    ),
+                );
+                if let Some(slot) = self.procs.get_mut(sender.0 as usize) {
+                    if matches!(slot.meta.run, RunState::SendFlow(f) if f == flow) {
+                        slot.meta.run = RunState::Idle;
+                        self.dispatch(sender, Wake::OpDone);
+                    }
+                }
+            }
+            Some(FlowPurpose::Background) | None => {}
         }
     }
 
@@ -448,9 +735,7 @@ impl Sim {
                 Some(FlowPurpose::Message(env)) => {
                     let latency = self.kernel.config.net.latency;
                     let sender = env.from;
-                    self.kernel
-                        .queue
-                        .push(now + latency, Event::Deliver(Box::new(env)));
+                    self.enqueue_delivery(env, latency);
                     let slot = &mut self.procs[sender.0 as usize];
                     if matches!(slot.meta.run, RunState::SendFlow(f) if f == flow) {
                         slot.meta.run = RunState::Idle;
@@ -458,6 +743,106 @@ impl Sim {
                     }
                 }
                 Some(FlowPurpose::Background) | None => {}
+            }
+        }
+    }
+
+    /// Queue a message delivery `base` after now, routing it through the
+    /// fault layer when one is installed. Cross-host deliveries can be
+    /// black-holed (destination down, link partitioned), held (source
+    /// stalled) or hit by the seeded drop/duplicate/delay roll. Loopback
+    /// is reliable, and with no engine this is exactly one queue push.
+    fn enqueue_delivery(&mut self, env: Envelope, base: SimDuration) {
+        let src_host = self.procs.get(env.from.0 as usize).map(|s| s.meta.host.0);
+        let dst_host = self.procs.get(env.to.0 as usize).map(|s| s.meta.host.0);
+        let Kernel {
+            now,
+            queue,
+            trace,
+            faults,
+            ..
+        } = &mut self.kernel;
+        let now = *now;
+        let cross = match (src_host, dst_host) {
+            (Some(a), Some(b)) if a != b => Some((a, b)),
+            _ => None,
+        };
+        let (engine, (src, dst)) = match (faults.as_mut(), cross) {
+            (Some(e), Some(pair)) => (e, pair),
+            _ => {
+                queue.push(now + base, Event::Deliver(Box::new(env)));
+                return;
+            }
+        };
+        if engine.host_down[dst as usize] {
+            engine.stats.msgs_blackholed += 1;
+            trace.record(
+                now,
+                TraceKind::Fault,
+                format!(
+                    "message tag {} {} -> {} lost: h{dst} down",
+                    env.tag, env.from, env.to
+                ),
+            );
+            return;
+        }
+        if engine.severed.contains(&FaultEngine::sever_key(src, dst)) {
+            engine.stats.msgs_blackholed += 1;
+            trace.record(
+                now,
+                TraceKind::Fault,
+                format!(
+                    "message tag {} {} -> {} lost: h{src}~h{dst} partitioned",
+                    env.tag, env.from, env.to
+                ),
+            );
+            return;
+        }
+        let mut at = now + base;
+        if engine.stall_until[src as usize] > now {
+            engine.stats.msgs_stalled += 1;
+            at = engine.stall_until[src as usize] + base;
+        }
+        match engine.roll() {
+            MsgVerdict::Deliver => {
+                queue.push(at, Event::Deliver(Box::new(env)));
+            }
+            MsgVerdict::Drop => {
+                engine.stats.msgs_dropped += 1;
+                trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!(
+                        "message tag {} {} -> {} dropped (fault roll)",
+                        env.tag, env.from, env.to
+                    ),
+                );
+            }
+            MsgVerdict::Duplicate => {
+                engine.stats.msgs_duplicated += 1;
+                trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!(
+                        "message tag {} {} -> {} duplicated (fault roll)",
+                        env.tag, env.from, env.to
+                    ),
+                );
+                queue.push(at, Event::Deliver(Box::new(env.clone())));
+                queue.push(at, Event::Deliver(Box::new(env)));
+            }
+            MsgVerdict::Delay => {
+                engine.stats.msgs_delayed += 1;
+                let delay = engine.plan.messages.delay_by;
+                trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!(
+                        "message tag {} {} -> {} delayed {delay} (fault roll)",
+                        env.tag, env.from, env.to
+                    ),
+                );
+                queue.push(at + delay, Event::Deliver(Box::new(env)));
             }
         }
     }
@@ -574,9 +959,7 @@ impl Sim {
                     .unwrap_or(host);
                 if dst_host == host {
                     let latency = self.kernel.config.local_latency;
-                    self.kernel
-                        .queue
-                        .push(now + latency, Event::Deliver(Box::new(env)));
+                    self.enqueue_delivery(env, latency);
                     Some(Wake::OpDone)
                 } else {
                     let flow = self.kernel.net.start_flow(
@@ -629,6 +1012,42 @@ impl Sim {
             let spawn = self.kernel.pending_spawns.remove(0);
             debug_assert_eq!(spawn.pid.0 as usize, self.procs.len(), "pid/slot skew");
             let now = self.kernel.now;
+            // Spawning onto a crashed host fails: the pid slot is created
+            // dead (preserving the pid==slot invariant) and the program is
+            // dropped, but the host never sees the process.
+            let host_down = self
+                .kernel
+                .faults
+                .as_ref()
+                .is_some_and(|e| e.host_down[spawn.host.0 as usize]);
+            if host_down {
+                if let Some(e) = self.kernel.faults.as_mut() {
+                    e.stats.spawns_failed += 1;
+                }
+                self.kernel.trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!(
+                        "spawn of {} ({}) refused: h{} down",
+                        spawn.pid, spawn.opts.name, spawn.host.0
+                    ),
+                );
+                self.procs.push(ProcSlot {
+                    meta: ProcMeta {
+                        pid: spawn.pid,
+                        host: spawn.host,
+                        name: spawn.opts.name,
+                        ops: std::collections::VecDeque::new(),
+                        run: RunState::Dead,
+                        mailbox: std::collections::VecDeque::new(),
+                        signals: std::collections::VecDeque::new(),
+                        started_at: now,
+                        exited_at: Some(now),
+                    },
+                    program: None,
+                });
+                continue;
+            }
             let host = &mut self.kernel.hosts[spawn.host.0 as usize];
             host.proc_add(ProcEntry {
                 pid: spawn.pid.0,

@@ -21,6 +21,11 @@ pub enum TraceKind {
     Migration,
     /// Scheduling decision (registry/scheduler).
     Decision,
+    /// An injected fault took effect (crash, drop, partition, stall…).
+    Fault,
+    /// A recovery action: retransmit, rollback, abort, re-registration,
+    /// soft-state reconstruction.
+    Recovery,
     /// Anything else.
     Custom,
 }

@@ -81,6 +81,7 @@ pub struct Host {
     disks: DiskSet,
     procs: ProcTable,
     files: HashMap<String, String>,
+    down: bool,
 }
 
 impl Host {
@@ -94,6 +95,7 @@ impl Host {
             disks: DiskSet::new(config.mounts.clone()),
             procs: ProcTable::new(),
             files: HashMap::new(),
+            down: false,
             config,
         }
     }
@@ -106,6 +108,23 @@ impl Host {
     /// Hostname.
     pub fn name(&self) -> &str {
         &self.config.name
+    }
+
+    // --- Power state (fault injection) -------------------------------------
+
+    /// Mark the host crashed or recovered. The kernel kills resident
+    /// processes and refuses spawns while down; crashing also wipes the
+    /// local scratch files (a reboot loses `/tmp`).
+    pub fn set_down(&mut self, down: bool) {
+        if down {
+            self.files.clear();
+        }
+        self.down = down;
+    }
+
+    /// True while the host is crashed.
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 
     // --- CPU ---------------------------------------------------------------

@@ -175,6 +175,26 @@ impl Network {
         self.flows.get(&id)
     }
 
+    /// Ids of active flows with `node` as either endpoint, ascending by id
+    /// (deterministic). The fault layer uses this to tear down transfers
+    /// when a host crashes.
+    pub fn flows_touching(&self, node: NodeId) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .filter(|(_, f)| f.active() && (f.src == node || f.dst == node))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Endpoints of every active flow, ascending by id (deterministic).
+    /// The fault layer uses this to find transfers crossing a partition.
+    pub fn active_flow_endpoints(&self) -> impl Iterator<Item = (FlowId, NodeId, NodeId)> + '_ {
+        self.flows
+            .iter()
+            .filter(|(_, f)| f.active())
+            .map(|(&id, f)| (id, f.src, f.dst))
+    }
+
     /// Current rate of a flow in bytes/second (0 for finished/unknown).
     pub fn rate_of(&self, id: FlowId) -> f64 {
         self.flows

@@ -236,6 +236,26 @@ pub enum Message {
         /// Queried hostname.
         host: String,
     },
+    /// Commander → registry: explicit receipt of a [`Message::MigrationCommand`].
+    ///
+    /// The registry retransmits unacknowledged commands with exponential
+    /// backoff; this message stops the retransmit timer.
+    CommandAck {
+        /// Acknowledging commander's hostname.
+        host: String,
+        /// Pid the acknowledged command referred to.
+        pid: u64,
+        /// False when the commander rejected the command (e.g. pid unknown).
+        ok: bool,
+    },
+    /// Registry → monitor: "I don't know you" — sent when a heartbeat
+    /// arrives from a host that is not registered (typically after a
+    /// registry restart lost the soft state). The monitor answers by
+    /// re-sending its [`Message::Register`] documents.
+    ReRegister {
+        /// Addressee hostname.
+        host: String,
+    },
     /// Generic acknowledgement.
     Ack {
         /// True on success.
@@ -256,6 +276,8 @@ impl Message {
             Message::CandidateReply { .. } => "candidate-reply",
             Message::MigrationComplete { .. } => "migration-complete",
             Message::StatusQuery { .. } => "status-query",
+            Message::CommandAck { .. } => "command-ack",
+            Message::ReRegister { .. } => "re-register",
             Message::Ack { .. } => "ack",
         }
     }
@@ -334,6 +356,10 @@ impl Message {
                 .field("to", to)
                 .field("migration-time-s", migration_time_s),
             Message::StatusQuery { host } => root.field("host", host),
+            Message::CommandAck { host, pid, ok } => {
+                root.field("host", host).field("pid", pid).field("ok", ok)
+            }
+            Message::ReRegister { host } => root.field("host", host),
             Message::Ack { ok, info } => root.field("ok", ok).field("info", info),
         }
     }
@@ -479,6 +505,18 @@ impl Message {
                     .field_text("host")
                     .ok_or_else(|| XmlError::MissingField("host".to_string()))?,
             }),
+            "command-ack" => Ok(Message::CommandAck {
+                host: el
+                    .field_text("host")
+                    .ok_or_else(|| XmlError::MissingField("host".to_string()))?,
+                pid: el.field_parse("pid")?,
+                ok: el.field_parse("ok")?,
+            }),
+            "re-register" => Ok(Message::ReRegister {
+                host: el
+                    .field_text("host")
+                    .ok_or_else(|| XmlError::MissingField("host".to_string()))?,
+            }),
             "ack" => Ok(Message::Ack {
                 ok: el.field_parse("ok")?,
                 info: el.field_text("info").unwrap_or_default(),
@@ -587,6 +625,23 @@ mod tests {
         });
         roundtrip(Message::StatusQuery {
             host: "ws3".to_string(),
+        });
+    }
+
+    #[test]
+    fn recovery_message_roundtrips() {
+        roundtrip(Message::CommandAck {
+            host: "ws1".to_string(),
+            pid: 1234,
+            ok: true,
+        });
+        roundtrip(Message::CommandAck {
+            host: "ws1".to_string(),
+            pid: 1234,
+            ok: false,
+        });
+        roundtrip(Message::ReRegister {
+            host: "ws2".to_string(),
         });
     }
 

@@ -1,0 +1,130 @@
+//! Decode robustness: truncated and bit-flipped wire documents of every
+//! message type must return `Err` (or, for flips that happen to keep the
+//! document well-formed, an `Ok`) — never panic. Chaos runs deliver exactly
+//! this kind of garbage to long-lived daemons.
+
+use ars_xmlwire::{
+    ApplicationSchema, EntityRole, HostState, HostStatic, Message, Metrics, ProcReport,
+    ResourceRequirements,
+};
+
+fn sample_messages() -> Vec<Message> {
+    let mut metrics = Metrics::new();
+    metrics.set("loadAvg1", 1.25);
+    metrics.set("nproc", 61.0);
+    vec![
+        Message::Register {
+            host: HostStatic {
+                name: "ws1".to_string(),
+                ip: "10.0.0.1".to_string(),
+                os: "linux".to_string(),
+                cpu_speed: 1.2,
+                n_cpus: 2,
+                mem_kb: 131_072,
+            },
+            role: EntityRole::Monitor,
+        },
+        Message::Heartbeat {
+            host: "ws1".to_string(),
+            state: HostState::Overloaded,
+            metrics,
+            procs: vec![ProcReport {
+                pid: 42,
+                app: "test_tree".to_string(),
+                start_time_s: 10.5,
+                est_exec_time_s: 600.0,
+            }],
+        },
+        Message::MigrationCommand {
+            host: "ws1".to_string(),
+            pid: 42,
+            dest: "ws2".to_string(),
+            dest_port: 7801,
+            schema: ApplicationSchema::compute("test_tree", 600.0),
+        },
+        Message::CandidateRequest {
+            host: "ws1".to_string(),
+            requirements: ResourceRequirements::default(),
+        },
+        Message::CandidateReply {
+            dest: Some("ws2".to_string()),
+        },
+        Message::CandidateReply { dest: None },
+        Message::MigrationComplete {
+            pid: 42,
+            from: "ws1".to_string(),
+            to: "ws2".to_string(),
+            migration_time_s: 4.2,
+        },
+        Message::StatusQuery {
+            host: "ws1".to_string(),
+        },
+        Message::Ack {
+            ok: true,
+            info: "registered ws1".to_string(),
+        },
+        Message::CommandAck {
+            host: "ws1".to_string(),
+            pid: 42,
+            ok: false,
+        },
+        Message::ReRegister {
+            host: "ws1".to_string(),
+        },
+    ]
+}
+
+#[test]
+fn every_truncation_of_every_message_type_errors() {
+    for msg in sample_messages() {
+        let doc = msg.to_document();
+        // Sanity: the intact document decodes back to the message.
+        assert_eq!(Message::decode(&doc).unwrap(), msg);
+        for n in 0..doc.len() {
+            if !doc.is_char_boundary(n) {
+                continue;
+            }
+            let cut = &doc[..n];
+            assert!(
+                Message::decode(cut).is_err(),
+                "truncation to {n} bytes of {} decoded",
+                msg.type_tag()
+            );
+        }
+    }
+}
+
+#[test]
+fn bit_flipped_documents_never_panic() {
+    for msg in sample_messages() {
+        let doc = msg.to_document().into_bytes();
+        for i in 0..doc.len() * 8 {
+            let mut bad = doc.clone();
+            bad[i / 8] ^= 1 << (i % 8);
+            // A flip may produce invalid UTF-8 (decode via lossy, as a
+            // daemon reading a socket would) or still-well-formed XML that
+            // decodes to a different message; both are fine. Panicking or
+            // aborting is not.
+            let text = String::from_utf8_lossy(&bad);
+            let _ = Message::decode(&text);
+        }
+    }
+}
+
+#[test]
+fn hostile_but_well_formed_documents_error_cleanly() {
+    // Wrong root, missing fields, non-numeric numbers: typed errors, not
+    // panics.
+    for doc in [
+        "<unknown-tag/>",
+        "<heartbeat/>",
+        "<register><host/></register>",
+        "<command-ack><host>x</host><pid>not-a-number</pid><ok>maybe</ok></command-ack>",
+        "<migration-command><pid>99999999999999999999999999</pid></migration-command>",
+        "",
+        "not xml at all",
+        "<a><b></a></b>",
+    ] {
+        assert!(Message::decode(doc).is_err(), "{doc:?} decoded");
+    }
+}

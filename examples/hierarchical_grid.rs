@@ -73,6 +73,7 @@ fn main() {
                     overload_confirm: SimDuration::from_secs(40),
                     adaptive: None,
                     push: true,
+                    commander: None,
                 },
                 schemas.clone(),
             )),

@@ -21,7 +21,7 @@ fn statics(name: &str) -> HostStatic {
     }
 }
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = LiveRegistry::start()?;
     println!("registry/scheduler listening on {}", registry.addr());
 

@@ -13,6 +13,14 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test --release --workspace -q
 
+echo "== chaos matrix =="
+# The chaos suite already runs once (default seeds) as part of the
+# workspace tests above; this pass widens the seeded fault-schedule matrix.
+# Every schedule must terminate with each app completed or lost-with-cause,
+# and must replay bit-identically.
+ARS_CHAOS_SEEDS="3,5,11,12,13,17,23,42" \
+    cargo test --release -q --test chaos -- chaos_liveness_over_the_seed_matrix
+
 echo "== rustfmt =="
 # Vendored crates (vendor/*) keep their upstream formatting, so list our
 # packages explicitly instead of using --all.

@@ -90,7 +90,7 @@ pub mod prelude {
     };
     pub use ars_hpcm::{
         dest_file_path, AppStatus, HpcmConfig, HpcmHooks, HpcmShell, MigratableApp,
-        MigrationRecord, SavedState, MIGRATE_SIGNAL,
+        MigrationOutcome, MigrationRecord, SavedState, MIGRATE_SIGNAL,
     };
     pub use ars_mpisim::{CommId, Mpi, Rank, ReduceOp, TaskId};
     pub use ars_rescheduler::{
@@ -101,8 +101,8 @@ pub mod prelude {
         metric_keys, Condition, HostState, MonitoringFrequency, Policy, RuleOp, RuleSet, SimpleRule,
     };
     pub use ars_sim::{
-        Ctx, Envelope, HostId, Payload, Pid, Program, RecvFilter, Sim, SimConfig, SpawnOpts,
-        TraceKind, Wake,
+        Ctx, Envelope, Fault, FaultPlan, FaultStats, HostId, MessageFaults, Payload, Pid, Program,
+        RecvFilter, ScheduleParams, Sim, SimConfig, SpawnOpts, TraceKind, Wake, RESTART_SIGNAL,
     };
     pub use ars_simcore::{SimDuration, SimTime};
     pub use ars_simhost::HostConfig;

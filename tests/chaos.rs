@@ -1,0 +1,273 @@
+//! Chaos suite: seeded fault schedules over the full autonomic deployment.
+//!
+//! The liveness property (ISSUE 2): for every seeded schedule the
+//! simulation terminates and every application either completes or is
+//! reported lost with a recorded cause — no hangs, no silently dropped
+//! processes. Replaying the same seed + schedule yields a bit-identical
+//! trace.
+//!
+//! Seeds come from `ARS_CHAOS_SEEDS` (comma-separated, default `11,12,13`)
+//! so CI can widen the matrix without recompiling.
+//!
+//! The workloads here are independent `TestTree` instances, not MPI ranks:
+//! an MPI app whose peer loses a halo message to a random drop would block
+//! in a collective forever by design (the paper's runtime does not retry
+//! application traffic), so message-level chaos on tightly coupled ranks
+//! tests the application model, not the runtime. Host crashes and control
+//! message faults against the runtime itself are exactly what this suite
+//! covers.
+
+use ars::prelude::*;
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+fn chaos_seeds() -> Vec<u64> {
+    let raw = std::env::var("ARS_CHAOS_SEEDS").unwrap_or_else(|_| "11,12,13".to_string());
+    raw.split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+/// Fault schedule for one chaos run: one seeded crash + stall over the
+/// worker hosts, light random message faults, and a registry restart.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(
+        seed,
+        &ScheduleParams {
+            host_lo: 2,
+            host_hi: 6,
+            horizon: t(600.0),
+            crashes: 1,
+            recover_after: SimDuration::from_secs(60),
+            stalls: 1,
+            stall_for: SimDuration::from_secs(45),
+            messages: MessageFaults {
+                drop: 0.02,
+                duplicate: 0.02,
+                delay: 0.05,
+                delay_by: SimDuration::from_millis(80),
+            },
+        },
+    )
+}
+
+struct ChaosOutcome {
+    trace: Vec<(u64, String)>,
+    completed: usize,
+    lost: usize,
+}
+
+/// One full chaos run; panics if the liveness property is violated.
+fn chaos_run(seed: u64) -> ChaosOutcome {
+    let mut sim = Sim::new(
+        (0..6)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
+        SimConfig {
+            seed,
+            trace: true,
+            faults: chaos_plan(seed),
+            ..SimConfig::default()
+        },
+    );
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2), HostId(3), HostId(4), HostId(5)],
+        DeployConfig {
+            overload_confirm: SimDuration::from_secs(40),
+            ..DeployConfig::default()
+        },
+    );
+    // Registry restart mid-run: soft state must be reconstructed from the
+    // monitors' re-pushes.
+    sim.schedule_fault(
+        t(150.0),
+        Fault::ProcessRestart {
+            pid: dep.registry.0,
+        },
+    );
+
+    let mk_tree = |seed: u64| {
+        TestTree::new(TestTreeConfig {
+            trees: 8,
+            levels: 13,
+            node_cost_build: 2e-3,
+            node_cost_sort: 3e-3,
+            node_cost_sum: 1e-3,
+            chunk_nodes: 1024,
+            rss_kb: 24_576,
+            seed,
+        })
+    };
+    let hpcm = HpcmHooks::new();
+    let mut roots = Vec::new();
+    for (host, app_seed) in [(HostId(1), 1u64), (HostId(2), 2u64)] {
+        let app = mk_tree(app_seed);
+        dep.schemas.put(MigratableApp::schema(&app));
+        roots.push(HpcmShell::spawn_on(
+            &mut sim,
+            host,
+            app,
+            HpcmConfig::default(),
+            None,
+            hpcm.clone(),
+        ));
+    }
+
+    // Overload ws1 so the rescheduler has real work to do under faults.
+    sim.run_until(t(60.0));
+    for _ in 0..2 {
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
+    }
+    sim.run_until(t(3000.0));
+    assert_eq!(sim.now(), t(3000.0), "simulation terminated at the horizon");
+
+    // --- Liveness property ------------------------------------------------
+    let migrations = hpcm.0.borrow().migrations.clone();
+    let completions = hpcm.0.borrow().completions.clone();
+    let trace_events = sim.kernel().trace.events().to_vec();
+    let mut completed = 0;
+    let mut lost = 0;
+    for &root in &roots {
+        // Follow the pid through every committed hop; collect the whole
+        // lineage (aborted/in-flight children included).
+        let mut lineage = vec![root];
+        let mut cur = root;
+        loop {
+            let hop = migrations
+                .iter()
+                .find(|m| m.pid_old == cur && m.outcome == MigrationOutcome::Committed);
+            match hop {
+                Some(m) => {
+                    lineage.push(m.pid_new);
+                    cur = m.pid_new;
+                }
+                None => break,
+            }
+        }
+        let children: Vec<Pid> = migrations
+            .iter()
+            .filter(|m| lineage.contains(&m.pid_old))
+            .map(|m| m.pid_new)
+            .collect();
+        for pid in children {
+            if !lineage.contains(&pid) {
+                lineage.push(pid);
+            }
+        }
+
+        // No silently dropped processes: nothing of this app still runs.
+        for &pid in &lineage {
+            assert!(
+                !sim.is_alive(pid),
+                "seed {seed}: {pid} still alive at the horizon"
+            );
+        }
+
+        if completions.iter().any(|c| lineage.contains(&c.pid)) {
+            completed += 1;
+            continue;
+        }
+        lost += 1;
+        // Lost — demand a recorded cause: a fault killed a lineage pid, or
+        // a migration of this app aborted with a reason on record.
+        let killed_by_fault = lineage.iter().any(|pid| {
+            trace_events
+                .iter()
+                .any(|e| e.kind == TraceKind::Fault && e.detail.contains(&format!("killed {pid}")))
+        });
+        let aborted_with_reason = migrations
+            .iter()
+            .any(|m| lineage.contains(&m.pid_old) && m.abort_reason.is_some());
+        assert!(
+            killed_by_fault || aborted_with_reason,
+            "seed {seed}: app at {root} lost without a recorded cause"
+        );
+    }
+    assert_eq!(completed + lost, roots.len());
+
+    // Nothing may end the run stuck mid-transaction.
+    for m in &migrations {
+        assert_ne!(
+            m.outcome,
+            MigrationOutcome::InFlight,
+            "seed {seed}: migration {} -> {} never resolved",
+            m.pid_old,
+            m.pid_new
+        );
+    }
+
+    ChaosOutcome {
+        trace: trace_events
+            .iter()
+            .map(|e| (e.t.as_micros(), e.detail.clone()))
+            .collect(),
+        completed,
+        lost,
+    }
+}
+
+#[test]
+fn chaos_liveness_over_the_seed_matrix() {
+    let seeds = chaos_seeds();
+    assert!(!seeds.is_empty(), "ARS_CHAOS_SEEDS parsed to nothing");
+    for seed in seeds {
+        let outcome = chaos_run(seed);
+        // Bit-identical replay: same seed + same schedule => same trace.
+        let replay = chaos_run(seed);
+        assert_eq!(
+            outcome.trace, replay.trace,
+            "seed {seed}: chaos replay diverged"
+        );
+        assert_eq!(outcome.completed, replay.completed);
+        assert_eq!(outcome.lost, replay.lost);
+    }
+}
+
+#[test]
+fn disabled_fault_plan_is_byte_identical_to_no_fault_layer() {
+    // Paper-figure guarantee: runs with faults disabled are unchanged by
+    // the fault layer's existence. `FaultPlan::none()` must not perturb a
+    // single trace event relative to the default config.
+    let story = |plan: FaultPlan| -> Vec<(u64, String)> {
+        let mut sim = Sim::new(
+            (0..4)
+                .map(|i| HostConfig::named(format!("ws{i}")))
+                .collect(),
+            SimConfig {
+                seed: 7,
+                trace: true,
+                faults: plan,
+                ..SimConfig::default()
+            },
+        );
+        let dep = deploy(
+            &mut sim,
+            HostId(0),
+            &[HostId(1), HostId(2), HostId(3)],
+            DeployConfig {
+                overload_confirm: SimDuration::from_secs(40),
+                ..DeployConfig::default()
+            },
+        );
+        let app = TestTree::new(TestTreeConfig::small());
+        dep.schemas.put(MigratableApp::schema(&app));
+        let hpcm = HpcmHooks::new();
+        HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm);
+        sim.run_until(t(600.0));
+        sim.kernel()
+            .trace
+            .events()
+            .iter()
+            .map(|e| (e.t.as_micros(), e.detail.clone()))
+            .collect()
+    };
+    assert_eq!(story(FaultPlan::none()), story(FaultPlan::default()));
+}
