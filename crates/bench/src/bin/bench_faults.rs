@@ -6,10 +6,14 @@
 //!
 //! Before timing anything the heaviest level is replayed at the smallest N
 //! with tracing on and both traces must match line for line — faults are
-//! part of the deterministic schedule, not noise. Results land in
-//! `BENCH_faults.json` in the working directory.
+//! part of the deterministic schedule, not noise. A second gate replays the
+//! same run with observability *enabled* and the trace must still match:
+//! recording is not allowed to perturb the simulation. Results land in
+//! `BENCH_faults.json`; the observability snapshot (per-phase migration
+//! latency and detector-reaction histograms) lands in `BENCH_obs.json`.
 
 use ars_bench::faults::{chaos_completion, levels, FaultRun, RUN_S};
+use ars_obs::Obs;
 
 const SEED: u64 = 11;
 const SIZES: [usize; 2] = [64, 256];
@@ -20,6 +24,44 @@ struct Row {
     crash_frac: f64,
     msg_drop: f64,
     run: FaultRun,
+    obs: Obs,
+}
+
+/// Abort the bench if an expected metric is missing or zero — a silent
+/// observability regression must not produce a plausible-looking
+/// BENCH_obs.json.
+fn require_metrics(n_hosts: usize, level: &str, has_faults: bool, obs: &Obs) {
+    let mut missing = Vec::new();
+    for c in ["migrations_started", "migrations_committed", "decisions"] {
+        if obs.counter(c) == 0 {
+            missing.push(format!("counter {c}"));
+        }
+    }
+    if has_faults && obs.counter("faults_injected") == 0 {
+        missing.push("counter faults_injected".to_string());
+    }
+    let mut histograms = vec![
+        "migration_prepare_s",
+        "migration_transfer_s",
+        "migration_commit_s",
+        "migration_total_s",
+    ];
+    if has_faults {
+        // Crashed hosts go silent: the detector must have reacted.
+        histograms.extend(["detector_suspect_s", "detector_down_s"]);
+    }
+    for h in histograms {
+        match obs.histogram(h) {
+            None => missing.push(format!("histogram {h}")),
+            Some(hist) if hist.count == 0 => missing.push(format!("empty histogram {h}")),
+            Some(_) => {}
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "N = {n_hosts}, level {level}: observability metrics missing or zero: {}",
+        missing.join(", ")
+    );
 }
 
 fn main() {
@@ -30,19 +72,38 @@ fn main() {
         "replay gate: N = {gate_n}, level {}, tracing on",
         heavy.name
     );
-    let a = chaos_completion(gate_n, SEED, heavy, true);
-    let b = chaos_completion(gate_n, SEED, heavy, true);
+    let a = chaos_completion(gate_n, SEED, heavy, true, Obs::disabled());
+    let b = chaos_completion(gate_n, SEED, heavy, true, Obs::disabled());
     let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
     assert_eq!(ta.len(), tb.len(), "replay trace lengths differ");
     for (i, (x, y)) in ta.iter().zip(tb).enumerate() {
         assert_eq!(x, y, "replay diverges at event {i}");
     }
     println!(
-        "  identical: {} events, {}/{} apps completed under {} faults\n",
+        "  identical: {} events, {}/{} apps completed under {} faults",
         ta.len(),
         a.completed,
         a.apps,
         heavy.name
+    );
+
+    println!("observability gate: same run, recording enabled");
+    let session = Obs::enabled();
+    let c = chaos_completion(gate_n, SEED, heavy, true, session.clone());
+    let tc = c.trace.as_ref().unwrap();
+    assert_eq!(
+        ta.len(),
+        tc.len(),
+        "enabling observability changed the trace length"
+    );
+    for (i, (x, y)) in ta.iter().zip(tc).enumerate() {
+        assert_eq!(x, y, "observability perturbed the trace at event {i}");
+    }
+    assert!(session.recorded() > 0, "enabled session recorded nothing");
+    println!(
+        "  identical: {} events, {} observability events recorded\n",
+        tc.len(),
+        session.recorded()
     );
 
     println!(
@@ -61,7 +122,9 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &SIZES {
         for level in &sweep {
-            let run = chaos_completion(n, SEED, level, false);
+            let obs = Obs::enabled();
+            let run = chaos_completion(n, SEED, level, false, obs.clone());
+            require_metrics(n, level.name, level.crash_frac > 0.0, &obs);
             println!(
                 "{:>6} {:>9} {:>7} {:>9} {:>9} {:>8} {:>7} {:>11} {:>8} {:>12}",
                 n,
@@ -83,6 +146,7 @@ fn main() {
                 crash_frac: level.crash_frac,
                 msg_drop: level.messages.drop,
                 run,
+                obs,
             });
         }
     }
@@ -130,6 +194,50 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
     println!("\nwrote BENCH_faults.json");
+
+    // Observability snapshot: the full metrics registry (counters plus
+    // per-phase migration latency and detector-reaction histograms) for
+    // every (N, level) cell, in sweep order.
+    let mut obs_json = String::new();
+    obs_json.push_str("{\n");
+    obs_json.push_str("  \"bench\": \"bench_faults\",\n");
+    obs_json.push_str(&format!(
+        "  \"scenario\": \"observability snapshot of the fault sweep, {RUN_S} s simulated, seed {SEED}\",\n"
+    ));
+    obs_json.push_str("  \"obs_trace_identical\": true,\n");
+    obs_json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        obs_json.push_str(&format!(
+            "    {{\"n_hosts\": {}, \"level\": \"{}\", \"metrics\": {}}}{}\n",
+            r.n_hosts,
+            r.level,
+            r.obs.metrics_json(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    obs_json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_obs.json", &obs_json).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+    for r in &rows {
+        let phase = |name: &str| {
+            r.obs
+                .histogram(name)
+                .and_then(|h| h.mean())
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        println!(
+            "  N = {:>3} {:>9}: migration prepare/transfer/commit/total mean s = {}/{}/{}/{}, detector suspect/down mean s = {}/{}",
+            r.n_hosts,
+            r.level,
+            phase("migration_prepare_s"),
+            phase("migration_transfer_s"),
+            phase("migration_commit_s"),
+            phase("migration_total_s"),
+            phase("detector_suspect_s"),
+            phase("detector_down_s"),
+        );
+    }
 
     for r in &rows {
         if r.level == "none" && r.run.completed < r.run.apps {

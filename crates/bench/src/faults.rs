@@ -19,6 +19,7 @@
 
 use ars_apps::{Spinner, TestTree, TestTreeConfig};
 use ars_hpcm::{HpcmConfig, HpcmHooks, HpcmShell, MigratableApp, MigrationOutcome};
+use ars_obs::Obs;
 use ars_rescheduler::{deploy, DeployConfig};
 use ars_sim::{FaultPlan, HostId, MessageFaults, ScheduleParams, Sim, SimConfig, SpawnOpts};
 use ars_simcore::{SimDuration, SimTime};
@@ -107,11 +108,16 @@ const FAULT_WINDOW_S: u64 = 600;
 /// hosts 1, 2, ...; at t = 60 s two spinners land on each app host, so
 /// every app must migrate off under whatever the fault plan throws at the
 /// control plane.
+/// Observability session threaded through every layer (kernel faults,
+/// registry, monitors, commanders, HPCM shells). Pass [`Obs::disabled`]
+/// for the bare scenario; an enabled handle collects per-phase migration
+/// and detector-reaction histograms without perturbing the run.
 pub fn chaos_completion(
     n_hosts: usize,
     seed: u64,
     level: &FaultLevel,
     record_trace: bool,
+    obs: Obs,
 ) -> FaultRun {
     let n_apps = 16.min(n_hosts / 4).max(1);
     assert!(n_hosts > n_apps, "need free hosts as destinations");
@@ -138,6 +144,7 @@ pub fn chaos_completion(
             seed,
             trace: record_trace,
             faults: plan,
+            obs: obs.clone(),
             ..SimConfig::default()
         },
     );
@@ -148,6 +155,7 @@ pub fn chaos_completion(
         &workers,
         DeployConfig {
             overload_confirm: SimDuration::from_secs(40),
+            obs: obs.clone(),
             ..DeployConfig::default()
         },
     );
@@ -171,7 +179,10 @@ pub fn chaos_completion(
             &mut sim,
             HostId(i as u32 + 1),
             app,
-            HpcmConfig::default(),
+            HpcmConfig {
+                obs: obs.clone(),
+                ..HpcmConfig::default()
+            },
             None,
             hooks.clone(),
         );

@@ -9,6 +9,7 @@
 
 use crate::hooks::CONTROL_TAG;
 use ars_hpcm::{dest_file_path, MIGRATE_SIGNAL};
+use ars_obs::Obs;
 use ars_sim::{Ctx, Payload, Pid, Program, TraceKind, Wake};
 use ars_xmlwire::{EntityRole, HostStatic, Message};
 
@@ -17,6 +18,8 @@ pub struct Commander {
     registry: Pid,
     /// Commands executed (diagnostics).
     pub commands_handled: u64,
+    /// Observability session (command-handling counters).
+    obs: Obs,
 }
 
 impl Commander {
@@ -25,7 +28,14 @@ impl Commander {
         Commander {
             registry,
             commands_handled: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Install an observability session (builder style).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     fn host_static(ctx: &Ctx<'_>) -> HostStatic {
@@ -75,6 +85,7 @@ impl Program for Commander {
                         ctx.write_file(&dest_file_path(target), &format!("{dest}:{dest_port}"));
                         ctx.signal(target, MIGRATE_SIGNAL);
                         self.commands_handled += 1;
+                        self.obs.inc("commander_commands_handled");
                         ctx.trace(
                             TraceKind::Decision,
                             format!(

@@ -5,6 +5,7 @@ use crate::commander::Commander;
 use crate::hooks::{ReschedHooks, SchemaBook};
 use crate::monitor::{Monitor, MonitorConfig, StateSource};
 use crate::registry::{RegistryConfig, RegistryScheduler};
+use ars_obs::Obs;
 use ars_rules::{MonitoringFrequency, Policy};
 use ars_sim::{HostId, Pid, Sim, SpawnOpts};
 use ars_simcore::SimDuration;
@@ -44,6 +45,11 @@ pub struct DeployConfig {
     /// Push-model heartbeats (the paper's choice); `false` switches the
     /// deployment to on-change reports + registry pulls (§3.2).
     pub push: bool,
+    /// Observability session threaded into the registry, monitors and
+    /// commanders. Disabled by default (zero cost); enable and also set
+    /// `SimConfig::obs` / `HpcmConfig::obs` to the same handle for a
+    /// cluster-wide event stream.
+    pub obs: Obs,
 }
 
 impl Default for DeployConfig {
@@ -57,6 +63,7 @@ impl Default for DeployConfig {
             lease: SimDuration::from_secs(35),
             adaptive: None,
             push: true,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -76,6 +83,7 @@ pub fn deploy(
     reg_cfg.name = format!("registry@h{}", registry_host.0);
     reg_cfg.lease = cfg.lease;
     reg_cfg.pull = !cfg.push;
+    reg_cfg.obs = cfg.obs.clone();
     let registry = sim.spawn(
         registry_host,
         Box::new(RegistryScheduler::new(
@@ -99,7 +107,7 @@ pub fn deploy(
         // local commander, which re-sends its own `Register`.
         let commander = sim.spawn(
             host,
-            Box::new(Commander::new(registry)),
+            Box::new(Commander::new(registry).with_obs(cfg.obs.clone())),
             SpawnOpts::named("ars_commander"),
         );
         commanders.push(commander);
@@ -115,7 +123,7 @@ pub fn deploy(
         };
         monitors.push(sim.spawn(
             host,
-            Box::new(Monitor::new(mon_cfg, schemas.clone())),
+            Box::new(Monitor::new(mon_cfg, schemas.clone()).with_obs(cfg.obs.clone())),
             SpawnOpts::named("ars_monitor"),
         ));
     }

@@ -183,6 +183,17 @@ impl Drop for LiveRegistry {
     }
 }
 
+/// Lock the shared table, recovering from poisoning. A client handler that
+/// panics mid-update leaves the mutex poisoned; one bad client must not
+/// brick the registry for every later one. The table is a soft-state cache
+/// refreshed by heartbeats, so the worst a recovered lock can expose is a
+/// stale entry — not corruption.
+fn lock_table(table: &Mutex<LiveTable>) -> std::sync::MutexGuard<'_, LiveTable> {
+    table
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn first_fit(table: &LiveTable, exclude: &str) -> Option<String> {
     table
         .order
@@ -239,18 +250,25 @@ fn serve_client(
         line.clear();
         match msg {
             Message::Register { host, .. } => {
-                let mut t = table.lock().expect("live table lock poisoned");
+                let mut t = lock_table(&table);
                 if !t.order.contains(&host.name) {
                     t.order.push(host.name.clone());
                 }
-                t.entries.insert(
-                    host.name.clone(),
-                    LiveEntry {
-                        state: HostState::Free,
-                        metrics: Metrics::new(),
-                        last_seen: Instant::now(),
-                    },
-                );
+                // A duplicate Register (monitor restart, retransmit) must
+                // not wipe the state and metrics the heartbeats built up:
+                // keep a known host's entry and just refresh its lease.
+                match t.entries.entry(host.name.clone()) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().last_seen = Instant::now();
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(LiveEntry {
+                            state: HostState::Free,
+                            metrics: Metrics::new(),
+                            last_seen: Instant::now(),
+                        });
+                    }
+                }
                 write_msg(
                     &mut writer,
                     &Message::Ack {
@@ -265,7 +283,7 @@ fn serve_client(
                 metrics,
                 ..
             } => {
-                let mut t = table.lock().expect("live table lock poisoned");
+                let mut t = lock_table(&table);
                 let known = t.entries.contains_key(&host);
                 if known {
                     t.entries.insert(
@@ -290,7 +308,7 @@ fn serve_client(
                 )?;
             }
             Message::CandidateRequest { host, .. } => {
-                let mut t = table.lock().expect("live table lock poisoned");
+                let mut t = lock_table(&table);
                 let dest = first_fit(&t, &host);
                 t.decisions.push(DecisionRecord {
                     at: ars_simcore::SimTime::ZERO,

@@ -10,6 +10,7 @@
 
 use crate::adaptive::{AdaptiveConfig, AdaptiveConfirm};
 use crate::hooks::{SchemaBook, CONTROL_TAG};
+use ars_obs::{Obs, ObsEvent};
 use ars_rules::{HostState, MonitoringFrequency, Policy, RuleSet};
 use ars_sim::{Ctx, Payload, Pid, Program, RecvFilter, TraceKind, Wake};
 use ars_simcore::{SimDuration, SimTime};
@@ -121,6 +122,9 @@ pub struct Monitor {
     pub queries_answered: u64,
     /// State last shipped to the registry (on-change reporting).
     last_sent_state: Option<HostState>,
+    /// Observability session (rule-firing events). Disabled by default;
+    /// installed with [`with_obs`](Self::with_obs).
+    obs: Obs,
 }
 
 impl Monitor {
@@ -144,7 +148,15 @@ impl Monitor {
             heartbeats_sent: 0,
             queries_answered: 0,
             last_sent_state: None,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Install an observability session (builder style, so the many
+    /// `MonitorConfig` construction sites stay untouched).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The currently effective confirmation window.
@@ -179,6 +191,14 @@ impl Monitor {
             self.sensors.sample(now, host, net, node)
         };
         let raw = self.cfg.state_source.classify(&metrics);
+        if raw != self.last_raw_state {
+            self.obs.inc("rules_fired");
+            self.obs.record(now, || ObsEvent::RuleFired {
+                host: ctx.host().name().to_string(),
+                from: format!("{:?}", self.last_raw_state),
+                to: format!("{raw:?}"),
+            });
+        }
 
         // Confirmation window: report overloaded only once sustained.
         let window = self.confirm_window();

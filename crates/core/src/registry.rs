@@ -14,6 +14,7 @@
 //! inside one's control domain".
 
 use crate::hooks::{DecisionRecord, ReschedHooks, SchemaBook, CONTROL_TAG};
+use ars_obs::{Obs, ObsEvent};
 use ars_rules::Policy;
 use ars_sim::{Ctx, Payload, Pid, Program, TraceKind, Wake, RESTART_SIGNAL};
 use ars_simcore::{SimDuration, SimTime};
@@ -90,6 +91,10 @@ pub struct RegistryConfig {
     /// Retransmits before a command is abandoned and the source becomes
     /// eligible for a fresh decision (destination re-selection).
     pub max_command_retries: u32,
+    /// Observability session (detector transitions, candidate rejections,
+    /// command retransmits/aborts, scan-length histograms). The disabled
+    /// default is a no-op and an enabled session never changes a decision.
+    pub obs: Obs,
 }
 
 impl RegistryConfig {
@@ -107,6 +112,7 @@ impl RegistryConfig {
             linear_first_fit: false,
             ack_timeout: SimDuration::from_secs(5),
             max_command_retries: 3,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -172,7 +178,7 @@ pub struct HostEntry {
 /// push period and downgrades much earlier. `Suspect` hosts are excluded as
 /// migration destinations ahead of lease expiry, so a crashed host stops
 /// attracting processes after ~2 missed beats instead of a full lease.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Liveness {
     /// Heartbeats arriving on schedule.
     Alive,
@@ -193,24 +199,36 @@ impl HostEntry {
         }
     }
 
-    /// Missed-heartbeat failure detection (see [`Liveness`]). Hosts that
-    /// have not yet established a push period only age out by lease.
+    /// Missed-heartbeat failure detection (see [`Liveness`]).
+    ///
+    /// A beat counts as missed once it is *half an interval* overdue —
+    /// round-to-nearest, not truncation. Truncating made the detector a
+    /// full interval late at every boundary: 2.99 intervals of silence
+    /// counted as only two missed beats (barely `Suspect`) and 1.5
+    /// intervals still looked `Alive`. With rounding, `Suspect` starts at
+    /// 1.5 intervals of silence and `Down` at 2.5.
+    ///
+    /// Hosts that have not yet established a push period are judged
+    /// against `lease / 3` — roughly the cadence a default-period monitor
+    /// settles into — so even a host that died right after registering
+    /// turns `Suspect` around half a lease instead of staying `Alive`
+    /// until the full lease expires.
     pub fn liveness(&self, now: SimTime, lease: SimDuration) -> Liveness {
         let silent = now.since(self.last_seen);
         if silent > lease {
             return Liveness::Down;
         }
-        if let Some(iv) = self.hb_interval {
-            let iv_s = iv.as_secs_f64();
-            if iv_s > 0.0 {
-                let missed = (silent.as_secs_f64() / iv_s) as u32;
-                if missed >= 3 {
-                    return Liveness::Down;
-                }
-                if missed >= 2 {
-                    return Liveness::Suspect;
-                }
-            }
+        let iv_s = self
+            .hb_interval
+            .map(|iv| iv.as_secs_f64())
+            .filter(|&s| s > 0.0)
+            .unwrap_or_else(|| lease.as_secs_f64() / 3.0);
+        let missed = (silent.as_secs_f64() / iv_s + 0.5).floor() as u32;
+        if missed >= 3 {
+            return Liveness::Down;
+        }
+        if missed >= 2 {
+            return Liveness::Suspect;
         }
         Liveness::Alive
     }
@@ -285,6 +303,11 @@ pub struct RegistryScheduler {
     escalation_queue: std::collections::VecDeque<(Pid, ResourceRequirements)>,
     awaiting_parent: std::collections::VecDeque<AwaitingParent>,
     pull_round: Option<PullRound>,
+    /// Last liveness verdict recorded per host (observability only — the
+    /// scheduler itself always re-evaluates [`HostEntry::liveness`]).
+    obs_verdicts: HashMap<Arc<str>, Liveness>,
+    /// When the detector-observation sweep last ran (rate limit).
+    last_obs_sweep: SimTime,
 }
 
 impl RegistryScheduler {
@@ -305,6 +328,8 @@ impl RegistryScheduler {
             escalation_queue: std::collections::VecDeque::new(),
             awaiting_parent: std::collections::VecDeque::new(),
             pull_round: None,
+            obs_verdicts: HashMap::new(),
+            last_obs_sweep: SimTime::ZERO,
         }
     }
 
@@ -448,6 +473,101 @@ impl RegistryScheduler {
                 self.op_kinds.push_back(OpKind::Decision(name));
             }
         }
+        self.obs_sweep_detector(now);
+    }
+
+    /// Observability sweep: re-evaluate every host's liveness verdict and
+    /// record transitions ([`ObsEvent::HostSuspect`] / `HostDown` /
+    /// `HostRecovered`) plus detector reaction-time histograms. Read-only
+    /// with respect to scheduling state, a no-op when recording is
+    /// disabled, and rate-limited to once per sim second so heartbeat
+    /// storms do not make event volume quadratic in cluster size.
+    fn obs_sweep_detector(&mut self, now: SimTime) {
+        if !self.cfg.obs.is_enabled() {
+            return;
+        }
+        if self.last_obs_sweep != SimTime::ZERO
+            && now.since(self.last_obs_sweep) < SimDuration::from_secs(1)
+        {
+            return;
+        }
+        self.last_obs_sweep = now;
+        for e in &self.hosts {
+            let v = e.liveness(now, self.cfg.lease);
+            let prev = self
+                .obs_verdicts
+                .insert(e.name.clone(), v)
+                .unwrap_or(Liveness::Alive);
+            if v == prev {
+                continue;
+            }
+            let silent_s = now.since(e.last_seen).as_secs_f64();
+            let host = e.name.to_string();
+            match v {
+                Liveness::Suspect => {
+                    self.cfg.obs.inc("hosts_suspected");
+                    self.cfg.obs.observe("detector_suspect_s", silent_s);
+                    self.cfg
+                        .obs
+                        .record(now, || ObsEvent::HostSuspect { host, silent_s });
+                }
+                Liveness::Down => {
+                    self.cfg.obs.inc("hosts_down");
+                    self.cfg.obs.observe("detector_down_s", silent_s);
+                    self.cfg
+                        .obs
+                        .record(now, || ObsEvent::HostDown { host, silent_s });
+                }
+                Liveness::Alive => {
+                    self.cfg.obs.inc("hosts_recovered");
+                    self.cfg
+                        .obs
+                        .record(now, || ObsEvent::HostRecovered { host });
+                }
+            }
+        }
+    }
+
+    /// Why `entry` cannot serve as the migration destination for `req`, or
+    /// `None` if it qualifies. The reasons are stable strings surfaced by
+    /// [`ObsEvent::CandidateRejected`].
+    fn dest_reject(
+        &self,
+        entry: &HostEntry,
+        req: &ResourceRequirements,
+        exclude: &str,
+        now: SimTime,
+    ) -> Option<&'static str> {
+        if entry.statics.name == exclude {
+            return Some("is the source host");
+        }
+        if !entry
+            .effective_state(now, self.cfg.lease)
+            .accepts_migration()
+        {
+            return Some("not accepting migrations");
+        }
+        // Failure detector: don't migrate onto a host that has gone quiet,
+        // even if its lease has not expired yet. (Pull mode has no periodic
+        // push, so silence there is normal.)
+        if !self.cfg.pull && entry.liveness(now, self.cfg.lease) != Liveness::Alive {
+            return Some("failure detector: not alive");
+        }
+        if !self.cfg.policy.dest_acceptable(&entry.metrics) {
+            return Some("policy veto");
+        }
+        if entry.statics.cpu_speed < req.min_cpu_speed {
+            return Some("cpu too slow");
+        }
+        let mem_avail_kb =
+            entry.metrics.get("memAvail").unwrap_or(0.0) / 100.0 * entry.statics.mem_kb as f64;
+        if mem_avail_kb < req.mem_kb as f64 {
+            return Some("insufficient memory");
+        }
+        if entry.metrics.get("diskAvailKb").unwrap_or(0.0) < req.disk_kb as f64 {
+            return Some("insufficient disk");
+        }
+        None
     }
 
     fn dest_ok(
@@ -457,36 +577,7 @@ impl RegistryScheduler {
         exclude: &str,
         now: SimTime,
     ) -> bool {
-        if entry.statics.name == exclude {
-            return false;
-        }
-        if !entry
-            .effective_state(now, self.cfg.lease)
-            .accepts_migration()
-        {
-            return false;
-        }
-        // Failure detector: don't migrate onto a host that has gone quiet,
-        // even if its lease has not expired yet. (Pull mode has no periodic
-        // push, so silence there is normal.)
-        if !self.cfg.pull && entry.liveness(now, self.cfg.lease) != Liveness::Alive {
-            return false;
-        }
-        if !self.cfg.policy.dest_acceptable(&entry.metrics) {
-            return false;
-        }
-        if entry.statics.cpu_speed < req.min_cpu_speed {
-            return false;
-        }
-        let mem_avail_kb =
-            entry.metrics.get("memAvail").unwrap_or(0.0) / 100.0 * entry.statics.mem_kb as f64;
-        if mem_avail_kb < req.mem_kb as f64 {
-            return false;
-        }
-        if entry.metrics.get("diskAvailKb").unwrap_or(0.0) < req.disk_kb as f64 {
-            return false;
-        }
-        true
+        self.dest_reject(entry, req, exclude, now).is_none()
     }
 
     /// First-fit destination search over the machine list.
@@ -497,20 +588,63 @@ impl RegistryScheduler {
     /// index, i.e. exactly the linear scan's first-fit order — instead of
     /// the whole machine list.
     fn first_fit(&self, req: &ResourceRequirements, exclude: &str, now: SimTime) -> Option<usize> {
-        if self.cfg.linear_first_fit {
+        if !self.cfg.obs.is_enabled() {
+            // Fast path, byte-for-byte the pre-observability search.
+            if self.cfg.linear_first_fit {
+                return self
+                    .hosts
+                    .iter()
+                    .position(|e| self.dest_ok(e, req, exclude, now));
+            }
             return self
-                .hosts
+                .free_hosts
                 .iter()
-                .position(|e| self.dest_ok(e, req, exclude, now));
+                .copied()
+                .find(|&i| self.dest_ok(&self.hosts[i], req, exclude, now));
         }
-        self.free_hosts
-            .iter()
-            .copied()
-            .find(|&i| self.dest_ok(&self.hosts[i], req, exclude, now))
+        self.first_fit_observed(req, exclude, now)
+    }
+
+    /// The instrumented first-fit: same scan order and result as
+    /// [`first_fit`](Self::first_fit), but records every rejection and the
+    /// scan length. Split out so the disabled path stays allocation-free.
+    fn first_fit_observed(
+        &self,
+        req: &ResourceRequirements,
+        exclude: &str,
+        now: SimTime,
+    ) -> Option<usize> {
+        let indices: Box<dyn Iterator<Item = usize> + '_> = if self.cfg.linear_first_fit {
+            Box::new(0..self.hosts.len())
+        } else {
+            Box::new(self.free_hosts.iter().copied())
+        };
+        let mut scanned = 0u64;
+        let mut found = None;
+        for i in indices {
+            scanned += 1;
+            let e = &self.hosts[i];
+            match self.dest_reject(e, req, exclude, now) {
+                None => {
+                    found = Some(i);
+                    break;
+                }
+                Some(why) => {
+                    self.cfg.obs.inc("candidates_rejected");
+                    self.cfg.obs.record(now, || ObsEvent::CandidateRejected {
+                        host: e.name.to_string(),
+                        why: why.to_string(),
+                    });
+                }
+            }
+        }
+        self.cfg.obs.observe("first_fit_scan_len", scanned as f64);
+        found
     }
 
     fn decide(&mut self, ctx: &mut Ctx<'_>, source: Arc<str>) {
         let now = ctx.now();
+        self.cfg.obs.inc("decisions");
         // Fruitless decisions also start the cooldown: an overloaded host
         // with nothing migratable (or no candidate anywhere) is re-examined
         // once per cooldown, not on every heartbeat.
@@ -656,6 +790,7 @@ impl RegistryScheduler {
             escalated,
         });
         log.commands_sent += 1;
+        self.cfg.obs.inc("commands_sent");
     }
 
     // --- Command reliability (ack + retransmit + abort) ----------------------
@@ -681,6 +816,12 @@ impl RegistryScheduler {
                 ),
             );
             self.hooks.0.borrow_mut().commands_aborted += 1;
+            self.cfg.obs.inc("commands_aborted");
+            self.cfg.obs.record(ctx.now(), || ObsEvent::CommandAborted {
+                pid: p.pid,
+                source: p.source.to_string(),
+                dest: p.dest.clone(),
+            });
             self.last_command.remove(&p.source);
             return;
         }
@@ -696,6 +837,15 @@ impl RegistryScheduler {
             ),
         );
         self.hooks.0.borrow_mut().command_retransmits += 1;
+        self.cfg.obs.inc("command_retransmits");
+        self.cfg
+            .obs
+            .record(ctx.now(), || ObsEvent::CommandRetransmit {
+                pid: p.pid,
+                source: p.source.to_string(),
+                dest: p.dest.clone(),
+                attempt: p.attempts,
+            });
         let cmd = p.cmd.clone();
         let commander = p.commander;
         self.send(ctx, commander, &cmd);
@@ -723,6 +873,12 @@ impl RegistryScheduler {
                 ),
             );
             self.hooks.0.borrow_mut().commands_aborted += 1;
+            self.cfg.obs.inc("commands_aborted");
+            self.cfg.obs.record(ctx.now(), || ObsEvent::CommandAborted {
+                pid: p.pid,
+                source: p.source.to_string(),
+                dest: p.dest.clone(),
+            });
             self.last_command.remove(&p.source);
         }
     }
@@ -751,6 +907,8 @@ impl RegistryScheduler {
         self.escalation_queue.clear();
         self.awaiting_parent.clear();
         self.pull_round = None;
+        self.obs_verdicts.clear();
+        self.last_obs_sweep = SimTime::ZERO;
     }
 
     // --- Pull-model decisions (§3.2) -----------------------------------------
@@ -1194,26 +1352,65 @@ mod tests {
             entry.effective_state(just_past, lease),
             HostState::Unavailable
         );
-        // The failure detector agrees at the same boundary.
-        assert_eq!(entry.liveness(boundary, lease), Liveness::Alive);
+        // The failure detector has long since written the host off: with
+        // no observed push period it is judged against lease/3 and turned
+        // Down around 29 s of silence, well before the lease boundary.
+        assert_eq!(entry.liveness(boundary, lease), Liveness::Down);
         assert_eq!(entry.liveness(just_past, lease), Liveness::Down);
     }
 
     #[test]
     fn missed_heartbeat_detector_downgrades_ahead_of_the_lease() {
-        // Observed push period 10 s, lease 35 s: 2 missed beats -> Suspect
-        // at 20 s of silence, 3 missed -> Down at 30 s — both well before
-        // lease expiry at 35 s.
+        // Observed push period 10 s, lease 35 s. A beat counts as missed
+        // once half an interval overdue: Suspect at 15 s of silence (two
+        // beats overdue), Down at 25 s — both well before lease expiry.
         let entry = entry_seen_at(SimTime::from_secs(100), Some(SimDuration::from_secs(10)));
         let lease = SimDuration::from_secs(35);
         let at = |s: f64| SimTime::from_secs_f64(100.0 + s);
-        assert_eq!(entry.liveness(at(15.0), lease), Liveness::Alive);
-        assert_eq!(entry.liveness(at(19.9), lease), Liveness::Alive);
-        assert_eq!(entry.liveness(at(20.0), lease), Liveness::Suspect);
-        assert_eq!(entry.liveness(at(29.9), lease), Liveness::Suspect);
-        assert_eq!(entry.liveness(at(30.0), lease), Liveness::Down);
-        // A host with no observed period only ages out by lease.
-        let fresh = entry_seen_at(SimTime::from_secs(100), None);
-        assert_eq!(fresh.liveness(at(30.0), lease), Liveness::Alive);
+        assert_eq!(entry.liveness(at(10.0), lease), Liveness::Alive);
+        assert_eq!(entry.liveness(at(14.9), lease), Liveness::Alive);
+        assert_eq!(entry.liveness(at(15.0), lease), Liveness::Suspect);
+        assert_eq!(entry.liveness(at(24.9), lease), Liveness::Suspect);
+        assert_eq!(entry.liveness(at(25.0), lease), Liveness::Down);
+        // The old truncating detector called 2.99 intervals of silence
+        // "two missed beats" (barely Suspect); rounding calls it Down.
+        assert_eq!(entry.liveness(at(29.9), lease), Liveness::Down);
+    }
+
+    #[test]
+    fn detector_without_observed_period_falls_back_to_a_lease_fraction() {
+        // No push period yet: judged against lease/3 (~11.67 s for a 35 s
+        // lease), so Suspect from 17.5 s of silence and Down from ~29.2 s
+        // instead of staying Alive until the full lease expires.
+        let entry = entry_seen_at(SimTime::from_secs(100), None);
+        let lease = SimDuration::from_secs(35);
+        let at = |s: f64| SimTime::from_secs_f64(100.0 + s);
+        assert_eq!(entry.liveness(at(17.0), lease), Liveness::Alive);
+        assert_eq!(entry.liveness(at(17.6), lease), Liveness::Suspect);
+        assert_eq!(entry.liveness(at(29.0), lease), Liveness::Suspect);
+        assert_eq!(entry.liveness(at(29.2), lease), Liveness::Down);
+        // A zero-length observed interval is nonsense — same fallback.
+        let zero = entry_seen_at(SimTime::from_secs(100), Some(SimDuration::from_secs(0)));
+        assert_eq!(zero.liveness(at(17.6), lease), Liveness::Suspect);
+    }
+
+    #[test]
+    fn detector_suspects_at_one_and_a_half_intervals() {
+        // The boundary the truncation bug got wrong: 1.5 intervals of
+        // silence is two overdue beats, not one.
+        let entry = entry_seen_at(SimTime::ZERO, Some(SimDuration::from_secs(4)));
+        let lease = SimDuration::from_secs(35);
+        assert_eq!(
+            entry.liveness(SimTime::from_secs_f64(5.9), lease),
+            Liveness::Alive
+        );
+        assert_eq!(
+            entry.liveness(SimTime::from_secs_f64(6.0), lease),
+            Liveness::Suspect
+        );
+        assert_eq!(
+            entry.liveness(SimTime::from_secs_f64(10.0), lease),
+            Liveness::Down
+        );
     }
 }

@@ -169,6 +169,68 @@ fn connect_to_a_dead_address_fails_fast() {
 }
 
 #[test]
+fn re_register_preserves_a_known_hosts_entry() {
+    let registry = LiveRegistry::start().expect("bind");
+    let mut c = LiveClient::connect(registry.addr()).unwrap();
+    register(&mut c, "ws1");
+    heartbeat(&mut c, "ws1", HostState::Overloaded);
+
+    // A duplicate Register (monitor restart, retransmit) must not reset
+    // the entry to Free with empty metrics — that made an overloaded host
+    // look like a perfect migration destination.
+    register(&mut c, "ws1");
+    {
+        let table = registry.table();
+        let t = table.lock().unwrap();
+        assert_eq!(t.order, vec!["ws1"], "no duplicate order entry");
+        assert_eq!(t.entries["ws1"].state, HostState::Overloaded);
+        assert!(t.entries["ws1"].metrics.get("loadAvg1").is_some());
+    }
+
+    // And the re-registered host still accepts heartbeats as known.
+    heartbeat(&mut c, "ws1", HostState::Free);
+    registry.shutdown();
+}
+
+#[test]
+fn a_poisoned_table_lock_does_not_brick_later_clients() {
+    let registry = LiveRegistry::start().expect("bind");
+    let mut c = LiveClient::connect(registry.addr()).unwrap();
+    register(&mut c, "ws1");
+
+    // Poison the table mutex the way a panicking handler thread would:
+    // panic while holding the guard.
+    let table = registry.table();
+    let poisoner = std::thread::spawn(move || {
+        let _guard = table.lock().unwrap();
+        panic!("simulated handler panic while holding the live table lock");
+    });
+    assert!(poisoner.join().is_err(), "thread must have panicked");
+    assert!(registry.table().is_poisoned());
+
+    // Handlers recover from the poisoned lock: registration and
+    // heartbeats from later clients still succeed.
+    let mut d = LiveClient::connect(registry.addr()).unwrap();
+    register(&mut d, "ws2");
+    heartbeat(&mut d, "ws2", HostState::Free);
+    heartbeat(&mut c, "ws1", HostState::Overloaded);
+
+    let reply = c
+        .call(&Message::CandidateRequest {
+            host: "ws1".to_string(),
+            requirements: ResourceRequirements::default(),
+        })
+        .unwrap();
+    assert_eq!(
+        reply,
+        Message::CandidateReply {
+            dest: Some("ws2".to_string())
+        }
+    );
+    registry.shutdown();
+}
+
+#[test]
 fn a_host_never_picks_itself() {
     let registry = LiveRegistry::start().expect("bind");
     let mut a = LiveClient::connect(registry.addr()).unwrap();

@@ -39,6 +39,7 @@ use crate::state::{
     TAG_HPCM_COMMIT_ACK, TAG_HPCM_EAGER, TAG_HPCM_LAZY, TAG_HPCM_READY,
 };
 use ars_mpisim::Mpi;
+use ars_obs::ObsEvent;
 use ars_sim::{Ctx, Envelope, Payload, Pid, Program, RecvFilter, SpawnOpts, TraceKind, Wake};
 use ars_simcore::SimDuration;
 
@@ -181,6 +182,28 @@ impl<A: MigratableApp> HpcmShell<A> {
         }
     }
 
+    /// Read a value off this pid's migration record without mutating it
+    /// (observability only).
+    fn peek_record<T>(
+        &self,
+        me: Pid,
+        as_source: bool,
+        f: impl FnOnce(&crate::state::MigrationRecord) -> T,
+    ) -> Option<T> {
+        let log = self.hooks.0.borrow();
+        log.migrations
+            .iter()
+            .rev()
+            .find(|m| {
+                if as_source {
+                    m.pid_old == me
+                } else {
+                    m.pid_new == me
+                }
+            })
+            .map(f)
+    }
+
     fn drive_app(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
         let Mode::Running { app } = &mut self.mode else {
             return;
@@ -287,6 +310,7 @@ impl<A: MigratableApp> HpcmShell<A> {
             pollpoint_at: ctx.now(),
             spawned_at: ctx.now(),
             eager_sent_at: ctx.now(), // updated when the send completes
+            committed_at: None,
             resumed_at: None,
             lazy_done_at: None,
             eager_bytes: saved.eager.len() as u64 + 8, // framed size
@@ -294,6 +318,7 @@ impl<A: MigratableApp> HpcmShell<A> {
             outcome: MigrationOutcome::InFlight,
             abort_reason: None,
         });
+        self.cfg.obs.inc("migrations_started");
         self.deadline = ctx.alarm(self.cfg.prepare_timeout);
         self.mode = Mode::SourcePrepare { app, child, saved };
     }
@@ -306,6 +331,22 @@ impl<A: MigratableApp> HpcmShell<A> {
         else {
             return;
         };
+        if self.cfg.obs.is_enabled() {
+            let me = ctx.pid();
+            let now = ctx.now();
+            if let Some((t0, from, to)) =
+                self.peek_record(me, true, |m| (m.pollpoint_at, m.from, m.to))
+            {
+                self.cfg
+                    .obs
+                    .observe("migration_prepare_s", now.since(t0).as_secs_f64());
+                self.cfg.obs.record(now, || ObsEvent::MigrationPrepared {
+                    pid: me.0,
+                    from: format!("h{}", from.0),
+                    to: format!("h{}", to.0),
+                });
+            }
+        }
         let SavedState { eager, lazy_bytes } = saved;
         ctx.send(child, TAG_HPCM_EAGER, Payload::Bytes(frame_state(&eager)));
         self.deadline = ctx.alarm(self.cfg.commit_timeout);
@@ -352,7 +393,25 @@ impl<A: MigratableApp> HpcmShell<A> {
             ctx.send_sized(child, TAG_HPCM_LAZY, Payload::Empty, lazy_bytes);
             sends += 1;
         }
-        self.with_record(me, true, |m| m.outcome = MigrationOutcome::Committed);
+        let now = ctx.now();
+        self.with_record(me, true, |m| {
+            m.outcome = MigrationOutcome::Committed;
+            m.committed_at = Some(now);
+        });
+        self.cfg.obs.inc("migrations_committed");
+        if self.cfg.obs.is_enabled() {
+            if let Some((sent, bytes)) =
+                self.peek_record(me, true, |m| (m.eager_sent_at, m.eager_bytes))
+            {
+                self.cfg
+                    .obs
+                    .observe("migration_transfer_s", now.since(sent).as_secs_f64());
+                self.cfg.obs.record(now, || ObsEvent::MigrationTransferred {
+                    pid: me.0,
+                    eager_bytes: bytes,
+                });
+            }
+        }
         ctx.trace(
             TraceKind::Migration,
             format!("commit: handover to {child:?}, streaming {lazy_bytes} lazy bytes"),
@@ -389,6 +448,13 @@ impl<A: MigratableApp> HpcmShell<A> {
             m.outcome = MigrationOutcome::Aborted;
             m.abort_reason = Some(why.to_string());
         });
+        self.cfg.obs.inc("migrations_aborted");
+        self.cfg
+            .obs
+            .record(ctx.now(), || ObsEvent::MigrationAborted {
+                pid: me.0,
+                reason: why.to_string(),
+            });
         ctx.trace(
             TraceKind::Recovery,
             format!(
@@ -406,12 +472,23 @@ impl<A: MigratableApp> HpcmShell<A> {
     /// else settled the transaction, then disappear.
     fn abort_destination(&mut self, ctx: &mut Ctx<'_>, why: &str) {
         let me = ctx.pid();
+        let mut newly_aborted = false;
         self.with_record(me, false, |m| {
             if m.outcome == MigrationOutcome::InFlight {
                 m.outcome = MigrationOutcome::Aborted;
                 m.abort_reason = Some(why.to_string());
+                newly_aborted = true;
             }
         });
+        if newly_aborted {
+            self.cfg.obs.inc("migrations_aborted");
+            self.cfg
+                .obs
+                .record(ctx.now(), || ObsEvent::MigrationAborted {
+                    pid: me.0,
+                    reason: why.to_string(),
+                });
+        }
         ctx.trace(
             TraceKind::Recovery,
             format!("destination shell aborting ({why})"),
@@ -622,6 +699,24 @@ impl<A: MigratableApp> Program for HpcmShell<A> {
                     }
                     let now = ctx.now();
                     self.with_record(me, false, |m| m.resumed_at = Some(now));
+                    if self.cfg.obs.is_enabled() {
+                        if let Some((old, t0, tc)) = self
+                            .peek_record(me, false, |m| (m.pid_old, m.pollpoint_at, m.committed_at))
+                        {
+                            if let Some(tc) = tc {
+                                self.cfg
+                                    .obs
+                                    .observe("migration_commit_s", now.since(tc).as_secs_f64());
+                            }
+                            self.cfg
+                                .obs
+                                .observe("migration_total_s", now.since(t0).as_secs_f64());
+                            self.cfg.obs.record(now, || ObsEvent::MigrationCommitted {
+                                pid_old: old.0,
+                                pid_new: me.0,
+                            });
+                        }
+                    }
                     ctx.trace(TraceKind::Migration, "destination resumed execution");
                     self.mode = Mode::Running { app };
                     // Resume: the app re-issues ops for its current phase.

@@ -1,5 +1,6 @@
 //! Migratable applications, configuration and migration records.
 
+use ars_obs::Obs;
 use ars_sim::{Ctx, HostId, Pid, Wake};
 use ars_simcore::{SimDuration, SimTime};
 use ars_xmlwire::ApplicationSchema;
@@ -128,6 +129,10 @@ pub struct HpcmConfig {
     /// COMMIT, for the source's COMMIT_ACK. Expiry makes the destination
     /// shell abort itself (the source has crashed or rolled back).
     pub restore_wait_timeout: SimDuration,
+    /// Observability session (migration phase events + per-phase latency
+    /// histograms). The disabled default is a no-op and an enabled session
+    /// never perturbs the simulation.
+    pub obs: Obs,
 }
 
 impl Default for HpcmConfig {
@@ -140,6 +145,7 @@ impl Default for HpcmConfig {
             prepare_timeout: SimDuration::from_secs(10),
             commit_timeout: SimDuration::from_secs(30),
             restore_wait_timeout: SimDuration::from_secs(30),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -176,6 +182,8 @@ pub struct MigrationRecord {
     pub spawned_at: SimTime,
     /// When the eager checkpoint had fully left the source.
     pub eager_sent_at: SimTime,
+    /// When the source granted the commit (COMMIT received, handover done).
+    pub committed_at: Option<SimTime>,
     /// When the destination resumed executing the application.
     pub resumed_at: Option<SimTime>,
     /// When the lazy remainder finished arriving (migration complete).

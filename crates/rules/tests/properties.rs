@@ -1,6 +1,6 @@
 //! Property-based tests for the rule engine.
 
-use ars_rules::{Expr, HostState, RuleOp, SimpleRule, StateCuts, StateScore};
+use ars_rules::{ComplexRule, Expr, HostState, Rule, RuleOp, SimpleRule, StateCuts, StateScore};
 use proptest::prelude::*;
 
 /// Strategy producing arbitrary well-formed expressions.
@@ -20,6 +20,78 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             ]
         })
     })
+}
+
+/// Identifier-ish strings that survive the XML wire untouched.
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z][a-zA-Z0-9_.-]{0,11}").unwrap()
+}
+
+fn op_strategy() -> impl Strategy<Value = RuleOp> {
+    prop_oneof![
+        Just(RuleOp::Less),
+        Just(RuleOp::LessEq),
+        Just(RuleOp::Greater),
+        Just(RuleOp::GreaterEq),
+    ]
+}
+
+fn simple_rule_strategy() -> impl Strategy<Value = SimpleRule> {
+    (
+        (1u32..99, name_strategy(), name_strategy(), name_strategy()),
+        (
+            op_strategy(),
+            // `param: Some("")` would not round-trip (the parser reads an
+            // empty param field as None) — the strategy never emits it.
+            proptest::option::of(name_strategy()),
+            -100.0f64..100.0,
+            -100.0f64..100.0,
+        ),
+    )
+        .prop_map(
+            |((number, name, script, desc), (operator, param, busy, overloaded))| SimpleRule {
+                number,
+                name,
+                script,
+                desc,
+                operator,
+                param,
+                busy,
+                overloaded,
+            },
+        )
+}
+
+fn complex_rule_strategy() -> impl Strategy<Value = ComplexRule> {
+    (
+        (1u32..99, name_strategy(), name_strategy()),
+        (
+            expr_strategy(),
+            proptest::collection::vec(1u32..9, 1..6),
+            0.5f64..1.5,
+            1.0f64..2.0,
+        ),
+    )
+        .prop_map(
+            |((number, name, desc), (expr, rule_order, busy_cut, overloaded_cut))| ComplexRule {
+                number,
+                name,
+                desc,
+                rule_order,
+                expr,
+                cuts: StateCuts {
+                    busy_cut,
+                    overloaded_cut,
+                },
+            },
+        )
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    prop_oneof![
+        simple_rule_strategy().prop_map(Rule::Simple),
+        complex_rule_strategy().prop_map(Rule::Complex),
+    ]
 }
 
 proptest! {
@@ -108,4 +180,41 @@ proptest! {
         let hi = cuts.classify(StateScore((score + d).min(2.0)));
         prop_assert!(sev(hi) >= sev(lo));
     }
+
+    /// Any rule — simple or complex, with arbitrary expressions, explicit
+    /// `rule_order`, params and cuts — round-trips through the XML wire
+    /// form exactly.
+    #[test]
+    fn rule_xml_roundtrip_is_exact(rule in rule_strategy()) {
+        let doc = rule.to_xml().to_document();
+        let parsed = ars_xmlwire::parse(&doc)
+            .map_err(|e| TestCaseError(format!("unparseable xml: {e}\n{doc}")))?;
+        let back = Rule::from_xml(&parsed)
+            .map_err(|e| TestCaseError(format!("rule rejected: {e}\n{doc}")))?;
+        prop_assert_eq!(back, rule);
+    }
+}
+
+#[test]
+fn paper_weighted_percent_rule_roundtrips_through_xml() {
+    // The Figure 4 complex rule verbatim: weighted-percent expression,
+    // explicit evaluation order, both cuts.
+    let rule = Rule::Complex(ComplexRule {
+        number: 5,
+        name: "decision".to_string(),
+        desc: "overall decision rule".to_string(),
+        rule_order: vec![4, 1, 3, 2],
+        expr: Expr::parse("( 40% * r4 + 30% * r1 + 30% * r3 ) & r2").unwrap(),
+        cuts: StateCuts {
+            busy_cut: 0.8,
+            overloaded_cut: 1.2,
+        },
+    });
+    let doc = rule.to_xml().to_document();
+    let back = Rule::from_xml(&ars_xmlwire::parse(&doc).unwrap()).unwrap();
+    assert_eq!(back, rule);
+    let Rule::Complex(c) = back else {
+        unreachable!("serialized as complex")
+    };
+    assert_eq!(c.rule_order, vec![4, 1, 3, 2]);
 }

@@ -12,6 +12,7 @@ use crate::program::{Op, Program, SpawnOpts, Wake};
 use crate::recorder::Recorder;
 use crate::trace::{Trace, TraceKind};
 use ars_faults::{Fault, FaultPlan, FaultStats};
+use ars_obs::{Obs, ObsEvent};
 use ars_simcore::{EventId, EventQueue, FxHashMap, FxHashSet, JobId, SimDuration, SimRng, SimTime};
 use ars_simhost::{Host, HostConfig, ProcEntry, ProcState, LOAD_SAMPLE_INTERVAL};
 use ars_simnet::{FlowId, Network, NetworkConfig, NodeId};
@@ -36,6 +37,11 @@ pub struct SimConfig {
     /// nothing: no events, no RNG draws, no interception — runs are
     /// byte-identical to a build without the fault layer.
     pub faults: FaultPlan,
+    /// Observability session (fault-injection events from the kernel). The
+    /// default disabled handle is a no-op, and an enabled one never touches
+    /// the kernel RNG or event queue — same byte-identity discipline as
+    /// `faults`.
+    pub obs: Obs,
 }
 
 impl Default for SimConfig {
@@ -47,6 +53,7 @@ impl Default for SimConfig {
             trace: false,
             baseline_full_resync: false,
             faults: FaultPlan::none(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -566,6 +573,13 @@ impl Sim {
                 self.kernel
                     .trace
                     .record(now, TraceKind::Fault, format!("host h{host} crashed"));
+                self.kernel.config.obs.inc("faults_injected");
+                self.kernel
+                    .config
+                    .obs
+                    .record(now, || ObsEvent::FaultInjected {
+                        what: format!("host h{host} crashed"),
+                    });
                 // Every resident process dies with the host.
                 let victims: Vec<Pid> = self
                     .procs
@@ -606,6 +620,13 @@ impl Sim {
                     TraceKind::Fault,
                     format!("host h{host} recovered (empty)"),
                 );
+                self.kernel.config.obs.inc("faults_injected");
+                self.kernel
+                    .config
+                    .obs
+                    .record(now, || ObsEvent::FaultInjected {
+                        what: format!("host h{host} recovered"),
+                    });
             }
             Fault::PartitionStart { a, b } => {
                 let engine = self.kernel.faults.as_mut().expect("engine present");
@@ -621,6 +642,13 @@ impl Sim {
                     TraceKind::Fault,
                     format!("partition: {a:?} | {b:?}"),
                 );
+                self.kernel.config.obs.inc("faults_injected");
+                self.kernel
+                    .config
+                    .obs
+                    .record(now, || ObsEvent::FaultInjected {
+                        what: format!("partition: {a:?} | {b:?}"),
+                    });
                 // Transfers crossing the cut are torn down.
                 let crossing: Vec<FlowId> = {
                     let engine = self.kernel.faults.as_ref().expect("engine present");
@@ -643,6 +671,13 @@ impl Sim {
                 self.kernel
                     .trace
                     .record(now, TraceKind::Fault, "partition healed");
+                self.kernel.config.obs.inc("faults_injected");
+                self.kernel
+                    .config
+                    .obs
+                    .record(now, || ObsEvent::FaultInjected {
+                        what: "partition healed".to_string(),
+                    });
             }
             Fault::MonitorStall { host, duration } => {
                 let engine = self.kernel.faults.as_mut().expect("engine present");
@@ -656,6 +691,13 @@ impl Sim {
                     TraceKind::Fault,
                     format!("h{host} stalled for {duration}"),
                 );
+                self.kernel.config.obs.inc("faults_injected");
+                self.kernel
+                    .config
+                    .obs
+                    .record(now, || ObsEvent::FaultInjected {
+                        what: format!("h{host} stalled for {duration}"),
+                    });
             }
             Fault::ProcessRestart { pid } => {
                 let pid = Pid(pid);
@@ -665,6 +707,13 @@ impl Sim {
                 self.kernel
                     .trace
                     .record(now, TraceKind::Fault, format!("restart signal -> {pid}"));
+                self.kernel.config.obs.inc("faults_injected");
+                self.kernel
+                    .config
+                    .obs
+                    .record(now, || ObsEvent::FaultInjected {
+                        what: format!("restart signal -> {pid}"),
+                    });
                 self.kernel
                     .pending_signals
                     .push((pid, ars_faults::RESTART_SIGNAL));

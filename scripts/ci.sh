@@ -21,6 +21,14 @@ echo "== chaos matrix =="
 ARS_CHAOS_SEEDS="3,5,11,12,13,17,23,42" \
     cargo test --release -q --test chaos -- chaos_liveness_over_the_seed_matrix
 
+echo "== observability equivalence =="
+# Zero-cost guarantee: a chaos run with an enabled observability session
+# must produce a byte-identical kernel trace to the same run without one
+# (same discipline as the fault-layer equivalence test).
+cargo test --release -q --test chaos -- \
+    enabling_observability_does_not_perturb_the_trace \
+    disabled_fault_plan_is_byte_identical_to_no_fault_layer
+
 echo "== rustfmt =="
 # Vendored crates (vendor/*) keep their upstream formatting, so list our
 # packages explicitly instead of using --all.

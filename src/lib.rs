@@ -67,12 +67,14 @@
 //! | [`hpcm`]    | Migration middleware (poll-points, state transfer) |
 //! | [`rescheduler`] | Monitor, commander, registry/scheduler, live TCP |
 //! | [`apps`]    | test_tree and the other workloads |
+//! | [`obs`]     | Zero-cost observability: typed events, counters, histograms |
 
 #![warn(missing_docs)]
 
 pub use ars_apps as apps;
 pub use ars_hpcm as hpcm;
 pub use ars_mpisim as mpisim;
+pub use ars_obs as obs;
 pub use ars_rescheduler as rescheduler;
 pub use ars_rules as rules;
 pub use ars_sim as sim;
@@ -93,6 +95,7 @@ pub mod prelude {
         MigrationOutcome, MigrationRecord, SavedState, MIGRATE_SIGNAL,
     };
     pub use ars_mpisim::{CommId, Mpi, Rank, ReduceOp, TaskId};
+    pub use ars_obs::{Obs, ObsEvent, ObsHistogram, ObsKind, ObsRecord};
     pub use ars_rescheduler::{
         deploy, Commander, DeployConfig, Deployment, Monitor, MonitorConfig, RegistryConfig,
         RegistryScheduler, ReschedHooks, SchemaBook, StateSource,

@@ -271,3 +271,152 @@ fn disabled_fault_plan_is_byte_identical_to_no_fault_layer() {
     };
     assert_eq!(story(FaultPlan::none()), story(FaultPlan::default()));
 }
+
+/// The chaos story with an observability session threaded through every
+/// layer (kernel, registry, monitors, commanders, migration shells).
+/// Returns the kernel trace for byte-identity comparison.
+fn obs_story(obs: Obs) -> Vec<(u64, String)> {
+    let mut sim = Sim::new(
+        (0..6)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
+        SimConfig {
+            seed: 7,
+            trace: true,
+            faults: chaos_plan(7),
+            obs: obs.clone(),
+            ..SimConfig::default()
+        },
+    );
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &[HostId(1), HostId(2), HostId(3), HostId(4), HostId(5)],
+        DeployConfig {
+            overload_confirm: SimDuration::from_secs(40),
+            obs: obs.clone(),
+            ..DeployConfig::default()
+        },
+    );
+    let hpcm = HpcmHooks::new();
+    for (host, app_seed) in [(HostId(1), 1u64), (HostId(2), 2u64)] {
+        let app = TestTree::new(TestTreeConfig {
+            seed: app_seed,
+            ..TestTreeConfig::small()
+        });
+        dep.schemas.put(MigratableApp::schema(&app));
+        HpcmShell::spawn_on(
+            &mut sim,
+            host,
+            app,
+            HpcmConfig {
+                obs: obs.clone(),
+                ..HpcmConfig::default()
+            },
+            None,
+            hpcm.clone(),
+        );
+    }
+    sim.run_until(t(60.0));
+    for _ in 0..2 {
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
+    }
+    sim.run_until(t(1500.0));
+    sim.kernel()
+        .trace
+        .events()
+        .iter()
+        .map(|e| (e.t.as_micros(), e.detail.clone()))
+        .collect()
+}
+
+#[test]
+fn enabling_observability_does_not_perturb_the_trace() {
+    // The obs layer's zero-cost guarantee: the disabled handle is a no-op,
+    // and an *enabled* session must not change a single trace event either
+    // — recording never touches the kernel RNG, event queue or any
+    // scheduling state.
+    let baseline = obs_story(Obs::disabled());
+    let session = Obs::enabled();
+    let observed = obs_story(session.clone());
+    assert_eq!(
+        baseline, observed,
+        "enabling observability perturbed the simulation"
+    );
+    // And the enabled run really was recording all along.
+    assert!(session.recorded() > 0, "enabled session recorded nothing");
+    assert!(
+        session.counter("faults_injected") > 0,
+        "fault schedule injected nothing"
+    );
+}
+
+#[test]
+fn observed_events_form_causal_chains() {
+    let session = Obs::enabled();
+    let _ = obs_story(session.clone());
+    let events = session.events();
+
+    // Every abort carries a reason, and is causally resolved: either a
+    // later prepare (the runtime re-selected and retried) or an injected
+    // fault on record explains the loss.
+    for (i, rec) in events.iter().enumerate() {
+        if let ObsEvent::MigrationAborted { reason, .. } = &rec.event {
+            assert!(!reason.is_empty(), "abort without a reason at {:?}", rec.t);
+            let retried_later = events[i..]
+                .iter()
+                .any(|r| matches!(r.event, ObsEvent::MigrationPrepared { .. }));
+            let fault_on_record = events[..=i]
+                .iter()
+                .any(|r| matches!(r.event, ObsEvent::FaultInjected { .. }));
+            assert!(
+                retried_later || fault_on_record,
+                "abort at {:?} with neither a retry nor a recorded loss cause",
+                rec.t
+            );
+        }
+    }
+
+    // Every committed migration went through the full phase chain.
+    for rec in session.of_kind(ObsKind::MigrationCommitted) {
+        let ObsEvent::MigrationCommitted { pid_old, .. } = rec.event else {
+            unreachable!("filtered by kind")
+        };
+        let prepared = events
+            .iter()
+            .any(|r| matches!(r.event, ObsEvent::MigrationPrepared { pid, .. } if pid == pid_old));
+        let transferred = events.iter().any(
+            |r| matches!(r.event, ObsEvent::MigrationTransferred { pid, .. } if pid == pid_old),
+        );
+        assert!(
+            prepared && transferred,
+            "commit of pid{pid_old} skipped a phase event"
+        );
+    }
+
+    // The detector never writes a host off without suspecting it first.
+    for (i, rec) in events.iter().enumerate() {
+        if let ObsEvent::HostDown { host, .. } = &rec.event {
+            let suspected_before = events[..i].iter().any(|r| {
+                matches!(&r.event, ObsEvent::HostSuspect { host: h, .. } if h == host)
+                    || matches!(&r.event, ObsEvent::HostDown { host: h, .. } if h == host)
+            });
+            assert!(
+                suspected_before,
+                "{host} went Down without a prior Suspect event"
+            );
+        }
+    }
+
+    // Counters cohere with the event stream.
+    let committed = session.of_kind(ObsKind::MigrationCommitted).len() as u64;
+    assert!(session.counter("migrations_started") >= committed);
+    assert_eq!(
+        session.counter("faults_injected"),
+        session.of_kind(ObsKind::FaultInjected).len() as u64
+    );
+}
