@@ -132,62 +132,102 @@ fn bench_kernel(c: &mut Criterion) {
 }
 
 fn bench_destination_selection(c: &mut Criterion) {
-    use ars_rescheduler::{RegistryConfig, RegistryScheduler, ReschedHooks, SchemaBook};
+    use ars_rescheduler::{CoreInput, Endpoint, RegistryConfig, RegistryCore, SchemaBook};
     use ars_rules::Policy;
-    use ars_xmlwire::{HostStatic, ResourceRequirements};
+    use ars_xmlwire::{EntityRole, HostStatic, Message, ResourceRequirements};
 
     // A 1024-host cluster where most machines are loaded and the few free
     // ones sit at the end of the registration order — the worst case for the
-    // linear scan and the common case after hours of uptime.
+    // linear scan and the common case after hours of uptime. The core is
+    // populated the way every driver populates it: Register + Heartbeat
+    // inputs through `handle`.
+    let now = SimTime::from_secs(100);
     let build = |linear: bool| {
         let mut cfg = RegistryConfig::new(Policy::paper_policy2());
         cfg.linear_first_fit = linear;
-        let mut reg = RegistryScheduler::new(cfg, SchemaBook::new(), ReschedHooks::new());
-        let now = SimTime::from_secs(100);
+        let mut core = RegistryCore::new(cfg, SchemaBook::new());
+        let mut fx = Vec::new();
         for i in 0..1024u32 {
             let free = i >= 1000;
             let mut m = Metrics::new();
             m.set("loadAvg1", if free { 0.2 } else { 2.5 });
             m.set("nproc", if free { 60.0 } else { 180.0 });
+            m.set("memAvail", 50.0);
             m.set("diskAvailKb", 4_000_000.0);
-            reg.debug_install_host(
-                HostStatic {
-                    name: format!("ws{i}"),
-                    ip: format!("10.0.0.{i}"),
-                    os: "SunOS 5.8".to_string(),
-                    cpu_speed: 1.0,
-                    n_cpus: 1,
-                    mem_kb: 131_072,
-                },
-                if free {
-                    HostState::Free
-                } else {
-                    HostState::Busy
-                },
-                m,
+            let from = Endpoint(u64::from(i) + 1);
+            core.handle(
                 now,
+                CoreInput::Message {
+                    from,
+                    msg: Message::Register {
+                        host: HostStatic {
+                            name: format!("ws{i}"),
+                            ip: format!("10.0.0.{i}"),
+                            os: "SunOS 5.8".to_string(),
+                            cpu_speed: 1.0,
+                            n_cpus: 1,
+                            mem_kb: 131_072,
+                        },
+                        role: EntityRole::Monitor,
+                    },
+                },
+                &mut fx,
             );
+            core.handle(
+                now,
+                CoreInput::Message {
+                    from,
+                    msg: Message::Heartbeat {
+                        host: format!("ws{i}"),
+                        state: if free {
+                            HostState::Free
+                        } else {
+                            HostState::Busy
+                        },
+                        metrics: m,
+                        procs: Vec::new(),
+                    },
+                },
+                &mut fx,
+            );
+            fx.clear();
         }
-        reg
+        core
     };
     let req = ResourceRequirements {
         mem_kb: 24_576,
         disk_kb: 1_024,
         min_cpu_speed: 0.5,
     };
-    let now = SimTime::from_secs(100);
     let linear = build(true);
     let indexed = build(false);
+    let pick = |core: &RegistryCore| {
+        core.destination_for(&req, "ws0", now)
+            .map(|e| e.name.to_string())
+    };
     assert_eq!(
-        linear.debug_first_fit(&req, "ws0", now),
-        indexed.debug_first_fit(&req, "ws0", now),
+        pick(&linear),
+        Some("ws1000".to_string()),
+        "the first free host past the loaded prefix"
+    );
+    assert_eq!(
+        pick(&linear),
+        pick(&indexed),
         "both searches must agree on the destination"
     );
     c.bench_function("registry/first_fit_linear_1024_hosts", |b| {
-        b.iter(|| linear.debug_first_fit(black_box(&req), "ws0", now))
+        b.iter(|| {
+            linear
+                .destination_for(black_box(&req), "ws0", now)
+                .map(|e| e.name.clone())
+        })
     });
     c.bench_function("registry/first_fit_indexed_1024_hosts", |b| {
-        b.iter(|| indexed.debug_first_fit(black_box(&req), "ws0", now))
+        b.iter(|| {
+            indexed
+                .destination_for(black_box(&req), "ws0", now)
+                .map(|e| e.name.clone())
+        })
     });
 }
 

@@ -214,7 +214,7 @@ pub fn hierarchy(n_hosts: usize, domains: usize, seed: u64) -> HierarchyOutcome 
                     {
                         let mut c = RegistryConfig::new(Policy::paper_policy2());
                         c.name = format!("domain{d}");
-                        c.parent = parent;
+                        c.parent = parent.map(ars_rescheduler::Endpoint::from);
                         c
                     },
                     schemas.clone(),

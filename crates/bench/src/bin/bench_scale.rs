@@ -8,11 +8,13 @@
 //! baseline flags exist to measure the same computation, not a different
 //! one. Results land in `BENCH_scale.json` in the working directory.
 
-use ars_bench::scale::{heartbeat_migration, ScaleMode, ScaleRun, RUN_S};
+use ars_bench::scale::{heartbeat_migration, hierarchical_migration, ScaleMode, ScaleRun, RUN_S};
 use std::time::Instant;
 
 const SEED: u64 = 11;
 const SIZES: [usize; 3] = [64, 256, 1024];
+/// Leaf-registry count for the hierarchical cell.
+const DOMAINS: usize = 8;
 
 struct Row {
     n_hosts: usize,
@@ -75,6 +77,22 @@ fn main() {
         });
     }
 
+    // Hierarchical cell: the same scenario at the largest N under a root +
+    // DOMAINS leaf registries (DomainReport health summaries flowing up).
+    // Runs alongside — not instead of — the flat cells above.
+    let hier_n = SIZES[SIZES.len() - 1];
+    let hier_start = Instant::now();
+    let hier = hierarchical_migration(hier_n, DOMAINS, SEED);
+    let hier_s = hier_start.elapsed().as_secs_f64();
+    assert!(
+        hier.migrations >= 1,
+        "hierarchical scenario never migrated at N = {hier_n}"
+    );
+    println!(
+        "{:>8} {:>14} {:>14.3} {:>10}   (hierarchical, {DOMAINS} domains)",
+        hier_n, "-", hier_s, "-"
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"bench_scale\",\n");
@@ -96,7 +114,13 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"hierarchical\": {{\"n_hosts\": {hier_n}, \"domains\": {DOMAINS}, \
+         \"wall_s\": {hier_s:.4}, \"migrations\": {}}}\n",
+        hier.migrations
+    ));
+    json.push_str("}\n");
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
     println!("\nwrote BENCH_scale.json");
 

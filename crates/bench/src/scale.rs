@@ -17,8 +17,8 @@
 use ars_apps::{DaemonNoise, PollDaemon, Spinner, TestTree, TestTreeConfig};
 use ars_hpcm::{HpcmConfig, HpcmHooks, MigratableApp};
 use ars_rescheduler::{
-    Commander, Monitor, MonitorConfig, RegistryConfig, RegistryScheduler, ReschedHooks, SchemaBook,
-    StateSource,
+    deploy_hierarchical, Commander, DeployConfig, Monitor, MonitorConfig, RegistryConfig,
+    RegistryScheduler, ReschedHooks, SchemaBook, StateSource,
 };
 use ars_rules::{MonitoringFrequency, Policy};
 use ars_sim::{HostId, Sim, SimConfig, SpawnOpts};
@@ -192,5 +192,104 @@ pub fn heartbeat_migration(
     ScaleRun {
         migrations: hpcm.migration_count(),
         trace,
+    }
+}
+
+/// The overload + migration scenario under a **two-level registry
+/// hierarchy**: a root registry plus `domains` leaf registries on host 0,
+/// with the `n_hosts` workstations assigned to domains round-robin. Every
+/// leaf pushes periodic `DomainReport` health summaries to the root (the
+/// cross-domain routing input), so this cell measures the hierarchy's
+/// steady-state cost on top of the flat scenario — same app, same overload
+/// at t = 100 s, same ambient noise.
+pub fn hierarchical_migration(n_hosts: usize, domains: usize, seed: u64) -> ScaleRun {
+    assert!(n_hosts >= 2, "need a migration destination");
+    let mut sim = Sim::new(
+        (0..=n_hosts)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+
+    let monitored: Vec<HostId> = (1..=n_hosts).map(|i| HostId(i as u32)).collect();
+    let dep = deploy_hierarchical(
+        &mut sim,
+        HostId(0),
+        &monitored,
+        domains,
+        DeployConfig {
+            freq: MonitoringFrequency {
+                free: SimDuration::from_secs(10),
+                busy: SimDuration::from_secs(10),
+                overloaded: SimDuration::from_secs(5),
+            },
+            overload_confirm: SimDuration::from_secs(60),
+            ..DeployConfig::default()
+        },
+    );
+    for &host in &monitored {
+        sim.spawn(
+            host,
+            Box::new(DaemonNoise::new(0.1, 1.0)),
+            SpawnOpts::named("daemons"),
+        );
+        sim.spawn(
+            host,
+            Box::new(PollDaemon::new(0.5)),
+            SpawnOpts::named("session"),
+        );
+    }
+
+    let app = TestTree::new(TestTreeConfig {
+        trees: 16,
+        levels: 13,
+        node_cost_build: 2e-3,
+        node_cost_sort: 3e-3,
+        node_cost_sum: 1e-3,
+        chunk_nodes: 1024,
+        rss_kb: 24_576,
+        seed,
+    });
+    let hpcm = HpcmHooks::new();
+    dep.schemas.put(MigratableApp::schema(&app));
+    ars_hpcm::HpcmShell::spawn_on(
+        &mut sim,
+        HostId(1),
+        app,
+        HpcmConfig::default(),
+        None,
+        hpcm.clone(),
+    );
+
+    sim.run_until(SimTime::from_secs(100));
+    for _ in 0..2 {
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
+    }
+    sim.run_until(SimTime::from_secs(RUN_S));
+
+    ScaleRun {
+        migrations: hpcm.migration_count(),
+        trace: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_scenario_migrates() {
+        // Small instance of the bench_scale hierarchical cell: the overload
+        // on ws1 must still produce a migration when scheduling goes
+        // through a leaf registry with a root above it.
+        let run = hierarchical_migration(8, 2, 11);
+        assert!(run.migrations >= 1, "no migration under the hierarchy");
     }
 }

@@ -4,7 +4,8 @@
 use crate::commander::Commander;
 use crate::hooks::{ReschedHooks, SchemaBook};
 use crate::monitor::{Monitor, MonitorConfig, StateSource};
-use crate::registry::{RegistryConfig, RegistryScheduler};
+use crate::regcore::{Endpoint, RegistryConfig};
+use crate::registry::RegistryScheduler;
 use ars_obs::Obs;
 use ars_rules::{MonitoringFrequency, Policy};
 use ars_sim::{HostId, Pid, Sim, SpawnOpts};
@@ -130,6 +131,114 @@ pub fn deploy(
 
     Deployment {
         registry,
+        monitors,
+        commanders,
+        hooks,
+        schemas,
+    }
+}
+
+/// Handles to a deployed two-level registry hierarchy.
+pub struct HierarchicalDeployment {
+    /// The root (parent) registry routing cross-domain searches.
+    pub root: Pid,
+    /// One leaf registry per domain, in domain order.
+    pub leaves: Vec<Pid>,
+    /// Monitor process per monitored host (same order as `monitored`).
+    pub monitors: Vec<Pid>,
+    /// Commander process per monitored host.
+    pub commanders: Vec<Pid>,
+    /// Shared decision log (all registries write to it).
+    pub hooks: ReschedHooks,
+    /// Shared application-schema book.
+    pub schemas: SchemaBook,
+}
+
+/// Deploy a two-level registry hierarchy: a root registry plus `domains`
+/// leaf registries on `registry_host`, with the hosts in `monitored`
+/// assigned to domains round-robin. Each leaf pushes periodic
+/// [`ars_xmlwire::Message::DomainReport`] summaries to the root, which the
+/// root uses to probe the freest sibling domain first when a leaf
+/// escalates a candidate search.
+pub fn deploy_hierarchical(
+    sim: &mut Sim,
+    registry_host: HostId,
+    monitored: &[HostId],
+    domains: usize,
+    cfg: DeployConfig,
+) -> HierarchicalDeployment {
+    let hooks = ReschedHooks::new();
+    let schemas = SchemaBook::new();
+    let domains = domains.max(1);
+
+    let mut root_cfg = RegistryConfig::new(cfg.policy.clone());
+    root_cfg.name = format!("root@h{}", registry_host.0);
+    root_cfg.lease = cfg.lease;
+    root_cfg.obs = cfg.obs.clone();
+    let root = sim.spawn(
+        registry_host,
+        Box::new(RegistryScheduler::new(
+            root_cfg,
+            schemas.clone(),
+            hooks.clone(),
+        )),
+        SpawnOpts::named("ars_registry_root"),
+    );
+
+    let mut leaves = Vec::new();
+    for d in 0..domains {
+        let mut leaf_cfg = RegistryConfig::new(cfg.policy.clone());
+        leaf_cfg.name = format!("domain{d}@h{}", registry_host.0);
+        leaf_cfg.lease = cfg.lease;
+        leaf_cfg.pull = !cfg.push;
+        leaf_cfg.parent = Some(Endpoint::from(root));
+        leaf_cfg.obs = cfg.obs.clone();
+        leaves.push(sim.spawn(
+            registry_host,
+            Box::new(RegistryScheduler::new(
+                leaf_cfg,
+                schemas.clone(),
+                hooks.clone(),
+            )),
+            SpawnOpts::named(format!("ars_registry_d{d}")),
+        ));
+    }
+
+    let mut monitors = Vec::new();
+    let mut commanders = Vec::new();
+    for (i, &host) in monitored.iter().enumerate() {
+        let registry = leaves[i % domains];
+        let state_source = if cfg.use_paper_rules {
+            StateSource::Rules(ars_rules::RuleSet::paper())
+        } else {
+            StateSource::Policy(cfg.policy.clone())
+        };
+        let commander = sim.spawn(
+            host,
+            Box::new(Commander::new(registry).with_obs(cfg.obs.clone())),
+            SpawnOpts::named("ars_commander"),
+        );
+        commanders.push(commander);
+        let mon_cfg = MonitorConfig {
+            registry,
+            state_source,
+            freq: cfg.freq,
+            ambient: cfg.ambient.clone(),
+            overload_confirm: cfg.overload_confirm,
+            adaptive: cfg.adaptive.clone(),
+            push: cfg.push,
+            commander: Some(commander),
+        };
+        monitors.push(sim.spawn(
+            host,
+            Box::new(Monitor::new(mon_cfg, schemas.clone()).with_obs(cfg.obs.clone())),
+            SpawnOpts::named("ars_monitor"),
+        ));
+    }
+
+    HierarchicalDeployment {
+        root,
+        leaves,
         monitors,
         commanders,
         hooks,

@@ -5,6 +5,7 @@ use ars_xmlwire::ApplicationSchema;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The tag every rescheduler control message travels under.
 pub const CONTROL_TAG: u32 = 0xC011;
@@ -12,9 +13,13 @@ pub const CONTROL_TAG: u32 = 0xC011;
 /// Shared map of application name → schema ("initially provided by the
 /// users and … updated according to the statistics of actual executions").
 /// Monitors read it to fill heartbeat process reports; the registry reads
-/// resource requirements from it.
+/// resource requirements from it. `Arc`-shared and `Send`: the same book
+/// feeds the single-threaded simulation and the live TCP registry's worker
+/// threads. A lock poisoned by a panicking holder is recovered from — the
+/// book is a lookup cache, so the worst a recovered lock exposes is a
+/// schema from before the panic.
 #[derive(Clone, Default)]
-pub struct SchemaBook(Rc<RefCell<HashMap<String, ApplicationSchema>>>);
+pub struct SchemaBook(Arc<Mutex<HashMap<String, ApplicationSchema>>>);
 
 impl SchemaBook {
     /// Empty book.
@@ -22,19 +27,23 @@ impl SchemaBook {
         Self::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, ApplicationSchema>> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Register or replace a schema.
     pub fn put(&self, schema: ApplicationSchema) {
-        self.0.borrow_mut().insert(schema.app.clone(), schema);
+        self.lock().insert(schema.app.clone(), schema);
     }
 
     /// Look up a schema by application name.
     pub fn get(&self, app: &str) -> Option<ApplicationSchema> {
-        self.0.borrow().get(app).cloned()
+        self.lock().get(app).cloned()
     }
 
     /// Fold a measured run into an app's schema (post-execution feedback).
     pub fn record_run(&self, app: &str, measured_s: f64) {
-        if let Some(s) = self.0.borrow_mut().get_mut(app) {
+        if let Some(s) = self.lock().get_mut(app) {
             s.record_run(measured_s);
         }
     }
@@ -56,7 +65,7 @@ pub struct DecisionRecord {
 }
 
 /// Shared decision log read by tests and the experiment harness.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ReschedLog {
     /// All decisions, in order.
     pub decisions: Vec<DecisionRecord>,

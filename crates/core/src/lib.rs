@@ -8,11 +8,14 @@
 //!   decision, soft-state push heartbeats, overload confirmation windowing;
 //! * [`commander`] — the per-host commander: temp-file destination handoff
 //!   plus the user-defined migration signal;
-//! * [`registry`] — the registry/scheduler: soft-state host table with
-//!   leases, latest-completing-time process selection, first-fit
-//!   destination selection, hierarchical candidate escalation;
+//! * [`regcore`] — the sans-I/O registry/scheduler core: soft-state host
+//!   table with leases, latest-completing-time process selection, the one
+//!   first-fit destination search, command retransmit bookkeeping, and the
+//!   hierarchical candidate escalation — pure inputs in, pure effects out;
+//! * [`registry`] — the DES driver replaying core effects onto the
+//!   simulation kernel;
 //! * [`mod@deploy`] — helpers wiring the entities onto a simulated cluster;
-//! * [`live`] — the same protocol over real localhost TCP sockets.
+//! * [`live`] — the same core replayed onto real localhost TCP sockets.
 
 #![warn(missing_docs)]
 
@@ -22,13 +25,16 @@ pub mod deploy;
 pub mod hooks;
 pub mod live;
 pub mod monitor;
+pub mod regcore;
 pub mod registry;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveConfirm};
 pub use commander::Commander;
-pub use deploy::{deploy, DeployConfig, Deployment};
+pub use deploy::{deploy, deploy_hierarchical, DeployConfig, Deployment, HierarchicalDeployment};
 pub use hooks::{DecisionRecord, ReschedHooks, ReschedLog, SchemaBook, CONTROL_TAG};
 pub use monitor::{Monitor, MonitorConfig, StateSource};
-pub use registry::{
-    DomainHealth, HostEntry, Liveness, RegistryConfig, RegistryScheduler, SelectionPolicy,
+pub use regcore::{
+    CoreEffect, CoreInput, DomainHealth, Endpoint, HostEntry, Liveness, LogEffect, RegistryConfig,
+    RegistryCore, SelectionPolicy, TimerId,
 };
+pub use registry::RegistryScheduler;

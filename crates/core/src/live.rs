@@ -4,19 +4,29 @@
 //! TCP/IP sockets". The simulated entities exchange exactly those XML
 //! documents as message payloads; this module runs the same documents over
 //! real localhost sockets — a registry/scheduler server plus client-side
-//! helpers — demonstrating that the wire format is transport independent.
+//! helpers — demonstrating that the wire format *and the scheduler itself*
+//! are transport independent: the server is the same sans-I/O
+//! [`RegistryCore`] the simulation drives, fed from socket reads and
+//! replayed onto socket writes. That gives the live path everything the
+//! simulated registry has — schema resource requirements, rule-policy
+//! destination conditions, the missed-heartbeat failure detector, command
+//! retransmits — none of which the old socket-local table implemented.
 //!
 //! Framing: one XML document per line (the writer emits single-line
 //! documents; newline is therefore an unambiguous delimiter).
 
-use crate::hooks::DecisionRecord;
-use ars_xmlwire::{HostState, Message, Metrics};
+use crate::hooks::{DecisionRecord, ReschedLog, SchemaBook};
+use crate::regcore::{
+    CoreEffect, CoreInput, Endpoint, LogEffect, RegistryConfig, RegistryCore, TimerId,
+};
+use ars_rules::Policy;
+use ars_simcore::SimTime;
+use ars_xmlwire::Message;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Default deadline for connecting to and calling a live registry. A dead
@@ -84,60 +94,86 @@ pub fn read_msg(reader: &mut impl BufRead) -> std::io::Result<Option<Message>> {
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
-/// Registry-side view of one live host.
-#[derive(Debug, Clone)]
-pub struct LiveEntry {
-    /// Last reported state.
-    pub state: HostState,
-    /// Last reported metrics.
-    pub metrics: Metrics,
-    /// Wall-clock instant of the last refresh.
-    pub last_seen: Instant,
+/// Everything the worker threads share: the scheduler core, its decision
+/// log, the write half of every open connection (keyed by the connection
+/// id that doubles as the core's [`Endpoint`]), and the armed retransmit
+/// timers.
+struct LiveShared {
+    core: RegistryCore,
+    log: ReschedLog,
+    writers: HashMap<u64, TcpStream>,
+    timers: Vec<(Instant, TimerId)>,
 }
 
-/// Shared state of a live registry.
-#[derive(Default)]
-pub struct LiveTable {
-    /// Hosts in registration order (first-fit order).
-    pub order: Vec<String>,
-    /// Host entries.
-    pub entries: HashMap<String, LiveEntry>,
-    /// Decisions taken (candidate replies served).
-    pub decisions: Vec<DecisionRecord>,
+/// Lock the shared state, recovering from poisoning. A client handler that
+/// panics mid-update leaves the mutex poisoned; one bad client must not
+/// brick the registry for every later one. The core is a soft-state cache
+/// refreshed by heartbeats, so the worst a recovered lock can expose is a
+/// stale entry — not corruption.
+fn lock_shared(shared: &Mutex<LiveShared>) -> MutexGuard<'_, LiveShared> {
+    shared.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Handle to a running live registry server.
 pub struct LiveRegistry {
     addr: SocketAddr,
-    table: Arc<Mutex<LiveTable>>,
+    shared: Arc<Mutex<LiveShared>>,
+    epoch: Instant,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl LiveRegistry {
-    /// Start a registry server on `127.0.0.1:0` (ephemeral port).
+    /// Start a registry server on `127.0.0.1:0` (ephemeral port) with a
+    /// permissive default configuration: no destination conditions and no
+    /// resource floors, i.e. any free, alive, non-source host qualifies.
+    /// Use [`start_with`](Self::start_with) to schedule against a real
+    /// policy and schema book.
     pub fn start() -> std::io::Result<LiveRegistry> {
+        let mut cfg = RegistryConfig::new(Policy::no_migration());
+        cfg.name = "live".to_string();
+        Self::start_with(cfg, SchemaBook::new())
+    }
+
+    /// Start a registry server with an explicit configuration and schema
+    /// book — the same [`RegistryConfig`] the simulated registry takes, so
+    /// rule-policy destination conditions, resource requirements, leases
+    /// and retransmit tuning all apply to live scheduling.
+    pub fn start_with(cfg: RegistryConfig, schemas: SchemaBook) -> std::io::Result<LiveRegistry> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let table: Arc<Mutex<LiveTable>> = Arc::default();
+        let shared = Arc::new(Mutex::new(LiveShared {
+            core: RegistryCore::new(cfg, schemas),
+            log: ReschedLog::default(),
+            writers: HashMap::new(),
+            timers: Vec::new(),
+        }));
+        let epoch = Instant::now();
         let stop = Arc::new(AtomicBool::new(false));
-        let t_table = table.clone();
+        let t_shared = shared.clone();
         let t_stop = stop.clone();
         let accept_thread = std::thread::spawn(move || {
+            let next_conn = AtomicU64::new(1);
             let mut workers = Vec::new();
             while !t_stop.load(Ordering::Relaxed) {
+                fire_due_timers(&t_shared, epoch);
                 match listener.accept() {
                     Ok((stream, _)) => {
                         stream.set_nonblocking(false).ok();
-                        let table = t_table.clone();
+                        let conn = next_conn.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(writer) = stream.try_clone() {
+                            lock_shared(&t_shared).writers.insert(conn, writer);
+                        }
+                        let shared = t_shared.clone();
                         let stop = t_stop.clone();
                         workers.push(std::thread::spawn(move || {
-                            let _ = serve_client(stream, table, stop);
+                            let _ = serve_client(conn, stream, &shared, &stop, epoch);
+                            lock_shared(&shared).writers.remove(&conn);
                         }));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        std::thread::sleep(Duration::from_millis(5));
                     }
                     Err(_) => break,
                 }
@@ -148,7 +184,8 @@ impl LiveRegistry {
         });
         Ok(LiveRegistry {
             addr,
-            table,
+            shared,
+            epoch,
             stop,
             accept_thread: Some(accept_thread),
         })
@@ -159,9 +196,22 @@ impl LiveRegistry {
         self.addr
     }
 
-    /// Snapshot of the registry table.
-    pub fn table(&self) -> Arc<Mutex<LiveTable>> {
-        self.table.clone()
+    /// The registry's clock: seconds since the server started, as the
+    /// `SimTime` the core is being fed.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.epoch.elapsed().as_secs_f64())
+    }
+
+    /// Run a read-only closure against the scheduler core and its decision
+    /// log (tests/diagnostics). Takes the shared lock for the duration.
+    pub fn inspect<R>(&self, f: impl FnOnce(&RegistryCore, &ReschedLog) -> R) -> R {
+        let shared = lock_shared(&self.shared);
+        f(&shared.core, &shared.log)
+    }
+
+    /// Snapshot of the decision log.
+    pub fn log(&self) -> ReschedLog {
+        self.inspect(|_, log| log.clone())
     }
 
     /// Stop accepting and wind down (open client connections unblock at
@@ -183,41 +233,118 @@ impl Drop for LiveRegistry {
     }
 }
 
-/// Lock the shared table, recovering from poisoning. A client handler that
-/// panics mid-update leaves the mutex poisoned; one bad client must not
-/// brick the registry for every later one. The table is a soft-state cache
-/// refreshed by heartbeats, so the worst a recovered lock can expose is a
-/// stale entry — not corruption.
-fn lock_table(table: &Mutex<LiveTable>) -> std::sync::MutexGuard<'_, LiveTable> {
-    table
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+/// The core's clock input: wall seconds since the server's epoch.
+fn now_since(epoch: Instant) -> SimTime {
+    SimTime::from_secs_f64(epoch.elapsed().as_secs_f64())
 }
 
-fn first_fit(table: &LiveTable, exclude: &str) -> Option<String> {
-    table
-        .order
-        .iter()
-        .find(|name| {
-            name.as_str() != exclude
-                && table
-                    .entries
-                    .get(*name)
-                    .is_some_and(|e| e.state == HostState::Free)
-        })
-        .cloned()
+/// Write `msg` to connection `conn`, dropping it silently if the peer is
+/// gone (its worker removes the writer on disconnect).
+fn send_to(shared: &mut LiveShared, conn: u64, msg: &Message) {
+    if let Some(w) = shared.writers.get_mut(&conn) {
+        let _ = write_msg(w, msg);
+    }
+}
+
+fn apply_log(log: &mut ReschedLog, effect: LogEffect) {
+    match effect {
+        LogEffect::Decision(record) => log.decisions.push(record),
+        LogEffect::CommandSent => log.commands_sent += 1,
+        LogEffect::CommandRetransmit => log.command_retransmits += 1,
+        LogEffect::CommandAborted => log.commands_aborted += 1,
+    }
+}
+
+/// Replay core effects onto the sockets. [`CoreEffect::StartDecision`] has
+/// no CPU to charge here, so due decisions are fed straight back until the
+/// core goes quiet. `candidate_ctx` carries the (connection, source host)
+/// of an in-flight [`Message::CandidateRequest`], so the reply the core
+/// sends it is also recorded in the decision log — mirroring what the DES
+/// driver's requesting registry would log on its side.
+fn pump(
+    shared: &mut LiveShared,
+    now: SimTime,
+    effects: &mut Vec<CoreEffect>,
+    candidate_ctx: Option<(u64, &str)>,
+) {
+    loop {
+        let mut due = Vec::new();
+        for effect in effects.drain(..) {
+            match effect {
+                CoreEffect::Send { to, msg } => {
+                    if let (Some((conn, source)), Message::CandidateReply { dest }) =
+                        (candidate_ctx, &msg)
+                    {
+                        if conn == to.0 {
+                            shared.log.decisions.push(DecisionRecord {
+                                at: now,
+                                source: source.to_string(),
+                                dest: dest.clone(),
+                                pid: None,
+                                escalated: false,
+                            });
+                        }
+                    }
+                    send_to(shared, to.0, &msg);
+                }
+                CoreEffect::StartDecision { source, .. } => due.push(source),
+                CoreEffect::ArmTimer { timer, after } => {
+                    let deadline = Instant::now() + Duration::from_secs_f64(after.as_secs_f64());
+                    shared.timers.push((deadline, timer));
+                }
+                CoreEffect::Trace { .. } => {}
+                CoreEffect::Log(log) => apply_log(&mut shared.log, log),
+            }
+        }
+        if due.is_empty() {
+            return;
+        }
+        for source in due {
+            let mut fx = Vec::new();
+            shared
+                .core
+                .handle(now, CoreInput::DecisionDue { source }, &mut fx);
+            effects.extend(fx);
+        }
+    }
+}
+
+/// Fire retransmit timers whose deadline has passed (called from the
+/// accept loop every few milliseconds).
+fn fire_due_timers(shared: &Mutex<LiveShared>, epoch: Instant) {
+    let mut s = lock_shared(shared);
+    if s.timers.is_empty() {
+        return;
+    }
+    let wall = Instant::now();
+    let mut fired = Vec::new();
+    s.timers.retain(|&(deadline, timer)| {
+        if deadline <= wall {
+            fired.push(timer);
+            false
+        } else {
+            true
+        }
+    });
+    let now = now_since(epoch);
+    for timer in fired {
+        let mut fx = Vec::new();
+        s.core.handle(now, CoreInput::TimerFired(timer), &mut fx);
+        pump(&mut s, now, &mut fx, None);
+    }
 }
 
 fn serve_client(
+    conn: u64,
     stream: TcpStream,
-    table: Arc<Mutex<LiveTable>>,
-    stop: Arc<AtomicBool>,
+    shared: &Mutex<LiveShared>,
+    stop: &AtomicBool,
+    epoch: Instant,
 ) -> std::io::Result<()> {
     // Wake periodically so the stop flag is honoured even while idle. The
     // line buffer persists across timeouts, so a message split across reads
     // is never lost.
-    stream.set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
-    let mut writer = stream.try_clone()?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     while !stop.load(Ordering::Relaxed) {
@@ -237,66 +364,64 @@ fn serve_client(
             Ok(m) => m,
             Err(_) => {
                 line.clear();
-                write_msg(
-                    &mut writer,
+                let mut s = lock_shared(shared);
+                send_to(
+                    &mut s,
+                    conn,
                     &Message::Ack {
                         ok: false,
                         info: "undecodable message".to_string(),
                     },
-                )?;
+                );
                 continue;
             }
         };
         line.clear();
+        let mut s = lock_shared(shared);
+        let now = now_since(epoch);
+        let mut fx = Vec::new();
         match msg {
-            Message::Register { host, .. } => {
-                let mut t = lock_table(&table);
-                if !t.order.contains(&host.name) {
-                    t.order.push(host.name.clone());
-                }
-                // A duplicate Register (monitor restart, retransmit) must
-                // not wipe the state and metrics the heartbeats built up:
-                // keep a known host's entry and just refresh its lease.
-                match t.entries.entry(host.name.clone()) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        e.get_mut().last_seen = Instant::now();
-                    }
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert(LiveEntry {
-                            state: HostState::Free,
-                            metrics: Metrics::new(),
-                            last_seen: Instant::now(),
-                        });
-                    }
-                }
-                write_msg(
-                    &mut writer,
+            Message::Register { host, role } => {
+                let name = host.name.clone();
+                s.core.handle(
+                    now,
+                    CoreInput::Message {
+                        from: Endpoint(conn),
+                        msg: Message::Register { host, role },
+                    },
+                    &mut fx,
+                );
+                pump(&mut s, now, &mut fx, None);
+                send_to(
+                    &mut s,
+                    conn,
                     &Message::Ack {
                         ok: true,
-                        info: format!("registered {}", host.name),
+                        info: format!("registered {name}"),
                     },
-                )?;
+                );
             }
-            Message::Heartbeat {
-                host,
-                state,
-                metrics,
-                ..
-            } => {
-                let mut t = lock_table(&table);
-                let known = t.entries.contains_key(&host);
-                if known {
-                    t.entries.insert(
-                        host.clone(),
-                        LiveEntry {
-                            state,
-                            metrics,
-                            last_seen: Instant::now(),
-                        },
-                    );
-                }
-                write_msg(
-                    &mut writer,
+            Message::Heartbeat { .. } => {
+                let host = match &msg {
+                    Message::Heartbeat { host, .. } => host.clone(),
+                    _ => unreachable!("matched above"),
+                };
+                let known = s.core.knows_host(&host);
+                s.core.handle(
+                    now,
+                    CoreInput::Message {
+                        from: Endpoint(conn),
+                        msg,
+                    },
+                    &mut fx,
+                );
+                // Ack first: the heartbeat's caller reads exactly one
+                // reply. Anything the core pushes — a MigrationCommand to
+                // a commander connection, a ReRegister nudge to this one —
+                // follows on the respective streams afterwards.
+                send_to(
+                    &mut s,
+                    conn,
                     &Message::Ack {
                         ok: known,
                         info: if known {
@@ -305,28 +430,50 @@ fn serve_client(
                             format!("{host} is not registered")
                         },
                     },
-                )?;
+                );
+                pump(&mut s, now, &mut fx, None);
             }
-            Message::CandidateRequest { host, .. } => {
-                let mut t = lock_table(&table);
-                let dest = first_fit(&t, &host);
-                t.decisions.push(DecisionRecord {
-                    at: ars_simcore::SimTime::ZERO,
-                    source: host,
-                    dest: dest.clone(),
-                    pid: None,
-                    escalated: false,
-                });
-                write_msg(&mut writer, &Message::CandidateReply { dest })?;
+            Message::CandidateRequest { .. } => {
+                let source = match &msg {
+                    Message::CandidateRequest { host, .. } => host.clone(),
+                    _ => unreachable!("matched above"),
+                };
+                s.core.handle(
+                    now,
+                    CoreInput::Message {
+                        from: Endpoint(conn),
+                        msg,
+                    },
+                    &mut fx,
+                );
+                // The reply is the CandidateReply the core sends back to
+                // this connection — no transport-level ack.
+                pump(&mut s, now, &mut fx, Some((conn, source.as_str())));
+            }
+            Message::CommandAck { .. }
+            | Message::MigrationComplete { .. }
+            | Message::CandidateReply { .. }
+            | Message::DomainReport { .. } => {
+                // Fire-and-forget inputs: feed the core, reply nothing.
+                s.core.handle(
+                    now,
+                    CoreInput::Message {
+                        from: Endpoint(conn),
+                        msg,
+                    },
+                    &mut fx,
+                );
+                pump(&mut s, now, &mut fx, None);
             }
             other => {
-                write_msg(
-                    &mut writer,
+                send_to(
+                    &mut s,
+                    conn,
                     &Message::Ack {
                         ok: false,
                         info: format!("unexpected {}", other.type_tag()),
                     },
-                )?;
+                );
             }
         }
     }
@@ -377,31 +524,41 @@ impl LiveClient {
         Ok(())
     }
 
-    /// Send a message and read the reply. Returns
-    /// [`LiveError::Timeout`] when the registry goes silent past the
-    /// deadline and [`LiveError::Closed`] when it hangs up.
-    pub fn call(&mut self, msg: &Message) -> Result<Message, LiveError> {
-        let timed_out = |e: &std::io::Error| {
-            matches!(
-                e.kind(),
-                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-            )
-        };
-        write_msg(&mut self.writer, msg).map_err(|e| {
-            if timed_out(&e) {
-                LiveError::Timeout(self.timeout)
-            } else {
-                LiveError::Io(e)
-            }
-        })?;
+    /// Send a message without waiting for a reply (commander-style
+    /// fire-and-forget, e.g. [`Message::CommandAck`]).
+    pub fn send(&mut self, msg: &Message) -> Result<(), LiveError> {
+        write_msg(&mut self.writer, msg).map_err(|e| self.classify(e))
+    }
+
+    /// Read the next message the registry pushed to this connection (e.g.
+    /// a [`Message::MigrationCommand`] addressed to a commander).
+    pub fn recv(&mut self) -> Result<Message, LiveError> {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             Ok(0) => Err(LiveError::Closed),
             Ok(_) => {
                 Message::decode(line.trim_end()).map_err(|e| LiveError::Protocol(e.to_string()))
             }
-            Err(e) if timed_out(&e) => Err(LiveError::Timeout(self.timeout)),
-            Err(e) => Err(LiveError::Io(e)),
+            Err(e) => Err(self.classify(e)),
+        }
+    }
+
+    /// Send a message and read the reply. Returns
+    /// [`LiveError::Timeout`] when the registry goes silent past the
+    /// deadline and [`LiveError::Closed`] when it hangs up.
+    pub fn call(&mut self, msg: &Message) -> Result<Message, LiveError> {
+        self.send(msg)?;
+        self.recv()
+    }
+
+    fn classify(&self, e: std::io::Error) -> LiveError {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            LiveError::Timeout(self.timeout)
+        } else {
+            LiveError::Io(e)
         }
     }
 }

@@ -1,0 +1,2140 @@
+//! The sans-I/O registry/scheduler core (§3.2).
+//!
+//! [`RegistryCore`] is the paper's soft-state decision engine factored out
+//! of every transport: pure inputs ([`CoreInput`] — decoded protocol
+//! messages, due decisions, fired timers, a restart fault) plus an explicit
+//! `now` go in; pure effects ([`CoreEffect`] — messages to send, timers to
+//! arm, decisions to start, trace/log lines) come out. The core never
+//! performs I/O, never reads a clock, and never spawns anything, so the
+//! exact same state machine drives
+//!
+//! * the discrete-event simulation ([`RegistryScheduler`]
+//!   (crate::registry::RegistryScheduler) replays effects onto the DES
+//!   kernel),
+//! * the live TCP registry ([`LiveRegistry`](crate::live::LiveRegistry)
+//!   replays them onto sockets), and
+//! * both levels of a registry hierarchy (a leaf core reports its domain's
+//!   health upward; a parent core routes cross-domain searches by those
+//!   reports).
+//!
+//! Determinism is the point: given the same input sequence and timestamps,
+//! the core emits the same effect sequence, byte for byte — which is what
+//! lets the simulation's trace-equivalence and chaos gates vouch for the
+//! live path too.
+
+use crate::hooks::DecisionRecord;
+use crate::hooks::SchemaBook;
+use ars_obs::ObsEvent;
+use ars_rules::Policy;
+use ars_sim::{Pid, TraceKind};
+use ars_simcore::{SimDuration, SimTime};
+use ars_xmlwire::{
+    ApplicationSchema, EntityRole, HostState, HostStatic, Message, Metrics, ProcReport,
+    ResourceRequirements,
+};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Transport-independent peer address. The DES driver maps it to a `Pid`,
+/// the live TCP driver to a connection id; the core only ever compares and
+/// echoes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint(pub u64);
+
+impl From<Pid> for Endpoint {
+    fn from(p: Pid) -> Self {
+        Endpoint(p.0)
+    }
+}
+
+/// Core-allocated timer handle. The core hands these out in
+/// [`CoreEffect::ArmTimer`] and expects them back in
+/// [`CoreInput::TimerFired`]; drivers keep the mapping to their own alarm
+/// tokens or deadlines. Ids are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub u64);
+
+/// An input event for [`RegistryCore::handle`].
+#[derive(Debug, Clone)]
+pub enum CoreInput {
+    /// A decoded protocol message arrived from `from`.
+    Message {
+        /// Transport address of the sender (echoed in reply effects).
+        from: Endpoint,
+        /// The decoded document.
+        msg: Message,
+    },
+    /// A previously emitted [`CoreEffect::StartDecision`] has run its
+    /// course (the DES charges the decision's CPU cost first; the live
+    /// driver feeds this back immediately).
+    DecisionDue {
+        /// The overloaded host the decision is for.
+        source: Arc<str>,
+    },
+    /// A timer armed via [`CoreEffect::ArmTimer`] fired.
+    TimerFired(TimerId),
+    /// Process-restart fault: drop all soft state, as a freshly exec'd
+    /// registry would start.
+    Restart,
+}
+
+/// An output effect of [`RegistryCore::handle`]. Drivers must apply
+/// effects in emission order — the order mirrors the I/O order of the
+/// original monolithic scheduler exactly, which keeps kernel traces
+/// byte-identical.
+#[derive(Debug, Clone)]
+pub enum CoreEffect {
+    /// Send a protocol message to a peer.
+    Send {
+        /// Transport address (a `from` previously seen, or the configured
+        /// parent).
+        to: Endpoint,
+        /// The document to serialize.
+        msg: Message,
+    },
+    /// Begin a scheduling decision for `source`, charging `cost` seconds
+    /// of CPU; feed [`CoreInput::DecisionDue`] back when it completes.
+    StartDecision {
+        /// The overloaded host the decision is for.
+        source: Arc<str>,
+        /// CPU seconds the decision costs (the paper measures 0.002 s).
+        cost: f64,
+    },
+    /// Arm a one-shot timer; feed [`CoreInput::TimerFired`] back when it
+    /// expires.
+    ArmTimer {
+        /// Core-allocated handle identifying the timer.
+        timer: TimerId,
+        /// Delay from now.
+        after: SimDuration,
+    },
+    /// Emit a trace line (the DES kernel's replayable trace).
+    Trace {
+        /// Trace category.
+        kind: TraceKind,
+        /// Trace text.
+        detail: String,
+    },
+    /// Record an entry in the shared decision log.
+    Log(LogEffect),
+}
+
+/// A decision-log update carried by [`CoreEffect::Log`]. Drivers apply it
+/// to whatever [`ReschedLog`](crate::hooks::ReschedLog) they share with
+/// tests and harnesses.
+#[derive(Debug, Clone)]
+pub enum LogEffect {
+    /// A scheduling decision completed (with or without a destination).
+    Decision(DecisionRecord),
+    /// A migration command went out to a commander.
+    CommandSent,
+    /// An unacknowledged command was retransmitted.
+    CommandRetransmit,
+    /// A command was abandoned (retries exhausted or commander rejection).
+    CommandAborted,
+}
+
+/// Which migratable process the scheduler picks from an overloaded host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// The paper's choice: "the registry/scheduler tends to migrate a
+    /// process that has the latest completing time to reduce the
+    /// possibility of migrating multiple processes."
+    #[default]
+    LatestCompleting,
+    /// The opposite: evict the process closest to finishing (cheapest to
+    /// re-run if the migration goes wrong; worst amortization).
+    EarliestCompleting,
+    /// Evict the longest-running process (classic age-based eviction).
+    LongestRunning,
+}
+
+impl SelectionPolicy {
+    /// Apply the policy to a host's reported migratable processes.
+    pub fn select<'a>(&self, procs: &'a [ProcReport]) -> Option<&'a ProcReport> {
+        let completion = |p: &ProcReport| p.start_time_s + p.est_exec_time_s;
+        let cmp_f64 = |a: f64, b: f64| a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
+        match self {
+            SelectionPolicy::LatestCompleting => procs
+                .iter()
+                .max_by(|a, b| cmp_f64(completion(a), completion(b))),
+            SelectionPolicy::EarliestCompleting => procs
+                .iter()
+                .min_by(|a, b| cmp_f64(completion(a), completion(b))),
+            SelectionPolicy::LongestRunning => procs
+                .iter()
+                .min_by(|a, b| cmp_f64(a.start_time_s, b.start_time_s)),
+        }
+    }
+}
+
+/// Registry/scheduler configuration.
+pub struct RegistryConfig {
+    /// Policy whose destination conditions gate candidate hosts.
+    pub policy: Policy,
+    /// Soft-state lease; entries older than this are unavailable.
+    pub lease: SimDuration,
+    /// CPU cost of one migration decision (the paper measures 0.002 s).
+    pub decision_cost: f64,
+    /// Minimum spacing between commands to the same source host.
+    pub command_cooldown: SimDuration,
+    /// Parent registry in a hierarchy.
+    pub parent: Option<Endpoint>,
+    /// Domain name (diagnostics).
+    pub name: String,
+    /// Process-selection policy.
+    pub selection: SelectionPolicy,
+    /// Pull-based scheduling (§3.2's alternative): instead of relying on
+    /// the periodic push heartbeats, query every host's monitor for fresh
+    /// status when a decision is expected, and decide once all replies are
+    /// in. More accurate data, slower decisions.
+    pub pull: bool,
+    /// Scan the whole machine list on every destination search (the
+    /// original first-fit) instead of only the hosts whose last reported
+    /// state can accept a migration. Results are identical; this exists so
+    /// `bench_scale` can measure the indexed search against a live baseline.
+    pub linear_first_fit: bool,
+    /// How long to wait for a commander's [`Message::CommandAck`] before
+    /// retransmitting a migration command (doubles per attempt).
+    pub ack_timeout: SimDuration,
+    /// Retransmits before a command is abandoned and the source becomes
+    /// eligible for a fresh decision (destination re-selection).
+    pub max_command_retries: u32,
+    /// Minimum spacing between [`Message::DomainReport`] summaries a leaf
+    /// registry pushes to its parent. Only consulted when `parent` is set,
+    /// so flat deployments emit nothing new.
+    pub health_report_every: SimDuration,
+    /// Observability session (detector transitions, candidate rejections,
+    /// command retransmits/aborts, scan-length histograms). The disabled
+    /// default is a no-op and an enabled session never changes a decision.
+    pub obs: ars_obs::Obs,
+}
+
+impl RegistryConfig {
+    /// Stand-alone registry with the given policy.
+    pub fn new(policy: Policy) -> Self {
+        RegistryConfig {
+            policy,
+            lease: SimDuration::from_secs(35),
+            decision_cost: 0.002,
+            command_cooldown: SimDuration::from_secs(30),
+            parent: None,
+            name: "root".to_string(),
+            selection: SelectionPolicy::default(),
+            pull: false,
+            linear_first_fit: false,
+            ack_timeout: SimDuration::from_secs(5),
+            max_command_retries: 3,
+            health_report_every: SimDuration::from_secs(10),
+            obs: ars_obs::Obs::disabled(),
+        }
+    }
+}
+
+/// Aggregate health of a registry's domain.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DomainHealth {
+    /// Hosts currently free.
+    pub free: u32,
+    /// Hosts currently busy.
+    pub busy: u32,
+    /// Hosts currently overloaded.
+    pub overloaded: u32,
+    /// Hosts with expired leases.
+    pub unavailable: u32,
+    /// Sum of reported 1-minute load averages.
+    pub load_sum: f64,
+    /// Number of load samples in the sum.
+    pub load_samples: u32,
+}
+
+impl DomainHealth {
+    /// Mean 1-minute load over the domain, if any host reported one.
+    pub fn mean_load(&self) -> Option<f64> {
+        (self.load_samples > 0).then(|| self.load_sum / self.load_samples as f64)
+    }
+
+    /// Total registered hosts.
+    pub fn total(&self) -> u32 {
+        self.free + self.busy + self.overloaded + self.unavailable
+    }
+}
+
+/// Registry-side view of one registered host.
+#[derive(Debug, Clone)]
+pub struct HostEntry {
+    /// Interned host name (shared with the index and cooldown maps, so
+    /// per-decision bookkeeping clones a refcount, not a `String`).
+    pub name: Arc<str>,
+    /// Static registration info.
+    pub statics: HostStatic,
+    /// Monitor endpoint (heartbeat sender).
+    pub monitor: Option<Endpoint>,
+    /// Commander endpoint (command addressee).
+    pub commander: Option<Endpoint>,
+    /// Last heartbeat time.
+    pub last_seen: SimTime,
+    /// Last reported state.
+    pub state: HostState,
+    /// Last reported metrics.
+    pub metrics: Metrics,
+    /// Last reported migratable processes.
+    pub procs: Vec<ProcReport>,
+    /// Observed gap between the last two heartbeats (the push period this
+    /// monitor is actually running at; feeds the failure detector).
+    pub hb_interval: Option<SimDuration>,
+}
+
+/// Failure-detector verdict for a registered host.
+///
+/// The soft-state lease alone reacts slowly (tens of seconds); the
+/// missed-heartbeat detector compares silence against the host's *observed*
+/// push period and downgrades much earlier. `Suspect` hosts are excluded as
+/// migration destinations ahead of lease expiry, so a crashed host stops
+/// attracting processes after ~2 missed beats instead of a full lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Liveness {
+    /// Heartbeats arriving on schedule.
+    Alive,
+    /// At least two expected heartbeats missed — not trusted as a
+    /// destination, but not yet written off.
+    Suspect,
+    /// Three or more missed heartbeats, or the lease expired.
+    Down,
+}
+
+impl HostEntry {
+    /// State as of `now`, accounting for lease expiry.
+    pub fn effective_state(&self, now: SimTime, lease: SimDuration) -> HostState {
+        if now.since(self.last_seen) > lease {
+            HostState::Unavailable
+        } else {
+            self.state
+        }
+    }
+
+    /// Missed-heartbeat failure detection (see [`Liveness`]).
+    ///
+    /// A beat counts as missed once it is *half an interval* overdue —
+    /// round-to-nearest, not truncation. Truncating made the detector a
+    /// full interval late at every boundary: 2.99 intervals of silence
+    /// counted as only two missed beats (barely `Suspect`) and 1.5
+    /// intervals still looked `Alive`. With rounding, `Suspect` starts at
+    /// 1.5 intervals of silence and `Down` at 2.5.
+    ///
+    /// Hosts that have not yet established a push period are judged
+    /// against `lease / 3` — roughly the cadence a default-period monitor
+    /// settles into — so even a host that died right after registering
+    /// turns `Suspect` around half a lease instead of staying `Alive`
+    /// until the full lease expires.
+    pub fn liveness(&self, now: SimTime, lease: SimDuration) -> Liveness {
+        let silent = now.since(self.last_seen);
+        if silent > lease {
+            return Liveness::Down;
+        }
+        let iv_s = self
+            .hb_interval
+            .map(|iv| iv.as_secs_f64())
+            .filter(|&s| s > 0.0)
+            .unwrap_or_else(|| lease.as_secs_f64() / 3.0);
+        let missed = (silent.as_secs_f64() / iv_s + 0.5).floor() as u32;
+        if missed >= 3 {
+            return Liveness::Down;
+        }
+        if missed >= 2 {
+            return Liveness::Suspect;
+        }
+        Liveness::Alive
+    }
+}
+
+/// A parent-side search over children domains. The probe order is fixed
+/// when the search starts: children are stable-sorted by descending free
+/// capacity from their latest [`Message::DomainReport`] (no report counts
+/// as zero, so an unreporting hierarchy degrades to registration order —
+/// the pre-health behavior).
+struct Escalation {
+    requester: Endpoint,
+    requirements: ResourceRequirements,
+    probe: Vec<Endpoint>,
+    next: usize,
+}
+
+/// A migration command awaiting its commander's acknowledgement. Keyed by
+/// the timer id of its retransmit deadline; an arriving ack removes the
+/// entry, so a later timer firing finds nothing and is ignored.
+struct PendingCommand {
+    source: Arc<str>,
+    dest: String,
+    pid: u64,
+    commander: Endpoint,
+    cmd: Message,
+    /// Retransmits already performed (0 after the initial send).
+    attempts: u32,
+}
+
+/// A child-side wait for the parent's candidate reply.
+struct AwaitingParent {
+    source: Arc<str>,
+    pid: u64,
+    schema: ApplicationSchema,
+}
+
+/// A pull-mode decision waiting for fresh status replies.
+struct PullRound {
+    source: Arc<str>,
+    pid: u64,
+    schema: ApplicationSchema,
+    awaiting: HashSet<Arc<str>>,
+    started_at: SimTime,
+}
+
+/// The transport-agnostic registry/scheduler state machine. See the
+/// module docs for the contract; drivers call [`handle`](Self::handle) and
+/// replay the returned effects.
+pub struct RegistryCore {
+    cfg: RegistryConfig,
+    schemas: SchemaBook,
+    /// Hosts in registration order (first-fit order).
+    hosts: Vec<HostEntry>,
+    index: HashMap<Arc<str>, usize>,
+    /// Hosts whose last *reported* state accepts migrations, by
+    /// registration index. Lease expiry can only disqualify a host, never
+    /// qualify one, so this is a sound candidate superset for `first_fit`
+    /// — and iterating the set ascending reproduces the linear scan's
+    /// first-fit order exactly.
+    free_hosts: BTreeSet<usize>,
+    children: Vec<(String, Endpoint)>,
+    /// Latest domain-health summary reported by each child registry.
+    child_health: HashMap<Endpoint, DomainHealth>,
+    /// Decisions started (via [`CoreEffect::StartDecision`]) but not yet
+    /// due — the dedup set that stops every heartbeat of a sustained
+    /// overload from piling up decisions. Survives [`CoreInput::Restart`]:
+    /// the in-flight decisions still complete on the driver's side.
+    queued_decisions: Vec<Arc<str>>,
+    /// Last command *or* decision per source host (cooldown basis).
+    last_command: HashMap<Arc<str>, SimTime>,
+    /// Unacknowledged migration commands, by retransmit-timer id.
+    pending: HashMap<TimerId, PendingCommand>,
+    /// Next timer id to allocate (monotone; never reused).
+    next_timer: u64,
+    escalation: Option<Escalation>,
+    escalation_queue: VecDeque<(Endpoint, ResourceRequirements)>,
+    awaiting_parent: VecDeque<AwaitingParent>,
+    pull_round: Option<PullRound>,
+    /// When this leaf last pushed a [`Message::DomainReport`] upward.
+    last_health_report: SimTime,
+    /// Last liveness verdict recorded per host (observability only — the
+    /// scheduler itself always re-evaluates [`HostEntry::liveness`]).
+    obs_verdicts: HashMap<Arc<str>, Liveness>,
+    /// When the detector-observation sweep last ran (rate limit).
+    last_obs_sweep: SimTime,
+}
+
+impl RegistryCore {
+    /// Create a core from its configuration and the shared schema book.
+    pub fn new(cfg: RegistryConfig, schemas: SchemaBook) -> Self {
+        RegistryCore {
+            cfg,
+            schemas,
+            hosts: Vec::new(),
+            index: HashMap::new(),
+            free_hosts: BTreeSet::new(),
+            children: Vec::new(),
+            child_health: HashMap::new(),
+            queued_decisions: Vec::new(),
+            last_command: HashMap::new(),
+            pending: HashMap::new(),
+            next_timer: 0,
+            escalation: None,
+            escalation_queue: VecDeque::new(),
+            awaiting_parent: VecDeque::new(),
+            pull_round: None,
+            last_health_report: SimTime::ZERO,
+            obs_verdicts: HashMap::new(),
+            last_obs_sweep: SimTime::ZERO,
+        }
+    }
+
+    /// The configuration the core was built with.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.cfg
+    }
+
+    /// Registered host entries in first-fit order (diagnostics/tests).
+    pub fn entries(&self) -> &[HostEntry] {
+        &self.hosts
+    }
+
+    /// Whether `host` is currently registered.
+    pub fn knows_host(&self, host: &str) -> bool {
+        self.index.contains_key(host)
+    }
+
+    /// The domain's aggregate *health condition* (§3.2: each lower-level
+    /// registry "has its own health condition, which indicates its overall
+    /// workload and availability of each kind of resource").
+    pub fn domain_health(&self, now: SimTime) -> DomainHealth {
+        let mut h = DomainHealth::default();
+        for e in &self.hosts {
+            match e.effective_state(now, self.cfg.lease) {
+                HostState::Free => h.free += 1,
+                HostState::Busy => h.busy += 1,
+                HostState::Overloaded => h.overloaded += 1,
+                HostState::Unavailable => h.unavailable += 1,
+            }
+            if let Some(l) = e.metrics.get("loadAvg1") {
+                h.load_sum += l;
+                h.load_samples += 1;
+            }
+        }
+        h
+    }
+
+    /// Child registries' latest health reports, in registration order
+    /// (hierarchy diagnostics; empty on a leaf or an unreporting root).
+    pub fn child_domains(&self) -> Vec<(String, DomainHealth)> {
+        self.children
+            .iter()
+            .map(|(name, ep)| {
+                (
+                    name.clone(),
+                    self.child_health.get(ep).copied().unwrap_or_default(),
+                )
+            })
+            .collect()
+    }
+
+    /// Read-only destination query: the host first-fit would pick for
+    /// `req` right now, excluding `exclude`. This is the *single* search
+    /// every driver uses — the same call that backs migration commands —
+    /// exposed for tests and benches.
+    pub fn destination_for(
+        &self,
+        req: &ResourceRequirements,
+        exclude: &str,
+        now: SimTime,
+    ) -> Option<&HostEntry> {
+        self.first_fit(req, exclude, now).map(|i| &self.hosts[i])
+    }
+
+    /// Feed one input; effects are appended to `out` in the order they
+    /// must be applied.
+    pub fn handle(&mut self, now: SimTime, input: CoreInput, out: &mut Vec<CoreEffect>) {
+        match input {
+            CoreInput::Message { from, msg } => self.on_message(now, from, msg, out),
+            CoreInput::DecisionDue { source } => {
+                if let Some(pos) = self.queued_decisions.iter().position(|s| *s == source) {
+                    self.queued_decisions.remove(pos);
+                }
+                self.decide(now, source, out);
+            }
+            CoreInput::TimerFired(timer) => self.on_ack_timeout(now, timer, out),
+            CoreInput::Restart => self.restart(out),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        msg: Message,
+        out: &mut Vec<CoreEffect>,
+    ) {
+        match msg {
+            Message::Register { host, role } => self.on_register(now, from, host, role),
+            Message::Heartbeat {
+                host,
+                state,
+                metrics,
+                procs,
+            } => self.on_heartbeat(now, from, host, state, metrics, procs, out),
+            Message::CandidateRequest { host, requirements } => {
+                self.on_candidate_request(now, from, host, requirements, out)
+            }
+            Message::CandidateReply { dest } => self.on_candidate_reply(now, from, dest, out),
+            Message::MigrationComplete { from: src, to, .. } => {
+                trace(
+                    out,
+                    TraceKind::Custom,
+                    format!("registry: migration complete {src} -> {to}"),
+                );
+            }
+            Message::CommandAck { host, pid, ok } => self.on_command_ack(now, host, pid, ok, out),
+            Message::DomainReport {
+                free,
+                busy,
+                overloaded,
+                unavailable,
+                load_sum,
+                load_samples,
+                ..
+            } => {
+                self.child_health.insert(
+                    from,
+                    DomainHealth {
+                        free,
+                        busy,
+                        overloaded,
+                        unavailable,
+                        load_sum,
+                        load_samples,
+                    },
+                );
+            }
+            Message::Ack { .. }
+            | Message::MigrationCommand { .. }
+            | Message::StatusQuery { .. }
+            | Message::ReRegister { .. } => {}
+        }
+    }
+
+    fn send(&mut self, out: &mut Vec<CoreEffect>, to: Endpoint, msg: Message) {
+        out.push(CoreEffect::Send { to, msg });
+    }
+
+    /// Record a host's reported state, keeping the free-host index in sync.
+    fn set_state(&mut self, idx: usize, state: HostState) {
+        self.hosts[idx].state = state;
+        if state.accepts_migration() {
+            self.free_hosts.insert(idx);
+        } else {
+            self.free_hosts.remove(&idx);
+        }
+    }
+
+    fn on_register(&mut self, now: SimTime, from: Endpoint, host: HostStatic, role: EntityRole) {
+        if role == EntityRole::Registry {
+            if !self.children.iter().any(|(_, p)| *p == from) {
+                self.children.push((host.name.clone(), from));
+            }
+            return;
+        }
+        let idx = match self.index.get(host.name.as_str()) {
+            Some(&i) => i,
+            None => {
+                let name: Arc<str> = Arc::from(host.name.as_str());
+                self.hosts.push(HostEntry {
+                    name: name.clone(),
+                    statics: host.clone(),
+                    monitor: None,
+                    commander: None,
+                    last_seen: now,
+                    state: HostState::Free,
+                    metrics: Metrics::new(),
+                    procs: Vec::new(),
+                    hb_interval: None,
+                });
+                let idx = self.hosts.len() - 1;
+                self.index.insert(name, idx);
+                self.free_hosts.insert(idx);
+                idx
+            }
+        };
+        let entry = &mut self.hosts[idx];
+        entry.last_seen = now;
+        match role {
+            EntityRole::Monitor => entry.monitor = Some(from),
+            EntityRole::Commander => entry.commander = Some(from),
+            EntityRole::Registry => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_heartbeat(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        host: String,
+        state: HostState,
+        metrics: Metrics,
+        procs: Vec<ProcReport>,
+        out: &mut Vec<CoreEffect>,
+    ) {
+        let Some(&idx) = self.index.get(host.as_str()) else {
+            // Unknown sender — most likely we restarted and lost the soft
+            // state. Nudge the monitor to re-introduce its host.
+            trace(
+                out,
+                TraceKind::Recovery,
+                format!("registry: heartbeat from unregistered {host}, asking to re-register"),
+            );
+            self.send(out, from, Message::ReRegister { host });
+            return;
+        };
+        let name = self.hosts[idx].name.clone();
+        {
+            let entry = &mut self.hosts[idx];
+            let gap = now.since(entry.last_seen);
+            // Track the observed push period for the failure detector.
+            // Sub-second gaps are pull replies or registration bursts, not
+            // the periodic push, and would make the detector hair-trigger.
+            if gap >= SimDuration::from_secs(1) {
+                entry.hb_interval = Some(gap);
+            }
+            entry.last_seen = now;
+            entry.metrics = metrics;
+            entry.procs = procs;
+            entry.monitor.get_or_insert(from);
+        }
+        self.set_state(idx, state);
+
+        // A pull round in flight? This heartbeat may be one of its replies.
+        if let Some(round) = &mut self.pull_round {
+            round.awaiting.remove(host.as_str());
+            if round.awaiting.is_empty() {
+                self.finish_pull_round(now, out);
+            }
+        }
+
+        if state == HostState::Overloaded {
+            let cooled = self
+                .last_command
+                .get(host.as_str())
+                .is_none_or(|&t| now.since(t) >= self.cfg.command_cooldown);
+            let already_queued = self
+                .queued_decisions
+                .iter()
+                .any(|s| s.as_ref() == host.as_str())
+                || self.pending.values().any(|p| p.source.as_ref() == host);
+            if cooled && !already_queued {
+                // Charge the decision-making cost, then decide.
+                self.queued_decisions.push(name.clone());
+                out.push(CoreEffect::StartDecision {
+                    source: name,
+                    cost: self.cfg.decision_cost,
+                });
+            }
+        }
+        self.obs_sweep_detector(now);
+        self.maybe_report_health(now, out);
+    }
+
+    /// Leaf side of the two-level hierarchy: push a rate-limited
+    /// [`Message::DomainReport`] to the parent so its cross-domain search
+    /// can prefer the domain with the most free capacity. A no-op without
+    /// a parent, so flat deployments' effect streams are untouched.
+    fn maybe_report_health(&mut self, now: SimTime, out: &mut Vec<CoreEffect>) {
+        let Some(parent) = self.cfg.parent else {
+            return;
+        };
+        if self.last_health_report != SimTime::ZERO
+            && now.since(self.last_health_report) < self.cfg.health_report_every
+        {
+            return;
+        }
+        self.last_health_report = now;
+        let h = self.domain_health(now);
+        let report = Message::DomainReport {
+            domain: self.cfg.name.clone(),
+            free: h.free,
+            busy: h.busy,
+            overloaded: h.overloaded,
+            unavailable: h.unavailable,
+            load_sum: h.load_sum,
+            load_samples: h.load_samples,
+        };
+        self.send(out, parent, report);
+    }
+
+    /// Observability sweep: re-evaluate every host's liveness verdict and
+    /// record transitions ([`ObsEvent::HostSuspect`] / `HostDown` /
+    /// `HostRecovered`) plus detector reaction-time histograms. Read-only
+    /// with respect to scheduling state, a no-op when recording is
+    /// disabled, and rate-limited to once per sim second so heartbeat
+    /// storms do not make event volume quadratic in cluster size.
+    fn obs_sweep_detector(&mut self, now: SimTime) {
+        if !self.cfg.obs.is_enabled() {
+            return;
+        }
+        if self.last_obs_sweep != SimTime::ZERO
+            && now.since(self.last_obs_sweep) < SimDuration::from_secs(1)
+        {
+            return;
+        }
+        self.last_obs_sweep = now;
+        for e in &self.hosts {
+            let v = e.liveness(now, self.cfg.lease);
+            let prev = self
+                .obs_verdicts
+                .insert(e.name.clone(), v)
+                .unwrap_or(Liveness::Alive);
+            if v == prev {
+                continue;
+            }
+            let silent_s = now.since(e.last_seen).as_secs_f64();
+            let host = e.name.to_string();
+            match v {
+                Liveness::Suspect => {
+                    self.cfg.obs.inc("hosts_suspected");
+                    self.cfg.obs.observe("detector_suspect_s", silent_s);
+                    self.cfg
+                        .obs
+                        .record(now, || ObsEvent::HostSuspect { host, silent_s });
+                }
+                Liveness::Down => {
+                    self.cfg.obs.inc("hosts_down");
+                    self.cfg.obs.observe("detector_down_s", silent_s);
+                    self.cfg
+                        .obs
+                        .record(now, || ObsEvent::HostDown { host, silent_s });
+                }
+                Liveness::Alive => {
+                    self.cfg.obs.inc("hosts_recovered");
+                    self.cfg
+                        .obs
+                        .record(now, || ObsEvent::HostRecovered { host });
+                }
+            }
+        }
+    }
+
+    /// Why `entry` cannot serve as the migration destination for `req`, or
+    /// `None` if it qualifies. The reasons are stable strings surfaced by
+    /// [`ObsEvent::CandidateRejected`].
+    fn dest_reject(
+        &self,
+        entry: &HostEntry,
+        req: &ResourceRequirements,
+        exclude: &str,
+        now: SimTime,
+    ) -> Option<&'static str> {
+        if entry.statics.name == exclude {
+            return Some("is the source host");
+        }
+        if !entry
+            .effective_state(now, self.cfg.lease)
+            .accepts_migration()
+        {
+            return Some("not accepting migrations");
+        }
+        // Failure detector: don't migrate onto a host that has gone quiet,
+        // even if its lease has not expired yet. (Pull mode has no periodic
+        // push, so silence there is normal.)
+        if !self.cfg.pull && entry.liveness(now, self.cfg.lease) != Liveness::Alive {
+            return Some("failure detector: not alive");
+        }
+        if !self.cfg.policy.dest_acceptable(&entry.metrics) {
+            return Some("policy veto");
+        }
+        if entry.statics.cpu_speed < req.min_cpu_speed {
+            return Some("cpu too slow");
+        }
+        let mem_avail_kb =
+            entry.metrics.get("memAvail").unwrap_or(0.0) / 100.0 * entry.statics.mem_kb as f64;
+        if mem_avail_kb < req.mem_kb as f64 {
+            return Some("insufficient memory");
+        }
+        if entry.metrics.get("diskAvailKb").unwrap_or(0.0) < req.disk_kb as f64 {
+            return Some("insufficient disk");
+        }
+        None
+    }
+
+    /// First-fit destination search over the machine list — the one
+    /// implementation every driver shares. "The first host, which is ready
+    /// and owns all the resources required."
+    ///
+    /// Only hosts whose last reported state accepts a migration can pass
+    /// [`dest_reject`](Self::dest_reject) (lease expiry only disqualifies),
+    /// so the default search walks the free-host set — ascending
+    /// registration index, i.e. exactly the linear scan's first-fit order
+    /// — while `linear_first_fit` scans the whole list for baseline
+    /// benchmarking. `Obs` hooks are guarded so the disabled path does no
+    /// recording work at all.
+    fn first_fit(&self, req: &ResourceRequirements, exclude: &str, now: SimTime) -> Option<usize> {
+        if self.cfg.linear_first_fit {
+            self.first_fit_scan(0..self.hosts.len(), req, exclude, now)
+        } else {
+            self.first_fit_scan(self.free_hosts.iter().copied(), req, exclude, now)
+        }
+    }
+
+    /// The shared scan body behind [`first_fit`](Self::first_fit); generic
+    /// over the index order so neither scan allocates.
+    fn first_fit_scan(
+        &self,
+        indices: impl Iterator<Item = usize>,
+        req: &ResourceRequirements,
+        exclude: &str,
+        now: SimTime,
+    ) -> Option<usize> {
+        let recording = self.cfg.obs.is_enabled();
+        let mut scanned = 0u64;
+        let mut found = None;
+        for i in indices {
+            scanned += 1;
+            let e = &self.hosts[i];
+            match self.dest_reject(e, req, exclude, now) {
+                None => {
+                    found = Some(i);
+                    break;
+                }
+                Some(why) if recording => {
+                    self.cfg.obs.inc("candidates_rejected");
+                    self.cfg.obs.record(now, || ObsEvent::CandidateRejected {
+                        host: e.name.to_string(),
+                        why: why.to_string(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        if recording {
+            self.cfg.obs.observe("first_fit_scan_len", scanned as f64);
+        }
+        found
+    }
+
+    fn decide(&mut self, now: SimTime, source: Arc<str>, out: &mut Vec<CoreEffect>) {
+        self.cfg.obs.inc("decisions");
+        // Fruitless decisions also start the cooldown: an overloaded host
+        // with nothing migratable (or no candidate anywhere) is re-examined
+        // once per cooldown, not on every heartbeat.
+        self.last_command.insert(source.clone(), now);
+        let Some(&src_idx) = self.index.get(source.as_ref()) else {
+            return;
+        };
+        // Re-check: the source must still be overloaded.
+        if self.hosts[src_idx].effective_state(now, self.cfg.lease) != HostState::Overloaded {
+            return;
+        }
+        let Some(proc_) = self
+            .cfg
+            .selection
+            .select(&self.hosts[src_idx].procs)
+            .cloned()
+        else {
+            out.push(CoreEffect::Log(LogEffect::Decision(DecisionRecord {
+                at: now,
+                source: source.to_string(),
+                dest: None,
+                pid: None,
+                escalated: false,
+            })));
+            return;
+        };
+        let schema = self
+            .schemas
+            .get(&proc_.app)
+            .unwrap_or_else(|| ApplicationSchema::compute(&proc_.app, proc_.est_exec_time_s));
+        if self.cfg.pull {
+            self.start_pull_round(now, source, proc_.pid, schema, out);
+            return;
+        }
+        match self.first_fit(&schema.requirements, source.as_ref(), now) {
+            Some(dest_idx) => {
+                self.command_migration(now, src_idx, dest_idx, proc_.pid, schema, false, out);
+            }
+            None => {
+                if let Some(parent) = self.cfg.parent {
+                    // Escalate the candidate search to the parent domain.
+                    let req_msg = Message::CandidateRequest {
+                        host: source.to_string(),
+                        requirements: schema.requirements,
+                    };
+                    self.send(out, parent, req_msg);
+                    self.awaiting_parent.push_back(AwaitingParent {
+                        source,
+                        pid: proc_.pid,
+                        schema,
+                    });
+                } else {
+                    trace(
+                        out,
+                        TraceKind::Decision,
+                        format!("registry {}: no candidate for {source}", self.cfg.name),
+                    );
+                    out.push(CoreEffect::Log(LogEffect::Decision(DecisionRecord {
+                        at: now,
+                        source: source.to_string(),
+                        dest: None,
+                        pid: Some(proc_.pid),
+                        escalated: false,
+                    })));
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn command_migration(
+        &mut self,
+        now: SimTime,
+        src_idx: usize,
+        dest_idx: usize,
+        pid: u64,
+        schema: ApplicationSchema,
+        escalated: bool,
+        out: &mut Vec<CoreEffect>,
+    ) {
+        let source = self.hosts[src_idx].name.clone();
+        let dest = self.hosts[dest_idx].name.to_string();
+        self.dispatch_command(now, src_idx, &dest, pid, schema, escalated, out);
+        // Optimistically mark the destination loaded until its next
+        // heartbeat, so concurrent decisions do not pile onto it.
+        self.set_state(dest_idx, HostState::Busy);
+        self.last_command.insert(source, now);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_command(
+        &mut self,
+        now: SimTime,
+        src_idx: usize,
+        dest: &str,
+        pid: u64,
+        schema: ApplicationSchema,
+        escalated: bool,
+        out: &mut Vec<CoreEffect>,
+    ) {
+        let source = self.hosts[src_idx].name.clone();
+        let Some(commander) = self.hosts[src_idx].commander else {
+            trace(
+                out,
+                TraceKind::Custom,
+                format!("registry: no commander registered for {source}"),
+            );
+            return;
+        };
+        let cmd = Message::MigrationCommand {
+            host: source.to_string(),
+            pid,
+            dest: dest.to_string(),
+            dest_port: 7801,
+            schema,
+        };
+        self.send(out, commander, cmd.clone());
+        // Arm the ack deadline; a CommandAck removes the entry and the
+        // timer then fires into nothing.
+        let timer = self.arm_timer(self.cfg.ack_timeout, out);
+        self.pending.insert(
+            timer,
+            PendingCommand {
+                source: source.clone(),
+                dest: dest.to_string(),
+                pid,
+                commander,
+                cmd,
+                attempts: 0,
+            },
+        );
+        trace(
+            out,
+            TraceKind::Decision,
+            format!(
+                "registry {}: migrate pid{pid} {source} -> {dest}{}",
+                self.cfg.name,
+                if escalated { " (escalated)" } else { "" }
+            ),
+        );
+        out.push(CoreEffect::Log(LogEffect::Decision(DecisionRecord {
+            at: now,
+            source: source.to_string(),
+            dest: Some(dest.to_string()),
+            pid: Some(pid),
+            escalated,
+        })));
+        out.push(CoreEffect::Log(LogEffect::CommandSent));
+        self.cfg.obs.inc("commands_sent");
+    }
+
+    fn arm_timer(&mut self, after: SimDuration, out: &mut Vec<CoreEffect>) -> TimerId {
+        let timer = TimerId(self.next_timer);
+        self.next_timer += 1;
+        out.push(CoreEffect::ArmTimer { timer, after });
+        timer
+    }
+
+    // --- Command reliability (ack + retransmit + abort) ----------------------
+
+    /// The retransmit deadline of a pending command fired. Resend with a
+    /// doubled deadline, or — retries exhausted — abort and clear the
+    /// source's cooldown so the next heartbeat triggers a fresh decision
+    /// (which re-runs first-fit, i.e. re-selects the destination).
+    fn on_ack_timeout(&mut self, now: SimTime, timer: TimerId, out: &mut Vec<CoreEffect>) {
+        let Some(mut p) = self.pending.remove(&timer) else {
+            return; // acknowledged (or superseded) before the deadline
+        };
+        if p.attempts >= self.cfg.max_command_retries {
+            trace(
+                out,
+                TraceKind::Recovery,
+                format!(
+                    "registry {}: migrate pid{} {} -> {} unacked after {} sends, aborting",
+                    self.cfg.name,
+                    p.pid,
+                    p.source,
+                    p.dest,
+                    p.attempts + 1
+                ),
+            );
+            out.push(CoreEffect::Log(LogEffect::CommandAborted));
+            self.cfg.obs.inc("commands_aborted");
+            self.cfg.obs.record(now, || ObsEvent::CommandAborted {
+                pid: p.pid,
+                source: p.source.to_string(),
+                dest: p.dest.clone(),
+            });
+            self.last_command.remove(&p.source);
+            return;
+        }
+        p.attempts += 1;
+        let backoff = SimDuration::from_secs_f64(
+            self.cfg.ack_timeout.as_secs_f64() * (1u64 << p.attempts) as f64,
+        );
+        trace(
+            out,
+            TraceKind::Recovery,
+            format!(
+                "registry {}: retransmit #{} of migrate pid{} {} -> {}",
+                self.cfg.name, p.attempts, p.pid, p.source, p.dest
+            ),
+        );
+        out.push(CoreEffect::Log(LogEffect::CommandRetransmit));
+        self.cfg.obs.inc("command_retransmits");
+        self.cfg.obs.record(now, || ObsEvent::CommandRetransmit {
+            pid: p.pid,
+            source: p.source.to_string(),
+            dest: p.dest.clone(),
+            attempt: p.attempts,
+        });
+        self.send(out, p.commander, p.cmd.clone());
+        let timer = self.arm_timer(backoff, out);
+        self.pending.insert(timer, p);
+    }
+
+    /// A commander acknowledged (or rejected) a migration command.
+    fn on_command_ack(
+        &mut self,
+        now: SimTime,
+        host: String,
+        pid: u64,
+        ok: bool,
+        out: &mut Vec<CoreEffect>,
+    ) {
+        let key = self
+            .pending
+            .iter()
+            .find(|(_, p)| p.source.as_ref() == host && p.pid == pid)
+            .map(|(&k, _)| k);
+        // Remove-by-found-key, so a duplicate ack from a retransmit finds
+        // nothing and is ignored.
+        let Some(p) = key.and_then(|k| self.pending.remove(&k)) else {
+            return;
+        };
+        if !ok {
+            trace(
+                out,
+                TraceKind::Recovery,
+                format!(
+                    "registry {}: commander rejected migrate pid{} {} -> {}",
+                    self.cfg.name, p.pid, p.source, p.dest
+                ),
+            );
+            out.push(CoreEffect::Log(LogEffect::CommandAborted));
+            self.cfg.obs.inc("commands_aborted");
+            self.cfg.obs.record(now, || ObsEvent::CommandAborted {
+                pid: p.pid,
+                source: p.source.to_string(),
+                dest: p.dest.clone(),
+            });
+            self.last_command.remove(&p.source);
+        }
+    }
+
+    /// Process-restart fault: drop all soft state, exactly as a freshly
+    /// exec'd registry would start. Monitors repopulate it — their next
+    /// heartbeat gets a [`Message::ReRegister`] nudge and they re-introduce
+    /// their host. In-flight decision completions (`queued_decisions`) are
+    /// kept: those are already queued on the driver's side and will still
+    /// arrive.
+    fn restart(&mut self, out: &mut Vec<CoreEffect>) {
+        trace(
+            out,
+            TraceKind::Recovery,
+            format!(
+                "registry {}: restarted, soft state lost ({} hosts)",
+                self.cfg.name,
+                self.hosts.len()
+            ),
+        );
+        self.hosts.clear();
+        self.index.clear();
+        self.free_hosts.clear();
+        self.children.clear();
+        self.child_health.clear();
+        self.last_command.clear();
+        self.pending.clear();
+        self.escalation = None;
+        self.escalation_queue.clear();
+        self.awaiting_parent.clear();
+        self.pull_round = None;
+        self.last_health_report = SimTime::ZERO;
+        self.obs_verdicts.clear();
+        self.last_obs_sweep = SimTime::ZERO;
+    }
+
+    // --- Pull-model decisions (§3.2) -----------------------------------------
+
+    /// Query every live monitored host for fresh status, then decide.
+    fn start_pull_round(
+        &mut self,
+        now: SimTime,
+        source: Arc<str>,
+        pid: u64,
+        schema: ApplicationSchema,
+        out: &mut Vec<CoreEffect>,
+    ) {
+        if let Some(round) = &self.pull_round {
+            // One round at a time — but a round stuck on a dead monitor
+            // must not wedge the scheduler forever.
+            if now.since(round.started_at) <= self.cfg.lease {
+                return; // the cooldown retries later
+            }
+            trace(
+                out,
+                TraceKind::Custom,
+                format!(
+                    "registry {}: abandoning stale pull round for {}",
+                    self.cfg.name, round.source
+                ),
+            );
+            self.pull_round = None;
+        }
+        // No lease filter here: in the pull model hosts do not refresh
+        // periodically — the point of the query is to find out who is
+        // alive. Dead monitors simply never reply; their host stays in the
+        // awaiting set and the round is superseded by the next decision.
+        let targets: Vec<(Arc<str>, Endpoint)> = self
+            .hosts
+            .iter()
+            .filter(|e| e.name != source)
+            .filter_map(|e| e.monitor.map(|m| (e.name.clone(), m)))
+            .collect();
+        if targets.is_empty() {
+            out.push(CoreEffect::Log(LogEffect::Decision(DecisionRecord {
+                at: now,
+                source: source.to_string(),
+                dest: None,
+                pid: Some(pid),
+                escalated: false,
+            })));
+            return;
+        }
+        let mut awaiting = HashSet::new();
+        for (name, monitor) in targets {
+            let q = Message::StatusQuery {
+                host: name.to_string(),
+            };
+            self.send(out, monitor, q);
+            awaiting.insert(name);
+        }
+        trace(
+            out,
+            TraceKind::Decision,
+            format!(
+                "registry {}: pulling {} hosts for {source}",
+                self.cfg.name,
+                awaiting.len()
+            ),
+        );
+        self.pull_round = Some(PullRound {
+            source,
+            pid,
+            schema,
+            awaiting,
+            started_at: now,
+        });
+    }
+
+    /// All pull replies arrived: decide on the fresh data.
+    fn finish_pull_round(&mut self, now: SimTime, out: &mut Vec<CoreEffect>) {
+        let Some(round) = self.pull_round.take() else {
+            return;
+        };
+        match self.first_fit(&round.schema.requirements, &round.source, now) {
+            Some(dest_idx) => {
+                let Some(&src_idx) = self.index.get(round.source.as_ref()) else {
+                    return;
+                };
+                self.command_migration(now, src_idx, dest_idx, round.pid, round.schema, false, out);
+            }
+            None => {
+                out.push(CoreEffect::Log(LogEffect::Decision(DecisionRecord {
+                    at: now,
+                    source: round.source.to_string(),
+                    dest: None,
+                    pid: Some(round.pid),
+                    escalated: false,
+                })));
+            }
+        }
+    }
+
+    // --- Hierarchy: parent-side candidate search ----------------------------
+
+    fn on_candidate_request(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        source_host: String,
+        requirements: ResourceRequirements,
+        out: &mut Vec<CoreEffect>,
+    ) {
+        // Local domain first.
+        if let Some(idx) = self.first_fit(&requirements, &source_host, now) {
+            let dest = self.hosts[idx].name.to_string();
+            self.set_state(idx, HostState::Busy);
+            self.send(out, from, Message::CandidateReply { dest: Some(dest) });
+            return;
+        }
+        // Probe other children (one search at a time).
+        let is_child = self.children.iter().any(|(_, p)| *p == from);
+        if !self.children.is_empty() && is_child {
+            if self.escalation.is_some() {
+                self.escalation_queue.push_back((from, requirements));
+                return;
+            }
+            self.escalation = Some(Escalation {
+                requester: from,
+                requirements,
+                probe: self.probe_order(from),
+                next: 0,
+            });
+            self.advance_escalation(now, None, out);
+        } else {
+            self.send(out, from, Message::CandidateReply { dest: None });
+        }
+    }
+
+    /// The order a cross-domain search probes children: every child except
+    /// the requester, stable-sorted by descending free capacity from their
+    /// latest [`Message::DomainReport`]. Children that have never reported
+    /// count as zero free, so a hierarchy without health reports degrades
+    /// to plain registration order.
+    fn probe_order(&self, exclude: Endpoint) -> Vec<Endpoint> {
+        let mut order: Vec<Endpoint> = self
+            .children
+            .iter()
+            .map(|&(_, p)| p)
+            .filter(|&p| p != exclude)
+            .collect();
+        order.sort_by_key(|p| std::cmp::Reverse(self.child_health.get(p).map_or(0, |h| h.free)));
+        order
+    }
+
+    /// Step the parent-side search: forward the request to the next child,
+    /// or finish with `found`.
+    fn advance_escalation(
+        &mut self,
+        now: SimTime,
+        found: Option<Option<String>>,
+        out: &mut Vec<CoreEffect>,
+    ) {
+        let Some(esc) = &mut self.escalation else {
+            return;
+        };
+        if let Some(dest) = found {
+            if dest.is_some() {
+                let requester = esc.requester;
+                self.escalation = None;
+                self.send(out, requester, Message::CandidateReply { dest });
+                self.pump_escalation_queue(now, out);
+                return;
+            }
+            // This child had nothing; fall through to the next.
+        }
+        let Some(esc) = &mut self.escalation else {
+            return;
+        };
+        if esc.next >= esc.probe.len() {
+            let requester = esc.requester;
+            self.escalation = None;
+            self.send(out, requester, Message::CandidateReply { dest: None });
+            self.pump_escalation_queue(now, out);
+            return;
+        }
+        let child = esc.probe[esc.next];
+        let requirements = esc.requirements;
+        esc.next += 1;
+        let msg = Message::CandidateRequest {
+            host: String::new(), // cross-domain: nothing to exclude below
+            requirements,
+        };
+        self.send(out, child, msg);
+    }
+
+    fn pump_escalation_queue(&mut self, now: SimTime, out: &mut Vec<CoreEffect>) {
+        if self.escalation.is_some() {
+            return;
+        }
+        if let Some((from, requirements)) = self.escalation_queue.pop_front() {
+            self.on_candidate_request(now, from, String::new(), requirements, out);
+        }
+    }
+
+    fn on_candidate_reply(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        dest: Option<String>,
+        out: &mut Vec<CoreEffect>,
+    ) {
+        // Parent replying to our escalation?
+        if Some(from) == self.cfg.parent {
+            let Some(wait) = self.awaiting_parent.pop_front() else {
+                return;
+            };
+            match dest {
+                Some(d) => {
+                    let Some(&src_idx) = self.index.get(wait.source.as_ref()) else {
+                        return;
+                    };
+                    self.dispatch_command(now, src_idx, &d, wait.pid, wait.schema, true, out);
+                    self.last_command.insert(wait.source, now);
+                }
+                None => {
+                    out.push(CoreEffect::Log(LogEffect::Decision(DecisionRecord {
+                        at: now,
+                        source: wait.source.to_string(),
+                        dest: None,
+                        pid: Some(wait.pid),
+                        escalated: true,
+                    })));
+                }
+            }
+            return;
+        }
+        // A child answering our probe.
+        self.advance_escalation(now, Some(dest), out);
+    }
+}
+
+/// Append a trace effect.
+fn trace(out: &mut Vec<CoreEffect>, kind: TraceKind, detail: impl Into<String>) {
+    out.push(CoreEffect::Trace {
+        kind,
+        detail: detail.into(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pid: u64, start: f64, est: f64) -> ProcReport {
+        ProcReport {
+            pid,
+            app: format!("app{pid}"),
+            start_time_s: start,
+            est_exec_time_s: est,
+        }
+    }
+
+    #[test]
+    fn selection_policies_pick_distinct_processes() {
+        // p1: started 0, est 100 -> completes 100 (oldest).
+        // p2: started 50, est 500 -> completes 550 (latest completing).
+        // p3: started 80, est 10 -> completes 90 (earliest completing).
+        let procs = vec![
+            report(1, 0.0, 100.0),
+            report(2, 50.0, 500.0),
+            report(3, 80.0, 10.0),
+        ];
+        let pid = |p: Option<&ProcReport>| p.map(|p| p.pid);
+        assert_eq!(
+            pid(SelectionPolicy::LatestCompleting.select(&procs)),
+            Some(2)
+        );
+        assert_eq!(
+            pid(SelectionPolicy::EarliestCompleting.select(&procs)),
+            Some(3)
+        );
+        assert_eq!(pid(SelectionPolicy::LongestRunning.select(&procs)), Some(1));
+    }
+
+    #[test]
+    fn selection_of_empty_list_is_none() {
+        assert!(SelectionPolicy::LatestCompleting.select(&[]).is_none());
+    }
+
+    fn entry_seen_at(last_seen: SimTime, hb_interval: Option<SimDuration>) -> HostEntry {
+        HostEntry {
+            name: Arc::from("ws"),
+            statics: HostStatic {
+                name: "ws".to_string(),
+                ip: String::new(),
+                os: String::new(),
+                cpu_speed: 1.0,
+                n_cpus: 1,
+                mem_kb: 0,
+            },
+            monitor: None,
+            commander: None,
+            last_seen,
+            state: HostState::Free,
+            metrics: Metrics::new(),
+            procs: vec![],
+            hb_interval,
+        }
+    }
+
+    #[test]
+    fn host_entry_lease_expiry() {
+        let entry = entry_seen_at(SimTime::from_secs(100), None);
+        let lease = SimDuration::from_secs(35);
+        assert_eq!(
+            entry.effective_state(SimTime::from_secs(120), lease),
+            HostState::Free
+        );
+        assert_eq!(
+            entry.effective_state(SimTime::from_secs(200), lease),
+            HostState::Unavailable
+        );
+    }
+
+    #[test]
+    fn lease_expiry_exactly_at_the_boundary_tick_is_inclusive() {
+        // last_seen = 100 s, lease = 35 s: the entry is valid up to and
+        // including t = 135 s exactly; the first tick past expires it.
+        let entry = entry_seen_at(SimTime::from_secs(100), None);
+        let lease = SimDuration::from_secs(35);
+        let boundary = SimTime::from_secs(135);
+        let just_past = SimTime::from_secs_f64(135.000_001);
+        assert_eq!(entry.effective_state(boundary, lease), HostState::Free);
+        assert_eq!(
+            entry.effective_state(just_past, lease),
+            HostState::Unavailable
+        );
+        // The failure detector has long since written the host off: with
+        // no observed push period it is judged against lease/3 and turned
+        // Down around 29 s of silence, well before the lease boundary.
+        assert_eq!(entry.liveness(boundary, lease), Liveness::Down);
+        assert_eq!(entry.liveness(just_past, lease), Liveness::Down);
+    }
+
+    #[test]
+    fn missed_heartbeat_detector_downgrades_ahead_of_the_lease() {
+        // Observed push period 10 s, lease 35 s. A beat counts as missed
+        // once half an interval overdue: Suspect at 15 s of silence (two
+        // beats overdue), Down at 25 s — both well before lease expiry.
+        let entry = entry_seen_at(SimTime::from_secs(100), Some(SimDuration::from_secs(10)));
+        let lease = SimDuration::from_secs(35);
+        let at = |s: f64| SimTime::from_secs_f64(100.0 + s);
+        assert_eq!(entry.liveness(at(10.0), lease), Liveness::Alive);
+        assert_eq!(entry.liveness(at(14.9), lease), Liveness::Alive);
+        assert_eq!(entry.liveness(at(15.0), lease), Liveness::Suspect);
+        assert_eq!(entry.liveness(at(24.9), lease), Liveness::Suspect);
+        assert_eq!(entry.liveness(at(25.0), lease), Liveness::Down);
+        // The old truncating detector called 2.99 intervals of silence
+        // "two missed beats" (barely Suspect); rounding calls it Down.
+        assert_eq!(entry.liveness(at(29.9), lease), Liveness::Down);
+    }
+
+    #[test]
+    fn detector_without_observed_period_falls_back_to_a_lease_fraction() {
+        // No push period yet: judged against lease/3 (~11.67 s for a 35 s
+        // lease), so Suspect from 17.5 s of silence and Down from ~29.2 s
+        // instead of staying Alive until the full lease expires.
+        let entry = entry_seen_at(SimTime::from_secs(100), None);
+        let lease = SimDuration::from_secs(35);
+        let at = |s: f64| SimTime::from_secs_f64(100.0 + s);
+        assert_eq!(entry.liveness(at(17.0), lease), Liveness::Alive);
+        assert_eq!(entry.liveness(at(17.6), lease), Liveness::Suspect);
+        assert_eq!(entry.liveness(at(29.0), lease), Liveness::Suspect);
+        assert_eq!(entry.liveness(at(29.2), lease), Liveness::Down);
+        // A zero-length observed interval is nonsense — same fallback.
+        let zero = entry_seen_at(SimTime::from_secs(100), Some(SimDuration::from_secs(0)));
+        assert_eq!(zero.liveness(at(17.6), lease), Liveness::Suspect);
+    }
+
+    #[test]
+    fn detector_suspects_at_one_and_a_half_intervals() {
+        // The boundary the truncation bug got wrong: 1.5 intervals of
+        // silence is two overdue beats, not one.
+        let entry = entry_seen_at(SimTime::ZERO, Some(SimDuration::from_secs(4)));
+        let lease = SimDuration::from_secs(35);
+        assert_eq!(
+            entry.liveness(SimTime::from_secs_f64(5.9), lease),
+            Liveness::Alive
+        );
+        assert_eq!(
+            entry.liveness(SimTime::from_secs_f64(6.0), lease),
+            Liveness::Suspect
+        );
+        assert_eq!(
+            entry.liveness(SimTime::from_secs_f64(10.0), lease),
+            Liveness::Down
+        );
+    }
+
+    // --- handle()-fed tests: the core as the drivers drive it ---------------
+
+    fn test_core(policy: Policy) -> RegistryCore {
+        let mut cfg = RegistryConfig::new(policy);
+        cfg.name = "test".to_string();
+        RegistryCore::new(cfg, SchemaBook::new())
+    }
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn feed(core: &mut RegistryCore, now: f64, input: CoreInput) -> Vec<CoreEffect> {
+        let mut out = Vec::new();
+        core.handle(at(now), input, &mut out);
+        out
+    }
+
+    fn msg(core: &mut RegistryCore, now: f64, from: u64, msg: Message) -> Vec<CoreEffect> {
+        feed(
+            core,
+            now,
+            CoreInput::Message {
+                from: Endpoint(from),
+                msg,
+            },
+        )
+    }
+
+    fn statics(name: &str) -> HostStatic {
+        HostStatic {
+            name: name.to_string(),
+            ip: format!("10.0.0.{}", name.len()),
+            os: "SunOS 5.8".to_string(),
+            cpu_speed: 1.0,
+            n_cpus: 1,
+            mem_kb: 131_072,
+        }
+    }
+
+    /// Register monitor (endpoint `conn`) and commander (`conn + 1`).
+    fn register(core: &mut RegistryCore, now: f64, conn: u64, name: &str) {
+        msg(
+            core,
+            now,
+            conn,
+            Message::Register {
+                host: statics(name),
+                role: EntityRole::Monitor,
+            },
+        );
+        msg(
+            core,
+            now,
+            conn + 1,
+            Message::Register {
+                host: statics(name),
+                role: EntityRole::Commander,
+            },
+        );
+    }
+
+    fn good_metrics() -> Metrics {
+        let mut m = Metrics::new();
+        m.set("loadAvg1", 0.2);
+        m.set("nproc", 10.0);
+        m.set("memAvail", 50.0);
+        m.set("diskAvailKb", 4_000_000.0);
+        m
+    }
+
+    fn heartbeat(
+        core: &mut RegistryCore,
+        now: f64,
+        conn: u64,
+        name: &str,
+        state: HostState,
+        metrics: Metrics,
+        procs: Vec<ProcReport>,
+    ) -> Vec<CoreEffect> {
+        msg(
+            core,
+            now,
+            conn,
+            Message::Heartbeat {
+                host: name.to_string(),
+                state,
+                metrics,
+                procs,
+            },
+        )
+    }
+
+    #[test]
+    fn first_fit_skips_source_busy_and_requirement_failing_hosts() {
+        let mut core = test_core(Policy::no_migration());
+        register(&mut core, 0.0, 10, "a");
+        register(&mut core, 0.0, 20, "b");
+        register(&mut core, 0.0, 30, "c");
+        heartbeat(
+            &mut core,
+            1.0,
+            10,
+            "a",
+            HostState::Overloaded,
+            good_metrics(),
+            vec![],
+        );
+        // b is free but only 10% of 128 MB available: fails a 24 MB floor.
+        let mut starved = good_metrics();
+        starved.set("memAvail", 10.0);
+        heartbeat(&mut core, 1.0, 20, "b", HostState::Free, starved, vec![]);
+        heartbeat(
+            &mut core,
+            1.0,
+            30,
+            "c",
+            HostState::Free,
+            good_metrics(),
+            vec![],
+        );
+        let req = ResourceRequirements {
+            mem_kb: 24_576,
+            disk_kb: 1_024,
+            min_cpu_speed: 0.5,
+        };
+        let dest = core
+            .destination_for(&req, "a", at(1.0))
+            .map(|e| e.name.to_string());
+        assert_eq!(dest, Some("c".to_string()));
+        // And nothing qualifies when even c is excluded as the source.
+        assert!(
+            core.destination_for(&req, "c", at(1.0)).is_none()
+                || core
+                    .destination_for(&req, "c", at(1.0))
+                    .map(|e| e.name.as_ref())
+                    != Some("c")
+        );
+    }
+
+    #[test]
+    fn policy_destination_conditions_gate_first_fit() {
+        // paper policy 2: destination needs LOAD1 < 1.0 AND NPROC < 100,
+        // and a host missing those metrics is rejected, not waved through.
+        let mut core = test_core(Policy::paper_policy2());
+        register(&mut core, 0.0, 10, "loaded");
+        register(&mut core, 0.0, 20, "silent");
+        register(&mut core, 0.0, 30, "ok");
+        let mut busy_metrics = good_metrics();
+        busy_metrics.set("loadAvg1", 2.5);
+        heartbeat(
+            &mut core,
+            1.0,
+            10,
+            "loaded",
+            HostState::Free,
+            busy_metrics,
+            vec![],
+        );
+        // "silent" never reports metrics at all (registration defaults).
+        heartbeat(
+            &mut core,
+            1.0,
+            30,
+            "ok",
+            HostState::Free,
+            good_metrics(),
+            vec![],
+        );
+        let req = ResourceRequirements::default();
+        let dest = core
+            .destination_for(&req, "src", at(1.0))
+            .map(|e| e.name.to_string());
+        assert_eq!(dest, Some("ok".to_string()));
+    }
+
+    #[test]
+    fn indexed_and_linear_first_fit_agree() {
+        let build = |linear: bool| {
+            let mut cfg = RegistryConfig::new(Policy::paper_policy2());
+            cfg.linear_first_fit = linear;
+            let mut core = RegistryCore::new(cfg, SchemaBook::new());
+            for (i, name) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+                let conn = 10 * (i as u64 + 1);
+                register(&mut core, 0.0, conn, name);
+                let state = match i % 3 {
+                    0 => HostState::Overloaded,
+                    1 => HostState::Busy,
+                    _ => HostState::Free,
+                };
+                heartbeat(&mut core, 1.0, conn, name, state, good_metrics(), vec![]);
+            }
+            core
+        };
+        let indexed = build(false);
+        let linear = build(true);
+        let req = ResourceRequirements::default();
+        for exclude in ["a", "b", "c", "d", "e", "none"] {
+            assert_eq!(
+                indexed
+                    .destination_for(&req, exclude, at(1.0))
+                    .map(|e| e.name.clone()),
+                linear
+                    .destination_for(&req, exclude, at(1.0))
+                    .map(|e| e.name.clone()),
+                "exclude={exclude}"
+            );
+        }
+    }
+
+    #[test]
+    fn overloaded_heartbeat_queues_one_decision_then_commands_migration() {
+        let mut core = test_core(Policy::no_migration());
+        register(&mut core, 0.0, 10, "a");
+        register(&mut core, 0.0, 20, "b");
+        let fx = heartbeat(
+            &mut core,
+            1.0,
+            10,
+            "a",
+            HostState::Overloaded,
+            good_metrics(),
+            vec![report(7, 0.0, 100.0)],
+        );
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::StartDecision { source, .. }] if source.as_ref() == "a"
+            ),
+            "expected exactly one StartDecision, got {fx:?}"
+        );
+        // A second overloaded beat while the decision is queued must not
+        // queue another.
+        let fx = heartbeat(
+            &mut core,
+            2.0,
+            10,
+            "a",
+            HostState::Overloaded,
+            good_metrics(),
+            vec![report(7, 0.0, 100.0)],
+        );
+        assert!(fx.is_empty(), "duplicate decision queued: {fx:?}");
+
+        // The due decision commands a migration to b via a's commander
+        // (endpoint 11), in the exact effect order the drivers replay.
+        let fx = feed(
+            &mut core,
+            2.0,
+            CoreInput::DecisionDue {
+                source: Arc::from("a"),
+            },
+        );
+        match fx.as_slice() {
+            [CoreEffect::Send {
+                to,
+                msg:
+                    Message::MigrationCommand {
+                        host, pid, dest, ..
+                    },
+            }, CoreEffect::ArmTimer { .. }, CoreEffect::Trace { .. }, CoreEffect::Log(LogEffect::Decision(rec)), CoreEffect::Log(LogEffect::CommandSent)] =>
+            {
+                assert_eq!(*to, Endpoint(11));
+                assert_eq!(host, "a");
+                assert_eq!(*pid, 7);
+                assert_eq!(dest, "b");
+                assert_eq!(rec.dest.as_deref(), Some("b"));
+            }
+            other => panic!("unexpected effect sequence: {other:?}"),
+        }
+        // The destination is optimistically marked Busy until its next
+        // heartbeat, so a concurrent decision cannot pile onto it.
+        assert!(core
+            .destination_for(&ResourceRequirements::default(), "a", at(2.0))
+            .is_none());
+    }
+
+    #[test]
+    fn unacked_command_retransmits_with_backoff_then_aborts() {
+        let mut core = test_core(Policy::no_migration());
+        register(&mut core, 0.0, 10, "a");
+        register(&mut core, 0.0, 20, "b");
+        heartbeat(
+            &mut core,
+            1.0,
+            10,
+            "a",
+            HostState::Overloaded,
+            good_metrics(),
+            vec![report(7, 0.0, 100.0)],
+        );
+        let fx = feed(
+            &mut core,
+            1.0,
+            CoreInput::DecisionDue {
+                source: Arc::from("a"),
+            },
+        );
+        let mut timer = fx.iter().find_map(|e| match e {
+            CoreEffect::ArmTimer { timer, .. } => Some(*timer),
+            _ => None,
+        });
+        let retries = core.config().max_command_retries;
+        let base = core.config().ack_timeout.as_secs_f64();
+        for attempt in 1..=retries {
+            let t = timer.take().expect("a retransmit deadline should be armed");
+            let fx = feed(&mut core, 10.0 * attempt as f64, CoreInput::TimerFired(t));
+            match fx.as_slice() {
+                [CoreEffect::Trace { .. }, CoreEffect::Log(LogEffect::CommandRetransmit), CoreEffect::Send { to, .. }, CoreEffect::ArmTimer { timer: t2, after }] =>
+                {
+                    assert_eq!(*to, Endpoint(11));
+                    // Exponential backoff: timeout * 2^attempt.
+                    let expect = base * (1u64 << attempt) as f64;
+                    assert!((after.as_secs_f64() - expect).abs() < 1e-9);
+                    timer = Some(*t2);
+                }
+                other => panic!("retransmit #{attempt}: unexpected effects {other:?}"),
+            }
+        }
+        // Retries exhausted: the next deadline aborts and clears the
+        // cooldown so the host is eligible for a fresh decision.
+        let t = timer.take().expect("final deadline");
+        let fx = feed(&mut core, 100.0, CoreInput::TimerFired(t));
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [
+                    CoreEffect::Trace { .. },
+                    CoreEffect::Log(LogEffect::CommandAborted)
+                ]
+            ),
+            "abort effects: {fx:?}"
+        );
+        let fx = heartbeat(
+            &mut core,
+            101.0,
+            10,
+            "a",
+            HostState::Overloaded,
+            good_metrics(),
+            vec![report(7, 0.0, 100.0)],
+        );
+        assert!(
+            fx.iter()
+                .any(|e| matches!(e, CoreEffect::StartDecision { .. })),
+            "cooldown should be cleared after an abort: {fx:?}"
+        );
+        // A stale timer (e.g. from before the abort) fires into nothing.
+        let fx = feed(&mut core, 102.0, CoreInput::TimerFired(t));
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn restart_drops_soft_state_and_later_heartbeats_get_a_reregister_nudge() {
+        let mut core = test_core(Policy::no_migration());
+        register(&mut core, 0.0, 10, "a");
+        assert!(core.knows_host("a"));
+        let fx = feed(&mut core, 5.0, CoreInput::Restart);
+        assert!(matches!(fx.as_slice(), [CoreEffect::Trace { .. }]));
+        assert!(!core.knows_host("a"));
+        assert!(core.entries().is_empty());
+        let fx = heartbeat(
+            &mut core,
+            6.0,
+            10,
+            "a",
+            HostState::Free,
+            good_metrics(),
+            vec![],
+        );
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Trace { .. }, CoreEffect::Send { to: Endpoint(10), msg: Message::ReRegister { host } }] if host == "a"
+            ),
+            "expected a ReRegister nudge, got {fx:?}"
+        );
+    }
+
+    // --- hierarchy: health reports and cross-domain probe order --------------
+
+    fn register_child(core: &mut RegistryCore, conn: u64, name: &str) {
+        msg(
+            core,
+            0.0,
+            conn,
+            Message::Register {
+                host: statics(name),
+                role: EntityRole::Registry,
+            },
+        );
+    }
+
+    fn domain_report(free: u32) -> Message {
+        Message::DomainReport {
+            domain: "d".to_string(),
+            free,
+            busy: 0,
+            overloaded: 0,
+            unavailable: 0,
+            load_sum: 0.0,
+            load_samples: 0,
+        }
+    }
+
+    #[test]
+    fn cross_domain_probe_prefers_the_freest_reported_child() {
+        let mut root = test_core(Policy::no_migration());
+        register_child(&mut root, 10, "d0");
+        register_child(&mut root, 20, "d1");
+        register_child(&mut root, 30, "d2");
+        msg(&mut root, 1.0, 20, domain_report(1));
+        msg(&mut root, 1.0, 30, domain_report(5));
+        // d0 escalates; the root (no local hosts) probes d2 (5 free)
+        // before d1 (1 free).
+        let fx = msg(
+            &mut root,
+            2.0,
+            10,
+            Message::CandidateRequest {
+                host: "ws0".to_string(),
+                requirements: ResourceRequirements::default(),
+            },
+        );
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(30),
+                    msg: Message::CandidateRequest { .. }
+                }]
+            ),
+            "first probe should hit the freest child: {fx:?}"
+        );
+        // d2 has nothing after all -> d1 is probed next.
+        let fx = msg(&mut root, 3.0, 30, Message::CandidateReply { dest: None });
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(20),
+                    msg: Message::CandidateRequest { .. }
+                }]
+            ),
+            "second probe: {fx:?}"
+        );
+        // d1 answers -> the requester gets the destination.
+        let fx = msg(
+            &mut root,
+            4.0,
+            20,
+            Message::CandidateReply {
+                dest: Some("ws7".to_string()),
+            },
+        );
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send { to: Endpoint(10), msg: Message::CandidateReply { dest: Some(d) } }] if d == "ws7"
+            ),
+            "final reply: {fx:?}"
+        );
+        assert!(root.child_domains().iter().any(|(_, h)| h.free == 5));
+    }
+
+    #[test]
+    fn unreported_children_are_probed_in_registration_order() {
+        let mut root = test_core(Policy::no_migration());
+        register_child(&mut root, 10, "d0");
+        register_child(&mut root, 20, "d1");
+        register_child(&mut root, 30, "d2");
+        let fx = msg(
+            &mut root,
+            1.0,
+            30,
+            Message::CandidateRequest {
+                host: "ws9".to_string(),
+                requirements: ResourceRequirements::default(),
+            },
+        );
+        // No DomainReports: everyone counts as 0 free, stable sort keeps
+        // registration order, the requester (d2) is excluded.
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(10),
+                    msg: Message::CandidateRequest { .. }
+                }]
+            ),
+            "probe should fall back to registration order: {fx:?}"
+        );
+    }
+
+    #[test]
+    fn a_leaf_with_a_parent_pushes_rate_limited_health_reports() {
+        // Hand-build the config: parent at endpoint 99.
+        let mut cfg = RegistryConfig::new(Policy::no_migration());
+        cfg.parent = Some(Endpoint(99));
+        let mut core = RegistryCore::new(cfg, SchemaBook::new());
+        register(&mut core, 0.0, 10, "a");
+        let report_in = |fx: &[CoreEffect]| {
+            fx.iter().any(|e| {
+                matches!(
+                    e,
+                    CoreEffect::Send {
+                        to: Endpoint(99),
+                        msg: Message::DomainReport { .. }
+                    }
+                )
+            })
+        };
+        let fx = heartbeat(
+            &mut core,
+            5.0,
+            10,
+            "a",
+            HostState::Free,
+            good_metrics(),
+            vec![],
+        );
+        assert!(report_in(&fx), "first heartbeat should report: {fx:?}");
+        let fx = heartbeat(
+            &mut core,
+            7.0,
+            10,
+            "a",
+            HostState::Free,
+            good_metrics(),
+            vec![],
+        );
+        assert!(!report_in(&fx), "reports must be rate-limited: {fx:?}");
+        let fx = heartbeat(
+            &mut core,
+            16.0,
+            10,
+            "a",
+            HostState::Free,
+            good_metrics(),
+            vec![],
+        );
+        assert!(report_in(&fx), "next report after the interval: {fx:?}");
+    }
+
+    #[test]
+    fn a_leaf_without_a_parent_emits_no_domain_reports() {
+        let mut core = test_core(Policy::no_migration());
+        register(&mut core, 0.0, 10, "a");
+        let fx = heartbeat(
+            &mut core,
+            5.0,
+            10,
+            "a",
+            HostState::Free,
+            good_metrics(),
+            vec![],
+        );
+        assert!(
+            !fx.iter().any(|e| matches!(
+                e,
+                CoreEffect::Send {
+                    msg: Message::DomainReport { .. },
+                    ..
+                }
+            )),
+            "flat deployments must emit nothing new: {fx:?}"
+        );
+    }
+}

@@ -1,246 +1,33 @@
-//! The registry/scheduler entity (§3.2).
+//! The registry/scheduler entity (§3.2) — DES driver.
 //!
-//! A soft-state registry of hosts (push-model registration: monitors must
-//! refresh within the lease or be considered *unavailable*), plus the
-//! decision-making side: on a confirmed-overloaded heartbeat it selects the
-//! process with the *latest completing time* (start time + schema estimate)
-//! and the destination by *first fit* over the machine list — "the first
-//! host, which is ready and owns all the resources required".
+//! All scheduling logic lives in the transport-agnostic
+//! [`RegistryCore`](crate::regcore::RegistryCore); this module is the thin
+//! [`Program`] adapter that maps discrete-event-simulation wakes to core
+//! inputs and replays core effects onto the kernel:
 //!
-//! Registries compose into a hierarchy: a registry may register with a
-//! parent (role `Registry`); when its own domain has no candidate it
-//! escalates the search upward, and a parent probes its other children —
-//! "usually, it is preferred that the migration destination is chosen
-//! inside one's control domain".
+//! * [`CoreEffect::Send`] → an async send op (`ctx.send`) tagged in the
+//!   FIFO op queue, so its completion is attributed correctly;
+//! * [`CoreEffect::StartDecision`] → a compute op charging the decision's
+//!   CPU cost; the op's completion feeds [`CoreInput::DecisionDue`] back;
+//! * [`CoreEffect::ArmTimer`] → a kernel alarm, with the alarm token
+//!   mapped back to the core's [`TimerId`] when it fires;
+//! * [`CoreEffect::Trace`] → a kernel trace line (the replayable trace the
+//!   equivalence gates compare byte-for-byte);
+//! * [`CoreEffect::Log`] → the shared [`ReschedHooks`] decision log.
+//!
+//! Effects are applied strictly in emission order, which keeps the kernel
+//! trace identical to the pre-refactor monolithic scheduler.
 
-use crate::hooks::{DecisionRecord, ReschedHooks, SchemaBook, CONTROL_TAG};
-use ars_obs::{Obs, ObsEvent};
-use ars_rules::Policy;
-use ars_sim::{Ctx, Payload, Pid, Program, TraceKind, Wake, RESTART_SIGNAL};
-use ars_simcore::{SimDuration, SimTime};
-use ars_xmlwire::{
-    ApplicationSchema, EntityRole, HostState, HostStatic, Message, Metrics, ProcReport,
-    ResourceRequirements,
+use crate::hooks::{ReschedHooks, SchemaBook, CONTROL_TAG};
+use crate::regcore::{
+    CoreEffect, CoreInput, DomainHealth, Endpoint, HostEntry, LogEffect, RegistryConfig,
+    RegistryCore, TimerId,
 };
-use std::collections::{BTreeSet, HashMap};
+use ars_sim::{Ctx, Payload, Pid, Program, TraceKind, Wake, RESTART_SIGNAL};
+use ars_simcore::SimTime;
+use ars_xmlwire::{EntityRole, HostStatic, Message};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-
-/// Which migratable process the scheduler picks from an overloaded host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SelectionPolicy {
-    /// The paper's choice: "the registry/scheduler tends to migrate a
-    /// process that has the latest completing time to reduce the
-    /// possibility of migrating multiple processes."
-    #[default]
-    LatestCompleting,
-    /// The opposite: evict the process closest to finishing (cheapest to
-    /// re-run if the migration goes wrong; worst amortization).
-    EarliestCompleting,
-    /// Evict the longest-running process (classic age-based eviction).
-    LongestRunning,
-}
-
-impl SelectionPolicy {
-    /// Apply the policy to a host's reported migratable processes.
-    pub fn select<'a>(&self, procs: &'a [ProcReport]) -> Option<&'a ProcReport> {
-        let completion = |p: &ProcReport| p.start_time_s + p.est_exec_time_s;
-        let cmp_f64 = |a: f64, b: f64| a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
-        match self {
-            SelectionPolicy::LatestCompleting => procs
-                .iter()
-                .max_by(|a, b| cmp_f64(completion(a), completion(b))),
-            SelectionPolicy::EarliestCompleting => procs
-                .iter()
-                .min_by(|a, b| cmp_f64(completion(a), completion(b))),
-            SelectionPolicy::LongestRunning => procs
-                .iter()
-                .min_by(|a, b| cmp_f64(a.start_time_s, b.start_time_s)),
-        }
-    }
-}
-
-/// Registry/scheduler configuration.
-pub struct RegistryConfig {
-    /// Policy whose destination conditions gate candidate hosts.
-    pub policy: Policy,
-    /// Soft-state lease; entries older than this are unavailable.
-    pub lease: SimDuration,
-    /// CPU cost of one migration decision (the paper measures 0.002 s).
-    pub decision_cost: f64,
-    /// Minimum spacing between commands to the same source host.
-    pub command_cooldown: SimDuration,
-    /// Parent registry in a hierarchy.
-    pub parent: Option<Pid>,
-    /// Domain name (diagnostics).
-    pub name: String,
-    /// Process-selection policy.
-    pub selection: SelectionPolicy,
-    /// Pull-based scheduling (§3.2's alternative): instead of relying on
-    /// the periodic push heartbeats, query every host's monitor for fresh
-    /// status when a decision is expected, and decide once all replies are
-    /// in. More accurate data, slower decisions.
-    pub pull: bool,
-    /// Scan the whole machine list on every destination search (the
-    /// original first-fit) instead of only the hosts whose last reported
-    /// state can accept a migration. Results are identical; this exists so
-    /// `bench_scale` can measure the indexed search against a live baseline.
-    pub linear_first_fit: bool,
-    /// How long to wait for a commander's [`Message::CommandAck`] before
-    /// retransmitting a migration command (doubles per attempt).
-    pub ack_timeout: SimDuration,
-    /// Retransmits before a command is abandoned and the source becomes
-    /// eligible for a fresh decision (destination re-selection).
-    pub max_command_retries: u32,
-    /// Observability session (detector transitions, candidate rejections,
-    /// command retransmits/aborts, scan-length histograms). The disabled
-    /// default is a no-op and an enabled session never changes a decision.
-    pub obs: Obs,
-}
-
-impl RegistryConfig {
-    /// Stand-alone registry with the given policy.
-    pub fn new(policy: Policy) -> Self {
-        RegistryConfig {
-            policy,
-            lease: SimDuration::from_secs(35),
-            decision_cost: 0.002,
-            command_cooldown: SimDuration::from_secs(30),
-            parent: None,
-            name: "root".to_string(),
-            selection: SelectionPolicy::default(),
-            pull: false,
-            linear_first_fit: false,
-            ack_timeout: SimDuration::from_secs(5),
-            max_command_retries: 3,
-            obs: Obs::disabled(),
-        }
-    }
-}
-
-/// Aggregate health of a registry's domain.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct DomainHealth {
-    /// Hosts currently free.
-    pub free: u32,
-    /// Hosts currently busy.
-    pub busy: u32,
-    /// Hosts currently overloaded.
-    pub overloaded: u32,
-    /// Hosts with expired leases.
-    pub unavailable: u32,
-    /// Sum of reported 1-minute load averages.
-    pub load_sum: f64,
-    /// Number of load samples in the sum.
-    pub load_samples: u32,
-}
-
-impl DomainHealth {
-    /// Mean 1-minute load over the domain, if any host reported one.
-    pub fn mean_load(&self) -> Option<f64> {
-        (self.load_samples > 0).then(|| self.load_sum / self.load_samples as f64)
-    }
-
-    /// Total registered hosts.
-    pub fn total(&self) -> u32 {
-        self.free + self.busy + self.overloaded + self.unavailable
-    }
-}
-
-/// Registry-side view of one registered host.
-#[derive(Debug, Clone)]
-pub struct HostEntry {
-    /// Interned host name (shared with the index and cooldown maps, so
-    /// per-decision bookkeeping clones a refcount, not a `String`).
-    pub name: Arc<str>,
-    /// Static registration info.
-    pub statics: HostStatic,
-    /// Monitor pid (heartbeat sender).
-    pub monitor: Option<Pid>,
-    /// Commander pid (command addressee).
-    pub commander: Option<Pid>,
-    /// Last heartbeat time.
-    pub last_seen: SimTime,
-    /// Last reported state.
-    pub state: HostState,
-    /// Last reported metrics.
-    pub metrics: Metrics,
-    /// Last reported migratable processes.
-    pub procs: Vec<ProcReport>,
-    /// Observed gap between the last two heartbeats (the push period this
-    /// monitor is actually running at; feeds the failure detector).
-    pub hb_interval: Option<SimDuration>,
-}
-
-/// Failure-detector verdict for a registered host.
-///
-/// The soft-state lease alone reacts slowly (tens of seconds); the
-/// missed-heartbeat detector compares silence against the host's *observed*
-/// push period and downgrades much earlier. `Suspect` hosts are excluded as
-/// migration destinations ahead of lease expiry, so a crashed host stops
-/// attracting processes after ~2 missed beats instead of a full lease.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Liveness {
-    /// Heartbeats arriving on schedule.
-    Alive,
-    /// At least two expected heartbeats missed — not trusted as a
-    /// destination, but not yet written off.
-    Suspect,
-    /// Three or more missed heartbeats, or the lease expired.
-    Down,
-}
-
-impl HostEntry {
-    /// State as of `now`, accounting for lease expiry.
-    pub fn effective_state(&self, now: SimTime, lease: SimDuration) -> HostState {
-        if now.since(self.last_seen) > lease {
-            HostState::Unavailable
-        } else {
-            self.state
-        }
-    }
-
-    /// Missed-heartbeat failure detection (see [`Liveness`]).
-    ///
-    /// A beat counts as missed once it is *half an interval* overdue —
-    /// round-to-nearest, not truncation. Truncating made the detector a
-    /// full interval late at every boundary: 2.99 intervals of silence
-    /// counted as only two missed beats (barely `Suspect`) and 1.5
-    /// intervals still looked `Alive`. With rounding, `Suspect` starts at
-    /// 1.5 intervals of silence and `Down` at 2.5.
-    ///
-    /// Hosts that have not yet established a push period are judged
-    /// against `lease / 3` — roughly the cadence a default-period monitor
-    /// settles into — so even a host that died right after registering
-    /// turns `Suspect` around half a lease instead of staying `Alive`
-    /// until the full lease expires.
-    pub fn liveness(&self, now: SimTime, lease: SimDuration) -> Liveness {
-        let silent = now.since(self.last_seen);
-        if silent > lease {
-            return Liveness::Down;
-        }
-        let iv_s = self
-            .hb_interval
-            .map(|iv| iv.as_secs_f64())
-            .filter(|&s| s > 0.0)
-            .unwrap_or_else(|| lease.as_secs_f64() / 3.0);
-        let missed = (silent.as_secs_f64() / iv_s + 0.5).floor() as u32;
-        if missed >= 3 {
-            return Liveness::Down;
-        }
-        if missed >= 2 {
-            return Liveness::Suspect;
-        }
-        Liveness::Alive
-    }
-}
-
-/// A parent-side search over children domains.
-struct Escalation {
-    requester: Pid,
-    exclude: Option<Pid>,
-    requirements: ResourceRequirements,
-    next_child: usize,
-}
 
 /// What the next completed op of ours was (ops finish FIFO, so this queue
 /// attributes every `OpDone` exactly).
@@ -249,923 +36,77 @@ enum OpKind {
     Decision(Arc<str>),
 }
 
-/// A migration command awaiting its commander's acknowledgement. Keyed by
-/// the alarm token of its retransmit deadline; an arriving ack removes the
-/// entry, so a later alarm with that token finds nothing and is ignored.
-struct PendingCommand {
-    source: Arc<str>,
-    dest: String,
-    pid: u64,
-    commander: Pid,
-    cmd: Message,
-    /// Retransmits already performed (0 after the initial send).
-    attempts: u32,
-}
-
-/// A child-side wait for the parent's candidate reply.
-struct AwaitingParent {
-    source: Arc<str>,
-    pid: u64,
-    schema: ApplicationSchema,
-}
-
-/// A pull-mode decision waiting for fresh status replies.
-struct PullRound {
-    source: Arc<str>,
-    pid: u64,
-    schema: ApplicationSchema,
-    awaiting: std::collections::HashSet<Arc<str>>,
-    started_at: SimTime,
-}
-
-/// The registry/scheduler program.
+/// The registry/scheduler program: [`RegistryCore`] driven by the DES.
 pub struct RegistryScheduler {
-    cfg: RegistryConfig,
+    core: RegistryCore,
     hooks: ReschedHooks,
-    schemas: SchemaBook,
-    /// Hosts in registration order (first-fit order).
-    hosts: Vec<HostEntry>,
-    index: HashMap<Arc<str>, usize>,
-    /// Hosts whose last *reported* state accepts migrations, by
-    /// registration index. Lease expiry can only disqualify a host, never
-    /// qualify one, so this is a sound candidate superset for `first_fit`
-    /// — and iterating the set ascending reproduces the linear scan's
-    /// first-fit order exactly.
-    free_hosts: BTreeSet<usize>,
-    children: Vec<(String, Pid)>,
     /// FIFO attribution of our in-flight ops' completions.
-    op_kinds: std::collections::VecDeque<OpKind>,
-    /// Last command *or* decision per source host (cooldown basis).
-    last_command: HashMap<Arc<str>, SimTime>,
-    /// Unacknowledged migration commands, by retransmit-alarm token.
-    pending: HashMap<u64, PendingCommand>,
-    escalation: Option<Escalation>,
-    escalation_queue: std::collections::VecDeque<(Pid, ResourceRequirements)>,
-    awaiting_parent: std::collections::VecDeque<AwaitingParent>,
-    pull_round: Option<PullRound>,
-    /// Last liveness verdict recorded per host (observability only — the
-    /// scheduler itself always re-evaluates [`HostEntry::liveness`]).
-    obs_verdicts: HashMap<Arc<str>, Liveness>,
-    /// When the detector-observation sweep last ran (rate limit).
-    last_obs_sweep: SimTime,
+    op_kinds: VecDeque<OpKind>,
+    /// Kernel alarm token → core timer id.
+    timers: HashMap<u64, TimerId>,
+    /// Reusable effect buffer (no per-wake allocation in steady state).
+    effects: Vec<CoreEffect>,
 }
 
 impl RegistryScheduler {
     /// Create a registry from its configuration and shared books.
     pub fn new(cfg: RegistryConfig, schemas: SchemaBook, hooks: ReschedHooks) -> Self {
         RegistryScheduler {
-            cfg,
+            core: RegistryCore::new(cfg, schemas),
             hooks,
-            schemas,
-            hosts: Vec::new(),
-            index: HashMap::new(),
-            free_hosts: BTreeSet::new(),
-            children: Vec::new(),
-            op_kinds: std::collections::VecDeque::new(),
-            last_command: HashMap::new(),
-            pending: HashMap::new(),
-            escalation: None,
-            escalation_queue: std::collections::VecDeque::new(),
-            awaiting_parent: std::collections::VecDeque::new(),
-            pull_round: None,
-            obs_verdicts: HashMap::new(),
-            last_obs_sweep: SimTime::ZERO,
+            op_kinds: VecDeque::new(),
+            timers: HashMap::new(),
+            effects: Vec::new(),
         }
+    }
+
+    /// The underlying sans-I/O core (diagnostics/tests).
+    pub fn core(&self) -> &RegistryCore {
+        &self.core
     }
 
     /// Registered host entries in first-fit order (diagnostics/tests).
     pub fn entries(&self) -> &[HostEntry] {
-        &self.hosts
+        self.core.entries()
     }
 
-    /// The domain's aggregate *health condition* (§3.2: each lower-level
-    /// registry "has its own health condition, which indicates its overall
-    /// workload and availability of each kind of resource").
+    /// The domain's aggregate health condition (see
+    /// [`RegistryCore::domain_health`]).
     pub fn domain_health(&self, now: SimTime) -> DomainHealth {
-        let mut h = DomainHealth::default();
-        for e in &self.hosts {
-            match e.effective_state(now, self.cfg.lease) {
-                HostState::Free => h.free += 1,
-                HostState::Busy => h.busy += 1,
-                HostState::Overloaded => h.overloaded += 1,
-                HostState::Unavailable => h.unavailable += 1,
-            }
-            if let Some(l) = e.metrics.get("loadAvg1") {
-                h.load_sum += l;
-                h.load_samples += 1;
-            }
-        }
-        h
+        self.core.domain_health(now)
     }
 
-    fn send(&mut self, ctx: &mut Ctx<'_>, to: Pid, msg: &Message) {
-        self.op_kinds.push_back(OpKind::Send);
-        ctx.send(to, CONTROL_TAG, Payload::Text(msg.to_document()));
-    }
-
-    /// Record a host's reported state, keeping the free-host index in sync.
-    fn set_state(&mut self, idx: usize, state: HostState) {
-        self.hosts[idx].state = state;
-        if state.accepts_migration() {
-            self.free_hosts.insert(idx);
-        } else {
-            self.free_hosts.remove(&idx);
-        }
-    }
-
-    fn on_register(&mut self, ctx: &mut Ctx<'_>, from: Pid, host: HostStatic, role: EntityRole) {
-        if role == EntityRole::Registry {
-            if !self.children.iter().any(|(_, p)| *p == from) {
-                self.children.push((host.name.clone(), from));
-            }
-            return;
-        }
-        let now = ctx.now();
-        let idx = match self.index.get(host.name.as_str()) {
-            Some(&i) => i,
-            None => {
-                let name: Arc<str> = Arc::from(host.name.as_str());
-                self.hosts.push(HostEntry {
-                    name: name.clone(),
-                    statics: host.clone(),
-                    monitor: None,
-                    commander: None,
-                    last_seen: now,
-                    state: HostState::Free,
-                    metrics: Metrics::new(),
-                    procs: Vec::new(),
-                    hb_interval: None,
-                });
-                let idx = self.hosts.len() - 1;
-                self.index.insert(name, idx);
-                self.free_hosts.insert(idx);
-                idx
-            }
-        };
-        let entry = &mut self.hosts[idx];
-        entry.last_seen = now;
-        match role {
-            EntityRole::Monitor => entry.monitor = Some(from),
-            EntityRole::Commander => entry.commander = Some(from),
-            EntityRole::Registry => unreachable!("handled above"),
-        }
-    }
-
-    fn on_heartbeat(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        from: Pid,
-        host: String,
-        state: HostState,
-        metrics: Metrics,
-        procs: Vec<ProcReport>,
-    ) {
-        let now = ctx.now();
-        let Some(&idx) = self.index.get(host.as_str()) else {
-            // Unknown sender — most likely we restarted and lost the soft
-            // state. Nudge the monitor to re-introduce its host.
-            ctx.trace(
-                TraceKind::Recovery,
-                format!("registry: heartbeat from unregistered {host}, asking to re-register"),
-            );
-            let nudge = Message::ReRegister { host };
-            self.send(ctx, from, &nudge);
-            return;
-        };
-        let name = self.hosts[idx].name.clone();
-        {
-            let entry = &mut self.hosts[idx];
-            let gap = now.since(entry.last_seen);
-            // Track the observed push period for the failure detector.
-            // Sub-second gaps are pull replies or registration bursts, not
-            // the periodic push, and would make the detector hair-trigger.
-            if gap >= SimDuration::from_secs(1) {
-                entry.hb_interval = Some(gap);
-            }
-            entry.last_seen = now;
-            entry.metrics = metrics;
-            entry.procs = procs;
-            entry.monitor.get_or_insert(from);
-        }
-        self.set_state(idx, state);
-
-        // A pull round in flight? This heartbeat may be one of its replies.
-        if let Some(round) = &mut self.pull_round {
-            round.awaiting.remove(host.as_str());
-            if round.awaiting.is_empty() {
-                self.finish_pull_round(ctx);
-            }
-        }
-
-        if state == HostState::Overloaded {
-            let cooled = self
-                .last_command
-                .get(host.as_str())
-                .is_none_or(|&t| now.since(t) >= self.cfg.command_cooldown);
-            let already_queued = self
-                .op_kinds
-                .iter()
-                .any(|k| matches!(k, OpKind::Decision(h) if h.as_ref() == host))
-                || self.pending.values().any(|p| p.source.as_ref() == host);
-            if cooled && !already_queued {
-                // Charge the decision-making cost, then decide.
-                ctx.compute(self.cfg.decision_cost);
-                self.op_kinds.push_back(OpKind::Decision(name));
-            }
-        }
-        self.obs_sweep_detector(now);
-    }
-
-    /// Observability sweep: re-evaluate every host's liveness verdict and
-    /// record transitions ([`ObsEvent::HostSuspect`] / `HostDown` /
-    /// `HostRecovered`) plus detector reaction-time histograms. Read-only
-    /// with respect to scheduling state, a no-op when recording is
-    /// disabled, and rate-limited to once per sim second so heartbeat
-    /// storms do not make event volume quadratic in cluster size.
-    fn obs_sweep_detector(&mut self, now: SimTime) {
-        if !self.cfg.obs.is_enabled() {
-            return;
-        }
-        if self.last_obs_sweep != SimTime::ZERO
-            && now.since(self.last_obs_sweep) < SimDuration::from_secs(1)
-        {
-            return;
-        }
-        self.last_obs_sweep = now;
-        for e in &self.hosts {
-            let v = e.liveness(now, self.cfg.lease);
-            let prev = self
-                .obs_verdicts
-                .insert(e.name.clone(), v)
-                .unwrap_or(Liveness::Alive);
-            if v == prev {
-                continue;
-            }
-            let silent_s = now.since(e.last_seen).as_secs_f64();
-            let host = e.name.to_string();
-            match v {
-                Liveness::Suspect => {
-                    self.cfg.obs.inc("hosts_suspected");
-                    self.cfg.obs.observe("detector_suspect_s", silent_s);
-                    self.cfg
-                        .obs
-                        .record(now, || ObsEvent::HostSuspect { host, silent_s });
+    /// Feed one input to the core and replay its effects onto the kernel.
+    fn run(&mut self, ctx: &mut Ctx<'_>, input: CoreInput) {
+        let mut effects = std::mem::take(&mut self.effects);
+        self.core.handle(ctx.now(), input, &mut effects);
+        for effect in effects.drain(..) {
+            match effect {
+                CoreEffect::Send { to, msg } => {
+                    self.op_kinds.push_back(OpKind::Send);
+                    ctx.send(Pid(to.0), CONTROL_TAG, Payload::Text(msg.to_document()));
                 }
-                Liveness::Down => {
-                    self.cfg.obs.inc("hosts_down");
-                    self.cfg.obs.observe("detector_down_s", silent_s);
-                    self.cfg
-                        .obs
-                        .record(now, || ObsEvent::HostDown { host, silent_s });
+                CoreEffect::StartDecision { source, cost } => {
+                    ctx.compute(cost);
+                    self.op_kinds.push_back(OpKind::Decision(source));
                 }
-                Liveness::Alive => {
-                    self.cfg.obs.inc("hosts_recovered");
-                    self.cfg
-                        .obs
-                        .record(now, || ObsEvent::HostRecovered { host });
+                CoreEffect::ArmTimer { timer, after } => {
+                    let token = ctx.alarm(after);
+                    self.timers.insert(token, timer);
+                }
+                CoreEffect::Trace { kind, detail } => ctx.trace(kind, detail),
+                CoreEffect::Log(log) => {
+                    let mut shared = self.hooks.0.borrow_mut();
+                    match log {
+                        LogEffect::Decision(record) => shared.decisions.push(record),
+                        LogEffect::CommandSent => shared.commands_sent += 1,
+                        LogEffect::CommandRetransmit => shared.command_retransmits += 1,
+                        LogEffect::CommandAborted => shared.commands_aborted += 1,
+                    }
                 }
             }
         }
-    }
-
-    /// Why `entry` cannot serve as the migration destination for `req`, or
-    /// `None` if it qualifies. The reasons are stable strings surfaced by
-    /// [`ObsEvent::CandidateRejected`].
-    fn dest_reject(
-        &self,
-        entry: &HostEntry,
-        req: &ResourceRequirements,
-        exclude: &str,
-        now: SimTime,
-    ) -> Option<&'static str> {
-        if entry.statics.name == exclude {
-            return Some("is the source host");
-        }
-        if !entry
-            .effective_state(now, self.cfg.lease)
-            .accepts_migration()
-        {
-            return Some("not accepting migrations");
-        }
-        // Failure detector: don't migrate onto a host that has gone quiet,
-        // even if its lease has not expired yet. (Pull mode has no periodic
-        // push, so silence there is normal.)
-        if !self.cfg.pull && entry.liveness(now, self.cfg.lease) != Liveness::Alive {
-            return Some("failure detector: not alive");
-        }
-        if !self.cfg.policy.dest_acceptable(&entry.metrics) {
-            return Some("policy veto");
-        }
-        if entry.statics.cpu_speed < req.min_cpu_speed {
-            return Some("cpu too slow");
-        }
-        let mem_avail_kb =
-            entry.metrics.get("memAvail").unwrap_or(0.0) / 100.0 * entry.statics.mem_kb as f64;
-        if mem_avail_kb < req.mem_kb as f64 {
-            return Some("insufficient memory");
-        }
-        if entry.metrics.get("diskAvailKb").unwrap_or(0.0) < req.disk_kb as f64 {
-            return Some("insufficient disk");
-        }
-        None
-    }
-
-    fn dest_ok(
-        &self,
-        entry: &HostEntry,
-        req: &ResourceRequirements,
-        exclude: &str,
-        now: SimTime,
-    ) -> bool {
-        self.dest_reject(entry, req, exclude, now).is_none()
-    }
-
-    /// First-fit destination search over the machine list.
-    ///
-    /// Only hosts whose last reported state accepts a migration can pass
-    /// [`dest_ok`](Self::dest_ok) (lease expiry only disqualifies), so the
-    /// indexed search walks the free-host set — ascending registration
-    /// index, i.e. exactly the linear scan's first-fit order — instead of
-    /// the whole machine list.
-    fn first_fit(&self, req: &ResourceRequirements, exclude: &str, now: SimTime) -> Option<usize> {
-        if !self.cfg.obs.is_enabled() {
-            // Fast path, byte-for-byte the pre-observability search.
-            if self.cfg.linear_first_fit {
-                return self
-                    .hosts
-                    .iter()
-                    .position(|e| self.dest_ok(e, req, exclude, now));
-            }
-            return self
-                .free_hosts
-                .iter()
-                .copied()
-                .find(|&i| self.dest_ok(&self.hosts[i], req, exclude, now));
-        }
-        self.first_fit_observed(req, exclude, now)
-    }
-
-    /// The instrumented first-fit: same scan order and result as
-    /// [`first_fit`](Self::first_fit), but records every rejection and the
-    /// scan length. Split out so the disabled path stays allocation-free.
-    fn first_fit_observed(
-        &self,
-        req: &ResourceRequirements,
-        exclude: &str,
-        now: SimTime,
-    ) -> Option<usize> {
-        let indices: Box<dyn Iterator<Item = usize> + '_> = if self.cfg.linear_first_fit {
-            Box::new(0..self.hosts.len())
-        } else {
-            Box::new(self.free_hosts.iter().copied())
-        };
-        let mut scanned = 0u64;
-        let mut found = None;
-        for i in indices {
-            scanned += 1;
-            let e = &self.hosts[i];
-            match self.dest_reject(e, req, exclude, now) {
-                None => {
-                    found = Some(i);
-                    break;
-                }
-                Some(why) => {
-                    self.cfg.obs.inc("candidates_rejected");
-                    self.cfg.obs.record(now, || ObsEvent::CandidateRejected {
-                        host: e.name.to_string(),
-                        why: why.to_string(),
-                    });
-                }
-            }
-        }
-        self.cfg.obs.observe("first_fit_scan_len", scanned as f64);
-        found
-    }
-
-    fn decide(&mut self, ctx: &mut Ctx<'_>, source: Arc<str>) {
-        let now = ctx.now();
-        self.cfg.obs.inc("decisions");
-        // Fruitless decisions also start the cooldown: an overloaded host
-        // with nothing migratable (or no candidate anywhere) is re-examined
-        // once per cooldown, not on every heartbeat.
-        self.last_command.insert(source.clone(), now);
-        let Some(&src_idx) = self.index.get(source.as_ref()) else {
-            return;
-        };
-        // Re-check: the source must still be overloaded.
-        if self.hosts[src_idx].effective_state(now, self.cfg.lease) != HostState::Overloaded {
-            return;
-        }
-        let Some(proc_) = self
-            .cfg
-            .selection
-            .select(&self.hosts[src_idx].procs)
-            .cloned()
-        else {
-            self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
-                at: now,
-                source: source.to_string(),
-                dest: None,
-                pid: None,
-                escalated: false,
-            });
-            return;
-        };
-        let schema = self
-            .schemas
-            .get(&proc_.app)
-            .unwrap_or_else(|| ApplicationSchema::compute(&proc_.app, proc_.est_exec_time_s));
-        if self.cfg.pull {
-            self.start_pull_round(ctx, source, proc_.pid, schema);
-            return;
-        }
-        match self.first_fit(&schema.requirements, source.as_ref(), now) {
-            Some(dest_idx) => {
-                self.command_migration(ctx, src_idx, dest_idx, proc_.pid, schema, false);
-            }
-            None if self.cfg.parent.is_some() => {
-                // Escalate the candidate search to the parent domain.
-                let parent = self.cfg.parent.expect("checked");
-                let req_msg = Message::CandidateRequest {
-                    host: source.to_string(),
-                    requirements: schema.requirements,
-                };
-                self.send(ctx, parent, &req_msg);
-                self.awaiting_parent.push_back(AwaitingParent {
-                    source,
-                    pid: proc_.pid,
-                    schema,
-                });
-            }
-            None => {
-                ctx.trace(
-                    TraceKind::Decision,
-                    format!("registry {}: no candidate for {source}", self.cfg.name),
-                );
-                self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
-                    at: now,
-                    source: source.to_string(),
-                    dest: None,
-                    pid: Some(proc_.pid),
-                    escalated: false,
-                });
-            }
-        }
-    }
-
-    fn command_migration(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        src_idx: usize,
-        dest_idx: usize,
-        pid: u64,
-        schema: ApplicationSchema,
-        escalated: bool,
-    ) {
-        let now = ctx.now();
-        let source = self.hosts[src_idx].name.clone();
-        let dest = self.hosts[dest_idx].name.clone();
-        self.dispatch_command(ctx, src_idx, &source, &dest, pid, schema, escalated);
-        // Optimistically mark the destination loaded until its next
-        // heartbeat, so concurrent decisions do not pile onto it.
-        self.set_state(dest_idx, HostState::Busy);
-        self.last_command.insert(source, now);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch_command(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        src_idx: usize,
-        source: &str,
-        dest: &str,
-        pid: u64,
-        schema: ApplicationSchema,
-        escalated: bool,
-    ) {
-        let now = ctx.now();
-        let Some(commander) = self.hosts[src_idx].commander else {
-            ctx.trace(
-                TraceKind::Custom,
-                format!("registry: no commander registered for {source}"),
-            );
-            return;
-        };
-        let cmd = Message::MigrationCommand {
-            host: source.to_string(),
-            pid,
-            dest: dest.to_string(),
-            dest_port: 7801,
-            schema,
-        };
-        self.send(ctx, commander, &cmd);
-        // Arm the ack deadline; a CommandAck removes the entry and the
-        // alarm then fires into nothing.
-        let token = ctx.alarm(self.cfg.ack_timeout);
-        self.pending.insert(
-            token,
-            PendingCommand {
-                source: self.hosts[src_idx].name.clone(),
-                dest: dest.to_string(),
-                pid,
-                commander,
-                cmd: cmd.clone(),
-                attempts: 0,
-            },
-        );
-        ctx.trace(
-            TraceKind::Decision,
-            format!(
-                "registry {}: migrate pid{pid} {source} -> {dest}{}",
-                self.cfg.name,
-                if escalated { " (escalated)" } else { "" }
-            ),
-        );
-        let mut log = self.hooks.0.borrow_mut();
-        log.decisions.push(DecisionRecord {
-            at: now,
-            source: source.to_string(),
-            dest: Some(dest.to_string()),
-            pid: Some(pid),
-            escalated,
-        });
-        log.commands_sent += 1;
-        self.cfg.obs.inc("commands_sent");
-    }
-
-    // --- Command reliability (ack + retransmit + abort) ----------------------
-
-    /// The retransmit deadline of a pending command fired. Resend with a
-    /// doubled deadline, or — retries exhausted — abort and clear the
-    /// source's cooldown so the next heartbeat triggers a fresh decision
-    /// (which re-runs first-fit, i.e. re-selects the destination).
-    fn on_ack_timeout(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        let Some(mut p) = self.pending.remove(&token) else {
-            return; // acknowledged (or superseded) before the deadline
-        };
-        if p.attempts >= self.cfg.max_command_retries {
-            ctx.trace(
-                TraceKind::Recovery,
-                format!(
-                    "registry {}: migrate pid{} {} -> {} unacked after {} sends, aborting",
-                    self.cfg.name,
-                    p.pid,
-                    p.source,
-                    p.dest,
-                    p.attempts + 1
-                ),
-            );
-            self.hooks.0.borrow_mut().commands_aborted += 1;
-            self.cfg.obs.inc("commands_aborted");
-            self.cfg.obs.record(ctx.now(), || ObsEvent::CommandAborted {
-                pid: p.pid,
-                source: p.source.to_string(),
-                dest: p.dest.clone(),
-            });
-            self.last_command.remove(&p.source);
-            return;
-        }
-        p.attempts += 1;
-        let backoff = SimDuration::from_secs_f64(
-            self.cfg.ack_timeout.as_secs_f64() * (1u64 << p.attempts) as f64,
-        );
-        ctx.trace(
-            TraceKind::Recovery,
-            format!(
-                "registry {}: retransmit #{} of migrate pid{} {} -> {}",
-                self.cfg.name, p.attempts, p.pid, p.source, p.dest
-            ),
-        );
-        self.hooks.0.borrow_mut().command_retransmits += 1;
-        self.cfg.obs.inc("command_retransmits");
-        self.cfg
-            .obs
-            .record(ctx.now(), || ObsEvent::CommandRetransmit {
-                pid: p.pid,
-                source: p.source.to_string(),
-                dest: p.dest.clone(),
-                attempt: p.attempts,
-            });
-        let cmd = p.cmd.clone();
-        let commander = p.commander;
-        self.send(ctx, commander, &cmd);
-        let token = ctx.alarm(backoff);
-        self.pending.insert(token, p);
-    }
-
-    /// A commander acknowledged (or rejected) a migration command.
-    fn on_command_ack(&mut self, ctx: &mut Ctx<'_>, host: String, pid: u64, ok: bool) {
-        let key = self
-            .pending
-            .iter()
-            .find(|(_, p)| p.source.as_ref() == host && p.pid == pid)
-            .map(|(&k, _)| k);
-        let Some(key) = key else {
-            return; // duplicate ack from a retransmit — already settled
-        };
-        let p = self.pending.remove(&key).expect("key just found");
-        if !ok {
-            ctx.trace(
-                TraceKind::Recovery,
-                format!(
-                    "registry {}: commander rejected migrate pid{} {} -> {}",
-                    self.cfg.name, p.pid, p.source, p.dest
-                ),
-            );
-            self.hooks.0.borrow_mut().commands_aborted += 1;
-            self.cfg.obs.inc("commands_aborted");
-            self.cfg.obs.record(ctx.now(), || ObsEvent::CommandAborted {
-                pid: p.pid,
-                source: p.source.to_string(),
-                dest: p.dest.clone(),
-            });
-            self.last_command.remove(&p.source);
-        }
-    }
-
-    /// Process-restart fault: drop all soft state, exactly as a freshly
-    /// exec'd registry would start. Monitors repopulate it — their next
-    /// heartbeat gets a [`Message::ReRegister`] nudge and they re-introduce
-    /// their host. In-flight op completions (`op_kinds`) are kept: those
-    /// sends are already queued in the kernel and will still finish.
-    fn restart(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.trace(
-            TraceKind::Recovery,
-            format!(
-                "registry {}: restarted, soft state lost ({} hosts)",
-                self.cfg.name,
-                self.hosts.len()
-            ),
-        );
-        self.hosts.clear();
-        self.index.clear();
-        self.free_hosts.clear();
-        self.children.clear();
-        self.last_command.clear();
-        self.pending.clear();
-        self.escalation = None;
-        self.escalation_queue.clear();
-        self.awaiting_parent.clear();
-        self.pull_round = None;
-        self.obs_verdicts.clear();
-        self.last_obs_sweep = SimTime::ZERO;
-    }
-
-    // --- Pull-model decisions (§3.2) -----------------------------------------
-
-    /// Query every live monitored host for fresh status, then decide.
-    fn start_pull_round(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        source: Arc<str>,
-        pid: u64,
-        schema: ApplicationSchema,
-    ) {
-        let now = ctx.now();
-        if let Some(round) = &self.pull_round {
-            // One round at a time — but a round stuck on a dead monitor
-            // must not wedge the scheduler forever.
-            if now.since(round.started_at) <= self.cfg.lease {
-                return; // the cooldown retries later
-            }
-            ctx.trace(
-                TraceKind::Custom,
-                format!(
-                    "registry {}: abandoning stale pull round for {}",
-                    self.cfg.name, round.source
-                ),
-            );
-            self.pull_round = None;
-        }
-        // No lease filter here: in the pull model hosts do not refresh
-        // periodically — the point of the query is to find out who is
-        // alive. Dead monitors simply never reply; their host stays in the
-        // awaiting set and the round is superseded by the next decision.
-        let targets: Vec<(Arc<str>, Pid)> = self
-            .hosts
-            .iter()
-            .filter(|e| e.name != source)
-            .filter_map(|e| e.monitor.map(|m| (e.name.clone(), m)))
-            .collect();
-        if targets.is_empty() {
-            self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
-                at: now,
-                source: source.to_string(),
-                dest: None,
-                pid: Some(pid),
-                escalated: false,
-            });
-            return;
-        }
-        let mut awaiting = std::collections::HashSet::new();
-        for (name, monitor) in targets {
-            let q = Message::StatusQuery {
-                host: name.to_string(),
-            };
-            self.send(ctx, monitor, &q);
-            awaiting.insert(name);
-        }
-        ctx.trace(
-            TraceKind::Decision,
-            format!(
-                "registry {}: pulling {} hosts for {source}",
-                self.cfg.name,
-                awaiting.len()
-            ),
-        );
-        self.pull_round = Some(PullRound {
-            source,
-            pid,
-            schema,
-            awaiting,
-            started_at: now,
-        });
-    }
-
-    /// All pull replies arrived: decide on the fresh data.
-    fn finish_pull_round(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(round) = self.pull_round.take() else {
-            return;
-        };
-        let now = ctx.now();
-        match self.first_fit(&round.schema.requirements, &round.source, now) {
-            Some(dest_idx) => {
-                let Some(&src_idx) = self.index.get(round.source.as_ref()) else {
-                    return;
-                };
-                self.command_migration(ctx, src_idx, dest_idx, round.pid, round.schema, false);
-            }
-            None => {
-                self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
-                    at: now,
-                    source: round.source.to_string(),
-                    dest: None,
-                    pid: Some(round.pid),
-                    escalated: false,
-                });
-            }
-        }
-    }
-
-    // --- Hierarchy: parent-side candidate search ----------------------------
-
-    fn on_candidate_request(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        from: Pid,
-        source_host: String,
-        requirements: ResourceRequirements,
-    ) {
-        let now = ctx.now();
-        // Local domain first.
-        if let Some(idx) = self.first_fit(&requirements, &source_host, now) {
-            let dest = self.hosts[idx].name.to_string();
-            self.set_state(idx, HostState::Busy);
-            let reply = Message::CandidateReply { dest: Some(dest) };
-            self.send(ctx, from, &reply);
-            return;
-        }
-        // Probe other children (one search at a time).
-        let is_child = self.children.iter().any(|(_, p)| *p == from);
-        if !self.children.is_empty() && is_child {
-            if self.escalation.is_some() {
-                self.escalation_queue.push_back((from, requirements));
-                return;
-            }
-            self.escalation = Some(Escalation {
-                requester: from,
-                exclude: Some(from),
-                requirements,
-                next_child: 0,
-            });
-            self.advance_escalation(ctx, None);
-        } else {
-            let reply = Message::CandidateReply { dest: None };
-            self.send(ctx, from, &reply);
-        }
-    }
-
-    /// Step the parent-side search: forward the request to the next child,
-    /// or finish with `found`.
-    fn advance_escalation(&mut self, ctx: &mut Ctx<'_>, found: Option<Option<String>>) {
-        let Some(esc) = &mut self.escalation else {
-            return;
-        };
-        if let Some(dest) = found {
-            if dest.is_some() {
-                let requester = esc.requester;
-                let reply = Message::CandidateReply { dest };
-                self.escalation = None;
-                self.send(ctx, requester, &reply);
-                self.pump_escalation_queue(ctx);
-                return;
-            }
-            // This child had nothing; fall through to the next.
-        }
-        loop {
-            let Some(esc) = &mut self.escalation else {
-                return;
-            };
-            if esc.next_child >= self.children.len() {
-                let requester = esc.requester;
-                self.escalation = None;
-                let reply = Message::CandidateReply { dest: None };
-                self.send(ctx, requester, &reply);
-                self.pump_escalation_queue(ctx);
-                return;
-            }
-            let (_, child_pid) = self.children[esc.next_child];
-            esc.next_child += 1;
-            if Some(child_pid) == esc.exclude {
-                continue;
-            }
-            let msg = Message::CandidateRequest {
-                host: String::new(), // cross-domain: nothing to exclude below
-                requirements: esc.requirements,
-            };
-            self.send(ctx, child_pid, &msg);
-            return;
-        }
-    }
-
-    fn pump_escalation_queue(&mut self, ctx: &mut Ctx<'_>) {
-        if self.escalation.is_some() {
-            return;
-        }
-        if let Some((from, requirements)) = self.escalation_queue.pop_front() {
-            self.on_candidate_request(ctx, from, String::new(), requirements);
-        }
-    }
-
-    fn on_candidate_reply(&mut self, ctx: &mut Ctx<'_>, from: Pid, dest: Option<String>) {
-        // Parent replying to our escalation?
-        if Some(from) == self.cfg.parent {
-            let Some(wait) = self.awaiting_parent.pop_front() else {
-                return;
-            };
-            let now = ctx.now();
-            match dest {
-                Some(d) => {
-                    let Some(&src_idx) = self.index.get(wait.source.as_ref()) else {
-                        return;
-                    };
-                    let source = wait.source.clone();
-                    self.dispatch_command(ctx, src_idx, &source, &d, wait.pid, wait.schema, true);
-                    self.last_command.insert(wait.source, now);
-                }
-                None => {
-                    self.hooks.0.borrow_mut().decisions.push(DecisionRecord {
-                        at: now,
-                        source: wait.source.to_string(),
-                        dest: None,
-                        pid: Some(wait.pid),
-                        escalated: true,
-                    });
-                }
-            }
-            return;
-        }
-        // A child answering our probe.
-        self.advance_escalation(ctx, Some(dest));
-    }
-
-    /// Bench/test hook: install a host entry directly, skipping the wire
-    /// round-trip. Not part of the public API.
-    #[doc(hidden)]
-    pub fn debug_install_host(
-        &mut self,
-        statics: HostStatic,
-        state: HostState,
-        metrics: Metrics,
-        now: SimTime,
-    ) {
-        let name: Arc<str> = Arc::from(statics.name.as_str());
-        self.hosts.push(HostEntry {
-            name: name.clone(),
-            statics,
-            monitor: None,
-            commander: None,
-            last_seen: now,
-            state: HostState::Free,
-            metrics,
-            procs: Vec::new(),
-            hb_interval: None,
-        });
-        let idx = self.hosts.len() - 1;
-        self.index.insert(name, idx);
-        self.free_hosts.insert(idx);
-        self.set_state(idx, state);
-    }
-
-    /// Bench/test hook: run the destination search directly.
-    #[doc(hidden)]
-    pub fn debug_first_fit(
-        &self,
-        req: &ResourceRequirements,
-        exclude: &str,
-        now: SimTime,
-    ) -> Option<usize> {
-        self.first_fit(req, exclude, now)
+        self.effects = effects;
     }
 }
 
@@ -1173,10 +114,13 @@ impl Program for RegistryScheduler {
     fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
         match wake {
             Wake::Started => {
-                if let Some(parent) = self.cfg.parent {
+                // Register with the parent registry, if any. The host
+                // description needs the simulated host id, which only the
+                // driver knows — so this one send bypasses the core.
+                if let Some(parent) = self.core.config().parent {
                     let msg = Message::Register {
                         host: HostStatic {
-                            name: self.cfg.name.clone(),
+                            name: self.core.config().name.clone(),
                             ip: format!("10.1.0.{}", ctx.host_id().0 + 1),
                             os: "registry".to_string(),
                             cpu_speed: 0.0,
@@ -1185,11 +129,12 @@ impl Program for RegistryScheduler {
                         },
                         role: EntityRole::Registry,
                     };
-                    self.send(ctx, parent, &msg);
+                    self.op_kinds.push_back(OpKind::Send);
+                    ctx.send(Pid(parent.0), CONTROL_TAG, Payload::Text(msg.to_document()));
                 }
             }
             Wake::OpDone => match self.op_kinds.pop_front() {
-                Some(OpKind::Decision(source)) => self.decide(ctx, source),
+                Some(OpKind::Decision(source)) => self.run(ctx, CoreInput::DecisionDue { source }),
                 Some(OpKind::Send) | None => {}
             },
             Wake::Received(env) => {
@@ -1201,216 +146,27 @@ impl Program for RegistryScheduler {
                     ctx.trace(TraceKind::Custom, "registry: undecodable message");
                     return;
                 };
-                match msg {
-                    Message::Register { host, role } => self.on_register(ctx, from, host, role),
-                    Message::Heartbeat {
-                        host,
-                        state,
-                        metrics,
-                        procs,
-                    } => self.on_heartbeat(ctx, from, host, state, metrics, procs),
-                    Message::CandidateRequest { host, requirements } => {
-                        self.on_candidate_request(ctx, from, host, requirements)
-                    }
-                    Message::CandidateReply { dest } => self.on_candidate_reply(ctx, from, dest),
-                    Message::MigrationComplete { from: src, to, .. } => {
-                        ctx.trace(
-                            TraceKind::Custom,
-                            format!("registry: migration complete {src} -> {to}"),
-                        );
-                    }
-                    Message::CommandAck { host, pid, ok } => {
-                        self.on_command_ack(ctx, host, pid, ok)
-                    }
-                    Message::Ack { .. }
-                    | Message::MigrationCommand { .. }
-                    | Message::StatusQuery { .. }
-                    | Message::ReRegister { .. } => {}
+                self.run(
+                    ctx,
+                    CoreInput::Message {
+                        from: Endpoint::from(from),
+                        msg,
+                    },
+                );
+            }
+            Wake::Alarm(token) => {
+                // A stale token (restart cleared the pending command) maps
+                // to a timer the core no longer tracks; it no-ops inside.
+                if let Some(timer) = self.timers.remove(&token) {
+                    self.run(ctx, CoreInput::TimerFired(timer));
                 }
             }
-            Wake::Alarm(token) => self.on_ack_timeout(ctx, token),
-            Wake::Signal(sig) if sig == RESTART_SIGNAL => self.restart(ctx),
+            Wake::Signal(sig) if sig == RESTART_SIGNAL => self.run(ctx, CoreInput::Restart),
             _ => {}
         }
     }
 
     fn as_any(&mut self) -> &mut dyn std::any::Any {
         self
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn report(pid: u64, start: f64, est: f64) -> ProcReport {
-        ProcReport {
-            pid,
-            app: format!("app{pid}"),
-            start_time_s: start,
-            est_exec_time_s: est,
-        }
-    }
-
-    #[test]
-    fn selection_policies_pick_distinct_processes() {
-        // p1: started 0, est 100 -> completes 100 (oldest).
-        // p2: started 50, est 500 -> completes 550 (latest completing).
-        // p3: started 80, est 10 -> completes 90 (earliest completing).
-        let procs = vec![
-            report(1, 0.0, 100.0),
-            report(2, 50.0, 500.0),
-            report(3, 80.0, 10.0),
-        ];
-        assert_eq!(
-            SelectionPolicy::LatestCompleting
-                .select(&procs)
-                .unwrap()
-                .pid,
-            2
-        );
-        assert_eq!(
-            SelectionPolicy::EarliestCompleting
-                .select(&procs)
-                .unwrap()
-                .pid,
-            3
-        );
-        assert_eq!(
-            SelectionPolicy::LongestRunning.select(&procs).unwrap().pid,
-            1
-        );
-    }
-
-    #[test]
-    fn selection_of_empty_list_is_none() {
-        assert!(SelectionPolicy::LatestCompleting.select(&[]).is_none());
-    }
-
-    #[test]
-    fn host_entry_lease_expiry() {
-        let entry = HostEntry {
-            name: Arc::from("ws"),
-            statics: HostStatic {
-                name: "ws".to_string(),
-                ip: String::new(),
-                os: String::new(),
-                cpu_speed: 1.0,
-                n_cpus: 1,
-                mem_kb: 0,
-            },
-            monitor: None,
-            commander: None,
-            last_seen: SimTime::from_secs(100),
-            state: HostState::Free,
-            metrics: Metrics::new(),
-            procs: vec![],
-            hb_interval: None,
-        };
-        let lease = SimDuration::from_secs(35);
-        assert_eq!(
-            entry.effective_state(SimTime::from_secs(120), lease),
-            HostState::Free
-        );
-        assert_eq!(
-            entry.effective_state(SimTime::from_secs(200), lease),
-            HostState::Unavailable
-        );
-    }
-
-    fn entry_seen_at(last_seen: SimTime, hb_interval: Option<SimDuration>) -> HostEntry {
-        HostEntry {
-            name: Arc::from("ws"),
-            statics: HostStatic {
-                name: "ws".to_string(),
-                ip: String::new(),
-                os: String::new(),
-                cpu_speed: 1.0,
-                n_cpus: 1,
-                mem_kb: 0,
-            },
-            monitor: None,
-            commander: None,
-            last_seen,
-            state: HostState::Free,
-            metrics: Metrics::new(),
-            procs: vec![],
-            hb_interval,
-        }
-    }
-
-    #[test]
-    fn lease_expiry_exactly_at_the_boundary_tick_is_inclusive() {
-        // last_seen = 100 s, lease = 35 s: the entry is valid up to and
-        // including t = 135 s exactly; the first tick past expires it.
-        let entry = entry_seen_at(SimTime::from_secs(100), None);
-        let lease = SimDuration::from_secs(35);
-        let boundary = SimTime::from_secs(135);
-        let just_past = SimTime::from_secs_f64(135.000_001);
-        assert_eq!(entry.effective_state(boundary, lease), HostState::Free);
-        assert_eq!(
-            entry.effective_state(just_past, lease),
-            HostState::Unavailable
-        );
-        // The failure detector has long since written the host off: with
-        // no observed push period it is judged against lease/3 and turned
-        // Down around 29 s of silence, well before the lease boundary.
-        assert_eq!(entry.liveness(boundary, lease), Liveness::Down);
-        assert_eq!(entry.liveness(just_past, lease), Liveness::Down);
-    }
-
-    #[test]
-    fn missed_heartbeat_detector_downgrades_ahead_of_the_lease() {
-        // Observed push period 10 s, lease 35 s. A beat counts as missed
-        // once half an interval overdue: Suspect at 15 s of silence (two
-        // beats overdue), Down at 25 s — both well before lease expiry.
-        let entry = entry_seen_at(SimTime::from_secs(100), Some(SimDuration::from_secs(10)));
-        let lease = SimDuration::from_secs(35);
-        let at = |s: f64| SimTime::from_secs_f64(100.0 + s);
-        assert_eq!(entry.liveness(at(10.0), lease), Liveness::Alive);
-        assert_eq!(entry.liveness(at(14.9), lease), Liveness::Alive);
-        assert_eq!(entry.liveness(at(15.0), lease), Liveness::Suspect);
-        assert_eq!(entry.liveness(at(24.9), lease), Liveness::Suspect);
-        assert_eq!(entry.liveness(at(25.0), lease), Liveness::Down);
-        // The old truncating detector called 2.99 intervals of silence
-        // "two missed beats" (barely Suspect); rounding calls it Down.
-        assert_eq!(entry.liveness(at(29.9), lease), Liveness::Down);
-    }
-
-    #[test]
-    fn detector_without_observed_period_falls_back_to_a_lease_fraction() {
-        // No push period yet: judged against lease/3 (~11.67 s for a 35 s
-        // lease), so Suspect from 17.5 s of silence and Down from ~29.2 s
-        // instead of staying Alive until the full lease expires.
-        let entry = entry_seen_at(SimTime::from_secs(100), None);
-        let lease = SimDuration::from_secs(35);
-        let at = |s: f64| SimTime::from_secs_f64(100.0 + s);
-        assert_eq!(entry.liveness(at(17.0), lease), Liveness::Alive);
-        assert_eq!(entry.liveness(at(17.6), lease), Liveness::Suspect);
-        assert_eq!(entry.liveness(at(29.0), lease), Liveness::Suspect);
-        assert_eq!(entry.liveness(at(29.2), lease), Liveness::Down);
-        // A zero-length observed interval is nonsense — same fallback.
-        let zero = entry_seen_at(SimTime::from_secs(100), Some(SimDuration::from_secs(0)));
-        assert_eq!(zero.liveness(at(17.6), lease), Liveness::Suspect);
-    }
-
-    #[test]
-    fn detector_suspects_at_one_and_a_half_intervals() {
-        // The boundary the truncation bug got wrong: 1.5 intervals of
-        // silence is two overdue beats, not one.
-        let entry = entry_seen_at(SimTime::ZERO, Some(SimDuration::from_secs(4)));
-        let lease = SimDuration::from_secs(35);
-        assert_eq!(
-            entry.liveness(SimTime::from_secs_f64(5.9), lease),
-            Liveness::Alive
-        );
-        assert_eq!(
-            entry.liveness(SimTime::from_secs_f64(6.0), lease),
-            Liveness::Suspect
-        );
-        assert_eq!(
-            entry.liveness(SimTime::from_secs_f64(10.0), lease),
-            Liveness::Down
-        );
     }
 }

@@ -346,7 +346,7 @@ fn hierarchical_registry_escalates_across_domains() {
             {
                 let mut c = RegistryConfig::new(Policy::paper_policy2());
                 c.name = "domainA".to_string();
-                c.parent = Some(parent);
+                c.parent = Some(parent.into());
                 c
             },
             schemas.clone(),
@@ -360,7 +360,7 @@ fn hierarchical_registry_escalates_across_domains() {
             {
                 let mut c = RegistryConfig::new(Policy::paper_policy2());
                 c.name = "domainB".to_string();
-                c.parent = Some(parent);
+                c.parent = Some(parent.into());
                 c
             },
             schemas.clone(),

@@ -69,14 +69,18 @@ fn live_registry_serves_first_fit_over_tcp() {
         }
     );
 
-    // Table state is observable.
-    {
-        let table = registry.table();
-        let t = table.lock().expect("live table lock poisoned");
-        assert_eq!(t.order, vec!["a", "b", "c"]);
-        assert_eq!(t.entries["a"].state, HostState::Overloaded);
-        assert_eq!(t.decisions.len(), 1);
-    }
+    // Scheduler state is observable.
+    registry.inspect(|core, log| {
+        let names: Vec<_> = core.entries().iter().map(|e| e.name.to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(core.entries()[0].state, HostState::Overloaded);
+        assert_eq!(
+            log.decisions.iter().filter(|d| d.dest.is_some()).count(),
+            1,
+            "one candidate served: {:?}",
+            log.decisions
+        );
+    });
 
     // Once c becomes busy too, no candidate exists.
     heartbeat(&mut c, "c", HostState::Busy);
@@ -179,13 +183,12 @@ fn re_register_preserves_a_known_hosts_entry() {
     // the entry to Free with empty metrics — that made an overloaded host
     // look like a perfect migration destination.
     register(&mut c, "ws1");
-    {
-        let table = registry.table();
-        let t = table.lock().unwrap();
-        assert_eq!(t.order, vec!["ws1"], "no duplicate order entry");
-        assert_eq!(t.entries["ws1"].state, HostState::Overloaded);
-        assert!(t.entries["ws1"].metrics.get("loadAvg1").is_some());
-    }
+    registry.inspect(|core, _| {
+        let names: Vec<_> = core.entries().iter().map(|e| e.name.to_string()).collect();
+        assert_eq!(names, vec!["ws1"], "no duplicate entry");
+        assert_eq!(core.entries()[0].state, HostState::Overloaded);
+        assert!(core.entries()[0].metrics.get("loadAvg1").is_some());
+    });
 
     // And the re-registered host still accepts heartbeats as known.
     heartbeat(&mut c, "ws1", HostState::Free);
@@ -198,15 +201,14 @@ fn a_poisoned_table_lock_does_not_brick_later_clients() {
     let mut c = LiveClient::connect(registry.addr()).unwrap();
     register(&mut c, "ws1");
 
-    // Poison the table mutex the way a panicking handler thread would:
-    // panic while holding the guard.
-    let table = registry.table();
-    let poisoner = std::thread::spawn(move || {
-        let _guard = table.lock().unwrap();
-        panic!("simulated handler panic while holding the live table lock");
-    });
-    assert!(poisoner.join().is_err(), "thread must have panicked");
-    assert!(registry.table().is_poisoned());
+    // Poison the shared-state mutex the way a panicking handler thread
+    // would: panic while `inspect` holds the guard.
+    let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        registry.inspect(|_, _| -> () {
+            panic!("simulated handler panic while holding the registry lock")
+        })
+    }));
+    assert!(poisoned.is_err(), "the closure must have panicked");
 
     // Handlers recover from the poisoned lock: registration and
     // heartbeats from later clients still succeed.
@@ -244,5 +246,133 @@ fn a_host_never_picks_itself() {
         })
         .unwrap();
     assert_eq!(reply, Message::CandidateReply { dest: None });
+    registry.shutdown();
+}
+
+/// Regression for the live-path scheduling gap: the old socket-local
+/// `LiveTable::first_fit` checked only `state == Free && name != source`,
+/// so live migration could target a host failing the application schema's
+/// `ResourceRequirements` or the rule policy's destination conditions. Now
+/// that live scheduling runs on the shared `RegistryCore`, both gates must
+/// hold over TCP exactly as they do in the simulation.
+#[test]
+fn live_migration_never_picks_a_requirement_or_policy_failing_destination() {
+    use ars_rescheduler::{RegistryConfig, SchemaBook};
+    use ars_rules::Policy;
+    use ars_simcore::SimDuration;
+    use ars_xmlwire::{ApplicationSchema, ProcReport};
+
+    let mut cfg = RegistryConfig::new(Policy::paper_policy2());
+    cfg.name = "live".to_string();
+    // No cooldown so the second overload heartbeat re-decides immediately.
+    cfg.command_cooldown = SimDuration::from_secs(0);
+    let schemas = SchemaBook::new();
+    let mut schema = ApplicationSchema::compute("tree", 600.0);
+    schema.requirements = ResourceRequirements {
+        mem_kb: 24_576,
+        disk_kb: 1_024,
+        min_cpu_speed: 0.5,
+    };
+    schemas.put(schema);
+    let registry = LiveRegistry::start_with(cfg, schemas).expect("bind");
+    let addr = registry.addr();
+
+    let rich_heartbeat =
+        |client: &mut LiveClient, name: &str, state: HostState, load: f64, mem_avail_pct: f64| {
+            let mut m = Metrics::new();
+            m.set("loadAvg1", load);
+            m.set("nproc", 10.0);
+            m.set("memAvail", mem_avail_pct);
+            m.set("diskAvailKb", 4_000_000.0);
+            let procs = if state == HostState::Overloaded {
+                vec![ProcReport {
+                    pid: 42,
+                    app: "tree".to_string(),
+                    start_time_s: 0.0,
+                    est_exec_time_s: 600.0,
+                }]
+            } else {
+                vec![]
+            };
+            let reply = client
+                .call(&Message::Heartbeat {
+                    host: name.to_string(),
+                    state,
+                    metrics: m,
+                    procs,
+                })
+                .expect("heartbeat");
+            assert!(matches!(reply, Message::Ack { ok: true, .. }));
+        };
+
+    let mut src_mon = LiveClient::connect(addr).unwrap();
+    let mut src_cmd = LiveClient::connect(addr).unwrap();
+    register(&mut src_mon, "src");
+    let reply = src_cmd
+        .call(&Message::Register {
+            host: statics("src"),
+            role: EntityRole::Commander,
+        })
+        .unwrap();
+    assert!(matches!(reply, Message::Ack { ok: true, .. }));
+
+    // Two tempting-but-unfit candidates, registered FIRST so a naive
+    // first-fit would pick one of them.
+    let mut bad_policy = LiveClient::connect(addr).unwrap();
+    let mut bad_mem = LiveClient::connect(addr).unwrap();
+    register(&mut bad_policy, "bad_policy");
+    register(&mut bad_mem, "bad_mem");
+    // Free, but load 2.5 violates the policy's LOAD1 < 1.0 destination
+    // condition.
+    rich_heartbeat(&mut bad_policy, "bad_policy", HostState::Free, 2.5, 50.0);
+    // Free and policy-clean, but 10% of 128 MB fails the schema's 24 MB
+    // memory floor.
+    rich_heartbeat(&mut bad_mem, "bad_mem", HostState::Free, 0.2, 10.0);
+
+    // Overload with only unfit candidates: no command may be issued.
+    rich_heartbeat(&mut src_mon, "src", HostState::Overloaded, 2.5, 50.0);
+    src_cmd
+        .set_call_timeout(std::time::Duration::from_millis(300))
+        .unwrap();
+    let pushed = src_cmd.recv();
+    assert!(
+        matches!(pushed, Err(LiveError::Timeout(_))),
+        "no destination qualifies, yet a command was pushed: {pushed:?}"
+    );
+    registry.inspect(|_, log| {
+        let last = log.decisions.last().expect("a decision was made");
+        assert_eq!(last.dest, None, "unfit host chosen: {last:?}");
+    });
+
+    // A qualified host appears; the next overload heartbeat migrates to it.
+    let mut good = LiveClient::connect(addr).unwrap();
+    register(&mut good, "good");
+    rich_heartbeat(&mut good, "good", HostState::Free, 0.2, 50.0);
+    rich_heartbeat(&mut src_mon, "src", HostState::Overloaded, 2.5, 50.0);
+    src_cmd
+        .set_call_timeout(std::time::Duration::from_secs(5))
+        .unwrap();
+    match src_cmd.recv().expect("a migration command") {
+        Message::MigrationCommand {
+            host, pid, dest, ..
+        } => {
+            assert_eq!(host, "src");
+            assert_eq!(pid, 42);
+            assert_eq!(dest, "good");
+            src_cmd
+                .send(&Message::CommandAck {
+                    host,
+                    pid,
+                    ok: true,
+                })
+                .unwrap();
+        }
+        other => panic!("expected MigrationCommand, got {other:?}"),
+    }
+    registry.inspect(|_, log| {
+        let last = log.decisions.last().expect("decision");
+        assert_eq!(last.dest.as_deref(), Some("good"));
+        assert_eq!(log.commands_sent, 1);
+    });
     registry.shutdown();
 }

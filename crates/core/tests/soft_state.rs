@@ -77,8 +77,9 @@ fn first_fit_excluding(sim: &mut Sim, registry: Pid, exclude: &str) -> Option<St
         .as_any()
         .downcast_mut::<RegistryScheduler>()
         .unwrap();
-    reg.debug_first_fit(&ResourceRequirements::default(), exclude, now)
-        .map(|idx| reg.entries()[idx].name.to_string())
+    reg.core()
+        .destination_for(&ResourceRequirements::default(), exclude, now)
+        .map(|e| e.name.to_string())
 }
 
 #[test]

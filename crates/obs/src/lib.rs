@@ -33,10 +33,9 @@
 #![warn(missing_docs)]
 
 use ars_simcore::SimTime;
-use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Default bound of the event ring buffer.
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
@@ -386,7 +385,7 @@ struct ObsCore {
     dropped: u64,
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, ObsHistogram>,
-    sink: Option<Box<dyn Write>>,
+    sink: Option<Box<dyn Write + Send>>,
 }
 
 impl ObsCore {
@@ -414,17 +413,24 @@ impl ObsCore {
 /// The disabled handle (the default) is `None` inside: every call is a
 /// single branch and the event-building closure is never run. See the
 /// module docs for the full zero-cost/determinism contract. The handle is
-/// `Rc`-shared like [`ReschedHooks`]-style side channels — the simulation
-/// is single-threaded by construction.
-///
-/// [`ReschedHooks`]: https://docs.rs/ars-rescheduler
+/// `Arc`-shared and `Send`: the simulation is single-threaded, but the
+/// same handle also instruments the live TCP registry, whose connection
+/// handlers run on worker threads. A recording session that panics while
+/// holding the lock is recovered from (metrics are monotonic aggregates;
+/// the worst a recovered lock exposes is a half-updated counter, not
+/// corruption), so one bad observer never bricks the run.
 #[derive(Clone, Default)]
-pub struct Obs(Option<Rc<RefCell<ObsCore>>>);
+pub struct Obs(Option<Arc<Mutex<ObsCore>>>);
+
+/// Lock a recording session, recovering from poisoning (see [`Obs`]).
+fn lock_core(core: &Mutex<ObsCore>) -> MutexGuard<'_, ObsCore> {
+    core.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 impl std::fmt::Debug for Obs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.0 {
-            Some(core) => write!(f, "Obs(enabled, {} events)", core.borrow().ring.len()),
+            Some(core) => write!(f, "Obs(enabled, {} events)", lock_core(core).ring.len()),
             None => f.write_str("Obs(disabled)"),
         }
     }
@@ -443,7 +449,7 @@ impl Obs {
 
     /// An enabled session with an explicit ring capacity (≥ 1).
     pub fn with_capacity(cap: usize) -> Obs {
-        Obs(Some(Rc::new(RefCell::new(ObsCore {
+        Obs(Some(Arc::new(Mutex::new(ObsCore {
             cap: cap.max(1),
             ring: VecDeque::new(),
             recorded: 0,
@@ -461,9 +467,9 @@ impl Obs {
 
     /// Mirror every subsequent event to `sink` as one JSON object per line
     /// (`{"t_us":…,"kind":…,…}`). No-op on a disabled handle.
-    pub fn mirror_to(&self, sink: Box<dyn Write>) {
+    pub fn mirror_to(&self, sink: Box<dyn Write + Send>) {
         if let Some(core) = &self.0 {
-            core.borrow_mut().sink = Some(sink);
+            lock_core(core).sink = Some(sink);
         }
     }
 
@@ -471,7 +477,7 @@ impl Obs {
     /// the disabled path allocates and formats nothing.
     pub fn record(&self, t: SimTime, make: impl FnOnce() -> ObsEvent) {
         if let Some(core) = &self.0 {
-            core.borrow_mut().push(t, make());
+            lock_core(core).push(t, make());
         }
     }
 
@@ -483,14 +489,14 @@ impl Obs {
     /// Increment a named counter by `n`.
     pub fn add(&self, name: &'static str, n: u64) {
         if let Some(core) = &self.0 {
-            *core.borrow_mut().counters.entry(name).or_insert(0) += n;
+            *lock_core(core).counters.entry(name).or_insert(0) += n;
         }
     }
 
     /// Add an observation to a named histogram.
     pub fn observe(&self, name: &'static str, v: f64) {
         if let Some(core) = &self.0 {
-            core.borrow_mut()
+            lock_core(core)
                 .histograms
                 .entry(name)
                 .or_default()
@@ -503,7 +509,7 @@ impl Obs {
     /// Snapshot of the ring buffer, oldest first.
     pub fn events(&self) -> Vec<ObsRecord> {
         match &self.0 {
-            Some(core) => core.borrow().ring.iter().cloned().collect(),
+            Some(core) => lock_core(core).ring.iter().cloned().collect(),
             None => Vec::new(),
         }
     }
@@ -511,8 +517,7 @@ impl Obs {
     /// Snapshot filtered to one event kind.
     pub fn of_kind(&self, kind: ObsKind) -> Vec<ObsRecord> {
         match &self.0 {
-            Some(core) => core
-                .borrow()
+            Some(core) => lock_core(core)
                 .ring
                 .iter()
                 .filter(|r| r.event.kind() == kind)
@@ -526,7 +531,7 @@ impl Obs {
     pub fn counter(&self, name: &str) -> u64 {
         self.0
             .as_ref()
-            .and_then(|c| c.borrow().counters.get(name).copied())
+            .and_then(|c| lock_core(c).counters.get(name).copied())
             .unwrap_or(0)
     }
 
@@ -534,14 +539,13 @@ impl Obs {
     pub fn histogram(&self, name: &str) -> Option<ObsHistogram> {
         self.0
             .as_ref()
-            .and_then(|c| c.borrow().histograms.get(name).cloned())
+            .and_then(|c| lock_core(c).histograms.get(name).cloned())
     }
 
     /// Counter names with values (deterministic order).
     pub fn counters(&self) -> Vec<(&'static str, u64)> {
         match &self.0 {
-            Some(core) => core
-                .borrow()
+            Some(core) => lock_core(core)
                 .counters
                 .iter()
                 .map(|(&k, &v)| (k, v))
@@ -553,8 +557,7 @@ impl Obs {
     /// Histogram names with snapshots (deterministic order).
     pub fn histograms(&self) -> Vec<(&'static str, ObsHistogram)> {
         match &self.0 {
-            Some(core) => core
-                .borrow()
+            Some(core) => lock_core(core)
                 .histograms
                 .iter()
                 .map(|(&k, v)| (k, v.clone()))
@@ -565,12 +568,12 @@ impl Obs {
 
     /// Total events recorded (including any since dropped from the ring).
     pub fn recorded(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.borrow().recorded)
+        self.0.as_ref().map_or(0, |c| lock_core(c).recorded)
     }
 
     /// Events evicted from the full ring.
     pub fn dropped(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.borrow().dropped)
+        self.0.as_ref().map_or(0, |c| lock_core(c).dropped)
     }
 
     /// Metrics snapshot as a deterministic JSON object:
@@ -668,11 +671,11 @@ mod tests {
     #[test]
     fn jsonl_mirror_writes_one_object_per_line() {
         let obs = Obs::enabled();
-        let buf: Rc<RefCell<Vec<u8>>> = Rc::default();
-        struct Shared(Rc<RefCell<Vec<u8>>>);
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::default();
+        struct Shared(Arc<Mutex<Vec<u8>>>);
         impl Write for Shared {
             fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
-                self.0.borrow_mut().extend_from_slice(b);
+                self.0.lock().unwrap().extend_from_slice(b);
                 Ok(b.len())
             }
             fn flush(&mut self) -> std::io::Result<()> {
@@ -688,7 +691,7 @@ mod tests {
             pid_old: 7,
             pid_new: 9,
         });
-        let out = String::from_utf8(buf.borrow().clone()).unwrap();
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(

@@ -256,6 +256,27 @@ pub enum Message {
         /// Addressee hostname.
         host: String,
     },
+    /// Child registry → parent registry: periodic aggregate *health
+    /// condition* of the child's domain (§3.2: each lower-level registry
+    /// "has its own health condition, which indicates its overall workload
+    /// and availability of each kind of resource"). The parent uses the
+    /// latest report per child to order its cross-domain candidate search.
+    DomainReport {
+        /// Reporting registry's domain name.
+        domain: String,
+        /// Hosts currently free.
+        free: u32,
+        /// Hosts currently busy.
+        busy: u32,
+        /// Hosts currently overloaded.
+        overloaded: u32,
+        /// Hosts with expired leases.
+        unavailable: u32,
+        /// Sum of reported 1-minute load averages.
+        load_sum: f64,
+        /// Number of load samples in the sum.
+        load_samples: u32,
+    },
     /// Generic acknowledgement.
     Ack {
         /// True on success.
@@ -278,6 +299,7 @@ impl Message {
             Message::StatusQuery { .. } => "status-query",
             Message::CommandAck { .. } => "command-ack",
             Message::ReRegister { .. } => "re-register",
+            Message::DomainReport { .. } => "domain-report",
             Message::Ack { .. } => "ack",
         }
     }
@@ -360,6 +382,23 @@ impl Message {
                 root.field("host", host).field("pid", pid).field("ok", ok)
             }
             Message::ReRegister { host } => root.field("host", host),
+            Message::DomainReport {
+                domain,
+                free,
+                busy,
+                overloaded,
+                unavailable,
+                load_sum,
+                load_samples,
+            } => root.field("domain", domain).child(
+                XmlElement::new("health")
+                    .field("free", free)
+                    .field("busy", busy)
+                    .field("overloaded", overloaded)
+                    .field("unavailable", unavailable)
+                    .field("load-sum", load_sum)
+                    .field("load-samples", load_samples),
+            ),
             Message::Ack { ok, info } => root.field("ok", ok).field("info", info),
         }
     }
@@ -517,6 +556,22 @@ impl Message {
                     .field_text("host")
                     .ok_or_else(|| XmlError::MissingField("host".to_string()))?,
             }),
+            "domain-report" => {
+                let h = el
+                    .find("health")
+                    .ok_or_else(|| XmlError::MissingField("health".to_string()))?;
+                Ok(Message::DomainReport {
+                    domain: el
+                        .field_text("domain")
+                        .ok_or_else(|| XmlError::MissingField("domain".to_string()))?,
+                    free: h.field_parse("free")?,
+                    busy: h.field_parse("busy")?,
+                    overloaded: h.field_parse("overloaded")?,
+                    unavailable: h.field_parse("unavailable")?,
+                    load_sum: h.field_parse("load-sum")?,
+                    load_samples: h.field_parse("load-samples")?,
+                })
+            }
             "ack" => Ok(Message::Ack {
                 ok: el.field_parse("ok")?,
                 info: el.field_text("info").unwrap_or_default(),
@@ -642,6 +697,19 @@ mod tests {
         });
         roundtrip(Message::ReRegister {
             host: "ws2".to_string(),
+        });
+    }
+
+    #[test]
+    fn domain_report_roundtrip() {
+        roundtrip(Message::DomainReport {
+            domain: "cluster-a".to_string(),
+            free: 12,
+            busy: 3,
+            overloaded: 1,
+            unavailable: 0,
+            load_sum: 7.25,
+            load_samples: 16,
         });
     }
 

@@ -23,10 +23,10 @@ fn main() {
     let schemas = SchemaBook::new();
     let hooks = ReschedHooks::new();
 
-    let mk_cfg = |name: &str, parent| {
+    let mk_cfg = |name: &str, parent: Option<Pid>| {
         let mut c = RegistryConfig::new(Policy::paper_policy2());
         c.name = name.to_string();
-        c.parent = parent;
+        c.parent = parent.map(Endpoint::from);
         c
     };
     let parent = sim.spawn(
@@ -158,5 +158,23 @@ fn main() {
             done.host.0,
             done.finished_at.as_secs_f64()
         );
+    }
+
+    // The parent's view of its children, built from the periodic
+    // DomainReport summaries each leaf pushes upward (§3.2's per-domain
+    // "health condition") — what orders its cross-domain probes.
+    if let Some(reg) = sim
+        .program_mut(parent)
+        .and_then(|p| p.as_any().downcast_mut::<RegistryScheduler>())
+    {
+        for (name, h) in reg.core().child_domains() {
+            println!(
+                "parent's view of {name}: {} free / {} busy / {} overloaded, mean load {:.2}",
+                h.free,
+                h.busy,
+                h.overloaded,
+                h.mean_load().unwrap_or(0.0)
+            );
+        }
     }
 }

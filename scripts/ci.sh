@@ -10,8 +10,16 @@ cd "$(dirname "$0")/.."
 echo "== build =="
 cargo build --release --workspace
 
+echo "== examples build =="
+cargo build --release --examples
+
 echo "== tests =="
 cargo test --release --workspace -q
+
+echo "== driver differential =="
+# The DES adapter and the live TCP driver replay one scripted command
+# sequence into the shared RegistryCore and must land in identical state.
+cargo test --release -q -p ars-rescheduler --test differential
 
 echo "== chaos matrix =="
 # The chaos suite already runs once (default seeds) as part of the

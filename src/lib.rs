@@ -97,7 +97,8 @@ pub mod prelude {
     pub use ars_mpisim::{CommId, Mpi, Rank, ReduceOp, TaskId};
     pub use ars_obs::{Obs, ObsEvent, ObsHistogram, ObsKind, ObsRecord};
     pub use ars_rescheduler::{
-        deploy, Commander, DeployConfig, Deployment, Monitor, MonitorConfig, RegistryConfig,
+        deploy, deploy_hierarchical, Commander, DeployConfig, Deployment, DomainHealth, Endpoint,
+        HierarchicalDeployment, Liveness, Monitor, MonitorConfig, RegistryConfig, RegistryCore,
         RegistryScheduler, ReschedHooks, SchemaBook, StateSource,
     };
     pub use ars_rules::{
