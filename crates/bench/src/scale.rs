@@ -17,11 +17,13 @@
 use ars_apps::{DaemonNoise, PollDaemon, Spinner, TestTree, TestTreeConfig};
 use ars_hpcm::{HpcmConfig, HpcmHooks, MigratableApp};
 use ars_rescheduler::{
-    deploy_hierarchical, Commander, DeployConfig, Monitor, MonitorConfig, RegistryConfig,
+    deploy_tree, Commander, DeployConfig, Monitor, MonitorConfig, RegistryConfig,
     RegistryScheduler, ReschedHooks, SchemaBook, StateSource,
 };
 use ars_rules::{MonitoringFrequency, Policy};
-use ars_sim::{HostId, Sim, SimConfig, SpawnOpts};
+use ars_sim::{
+    run_sharded, HostId, ShardSession, ShardSpec, ShardedConfig, Sim, SimConfig, SpawnOpts,
+};
 use ars_simcore::{SimDuration, SimTime};
 use ars_simhost::HostConfig;
 use ars_sysinfo::Ambient;
@@ -41,6 +43,13 @@ pub struct ScaleRun {
     pub migrations: usize,
     /// Rendered trace events when recording was requested.
     pub trace: Option<Vec<String>>,
+    /// Kernel events handled (the events/sec numerator).
+    pub events_handled: u64,
+}
+
+/// Render a trace event the way every equivalence gate compares them.
+pub fn render_event(e: &ars_sim::TraceEvent) -> String {
+    format!("{:?} {:?} {}", e.t, e.kind, e.detail)
 }
 
 /// Simulated horizon of the scenario, seconds.
@@ -59,6 +68,34 @@ pub fn heartbeat_migration(
     mode: ScaleMode,
     record_trace: bool,
 ) -> ScaleRun {
+    let (mut sim, hpcm) = build_scale_sim(n_hosts, seed, mode, record_trace);
+    sim.run_until(SimTime::from_secs(RUN_S));
+
+    let trace = record_trace.then(|| {
+        sim.kernel()
+            .trace
+            .events()
+            .iter()
+            .map(render_event)
+            .collect()
+    });
+    ScaleRun {
+        migrations: hpcm.migration_count(),
+        trace,
+        events_handled: sim.kernel().events_handled(),
+    }
+}
+
+/// Build the flat scenario and run it to t = 100 s (overload injected,
+/// spinners running). [`heartbeat_migration`] finishes it in one
+/// `run_until`; the sharded cells hand the sim to the shard coordinator,
+/// which drives the rest in epochs.
+fn build_scale_sim(
+    n_hosts: usize,
+    seed: u64,
+    mode: ScaleMode,
+    record_trace: bool,
+) -> (Sim, HpcmHooks) {
     assert!(n_hosts >= 2, "need a migration destination");
     let baseline = mode == ScaleMode::Baseline;
     let mut sim = Sim::new(
@@ -179,19 +216,84 @@ pub fn heartbeat_migration(
             SpawnOpts::named("hog"),
         );
     }
-    sim.run_until(SimTime::from_secs(RUN_S));
+    (sim, hpcm)
+}
 
-    let trace = record_trace.then(|| {
-        sim.kernel()
-            .trace
-            .events()
-            .iter()
-            .map(|e| format!("{:?} {:?} {}", e.t, e.kind, e.detail))
-            .collect()
-    });
+/// Epoch length for the sharded cells: exchanges happen every simulated
+/// 100 s. The shard scenarios are fully separable (no cross-shard
+/// traffic), so the epoch only determines where `run_until` is split.
+pub const SHARD_EPOCH_S: u64 = 100;
+
+/// The flat scenario run as `shards` independent sub-simulations of
+/// `hosts_per_shard` workstations each (shard `i` uses `seed + i`), under
+/// the sharded kernel. With `parallel` the shards run on worker threads;
+/// either way the merged trace and per-shard migration counts are
+/// deterministic and identical to the sequential interleaving.
+pub fn sharded_migration(
+    shards: usize,
+    hosts_per_shard: usize,
+    seed: u64,
+    parallel: bool,
+    record_trace: bool,
+) -> ScaleRun {
+    let specs: Vec<ShardSpec<(), usize>> = (0..shards)
+        .map(|_| ShardSpec {
+            build: Box::new(move |idx| {
+                let (sim, hpcm) = build_scale_sim(
+                    hosts_per_shard,
+                    seed + idx as u64,
+                    ScaleMode::Optimized,
+                    record_trace,
+                );
+                ShardSession {
+                    sim,
+                    extract: Box::new(|_, _| Vec::new()),
+                    apply: Box::new(|_, _, _| {}),
+                    finish: Box::new(move |_| hpcm.migration_count()),
+                }
+            }),
+        })
+        .collect();
+    let run = run_sharded(
+        specs,
+        ShardedConfig {
+            epoch: SimDuration::from_secs(SHARD_EPOCH_S),
+            until: SimTime::from_secs(RUN_S),
+            parallel,
+        },
+    );
+    ScaleRun {
+        migrations: run.outputs.iter().sum(),
+        trace: record_trace.then(|| run.trace.iter().map(render_event).collect()),
+        events_handled: run.events_handled,
+    }
+}
+
+/// The flat scenario driven exactly the way a single shard experiences
+/// it: built to t = 100 s, then `run_until` at every epoch barrier. The
+/// sharded-vs-single byte-identity gate compares against this (epoch
+/// splitting legitimately re-times float settlement, so the monolithic
+/// single-`run_until` trace is not the right reference).
+pub fn sharded_single_reference(n_hosts: usize, seed: u64) -> ScaleRun {
+    let (mut sim, hpcm) = build_scale_sim(n_hosts, seed, ScaleMode::Optimized, true);
+    let mut t = SimTime::ZERO + SimDuration::from_secs(SHARD_EPOCH_S);
+    let until = SimTime::from_secs(RUN_S);
+    while t < until {
+        sim.run_until(t);
+        t += SimDuration::from_secs(SHARD_EPOCH_S);
+    }
+    sim.run_until(until);
     ScaleRun {
         migrations: hpcm.migration_count(),
-        trace,
+        trace: Some(
+            sim.kernel()
+                .trace
+                .events()
+                .iter()
+                .map(render_event)
+                .collect(),
+        ),
+        events_handled: sim.kernel().events_handled(),
     }
 }
 
@@ -203,6 +305,35 @@ pub fn heartbeat_migration(
 /// steady-state cost on top of the flat scenario — same app, same overload
 /// at t = 100 s, same ambient noise.
 pub fn hierarchical_migration(n_hosts: usize, domains: usize, seed: u64) -> ScaleRun {
+    tree_migration(n_hosts, &[domains], seed).run
+}
+
+/// Everything the tree cells and the hierarchy-equivalence tests need
+/// from one [`tree_migration`] run.
+pub struct TreeRun {
+    /// Migration count + kernel event count.
+    pub run: ScaleRun,
+    /// All scheduling decisions, from every registry in the tree.
+    pub decisions: Vec<ars_rescheduler::DecisionRecord>,
+    /// `(from, to)` hosts of the completed migration, if one happened.
+    pub moved: Option<(HostId, HostId)>,
+}
+
+/// The same scenario as [`tree_migration`] under a single flat registry
+/// ([`ars_rescheduler::deploy`]): the depth-0 baseline the hierarchy
+/// equivalence tests compare against.
+pub fn flat_migration(n_hosts: usize, seed: u64) -> TreeRun {
+    tree_scenario(n_hosts, None, seed)
+}
+
+/// [`hierarchical_migration`] generalized to an arbitrary-depth registry
+/// tree ([`deploy_tree`] with the given `fanout`). `fanout == &[d]` is
+/// byte-for-byte the old two-level deployment.
+pub fn tree_migration(n_hosts: usize, fanout: &[usize], seed: u64) -> TreeRun {
+    tree_scenario(n_hosts, Some(fanout), seed)
+}
+
+fn tree_scenario(n_hosts: usize, fanout: Option<&[usize]>, seed: u64) -> TreeRun {
     assert!(n_hosts >= 2, "need a migration destination");
     let mut sim = Sim::new(
         (0..=n_hosts)
@@ -215,21 +346,25 @@ pub fn hierarchical_migration(n_hosts: usize, domains: usize, seed: u64) -> Scal
     );
 
     let monitored: Vec<HostId> = (1..=n_hosts).map(|i| HostId(i as u32)).collect();
-    let dep = deploy_hierarchical(
-        &mut sim,
-        HostId(0),
-        &monitored,
-        domains,
-        DeployConfig {
-            freq: MonitoringFrequency {
-                free: SimDuration::from_secs(10),
-                busy: SimDuration::from_secs(10),
-                overloaded: SimDuration::from_secs(5),
-            },
-            overload_confirm: SimDuration::from_secs(60),
-            ..DeployConfig::default()
+    let cfg = DeployConfig {
+        freq: MonitoringFrequency {
+            free: SimDuration::from_secs(10),
+            busy: SimDuration::from_secs(10),
+            overloaded: SimDuration::from_secs(5),
         },
-    );
+        overload_confirm: SimDuration::from_secs(60),
+        ..DeployConfig::default()
+    };
+    let (hooks, schemas) = match fanout {
+        Some(f) => {
+            let dep = deploy_tree(&mut sim, HostId(0), &monitored, f, cfg);
+            (dep.hooks, dep.schemas)
+        }
+        None => {
+            let dep = ars_rescheduler::deploy(&mut sim, HostId(0), &monitored, cfg);
+            (dep.hooks, dep.schemas)
+        }
+    };
     for &host in &monitored {
         sim.spawn(
             host,
@@ -254,7 +389,7 @@ pub fn hierarchical_migration(n_hosts: usize, domains: usize, seed: u64) -> Scal
         seed,
     });
     let hpcm = HpcmHooks::new();
-    dep.schemas.put(MigratableApp::schema(&app));
+    schemas.put(MigratableApp::schema(&app));
     ars_hpcm::HpcmShell::spawn_on(
         &mut sim,
         HostId(1),
@@ -274,9 +409,15 @@ pub fn hierarchical_migration(n_hosts: usize, domains: usize, seed: u64) -> Scal
     }
     sim.run_until(SimTime::from_secs(RUN_S));
 
-    ScaleRun {
-        migrations: hpcm.migration_count(),
-        trace: None,
+    let decisions = hooks.0.borrow().decisions.clone();
+    TreeRun {
+        run: ScaleRun {
+            migrations: hpcm.migration_count(),
+            trace: None,
+            events_handled: sim.kernel().events_handled(),
+        },
+        decisions,
+        moved: hpcm.last_migration().map(|m| (m.from, m.to)),
     }
 }
 

@@ -160,6 +160,9 @@ pub struct HierarchicalDeployment {
 /// [`ars_xmlwire::Message::DomainReport`] summaries to the root, which the
 /// root uses to probe the freest sibling domain first when a leaf
 /// escalates a candidate search.
+///
+/// This is [`deploy_tree`] with a single fan-out level; the spawn order
+/// and process names are identical to what this function always produced.
 pub fn deploy_hierarchical(
     sim: &mut Sim,
     registry_host: HostId,
@@ -167,9 +170,62 @@ pub fn deploy_hierarchical(
     domains: usize,
     cfg: DeployConfig,
 ) -> HierarchicalDeployment {
+    let t = deploy_tree(sim, registry_host, monitored, &[domains.max(1)], cfg);
+    HierarchicalDeployment {
+        root: t.root,
+        leaves: t.leaves,
+        monitors: t.monitors,
+        commanders: t.commanders,
+        hooks: t.hooks,
+        schemas: t.schemas,
+    }
+}
+
+/// Handles to a deployed arbitrary-depth registry tree.
+pub struct TreeDeployment {
+    /// The root registry.
+    pub root: Pid,
+    /// Registries by level: `levels[0]` is `[root]`, the last level is the
+    /// leaves.
+    pub levels: Vec<Vec<Pid>>,
+    /// The leaf registries (same pids as the last level).
+    pub leaves: Vec<Pid>,
+    /// Monitor process per monitored host (same order as `monitored`).
+    pub monitors: Vec<Pid>,
+    /// Commander process per monitored host.
+    pub commanders: Vec<Pid>,
+    /// Shared decision log (all registries write to it).
+    pub hooks: ReschedHooks,
+    /// Shared application-schema book.
+    pub schemas: SchemaBook,
+}
+
+/// Deploy an arbitrary-depth registry tree on `registry_host`: a root,
+/// then one level of registries per entry of `fanout` (level `L` has
+/// `fanout[0] * … * fanout[L-1]` nodes, node `i` parented to node
+/// `i / fanout[L-1]` of the level above). The last level is the leaves;
+/// hosts in `monitored` are assigned to leaves round-robin.
+///
+/// Candidate searches escalate leaf → … → root (each level probes its
+/// other children before relaying upward), and every registry pushes
+/// rate-limited [`ars_xmlwire::Message::DomainReport`] summaries to its
+/// parent — mids aggregate their whole subtree — so registry fan-in stays
+/// bounded at any cluster size.
+pub fn deploy_tree(
+    sim: &mut Sim,
+    registry_host: HostId,
+    monitored: &[HostId],
+    fanout: &[usize],
+    cfg: DeployConfig,
+) -> TreeDeployment {
     let hooks = ReschedHooks::new();
     let schemas = SchemaBook::new();
-    let domains = domains.max(1);
+    let fanout: Vec<usize> = if fanout.is_empty() {
+        vec![1]
+    } else {
+        fanout.iter().map(|&f| f.max(1)).collect()
+    };
+    let depth = fanout.len();
 
     let mut root_cfg = RegistryConfig::new(cfg.policy.clone());
     root_cfg.name = format!("root@h{}", registry_host.0);
@@ -185,29 +241,51 @@ pub fn deploy_hierarchical(
         SpawnOpts::named("ars_registry_root"),
     );
 
-    let mut leaves = Vec::new();
-    for d in 0..domains {
-        let mut leaf_cfg = RegistryConfig::new(cfg.policy.clone());
-        leaf_cfg.name = format!("domain{d}@h{}", registry_host.0);
-        leaf_cfg.lease = cfg.lease;
-        leaf_cfg.pull = !cfg.push;
-        leaf_cfg.parent = Some(Endpoint::from(root));
-        leaf_cfg.obs = cfg.obs.clone();
-        leaves.push(sim.spawn(
-            registry_host,
-            Box::new(RegistryScheduler::new(
-                leaf_cfg,
-                schemas.clone(),
-                hooks.clone(),
-            )),
-            SpawnOpts::named(format!("ars_registry_d{d}")),
-        ));
+    let mut levels: Vec<Vec<Pid>> = vec![vec![root]];
+    for (l, &f) in fanout.iter().enumerate() {
+        let level = l + 1; // 1-based: level 0 is the root
+        let count = levels[l].len() * f;
+        let is_leaf = level == depth;
+        let mut nodes = Vec::with_capacity(count);
+        for i in 0..count {
+            let parent = levels[l][i / f];
+            let mut node_cfg = RegistryConfig::new(cfg.policy.clone());
+            node_cfg.name = if is_leaf {
+                format!("domain{i}@h{}", registry_host.0)
+            } else {
+                format!("mid{level}.{i}@h{}", registry_host.0)
+            };
+            node_cfg.lease = cfg.lease;
+            // Only leaves field heartbeats, so only they need the pull
+            // switch; mids and the root just route searches and reports.
+            if is_leaf {
+                node_cfg.pull = !cfg.push;
+            }
+            node_cfg.parent = Some(Endpoint::from(parent));
+            node_cfg.obs = cfg.obs.clone();
+            let spawn_name = if is_leaf {
+                format!("ars_registry_d{i}")
+            } else {
+                format!("ars_registry_m{level}_{i}")
+            };
+            nodes.push(sim.spawn(
+                registry_host,
+                Box::new(RegistryScheduler::new(
+                    node_cfg,
+                    schemas.clone(),
+                    hooks.clone(),
+                )),
+                SpawnOpts::named(spawn_name),
+            ));
+        }
+        levels.push(nodes);
     }
+    let leaves = levels[depth].clone();
 
     let mut monitors = Vec::new();
     let mut commanders = Vec::new();
     for (i, &host) in monitored.iter().enumerate() {
-        let registry = leaves[i % domains];
+        let registry = leaves[i % leaves.len()];
         let state_source = if cfg.use_paper_rules {
             StateSource::Rules(ars_rules::RuleSet::paper())
         } else {
@@ -236,8 +314,9 @@ pub fn deploy_hierarchical(
         ));
     }
 
-    HierarchicalDeployment {
+    TreeDeployment {
         root,
+        levels,
         leaves,
         monitors,
         commanders,

@@ -30,7 +30,10 @@ pub mod registry;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveConfirm};
 pub use commander::Commander;
-pub use deploy::{deploy, deploy_hierarchical, DeployConfig, Deployment, HierarchicalDeployment};
+pub use deploy::{
+    deploy, deploy_hierarchical, deploy_tree, DeployConfig, Deployment, HierarchicalDeployment,
+    TreeDeployment,
+};
 pub use hooks::{DecisionRecord, ReschedHooks, ReschedLog, SchemaBook, CONTROL_TAG};
 pub use monitor::{Monitor, MonitorConfig, StateSource};
 pub use regcore::{

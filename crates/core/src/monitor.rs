@@ -276,7 +276,7 @@ impl Monitor {
             .into_iter()
             .map(|p| ProcReport {
                 pid: p.pid,
-                app: p.name.clone(),
+                app: p.name.to_string(),
                 start_time_s: p.start_time.as_secs_f64(),
                 est_exec_time_s: self.schemas.get(&p.name).map_or(0.0, |s| s.est_exec_time_s),
             })

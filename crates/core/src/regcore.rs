@@ -27,7 +27,7 @@ use crate::hooks::SchemaBook;
 use ars_obs::ObsEvent;
 use ars_rules::Policy;
 use ars_sim::{Pid, TraceKind};
-use ars_simcore::{SimDuration, SimTime};
+use ars_simcore::{FxHashMap, SimDuration, SimTime};
 use ars_xmlwire::{
     ApplicationSchema, EntityRole, HostState, HostStatic, Message, Metrics, ProcReport,
     ResourceRequirements,
@@ -254,6 +254,17 @@ impl DomainHealth {
         (self.load_samples > 0).then(|| self.load_sum / self.load_samples as f64)
     }
 
+    /// Accumulate another domain's health into this one (a mid-level
+    /// registry reports its whole subtree upward as one summary).
+    pub fn merge(&mut self, other: &DomainHealth) {
+        self.free += other.free;
+        self.busy += other.busy;
+        self.overloaded += other.overloaded;
+        self.unavailable += other.unavailable;
+        self.load_sum += other.load_sum;
+        self.load_samples += other.load_samples;
+    }
+
     /// Total registered hosts.
     pub fn total(&self) -> u32 {
         self.free + self.busy + self.overloaded + self.unavailable
@@ -283,6 +294,14 @@ pub struct HostEntry {
     /// Observed gap between the last two heartbeats (the push period this
     /// monitor is actually running at; feeds the failure detector).
     pub hb_interval: Option<SimDuration>,
+    /// Last command *or* decision for this host (cooldown basis). Lives in
+    /// the arena row rather than a side map keyed by name, so the
+    /// heartbeat hot path never hashes a hostname for it.
+    pub(crate) last_command: Option<SimTime>,
+    /// Last liveness verdict recorded by the observability sweep
+    /// (observability only — the scheduler always re-evaluates
+    /// [`HostEntry::liveness`]).
+    pub(crate) obs_verdict: Liveness,
 }
 
 /// Failure-detector verdict for a registered host.
@@ -352,12 +371,26 @@ impl HostEntry {
 /// when the search starts: children are stable-sorted by descending free
 /// capacity from their latest [`Message::DomainReport`] (no report counts
 /// as zero, so an unreporting hierarchy degrades to registration order —
-/// the pre-health behavior).
+/// the pre-health behavior). When every child comes up empty and this
+/// registry itself has a parent, the search is relayed one level up
+/// (depth-k escalation) before giving up.
 struct Escalation {
     requester: Endpoint,
     requirements: ResourceRequirements,
     probe: Vec<Endpoint>,
     next: usize,
+    /// The search was relayed to our own parent; the escalation completes
+    /// when that reply arrives (and a duplicated child reply must not
+    /// re-ask).
+    asked_parent: bool,
+}
+
+/// A child registry of this core, with the latest domain-health summary it
+/// reported (mid-level registries report their whole subtree as one).
+struct Child {
+    name: String,
+    ep: Endpoint,
+    health: Option<DomainHealth>,
 }
 
 /// A migration command awaiting its commander's acknowledgement. Keyed by
@@ -380,6 +413,16 @@ struct AwaitingParent {
     schema: ApplicationSchema,
 }
 
+/// Something waiting on a reply from our parent, in request order (the
+/// parent serializes its searches, so replies come back FIFO).
+enum ParentWait {
+    /// One of our own decisions escalated upward.
+    Decision(AwaitingParent),
+    /// A cross-domain search we relayed upward; the reply resolves our
+    /// active escalation.
+    Relay,
+}
+
 /// A pull-mode decision waiting for fresh status replies.
 struct PullRound {
     source: Arc<str>,
@@ -395,38 +438,35 @@ struct PullRound {
 pub struct RegistryCore {
     cfg: RegistryConfig,
     schemas: SchemaBook,
-    /// Hosts in registration order (first-fit order).
+    /// Hosts in registration order (first-fit order). This is the arena:
+    /// every per-host datum lives in the row, and the only name-keyed map
+    /// is `index`, consulted at message-decode boundaries.
     hosts: Vec<HostEntry>,
-    index: HashMap<Arc<str>, usize>,
+    index: FxHashMap<Arc<str>, usize>,
     /// Hosts whose last *reported* state accepts migrations, by
     /// registration index. Lease expiry can only disqualify a host, never
     /// qualify one, so this is a sound candidate superset for `first_fit`
     /// — and iterating the set ascending reproduces the linear scan's
     /// first-fit order exactly.
     free_hosts: BTreeSet<usize>,
-    children: Vec<(String, Endpoint)>,
-    /// Latest domain-health summary reported by each child registry.
-    child_health: HashMap<Endpoint, DomainHealth>,
+    /// Child registries in registration order, each with its latest
+    /// reported health.
+    children: Vec<Child>,
     /// Decisions started (via [`CoreEffect::StartDecision`]) but not yet
     /// due — the dedup set that stops every heartbeat of a sustained
     /// overload from piling up decisions. Survives [`CoreInput::Restart`]:
     /// the in-flight decisions still complete on the driver's side.
     queued_decisions: Vec<Arc<str>>,
-    /// Last command *or* decision per source host (cooldown basis).
-    last_command: HashMap<Arc<str>, SimTime>,
     /// Unacknowledged migration commands, by retransmit-timer id.
     pending: HashMap<TimerId, PendingCommand>,
     /// Next timer id to allocate (monotone; never reused).
     next_timer: u64,
     escalation: Option<Escalation>,
     escalation_queue: VecDeque<(Endpoint, ResourceRequirements)>,
-    awaiting_parent: VecDeque<AwaitingParent>,
+    awaiting_parent: VecDeque<ParentWait>,
     pull_round: Option<PullRound>,
-    /// When this leaf last pushed a [`Message::DomainReport`] upward.
+    /// When this registry last pushed a [`Message::DomainReport`] upward.
     last_health_report: SimTime,
-    /// Last liveness verdict recorded per host (observability only — the
-    /// scheduler itself always re-evaluates [`HostEntry::liveness`]).
-    obs_verdicts: HashMap<Arc<str>, Liveness>,
     /// When the detector-observation sweep last ran (rate limit).
     last_obs_sweep: SimTime,
 }
@@ -438,12 +478,10 @@ impl RegistryCore {
             cfg,
             schemas,
             hosts: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             free_hosts: BTreeSet::new(),
             children: Vec::new(),
-            child_health: HashMap::new(),
             queued_decisions: Vec::new(),
-            last_command: HashMap::new(),
             pending: HashMap::new(),
             next_timer: 0,
             escalation: None,
@@ -451,7 +489,6 @@ impl RegistryCore {
             awaiting_parent: VecDeque::new(),
             pull_round: None,
             last_health_report: SimTime::ZERO,
-            obs_verdicts: HashMap::new(),
             last_obs_sweep: SimTime::ZERO,
         }
     }
@@ -496,13 +533,21 @@ impl RegistryCore {
     pub fn child_domains(&self) -> Vec<(String, DomainHealth)> {
         self.children
             .iter()
-            .map(|(name, ep)| {
-                (
-                    name.clone(),
-                    self.child_health.get(ep).copied().unwrap_or_default(),
-                )
-            })
+            .map(|c| (c.name.clone(), c.health.unwrap_or_default()))
             .collect()
+    }
+
+    /// This registry's own hosts plus every child subtree's latest report
+    /// — what a mid-level registry pushes to *its* parent, so per-level
+    /// aggregation composes to any depth.
+    pub fn subtree_health(&self, now: SimTime) -> DomainHealth {
+        let mut h = self.domain_health(now);
+        for c in &self.children {
+            if let Some(ch) = &c.health {
+                h.merge(ch);
+            }
+        }
+        h
     }
 
     /// Read-only destination query: the host first-fit would pick for
@@ -570,17 +615,23 @@ impl RegistryCore {
                 load_samples,
                 ..
             } => {
-                self.child_health.insert(
-                    from,
-                    DomainHealth {
+                // Reports from endpoints that never registered are dropped
+                // (Register always precedes the first report).
+                if let Some(c) = self.children.iter_mut().find(|c| c.ep == from) {
+                    c.health = Some(DomainHealth {
                         free,
                         busy,
                         overloaded,
                         unavailable,
                         load_sum,
                         load_samples,
-                    },
-                );
+                    });
+                }
+                // A mid-level registry folds the fresh child summary into
+                // its own upward report. Roots have no parent (no-op), and
+                // leaves receive no DomainReports, so flat and two-level
+                // effect streams are untouched.
+                self.maybe_report_health(now, out);
             }
             Message::Ack { .. }
             | Message::MigrationCommand { .. }
@@ -605,8 +656,12 @@ impl RegistryCore {
 
     fn on_register(&mut self, now: SimTime, from: Endpoint, host: HostStatic, role: EntityRole) {
         if role == EntityRole::Registry {
-            if !self.children.iter().any(|(_, p)| *p == from) {
-                self.children.push((host.name.clone(), from));
+            if !self.children.iter().any(|c| c.ep == from) {
+                self.children.push(Child {
+                    name: host.name,
+                    ep: from,
+                    health: None,
+                });
             }
             return;
         }
@@ -624,6 +679,8 @@ impl RegistryCore {
                     metrics: Metrics::new(),
                     procs: Vec::new(),
                     hb_interval: None,
+                    last_command: None,
+                    obs_verdict: Liveness::Alive,
                 });
                 let idx = self.hosts.len() - 1;
                 self.index.insert(name, idx);
@@ -688,10 +745,9 @@ impl RegistryCore {
         }
 
         if state == HostState::Overloaded {
-            let cooled = self
+            let cooled = self.hosts[idx]
                 .last_command
-                .get(host.as_str())
-                .is_none_or(|&t| now.since(t) >= self.cfg.command_cooldown);
+                .is_none_or(|t| now.since(t) >= self.cfg.command_cooldown);
             let already_queued = self
                 .queued_decisions
                 .iter()
@@ -724,7 +780,7 @@ impl RegistryCore {
             return;
         }
         self.last_health_report = now;
-        let h = self.domain_health(now);
+        let h = self.subtree_health(now);
         let report = Message::DomainReport {
             domain: self.cfg.name.clone(),
             free: h.free,
@@ -753,12 +809,9 @@ impl RegistryCore {
             return;
         }
         self.last_obs_sweep = now;
-        for e in &self.hosts {
+        for e in &mut self.hosts {
             let v = e.liveness(now, self.cfg.lease);
-            let prev = self
-                .obs_verdicts
-                .insert(e.name.clone(), v)
-                .unwrap_or(Liveness::Alive);
+            let prev = std::mem::replace(&mut e.obs_verdict, v);
             if v == prev {
                 continue;
             }
@@ -888,13 +941,13 @@ impl RegistryCore {
 
     fn decide(&mut self, now: SimTime, source: Arc<str>, out: &mut Vec<CoreEffect>) {
         self.cfg.obs.inc("decisions");
-        // Fruitless decisions also start the cooldown: an overloaded host
-        // with nothing migratable (or no candidate anywhere) is re-examined
-        // once per cooldown, not on every heartbeat.
-        self.last_command.insert(source.clone(), now);
         let Some(&src_idx) = self.index.get(source.as_ref()) else {
             return;
         };
+        // Fruitless decisions also start the cooldown: an overloaded host
+        // with nothing migratable (or no candidate anywhere) is re-examined
+        // once per cooldown, not on every heartbeat.
+        self.hosts[src_idx].last_command = Some(now);
         // Re-check: the source must still be overloaded.
         if self.hosts[src_idx].effective_state(now, self.cfg.lease) != HostState::Overloaded {
             return;
@@ -934,11 +987,12 @@ impl RegistryCore {
                         requirements: schema.requirements,
                     };
                     self.send(out, parent, req_msg);
-                    self.awaiting_parent.push_back(AwaitingParent {
-                        source,
-                        pid: proc_.pid,
-                        schema,
-                    });
+                    self.awaiting_parent
+                        .push_back(ParentWait::Decision(AwaitingParent {
+                            source,
+                            pid: proc_.pid,
+                            schema,
+                        }));
                 } else {
                     trace(
                         out,
@@ -968,13 +1022,12 @@ impl RegistryCore {
         escalated: bool,
         out: &mut Vec<CoreEffect>,
     ) {
-        let source = self.hosts[src_idx].name.clone();
         let dest = self.hosts[dest_idx].name.to_string();
         self.dispatch_command(now, src_idx, &dest, pid, schema, escalated, out);
         // Optimistically mark the destination loaded until its next
         // heartbeat, so concurrent decisions do not pile onto it.
         self.set_state(dest_idx, HostState::Busy);
-        self.last_command.insert(source, now);
+        self.hosts[src_idx].last_command = Some(now);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1076,7 +1129,9 @@ impl RegistryCore {
                 source: p.source.to_string(),
                 dest: p.dest.clone(),
             });
-            self.last_command.remove(&p.source);
+            if let Some(&i) = self.index.get(p.source.as_ref()) {
+                self.hosts[i].last_command = None;
+            }
             return;
         }
         p.attempts += 1;
@@ -1139,7 +1194,9 @@ impl RegistryCore {
                 source: p.source.to_string(),
                 dest: p.dest.clone(),
             });
-            self.last_command.remove(&p.source);
+            if let Some(&i) = self.index.get(p.source.as_ref()) {
+                self.hosts[i].last_command = None;
+            }
         }
     }
 
@@ -1163,15 +1220,12 @@ impl RegistryCore {
         self.index.clear();
         self.free_hosts.clear();
         self.children.clear();
-        self.child_health.clear();
-        self.last_command.clear();
         self.pending.clear();
         self.escalation = None;
         self.escalation_queue.clear();
         self.awaiting_parent.clear();
         self.pull_round = None;
         self.last_health_report = SimTime::ZERO;
-        self.obs_verdicts.clear();
         self.last_obs_sweep = SimTime::ZERO;
     }
 
@@ -1289,9 +1343,13 @@ impl RegistryCore {
             self.send(out, from, Message::CandidateReply { dest: Some(dest) });
             return;
         }
-        // Probe other children (one search at a time).
-        let is_child = self.children.iter().any(|(_, p)| *p == from);
-        if !self.children.is_empty() && is_child {
+        // Probe other children (one search at a time). Requests arrive
+        // from a child escalating upward or from our own parent probing
+        // downward into this subtree; both descend into the children
+        // (minus the requester, when it is one of them).
+        let is_child = self.children.iter().any(|c| c.ep == from);
+        let from_parent = Some(from) == self.cfg.parent;
+        if !self.children.is_empty() && (is_child || from_parent) {
             if self.escalation.is_some() {
                 self.escalation_queue.push_back((from, requirements));
                 return;
@@ -1301,6 +1359,7 @@ impl RegistryCore {
                 requirements,
                 probe: self.probe_order(from),
                 next: 0,
+                asked_parent: false,
             });
             self.advance_escalation(now, None, out);
         } else {
@@ -1314,14 +1373,14 @@ impl RegistryCore {
     /// count as zero free, so a hierarchy without health reports degrades
     /// to plain registration order.
     fn probe_order(&self, exclude: Endpoint) -> Vec<Endpoint> {
-        let mut order: Vec<Endpoint> = self
+        let mut order: Vec<(Endpoint, u32)> = self
             .children
             .iter()
-            .map(|&(_, p)| p)
-            .filter(|&p| p != exclude)
+            .filter(|c| c.ep != exclude)
+            .map(|c| (c.ep, c.health.map_or(0, |h| h.free)))
             .collect();
-        order.sort_by_key(|p| std::cmp::Reverse(self.child_health.get(p).map_or(0, |h| h.free)));
-        order
+        order.sort_by_key(|&(_, free)| std::cmp::Reverse(free));
+        order.into_iter().map(|(p, _)| p).collect()
     }
 
     /// Step the parent-side search: forward the request to the next child,
@@ -1349,6 +1408,27 @@ impl RegistryCore {
             return;
         };
         if esc.next >= esc.probe.len() {
+            if esc.asked_parent {
+                // Already relayed upward; the parent's reply will complete
+                // this search (a duplicated child reply lands here and must
+                // not re-ask).
+                return;
+            }
+            // A downward probe (requester == parent) must not bounce back
+            // up: the parent is already sweeping our siblings.
+            if let Some(parent) = self.cfg.parent.filter(|&p| p != esc.requester) {
+                // Every child came up empty: relay the search one level up
+                // instead of giving up (depth-k escalation).
+                esc.asked_parent = true;
+                let requirements = esc.requirements;
+                let msg = Message::CandidateRequest {
+                    host: String::new(), // cross-domain: nothing to exclude
+                    requirements,
+                };
+                self.send(out, parent, msg);
+                self.awaiting_parent.push_back(ParentWait::Relay);
+                return;
+            }
             let requester = esc.requester;
             self.escalation = None;
             self.send(out, requester, Message::CandidateReply { dest: None });
@@ -1381,28 +1461,37 @@ impl RegistryCore {
         dest: Option<String>,
         out: &mut Vec<CoreEffect>,
     ) {
-        // Parent replying to our escalation?
+        // Parent replying to something we sent up? Replies come back in
+        // request order (the parent serializes its searches).
         if Some(from) == self.cfg.parent {
-            let Some(wait) = self.awaiting_parent.pop_front() else {
-                return;
-            };
-            match dest {
-                Some(d) => {
-                    let Some(&src_idx) = self.index.get(wait.source.as_ref()) else {
-                        return;
-                    };
-                    self.dispatch_command(now, src_idx, &d, wait.pid, wait.schema, true, out);
-                    self.last_command.insert(wait.source, now);
+            match self.awaiting_parent.pop_front() {
+                Some(ParentWait::Decision(wait)) => match dest {
+                    Some(d) => {
+                        let Some(&src_idx) = self.index.get(wait.source.as_ref()) else {
+                            return;
+                        };
+                        self.dispatch_command(now, src_idx, &d, wait.pid, wait.schema, true, out);
+                        self.hosts[src_idx].last_command = Some(now);
+                    }
+                    None => {
+                        out.push(CoreEffect::Log(LogEffect::Decision(DecisionRecord {
+                            at: now,
+                            source: wait.source.to_string(),
+                            dest: None,
+                            pid: Some(wait.pid),
+                            escalated: true,
+                        })));
+                    }
+                },
+                Some(ParentWait::Relay) => {
+                    // The parent's verdict ends the escalation we relayed:
+                    // pass it down to the original requester.
+                    if let Some(esc) = self.escalation.take() {
+                        self.send(out, esc.requester, Message::CandidateReply { dest });
+                        self.pump_escalation_queue(now, out);
+                    }
                 }
-                None => {
-                    out.push(CoreEffect::Log(LogEffect::Decision(DecisionRecord {
-                        at: now,
-                        source: wait.source.to_string(),
-                        dest: None,
-                        pid: Some(wait.pid),
-                        escalated: true,
-                    })));
-                }
+                None => {}
             }
             return;
         }
@@ -1477,6 +1566,8 @@ mod tests {
             metrics: Metrics::new(),
             procs: vec![],
             hb_interval,
+            last_command: None,
+            obs_verdict: Liveness::Alive,
         }
     }
 

@@ -71,7 +71,7 @@ fn autonomic_migration_end_to_end() {
     // The migration-enabled application on ws1.
     let cfg = long_tree();
     let expected = TestTree::expected_sum(&cfg);
-    let app = TestTree::new(cfg.clone());
+    let app = TestTree::new(cfg);
     dep.schemas.put(ars_hpcm::MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
     let pid = HpcmShell::spawn_on(

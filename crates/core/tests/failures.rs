@@ -298,14 +298,7 @@ fn adaptive_window_learns_from_transient_bursts() {
     let app = TestTree::new(cfg);
     dep.schemas.put(MigratableApp::schema(&app));
     let hpcm = HpcmHooks::new();
-    HpcmShell::spawn_on(
-        &mut sim,
-        HostId(1),
-        app,
-        HpcmConfig::default(),
-        None,
-        hpcm.clone(),
-    );
+    HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm);
 
     // Repeated short bursts that clear soon after confirmation.
     for round in 0..6u64 {

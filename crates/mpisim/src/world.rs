@@ -211,7 +211,7 @@ impl Mpi {
     pub fn merge(&self, a: CommId, b: CommId) -> Result<CommId, MpiError> {
         let ca = self.comm(a)?;
         let cb = self.comm(b)?;
-        let mut members = ca.members.clone();
+        let mut members = ca.members;
         for t in cb.members {
             if !members.contains(&t) {
                 members.push(t);

@@ -254,4 +254,11 @@ impl<'a> Ctx<'a> {
         let now = self.kernel.now();
         self.kernel.trace.record(now, kind, detail);
     }
+
+    /// Record a trace event with a lazily-built detail string (no `format!`
+    /// cost while tracing is disabled).
+    pub fn trace_with(&mut self, kind: TraceKind, detail: impl FnOnce() -> String) {
+        let now = self.kernel.now();
+        self.kernel.trace.record_with(now, kind, detail);
+    }
 }

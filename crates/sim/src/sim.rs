@@ -16,6 +16,7 @@ use ars_obs::{Obs, ObsEvent};
 use ars_simcore::{EventId, EventQueue, FxHashMap, FxHashSet, JobId, SimDuration, SimRng, SimTime};
 use ars_simhost::{Host, HostConfig, ProcEntry, ProcState, LOAD_SAMPLE_INTERVAL};
 use ars_simnet::{FlowId, Network, NetworkConfig, NodeId};
+use std::sync::Arc;
 
 /// Simulator-wide configuration.
 #[derive(Debug, Clone)]
@@ -80,7 +81,9 @@ pub(crate) enum RunState {
 pub struct ProcMeta {
     pub(crate) pid: Pid,
     pub(crate) host: HostId,
-    pub(crate) name: String,
+    /// Interned process name: cloning is a refcount bump, so per-heartbeat
+    /// and per-trace uses never copy the string bytes.
+    pub(crate) name: Arc<str>,
     pub(crate) ops: std::collections::VecDeque<Op>,
     pub(crate) run: RunState,
     pub(crate) mailbox: std::collections::VecDeque<Envelope>,
@@ -208,7 +211,10 @@ pub struct Kernel {
     pub(crate) pending_spawns: Vec<PendingSpawn>,
     pub(crate) pending_kills: Vec<Pid>,
     pub(crate) pending_signals: Vec<(Pid, u32)>,
-    cpu_jobs: FxHashMap<(u32, JobId), Pid>,
+    /// Per-host slab of in-flight CPU jobs (host id indexes the outer Vec;
+    /// the short inner list replaces a `(host, job) -> pid` hash map on the
+    /// compute hot path).
+    cpu_jobs: Vec<Vec<(JobId, Pid)>>,
     flow_purpose: FxHashMap<FlowId, FlowPurpose>,
     pub(crate) forwarding: FxHashMap<Pid, Pid>,
     cpu_sched: Vec<Option<(u64, SimTime, EventId)>>,
@@ -216,8 +222,14 @@ pub struct Kernel {
     timer_seq: u64,
     pub(crate) alarm_seq: u64,
     pub(crate) faults: Option<FaultEngine>,
-    host_index: FxHashMap<String, u32>,
+    /// Interned host-name table: id → name. The companion `host_index` map
+    /// is consulted only at config-parse boundaries (name → id resolution);
+    /// everything downstream carries the dense u32 id.
+    host_names: Vec<Arc<str>>,
+    host_index: FxHashMap<Arc<str>, u32>,
     pub(crate) recorder: Option<Recorder>,
+    /// Events handled by `run_until` since construction (throughput metric).
+    events_handled: u64,
     /// Hosts whose CPU state an event may have changed since the last
     /// resync (`dirty_cpu` de-duplicates the list). Only these are
     /// re-examined; everything else provably needs no rescheduling.
@@ -248,6 +260,16 @@ impl Kernel {
         self.host_index.get(name).map(|&i| HostId(i))
     }
 
+    /// Interned name of a host (trace-emit boundary).
+    pub fn host_name(&self, id: HostId) -> &Arc<str> {
+        &self.host_names[id.0 as usize]
+    }
+
+    /// Number of events handled by the kernel loop so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
     /// Allocate a fresh pid (consumed by a pending spawn).
     pub(crate) fn alloc_pid(&mut self) -> Pid {
         let pid = Pid(self.next_pid);
@@ -273,6 +295,16 @@ impl Kernel {
         self.net.end_flow(self.now, id)
     }
 
+    fn cpu_job_insert(&mut self, host: u32, job: JobId, pid: Pid) {
+        self.cpu_jobs[host as usize].push((job, pid));
+    }
+
+    fn cpu_job_remove(&mut self, host: u32, job: JobId) -> Option<Pid> {
+        let jobs = &mut self.cpu_jobs[host as usize];
+        let i = jobs.iter().position(|&(j, _)| j == job)?;
+        Some(jobs.swap_remove(i).1)
+    }
+
     /// Note that `host`'s CPU job set may have changed; the next resync will
     /// re-examine its completion schedule. Idempotent and cheap.
     fn mark_cpu_dirty(&mut self, host: u32) {
@@ -293,10 +325,14 @@ impl Sim {
     /// Build a cluster from host configurations.
     pub fn new(host_configs: Vec<HostConfig>, config: SimConfig) -> Sim {
         let n = host_configs.len();
-        let host_index = host_configs
+        let host_names: Vec<Arc<str>> = host_configs
+            .iter()
+            .map(|c| Arc::from(c.name.as_str()))
+            .collect();
+        let host_index = host_names
             .iter()
             .enumerate()
-            .map(|(i, c)| (c.name.clone(), i as u32))
+            .map(|(i, name)| (name.clone(), i as u32))
             .collect();
         let mut trace = Trace::new();
         trace.set_enabled(config.trace);
@@ -312,7 +348,7 @@ impl Sim {
             pending_spawns: Vec::new(),
             pending_kills: Vec::new(),
             pending_signals: Vec::new(),
-            cpu_jobs: FxHashMap::default(),
+            cpu_jobs: vec![Vec::new(); n],
             flow_purpose: FxHashMap::default(),
             forwarding: FxHashMap::default(),
             cpu_sched: vec![None; n],
@@ -320,8 +356,10 @@ impl Sim {
             timer_seq: 0,
             alarm_seq: 0,
             faults: None,
+            host_names,
             host_index,
             recorder: None,
+            events_handled: 0,
             dirty_hosts: Vec::new(),
             dirty_cpu: vec![false; n],
             net_dirty: false,
@@ -470,6 +508,7 @@ impl Sim {
             let (t, ev) = self.kernel.queue.pop().expect("peeked event exists");
             debug_assert!(t >= self.kernel.now, "event from the past");
             self.kernel.now = t;
+            self.kernel.events_handled += 1;
             self.handle(ev);
             self.apply_pending();
             self.resync();
@@ -762,7 +801,7 @@ impl Sim {
         // list) to keep this hot path allocation-free.
         while let Some(job) = self.kernel.hosts[host as usize].first_finished_cpu_job() {
             self.kernel.hosts[host as usize].end_compute(now, job);
-            if let Some(pid) = self.kernel.cpu_jobs.remove(&(host, job)) {
+            if let Some(pid) = self.kernel.cpu_job_remove(host, job) {
                 self.kernel.hosts[host as usize].proc_set_state(pid.0, ProcState::Sleeping);
                 let slot = &mut self.procs[pid.0 as usize];
                 if matches!(slot.meta.run, RunState::Compute(j) if j == job) {
@@ -910,11 +949,11 @@ impl Sim {
         };
         match &slot.meta.run {
             RunState::Dead => {
-                self.kernel.trace.record(
-                    self.kernel.now,
-                    TraceKind::Deliver,
-                    format!("dropped message tag {} for dead {pid}", env.tag),
-                );
+                self.kernel
+                    .trace
+                    .record_with(self.kernel.now, TraceKind::Deliver, || {
+                        format!("dropped message tag {} for dead {pid}", env.tag)
+                    });
             }
             RunState::Recv(filter) if filter.matches(&env) => {
                 slot.meta.run = RunState::Idle;
@@ -980,7 +1019,7 @@ impl Sim {
             Op::Compute { work } => {
                 let job = self.kernel.hosts[host.0 as usize].start_compute(now, work);
                 self.kernel.mark_cpu_dirty(host.0);
-                self.kernel.cpu_jobs.insert((host.0, job), pid);
+                self.kernel.cpu_job_insert(host.0, job, pid);
                 self.kernel.hosts[host.0 as usize].proc_set_state(pid.0, ProcState::Runnable);
                 self.procs[pid.0 as usize].meta.run = RunState::Compute(job);
                 None
@@ -1061,6 +1100,7 @@ impl Sim {
             let spawn = self.kernel.pending_spawns.remove(0);
             debug_assert_eq!(spawn.pid.0 as usize, self.procs.len(), "pid/slot skew");
             let now = self.kernel.now;
+            let name: Arc<str> = spawn.opts.name.into();
             // Spawning onto a crashed host fails: the pid slot is created
             // dead (preserving the pid==slot invariant) and the program is
             // dropped, but the host never sees the process.
@@ -1073,19 +1113,17 @@ impl Sim {
                 if let Some(e) = self.kernel.faults.as_mut() {
                     e.stats.spawns_failed += 1;
                 }
-                self.kernel.trace.record(
-                    now,
-                    TraceKind::Fault,
+                self.kernel.trace.record_with(now, TraceKind::Fault, || {
                     format!(
-                        "spawn of {} ({}) refused: h{} down",
-                        spawn.pid, spawn.opts.name, spawn.host.0
-                    ),
-                );
+                        "spawn of {} ({name}) refused: h{} down",
+                        spawn.pid, spawn.host.0
+                    )
+                });
                 self.procs.push(ProcSlot {
                     meta: ProcMeta {
                         pid: spawn.pid,
                         host: spawn.host,
-                        name: spawn.opts.name,
+                        name,
                         ops: std::collections::VecDeque::new(),
                         run: RunState::Dead,
                         mailbox: std::collections::VecDeque::new(),
@@ -1100,28 +1138,24 @@ impl Sim {
             let host = &mut self.kernel.hosts[spawn.host.0 as usize];
             host.proc_add(ProcEntry {
                 pid: spawn.pid.0,
-                name: spawn.opts.name.clone(),
+                name: name.clone(),
                 start_time: now,
                 state: ProcState::Sleeping,
                 migratable: spawn.opts.migratable,
             });
             if host.mem_reserve(spawn.pid.0, spawn.opts.mem).is_err() {
-                self.kernel.trace.record(
-                    now,
-                    TraceKind::Custom,
-                    format!("{} OOM reserving for {}", spawn.opts.name, spawn.pid),
-                );
+                self.kernel.trace.record_with(now, TraceKind::Custom, || {
+                    format!("{name} OOM reserving for {}", spawn.pid)
+                });
             }
-            self.kernel.trace.record(
-                now,
-                TraceKind::Spawn,
-                format!("{} ({}) on h{}", spawn.pid, spawn.opts.name, spawn.host.0),
-            );
+            self.kernel.trace.record_with(now, TraceKind::Spawn, || {
+                format!("{} ({name}) on h{}", spawn.pid, spawn.host.0)
+            });
             self.procs.push(ProcSlot {
                 meta: ProcMeta {
                     pid: spawn.pid,
                     host: spawn.host,
-                    name: spawn.opts.name,
+                    name,
                     ops: std::collections::VecDeque::new(),
                     run: RunState::Idle,
                     mailbox: std::collections::VecDeque::new(),
@@ -1143,11 +1177,11 @@ impl Sim {
             if let Some(slot) = self.procs.get_mut(pid.0 as usize) {
                 if slot.meta.run != RunState::Dead {
                     slot.meta.signals.push_back(sig);
-                    self.kernel.trace.record(
-                        self.kernel.now,
-                        TraceKind::Signal,
-                        format!("signal {sig} -> {pid}"),
-                    );
+                    self.kernel
+                        .trace
+                        .record_with(self.kernel.now, TraceKind::Signal, || {
+                            format!("signal {sig} -> {pid}")
+                        });
                     self.kernel.queue.push(self.kernel.now, Event::Nudge(pid));
                 }
             }
@@ -1167,7 +1201,7 @@ impl Sim {
                 let h = slot.meta.host.0;
                 self.kernel.hosts[h as usize].end_compute(now, job);
                 self.kernel.mark_cpu_dirty(h);
-                self.kernel.cpu_jobs.remove(&(h, job));
+                self.kernel.cpu_job_remove(h, job);
             }
             RunState::SendFlow(flow) => {
                 self.kernel.net.end_flow(now, flow);
@@ -1182,11 +1216,11 @@ impl Sim {
         slot.meta.mailbox.clear();
         slot.program = None;
         let h = slot.meta.host.0;
-        let name = slot.meta.name.clone();
+        let name = slot.meta.name.clone(); // refcount bump, not a copy
         self.kernel.hosts[h as usize].proc_remove(pid.0);
         self.kernel
             .trace
-            .record(now, TraceKind::Exit, format!("{pid} ({name}) on h{h}"));
+            .record_with(now, TraceKind::Exit, || format!("{pid} ({name}) on h{h}"));
     }
 
     // --- Completion-event resynchronization -----------------------------------

@@ -75,6 +75,18 @@ impl Trace {
         }
     }
 
+    /// Record an event whose detail string is built lazily, so disabled
+    /// traces skip the `format!` entirely (hot paths call this).
+    pub fn record_with(&mut self, t: SimTime, kind: TraceKind, detail: impl FnOnce() -> String) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                t,
+                kind,
+                detail: detail(),
+            });
+        }
+    }
+
     /// All recorded events.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events

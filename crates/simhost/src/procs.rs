@@ -7,6 +7,7 @@
 
 use ars_simcore::SimTime;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Scheduling state of a process as seen by `ps`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,8 +23,8 @@ pub enum ProcState {
 pub struct ProcEntry {
     /// Simulator-wide process id.
     pub pid: u64,
-    /// Executable name.
-    pub name: String,
+    /// Executable name (interned: cloning a row never copies the bytes).
+    pub name: Arc<str>,
     /// Time the process started on *this* host (the pid-file timestamp).
     pub start_time: SimTime,
     /// Current scheduling state.
@@ -102,7 +103,7 @@ mod tests {
     fn entry(pid: u64, migratable: bool, start_s: u64) -> ProcEntry {
         ProcEntry {
             pid,
-            name: format!("proc{pid}"),
+            name: format!("proc{pid}").into(),
             start_time: SimTime::from_secs(start_s),
             state: ProcState::Runnable,
             migratable,

@@ -113,6 +113,12 @@ pub struct Network {
     next_id: u64,
     last_advance: SimTime,
     version: u64,
+    /// Scratch buffers reused across settle steps and re-rates (the hot
+    /// path runs one re-rate per message start/end): cleared each use,
+    /// never shrunk, so steady state allocates nothing.
+    scratch_todo: Vec<FlowId>,
+    scratch_finished: Vec<FlowId>,
+    scratch_touched: Vec<u32>,
 }
 
 impl Network {
@@ -127,6 +133,9 @@ impl Network {
             next_id: 0,
             last_advance: SimTime::ZERO,
             version: 0,
+            scratch_todo: Vec::new(),
+            scratch_finished: Vec::new(),
+            scratch_touched: Vec::new(),
         }
     }
 
@@ -234,7 +243,8 @@ impl Network {
     /// this matches [`recompute_rates_full`](Self::recompute_rates_full)
     /// bit for bit.
     fn recompute_rates_touched(&mut self, touched: &[u32]) {
-        let mut todo: Vec<FlowId> = Vec::new();
+        let mut todo = std::mem::take(&mut self.scratch_todo);
+        todo.clear();
         for &n in touched {
             let nic = &self.nics[n as usize];
             todo.extend_from_slice(&nic.tx_active);
@@ -242,11 +252,12 @@ impl Network {
         }
         todo.sort_unstable();
         todo.dedup();
-        for id in todo {
+        for &id in &todo {
             let flow = &self.flows[&id];
             let rate = self.fair_rate(flow.src, flow.dst);
             self.flows.get_mut(&id).expect("listed flow exists").rate = rate;
         }
+        self.scratch_todo = todo;
     }
 
     fn recompute_after(&mut self, touched: &[u32]) {
@@ -318,8 +329,10 @@ impl Network {
                 None => f64::INFINITY,
             };
             let step = remaining_dt.min(dt_next);
-            let mut finished: Vec<FlowId> = Vec::new();
-            let mut touched: Vec<u32> = Vec::new();
+            let mut finished = std::mem::take(&mut self.scratch_finished);
+            let mut touched = std::mem::take(&mut self.scratch_touched);
+            finished.clear();
+            touched.clear();
             for &id in &self.active {
                 let f = self.flows.get_mut(&id).expect("active flow exists");
                 let moved = f.rate * step;
@@ -350,6 +363,8 @@ impl Network {
                 touched.dedup();
                 self.recompute_rates_touched(&touched);
             }
+            self.scratch_finished = finished;
+            self.scratch_touched = touched;
             remaining_dt -= step;
             // Every surviving bounded flow's remaining just shrank (and
             // completions may have re-rated others): refresh the heap so it

@@ -37,6 +37,18 @@ cargo test --release -q --test chaos -- \
     enabling_observability_does_not_perturb_the_trace \
     disabled_fault_plan_is_byte_identical_to_no_fault_layer
 
+echo "== scale smoke (N = 4096, hierarchical + sharded) =="
+# The two scaling paths at 4096 simulated hosts must finish inside the
+# wall budget and still migrate; catches superlinear regressions in the
+# kernel hot path long before the full bench matrix would.
+timeout 180 ./target/release/bench_scale --smoke
+
+echo "== allocation lints (sim crates) =="
+# The kernel hot path is allocation-free by construction; deny the two
+# lints that catch clones/to_owned creeping back into it.
+cargo clippy -p ars-sim -p ars-simcore -p ars-simnet -p ars-simhost -p ars-rescheduler \
+    --all-targets -- -D warnings -D clippy::unnecessary_to_owned -D clippy::redundant_clone
+
 echo "== rustfmt =="
 # Vendored crates (vendor/*) keep their upstream formatting, so list our
 # packages explicitly instead of using --all.

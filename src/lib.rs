@@ -97,16 +97,18 @@ pub mod prelude {
     pub use ars_mpisim::{CommId, Mpi, Rank, ReduceOp, TaskId};
     pub use ars_obs::{Obs, ObsEvent, ObsHistogram, ObsKind, ObsRecord};
     pub use ars_rescheduler::{
-        deploy, deploy_hierarchical, Commander, DeployConfig, Deployment, DomainHealth, Endpoint,
-        HierarchicalDeployment, Liveness, Monitor, MonitorConfig, RegistryConfig, RegistryCore,
-        RegistryScheduler, ReschedHooks, SchemaBook, StateSource,
+        deploy, deploy_hierarchical, deploy_tree, Commander, DeployConfig, Deployment,
+        DomainHealth, Endpoint, HierarchicalDeployment, Liveness, Monitor, MonitorConfig,
+        RegistryConfig, RegistryCore, RegistryScheduler, ReschedHooks, SchemaBook, StateSource,
+        TreeDeployment,
     };
     pub use ars_rules::{
         metric_keys, Condition, HostState, MonitoringFrequency, Policy, RuleOp, RuleSet, SimpleRule,
     };
     pub use ars_sim::{
-        Ctx, Envelope, Fault, FaultPlan, FaultStats, HostId, MessageFaults, Payload, Pid, Program,
-        RecvFilter, ScheduleParams, Sim, SimConfig, SpawnOpts, TraceKind, Wake, RESTART_SIGNAL,
+        run_sharded, Ctx, Envelope, Fault, FaultPlan, FaultStats, HostId, MessageFaults, Payload,
+        Pid, Program, RecvFilter, ScheduleParams, ShardSession, ShardSpec, ShardedConfig,
+        ShardedRun, Sim, SimConfig, SpawnOpts, TraceKind, Wake, RESTART_SIGNAL,
     };
     pub use ars_simcore::{SimDuration, SimTime};
     pub use ars_simhost::HostConfig;
