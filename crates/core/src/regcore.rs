@@ -987,12 +987,11 @@ impl RegistryCore {
                         requirements: schema.requirements,
                     };
                     self.send(out, parent, req_msg);
-                    self.awaiting_parent
-                        .push_back(ParentWait::Decision(AwaitingParent {
-                            source,
-                            pid: proc_.pid,
-                            schema,
-                        }));
+                    self.push_parent_wait(ParentWait::Decision(AwaitingParent {
+                        source,
+                        pid: proc_.pid,
+                        schema,
+                    }));
                 } else {
                     trace(
                         out,
@@ -1090,6 +1089,27 @@ impl RegistryCore {
         })));
         out.push(CoreEffect::Log(LogEffect::CommandSent));
         self.cfg.obs.inc("commands_sent");
+    }
+
+    /// Enqueue a wait for the parent's next candidate replies. Reply
+    /// pairing relies on two invariants: the parent serializes searches
+    /// and replies FIFO, and a single registry never holds both wait
+    /// kinds at once (hosts monitored directly produce `Decision` waits,
+    /// relayed child searches produce `Relay` waits; deployments keep
+    /// monitored hosts on leaves only). The second is a deployment-shape
+    /// assumption rather than a structural guarantee, so assert it —
+    /// a mixed queue would silently mis-pair replies to waits.
+    fn push_parent_wait(&mut self, wait: ParentWait) {
+        debug_assert!(
+            self.awaiting_parent
+                .iter()
+                .all(|w| std::mem::discriminant(w) == std::mem::discriminant(&wait)),
+            "registry {}: mixing ParentWait::Decision and ParentWait::Relay — \
+             this deployment registers hosts on a mid-level registry, which \
+             FIFO reply pairing cannot support",
+            self.cfg.name
+        );
+        self.awaiting_parent.push_back(wait);
     }
 
     fn arm_timer(&mut self, after: SimDuration, out: &mut Vec<CoreEffect>) -> TimerId {
@@ -1351,7 +1371,21 @@ impl RegistryCore {
         let from_parent = Some(from) == self.cfg.parent;
         if !self.children.is_empty() && (is_child || from_parent) {
             if self.escalation.is_some() {
-                self.escalation_queue.push_back((from, requirements));
+                if from_parent {
+                    // A downward probe must never wait behind our own
+                    // active escalation: that escalation may itself relay
+                    // up to the probing parent, and parent and child would
+                    // then each sit in the other's queue — a distributed
+                    // deadlock with no timeout to break it. Answering
+                    // empty-handed keeps every wait edge pointing one way
+                    // (child waits on parent, never the reverse), so the
+                    // wait graph stays acyclic at any tree depth. The cost
+                    // is a conservative miss: a busy subtree looks full
+                    // for the duration of one search.
+                    self.send(out, from, Message::CandidateReply { dest: None });
+                } else {
+                    self.escalation_queue.push_back((from, requirements));
+                }
                 return;
             }
             self.escalation = Some(Escalation {
@@ -1426,7 +1460,7 @@ impl RegistryCore {
                     requirements,
                 };
                 self.send(out, parent, msg);
-                self.awaiting_parent.push_back(ParentWait::Relay);
+                self.push_parent_wait(ParentWait::Relay);
                 return;
             }
             let requester = esc.requester;
@@ -2152,6 +2186,130 @@ mod tests {
             ),
             "probe should fall back to registration order: {fx:?}"
         );
+    }
+
+    #[test]
+    fn a_busy_mid_answers_downward_probes_immediately_instead_of_deadlocking() {
+        // Regression: two concurrent escalations in a depth-3 tree. Mid B
+        // is mid-search on behalf of one of its leaves when the root —
+        // running a search for B's sibling C — probes down into B. If B
+        // queued the probe and then relayed its own search up, root and B
+        // would each wait on the other forever. B must answer the
+        // downward probe empty-handed right away.
+        let req = || Message::CandidateRequest {
+            host: String::new(),
+            requirements: ResourceRequirements::default(),
+        };
+        let mut root = test_core(Policy::no_migration());
+        register_child(&mut root, 10, "b");
+        register_child(&mut root, 20, "c");
+        let mut cfg = RegistryConfig::new(Policy::no_migration());
+        cfg.name = "b".to_string();
+        cfg.parent = Some(Endpoint(99));
+        let mut b = RegistryCore::new(cfg, SchemaBook::new());
+        register_child(&mut b, 10, "b0");
+        register_child(&mut b, 20, "b1");
+
+        // B's leaf b0 escalates; B probes its other leaf b1.
+        let fx = msg(&mut b, 1.0, 10, req());
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(20),
+                    msg: Message::CandidateRequest { .. }
+                }]
+            ),
+            "B should probe b1: {fx:?}"
+        );
+        // Concurrently, C escalates to the root; the root probes B.
+        let fx = msg(&mut root, 1.0, 20, req());
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(10),
+                    msg: Message::CandidateRequest { .. }
+                }]
+            ),
+            "root should probe B: {fx:?}"
+        );
+        // The downward probe reaches busy B: answered immediately, not
+        // queued behind B's own escalation.
+        let fx = msg(&mut b, 2.0, 99, req());
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(99),
+                    msg: Message::CandidateReply { dest: None }
+                }]
+            ),
+            "a busy mid must answer a parent probe right away: {fx:?}"
+        );
+        // B's own search: b1 is empty, so B relays it up to the root.
+        let fx = msg(&mut b, 3.0, 20, Message::CandidateReply { dest: None });
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(99),
+                    msg: Message::CandidateRequest { .. }
+                }]
+            ),
+            "B should relay its search upward: {fx:?}"
+        );
+        // B's empty-handed probe reply ends the root's search for C.
+        let fx = msg(&mut root, 4.0, 10, Message::CandidateReply { dest: None });
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(20),
+                    msg: Message::CandidateReply { dest: None }
+                }]
+            ),
+            "root should finish C's search: {fx:?}"
+        );
+        // Now idle, the root serves B's relayed search by probing C.
+        let fx = msg(&mut root, 5.0, 10, req());
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(20),
+                    msg: Message::CandidateRequest { .. }
+                }]
+            ),
+            "root should probe C for B's relayed search: {fx:?}"
+        );
+        // C is empty too; the verdict flows root -> B -> B's leaf.
+        let fx = msg(&mut root, 6.0, 20, Message::CandidateReply { dest: None });
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(10),
+                    msg: Message::CandidateReply { dest: None }
+                }]
+            ),
+            "root should answer B's relay: {fx:?}"
+        );
+        let fx = msg(&mut b, 7.0, 99, Message::CandidateReply { dest: None });
+        assert!(
+            matches!(
+                fx.as_slice(),
+                [CoreEffect::Send {
+                    to: Endpoint(10),
+                    msg: Message::CandidateReply { dest: None }
+                }]
+            ),
+            "B should resolve its leaf's original request: {fx:?}"
+        );
+        // Both trees drained: no stuck escalations or queued searches.
+        assert!(b.escalation.is_none() && b.escalation_queue.is_empty());
+        assert!(root.escalation.is_none() && root.escalation_queue.is_empty());
+        assert!(b.awaiting_parent.is_empty());
     }
 
     #[test]

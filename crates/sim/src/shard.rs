@@ -132,14 +132,18 @@ fn barriers(cfg: &ShardedConfig) -> Vec<SimTime> {
 /// outputs and the deterministically merged trace. See the module docs
 /// for the determinism contract.
 ///
-/// Panics if `specs` is empty, if an extracted event names a shard index
-/// out of range, or if a worker thread panics.
+/// Panics if `specs` is empty, if `cfg.epoch` is zero, if an extracted
+/// event names a shard index out of range, or if a worker thread panics.
 pub fn run_sharded<E, Out>(specs: Vec<ShardSpec<E, Out>>, cfg: ShardedConfig) -> ShardedRun<Out>
 where
     E: Send + 'static,
     Out: Send + 'static,
 {
     assert!(!specs.is_empty(), "run_sharded: no shards");
+    assert!(
+        cfg.epoch > SimDuration::ZERO,
+        "run_sharded: epoch must be positive (a zero epoch never reaches `until`)"
+    );
     if cfg.parallel {
         run_parallel(specs, cfg)
     } else {
