@@ -12,7 +12,10 @@
 //! `BENCH_faults.json`; the observability snapshot (per-phase migration
 //! latency and detector-reaction histograms) lands in `BENCH_obs.json`.
 
-use ars_bench::faults::{chaos_completion, levels, FaultRun, RUN_S};
+use ars_bench::faults::{
+    chaos_completion, levels, registry_chaos, FaultRun, RegistryRun, RegistryTarget,
+    REGISTRY_CRASH_S, RUN_S,
+};
 use ars_obs::Obs;
 
 const SEED: u64 = 11;
@@ -25,6 +28,65 @@ struct Row {
     msg_drop: f64,
     run: FaultRun,
     obs: Obs,
+}
+
+struct RegRow {
+    depth: usize,
+    target: RegistryTarget,
+    run: RegistryRun,
+    obs: Obs,
+}
+
+/// Fail loudly when a registry-fault cell fired faults but the new obs
+/// counters did not move: a fault-tolerance regression must not produce a
+/// plausible-looking all-zero BENCH_obs.json.
+fn require_registry_metrics(depth: usize, target: RegistryTarget, run: &RegistryRun, obs: &Obs) {
+    let mut missing = Vec::new();
+    if target != RegistryTarget::None {
+        if run.registry_crashes == 0 {
+            missing.push("injected registry crash".to_string());
+        }
+        if run.registry_recoveries == 0 {
+            missing.push("injected registry recovery".to_string());
+        }
+        if obs.counter("faults_injected") == 0 {
+            missing.push("counter faults_injected".to_string());
+        }
+    }
+    match target {
+        // A dead mid orphans its leaves: they must have re-parented, and
+        // the re-parenting latency histogram must have samples.
+        RegistryTarget::Mid => {
+            if obs.counter("children_reparented") == 0 {
+                missing.push("counter children_reparented".to_string());
+            }
+            match obs.histogram("reparent_delay_s") {
+                None => missing.push("histogram reparent_delay_s".to_string()),
+                Some(h) if h.count == 0 => {
+                    missing.push("empty histogram reparent_delay_s".to_string())
+                }
+                Some(_) => {}
+            }
+        }
+        // A dead root leaves its children nowhere to go: the detector must
+        // still have declared it down (buffer-and-retry path).
+        RegistryTarget::Root if obs.counter("parents_down") == 0 => {
+            missing.push("counter parents_down".to_string());
+        }
+        _ => {}
+    }
+    assert!(
+        missing.is_empty(),
+        "depth {depth}, target {}: registry-fault observability missing or zero: {}",
+        target.name(),
+        missing.join(", ")
+    );
+    assert_eq!(
+        run.completed,
+        run.apps,
+        "depth {depth}, target {}: a registry fault lost an application",
+        target.name()
+    );
 }
 
 /// Abort the bench if an expected metric is missing or zero — a silent
@@ -151,6 +213,68 @@ fn main() {
         }
     }
 
+    // --- registry-fault family: tree depth × registry-fault level -----------
+    println!("\nregistry replay gate: depth 3, mid crash, tracing on");
+    let ra = registry_chaos(3, SEED, RegistryTarget::Mid, true, Obs::disabled());
+    let rb = registry_chaos(3, SEED, RegistryTarget::Mid, true, Obs::disabled());
+    let (tra, trb) = (ra.trace.as_ref().unwrap(), rb.trace.as_ref().unwrap());
+    assert_eq!(tra.len(), trb.len(), "registry replay trace lengths differ");
+    for (i, (x, y)) in tra.iter().zip(trb).enumerate() {
+        assert_eq!(x, y, "registry replay diverges at event {i}");
+    }
+    println!(
+        "  identical: {} events, {}/{} apps completed with a dead mid",
+        tra.len(),
+        ra.completed,
+        ra.apps
+    );
+
+    println!(
+        "\n{:>6} {:>7} {:>5} {:>9} {:>9} {:>8} {:>11} {:>9} {:>12} {:>10}",
+        "depth",
+        "target",
+        "apps",
+        "completed",
+        "committed",
+        "crashes",
+        "blackholed",
+        "reparent",
+        "reparent(s)",
+        "esc. t/o"
+    );
+    let mut reg_rows = Vec::new();
+    for depth in [2usize, 3] {
+        for target in RegistryTarget::for_depth(depth) {
+            let obs = Obs::enabled();
+            let run = registry_chaos(depth, SEED, target, false, obs.clone());
+            require_registry_metrics(depth, target, &run, &obs);
+            let reparent_mean = obs
+                .histogram("reparent_delay_s")
+                .and_then(|h| h.mean())
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "{:>6} {:>7} {:>5} {:>9} {:>9} {:>8} {:>11} {:>9} {:>12} {:>10}",
+                depth,
+                target.name(),
+                run.apps,
+                run.completed,
+                run.committed,
+                run.registry_crashes,
+                run.msgs_blackholed_registry,
+                obs.counter("children_reparented"),
+                reparent_mean,
+                obs.counter("escalations_timed_out"),
+            );
+            reg_rows.push(RegRow {
+                depth,
+                target,
+                run,
+                obs,
+            });
+        }
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"bench_faults\",\n");
@@ -191,6 +315,42 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"registry_scenario\": \"fault-tolerant registry tree, one registry crashed at {REGISTRY_CRASH_S} s, {RUN_S} s simulated, seed {SEED}\",\n"
+    ));
+    json.push_str("  \"registry_results\": [\n");
+    for (i, r) in reg_rows.iter().enumerate() {
+        let reparent_mean = r
+            .obs
+            .histogram("reparent_delay_s")
+            .and_then(|h| h.mean())
+            .map(|m| format!("{m:.3}"))
+            .unwrap_or_else(|| "null".to_string());
+        json.push_str(&format!(
+            "    {{\"depth\": {}, \"target\": \"{}\", \"apps\": {}, \
+             \"completed\": {}, \"completion_rate\": {:.3}, \"committed\": {}, \
+             \"registry_crashes\": {}, \"registry_recoveries\": {}, \
+             \"msgs_blackholed_registry\": {}, \"children_reparented\": {}, \
+             \"mean_reparent_s\": {}, \"parents_suspected\": {}, \
+             \"parents_down\": {}, \"escalations_timed_out\": {}}}{}\n",
+            r.depth,
+            r.target.name(),
+            r.run.apps,
+            r.run.completed,
+            r.run.completed as f64 / r.run.apps as f64,
+            r.run.committed,
+            r.run.registry_crashes,
+            r.run.registry_recoveries,
+            r.run.msgs_blackholed_registry,
+            r.obs.counter("children_reparented"),
+            reparent_mean,
+            r.obs.counter("parents_suspected"),
+            r.obs.counter("parents_down"),
+            r.obs.counter("escalations_timed_out"),
+            if i + 1 < reg_rows.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
     println!("\nwrote BENCH_faults.json");
@@ -213,6 +373,21 @@ fn main() {
             r.level,
             r.obs.metrics_json(),
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    obs_json.push_str("  ],\n");
+    // The registry-fault family's snapshots: re-parenting and
+    // escalation-timeout counters live in the same metrics registry, so a
+    // cell where faults fired but the counters stayed absent has already
+    // been rejected by `require_registry_metrics`.
+    obs_json.push_str("  \"registry_results\": [\n");
+    for (i, r) in reg_rows.iter().enumerate() {
+        obs_json.push_str(&format!(
+            "    {{\"depth\": {}, \"target\": \"{}\", \"metrics\": {}}}{}\n",
+            r.depth,
+            r.target.name(),
+            r.obs.metrics_json(),
+            if i + 1 < reg_rows.len() { "," } else { "" }
         ));
     }
     obs_json.push_str("  ]\n}\n");

@@ -51,6 +51,12 @@ pub struct DeployConfig {
     /// `SimConfig::obs` / `HpcmConfig::obs` to the same handle for a
     /// cluster-wide event stream.
     pub obs: Obs,
+    /// Turn on registry fault tolerance ([`crate::RegistryFt`]) for every
+    /// registry deployed by [`deploy_tree`]: parent-liveness detection via
+    /// report ACKs, orphan re-parenting to the grandparent carried in the
+    /// tree topology, escalation deadlines and stale-health decay. Off by
+    /// default so fault-free traces stay byte-identical.
+    pub registry_ft: bool,
 }
 
 impl Default for DeployConfig {
@@ -65,6 +71,7 @@ impl Default for DeployConfig {
             adaptive: None,
             push: true,
             obs: Obs::disabled(),
+            registry_ft: false,
         }
     }
 }
@@ -231,6 +238,7 @@ pub fn deploy_tree(
     root_cfg.name = format!("root@h{}", registry_host.0);
     root_cfg.lease = cfg.lease;
     root_cfg.obs = cfg.obs.clone();
+    root_cfg.ft.enabled = cfg.registry_ft;
     let root = sim.spawn(
         registry_host,
         Box::new(RegistryScheduler::new(
@@ -263,6 +271,17 @@ pub fn deploy_tree(
             }
             node_cfg.parent = Some(Endpoint::from(parent));
             node_cfg.obs = cfg.obs.clone();
+            if cfg.registry_ft {
+                node_cfg.ft.enabled = true;
+                // The grandparent is this node's fallback parent: the
+                // node above its parent, or `None` when the parent is
+                // already the root (those children buffer-and-retry).
+                node_cfg.ft.grandparent = if l >= 1 {
+                    Some(Endpoint::from(levels[l - 1][(i / f) / fanout[l - 1]]))
+                } else {
+                    None
+                };
+            }
             let spawn_name = if is_leaf {
                 format!("ars_registry_d{i}")
             } else {

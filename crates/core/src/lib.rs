@@ -38,6 +38,6 @@ pub use hooks::{DecisionRecord, ReschedHooks, ReschedLog, SchemaBook, CONTROL_TA
 pub use monitor::{Monitor, MonitorConfig, StateSource};
 pub use regcore::{
     CoreEffect, CoreInput, DomainHealth, Endpoint, HostEntry, Liveness, LogEffect, RegistryConfig,
-    RegistryCore, SelectionPolicy, TimerId,
+    RegistryCore, RegistryFt, SelectionPolicy, TimerId,
 };
 pub use registry::RegistryScheduler;

@@ -208,6 +208,67 @@ pub struct RegistryConfig {
     /// command retransmits/aborts, scan-length histograms). The disabled
     /// default is a no-op and an enabled session never changes a decision.
     pub obs: ars_obs::Obs,
+    /// Registry-tree fault tolerance (parent-liveness detector,
+    /// re-parenting, escalation deadlines, stale-health decay). Disabled
+    /// by default: the core then sends no report ACKs, arms no escalation
+    /// timers, and ages nothing, so pre-existing effect streams are
+    /// byte-identical.
+    pub ft: RegistryFt,
+}
+
+/// Knobs for the registry-tree fault-tolerance layer. The registry
+/// hierarchy is otherwise a tree of single points of failure: a crashed
+/// mid-level registry orphans its subtree and strands every in-flight
+/// `ParentWait` forever. With `enabled`, parents acknowledge each
+/// [`Message::DomainReport`], children count consecutive unacknowledged
+/// reports as a parent-liveness detector (symmetric to the host
+/// missed-heartbeat detector), orphans re-parent to their grandparent (or
+/// buffer-and-retry with capped exponential backoff when there is none),
+/// and every cross-domain escalation step is bounded by a deadline.
+#[derive(Debug, Clone)]
+pub struct RegistryFt {
+    /// Master switch; everything below is inert when false.
+    pub enabled: bool,
+    /// Where to re-parent when the parent is declared Down: the parent's
+    /// own parent, carried down by `deploy_tree`. `None` for the root's
+    /// children, which buffer-and-retry instead.
+    pub grandparent: Option<Endpoint>,
+    /// Consecutive unacknowledged domain reports before the parent is
+    /// Suspect.
+    pub suspect_after: u32,
+    /// Consecutive unacknowledged domain reports before the parent is
+    /// declared Down (re-parent or back off).
+    pub down_after: u32,
+    /// Parent-side deadline for one downward child probe of a
+    /// cross-domain search; on expiry the child counts as empty-handed
+    /// and the search moves on.
+    pub probe_timeout: SimDuration,
+    /// Child-side deadline for a [`ParentWait`]; on expiry the wait is
+    /// cancelled and resolved empty (the decision falls back to a fresh
+    /// local search on the next overloaded heartbeat).
+    pub wait_timeout: SimDuration,
+    /// Age beyond which a child's last [`Message::DomainReport`] no longer
+    /// earns it priority: stale children are probed last and excluded from
+    /// upward subtree aggregation.
+    pub child_health_ttl: SimDuration,
+    /// Cap for the buffer-and-retry report backoff used when the parent is
+    /// Down and there is no grandparent to fall back to.
+    pub max_report_backoff: SimDuration,
+}
+
+impl Default for RegistryFt {
+    fn default() -> Self {
+        RegistryFt {
+            enabled: false,
+            grandparent: None,
+            suspect_after: 2,
+            down_after: 4,
+            probe_timeout: SimDuration::from_secs(10),
+            wait_timeout: SimDuration::from_secs(30),
+            child_health_ttl: SimDuration::from_secs(45),
+            max_report_backoff: SimDuration::from_secs(80),
+        }
+    }
 }
 
 impl RegistryConfig {
@@ -227,6 +288,7 @@ impl RegistryConfig {
             max_command_retries: 3,
             health_report_every: SimDuration::from_secs(10),
             obs: ars_obs::Obs::disabled(),
+            ft: RegistryFt::default(),
         }
     }
 }
@@ -383,6 +445,9 @@ struct Escalation {
     /// when that reply arrives (and a duplicated child reply must not
     /// re-ask).
     asked_parent: bool,
+    /// Fault tolerance: deadline for the probe currently in flight. A
+    /// timely reply disarms it; expiry counts the child as empty-handed.
+    deadline: Option<TimerId>,
 }
 
 /// A child registry of this core, with the latest domain-health summary it
@@ -391,6 +456,21 @@ struct Child {
     name: String,
     ep: Endpoint,
     health: Option<DomainHealth>,
+    /// When the latest report (or the registration) arrived; the
+    /// fault-tolerance layer ages unreporting children out of probe
+    /// priority and subtree aggregation by this.
+    last_report: SimTime,
+}
+
+/// What a fired [`TimerId`] means. Command-ack retransmit deadlines are the
+/// pre-existing (and by far most common) kind; they stay out of this map
+/// and are dispatched by absence, so the fault-tolerance layer adds no
+/// bookkeeping to the command path.
+enum TimerKind {
+    /// Parent side: the downward probe of a cross-domain search timed out.
+    Probe,
+    /// Child side: a [`ParentWait`] exceeded its deadline.
+    ParentWait,
 }
 
 /// A migration command awaiting its commander's acknowledgement. Keyed by
@@ -464,6 +544,30 @@ pub struct RegistryCore {
     escalation: Option<Escalation>,
     escalation_queue: VecDeque<(Endpoint, ResourceRequirements)>,
     awaiting_parent: VecDeque<ParentWait>,
+    /// Deadline timers paired index-for-index with `awaiting_parent`
+    /// (`None` entries when fault tolerance is off). Kept as a parallel
+    /// queue so the wait FIFO itself — and everything that pairs against
+    /// it — is untouched when the layer is disabled.
+    wait_deadlines: VecDeque<Option<TimerId>>,
+    /// Meaning of outstanding fault-tolerance timers; command-ack timers
+    /// are dispatched by absence from this map.
+    timer_kinds: HashMap<TimerId, TimerKind>,
+    /// Parent replies to discard before pairing resumes: when a wait times
+    /// out the parent may still answer it, and since replies come back
+    /// FIFO the *next* reply after a timeout belongs to the abandoned wait.
+    stale_parent_replies: u32,
+    /// Consecutive domain reports pushed without a parent ACK (the
+    /// parent-liveness detector's counter).
+    reports_unacked: u32,
+    /// Parent-liveness verdict (same scale as the host detector).
+    parent_state: Liveness,
+    /// Last time the parent was provably alive (an ACK, registration, or a
+    /// re-parent); re-parenting latency is measured from here.
+    parent_last_ok: SimTime,
+    /// Buffer-and-retry: widened report spacing while the parent is Down
+    /// with no grandparent to fall back to (doubles per silent report, up
+    /// to [`RegistryFt::max_report_backoff`]).
+    report_backoff: Option<SimDuration>,
     pull_round: Option<PullRound>,
     /// When this registry last pushed a [`Message::DomainReport`] upward.
     last_health_report: SimTime,
@@ -487,6 +591,13 @@ impl RegistryCore {
             escalation: None,
             escalation_queue: VecDeque::new(),
             awaiting_parent: VecDeque::new(),
+            wait_deadlines: VecDeque::new(),
+            timer_kinds: HashMap::new(),
+            stale_parent_replies: 0,
+            reports_unacked: 0,
+            parent_state: Liveness::Alive,
+            parent_last_ok: SimTime::ZERO,
+            report_backoff: None,
             pull_round: None,
             last_health_report: SimTime::ZERO,
             last_obs_sweep: SimTime::ZERO,
@@ -543,11 +654,24 @@ impl RegistryCore {
     pub fn subtree_health(&self, now: SimTime) -> DomainHealth {
         let mut h = self.domain_health(now);
         for c in &self.children {
+            // Fault tolerance: a child that stopped reporting is likely
+            // dead (or partitioned off); folding its last report into the
+            // upward summary would advertise capacity that no longer
+            // answers. Age it out instead of trusting it forever.
+            if self.child_is_stale(c, now) {
+                continue;
+            }
             if let Some(ch) = &c.health {
                 h.merge(ch);
             }
         }
         h
+    }
+
+    /// True when fault tolerance is on and `c`'s last report (or its
+    /// registration, if it never reported) is older than the TTL.
+    fn child_is_stale(&self, c: &Child, now: SimTime) -> bool {
+        self.cfg.ft.enabled && now.since(c.last_report) > self.cfg.ft.child_health_ttl
     }
 
     /// Read-only destination query: the host first-fit would pick for
@@ -574,8 +698,15 @@ impl RegistryCore {
                 }
                 self.decide(now, source, out);
             }
-            CoreInput::TimerFired(timer) => self.on_ack_timeout(now, timer, out),
-            CoreInput::Restart => self.restart(out),
+            CoreInput::TimerFired(timer) => match self.timer_kinds.remove(&timer) {
+                Some(TimerKind::Probe) => self.on_probe_timeout(now, timer, out),
+                Some(TimerKind::ParentWait) => self.on_wait_timeout(now, timer, out),
+                // Not a fault-tolerance timer: a command-ack retransmit
+                // deadline (or a deadline disarmed by a timely reply, which
+                // `on_ack_timeout` ignores as an unknown id).
+                None => self.on_ack_timeout(now, timer, out),
+            },
+            CoreInput::Restart => self.restart(now, out),
         }
     }
 
@@ -587,7 +718,7 @@ impl RegistryCore {
         out: &mut Vec<CoreEffect>,
     ) {
         match msg {
-            Message::Register { host, role } => self.on_register(now, from, host, role),
+            Message::Register { host, role } => self.on_register(now, from, host, role, out),
             Message::Heartbeat {
                 host,
                 state,
@@ -607,16 +738,14 @@ impl RegistryCore {
             }
             Message::CommandAck { host, pid, ok } => self.on_command_ack(now, host, pid, ok, out),
             Message::DomainReport {
+                domain,
                 free,
                 busy,
                 overloaded,
                 unavailable,
                 load_sum,
                 load_samples,
-                ..
             } => {
-                // Reports from endpoints that never registered are dropped
-                // (Register always precedes the first report).
                 if let Some(c) = self.children.iter_mut().find(|c| c.ep == from) {
                     c.health = Some(DomainHealth {
                         free,
@@ -626,6 +755,33 @@ impl RegistryCore {
                         load_sum,
                         load_samples,
                     });
+                    c.last_report = now;
+                    // Fault tolerance: acknowledge the report so the child
+                    // can run its parent-liveness detector against the ACK
+                    // stream (symmetric to hosts' heartbeat detector).
+                    if self.cfg.ft.enabled {
+                        self.send(
+                            out,
+                            from,
+                            Message::Ack {
+                                ok: true,
+                                info: self.cfg.name.clone(),
+                            },
+                        );
+                    }
+                } else if self.cfg.ft.enabled {
+                    // Unknown reporter — we restarted and lost the child
+                    // list. Nudge it to re-introduce itself, mirroring the
+                    // heartbeat path's soft-state reconstruction.
+                    trace(
+                        out,
+                        TraceKind::Recovery,
+                        format!(
+                            "registry {}: report from unknown child {domain}, asking to re-register",
+                            self.cfg.name
+                        ),
+                    );
+                    self.send(out, from, Message::ReRegister { host: domain });
                 }
                 // A mid-level registry folds the fresh child summary into
                 // its own upward report. Roots have no parent (no-op), and
@@ -633,10 +789,9 @@ impl RegistryCore {
                 // effect streams are untouched.
                 self.maybe_report_health(now, out);
             }
-            Message::Ack { .. }
-            | Message::MigrationCommand { .. }
-            | Message::StatusQuery { .. }
-            | Message::ReRegister { .. } => {}
+            Message::Ack { ok, .. } => self.on_parent_ack(now, from, ok, out),
+            Message::ReRegister { .. } => self.on_reregister_nudge(now, from, out),
+            Message::MigrationCommand { .. } | Message::StatusQuery { .. } => {}
         }
     }
 
@@ -654,13 +809,55 @@ impl RegistryCore {
         }
     }
 
-    fn on_register(&mut self, now: SimTime, from: Endpoint, host: HostStatic, role: EntityRole) {
+    fn on_register(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        host: HostStatic,
+        role: EntityRole,
+        out: &mut Vec<CoreEffect>,
+    ) {
         if role == EntityRole::Registry {
-            if !self.children.iter().any(|c| c.ep == from) {
+            if let Some(i) = self.children.iter().position(|c| c.ep == from) {
+                // A re-register means the child process restarted and lost
+                // its soft state — including any in-flight search it asked
+                // us for. A queued request from it is now unowned, and an
+                // active search on its behalf would deliver a reply the
+                // fresh child never asked for, poisoning its FIFO pairing
+                // with its own parent. Purge both, and reset its health:
+                // the old report described a process that no longer exists.
+                let c = &mut self.children[i];
+                c.name = host.name;
+                c.health = None;
+                c.last_report = now;
+                let queued = self.escalation_queue.len();
+                self.escalation_queue.retain(|(ep, _)| *ep != from);
+                let dropped = queued - self.escalation_queue.len();
+                let active = self
+                    .escalation
+                    .as_ref()
+                    .is_some_and(|esc| esc.requester == from);
+                if active {
+                    self.clear_escalation();
+                }
+                if dropped > 0 || active {
+                    trace(
+                        out,
+                        TraceKind::Recovery,
+                        format!(
+                            "registry {}: child restarted, cancelled {} search(es) it owned",
+                            self.cfg.name,
+                            dropped + usize::from(active)
+                        ),
+                    );
+                    self.pump_escalation_queue(now, out);
+                }
+            } else {
                 self.children.push(Child {
                     name: host.name,
                     ep: from,
                     health: None,
+                    last_report: now,
                 });
             }
             return;
@@ -774,9 +971,11 @@ impl RegistryCore {
         let Some(parent) = self.cfg.parent else {
             return;
         };
-        if self.last_health_report != SimTime::ZERO
-            && now.since(self.last_health_report) < self.cfg.health_report_every
-        {
+        // Buffer-and-retry: while the parent is Down with no grandparent,
+        // reports keep flowing (they double as the probe that discovers
+        // recovery) but at a backed-off cadence.
+        let every = self.report_backoff.unwrap_or(self.cfg.health_report_every);
+        if self.last_health_report != SimTime::ZERO && now.since(self.last_health_report) < every {
             return;
         }
         self.last_health_report = now;
@@ -791,6 +990,249 @@ impl RegistryCore {
             load_samples: h.load_samples,
         };
         self.send(out, parent, report);
+        if self.cfg.ft.enabled {
+            self.reports_unacked += 1;
+            self.check_parent_liveness(now, out);
+        }
+    }
+
+    // --- Registry fault tolerance: parent-liveness detector ------------------
+
+    /// The parent acknowledged a domain report: it is provably alive.
+    fn on_parent_ack(&mut self, now: SimTime, from: Endpoint, ok: bool, out: &mut Vec<CoreEffect>) {
+        if !self.cfg.ft.enabled || Some(from) != self.cfg.parent || !ok {
+            return;
+        }
+        self.reports_unacked = 0;
+        self.parent_last_ok = now;
+        if self.parent_state != Liveness::Alive {
+            trace(
+                out,
+                TraceKind::Recovery,
+                format!("registry {}: parent is alive again", self.cfg.name),
+            );
+            self.parent_state = Liveness::Alive;
+        }
+        if self.report_backoff.take().is_some() {
+            // Resume the normal cadence promptly after the backed-off probe
+            // that found the parent again.
+            self.last_health_report = SimTime::ZERO;
+        }
+    }
+
+    /// Evaluate the detector after a report went out unanswered. Thresholds
+    /// are counted in consecutive unacknowledged reports, so detection
+    /// needs no extra timers: the report stream (driven by heartbeats and
+    /// child reports) is the clock.
+    fn check_parent_liveness(&mut self, now: SimTime, out: &mut Vec<CoreEffect>) {
+        let unacked = self.reports_unacked;
+        if self.parent_state == Liveness::Alive
+            && unacked >= self.cfg.ft.suspect_after
+            && unacked < self.cfg.ft.down_after
+        {
+            self.parent_state = Liveness::Suspect;
+            trace(
+                out,
+                TraceKind::Recovery,
+                format!(
+                    "registry {}: parent suspect ({unacked} reports unacked)",
+                    self.cfg.name
+                ),
+            );
+            self.cfg.obs.inc("parents_suspected");
+            let registry = self.cfg.name.clone();
+            self.cfg.obs.record(now, || ObsEvent::ParentSuspect {
+                registry,
+                missed_acks: unacked,
+            });
+            return;
+        }
+        if self.parent_state != Liveness::Down && unacked >= self.cfg.ft.down_after {
+            self.parent_state = Liveness::Down;
+            trace(
+                out,
+                TraceKind::Recovery,
+                format!(
+                    "registry {}: parent down ({unacked} reports unacked)",
+                    self.cfg.name
+                ),
+            );
+            self.cfg.obs.inc("parents_down");
+            let registry = self.cfg.name.clone();
+            self.cfg.obs.record(now, || ObsEvent::ParentDown {
+                registry,
+                missed_acks: unacked,
+            });
+            self.on_parent_down(now, out);
+            return;
+        }
+        if self.parent_state == Liveness::Down {
+            if let Some(b) = self.report_backoff {
+                // Still silent: widen the retry spacing (capped).
+                let doubled = SimDuration::from_secs_f64(
+                    (b.as_secs_f64() * 2.0).min(self.cfg.ft.max_report_backoff.as_secs_f64()),
+                );
+                self.report_backoff = Some(doubled);
+            }
+        }
+    }
+
+    /// The parent is Down: re-parent to the grandparent when the topology
+    /// offers one, else fall back to buffer-and-retry. Either way, every
+    /// wait on the dead parent is cancelled — its replies are not coming.
+    fn on_parent_down(&mut self, now: SimTime, out: &mut Vec<CoreEffect>) {
+        self.cancel_parent_waits(now, "parent down", out);
+        // Replies the dead parent owed us will never arrive; expecting to
+        // discard them would eat the first replies of a future parent.
+        self.stale_parent_replies = 0;
+        match self.cfg.ft.grandparent.take() {
+            Some(gp) if Some(gp) != self.cfg.parent => {
+                let orphaned_s = now.since(self.parent_last_ok).as_secs_f64();
+                trace(
+                    out,
+                    TraceKind::Recovery,
+                    format!(
+                        "registry {}: re-parenting to grandparent after {orphaned_s:.1}s orphaned",
+                        self.cfg.name
+                    ),
+                );
+                self.cfg.parent = Some(gp);
+                self.parent_state = Liveness::Alive;
+                self.reports_unacked = 0;
+                self.parent_last_ok = now;
+                self.report_backoff = None;
+                self.cfg.obs.inc("children_reparented");
+                self.cfg.obs.observe("reparent_delay_s", orphaned_s);
+                let registry = self.cfg.name.clone();
+                self.cfg.obs.record(now, || ObsEvent::ChildReparented {
+                    registry,
+                    orphaned_s,
+                });
+                let intro = Message::Register {
+                    host: self.registry_static(),
+                    role: EntityRole::Registry,
+                };
+                self.send(out, gp, intro);
+                // Introduce our subtree's health promptly.
+                self.last_health_report = SimTime::ZERO;
+            }
+            _ => {
+                // The root's children have nowhere to go: keep reporting
+                // into the void with capped exponential backoff until the
+                // parent is rebuilt (its restart answers our next report
+                // with a ReRegister nudge).
+                let b = self
+                    .report_backoff
+                    .unwrap_or(self.cfg.health_report_every)
+                    .as_secs_f64();
+                self.report_backoff = Some(SimDuration::from_secs_f64(
+                    (b * 2.0).min(self.cfg.ft.max_report_backoff.as_secs_f64()),
+                ));
+                trace(
+                    out,
+                    TraceKind::Recovery,
+                    format!(
+                        "registry {}: no grandparent, buffering reports with backoff",
+                        self.cfg.name
+                    ),
+                );
+            }
+        }
+    }
+
+    /// The parent says it does not know us (it restarted): re-introduce
+    /// ourselves and drop every expectation about its pre-restart state.
+    fn on_reregister_nudge(&mut self, now: SimTime, from: Endpoint, out: &mut Vec<CoreEffect>) {
+        if Some(from) != self.cfg.parent {
+            return;
+        }
+        let intro = Message::Register {
+            host: self.registry_static(),
+            role: EntityRole::Registry,
+        };
+        self.send(out, from, intro);
+        // The restarted parent has no memory of requests we sent before it
+        // died: no replies to them are owed or expected, and waits on them
+        // would otherwise hang until their deadline (or forever).
+        self.stale_parent_replies = 0;
+        self.cancel_parent_waits(now, "parent restarted", out);
+        self.last_health_report = SimTime::ZERO;
+    }
+
+    /// The static half of a core-built `Register { role: Registry }`. Only
+    /// the name matters to the parent (it keys children by endpoint); the
+    /// driver-issued registration at startup carries the real address.
+    fn registry_static(&self) -> HostStatic {
+        HostStatic {
+            name: self.cfg.name.clone(),
+            ip: "0.0.0.0".to_string(),
+            os: "registry".to_string(),
+            cpu_speed: 0.0,
+            n_cpus: 0,
+            mem_kb: 0,
+        }
+    }
+
+    /// Cancel every queued [`ParentWait`]: resolve decisions empty (the
+    /// source host retries from a fresh local search) and answer relayed
+    /// searches with no candidate.
+    fn cancel_parent_waits(&mut self, now: SimTime, why: &str, out: &mut Vec<CoreEffect>) {
+        while let Some(wait) = self.awaiting_parent.pop_front() {
+            if let Some(Some(t)) = self.wait_deadlines.pop_front() {
+                self.timer_kinds.remove(&t);
+            }
+            self.resolve_wait_empty(now, wait, why, out);
+        }
+    }
+
+    /// Resolve one abandoned wait as if the parent had replied "no
+    /// candidate", and clear the source's cooldown so the fallback — a
+    /// fresh local/sibling search — starts on its next heartbeat instead
+    /// of a full cooldown later.
+    fn resolve_wait_empty(
+        &mut self,
+        now: SimTime,
+        wait: ParentWait,
+        why: &str,
+        out: &mut Vec<CoreEffect>,
+    ) {
+        match wait {
+            ParentWait::Decision(w) => {
+                trace(
+                    out,
+                    TraceKind::Recovery,
+                    format!(
+                        "registry {}: escalated decision for {} abandoned ({why})",
+                        self.cfg.name, w.source
+                    ),
+                );
+                out.push(CoreEffect::Log(LogEffect::Decision(DecisionRecord {
+                    at: now,
+                    source: w.source.to_string(),
+                    dest: None,
+                    pid: Some(w.pid),
+                    escalated: true,
+                })));
+                if let Some(&i) = self.index.get(w.source.as_ref()) {
+                    self.hosts[i].last_command = None;
+                }
+            }
+            ParentWait::Relay => {
+                if let Some(esc) = self.clear_escalation() {
+                    self.send(out, esc.requester, Message::CandidateReply { dest: None });
+                }
+                self.pump_escalation_queue(now, out);
+            }
+        }
+    }
+
+    /// Drop the active escalation, disarming its probe deadline.
+    fn clear_escalation(&mut self) -> Option<Escalation> {
+        let esc = self.escalation.take()?;
+        if let Some(t) = esc.deadline {
+            self.timer_kinds.remove(&t);
+        }
+        Some(esc)
     }
 
     /// Observability sweep: re-evaluate every host's liveness verdict and
@@ -987,11 +1429,14 @@ impl RegistryCore {
                         requirements: schema.requirements,
                     };
                     self.send(out, parent, req_msg);
-                    self.push_parent_wait(ParentWait::Decision(AwaitingParent {
-                        source,
-                        pid: proc_.pid,
-                        schema,
-                    }));
+                    self.push_parent_wait(
+                        ParentWait::Decision(AwaitingParent {
+                            source,
+                            pid: proc_.pid,
+                            schema,
+                        }),
+                        out,
+                    );
                 } else {
                     trace(
                         out,
@@ -1099,7 +1544,7 @@ impl RegistryCore {
     /// monitored hosts on leaves only). The second is a deployment-shape
     /// assumption rather than a structural guarantee, so assert it —
     /// a mixed queue would silently mis-pair replies to waits.
-    fn push_parent_wait(&mut self, wait: ParentWait) {
+    fn push_parent_wait(&mut self, wait: ParentWait, out: &mut Vec<CoreEffect>) {
         debug_assert!(
             self.awaiting_parent
                 .iter()
@@ -1109,7 +1554,18 @@ impl RegistryCore {
              FIFO reply pairing cannot support",
             self.cfg.name
         );
+        // Fault tolerance: bound the wait. Deadlines are armed in FIFO
+        // order with one fixed duration, so the earliest outstanding
+        // deadline always belongs to the front wait.
+        let deadline = if self.cfg.ft.enabled {
+            let t = self.arm_timer(self.cfg.ft.wait_timeout, out);
+            self.timer_kinds.insert(t, TimerKind::ParentWait);
+            Some(t)
+        } else {
+            None
+        };
         self.awaiting_parent.push_back(wait);
+        self.wait_deadlines.push_back(deadline);
     }
 
     fn arm_timer(&mut self, after: SimDuration, out: &mut Vec<CoreEffect>) -> TimerId {
@@ -1226,7 +1682,7 @@ impl RegistryCore {
     /// their host. In-flight decision completions (`queued_decisions`) are
     /// kept: those are already queued on the driver's side and will still
     /// arrive.
-    fn restart(&mut self, out: &mut Vec<CoreEffect>) {
+    fn restart(&mut self, now: SimTime, out: &mut Vec<CoreEffect>) {
         trace(
             out,
             TraceKind::Recovery,
@@ -1244,9 +1700,26 @@ impl RegistryCore {
         self.escalation = None;
         self.escalation_queue.clear();
         self.awaiting_parent.clear();
+        self.wait_deadlines.clear();
+        self.timer_kinds.clear();
+        self.stale_parent_replies = 0;
+        self.reports_unacked = 0;
+        self.parent_state = Liveness::Alive;
+        self.parent_last_ok = now;
+        self.report_backoff = None;
         self.pull_round = None;
         self.last_health_report = SimTime::ZERO;
         self.last_obs_sweep = SimTime::ZERO;
+        // A freshly exec'd registry introduces itself to its parent, so the
+        // parent can purge searches the old incarnation owned (and the
+        // subtree link is re-established without waiting for a nudge).
+        if let Some(parent) = self.cfg.parent {
+            let intro = Message::Register {
+                host: self.registry_static(),
+                role: EntityRole::Registry,
+            };
+            self.send(out, parent, intro);
+        }
     }
 
     // --- Pull-model decisions (§3.2) -----------------------------------------
@@ -1391,9 +1864,10 @@ impl RegistryCore {
             self.escalation = Some(Escalation {
                 requester: from,
                 requirements,
-                probe: self.probe_order(from),
+                probe: self.probe_order(from, now),
                 next: 0,
                 asked_parent: false,
+                deadline: None,
             });
             self.advance_escalation(now, None, out);
         } else {
@@ -1405,16 +1879,27 @@ impl RegistryCore {
     /// the requester, stable-sorted by descending free capacity from their
     /// latest [`Message::DomainReport`]. Children that have never reported
     /// count as zero free, so a hierarchy without health reports degrades
-    /// to plain registration order.
-    fn probe_order(&self, exclude: Endpoint) -> Vec<Endpoint> {
-        let mut order: Vec<(Endpoint, u32)> = self
+    /// to plain registration order. With fault tolerance on, children whose
+    /// report is older than the TTL are deprioritized to the back of the
+    /// order (not skipped — a slow reporter may still answer), so a dead
+    /// child's stale "freest" report cannot keep attracting first probes.
+    fn probe_order(&self, exclude: Endpoint, now: SimTime) -> Vec<Endpoint> {
+        let mut order: Vec<(Endpoint, bool, u32)> = self
             .children
             .iter()
             .filter(|c| c.ep != exclude)
-            .map(|c| (c.ep, c.health.map_or(0, |h| h.free)))
+            .map(|c| {
+                let stale = self.child_is_stale(c, now);
+                let free = if stale {
+                    0
+                } else {
+                    c.health.map_or(0, |h| h.free)
+                };
+                (c.ep, stale, free)
+            })
             .collect();
-        order.sort_by_key(|&(_, free)| std::cmp::Reverse(free));
-        order.into_iter().map(|(p, _)| p).collect()
+        order.sort_by_key(|&(_, stale, free)| (stale, std::cmp::Reverse(free)));
+        order.into_iter().map(|(p, _, _)| p).collect()
     }
 
     /// Step the parent-side search: forward the request to the next child,
@@ -1431,7 +1916,7 @@ impl RegistryCore {
         if let Some(dest) = found {
             if dest.is_some() {
                 let requester = esc.requester;
-                self.escalation = None;
+                self.clear_escalation();
                 self.send(out, requester, Message::CandidateReply { dest });
                 self.pump_escalation_queue(now, out);
                 return;
@@ -1460,11 +1945,11 @@ impl RegistryCore {
                     requirements,
                 };
                 self.send(out, parent, msg);
-                self.push_parent_wait(ParentWait::Relay);
+                self.push_parent_wait(ParentWait::Relay, out);
                 return;
             }
             let requester = esc.requester;
-            self.escalation = None;
+            self.clear_escalation();
             self.send(out, requester, Message::CandidateReply { dest: None });
             self.pump_escalation_queue(now, out);
             return;
@@ -1477,6 +1962,15 @@ impl RegistryCore {
             requirements,
         };
         self.send(out, child, msg);
+        // Fault tolerance: a dead child must not stall the search (and
+        // with it the whole one-at-a-time escalation queue) forever.
+        if self.cfg.ft.enabled {
+            let t = self.arm_timer(self.cfg.ft.probe_timeout, out);
+            self.timer_kinds.insert(t, TimerKind::Probe);
+            if let Some(esc) = &mut self.escalation {
+                esc.deadline = Some(t);
+            }
+        }
     }
 
     fn pump_escalation_queue(&mut self, now: SimTime, out: &mut Vec<CoreEffect>) {
@@ -1498,6 +1992,20 @@ impl RegistryCore {
         // Parent replying to something we sent up? Replies come back in
         // request order (the parent serializes its searches).
         if Some(from) == self.cfg.parent {
+            // A reply whose wait already timed out must be discarded, not
+            // paired with the next wait in the FIFO.
+            if self.stale_parent_replies > 0 {
+                self.stale_parent_replies -= 1;
+                trace(
+                    out,
+                    TraceKind::Recovery,
+                    "discarded a late parent reply (its wait already timed out)",
+                );
+                return;
+            }
+            if let Some(deadline) = self.wait_deadlines.pop_front().flatten() {
+                self.timer_kinds.remove(&deadline);
+            }
             match self.awaiting_parent.pop_front() {
                 Some(ParentWait::Decision(wait)) => match dest {
                     Some(d) => {
@@ -1520,17 +2028,91 @@ impl RegistryCore {
                 Some(ParentWait::Relay) => {
                     // The parent's verdict ends the escalation we relayed:
                     // pass it down to the original requester.
-                    if let Some(esc) = self.escalation.take() {
+                    if let Some(esc) = self.clear_escalation() {
                         self.send(out, esc.requester, Message::CandidateReply { dest });
-                        self.pump_escalation_queue(now, out);
                     }
+                    self.pump_escalation_queue(now, out);
                 }
                 None => {}
             }
             return;
         }
-        // A child answering our probe.
+        // A child answering our probe. Only the child we are currently
+        // probing may advance the search: a late reply from a previous
+        // (timed-out) probe target must not be mistaken for an answer
+        // from the current one. In fault-free runs the current child is
+        // always the sender, so this guard is byte-identity neutral.
+        let Some(esc) = &mut self.escalation else {
+            return;
+        };
+        if esc.asked_parent {
+            return;
+        }
+        let current = esc.next.checked_sub(1).and_then(|i| esc.probe.get(i));
+        if current.copied() != Some(from) {
+            return;
+        }
+        if let Some(t) = esc.deadline.take() {
+            self.timer_kinds.remove(&t);
+        }
         self.advance_escalation(now, Some(dest), out);
+    }
+
+    /// A cross-domain probe went unanswered for `ft.probe_timeout`: give
+    /// up on that child and move the search along (next child, then the
+    /// parent, then "no candidate").
+    fn on_probe_timeout(&mut self, now: SimTime, timer: TimerId, out: &mut Vec<CoreEffect>) {
+        let Some(esc) = &mut self.escalation else {
+            return;
+        };
+        if esc.deadline != Some(timer) {
+            return;
+        }
+        esc.deadline = None;
+        let waited_s = self.cfg.ft.probe_timeout.as_secs_f64();
+        trace(
+            out,
+            TraceKind::Recovery,
+            format!("cross-domain probe timed out after {waited_s:.0}s, moving on"),
+        );
+        self.cfg.obs.inc("escalations_timed_out");
+        self.cfg.obs.record(now, || ObsEvent::EscalationTimedOut {
+            registry: self.cfg.name.clone(),
+            stage: "probe".to_string(),
+            waited_s,
+        });
+        // `Some(None)` = "that child answered: nothing found there".
+        self.advance_escalation(now, Some(None), out);
+    }
+
+    /// A `ParentWait` went unanswered for `ft.wait_timeout`: stop waiting
+    /// and fall back to a local verdict. The parent's reply may still
+    /// arrive later; `stale_parent_replies` makes sure it is discarded
+    /// instead of pairing with the next wait in the FIFO.
+    fn on_wait_timeout(&mut self, now: SimTime, timer: TimerId, out: &mut Vec<CoreEffect>) {
+        // Waits time out in FIFO order (same timeout, armed in order), so
+        // a live deadline can only be the front one.
+        if self.wait_deadlines.front() != Some(&Some(timer)) {
+            return;
+        }
+        self.wait_deadlines.pop_front();
+        let Some(wait) = self.awaiting_parent.pop_front() else {
+            return;
+        };
+        self.stale_parent_replies += 1;
+        let waited_s = self.cfg.ft.wait_timeout.as_secs_f64();
+        self.cfg.obs.inc("escalations_timed_out");
+        self.cfg.obs.record(now, || ObsEvent::EscalationTimedOut {
+            registry: self.cfg.name.clone(),
+            stage: "parent".to_string(),
+            waited_s,
+        });
+        trace(
+            out,
+            TraceKind::Recovery,
+            format!("escalation to parent timed out after {waited_s:.0}s"),
+        );
+        self.resolve_wait_empty(now, wait, "parent reply timed out", out);
     }
 }
 
@@ -2385,5 +2967,320 @@ mod tests {
             )),
             "flat deployments must emit nothing new: {fx:?}"
         );
+    }
+
+    // --- registry fault tolerance --------------------------------------------
+
+    fn ft_core(name: &str, parent: Option<u64>, grandparent: Option<u64>) -> RegistryCore {
+        let mut cfg = RegistryConfig::new(Policy::no_migration());
+        cfg.name = name.to_string();
+        cfg.parent = parent.map(Endpoint);
+        cfg.ft.enabled = true;
+        cfg.ft.grandparent = grandparent.map(Endpoint);
+        RegistryCore::new(cfg, SchemaBook::new())
+    }
+
+    fn cand_req() -> Message {
+        Message::CandidateRequest {
+            host: String::new(),
+            requirements: ResourceRequirements::default(),
+        }
+    }
+
+    fn armed_timer(fx: &[CoreEffect]) -> TimerId {
+        fx.iter()
+            .find_map(|e| match e {
+                CoreEffect::ArmTimer { timer, .. } => Some(*timer),
+                _ => None,
+            })
+            .expect("expected an ArmTimer effect")
+    }
+
+    fn sends_to(fx: &[CoreEffect], ep: u64) -> bool {
+        fx.iter()
+            .any(|e| matches!(e, CoreEffect::Send { to: Endpoint(p), .. } if *p == ep))
+    }
+
+    #[test]
+    fn stale_domain_reports_age_out_of_probe_order_and_aggregation() {
+        let mut root = ft_core("root", None, None);
+        register_child(&mut root, 10, "d0");
+        register_child(&mut root, 20, "d1");
+        register_child(&mut root, 30, "d2");
+        // d2 reports 5 free early; d1 reports 1 free much later.
+        msg(&mut root, 1.0, 30, domain_report(5));
+        msg(&mut root, 50.0, 20, domain_report(1));
+        // At t=60, d2's report is 59s old (> the 45s TTL): despite its
+        // bigger advertised capacity it must be probed *after* fresh d1
+        // and excluded from the upward aggregate.
+        let fx = msg(&mut root, 60.0, 10, cand_req());
+        assert!(
+            matches!(
+                fx.first(),
+                Some(CoreEffect::Send {
+                    to: Endpoint(20),
+                    msg: Message::CandidateRequest { .. }
+                })
+            ),
+            "stale d2 must not outrank fresh d1: {fx:?}"
+        );
+        let h = root.subtree_health(at(60.0));
+        assert_eq!(
+            h.free, 1,
+            "a stale child's capacity must not be advertised upward"
+        );
+    }
+
+    #[test]
+    fn a_restarted_childs_searches_are_purged_not_left_poisoning_the_fifo() {
+        // Regression: c escalates while the root is already searching on
+        // b's behalf, then c crashes and restarts. Its queued request is
+        // now unowned; serving it would eventually deliver a
+        // CandidateReply the fresh c never asked for, which c would pair
+        // with the *next* reply it awaits — poisoning its FIFO forever.
+        let mut root = ft_core("root", None, None);
+        register_child(&mut root, 10, "b");
+        register_child(&mut root, 20, "c");
+        // b escalates: the root probes c (with a probe deadline).
+        let fx = msg(&mut root, 1.0, 10, cand_req());
+        assert!(sends_to(&fx, 20), "root should probe c: {fx:?}");
+        let probe_deadline = armed_timer(&fx);
+        // c escalates concurrently: queued behind the active search.
+        msg(&mut root, 2.0, 20, cand_req());
+        assert_eq!(root.escalation_queue.len(), 1);
+        // c crashes and the restarted process re-registers.
+        let fx = msg(
+            &mut root,
+            3.0,
+            20,
+            Message::Register {
+                host: statics("c"),
+                role: EntityRole::Registry,
+            },
+        );
+        assert!(
+            root.escalation_queue.is_empty(),
+            "the restarted child's queued search must be purged: {fx:?}"
+        );
+        // The probe c never answered times out: b's search resolves
+        // empty, and nothing is ever sent to the restarted c.
+        let fx = feed(&mut root, 11.0, CoreInput::TimerFired(probe_deadline));
+        assert!(
+            matches!(
+                fx.last(),
+                Some(CoreEffect::Send {
+                    to: Endpoint(10),
+                    msg: Message::CandidateReply { dest: None }
+                })
+            ),
+            "b's search must fall back to empty-handed: {fx:?}"
+        );
+        assert!(
+            !sends_to(&fx, 20),
+            "no reply may reach the restarted child: {fx:?}"
+        );
+        assert!(root.escalation.is_none() && root.escalation_queue.is_empty());
+    }
+
+    #[test]
+    fn a_restarted_child_cancels_the_active_search_it_requested() {
+        let mut root = ft_core("root", None, None);
+        register_child(&mut root, 10, "b");
+        register_child(&mut root, 20, "c");
+        // b escalates (active, probing c), then b itself restarts.
+        msg(&mut root, 1.0, 10, cand_req());
+        let fx = msg(
+            &mut root,
+            2.0,
+            10,
+            Message::Register {
+                host: statics("b"),
+                role: EntityRole::Registry,
+            },
+        );
+        assert!(
+            root.escalation.is_none(),
+            "the restarted requester's active search must be cancelled: {fx:?}"
+        );
+        // c's late probe reply lands on a cleared search: swallowed, and
+        // crucially never forwarded to the restarted b.
+        let fx = msg(
+            &mut root,
+            3.0,
+            20,
+            Message::CandidateReply {
+                dest: Some("ws7".to_string()),
+            },
+        );
+        assert!(fx.is_empty(), "late reply must be swallowed: {fx:?}");
+    }
+
+    #[test]
+    fn missed_report_acks_walk_suspect_down_and_reparent_to_the_grandparent() {
+        let mut core = ft_core("mid", Some(99), Some(77));
+        register(&mut core, 0.0, 10, "a");
+        let hb = |core: &mut RegistryCore, t: f64| {
+            heartbeat(core, t, 10, "a", HostState::Free, good_metrics(), vec![])
+        };
+        // Report 1 is acked: the detector stays quiet.
+        let fx = hb(&mut core, 5.0);
+        assert!(sends_to(&fx, 99), "first report goes to the parent: {fx:?}");
+        msg(
+            &mut core,
+            6.0,
+            99,
+            Message::Ack {
+                ok: true,
+                info: "p".into(),
+            },
+        );
+        assert_eq!(core.reports_unacked, 0);
+        // Reports 2..=5 go unanswered: Suspect at 2 unacked, Down at 4.
+        hb(&mut core, 16.0);
+        assert_eq!(core.parent_state, Liveness::Alive);
+        hb(&mut core, 27.0);
+        assert_eq!(core.parent_state, Liveness::Suspect);
+        hb(&mut core, 38.0);
+        let fx = hb(&mut core, 49.0);
+        assert!(
+            fx.iter().any(|e| matches!(
+                e,
+                CoreEffect::Send {
+                    to: Endpoint(77),
+                    msg: Message::Register {
+                        role: EntityRole::Registry,
+                        ..
+                    }
+                }
+            )),
+            "a dead parent must trigger re-parenting to the grandparent: {fx:?}"
+        );
+        assert_eq!(core.cfg.parent, Some(Endpoint(77)));
+        assert_eq!(core.parent_state, Liveness::Alive);
+        // Health now flows to the new parent.
+        let fx = hb(&mut core, 50.0);
+        assert!(
+            fx.iter().any(|e| matches!(
+                e,
+                CoreEffect::Send {
+                    to: Endpoint(77),
+                    msg: Message::DomainReport { .. }
+                }
+            )),
+            "reports must follow the new parent: {fx:?}"
+        );
+    }
+
+    #[test]
+    fn an_orphan_without_a_grandparent_buffers_reports_with_capped_backoff() {
+        let mut core = ft_core("mid", Some(99), None);
+        register(&mut core, 0.0, 10, "a");
+        let hb = |core: &mut RegistryCore, t: f64| {
+            heartbeat(core, t, 10, "a", HostState::Free, good_metrics(), vec![])
+        };
+        let report_in = |fx: &[CoreEffect]| {
+            fx.iter().any(|e| {
+                matches!(
+                    e,
+                    CoreEffect::Send {
+                        msg: Message::DomainReport { .. },
+                        ..
+                    }
+                )
+            })
+        };
+        // Four unacked reports: parent declared Down, no grandparent.
+        for t in [5.0, 16.0, 27.0, 38.0] {
+            hb(&mut core, t);
+        }
+        assert_eq!(core.parent_state, Liveness::Down);
+        let backoff = core.report_backoff.expect("backoff engaged");
+        assert!(backoff > core.cfg.health_report_every);
+        // The cadence is now backed off: a heartbeat inside the window
+        // stays silent, one past it retries (the retry doubles as the
+        // probe that discovers recovery).
+        let fx = hb(&mut core, 45.0);
+        assert!(!report_in(&fx), "inside the backoff window: {fx:?}");
+        let fx = hb(&mut core, 38.0 + backoff.as_secs_f64() + 1.0);
+        assert!(report_in(&fx), "retry after the backoff: {fx:?}");
+        // The rebuilt parent finally answers: normal cadence resumes.
+        msg(
+            &mut core,
+            70.0,
+            99,
+            Message::Ack {
+                ok: true,
+                info: "p".into(),
+            },
+        );
+        assert_eq!(core.parent_state, Liveness::Alive);
+        assert!(core.report_backoff.is_none());
+        let fx = hb(&mut core, 71.0);
+        assert!(report_in(&fx), "normal cadence after recovery: {fx:?}");
+    }
+
+    #[test]
+    fn a_timed_out_parent_wait_falls_back_and_discards_the_late_reply() {
+        let mut b = ft_core("b", Some(99), None);
+        register_child(&mut b, 10, "b0");
+        register_child(&mut b, 20, "b1");
+        // b0 escalates; b1 is empty; b relays up with a wait deadline.
+        msg(&mut b, 1.0, 10, cand_req());
+        let fx = msg(&mut b, 2.0, 20, Message::CandidateReply { dest: None });
+        assert!(sends_to(&fx, 99), "b should relay upward: {fx:?}");
+        let wait_deadline = armed_timer(&fx);
+        // The parent never answers: the wait times out, the search
+        // resolves empty toward the requester, and the eventual reply is
+        // remembered as stale.
+        let fx = feed(&mut b, 40.0, CoreInput::TimerFired(wait_deadline));
+        assert!(
+            fx.iter().any(|e| matches!(
+                e,
+                CoreEffect::Send {
+                    to: Endpoint(10),
+                    msg: Message::CandidateReply { dest: None }
+                }
+            )),
+            "the timed-out search must resolve empty: {fx:?}"
+        );
+        assert!(b.escalation.is_none() && b.awaiting_parent.is_empty());
+        assert_eq!(b.stale_parent_replies, 1);
+        // The parent's late verdict finally arrives: discarded, not
+        // paired with the next wait in the FIFO.
+        let fx = msg(
+            &mut b,
+            50.0,
+            99,
+            Message::CandidateReply {
+                dest: Some("ws7".to_string()),
+            },
+        );
+        assert!(
+            !fx.iter().any(|e| matches!(e, CoreEffect::Send { .. })),
+            "a stale parent reply must be discarded: {fx:?}"
+        );
+        assert_eq!(b.stale_parent_replies, 0);
+    }
+
+    #[test]
+    fn ft_disabled_cores_arm_no_timers_and_send_no_acks() {
+        // The whole fault-tolerance layer must be inert by default so
+        // fault-free traces stay byte-identical.
+        let mut root = test_core(Policy::no_migration());
+        register_child(&mut root, 10, "d0");
+        register_child(&mut root, 20, "d1");
+        let fx = msg(&mut root, 1.0, 20, domain_report(3));
+        assert!(
+            !fx.iter().any(|e| matches!(e, CoreEffect::Send { .. })),
+            "no report ACKs with ft off: {fx:?}"
+        );
+        let fx = msg(&mut root, 2.0, 10, cand_req());
+        assert!(
+            !fx.iter().any(|e| matches!(e, CoreEffect::ArmTimer { .. })),
+            "no probe deadline with ft off: {fx:?}"
+        );
+        // Stale-health decay is off too: a 59s-old report still counts.
+        let h = root.subtree_health(at(60.0));
+        assert_eq!(h.free, 3);
     }
 }

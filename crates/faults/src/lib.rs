@@ -49,6 +49,24 @@ pub enum Fault {
     /// Deliver [`RESTART_SIGNAL`] to a process, asking it to drop its soft
     /// state (used to model a registry restart).
     ProcessRestart { pid: u64 },
+    /// Crash one registry process by pid: it goes deaf *and* mute — every
+    /// delivery to or from the pid is black-holed — without touching the
+    /// host it shares with sibling registries. This is the explicit, safe
+    /// way to target a single node of the registry tree; host-level faults
+    /// cannot distinguish co-located registries (and loopback traffic never
+    /// reaches the host fault path at all).
+    RegistryCrash { pid: u64 },
+    /// End a [`Fault::RegistryCrash`]: deliveries flow again and the pid
+    /// receives [`RESTART_SIGNAL`], so the process comes back with empty
+    /// soft state and rebuilds it through the `ReRegister` path, exactly
+    /// like a freshly exec'd daemon.
+    RegistryRecover { pid: u64 },
+    /// Sever one edge of the registry tree: deliveries between the two pids
+    /// (both directions) are black-holed while the rest of each process's
+    /// connectivity stays intact. Models a parent↔child link partition.
+    EdgePartition { a: u64, b: u64 },
+    /// Heal a previously severed tree edge.
+    EdgeHeal { a: u64, b: u64 },
 }
 
 /// A fault with its injection time.
@@ -153,6 +171,24 @@ impl FaultPlan {
                 },
             });
         }
+        // Registry faults target explicit pids, never a host range, so a
+        // schedule can only hit registries the caller deliberately listed.
+        // Draws happen after the host draws above: a plan with no registry
+        // targets is bit-identical to one generated before this field existed.
+        if !p.registry_pids.is_empty() {
+            for _ in 0..p.registry_crashes {
+                let pid = p.registry_pids[rng.below(p.registry_pids.len() as u64) as usize];
+                let at = SimTime::from_secs_f64(rng.range_f64(0.05 * horizon, 0.6 * horizon));
+                events.push(TimedFault {
+                    at,
+                    fault: Fault::RegistryCrash { pid },
+                });
+                events.push(TimedFault {
+                    at: at.saturating_add(p.registry_recover_after),
+                    fault: Fault::RegistryRecover { pid },
+                });
+            }
+        }
         // Stable injection order for simultaneous events.
         events.sort_by_key(|e| e.at);
         FaultPlan {
@@ -167,7 +203,9 @@ impl FaultPlan {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleParams {
     /// Hosts eligible for crashes/stalls: `host_lo..host_hi` (half-open).
-    /// Keep the registry host out of this range unless you mean it.
+    /// Registries are *not* targeted through this range: co-located tree
+    /// nodes share one host, so registry faults are pid-addressed instead —
+    /// list the pids you mean in [`ScheduleParams::registry_pids`].
     pub host_lo: u32,
     pub host_hi: u32,
     /// Run horizon; injection times are drawn inside it.
@@ -182,6 +220,14 @@ pub struct ScheduleParams {
     pub stall_for: SimDuration,
     /// Per-message fault probabilities.
     pub messages: MessageFaults,
+    /// Registry pids eligible for [`Fault::RegistryCrash`] draws. Empty
+    /// (the default) means no registry is ever targeted, and the generated
+    /// schedule is bit-identical to a pre-registry-fault plan.
+    pub registry_pids: Vec<u64>,
+    /// Number of registry crash (+paired recover) events.
+    pub registry_crashes: u32,
+    /// Downtime before each crashed registry recovers.
+    pub registry_recover_after: SimDuration,
 }
 
 impl Default for ScheduleParams {
@@ -195,6 +241,9 @@ impl Default for ScheduleParams {
             stalls: 0,
             stall_for: SimDuration::from_secs_f64(45.0),
             messages: MessageFaults::default(),
+            registry_pids: Vec::new(),
+            registry_crashes: 0,
+            registry_recover_after: SimDuration::from_secs_f64(120.0),
         }
     }
 }
@@ -219,6 +268,13 @@ pub struct FaultStats {
     pub msgs_stalled: u64,
     /// RESTART_SIGNALs delivered.
     pub restarts: u64,
+    /// Registry processes crashed (pid-level, deaf-and-mute).
+    pub registry_crashes: u64,
+    /// Registry processes recovered (and restarted with empty soft state).
+    pub registry_recoveries: u64,
+    /// Deliveries black-holed because a registry pid was crashed or the
+    /// pid↔pid tree edge was severed.
+    pub msgs_blackholed_registry: u64,
 }
 
 #[cfg(test)]
@@ -286,5 +342,55 @@ mod tests {
                 other => panic!("unexpected fault {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn registry_targets_are_drawn_from_the_explicit_pid_set_only() {
+        let params = ScheduleParams {
+            registry_pids: vec![3, 7, 19],
+            registry_crashes: 5,
+            registry_recover_after: SimDuration::from_secs_f64(90.0),
+            ..ScheduleParams::default()
+        };
+        let p = FaultPlan::seeded(11, &params);
+        assert_eq!(p, FaultPlan::seeded(11, &params), "reproducible");
+        let mut crashes = 0;
+        let mut recoveries = 0;
+        for e in &p.events {
+            match &e.fault {
+                Fault::RegistryCrash { pid } => {
+                    crashes += 1;
+                    assert!([3, 7, 19].contains(pid), "pid {pid} was listed");
+                }
+                Fault::RegistryRecover { pid } => {
+                    recoveries += 1;
+                    assert!([3, 7, 19].contains(pid), "pid {pid} was listed");
+                }
+                other => panic!("unexpected fault {other:?}"),
+            }
+        }
+        assert_eq!((crashes, recoveries), (5, 5), "crash/recover pairs");
+    }
+
+    #[test]
+    fn empty_registry_pid_set_leaves_seeded_schedules_unchanged() {
+        // The registry draws come after the host draws and are skipped
+        // entirely when no pids are listed, so extending the params struct
+        // did not reshape any pre-existing schedule.
+        let old_style = ScheduleParams {
+            host_lo: 2,
+            host_hi: 6,
+            crashes: 2,
+            stalls: 1,
+            ..ScheduleParams::default()
+        };
+        let with_knob = ScheduleParams {
+            registry_crashes: 4, // ignored: no pids listed
+            ..old_style.clone()
+        };
+        assert_eq!(
+            FaultPlan::seeded(42, &old_style),
+            FaultPlan::seeded(42, &with_knob)
+        );
     }
 }

@@ -74,6 +74,16 @@ pub enum ObsKind {
     CommandAborted,
     /// The kernel's fault layer injected a fault.
     FaultInjected,
+    /// A cross-domain escalation step exceeded its probe/wait deadline.
+    EscalationTimedOut,
+    /// A registry's parent-liveness detector downgraded its parent to
+    /// Suspect (missed report ACKs).
+    ParentSuspect,
+    /// A registry's parent-liveness detector declared its parent Down.
+    ParentDown,
+    /// A registry re-parented to its grandparent after declaring its
+    /// parent Down.
+    ChildReparented,
 }
 
 impl ObsKind {
@@ -92,6 +102,10 @@ impl ObsKind {
             ObsKind::CommandRetransmit => "CommandRetransmit",
             ObsKind::CommandAborted => "CommandAborted",
             ObsKind::FaultInjected => "FaultInjected",
+            ObsKind::EscalationTimedOut => "EscalationTimedOut",
+            ObsKind::ParentSuspect => "ParentSuspect",
+            ObsKind::ParentDown => "ParentDown",
+            ObsKind::ChildReparented => "ChildReparented",
         }
     }
 }
@@ -194,6 +208,38 @@ pub enum ObsEvent {
         /// Human-readable description of the fault.
         what: String,
     },
+    /// A cross-domain escalation step (downward probe or upward relay)
+    /// exceeded its deadline and was resolved locally.
+    EscalationTimedOut {
+        /// Name of the registry whose wait timed out.
+        registry: String,
+        /// Which wait: "probe" (downward) or "parent" (upward).
+        stage: String,
+        /// How long the step waited before giving up.
+        waited_s: f64,
+    },
+    /// Parent-liveness detector: the parent crossed the Suspect threshold.
+    ParentSuspect {
+        /// Name of the registry suspecting its parent.
+        registry: String,
+        /// Consecutive unacknowledged domain reports.
+        missed_acks: u32,
+    },
+    /// Parent-liveness detector: the parent was declared Down.
+    ParentDown {
+        /// Name of the registry declaring its parent Down.
+        registry: String,
+        /// Consecutive unacknowledged domain reports.
+        missed_acks: u32,
+    },
+    /// A registry re-parented to its grandparent after declaring its
+    /// parent Down.
+    ChildReparented {
+        /// Name of the re-parenting registry.
+        registry: String,
+        /// Silence since the last parent ACK when the switch happened.
+        orphaned_s: f64,
+    },
 }
 
 impl ObsEvent {
@@ -212,6 +258,10 @@ impl ObsEvent {
             ObsEvent::CommandRetransmit { .. } => ObsKind::CommandRetransmit,
             ObsEvent::CommandAborted { .. } => ObsKind::CommandAborted,
             ObsEvent::FaultInjected { .. } => ObsKind::FaultInjected,
+            ObsEvent::EscalationTimedOut { .. } => ObsKind::EscalationTimedOut,
+            ObsEvent::ParentSuspect { .. } => ObsKind::ParentSuspect,
+            ObsEvent::ParentDown { .. } => ObsKind::ParentDown,
+            ObsEvent::ChildReparented { .. } => ObsKind::ChildReparented,
         }
     }
 
@@ -274,6 +324,36 @@ impl ObsEvent {
             ObsEvent::FaultInjected { what } => {
                 format!("{{\"kind\":\"{kind}\",\"what\":{}}}", json_str(what))
             }
+            ObsEvent::EscalationTimedOut {
+                registry,
+                stage,
+                waited_s,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"registry\":{},\"stage\":{},\"waited_s\":{waited_s}}}",
+                json_str(registry),
+                json_str(stage)
+            ),
+            ObsEvent::ParentSuspect {
+                registry,
+                missed_acks,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"registry\":{},\"missed_acks\":{missed_acks}}}",
+                json_str(registry)
+            ),
+            ObsEvent::ParentDown {
+                registry,
+                missed_acks,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"registry\":{},\"missed_acks\":{missed_acks}}}",
+                json_str(registry)
+            ),
+            ObsEvent::ChildReparented {
+                registry,
+                orphaned_s,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"registry\":{},\"orphaned_s\":{orphaned_s}}}",
+                json_str(registry)
+            ),
         }
     }
 }

@@ -149,6 +149,11 @@ pub(crate) struct FaultEngine {
     severed: FxHashSet<(u32, u32)>,
     /// Per-host outbound-message hold deadline (monitor stalls).
     stall_until: Vec<SimTime>,
+    /// Crashed registry pids: deaf-and-mute, every delivery to or from one
+    /// of these is black-holed, including loopback to co-located siblings.
+    pid_down: FxHashSet<u64>,
+    /// Severed registry-tree edges as pid pairs, normalized to (min, max).
+    pid_severed: FxHashSet<(u64, u64)>,
     stats: FaultStats,
 }
 
@@ -166,6 +171,8 @@ impl FaultEngine {
             host_down: vec![false; n_hosts],
             severed: FxHashSet::default(),
             stall_until: vec![SimTime::ZERO; n_hosts],
+            pid_down: FxHashSet::default(),
+            pid_severed: FxHashSet::default(),
             stats: FaultStats::default(),
             plan,
         }
@@ -173,6 +180,16 @@ impl FaultEngine {
 
     fn sever_key(a: u32, b: u32) -> (u32, u32) {
         (a.min(b), a.max(b))
+    }
+
+    fn pid_sever_key(a: u64, b: u64) -> (u64, u64) {
+        (a.min(b), a.max(b))
+    }
+
+    /// True when pid-level fault state exists; guards the delivery hot path
+    /// so runs without registry faults never pay for the lookup.
+    fn any_pid_faults(&self) -> bool {
+        !self.pid_down.is_empty() || !self.pid_severed.is_empty()
     }
 
     /// One RNG draw per cross-host delivery; cumulative thresholds make
@@ -409,6 +426,15 @@ impl Sim {
             .faults
             .as_ref()
             .is_some_and(|e| e.host_down[host.0 as usize])
+    }
+
+    /// True while `pid` is crashed by a [`Fault::RegistryCrash`] (deaf and
+    /// mute, awaiting its paired recover).
+    pub fn registry_is_down(&self, pid: Pid) -> bool {
+        self.kernel
+            .faults
+            .as_ref()
+            .is_some_and(|e| e.pid_down.contains(&pid.0))
     }
 
     /// Enable the periodic metric recorder (the paper samples every 10 s).
@@ -758,6 +784,91 @@ impl Sim {
                     .push((pid, ars_faults::RESTART_SIGNAL));
                 self.apply_pending();
             }
+            Fault::RegistryCrash { pid } => {
+                let engine = self.kernel.faults.as_mut().expect("engine present");
+                if !engine.pid_down.insert(pid) {
+                    return;
+                }
+                engine.stats.registry_crashes += 1;
+                let pid = Pid(pid);
+                self.kernel.trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!("registry {pid} crashed (deaf and mute)"),
+                );
+                self.kernel.config.obs.inc("faults_injected");
+                self.kernel
+                    .config
+                    .obs
+                    .record(now, || ObsEvent::FaultInjected {
+                        what: format!("registry {pid} crashed"),
+                    });
+            }
+            Fault::RegistryRecover { pid } => {
+                let engine = self.kernel.faults.as_mut().expect("engine present");
+                if !engine.pid_down.remove(&pid) {
+                    return;
+                }
+                engine.stats.registry_recoveries += 1;
+                let pid = Pid(pid);
+                self.kernel.trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!("registry {pid} recovered (restarting empty)"),
+                );
+                self.kernel.config.obs.inc("faults_injected");
+                self.kernel
+                    .config
+                    .obs
+                    .record(now, || ObsEvent::FaultInjected {
+                        what: format!("registry {pid} recovered"),
+                    });
+                // The process comes back as if freshly exec'd: deliver the
+                // restart signal so it drops soft state and rebuilds it via
+                // the ReRegister path.
+                self.kernel
+                    .pending_signals
+                    .push((pid, ars_faults::RESTART_SIGNAL));
+                self.apply_pending();
+            }
+            Fault::EdgePartition { a, b } => {
+                let engine = self.kernel.faults.as_mut().expect("engine present");
+                if !engine.pid_severed.insert(FaultEngine::pid_sever_key(a, b)) {
+                    return;
+                }
+                let (a, b) = (Pid(a), Pid(b));
+                self.kernel.trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!("tree edge {a}~{b} severed"),
+                );
+                self.kernel.config.obs.inc("faults_injected");
+                self.kernel
+                    .config
+                    .obs
+                    .record(now, || ObsEvent::FaultInjected {
+                        what: format!("tree edge {a}~{b} severed"),
+                    });
+            }
+            Fault::EdgeHeal { a, b } => {
+                let engine = self.kernel.faults.as_mut().expect("engine present");
+                if !engine.pid_severed.remove(&FaultEngine::pid_sever_key(a, b)) {
+                    return;
+                }
+                let (a, b) = (Pid(a), Pid(b));
+                self.kernel.trace.record(
+                    now,
+                    TraceKind::Fault,
+                    format!("tree edge {a}~{b} healed"),
+                );
+                self.kernel.config.obs.inc("faults_injected");
+                self.kernel
+                    .config
+                    .obs
+                    .record(now, || ObsEvent::FaultInjected {
+                        what: format!("tree edge {a}~{b} healed"),
+                    });
+            }
         }
     }
 
@@ -851,6 +962,44 @@ impl Sim {
             ..
         } = &mut self.kernel;
         let now = *now;
+        // Pid-level registry faults come first and apply to *loopback* too:
+        // co-located tree nodes talk over the same host, so a crashed
+        // registry or a severed parent↔child edge must black-hole traffic
+        // the host-level checks below would wave through. No RNG is drawn
+        // here, and with no pid faults active the guard is two emptiness
+        // tests — runs without registry faults stay byte-identical.
+        if let Some(engine) = faults.as_mut() {
+            if engine.any_pid_faults() {
+                let (f, t) = (env.from.0, env.to.0);
+                if engine.pid_down.contains(&f) || engine.pid_down.contains(&t) {
+                    engine.stats.msgs_blackholed_registry += 1;
+                    trace.record(
+                        now,
+                        TraceKind::Fault,
+                        format!(
+                            "message tag {} {} -> {} lost: registry crashed",
+                            env.tag, env.from, env.to
+                        ),
+                    );
+                    return;
+                }
+                if engine
+                    .pid_severed
+                    .contains(&FaultEngine::pid_sever_key(f, t))
+                {
+                    engine.stats.msgs_blackholed_registry += 1;
+                    trace.record(
+                        now,
+                        TraceKind::Fault,
+                        format!(
+                            "message tag {} {} -> {} lost: tree edge severed",
+                            env.tag, env.from, env.to
+                        ),
+                    );
+                    return;
+                }
+            }
+        }
         let cross = match (src_host, dst_host) {
             (Some(a), Some(b)) if a != b => Some((a, b)),
             _ => None,

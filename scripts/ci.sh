@@ -29,6 +29,21 @@ echo "== chaos matrix =="
 ARS_CHAOS_SEEDS="3,5,11,12,13,17,23,42" \
     cargo test --release -q --test chaos -- chaos_liveness_over_the_seed_matrix
 
+echo "== registry chaos (tree mode) =="
+# Registry fault tolerance: a depth-3 tree with one mid-registry crashed
+# per seed must complete every app (re-parenting + escalation deadlines)
+# and replay bit-identically. Small seed matrix to stay inside the wall
+# budget — the default-seed pass already ran with the workspace tests.
+ARS_CHAOS_SEEDS="5,11,42" timeout 300 \
+    cargo test --release -q --test chaos -- \
+    tree_chaos_mid_registry_crash_keeps_all_apps_completing
+
+echo "== registry fault zero-cost gate =="
+# An armed-but-idle registry fault engine (plan present, nothing fires)
+# must leave tree traces byte-identical, with fault tolerance off and on.
+cargo test --release -q --test chaos -- \
+    an_armed_but_idle_registry_fault_engine_is_byte_identical
+
 echo "== observability equivalence =="
 # Zero-cost guarantee: a chaos run with an enabled observability session
 # must produce a byte-identical kernel trace to the same run without one

@@ -99,8 +99,8 @@ pub mod prelude {
     pub use ars_rescheduler::{
         deploy, deploy_hierarchical, deploy_tree, Commander, DeployConfig, Deployment,
         DomainHealth, Endpoint, HierarchicalDeployment, Liveness, Monitor, MonitorConfig,
-        RegistryConfig, RegistryCore, RegistryScheduler, ReschedHooks, SchemaBook, StateSource,
-        TreeDeployment,
+        RegistryConfig, RegistryCore, RegistryFt, RegistryScheduler, ReschedHooks, SchemaBook,
+        StateSource, TreeDeployment,
     };
     pub use ars_rules::{
         metric_keys, Condition, HostState, MonitoringFrequency, Policy, RuleOp, RuleSet, SimpleRule,

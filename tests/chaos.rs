@@ -49,6 +49,7 @@ fn chaos_plan(seed: u64) -> FaultPlan {
                 delay: 0.05,
                 delay_by: SimDuration::from_millis(80),
             },
+            ..ScheduleParams::default()
         },
     )
 }
@@ -136,32 +137,7 @@ fn chaos_run(seed: u64) -> ChaosOutcome {
     let mut completed = 0;
     let mut lost = 0;
     for &root in &roots {
-        // Follow the pid through every committed hop; collect the whole
-        // lineage (aborted/in-flight children included).
-        let mut lineage = vec![root];
-        let mut cur = root;
-        loop {
-            let hop = migrations
-                .iter()
-                .find(|m| m.pid_old == cur && m.outcome == MigrationOutcome::Committed);
-            match hop {
-                Some(m) => {
-                    lineage.push(m.pid_new);
-                    cur = m.pid_new;
-                }
-                None => break,
-            }
-        }
-        let children: Vec<Pid> = migrations
-            .iter()
-            .filter(|m| lineage.contains(&m.pid_old))
-            .map(|m| m.pid_new)
-            .collect();
-        for pid in children {
-            if !lineage.contains(&pid) {
-                lineage.push(pid);
-            }
-        }
+        let lineage = lineage_of(root, &migrations);
 
         // No silently dropped processes: nothing of this app still runs.
         for &pid in &lineage {
@@ -211,6 +187,205 @@ fn chaos_run(seed: u64) -> ChaosOutcome {
             .collect(),
         completed,
         lost,
+    }
+}
+
+/// Follow `root` through every committed migration hop and collect the
+/// whole lineage (aborted/in-flight children included).
+fn lineage_of(root: Pid, migrations: &[MigrationRecord]) -> Vec<Pid> {
+    let mut lineage = vec![root];
+    let mut cur = root;
+    loop {
+        let hop = migrations
+            .iter()
+            .find(|m| m.pid_old == cur && m.outcome == MigrationOutcome::Committed);
+        match hop {
+            Some(m) => {
+                lineage.push(m.pid_new);
+                cur = m.pid_new;
+            }
+            None => break,
+        }
+    }
+    let children: Vec<Pid> = migrations
+        .iter()
+        .filter(|m| lineage.contains(&m.pid_old))
+        .map(|m| m.pid_new)
+        .collect();
+    for pid in children {
+        if !lineage.contains(&pid) {
+            lineage.push(pid);
+        }
+    }
+    lineage
+}
+
+/// Depth-3 tree chaos (registry fault tolerance): a fanout-[2,2] registry
+/// tree with one mid-registry crashed per seed while the apps are
+/// migrating. Registry faults must never lose an application: the leaves
+/// under the dead mid re-parent to the root (their grandparent) and
+/// searches fall back on their deadlines, so the liveness property
+/// strengthens from "completed or lost with cause" to "all complete".
+fn tree_chaos_run(seed: u64) -> Vec<(u64, String)> {
+    let mut sim = Sim::new(
+        (0..7)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
+        SimConfig {
+            seed,
+            trace: true,
+            ..SimConfig::default()
+        },
+    );
+    let workers: Vec<HostId> = (1..=6).map(HostId).collect();
+    let dep = deploy_tree(
+        &mut sim,
+        HostId(0),
+        &workers,
+        &[2, 2],
+        DeployConfig {
+            overload_confirm: SimDuration::from_secs(40),
+            registry_ft: true,
+            ..DeployConfig::default()
+        },
+    );
+    // Crash one mid-registry (seed-selected) while reports and searches
+    // are in flight; recover it much later so its orphans must re-parent
+    // rather than wait it out.
+    let mid = dep.levels[1][seed as usize % dep.levels[1].len()];
+    sim.schedule_fault(t(100.0), Fault::RegistryCrash { pid: mid.0 });
+    sim.schedule_fault(t(1200.0), Fault::RegistryRecover { pid: mid.0 });
+
+    let hpcm = HpcmHooks::new();
+    let mut roots = Vec::new();
+    for (host, app_seed) in [(HostId(1), 1u64), (HostId(2), 2u64)] {
+        let app = TestTree::new(TestTreeConfig {
+            trees: 8,
+            levels: 13,
+            node_cost_build: 2e-3,
+            node_cost_sort: 3e-3,
+            node_cost_sum: 1e-3,
+            chunk_nodes: 1024,
+            rss_kb: 24_576,
+            seed: app_seed,
+        });
+        dep.schemas.put(MigratableApp::schema(&app));
+        roots.push(HpcmShell::spawn_on(
+            &mut sim,
+            host,
+            app,
+            HpcmConfig::default(),
+            None,
+            hpcm.clone(),
+        ));
+    }
+    sim.run_until(t(60.0));
+    for _ in 0..2 {
+        sim.spawn(
+            HostId(1),
+            Box::new(Spinner::default()),
+            SpawnOpts::named("hog"),
+        );
+    }
+    sim.run_until(t(3000.0));
+    assert_eq!(sim.now(), t(3000.0), "simulation terminated at the horizon");
+
+    let migrations = hpcm.0.borrow().migrations.clone();
+    let completions = hpcm.0.borrow().completions.clone();
+    for &root in &roots {
+        let lineage = lineage_of(root, &migrations);
+        for &pid in &lineage {
+            assert!(
+                !sim.is_alive(pid),
+                "seed {seed}: {pid} still alive at the horizon"
+            );
+        }
+        assert!(
+            completions.iter().any(|c| lineage.contains(&c.pid)),
+            "seed {seed}: app at {root} did not complete despite only registry faults"
+        );
+    }
+    for m in &migrations {
+        assert_ne!(
+            m.outcome,
+            MigrationOutcome::InFlight,
+            "seed {seed}: migration {} -> {} never resolved",
+            m.pid_old,
+            m.pid_new
+        );
+    }
+    let stats = sim.fault_stats().copied().unwrap_or_default();
+    assert_eq!(stats.registry_crashes, 1, "seed {seed}: crash not injected");
+    assert_eq!(stats.registry_recoveries, 1);
+
+    sim.kernel()
+        .trace
+        .events()
+        .iter()
+        .map(|e| (e.t.as_micros(), e.detail.clone()))
+        .collect()
+}
+
+#[test]
+fn tree_chaos_mid_registry_crash_keeps_all_apps_completing() {
+    let seeds = chaos_seeds();
+    assert!(!seeds.is_empty(), "ARS_CHAOS_SEEDS parsed to nothing");
+    for seed in seeds {
+        let outcome = tree_chaos_run(seed);
+        let replay = tree_chaos_run(seed);
+        assert_eq!(outcome, replay, "seed {seed}: tree chaos replay diverged");
+    }
+}
+
+#[test]
+fn an_armed_but_idle_registry_fault_engine_is_byte_identical() {
+    // Zero-cost gate: when no registry fault actually fires inside the
+    // horizon, installing the registry fault engine (vs no fault layer at
+    // all) must not perturb a single trace event — with the fault
+    // tolerance layer off *and* on.
+    let story = |plan: FaultPlan, ft: bool| -> Vec<(u64, String)> {
+        let mut sim = Sim::new(
+            (0..5)
+                .map(|i| HostConfig::named(format!("ws{i}")))
+                .collect(),
+            SimConfig {
+                seed: 7,
+                trace: true,
+                faults: plan,
+                ..SimConfig::default()
+            },
+        );
+        let workers = [HostId(1), HostId(2), HostId(3), HostId(4)];
+        let dep = deploy_tree(
+            &mut sim,
+            HostId(0),
+            &workers,
+            &[2, 2],
+            DeployConfig {
+                overload_confirm: SimDuration::from_secs(40),
+                registry_ft: ft,
+                ..DeployConfig::default()
+            },
+        );
+        let app = TestTree::new(TestTreeConfig::small());
+        dep.schemas.put(MigratableApp::schema(&app));
+        let hpcm = HpcmHooks::new();
+        HpcmShell::spawn_on(&mut sim, HostId(1), app, HpcmConfig::default(), None, hpcm);
+        sim.run_until(t(600.0));
+        sim.kernel()
+            .trace
+            .events()
+            .iter()
+            .map(|e| (e.t.as_micros(), e.detail.clone()))
+            .collect()
+    };
+    for ft in [false, true] {
+        let armed = FaultPlan::none().at(t(1e9), Fault::RegistryCrash { pid: 0 });
+        assert_eq!(
+            story(FaultPlan::none(), ft),
+            story(armed, ft),
+            "ft={ft}: an armed-but-idle registry fault engine perturbed the trace"
+        );
     }
 }
 
