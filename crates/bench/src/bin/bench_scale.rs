@@ -67,6 +67,7 @@ struct Cell {
     events_per_sec: f64,
     peak_rss_kb: u64,
     migrations: usize,
+    registry_nic_util: f64,
 }
 
 fn measure(kind: &'static str, n_hosts: usize, run: impl FnOnce() -> ScaleRun) -> Cell {
@@ -82,15 +83,17 @@ fn measure(kind: &'static str, n_hosts: usize, run: impl FnOnce() -> ScaleRun) -
         events_per_sec: run.events_handled as f64 / wall_s,
         peak_rss_kb: peak_rss_kb(),
         migrations: run.migrations,
+        registry_nic_util: run.registry_nic_util,
     };
     println!(
-        "{:>12} {:>8} {:>12.3}s {:>14.0} ev/s {:>12} KiB {:>4} migration(s)",
+        "{:>12} {:>8} {:>12.3}s {:>14.0} ev/s {:>12} KiB {:>4} migration(s) {:>8.4} nic",
         cell.kind,
         cell.n_hosts,
         cell.wall_s,
         cell.events_per_sec,
         cell.peak_rss_kb,
-        cell.migrations
+        cell.migrations,
+        cell.registry_nic_util
     );
     cell
 }
@@ -137,8 +140,8 @@ fn main() {
     );
 
     println!(
-        "{:>12} {:>8} {:>13} {:>19} {:>16} {:>15}",
-        "cell", "hosts", "wall", "throughput", "peak rss", "migrations"
+        "{:>12} {:>8} {:>13} {:>19} {:>16} {:>15} {:>12}",
+        "cell", "hosts", "wall", "throughput", "peak rss", "migrations", "nic util"
     );
     let mut cells: Vec<Cell> = Vec::new();
     for &n in &SIZES_BOTH {
@@ -200,11 +203,17 @@ fn main() {
          meaningful RSS data; hier/sharded cells run after the largest flat cell and \
          inherit its floor\",\n",
     );
+    json.push_str(
+        "  \"registry_nic_util_note\": \"fraction of the registry host's NIC receive \
+         capacity used over the whole horizon (hottest shard registry for sharded cells); \
+         the control plane's saturation headroom at each N\",\n",
+    );
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"kind\": \"{}\", \"n_hosts\": {}, \"wall_s\": {:.4}, \"events\": {}, \
-             \"events_per_sec\": {:.0}, \"peak_rss_kb\": {}, \"migrations\": {}}}{}\n",
+             \"events_per_sec\": {:.0}, \"peak_rss_kb\": {}, \"migrations\": {}, \
+             \"registry_nic_util\": {:.6}}}{}\n",
             c.kind,
             c.n_hosts,
             c.wall_s,
@@ -212,6 +221,7 @@ fn main() {
             c.events_per_sec,
             c.peak_rss_kb,
             c.migrations,
+            c.registry_nic_util,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }

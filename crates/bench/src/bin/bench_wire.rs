@@ -1,0 +1,224 @@
+//! Live-path wire benchmark: XML vs binary codec against the readiness
+//! reactor at 1k and 10k concurrent connections. Emits `BENCH_wire.json`.
+//!
+//! Cells: {xml, binary} × {1 000, 10 000} connections, each reporting
+//! registrations/sec, heartbeats/sec, and probe round-trip latency
+//! (mean + p99) measured *under* the full heartbeat fan-in — see
+//! `ars_bench::wire` for the measurement protocol.
+//!
+//! ## Process model
+//!
+//! A 10k-connection cell needs ~10k file descriptors on each side, and
+//! the two sides together overflow a typical 20k `ulimit -n`. The server
+//! (the real `LiveRegistry` reactor) runs in this process; the load
+//! generator runs in a re-exec of this same binary (`--load`), keeping
+//! both processes comfortably inside the limit. The child prints one
+//! JSON line on stdout; that is the whole IPC surface.
+//!
+//! `--smoke` runs one small in-process cell per codec (256 connections,
+//! short window) as the CI gate — it asserts liveness and sane counts,
+//! not codec ordering, because a loaded CI box cannot promise stable
+//! relative timings.
+
+use ars_bench::wire::{run_load, LoadReport};
+use ars_rescheduler::live::LiveRegistry;
+use ars_rescheduler::{RegistryConfig, SchemaBook};
+use ars_rules::Policy;
+use ars_xmlwire::wire::WireCodecKind;
+use std::net::SocketAddr;
+use std::process::Command;
+
+/// Connection counts for the full matrix.
+const SIZES: [usize; 2] = [1_000, 10_000];
+/// Heartbeat window per full cell, seconds.
+const WINDOW_S: f64 = 3.0;
+/// Smoke cell: small enough for one process and a CI time budget.
+const SMOKE_CONNS: usize = 256;
+const SMOKE_WINDOW_S: f64 = 0.5;
+
+struct Cell {
+    codec: WireCodecKind,
+    conns: usize,
+    report: LoadReport,
+}
+
+fn start_registry() -> LiveRegistry {
+    // A permissive never-migrating policy: every heartbeat is a pure
+    // table update, so the cells measure the wire and the core's hot
+    // path, not scheduling decisions.
+    let mut cfg = RegistryConfig::new(Policy::no_migration());
+    cfg.name = "bench".to_string();
+    LiveRegistry::start_with(cfg, SchemaBook::new()).expect("bind live registry")
+}
+
+fn codec_of(name: &str) -> WireCodecKind {
+    match name {
+        "xml" => WireCodecKind::Xml,
+        "binary" => WireCodecKind::Binary,
+        other => panic!("unknown codec {other:?}"),
+    }
+}
+
+/// Child mode: `bench_wire --load <addr> <codec> <conns> <window_s>` —
+/// run the generator against an already-listening registry and print the
+/// report as one JSON line.
+fn child_load(args: &[String]) {
+    let addr: SocketAddr = args[0].parse().expect("addr");
+    let codec = codec_of(&args[1]);
+    let conns: usize = args[2].parse().expect("conns");
+    let window_s: f64 = args[3].parse().expect("window");
+    let report = run_load(addr, codec, conns, window_s).expect("load run");
+    println!("{}", report.to_json());
+}
+
+/// Run one full cell: fresh registry in-process, load in a child process.
+fn run_cell(codec: WireCodecKind, conns: usize) -> Cell {
+    let registry = start_registry();
+    let exe = std::env::current_exe().expect("self path");
+    let output = Command::new(exe)
+        .arg("--load")
+        .arg(registry.addr().to_string())
+        .arg(codec.name())
+        .arg(conns.to_string())
+        .arg(WINDOW_S.to_string())
+        .output()
+        .expect("spawn load child");
+    registry.shutdown();
+    assert!(
+        output.status.success(),
+        "load child failed for {codec}/{conns}: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout.lines().last().expect("child report line");
+    let report =
+        LoadReport::parse(line).unwrap_or_else(|| panic!("unparseable child report: {line:?}"));
+    let cell = Cell {
+        codec,
+        conns,
+        report,
+    };
+    print_cell(&cell);
+    cell
+}
+
+fn print_cell(c: &Cell) {
+    println!(
+        "{:>7} {:>7} conns {:>12.0} reg/s {:>12.0} hb/s {:>10.3} ms rtt (p99 {:>8.3} ms)",
+        c.codec.name(),
+        c.conns,
+        c.report.reg_per_sec,
+        c.report.hb_per_sec,
+        c.report.rtt_mean_s * 1e3,
+        c.report.rtt_p99_s * 1e3,
+    );
+}
+
+fn smoke() {
+    for codec in [WireCodecKind::Xml, WireCodecKind::Binary] {
+        let registry = start_registry();
+        let report =
+            run_load(registry.addr(), codec, SMOKE_CONNS, SMOKE_WINDOW_S).expect("smoke load");
+        registry.shutdown();
+        let cell = Cell {
+            codec,
+            conns: SMOKE_CONNS,
+            report,
+        };
+        print_cell(&cell);
+        assert!(
+            cell.report.reg_per_sec > 0.0 && cell.report.hb_total > 0,
+            "{codec} smoke cell made no progress"
+        );
+        assert!(
+            cell.report.rtt_samples > 0,
+            "{codec} smoke cell has no latency samples"
+        );
+    }
+    println!("smoke ok");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--load") {
+        child_load(&args[1..]);
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    println!(
+        "{:>7} {:>13} {:>18} {:>17} {:>25}",
+        "codec", "connections", "registrations", "heartbeats", "probe rtt under load"
+    );
+    let mut cells = Vec::new();
+    for &conns in &SIZES {
+        for codec in [WireCodecKind::Xml, WireCodecKind::Binary] {
+            cells.push(run_cell(codec, conns));
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"bench_wire\",\n");
+    json.push_str(&format!(
+        "  \"scenario\": \"live registry reactor, registration burst then {WINDOW_S} s \
+         pipelined-heartbeat window; rtt = connection-0 probe under full fan-in\",\n"
+    ));
+    json.push_str(
+        "  \"process_model\": \"server reactor in the parent, load generator re-execed as a \
+         child (two fd budgets)\",\n",
+    );
+    json.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"codec\": \"{}\", \"conns\": {}, \"reg_per_sec\": {:.1}, \
+             \"hb_per_sec\": {:.1}, \"rtt_mean_s\": {:.6}, \"rtt_p99_s\": {:.6}, \
+             \"hb_total\": {}, \"rtt_samples\": {}}}{}\n",
+            c.codec.name(),
+            c.conns,
+            c.report.reg_per_sec,
+            c.report.hb_per_sec,
+            c.report.rtt_mean_s,
+            c.report.rtt_p99_s,
+            c.report.hb_total,
+            c.report.rtt_samples,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_wire.json", &json).expect("write BENCH_wire.json");
+    println!("\nwrote BENCH_wire.json");
+
+    // Headline check: the binary codec must beat XML on every metric in
+    // every cell — that is the acceptance bar for carrying two codecs.
+    for &conns in &SIZES {
+        let xml = cells
+            .iter()
+            .find(|c| c.codec == WireCodecKind::Xml && c.conns == conns)
+            .unwrap();
+        let bin = cells
+            .iter()
+            .find(|c| c.codec == WireCodecKind::Binary && c.conns == conns)
+            .unwrap();
+        println!(
+            "{} conns: binary vs xml — reg {:.2}x, hb {:.2}x, rtt {:.2}x",
+            conns,
+            bin.report.reg_per_sec / xml.report.reg_per_sec,
+            bin.report.hb_per_sec / xml.report.hb_per_sec,
+            xml.report.rtt_mean_s / bin.report.rtt_mean_s,
+        );
+        if bin.report.reg_per_sec <= xml.report.reg_per_sec
+            || bin.report.hb_per_sec <= xml.report.hb_per_sec
+            || bin.report.rtt_mean_s >= xml.report.rtt_mean_s
+        {
+            eprintln!("warning: binary did not beat xml on every metric at {conns} conns");
+        }
+    }
+}

@@ -23,6 +23,7 @@ pub mod faults;
 pub mod overhead;
 pub mod policies;
 pub mod scale;
+pub mod wire;
 
 use ars_simcore::TimeSeries;
 

@@ -26,6 +26,7 @@ use ars_sim::{
 };
 use ars_simcore::{SimDuration, SimTime};
 use ars_simhost::HostConfig;
+use ars_simnet::NodeId;
 use ars_sysinfo::Ambient;
 
 /// Which kernel paths the run exercises.
@@ -45,6 +46,19 @@ pub struct ScaleRun {
     pub trace: Option<Vec<String>>,
     /// Kernel events handled (the events/sec numerator).
     pub events_handled: u64,
+    /// Fraction of the registry host's NIC receive capacity consumed over
+    /// the run horizon — the saturation headroom of the control plane's
+    /// single busiest link. For sharded cells this is the *hottest* shard
+    /// registry (each shard has its own).
+    pub registry_nic_util: f64,
+}
+
+/// Receive-side utilization of the registry machine's NIC: bytes that
+/// arrived at `NodeId(0)` (the registry host in every scale scenario)
+/// divided by line rate × horizon.
+fn registry_nic_util(sim: &Sim) -> f64 {
+    let net = &sim.kernel().net;
+    net.rx_bytes(NodeId(0)) / (net.config().nic_bytes_per_sec * RUN_S as f64)
 }
 
 /// Render a trace event the way every equivalence gate compares them.
@@ -83,6 +97,7 @@ pub fn heartbeat_migration(
         migrations: hpcm.migration_count(),
         trace,
         events_handled: sim.kernel().events_handled(),
+        registry_nic_util: registry_nic_util(&sim),
     }
 }
 
@@ -236,7 +251,7 @@ pub fn sharded_migration(
     parallel: bool,
     record_trace: bool,
 ) -> ScaleRun {
-    let specs: Vec<ShardSpec<(), usize>> = (0..shards)
+    let specs: Vec<ShardSpec<(), (usize, f64)>> = (0..shards)
         .map(|_| ShardSpec {
             build: Box::new(move |idx| {
                 let (sim, hpcm) = build_scale_sim(
@@ -249,7 +264,7 @@ pub fn sharded_migration(
                     sim,
                     extract: Box::new(|_, _| Vec::new()),
                     apply: Box::new(|_, _, _| {}),
-                    finish: Box::new(move |_| hpcm.migration_count()),
+                    finish: Box::new(move |sim| (hpcm.migration_count(), registry_nic_util(&sim))),
                 }
             }),
         })
@@ -263,9 +278,10 @@ pub fn sharded_migration(
         },
     );
     ScaleRun {
-        migrations: run.outputs.iter().sum(),
+        migrations: run.outputs.iter().map(|(m, _)| m).sum(),
         trace: record_trace.then(|| run.trace.iter().map(render_event).collect()),
         events_handled: run.events_handled,
+        registry_nic_util: run.outputs.iter().map(|&(_, u)| u).fold(0.0, f64::max),
     }
 }
 
@@ -294,6 +310,7 @@ pub fn sharded_single_reference(n_hosts: usize, seed: u64) -> ScaleRun {
                 .collect(),
         ),
         events_handled: sim.kernel().events_handled(),
+        registry_nic_util: registry_nic_util(&sim),
     }
 }
 
@@ -415,6 +432,7 @@ fn tree_scenario(n_hosts: usize, fanout: Option<&[usize]>, seed: u64) -> TreeRun
             migrations: hpcm.migration_count(),
             trace: None,
             events_handled: sim.kernel().events_handled(),
+            registry_nic_util: registry_nic_util(&sim),
         },
         decisions,
         moved: hpcm.last_migration().map(|m| (m.from, m.to)),

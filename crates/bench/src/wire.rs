@@ -1,0 +1,380 @@
+//! Live-path wire benchmark: registrations/sec, heartbeats/sec and
+//! command round-trip latency against a real [`LiveRegistry`] at high
+//! connection counts, XML vs binary codec.
+//!
+//! The load generator is a single-threaded non-blocking client-side
+//! reactor — the mirror image of the server's — so one process can hold
+//! thousands of concurrent monitor connections without thousands of
+//! threads. At 10k connections the server and the generator each need
+//! ~10k file descriptors, which together overflow a typical 20k `ulimit
+//! -n`; the `bench_wire` binary therefore re-executes itself as a child
+//! process for the load side (see `--load` in `bin/bench_wire.rs`), and
+//! this module only assumes its *own* process stays within the limit.
+//!
+//! Measurement protocol per cell:
+//!
+//! 1. open N connections (blocking connect, then switched non-blocking);
+//! 2. **registration phase** — every connection sends `Register` and the
+//!    phase ends when every ack has arrived: `reg_per_sec` = N / elapsed;
+//! 3. **heartbeat window** — every connection pipelines one heartbeat at
+//!    a time (send, await ack, send the next) for `window_s` seconds:
+//!    `hb_per_sec` counts completed round trips across all connections,
+//!    while connection 0 doubles as the **latency probe**, timing each of
+//!    its own round trips for `rtt_mean_s`/`rtt_p99_s`. The probe races
+//!    the same full-fanout load as every other connection, so its latency
+//!    is the commanded-host experience under pressure, not an idle ping.
+//!    The probe is serviced every [`PROBE_STRIDE`] connections inside the
+//!    sweep (not once per sweep): at 10k connections one generator sweep
+//!    takes hundreds of milliseconds, and a once-per-sweep probe would
+//!    measure the generator's own loop period instead of how long the
+//!    registry takes to turn a heartbeat around.
+
+use ars_xmlwire::wire::{encode_frame_into, FrameReader, WireCodecKind, MAX_FRAME_BYTES};
+use ars_xmlwire::{EntityRole, HostState, HostStatic, Message, Metrics, BIN_PREAMBLE};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// What one load-generator run measured (serialized over the parent ↔
+/// child pipe as a single JSON line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Registrations completed per second (whole-phase aggregate).
+    pub reg_per_sec: f64,
+    /// Heartbeat round trips completed per second across all connections.
+    pub hb_per_sec: f64,
+    /// Mean probe round-trip latency, seconds.
+    pub rtt_mean_s: f64,
+    /// 99th-percentile probe round-trip latency, seconds.
+    pub rtt_p99_s: f64,
+    /// Total heartbeat round trips inside the window.
+    pub hb_total: u64,
+    /// Probe round trips the latency stats are computed from.
+    pub rtt_samples: u64,
+}
+
+impl LoadReport {
+    /// One-line JSON for the parent ↔ child pipe and BENCH_wire.json.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"reg_per_sec\": {:.1}, \"hb_per_sec\": {:.1}, \"rtt_mean_s\": {:.6}, \
+             \"rtt_p99_s\": {:.6}, \"hb_total\": {}, \"rtt_samples\": {}}}",
+            self.reg_per_sec,
+            self.hb_per_sec,
+            self.rtt_mean_s,
+            self.rtt_p99_s,
+            self.hb_total,
+            self.rtt_samples
+        )
+    }
+
+    /// Parse the `to_json` line back (no serde in the image; the format
+    /// is our own, so a field-by-field scan is enough).
+    pub fn parse(line: &str) -> Option<LoadReport> {
+        fn field(line: &str, key: &str) -> Option<f64> {
+            let at = line.find(&format!("\"{key}\":"))?;
+            let rest = line[at..].split_once(':')?.1;
+            let end = rest
+                .find([',', '}'])
+                .unwrap_or(rest.len());
+            rest[..end].trim().parse().ok()
+        }
+        Some(LoadReport {
+            reg_per_sec: field(line, "reg_per_sec")?,
+            hb_per_sec: field(line, "hb_per_sec")?,
+            rtt_mean_s: field(line, "rtt_mean_s")?,
+            rtt_p99_s: field(line, "rtt_p99_s")?,
+            hb_total: field(line, "hb_total")? as u64,
+            rtt_samples: field(line, "rtt_samples")? as u64,
+        })
+    }
+}
+
+/// One generator-side connection: non-blocking stream, partial-frame
+/// reader, pending outbound bytes, and whether a request is in flight.
+struct LoadConn {
+    stream: TcpStream,
+    frames: FrameReader,
+    out: Vec<u8>,
+    out_pos: usize,
+    inflight: bool,
+}
+
+impl LoadConn {
+    fn queue(&mut self, msg: &Message, codec: WireCodecKind) {
+        encode_frame_into(msg, codec, &mut self.out);
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "registry hung up mid-frame",
+                    ))
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Read whatever is available; returns the number of complete
+    /// messages decoded (all replies here are acks — content is checked
+    /// by the protocol tests, throughput is what's measured).
+    fn drain(&mut self, rbuf: &mut [u8]) -> std::io::Result<u64> {
+        let mut acks = 0;
+        loop {
+            match self.stream.read(rbuf) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "registry closed the connection",
+                    ))
+                }
+                Ok(n) => {
+                    self.frames.push(&rbuf[..n]);
+                    loop {
+                        match self.frames.next_frame() {
+                            Ok(Some(_)) => acks += 1,
+                            Ok(None) => break,
+                            Err(e) => {
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::InvalidData,
+                                    e.to_string(),
+                                ))
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(acks)
+    }
+}
+
+/// How many non-probe connections are serviced between probe checks
+/// during the heartbeat window. Small enough that probe latency is
+/// dominated by the server turnaround, large enough that probe servicing
+/// does not distort the aggregate throughput sweep.
+const PROBE_STRIDE: usize = 256;
+
+/// Drive the probe connection one step: keep exactly one timed heartbeat
+/// in flight and record its round trip when the ack lands.
+fn service_probe(
+    c: &mut LoadConn,
+    codec: WireCodecKind,
+    rbuf: &mut [u8],
+    probe_sent: &mut Option<Instant>,
+    rtt: &mut Vec<f64>,
+    hb_total: &mut u64,
+) -> std::io::Result<bool> {
+    let mut progressed = false;
+    if !c.inflight {
+        c.queue(&heartbeat_msg(0), codec);
+        c.inflight = true;
+        *probe_sent = Some(Instant::now());
+        progressed = true;
+    }
+    c.flush()?;
+    let acks = c.drain(rbuf)?;
+    if acks > 0 {
+        c.inflight = false;
+        *hb_total += acks;
+        progressed = true;
+        if let Some(sent) = probe_sent.take() {
+            rtt.push(sent.elapsed().as_secs_f64());
+        }
+    }
+    Ok(progressed)
+}
+
+fn host_name(i: usize) -> String {
+    format!("h{i:05}")
+}
+
+fn register_msg(i: usize) -> Message {
+    Message::Register {
+        host: HostStatic {
+            name: host_name(i),
+            ip: "127.0.0.1".to_string(),
+            os: "linux".to_string(),
+            cpu_speed: 1.0,
+            n_cpus: 1,
+            mem_kb: 131_072,
+        },
+        role: EntityRole::Monitor,
+    }
+}
+
+fn heartbeat_msg(i: usize) -> Message {
+    let mut metrics = Metrics::new();
+    metrics.set("loadAvg1", 0.25);
+    metrics.set("nproc", 10.0);
+    metrics.set("memAvail", 50.0);
+    metrics.set("diskAvailKb", 4_000_000.0);
+    Message::Heartbeat {
+        host: host_name(i),
+        state: HostState::Free,
+        metrics,
+        procs: vec![],
+    }
+}
+
+/// Run the load against a live registry at `addr`: open `conns`
+/// connections in the given codec, register them all, then drive the
+/// heartbeat window for `window_s` seconds. Single-threaded; needs
+/// `conns` + O(1) file descriptors.
+pub fn run_load(
+    addr: SocketAddr,
+    codec: WireCodecKind,
+    conns: usize,
+    window_s: f64,
+) -> std::io::Result<LoadReport> {
+    let mut pool = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+        stream.set_nodelay(true).ok();
+        if codec == WireCodecKind::Binary {
+            stream.write_all(&BIN_PREAMBLE)?;
+        }
+        stream.set_nonblocking(true)?;
+        pool.push(LoadConn {
+            stream,
+            frames: FrameReader::for_codec(codec, MAX_FRAME_BYTES),
+            out: Vec::new(),
+            out_pos: 0,
+            inflight: false,
+        });
+    }
+    let mut rbuf = vec![0u8; 64 * 1024];
+
+    // Registration phase: every connection sends one Register; the phase
+    // ends when every ack is back.
+    let reg_start = Instant::now();
+    for (i, c) in pool.iter_mut().enumerate() {
+        c.queue(&register_msg(i), codec);
+        c.inflight = true;
+    }
+    let mut outstanding = conns as u64;
+    while outstanding > 0 {
+        let mut progressed = false;
+        for c in pool.iter_mut() {
+            c.flush()?;
+            let acks = c.drain(&mut rbuf)?;
+            if acks > 0 {
+                c.inflight = false;
+                outstanding -= acks;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let reg_elapsed = reg_start.elapsed().as_secs_f64();
+
+    // Heartbeat window: each connection pipelines one heartbeat at a
+    // time; connection 0 is the timed latency probe, serviced every
+    // PROBE_STRIDE connections so its round trips sample the registry's
+    // turnaround rather than this loop's sweep period.
+    let window = Duration::from_secs_f64(window_s);
+    let hb_start = Instant::now();
+    let mut hb_total: u64 = 0;
+    let mut probe_sent: Option<Instant> = None;
+    let mut rtt: Vec<f64> = Vec::new();
+    let (probe, rest) = pool.split_at_mut(1);
+    let probe = &mut probe[0];
+    while hb_start.elapsed() < window {
+        let mut progressed = service_probe(
+            probe,
+            codec,
+            &mut rbuf,
+            &mut probe_sent,
+            &mut rtt,
+            &mut hb_total,
+        )?;
+        for (j, c) in rest.iter_mut().enumerate() {
+            if !c.inflight {
+                c.queue(&heartbeat_msg(j + 1), codec);
+                c.inflight = true;
+                progressed = true;
+            }
+            c.flush()?;
+            let acks = c.drain(&mut rbuf)?;
+            if acks > 0 {
+                debug_assert!(acks == 1, "one reply per pipelined heartbeat");
+                c.inflight = false;
+                hb_total += acks;
+                progressed = true;
+            }
+            if (j + 1) % PROBE_STRIDE == 0 {
+                progressed |= service_probe(
+                    probe,
+                    codec,
+                    &mut rbuf,
+                    &mut probe_sent,
+                    &mut rtt,
+                    &mut hb_total,
+                )?;
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let hb_elapsed = hb_start.elapsed().as_secs_f64();
+
+    rtt.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rtt_mean_s = if rtt.is_empty() {
+        0.0
+    } else {
+        rtt.iter().sum::<f64>() / rtt.len() as f64
+    };
+    let rtt_p99_s = if rtt.is_empty() {
+        0.0
+    } else {
+        rtt[((rtt.len() - 1) as f64 * 0.99) as usize]
+    };
+    Ok(LoadReport {
+        reg_per_sec: conns as f64 / reg_elapsed,
+        hb_per_sec: hb_total as f64 / hb_elapsed,
+        rtt_mean_s,
+        rtt_p99_s,
+        hb_total,
+        rtt_samples: rtt.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = LoadReport {
+            reg_per_sec: 12_345.6,
+            hb_per_sec: 98_765.4,
+            rtt_mean_s: 0.000321,
+            rtt_p99_s: 0.001234,
+            hb_total: 424_242,
+            rtt_samples: 991,
+        };
+        let back = LoadReport::parse(&report.to_json()).expect("parse");
+        assert_eq!(back.hb_total, report.hb_total);
+        assert_eq!(back.rtt_samples, report.rtt_samples);
+        assert!((back.reg_per_sec - report.reg_per_sec).abs() < 0.11);
+        assert!((back.rtt_mean_s - report.rtt_mean_s).abs() < 1e-6);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The paper's communication subsystem is "a custom XML based protocol with
 //! TCP/IP sockets". The simulated entities exchange exactly those XML
-//! documents as message payloads; this module runs the same documents over
+//! documents as message payloads; this module runs the same protocol over
 //! real localhost sockets — a registry/scheduler server plus client-side
 //! helpers — demonstrating that the wire format *and the scheduler itself*
 //! are transport independent: the server is the same sans-I/O
@@ -12,26 +12,72 @@
 //! destination conditions, the missed-heartbeat failure detector, command
 //! retransmits — none of which the old socket-local table implemented.
 //!
-//! Framing: one XML document per line (the writer emits single-line
-//! documents; newline is therefore an unambiguous delimiter).
+//! ## Transport architecture
+//!
+//! The server is a **single-threaded non-blocking readiness reactor**, not
+//! a thread per connection: one thread owns the listener and every
+//! connection (each with its own read/write buffers and a partial-frame
+//! [`FrameReader`]), and each tick accepts new peers, drains readable
+//! sockets, feeds the decoded batch through the shared [`RegistryCore`]
+//! under one lock acquisition, then flushes encoded replies. That is what
+//! lets one registry hold thousands of concurrent monitor connections —
+//! the thread-per-connection design topped out on stack memory and context
+//! switches long before the scheduler core was the bottleneck.
+//!
+//! ## Framing and codecs
+//!
+//! Two codecs share the same message model ([`WireCodecKind`]): the
+//! paper-faithful newline-framed single-line XML documents (the default —
+//! byte-identical to the historical wire format) and a length-prefixed
+//! binary codec. The codec is negotiated per connection from the first
+//! bytes the client sends (`<` → XML, [`ars_xmlwire::BIN_PREAMBLE`] →
+//! binary); the server answers in kind, so old XML peers interoperate with
+//! binary ones on the same port with no configuration.
 
 use crate::hooks::{DecisionRecord, ReschedLog, SchemaBook};
 use crate::regcore::{
     CoreEffect, CoreInput, Endpoint, LogEffect, RegistryConfig, RegistryCore, TimerId,
 };
+use ars_obs::{Obs, ObsEvent};
 use ars_rules::Policy;
 use ars_simcore::SimTime;
-use ars_xmlwire::Message;
+use ars_xmlwire::wire::{
+    encode_frame_into, FrameReader, WireCodecKind, WireError, MAX_FRAME_BYTES,
+};
+use ars_xmlwire::{Message, BIN_PREAMBLE};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Default deadline for connecting to and calling a live registry. A dead
 /// registry process must surface as an error, not a hung monitor.
 pub const LIVE_CALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Tuning knobs for the live transport (server side).
+#[derive(Debug, Clone)]
+pub struct LiveOptions {
+    /// Largest accepted frame (XML line or binary payload), in bytes.
+    /// A peer whose frame crosses this cap is disconnected with a
+    /// [`WireError::FrameTooLarge`] rather than buffered without bound.
+    pub max_frame: usize,
+    /// Backpressure bound: a connection whose *outbound* buffer exceeds
+    /// this many bytes (a peer that stopped reading) is dropped. The
+    /// protocol is soft-state — a re-registering peer recovers — so
+    /// shedding a stuck peer beats letting it pin server memory.
+    pub max_write_buffer: usize,
+}
+
+impl Default for LiveOptions {
+    fn default() -> Self {
+        LiveOptions {
+            max_frame: MAX_FRAME_BYTES,
+            max_write_buffer: 4 * 1024 * 1024,
+        }
+    }
+}
 
 /// What went wrong talking to a live registry.
 #[derive(Debug)]
@@ -42,7 +88,7 @@ pub enum LiveError {
     Timeout(Duration),
     /// The registry closed the connection (clean EOF mid-call).
     Closed,
-    /// The reply was not a decodable protocol document.
+    /// The reply was not a decodable protocol frame.
     Protocol(String),
 }
 
@@ -74,7 +120,7 @@ impl From<std::io::Error> for LiveError {
     }
 }
 
-/// Write one message to a stream (newline-framed).
+/// Write one message to a stream (newline-framed XML).
 pub fn write_msg(stream: &mut impl Write, msg: &Message) -> std::io::Result<()> {
     let doc = msg.to_document();
     debug_assert!(!doc.contains('\n'), "documents are single-line");
@@ -83,33 +129,51 @@ pub fn write_msg(stream: &mut impl Write, msg: &Message) -> std::io::Result<()> 
     stream.flush()
 }
 
-/// Read one message from a buffered stream; `None` at EOF.
+/// Read one newline-framed XML message from a buffered stream; `None` at
+/// EOF. A line longer than [`MAX_FRAME_BYTES`] is rejected with a typed
+/// [`WireError::FrameTooLarge`] (wrapped in `InvalidData`) instead of
+/// letting a malformed peer grow the line buffer without bound.
 pub fn read_msg(reader: &mut impl BufRead) -> std::io::Result<Option<Message>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    let mut line = Vec::new();
+    // Bound the read *before* the allocation happens: a frame that hits the
+    // cap without a newline is hostile or corrupt either way.
+    let n = reader
+        .take(MAX_FRAME_BYTES as u64 + 1)
+        .read_until(b'\n', &mut line)?;
+    if n == 0 {
         return Ok(None);
     }
-    Message::decode(line.trim_end())
+    if n > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::FrameTooLarge {
+                limit: MAX_FRAME_BYTES,
+                got: n,
+            },
+        ));
+    }
+    let text = std::str::from_utf8(&line)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Message::decode(text.trim_end())
         .map(Some)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
-/// Everything the worker threads share: the scheduler core, its decision
-/// log, the write half of every open connection (keyed by the connection
-/// id that doubles as the core's [`Endpoint`]), and the armed retransmit
-/// timers.
+/// Everything the reactor shares with [`LiveRegistry::inspect`]: the
+/// scheduler core, its decision log, and the armed retransmit timers.
+/// Socket state (buffers, frame readers) is owned exclusively by the
+/// reactor thread and never sits behind this lock.
 struct LiveShared {
     core: RegistryCore,
     log: ReschedLog,
-    writers: HashMap<u64, TcpStream>,
     timers: Vec<(Instant, TimerId)>,
 }
 
-/// Lock the shared state, recovering from poisoning. A client handler that
-/// panics mid-update leaves the mutex poisoned; one bad client must not
-/// brick the registry for every later one. The core is a soft-state cache
-/// refreshed by heartbeats, so the worst a recovered lock can expose is a
-/// stale entry — not corruption.
+/// Lock the shared state, recovering from poisoning. An inspector that
+/// panics mid-closure leaves the mutex poisoned; one bad observer must not
+/// brick the registry. The core is a soft-state cache refreshed by
+/// heartbeats, so the worst a recovered lock can expose is a stale entry —
+/// not corruption.
 fn lock_shared(shared: &Mutex<LiveShared>) -> MutexGuard<'_, LiveShared> {
     shared.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -120,7 +184,7 @@ pub struct LiveRegistry {
     shared: Arc<Mutex<LiveShared>>,
     epoch: Instant,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl LiveRegistry {
@@ -140,54 +204,49 @@ impl LiveRegistry {
     /// rule-policy destination conditions, resource requirements, leases
     /// and retransmit tuning all apply to live scheduling.
     pub fn start_with(cfg: RegistryConfig, schemas: SchemaBook) -> std::io::Result<LiveRegistry> {
+        Self::start_with_options(cfg, schemas, LiveOptions::default())
+    }
+
+    /// [`start_with`](Self::start_with), plus explicit transport tuning
+    /// (frame cap, write-buffer backpressure bound).
+    pub fn start_with_options(
+        cfg: RegistryConfig,
+        schemas: SchemaBook,
+        options: LiveOptions,
+    ) -> std::io::Result<LiveRegistry> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let obs = cfg.obs.clone();
         let shared = Arc::new(Mutex::new(LiveShared {
             core: RegistryCore::new(cfg, schemas),
             log: ReschedLog::default(),
-            writers: HashMap::new(),
             timers: Vec::new(),
         }));
         let epoch = Instant::now();
         let stop = Arc::new(AtomicBool::new(false));
         let t_shared = shared.clone();
         let t_stop = stop.clone();
-        let accept_thread = std::thread::spawn(move || {
-            let next_conn = AtomicU64::new(1);
-            let mut workers = Vec::new();
-            while !t_stop.load(Ordering::Relaxed) {
-                fire_due_timers(&t_shared, epoch);
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        stream.set_nonblocking(false).ok();
-                        let conn = next_conn.fetch_add(1, Ordering::Relaxed);
-                        if let Ok(writer) = stream.try_clone() {
-                            lock_shared(&t_shared).writers.insert(conn, writer);
-                        }
-                        let shared = t_shared.clone();
-                        let stop = t_stop.clone();
-                        workers.push(std::thread::spawn(move || {
-                            let _ = serve_client(conn, stream, &shared, &stop, epoch);
-                            lock_shared(&shared).writers.remove(&conn);
-                        }));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
+        let reactor_thread = std::thread::spawn(move || {
+            Reactor {
+                listener,
+                shared: t_shared,
+                stop: t_stop,
+                epoch,
+                obs,
+                options,
+                conns: HashMap::new(),
+                next_conn: 1,
+                outbound: Vec::new(),
             }
-            for w in workers {
-                let _ = w.join();
-            }
+            .run()
         });
         Ok(LiveRegistry {
             addr,
             shared,
             epoch,
             stop,
-            accept_thread: Some(accept_thread),
+            reactor_thread: Some(reactor_thread),
         })
     }
 
@@ -214,11 +273,10 @@ impl LiveRegistry {
         self.inspect(|_, log| log.clone())
     }
 
-    /// Stop accepting and wind down (open client connections unblock at
-    /// their next message).
+    /// Stop accepting and wind down (open client connections observe EOF).
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
     }
@@ -227,7 +285,7 @@ impl LiveRegistry {
 impl Drop for LiveRegistry {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
     }
@@ -236,14 +294,6 @@ impl Drop for LiveRegistry {
 /// The core's clock input: wall seconds since the server's epoch.
 fn now_since(epoch: Instant) -> SimTime {
     SimTime::from_secs_f64(epoch.elapsed().as_secs_f64())
-}
-
-/// Write `msg` to connection `conn`, dropping it silently if the peer is
-/// gone (its worker removes the writer on disconnect).
-fn send_to(shared: &mut LiveShared, conn: u64, msg: &Message) {
-    if let Some(w) = shared.writers.get_mut(&conn) {
-        let _ = write_msg(w, msg);
-    }
 }
 
 fn apply_log(log: &mut ReschedLog, effect: LogEffect) {
@@ -255,17 +305,20 @@ fn apply_log(log: &mut ReschedLog, effect: LogEffect) {
     }
 }
 
-/// Replay core effects onto the sockets. [`CoreEffect::StartDecision`] has
-/// no CPU to charge here, so due decisions are fed straight back until the
-/// core goes quiet. `candidate_ctx` carries the (connection, source host)
-/// of an in-flight [`Message::CandidateRequest`], so the reply the core
-/// sends it is also recorded in the decision log — mirroring what the DES
-/// driver's requesting registry would log on its side.
+/// Replay core effects, collecting outbound messages into `out` (the
+/// reactor encodes and writes them after the lock is released).
+/// [`CoreEffect::StartDecision`] has no CPU to charge here, so due
+/// decisions are fed straight back until the core goes quiet.
+/// `candidate_ctx` carries the (connection, source host) of an in-flight
+/// [`Message::CandidateRequest`], so the reply the core sends it is also
+/// recorded in the decision log — mirroring what the DES driver's
+/// requesting registry would log on its side.
 fn pump(
     shared: &mut LiveShared,
     now: SimTime,
     effects: &mut Vec<CoreEffect>,
     candidate_ctx: Option<(u64, &str)>,
+    out: &mut Vec<(u64, Message)>,
 ) {
     loop {
         let mut due = Vec::new();
@@ -285,7 +338,7 @@ fn pump(
                             });
                         }
                     }
-                    send_to(shared, to.0, &msg);
+                    out.push((to.0, msg));
                 }
                 CoreEffect::StartDecision { source, .. } => due.push(source),
                 CoreEffect::ArmTimer { timer, after } => {
@@ -309,217 +362,463 @@ fn pump(
     }
 }
 
-/// Fire retransmit timers whose deadline has passed (called from the
-/// accept loop every few milliseconds).
-fn fire_due_timers(shared: &Mutex<LiveShared>, epoch: Instant) {
-    let mut s = lock_shared(shared);
-    if s.timers.is_empty() {
-        return;
-    }
-    let wall = Instant::now();
-    let mut fired = Vec::new();
-    s.timers.retain(|&(deadline, timer)| {
-        if deadline <= wall {
-            fired.push(timer);
-            false
-        } else {
-            true
+/// One live connection owned by the reactor: the non-blocking stream, its
+/// incremental frame decoder, and the pending outbound bytes.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameReader,
+    /// Set once negotiation resolves (used to encode replies in kind and
+    /// to emit the `WireCodecNegotiated` event exactly once).
+    codec: Option<WireCodecKind>,
+    /// Encoded-but-unwritten reply bytes; `out_pos` is the flushed prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Peer is done (EOF/error/protocol violation); reap after the tick.
+    dead: bool,
+}
+
+impl Conn {
+    fn queue(&mut self, msg: &Message, options: &LiveOptions) {
+        // A connection that never completed negotiation can still be
+        // addressed by the core (it cannot: endpoints only exist after a
+        // decoded message) — default to the paper codec defensively.
+        let codec = self.codec.unwrap_or(WireCodecKind::Xml);
+        encode_frame_into(msg, codec, &mut self.out);
+        if self.out.len() - self.out_pos > options.max_write_buffer {
+            // Backpressure rule: a peer that stopped reading does not get
+            // to pin unbounded server memory. Soft state recovers it.
+            self.dead = true;
         }
-    });
-    let now = now_since(epoch);
-    for timer in fired {
-        let mut fx = Vec::new();
-        s.core.handle(now, CoreInput::TimerFired(timer), &mut fx);
-        pump(&mut s, now, &mut fx, None);
+    }
+
+    /// Flush pending bytes; returns true if any progress was made.
+    fn flush(&mut self) -> bool {
+        let mut progressed = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        } else if self.out_pos > 64 * 1024 && self.out_pos * 2 >= self.out.len() {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        progressed
     }
 }
 
-fn serve_client(
-    conn: u64,
-    stream: TcpStream,
-    shared: &Mutex<LiveShared>,
-    stop: &AtomicBool,
+/// The single-threaded readiness reactor behind [`LiveRegistry`].
+struct Reactor {
+    listener: TcpListener,
+    shared: Arc<Mutex<LiveShared>>,
+    stop: Arc<AtomicBool>,
     epoch: Instant,
-) -> std::io::Result<()> {
-    // Wake periodically so the stop flag is honoured even while idle. The
-    // line buffer persists across timeouts, so a message split across reads
-    // is never lost.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    while !stop.load(Ordering::Relaxed) {
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed
-            Ok(_) if line.ends_with('\n') => {}
-            Ok(_) => continue, // partial line; keep accumulating
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
+    obs: Obs,
+    options: LiveOptions,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    /// Scratch list of (connection, message) produced under the shared
+    /// lock each tick, encoded into per-connection buffers after.
+    outbound: Vec<(u64, Message)>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut rbuf = vec![0u8; 64 * 1024];
+        while !self.stop.load(Ordering::Relaxed) {
+            let mut progressed = false;
+            progressed |= self.accept_new();
+            self.fire_due_timers();
+            progressed |= self.drain_readable(&mut rbuf);
+            self.flush_and_reap();
+            if !self.outbound.is_empty() {
+                progressed = true;
             }
-            Err(e) => return Err(e),
-        }
-        let msg = match Message::decode(line.trim_end()) {
-            Ok(m) => m,
-            Err(_) => {
-                line.clear();
-                let mut s = lock_shared(shared);
-                send_to(
-                    &mut s,
-                    conn,
-                    &Message::Ack {
-                        ok: false,
-                        info: "undecodable message".to_string(),
-                    },
-                );
-                continue;
-            }
-        };
-        line.clear();
-        let mut s = lock_shared(shared);
-        let now = now_since(epoch);
-        let mut fx = Vec::new();
-        match msg {
-            Message::Register { host, role } => {
-                let name = host.name.clone();
-                s.core.handle(
-                    now,
-                    CoreInput::Message {
-                        from: Endpoint(conn),
-                        msg: Message::Register { host, role },
-                    },
-                    &mut fx,
-                );
-                pump(&mut s, now, &mut fx, None);
-                send_to(
-                    &mut s,
-                    conn,
-                    &Message::Ack {
-                        ok: true,
-                        info: format!("registered {name}"),
-                    },
-                );
-            }
-            Message::Heartbeat { .. } => {
-                let host = match &msg {
-                    Message::Heartbeat { host, .. } => host.clone(),
-                    _ => unreachable!("matched above"),
-                };
-                let known = s.core.knows_host(&host);
-                s.core.handle(
-                    now,
-                    CoreInput::Message {
-                        from: Endpoint(conn),
-                        msg,
-                    },
-                    &mut fx,
-                );
-                // Ack first: the heartbeat's caller reads exactly one
-                // reply. Anything the core pushes — a MigrationCommand to
-                // a commander connection, a ReRegister nudge to this one —
-                // follows on the respective streams afterwards.
-                send_to(
-                    &mut s,
-                    conn,
-                    &Message::Ack {
-                        ok: known,
-                        info: if known {
-                            String::new()
-                        } else {
-                            format!("{host} is not registered")
-                        },
-                    },
-                );
-                pump(&mut s, now, &mut fx, None);
-            }
-            Message::CandidateRequest { .. } => {
-                let source = match &msg {
-                    Message::CandidateRequest { host, .. } => host.clone(),
-                    _ => unreachable!("matched above"),
-                };
-                s.core.handle(
-                    now,
-                    CoreInput::Message {
-                        from: Endpoint(conn),
-                        msg,
-                    },
-                    &mut fx,
-                );
-                // The reply is the CandidateReply the core sends back to
-                // this connection — no transport-level ack.
-                pump(&mut s, now, &mut fx, Some((conn, source.as_str())));
-            }
-            Message::CommandAck { .. }
-            | Message::MigrationComplete { .. }
-            | Message::CandidateReply { .. }
-            | Message::DomainReport { .. } => {
-                // Fire-and-forget inputs: feed the core, reply nothing.
-                s.core.handle(
-                    now,
-                    CoreInput::Message {
-                        from: Endpoint(conn),
-                        msg,
-                    },
-                    &mut fx,
-                );
-                pump(&mut s, now, &mut fx, None);
-            }
-            other => {
-                send_to(
-                    &mut s,
-                    conn,
-                    &Message::Ack {
-                        ok: false,
-                        info: format!("unexpected {}", other.type_tag()),
-                    },
-                );
+            if !progressed {
+                // Idle tick: nothing accepted, read or written. Sleep a
+                // beat instead of spinning the scan loop at 100% CPU.
+                std::thread::sleep(Duration::from_millis(1));
             }
         }
     }
-    Ok(())
+
+    /// Accept every pending connection (the listener is non-blocking).
+    fn accept_new(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    any = true;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let conn = self.next_conn;
+                    self.next_conn += 1;
+                    self.obs.inc("live_connections");
+                    self.conns.insert(
+                        conn,
+                        Conn {
+                            stream,
+                            frames: FrameReader::negotiating(self.options.max_frame),
+                            codec: None,
+                            out: Vec::new(),
+                            out_pos: 0,
+                            dead: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    /// Fire retransmit timers whose deadline has passed.
+    fn fire_due_timers(&mut self) {
+        let mut s = lock_shared(&self.shared);
+        if s.timers.is_empty() {
+            return;
+        }
+        let wall = Instant::now();
+        let mut fired = Vec::new();
+        s.timers.retain(|&(deadline, timer)| {
+            if deadline <= wall {
+                fired.push(timer);
+                false
+            } else {
+                true
+            }
+        });
+        let now = now_since(self.epoch);
+        for timer in fired {
+            let mut fx = Vec::new();
+            s.core.handle(now, CoreInput::TimerFired(timer), &mut fx);
+            pump(&mut s, now, &mut fx, None, &mut self.outbound);
+        }
+        drop(s);
+        self.route_outbound();
+    }
+
+    /// Read every readable socket, decode complete frames, and feed the
+    /// decoded batch through the core. Returns true if any bytes moved.
+    fn drain_readable(&mut self, rbuf: &mut [u8]) -> bool {
+        let mut any = false;
+        // Decoded batch for this tick: (conn, decode result). Processing
+        // is deferred so the shared lock is taken once per tick, not once
+        // per message — that batching is what keeps 10k heartbeating
+        // connections from serializing on the mutex.
+        let mut batch: Vec<(u64, Result<Message, WireError>)> = Vec::new();
+        let timing = self.obs.is_enabled();
+        for (&conn, c) in self.conns.iter_mut() {
+            if c.dead {
+                continue;
+            }
+            loop {
+                match c.stream.read(rbuf) {
+                    Ok(0) => {
+                        c.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        any = true;
+                        c.frames.push(&rbuf[..n]);
+                        let had_codec = c.codec.is_some();
+                        loop {
+                            let t0 = timing.then(Instant::now);
+                            match c.frames.next_frame() {
+                                Ok(Some(msg)) => {
+                                    if let Some(t0) = t0 {
+                                        self.obs
+                                            .observe("wire_decode_s", t0.elapsed().as_secs_f64());
+                                    }
+                                    batch.push((conn, Ok(msg)));
+                                }
+                                Ok(None) => break,
+                                Err(e) => {
+                                    batch.push((conn, Err(e.clone())));
+                                    if e.is_fatal() {
+                                        c.dead = true;
+                                    }
+                                    if c.dead {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if !had_codec {
+                            if let Some(codec) = c.frames.codec() {
+                                c.codec = Some(codec);
+                                let t = now_since(self.epoch);
+                                self.obs.record(t, || ObsEvent::WireCodecNegotiated {
+                                    conn,
+                                    codec: codec.name().to_string(),
+                                });
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        c.dead = true;
+                        break;
+                    }
+                }
+                if c.dead {
+                    break;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            self.process_batch(batch);
+        }
+        any
+    }
+
+    /// Feed one tick's decoded messages through the core under a single
+    /// lock acquisition, collecting replies into `self.outbound`.
+    fn process_batch(&mut self, batch: Vec<(u64, Result<Message, WireError>)>) {
+        let out = &mut self.outbound;
+        let mut s = lock_shared(&self.shared);
+        for (conn, decoded) in batch {
+            let now = now_since(self.epoch);
+            let msg = match decoded {
+                Ok(m) => m,
+                Err(e) if !e.is_fatal() => {
+                    // The frame was consumed; tell the peer and move on —
+                    // same contract the blocking XML server had for an
+                    // undecodable line.
+                    out.push((
+                        conn,
+                        Message::Ack {
+                            ok: false,
+                            info: "undecodable message".to_string(),
+                        },
+                    ));
+                    continue;
+                }
+                Err(_) => continue, // fatal: connection is already marked dead
+            };
+            let mut fx = Vec::new();
+            match msg {
+                Message::Register { host, role } => {
+                    let name = host.name.clone();
+                    s.core.handle(
+                        now,
+                        CoreInput::Message {
+                            from: Endpoint(conn),
+                            msg: Message::Register { host, role },
+                        },
+                        &mut fx,
+                    );
+                    pump(&mut s, now, &mut fx, None, out);
+                    out.push((
+                        conn,
+                        Message::Ack {
+                            ok: true,
+                            info: format!("registered {name}"),
+                        },
+                    ));
+                }
+                Message::Heartbeat { .. } => {
+                    let host = match &msg {
+                        Message::Heartbeat { host, .. } => host.clone(),
+                        _ => unreachable!("matched above"),
+                    };
+                    let known = s.core.knows_host(&host);
+                    s.core.handle(
+                        now,
+                        CoreInput::Message {
+                            from: Endpoint(conn),
+                            msg,
+                        },
+                        &mut fx,
+                    );
+                    // Ack first: the heartbeat's caller reads exactly one
+                    // reply. Anything the core pushes — a MigrationCommand
+                    // to a commander connection, a ReRegister nudge to this
+                    // one — follows on the respective streams afterwards.
+                    out.push((
+                        conn,
+                        Message::Ack {
+                            ok: known,
+                            info: if known {
+                                String::new()
+                            } else {
+                                format!("{host} is not registered")
+                            },
+                        },
+                    ));
+                    pump(&mut s, now, &mut fx, None, out);
+                }
+                Message::CandidateRequest { .. } => {
+                    let source = match &msg {
+                        Message::CandidateRequest { host, .. } => host.clone(),
+                        _ => unreachable!("matched above"),
+                    };
+                    s.core.handle(
+                        now,
+                        CoreInput::Message {
+                            from: Endpoint(conn),
+                            msg,
+                        },
+                        &mut fx,
+                    );
+                    // The reply is the CandidateReply the core sends back
+                    // to this connection — no transport-level ack.
+                    pump(&mut s, now, &mut fx, Some((conn, source.as_str())), out);
+                }
+                Message::CommandAck { .. }
+                | Message::MigrationComplete { .. }
+                | Message::CandidateReply { .. }
+                | Message::DomainReport { .. } => {
+                    // Fire-and-forget inputs: feed the core, reply nothing.
+                    s.core.handle(
+                        now,
+                        CoreInput::Message {
+                            from: Endpoint(conn),
+                            msg,
+                        },
+                        &mut fx,
+                    );
+                    pump(&mut s, now, &mut fx, None, out);
+                }
+                other => {
+                    out.push((
+                        conn,
+                        Message::Ack {
+                            ok: false,
+                            info: format!("unexpected {}", other.type_tag()),
+                        },
+                    ));
+                }
+            }
+        }
+        drop(s);
+        self.route_outbound();
+    }
+
+    /// Encode collected outbound messages into their connections' write
+    /// buffers (messages to already-gone peers are dropped silently, as
+    /// the blocking server did).
+    fn route_outbound(&mut self) {
+        for (conn, msg) in self.outbound.drain(..) {
+            if let Some(c) = self.conns.get_mut(&conn) {
+                c.queue(&msg, &self.options);
+            }
+        }
+    }
+
+    /// Flush every connection's pending bytes and reap dead connections
+    /// (a dying connection still gets one final flush so a protocol-error
+    /// ack has a chance to reach the peer before the close).
+    fn flush_and_reap(&mut self) {
+        let mut reaped = 0u64;
+        self.conns.retain(|_, c| {
+            c.flush();
+            if c.dead {
+                reaped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if reaped > 0 {
+            self.obs.add("live_disconnects", reaped);
+        }
+    }
 }
 
 /// A live client connection to the registry (monitor side).
 ///
 /// Every operation is bounded by a deadline: a registry process that dies
 /// mid-call makes [`call`](LiveClient::call) return [`LiveError`] rather
-/// than blocking the monitor forever.
+/// than blocking the monitor forever. The client speaks either codec —
+/// [`connect`](LiveClient::connect) keeps the paper-faithful XML default;
+/// [`connect_binary`](LiveClient::connect_binary) opens the stream with
+/// the binary preamble and frames everything after in binary.
 pub struct LiveClient {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+    frames: FrameReader,
+    codec: WireCodecKind,
+    scratch: Vec<u8>,
     timeout: Duration,
 }
 
 impl LiveClient {
     /// Connect to a live registry with the default deadline
-    /// ([`LIVE_CALL_TIMEOUT`]) for both the connect and each call.
+    /// ([`LIVE_CALL_TIMEOUT`]) for both the connect and each call, using
+    /// the XML codec.
     pub fn connect(addr: SocketAddr) -> Result<LiveClient, LiveError> {
         Self::connect_with_timeout(addr, LIVE_CALL_TIMEOUT)
     }
 
+    /// Connect with the binary codec and the default deadline.
+    pub fn connect_binary(addr: SocketAddr) -> Result<LiveClient, LiveError> {
+        Self::connect_with(addr, WireCodecKind::Binary, LIVE_CALL_TIMEOUT)
+    }
+
     /// Connect with an explicit deadline applied to the connect itself and
-    /// to every subsequent [`call`](LiveClient::call).
+    /// to every subsequent [`call`](LiveClient::call), using the XML codec.
     pub fn connect_with_timeout(
         addr: SocketAddr,
         timeout: Duration,
     ) -> Result<LiveClient, LiveError> {
-        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        Self::connect_with(addr, WireCodecKind::Xml, timeout)
+    }
+
+    /// Connect with an explicit codec and deadline. A binary connection
+    /// announces itself by writing [`BIN_PREAMBLE`] before its first
+    /// frame; an XML connection writes nothing extra (its first `<` is the
+    /// negotiation).
+    pub fn connect_with(
+        addr: SocketAddr,
+        codec: WireCodecKind,
+        timeout: Duration,
+    ) -> Result<LiveClient, LiveError> {
+        let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        let writer = stream.try_clone()?;
+        stream.set_nodelay(true).ok();
+        if codec == WireCodecKind::Binary {
+            stream.write_all(&BIN_PREAMBLE)?;
+        }
         Ok(LiveClient {
-            writer,
-            reader: BufReader::new(stream),
+            stream,
+            frames: FrameReader::for_codec(codec, MAX_FRAME_BYTES),
+            codec,
+            scratch: Vec::new(),
             timeout,
         })
     }
 
+    /// The codec this connection negotiated at connect time.
+    pub fn codec(&self) -> WireCodecKind {
+        self.codec
+    }
+
     /// Change the per-call deadline.
     pub fn set_call_timeout(&mut self, timeout: Duration) -> Result<(), LiveError> {
-        let stream = self.reader.get_ref();
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))?;
         self.timeout = timeout;
         Ok(())
     }
@@ -527,19 +826,33 @@ impl LiveClient {
     /// Send a message without waiting for a reply (commander-style
     /// fire-and-forget, e.g. [`Message::CommandAck`]).
     pub fn send(&mut self, msg: &Message) -> Result<(), LiveError> {
-        write_msg(&mut self.writer, msg).map_err(|e| self.classify(e))
+        self.scratch.clear();
+        encode_frame_into(msg, self.codec, &mut self.scratch);
+        let scratch = std::mem::take(&mut self.scratch);
+        let result = self
+            .stream
+            .write_all(&scratch)
+            .map_err(|e| self.classify(e));
+        self.scratch = scratch;
+        result
     }
 
     /// Read the next message the registry pushed to this connection (e.g.
     /// a [`Message::MigrationCommand`] addressed to a commander).
     pub fn recv(&mut self) -> Result<Message, LiveError> {
-        let mut line = String::new();
-        match self.reader.read_line(&mut line) {
-            Ok(0) => Err(LiveError::Closed),
-            Ok(_) => {
-                Message::decode(line.trim_end()).map_err(|e| LiveError::Protocol(e.to_string()))
+        let mut rbuf = [0u8; 8 * 1024];
+        loop {
+            match self.frames.next_frame() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {}
+                Err(e) => return Err(LiveError::Protocol(e.to_string())),
             }
-            Err(e) => Err(self.classify(e)),
+            match self.stream.read(&mut rbuf) {
+                Ok(0) => return Err(LiveError::Closed),
+                Ok(n) => self.frames.push(&rbuf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(self.classify(e)),
+            }
         }
     }
 

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use ars_rescheduler::live::{LiveClient, LiveRegistry};
+use ars_rescheduler::live::{LiveClient, LiveRegistry, LIVE_CALL_TIMEOUT};
 use ars_rescheduler::{
     Liveness, RegistryConfig, RegistryCore, RegistryScheduler, ReschedHooks, ReschedLog,
     SchemaBook, CONTROL_TAG,
@@ -21,6 +21,7 @@ use ars_rules::Policy;
 use ars_sim::{Ctx, HostId, Payload, Pid, Program, RecvFilter, Sim, SimConfig, SpawnOpts, Wake};
 use ars_simcore::{SimDuration, SimTime};
 use ars_simhost::HostConfig;
+use ars_xmlwire::wire::WireCodecKind;
 use ars_xmlwire::{
     ApplicationSchema, EntityRole, HostState, HostStatic, Message, Metrics, ProcReport,
     ResourceRequirements,
@@ -247,15 +248,16 @@ fn run_des() -> (Digest, Option<String>) {
     (d, picked)
 }
 
-fn run_live() -> (Digest, Option<String>) {
+fn run_live(codec: WireCodecKind) -> (Digest, Option<String>) {
     let schemas = SchemaBook::new();
     schemas.put(tree_schema());
     let registry = LiveRegistry::start_with(config(), schemas).expect("bind");
     let addr = registry.addr();
 
-    let mut a = LiveClient::connect(addr).unwrap();
-    let mut b = LiveClient::connect(addr).unwrap();
-    let mut c = LiveClient::connect(addr).unwrap();
+    let connect = |addr| LiveClient::connect_with(addr, codec, LIVE_CALL_TIMEOUT).unwrap();
+    let mut a = connect(addr);
+    let mut b = connect(addr);
+    let mut c = connect(addr);
     for msg in script() {
         // Route each message over the sending host's connection; `a` sends
         // both of its Registers on one connection so that — exactly like
@@ -307,17 +309,28 @@ fn run_live() -> (Digest, Option<String>) {
 #[test]
 fn both_drivers_reach_the_same_core_state_from_one_script() {
     let (des, des_dest) = run_des();
-    let (live, live_dest) = run_live();
+    // The live driver runs once per wire codec: the paper-faithful XML
+    // framing and the binary codec must both be pure transports — neither
+    // may leave a different fingerprint on the core than the DES adapter.
+    for codec in [WireCodecKind::Xml, WireCodecKind::Binary] {
+        let (live, live_dest) = run_live(codec);
 
-    assert_eq!(des, live, "driver state diverged for an identical script");
-    assert_eq!(des_dest, live_dest, "drivers chose different destinations");
-    assert_eq!(
-        des_dest.as_deref(),
-        Some("c"),
-        "the one qualified host (b fails the schema's memory floor)"
-    );
-    assert_eq!(des.decisions.len(), 1, "exactly one decision");
-    assert_eq!(des.commands_sent, 1);
-    assert_eq!(des.command_retransmits, 0, "the ack landed; no retransmit");
-    assert_eq!(des.commands_aborted, 0);
+        assert_eq!(
+            des, live,
+            "driver state diverged for an identical script ({codec} codec)"
+        );
+        assert_eq!(
+            des_dest, live_dest,
+            "drivers chose different destinations ({codec} codec)"
+        );
+        assert_eq!(
+            des_dest.as_deref(),
+            Some("c"),
+            "the one qualified host (b fails the schema's memory floor)"
+        );
+        assert_eq!(des.decisions.len(), 1, "exactly one decision");
+        assert_eq!(des.commands_sent, 1);
+        assert_eq!(des.command_retransmits, 0, "the ack landed; no retransmit");
+        assert_eq!(des.commands_aborted, 0);
+    }
 }

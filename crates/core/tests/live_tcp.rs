@@ -1,6 +1,7 @@
 //! The rescheduler protocol over real localhost TCP sockets.
 
 use ars_rescheduler::live::{LiveClient, LiveError, LiveRegistry};
+use ars_xmlwire::wire::WireCodecKind;
 use ars_xmlwire::{EntityRole, HostState, HostStatic, Message, Metrics, ResourceRequirements};
 
 fn statics(name: &str) -> HostStatic {
@@ -92,6 +93,201 @@ fn live_registry_serves_first_fit_over_tcp() {
         .unwrap();
     assert_eq!(reply, Message::CandidateReply { dest: None });
 
+    registry.shutdown();
+}
+
+/// The binary codec drives the identical protocol flow end to end: the
+/// registry negotiates it from the stream preamble and answers in kind.
+#[test]
+fn binary_codec_serves_first_fit_over_tcp() {
+    let registry = LiveRegistry::start().expect("bind");
+    let addr = registry.addr();
+
+    let mut a = LiveClient::connect_binary(addr).unwrap();
+    let mut b = LiveClient::connect_binary(addr).unwrap();
+    let mut c = LiveClient::connect_binary(addr).unwrap();
+    assert_eq!(a.codec(), WireCodecKind::Binary);
+    register(&mut a, "a");
+    register(&mut b, "b");
+    register(&mut c, "c");
+
+    heartbeat(&mut a, "a", HostState::Overloaded);
+    heartbeat(&mut b, "b", HostState::Busy);
+    heartbeat(&mut c, "c", HostState::Free);
+
+    let reply = a
+        .call(&Message::CandidateRequest {
+            host: "a".to_string(),
+            requirements: ResourceRequirements::default(),
+        })
+        .unwrap();
+    assert_eq!(
+        reply,
+        Message::CandidateReply {
+            dest: Some("c".to_string())
+        }
+    );
+    registry.shutdown();
+}
+
+/// XML and binary peers coexist on one port: the codec is per connection,
+/// and the scheduler cannot tell them apart. With an enabled obs session
+/// the live path reports negotiations, connection counters, and
+/// per-message decode latency.
+#[test]
+fn mixed_codec_clients_share_one_registry_and_obs_sees_them() {
+    use ars_rescheduler::{RegistryConfig, SchemaBook};
+    use ars_rules::Policy;
+
+    let obs = ars_obs::Obs::enabled();
+    let mut cfg = RegistryConfig::new(Policy::no_migration());
+    cfg.name = "live".to_string();
+    cfg.obs = obs.clone();
+    let registry = LiveRegistry::start_with(cfg, SchemaBook::new()).expect("bind");
+    let addr = registry.addr();
+
+    let mut xml = LiveClient::connect(addr).unwrap();
+    let mut bin = LiveClient::connect_binary(addr).unwrap();
+    register(&mut xml, "xml_host");
+    register(&mut bin, "bin_host");
+    heartbeat(&mut xml, "xml_host", HostState::Overloaded);
+    heartbeat(&mut bin, "bin_host", HostState::Free);
+
+    // A cross-codec decision: the XML host is offered the binary host.
+    let reply = xml
+        .call(&Message::CandidateRequest {
+            host: "xml_host".to_string(),
+            requirements: ResourceRequirements::default(),
+        })
+        .unwrap();
+    assert_eq!(
+        reply,
+        Message::CandidateReply {
+            dest: Some("bin_host".to_string())
+        }
+    );
+
+    // The binary peer negotiates at connect time (its preamble is the
+    // first thing on the wire); the XML peer only when its first frame
+    // arrives — so assert the set, not the order.
+    let mut negotiated: Vec<String> = obs
+        .of_kind(ars_obs::ObsKind::WireCodecNegotiated)
+        .iter()
+        .map(|r| match &r.event {
+            ars_obs::ObsEvent::WireCodecNegotiated { codec, .. } => codec.clone(),
+            other => panic!("wrong event {other:?}"),
+        })
+        .collect();
+    negotiated.sort();
+    assert_eq!(negotiated, vec!["binary".to_string(), "xml".to_string()]);
+    assert_eq!(obs.counter("live_connections"), 2);
+    let decode = obs.histogram("wire_decode_s").expect("decode histogram");
+    // 2 registers + 2 heartbeats + 1 candidate request.
+    assert_eq!(decode.count, 5);
+    registry.shutdown();
+}
+
+/// A peer that is not speaking the protocol at all (wrong first byte) is
+/// disconnected at negotiation without disturbing legitimate clients, and
+/// the disconnect is counted.
+#[test]
+fn a_hostile_peer_is_disconnected_without_harming_others() {
+    use std::io::{Read, Write};
+
+    let obs = ars_obs::Obs::enabled();
+    let mut cfg = ars_rescheduler::RegistryConfig::new(ars_rules::Policy::no_migration());
+    cfg.name = "live".to_string();
+    cfg.obs = obs.clone();
+    let registry = LiveRegistry::start_with(cfg, ars_rescheduler::SchemaBook::new()).expect("bind");
+    let addr = registry.addr();
+
+    let mut good = LiveClient::connect(addr).unwrap();
+    register(&mut good, "ws1");
+
+    // Not XML, not the binary preamble: an HTTP probe, say.
+    let mut hostile = std::net::TcpStream::connect(addr).unwrap();
+    hostile
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    hostile.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let mut buf = [0u8; 64];
+    // The server drops the connection (EOF) rather than buffering garbage.
+    assert_eq!(hostile.read(&mut buf).unwrap(), 0, "expected EOF");
+
+    // The legitimate client is unaffected.
+    heartbeat(&mut good, "ws1", HostState::Free);
+    assert_eq!(obs.counter("live_disconnects"), 1);
+    registry.shutdown();
+}
+
+/// A syntactically-XML frame that is not a protocol message gets a typed
+/// protocol nack (the frame is consumed; the connection survives) — the
+/// same contract the thread-per-connection server had.
+#[test]
+fn an_undecodable_xml_frame_gets_a_nack_and_the_connection_survives() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let registry = LiveRegistry::start().expect("bind");
+    let mut raw = std::net::TcpStream::connect(registry.addr()).unwrap();
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    raw.write_all(b"<garbage/>\n").unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let nack = Message::decode(line.trim_end()).unwrap();
+    assert!(matches!(nack, Message::Ack { ok: false, .. }), "{nack:?}");
+
+    // Same connection, now a well-formed register: still served.
+    let register = Message::Register {
+        host: statics("ws1"),
+        role: EntityRole::Monitor,
+    };
+    raw.write_all(format!("{}\n", register.to_document()).as_bytes())
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let ack = Message::decode(line.trim_end()).unwrap();
+    assert!(matches!(ack, Message::Ack { ok: true, .. }), "{ack:?}");
+    registry.shutdown();
+}
+
+/// An unterminated frame that keeps growing past the cap is rejected by
+/// disconnect, not by buffering until the server falls over.
+#[test]
+fn an_oversized_frame_disconnects_the_peer() {
+    use ars_rescheduler::live::LiveOptions;
+    use std::io::{Read, Write};
+
+    let cfg = {
+        let mut c = ars_rescheduler::RegistryConfig::new(ars_rules::Policy::no_migration());
+        c.name = "live".to_string();
+        c
+    };
+    let registry = LiveRegistry::start_with_options(
+        cfg,
+        ars_rescheduler::SchemaBook::new(),
+        LiveOptions {
+            max_frame: 4096,
+            ..LiveOptions::default()
+        },
+    )
+    .expect("bind");
+
+    let mut peer = std::net::TcpStream::connect(registry.addr()).unwrap();
+    peer.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    // An XML-looking line that never ends.
+    let chunk = vec![b'<'; 16 * 1024];
+    // The write may itself fail once the server closes mid-stream; both
+    // outcomes (write error, EOF on read) prove the cap.
+    let _ = peer.write_all(&chunk);
+    let mut buf = [0u8; 64];
+    match peer.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("expected EOF, got {n} bytes"),
+        Err(_) => {} // reset — the server dropped us mid-write
+    }
     registry.shutdown();
 }
 

@@ -84,6 +84,8 @@ pub enum ObsKind {
     /// A registry re-parented to its grandparent after declaring its
     /// parent Down.
     ChildReparented,
+    /// A live TCP connection's first bytes selected a wire codec.
+    WireCodecNegotiated,
 }
 
 impl ObsKind {
@@ -106,6 +108,7 @@ impl ObsKind {
             ObsKind::ParentSuspect => "ParentSuspect",
             ObsKind::ParentDown => "ParentDown",
             ObsKind::ChildReparented => "ChildReparented",
+            ObsKind::WireCodecNegotiated => "WireCodecNegotiated",
         }
     }
 }
@@ -240,6 +243,14 @@ pub enum ObsEvent {
         /// Silence since the last parent ACK when the switch happened.
         orphaned_s: f64,
     },
+    /// The live registry resolved a connection's wire codec from the first
+    /// bytes of its stream.
+    WireCodecNegotiated {
+        /// Connection id (the live driver's endpoint id).
+        conn: u64,
+        /// Selected codec name ("xml" or "binary").
+        codec: String,
+    },
 }
 
 impl ObsEvent {
@@ -262,6 +273,7 @@ impl ObsEvent {
             ObsEvent::ParentSuspect { .. } => ObsKind::ParentSuspect,
             ObsEvent::ParentDown { .. } => ObsKind::ParentDown,
             ObsEvent::ChildReparented { .. } => ObsKind::ChildReparented,
+            ObsEvent::WireCodecNegotiated { .. } => ObsKind::WireCodecNegotiated,
         }
     }
 
@@ -353,6 +365,10 @@ impl ObsEvent {
             } => format!(
                 "{{\"kind\":\"{kind}\",\"registry\":{},\"orphaned_s\":{orphaned_s}}}",
                 json_str(registry)
+            ),
+            ObsEvent::WireCodecNegotiated { conn, codec } => format!(
+                "{{\"kind\":\"{kind}\",\"conn\":{conn},\"codec\":{}}}",
+                json_str(codec)
             ),
         }
     }

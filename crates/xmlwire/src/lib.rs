@@ -16,7 +16,12 @@
 pub mod doc;
 pub mod msg;
 pub mod schema;
+pub mod wire;
 
 pub use doc::{parse, XmlElement, XmlError, XmlNode};
 pub use msg::{EntityRole, HostState, HostStatic, Message, Metrics, ProcReport};
 pub use schema::{AppCharacteristic, ApplicationSchema, ResourceRequirements};
+pub use wire::{
+    decode_binary_payload, encode_frame, encode_frame_into, FrameReader, WireCodecKind, WireError,
+    BIN_PREAMBLE, MAX_FRAME_BYTES,
+};

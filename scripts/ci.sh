@@ -18,8 +18,23 @@ cargo test --release --workspace -q
 
 echo "== driver differential =="
 # The DES adapter and the live TCP driver replay one scripted command
-# sequence into the shared RegistryCore and must land in identical state.
+# sequence into the shared RegistryCore and must land in identical state —
+# the live leg runs once per wire codec (XML and binary).
 cargo test --release -q -p ars-rescheduler --test differential
+
+echo "== wire codecs =="
+# Cross-codec fidelity: the golden corpus must be byte-identical in XML to
+# the legacy framing and round-trip through both codecs (plus the proptest
+# differential); the live reactor must serve mixed codecs, survive hostile
+# peers, and enforce frame caps.
+cargo test --release -q -p ars-xmlwire --test codec_fidelity
+cargo test --release -q -p ars-rescheduler --test live_tcp
+
+echo "== wire smoke (256 conns per codec) =="
+# One small live-registry load cell per codec: asserts liveness and sane
+# latency-sample counts, not codec ordering (CI boxes cannot promise
+# stable relative timings).
+timeout 120 ./target/release/bench_wire --smoke
 
 echo "== chaos matrix =="
 # The chaos suite already runs once (default seeds) as part of the
