@@ -8,16 +8,21 @@
 //! * [`comm`] — paced bulk streams (Table 2's communicating pair) and the
 //!   few-KB/s ambient chatter behind Figure 6;
 //! * [`stencil`] — an iterative halo-exchange MPI application with
-//!   migration-safe iteration boundaries.
+//!   migration-safe iteration boundaries;
+//! * [`malleable`] — the malleable variants of `test_tree` and `stencil`:
+//!   registered block-cyclic arrays, join checkpoints and phase sync keys
+//!   so the reconfiguration engine can grow and shrink their worlds.
 
 #![warn(missing_docs)]
 
 pub mod comm;
 pub mod load;
+pub mod malleable;
 pub mod stencil;
 pub mod test_tree;
 
 pub use comm::{Chatter, CommFlood, Sink, TAG_BULK, TAG_CHATTER};
 pub use load::{CpuHog, DaemonNoise, PollDaemon, Spinner};
+pub use malleable::{MalleableStencil, MalleableStencilConfig, MalleableTree, MalleableTreeConfig};
 pub use stencil::{Stencil, StencilConfig};
 pub use test_tree::{TestTree, TestTreeConfig};

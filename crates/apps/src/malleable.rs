@@ -1,0 +1,708 @@
+//! Malleable workloads: the `test_tree` and `stencil` lineages rebuilt on
+//! registered block-cyclic arrays so the world can grow and shrink under
+//! them.
+//!
+//! Both applications implement the three resize hooks of
+//! [`MigratableApp`]: [`resize_comm`](MigratableApp::resize_comm) names the
+//! communicator they are willing to resize, [`save_for_join`]
+//! (MigratableApp::save_for_join) cuts a checkpoint for a spawned joiner,
+//! and [`sync_key`](MigratableApp::sync_key) fingerprints the phase so the
+//! coordinator refuses to redistribute data across ranks frozen at
+//! different iterations.
+//!
+//! * [`MalleableTree`] — the `test_tree` workload as a bag of independent
+//!   items over registered arrays. No point-to-point traffic at all, so any
+//!   poll-point is safe (`sync_key` is constant) and every expand/shrink
+//!   commits; work ownership follows the block-cyclic layout, so a resize
+//!   re-partitions the remaining items automatically.
+//! * [`MalleableStencil`] — the halo-exchange stencil with its grid in a
+//!   registered array (one row per block). Only the start of an iteration
+//!   is safe, and `sync_key` is the iteration number: members frozen at
+//!   different iterations abort the resize instead of corrupting the halo
+//!   pattern. An every-iteration residual all-reduce keeps ranks
+//!   phase-locked so freezes normally land on the same iteration.
+
+use ars_hpcm::{AppStatus, CodecError, MigratableApp, SavedState, StateReader, StateWriter};
+use ars_mpisim::{redist, Allreduce, CommId, Mpi, Rank, ReduceOp, Step};
+use ars_sim::{Ctx, Payload, Wake};
+use ars_xmlwire::{AppCharacteristic, ApplicationSchema, ResourceRequirements};
+
+/// Deterministic per-item value (same mixer as `test_tree`), folded into a
+/// small exactly-representable f64.
+fn item_value(seed: u64, g: u64) -> f64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(g);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((x ^ (x >> 31)) & 0xF_FFFF) as f64
+}
+
+/// Workload shape of [`MalleableTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MalleableTreeConfig {
+    /// Number of independent work items (tree nodes) in the bag.
+    pub items: u32,
+    /// CPU-seconds per item on the reference machine.
+    pub item_cost: f64,
+    /// Items processed per compute op (each boundary is a poll-point).
+    pub chunk_items: u32,
+    /// Block size of the block-cyclic item layout.
+    pub block: usize,
+    /// Cost of an idle re-poll when a rank has no owned items left but the
+    /// bag is not globally drained.
+    pub poll_cost: f64,
+    /// Modeled resident set per rank, kilobytes.
+    pub rss_kb: u64,
+    /// Seed for the item values.
+    pub seed: u64,
+}
+
+impl MalleableTreeConfig {
+    /// A small, fast instance for tests.
+    pub fn small() -> Self {
+        MalleableTreeConfig {
+            items: 96,
+            item_cost: 0.05,
+            chunk_items: 4,
+            block: 4,
+            poll_cost: 0.05,
+            rss_kb: 4_096,
+            seed: 11,
+        }
+    }
+}
+
+/// Arrays registered by the tree bag.
+const TREE_DONE: &str = "tree_done";
+const TREE_VALUES: &str = "tree_values";
+
+/// The malleable `test_tree`: a bag of `items` independent node
+/// computations whose completion flags and results live in registered
+/// block-cyclic arrays (see module docs).
+pub struct MalleableTree {
+    cfg: MalleableTreeConfig,
+    mpi: Mpi,
+    comm: CommId,
+    /// Items picked for the compute op in flight; committed at its OpDone,
+    /// discarded (and re-derived) when a reconfiguration replays the
+    /// poll-point.
+    picked: Vec<u64>,
+    work_done: f64,
+    finished: bool,
+}
+
+impl MalleableTree {
+    /// Create one rank of the bag over an existing communicator. The
+    /// shared arrays are registered lazily at the first `step` (harnesses
+    /// construct apps before the communicator has its full membership).
+    pub fn new(cfg: MalleableTreeConfig, mpi: Mpi, comm: CommId) -> Self {
+        MalleableTree {
+            cfg,
+            mpi,
+            comm,
+            picked: Vec::new(),
+            work_done: 0.0,
+            finished: false,
+        }
+    }
+
+    /// The digest a complete run must produce, computed directly.
+    pub fn expected_digest(cfg: &MalleableTreeConfig) -> u64 {
+        (0..cfg.items as u64)
+            .map(|g| item_value(cfg.seed, g) as u64)
+            .sum()
+    }
+
+    /// Register the shared arrays (idempotent across ranks and restores).
+    fn ensure_registered(&self) {
+        let _ = self.mpi.register_array(
+            self.comm,
+            TREE_DONE,
+            self.cfg.items as usize,
+            self.cfg.block,
+        );
+        let _ = self.mpi.register_array(
+            self.comm,
+            TREE_VALUES,
+            self.cfg.items as usize,
+            self.cfg.block,
+        );
+    }
+
+    fn my_rank(&self, ctx: &Ctx<'_>) -> Option<u32> {
+        let task = self.mpi.task_of(ctx.pid())?;
+        self.mpi.rank_of(self.comm, task).ok().map(|r| r.0)
+    }
+
+    /// Pick the next chunk of owned, not-yet-done items and issue its
+    /// compute op; re-poll when the bag still has foreign items in flight.
+    fn pick_and_issue(&mut self, ctx: &mut Ctx<'_>) -> AppStatus {
+        let Some(me) = self.my_rank(ctx) else {
+            // Not a member (about to be retired): idle-poll until the
+            // verdict arrives.
+            ctx.compute(self.cfg.poll_cost);
+            return AppStatus::Running;
+        };
+        let k = match self.mpi.comm_size(self.comm) {
+            Ok(k) => k,
+            Err(_) => return AppStatus::Finished,
+        };
+        self.picked.clear();
+        let mut all_done = true;
+        for g in 0..self.cfg.items as u64 {
+            let done = self
+                .mpi
+                .array_get(self.comm, TREE_DONE, g as usize)
+                .unwrap_or(1.0)
+                >= 1.0;
+            if done {
+                continue;
+            }
+            all_done = false;
+            if redist::owner(g as usize, self.cfg.block, k) == me
+                && self.picked.len() < self.cfg.chunk_items as usize
+            {
+                self.picked.push(g);
+            }
+        }
+        if all_done {
+            return AppStatus::Finished;
+        }
+        if self.picked.is_empty() {
+            // Someone else owns every remaining item: poll again shortly.
+            ctx.compute(self.cfg.poll_cost);
+        } else {
+            ctx.compute(self.picked.len() as f64 * self.cfg.item_cost);
+        }
+        AppStatus::Running
+    }
+
+    /// Commit the chunk whose compute op just completed.
+    fn commit_picked(&mut self) {
+        for &g in &self.picked {
+            let _ = self.mpi.array_set(self.comm, TREE_DONE, g as usize, 1.0);
+            let _ = self.mpi.array_set(
+                self.comm,
+                TREE_VALUES,
+                g as usize,
+                item_value(self.cfg.seed, g),
+            );
+        }
+        self.work_done += self.picked.len() as f64 * self.cfg.item_cost;
+        self.picked.clear();
+    }
+}
+
+impl MigratableApp for MalleableTree {
+    fn app_name(&self) -> String {
+        "malleable_tree".to_string()
+    }
+
+    fn schema(&self) -> ApplicationSchema {
+        ApplicationSchema {
+            app: "malleable_tree".to_string(),
+            characteristic: AppCharacteristic::ComputeIntensive,
+            est_comm_bytes: 0,
+            requirements: ResourceRequirements {
+                mem_kb: self.cfg.rss_kb,
+                disk_kb: 0,
+                min_cpu_speed: 0.1,
+            },
+            est_exec_time_s: self.cfg.items as f64 * self.cfg.item_cost,
+            history_runs: 0,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>, wake: Wake) -> AppStatus {
+        if self.finished {
+            return AppStatus::Finished;
+        }
+        let status = match wake {
+            Wake::Started => {
+                // Fresh start, post-restore, or poll-point replay: any
+                // un-committed pick is re-derived from the shared flags.
+                self.ensure_registered();
+                self.picked.clear();
+                self.pick_and_issue(ctx)
+            }
+            Wake::OpDone => {
+                self.commit_picked();
+                self.pick_and_issue(ctx)
+            }
+            _ => AppStatus::Running,
+        };
+        if status == AppStatus::Finished {
+            self.finished = true;
+        }
+        status
+    }
+
+    fn save(&self) -> SavedState {
+        let mut w = StateWriter::new();
+        w.u32(self.cfg.items)
+            .f64(self.cfg.item_cost)
+            .u32(self.cfg.chunk_items)
+            .u64(self.cfg.block as u64)
+            .f64(self.cfg.poll_cost)
+            .u64(self.cfg.rss_kb)
+            .u64(self.cfg.seed)
+            .u32(self.comm.0)
+            .f64(self.work_done);
+        let eager = w.into_bytes();
+        let lazy = (self.cfg.rss_kb * 1024).saturating_sub(eager.len() as u64);
+        SavedState {
+            eager,
+            lazy_bytes: lazy,
+        }
+    }
+
+    fn restore(eager: &[u8], mpi: Option<&Mpi>) -> Result<Self, CodecError> {
+        let mpi = mpi.expect("malleable_tree needs the MPI world").clone();
+        let mut r = StateReader::new(eager);
+        let cfg = MalleableTreeConfig {
+            items: r.u32()?,
+            item_cost: r.f64()?,
+            chunk_items: r.u32()?,
+            block: r.u64()? as usize,
+            poll_cost: r.f64()?,
+            rss_kb: r.u64()?,
+            seed: r.u64()?,
+        };
+        let comm = CommId(r.u32()?);
+        let work_done = r.f64()?;
+        // The arrays already exist in the world; registration is
+        // idempotent and re-links nothing.
+        let mut app = MalleableTree::new(cfg, mpi, comm);
+        app.work_done = work_done;
+        Ok(app)
+    }
+
+    fn progress(&self) -> f64 {
+        self.work_done
+    }
+
+    fn result_digest(&self) -> u64 {
+        self.mpi
+            .array_global(self.comm, TREE_VALUES)
+            .map(|v| v.iter().map(|&x| x as u64).sum())
+            .unwrap_or(0)
+    }
+
+    fn resize_comm(&self) -> Option<CommId> {
+        Some(self.comm)
+    }
+
+    fn save_for_join(&self, _rank: u32, _new_size: u32) -> Option<SavedState> {
+        // A joiner is just another rank of the bag; the checkpoint carries
+        // only the configuration (the data lives in the world's arrays).
+        let mut s = self.save();
+        s.lazy_bytes = 0; // redistribution traffic is modeled separately
+        Some(s)
+    }
+
+    // Any poll-point is safe and phase-free: `migration_safe` stays the
+    // default `true` and `sync_key` the default 0.
+}
+
+/// Workload shape of [`MalleableStencil`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MalleableStencilConfig {
+    /// Iterations to run.
+    pub iters: u32,
+    /// CPU-seconds per iteration on the reference machine.
+    pub compute_per_iter: f64,
+    /// Halo size exchanged with each ring neighbour, bytes.
+    pub halo_bytes: u64,
+    /// Grid rows (the block-cyclic unit: one row per block).
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Modeled resident set per rank, kilobytes.
+    pub rss_kb: u64,
+}
+
+impl MalleableStencilConfig {
+    /// A small test instance.
+    pub fn small() -> Self {
+        MalleableStencilConfig {
+            iters: 8,
+            compute_per_iter: 0.4,
+            halo_bytes: 32 * 1024,
+            rows: 12,
+            cols: 8,
+            rss_kb: 8_192,
+        }
+    }
+}
+
+/// Halo tags alternate by iteration parity (same scheme as the fixed-size
+/// stencil).
+fn halo_tag(iter: u32) -> u32 {
+    100 + (iter & 1)
+}
+
+const GRID: &str = "grid";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StencilPhase {
+    /// Compute op in flight — the only migration-safe phase.
+    Compute,
+    /// Halo sends/recvs outstanding.
+    Exchange,
+    /// Residual all-reduce in flight (every iteration: it is the barrier
+    /// that keeps ranks phase-locked for resizes).
+    Reducing,
+    /// All iterations finished.
+    Done,
+}
+
+/// The malleable halo-exchange stencil (see module docs).
+pub struct MalleableStencil {
+    cfg: MalleableStencilConfig,
+    mpi: Mpi,
+    comm: CommId,
+    iter: u32,
+    phase: StencilPhase,
+    exchange_left: u32,
+    allreduce: Option<Allreduce>,
+    /// Latest globally reduced residual.
+    pub residual: f64,
+}
+
+impl MalleableStencil {
+    /// Create one rank over an existing communicator. The grid array is
+    /// registered lazily at the first `step`.
+    pub fn new(cfg: MalleableStencilConfig, mpi: Mpi, comm: CommId) -> Self {
+        MalleableStencil {
+            cfg,
+            mpi,
+            comm,
+            iter: 0,
+            phase: StencilPhase::Compute,
+            exchange_left: 0,
+            allreduce: None,
+            residual: 1.0,
+        }
+    }
+
+    /// Iterations completed (diagnostics).
+    pub fn iterations_done(&self) -> u32 {
+        self.iter
+    }
+
+    /// The digest a complete run must produce: every cell ends at `iters`.
+    pub fn expected_digest(cfg: &MalleableStencilConfig) -> u64 {
+        (cfg.rows * cfg.cols) as u64 * cfg.iters as u64
+    }
+
+    /// Register the grid (idempotent across ranks and restores).
+    fn ensure_registered(&self) {
+        let _ = self.mpi.register_array(
+            self.comm,
+            GRID,
+            self.cfg.rows * self.cfg.cols,
+            self.cfg.cols,
+        );
+    }
+
+    fn my_rank(&self, ctx: &Ctx<'_>) -> Option<u32> {
+        let task = self.mpi.task_of(ctx.pid())?;
+        self.mpi.rank_of(self.comm, task).ok().map(|r| r.0)
+    }
+
+    fn neighbours(&self, ctx: &Ctx<'_>) -> Vec<Rank> {
+        let Ok(n) = self.mpi.comm_size(self.comm) else {
+            return Vec::new();
+        };
+        let Some(me) = self.my_rank(ctx) else {
+            return Vec::new();
+        };
+        if n <= 1 {
+            return Vec::new();
+        }
+        let left = Rank((me + n - 1) % n);
+        let right = Rank((me + 1) % n);
+        if left == right {
+            vec![left]
+        } else {
+            vec![left, right]
+        }
+    }
+
+    /// Idempotent per-iteration grid update: every owned cell takes the
+    /// iteration count, so replays after a rollback rewrite the same value
+    /// and the finished grid is `iters` everywhere under any layout
+    /// history.
+    fn write_owned(&self, ctx: &Ctx<'_>) {
+        let (Some(me), Ok(k)) = (self.my_rank(ctx), self.mpi.comm_size(self.comm)) else {
+            return;
+        };
+        let total = self.cfg.rows * self.cfg.cols;
+        for g in 0..total {
+            if redist::owner(g, self.cfg.cols, k) == me {
+                let _ = self
+                    .mpi
+                    .array_set(self.comm, GRID, g, (self.iter + 1) as f64);
+            }
+        }
+    }
+
+    fn issue_exchange(&mut self, ctx: &mut Ctx<'_>) {
+        let neighbours = self.neighbours(ctx);
+        if neighbours.is_empty() {
+            self.after_exchange(ctx);
+            return;
+        }
+        let tag = halo_tag(self.iter);
+        for &nb in &neighbours {
+            ars_mpisim::send(
+                &self.mpi,
+                ctx,
+                self.comm,
+                nb,
+                tag,
+                Payload::Empty,
+                Some(self.cfg.halo_bytes),
+            )
+            .expect("halo send");
+        }
+        for &nb in &neighbours {
+            ars_mpisim::recv(&self.mpi, ctx, self.comm, nb, tag).expect("halo recv");
+        }
+        self.exchange_left = 2 * neighbours.len() as u32;
+        self.phase = StencilPhase::Exchange;
+    }
+
+    fn after_exchange(&mut self, ctx: &mut Ctx<'_>) {
+        if self.mpi.comm_size(self.comm).unwrap_or(1) > 1 {
+            let contribution = vec![self.residual * 0.5];
+            let (ar, step) =
+                Allreduce::start(&self.mpi, ctx, self.comm, ReduceOp::Max, contribution)
+                    .expect("allreduce");
+            self.allreduce = Some(ar);
+            self.phase = StencilPhase::Reducing;
+            if let Step::Done(v) = step {
+                self.finish_reduce(ctx, v);
+            }
+        } else {
+            self.residual *= 0.5;
+            self.next_iteration(ctx);
+        }
+    }
+
+    fn finish_reduce(&mut self, ctx: &mut Ctx<'_>, v: Vec<f64>) {
+        self.residual = v.first().copied().unwrap_or(self.residual * 0.5);
+        self.allreduce = None;
+        self.next_iteration(ctx);
+    }
+
+    fn next_iteration(&mut self, ctx: &mut Ctx<'_>) {
+        self.iter += 1;
+        if self.iter >= self.cfg.iters {
+            self.phase = StencilPhase::Done;
+        } else {
+            ctx.compute(self.cfg.compute_per_iter);
+            self.phase = StencilPhase::Compute;
+        }
+    }
+}
+
+impl MigratableApp for MalleableStencil {
+    fn app_name(&self) -> String {
+        "malleable_stencil".to_string()
+    }
+
+    fn schema(&self) -> ApplicationSchema {
+        ApplicationSchema {
+            app: "malleable_stencil".to_string(),
+            characteristic: AppCharacteristic::CommIntensive,
+            est_comm_bytes: self.cfg.iters as u64 * 2 * self.cfg.halo_bytes,
+            requirements: ResourceRequirements {
+                mem_kb: self.cfg.rss_kb,
+                disk_kb: 0,
+                min_cpu_speed: 0.1,
+            },
+            est_exec_time_s: self.cfg.iters as f64 * self.cfg.compute_per_iter,
+            history_runs: 0,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>, wake: Wake) -> AppStatus {
+        match self.phase {
+            StencilPhase::Done => return AppStatus::Finished,
+            StencilPhase::Compute => match wake {
+                Wake::Started => {
+                    // Fresh start or poll-point replay of this iteration.
+                    self.ensure_registered();
+                    ctx.compute(self.cfg.compute_per_iter);
+                }
+                Wake::OpDone => {
+                    self.write_owned(ctx);
+                    self.issue_exchange(ctx);
+                }
+                _ => {}
+            },
+            StencilPhase::Exchange => match wake {
+                Wake::OpDone | Wake::Received(_) => {
+                    self.exchange_left = self.exchange_left.saturating_sub(1);
+                    if self.exchange_left == 0 {
+                        self.after_exchange(ctx);
+                    }
+                }
+                _ => {}
+            },
+            StencilPhase::Reducing => {
+                let mpi = self.mpi.clone();
+                if let Some(ar) = &mut self.allreduce {
+                    match ar.step(&mpi, ctx, Some(wake)).expect("allreduce step") {
+                        Step::Pending => {}
+                        Step::Done(v) => self.finish_reduce(ctx, v),
+                    }
+                }
+            }
+        }
+        if self.phase == StencilPhase::Done {
+            AppStatus::Finished
+        } else {
+            AppStatus::Running
+        }
+    }
+
+    fn migration_safe(&self) -> bool {
+        self.phase == StencilPhase::Compute
+    }
+
+    fn save(&self) -> SavedState {
+        debug_assert_eq!(
+            self.phase,
+            StencilPhase::Compute,
+            "save only at safe points"
+        );
+        let mut w = StateWriter::new();
+        w.u32(self.cfg.iters)
+            .f64(self.cfg.compute_per_iter)
+            .u64(self.cfg.halo_bytes)
+            .u64(self.cfg.rows as u64)
+            .u64(self.cfg.cols as u64)
+            .u64(self.cfg.rss_kb)
+            .u32(self.comm.0)
+            .u32(self.iter)
+            .f64(self.residual);
+        let eager = w.into_bytes();
+        let lazy = (self.cfg.rss_kb * 1024).saturating_sub(eager.len() as u64);
+        SavedState {
+            eager,
+            lazy_bytes: lazy,
+        }
+    }
+
+    fn restore(eager: &[u8], mpi: Option<&Mpi>) -> Result<Self, CodecError> {
+        let mpi = mpi.expect("malleable_stencil needs the MPI world").clone();
+        let mut r = StateReader::new(eager);
+        let cfg = MalleableStencilConfig {
+            iters: r.u32()?,
+            compute_per_iter: r.f64()?,
+            halo_bytes: r.u64()?,
+            rows: r.u64()? as usize,
+            cols: r.u64()? as usize,
+            rss_kb: r.u64()?,
+        };
+        let comm = CommId(r.u32()?);
+        let iter = r.u32()?;
+        let residual = r.f64()?;
+        let mut app = MalleableStencil::new(cfg, mpi, comm);
+        app.iter = iter;
+        app.residual = residual;
+        Ok(app)
+    }
+
+    fn progress(&self) -> f64 {
+        self.iter as f64 * self.cfg.compute_per_iter
+    }
+
+    fn result_digest(&self) -> u64 {
+        self.mpi
+            .array_global(self.comm, GRID)
+            .map(|v| v.iter().map(|&x| x as u64).sum())
+            .unwrap_or(0)
+    }
+
+    fn resize_comm(&self) -> Option<CommId> {
+        Some(self.comm)
+    }
+
+    fn save_for_join(&self, _rank: u32, _new_size: u32) -> Option<SavedState> {
+        let mut s = self.save();
+        s.lazy_bytes = 0;
+        Some(s)
+    }
+
+    fn sync_key(&self) -> u64 {
+        self.iter as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_digest_is_deterministic() {
+        let cfg = MalleableTreeConfig::small();
+        assert_eq!(
+            MalleableTree::expected_digest(&cfg),
+            MalleableTree::expected_digest(&cfg)
+        );
+        assert!(MalleableTree::expected_digest(&cfg) > 0);
+    }
+
+    #[test]
+    fn tree_save_restore_roundtrip() {
+        let mpi = Mpi::new();
+        let t = mpi.bind_new_task(ars_sim::Pid(1));
+        let comm = mpi.create_comm(vec![t]);
+        let mut app = MalleableTree::new(MalleableTreeConfig::small(), mpi.clone(), comm);
+        app.work_done = 1.25;
+        let saved = app.save();
+        let back = MalleableTree::restore(&saved.eager, Some(&mpi)).expect("valid");
+        assert_eq!(back.cfg, app.cfg);
+        assert_eq!(back.comm, comm);
+        assert_eq!(back.work_done, 1.25);
+        assert!(back.migration_safe());
+        assert_eq!(back.sync_key(), 0);
+    }
+
+    #[test]
+    fn tree_join_checkpoint_has_no_lazy_tail() {
+        let mpi = Mpi::new();
+        let t = mpi.bind_new_task(ars_sim::Pid(1));
+        let comm = mpi.create_comm(vec![t]);
+        let app = MalleableTree::new(MalleableTreeConfig::small(), mpi, comm);
+        let j = app.save_for_join(1, 2).expect("joinable");
+        assert_eq!(j.lazy_bytes, 0);
+        assert!(!j.eager.is_empty());
+    }
+
+    #[test]
+    fn stencil_sync_key_tracks_iteration() {
+        let mpi = Mpi::new();
+        let t = mpi.bind_new_task(ars_sim::Pid(1));
+        let comm = mpi.create_comm(vec![t]);
+        let mut app = MalleableStencil::new(MalleableStencilConfig::small(), mpi.clone(), comm);
+        assert_eq!(app.sync_key(), 0);
+        app.iter = 5;
+        assert_eq!(app.sync_key(), 5);
+        let saved = app.save();
+        let back = MalleableStencil::restore(&saved.eager, Some(&mpi)).expect("valid");
+        assert_eq!(back.iter, 5);
+        assert_eq!(back.sync_key(), 5);
+    }
+
+    #[test]
+    fn stencil_expected_digest_counts_cells() {
+        let cfg = MalleableStencilConfig::small();
+        assert_eq!(
+            MalleableStencil::expected_digest(&cfg),
+            (cfg.rows * cfg.cols * cfg.iters as usize) as u64
+        );
+    }
+}

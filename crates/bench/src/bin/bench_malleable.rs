@@ -1,0 +1,114 @@
+//! Malleability benchmark: cluster throughput and batch-job turnaround
+//! with and without autonomic grow/shrink, under the overload scenario in
+//! [`ars_bench::malleable`]. Emits `BENCH_malleable.json`.
+//!
+//! Three gates run before anything is reported:
+//!
+//! 1. **determinism** — the fixed-size arm replayed with the same seed
+//!    must produce a bit-identical trace;
+//! 2. **inert-config byte-identity** — a malleable job configured with
+//!    rules that can never fire must leave the fixed-size trace
+//!    byte-identical: the reconfiguration engine may not perturb
+//!    pre-existing fixed-size scenarios;
+//! 3. **strictly better** — the malleable arm must beat the fixed arm on
+//!    *both* throughput and mean turnaround, with every job completed and
+//!    at least one committed expand *and* shrink. A plausible-looking
+//!    report from a regressed engine fails loudly instead.
+//!
+//! `--smoke` runs the gates plus both arms and prints one line — the CI
+//! entry point.
+
+use ars_bench::malleable::{inert_rules, paper_rules, run, Arm, MalleableRun};
+
+const SEED: u64 = 11;
+
+fn gates() {
+    let a = run(Arm::Fixed, SEED, true);
+    let b = run(Arm::Fixed, SEED, true);
+    assert_eq!(
+        a.trace, b.trace,
+        "fixed-size arm is not deterministic under replay"
+    );
+    let inert = run(Arm::Malleable(inert_rules()), SEED, true);
+    assert_eq!(
+        a.trace, inert.trace,
+        "an inert malleable job perturbed the fixed-size trace"
+    );
+    println!(
+        "gates ok: fixed-size replay deterministic, inert-config trace byte-identical ({} events)",
+        a.trace.as_ref().map(Vec::len).unwrap_or(0)
+    );
+}
+
+fn require_strictly_better(on: &MalleableRun, off: &MalleableRun) {
+    assert_eq!(off.jobs_done, off.jobs, "fixed arm lost batch jobs");
+    assert_eq!(on.jobs_done, on.jobs, "malleable arm lost batch jobs");
+    assert_eq!(off.expands + off.shrinks, 0, "fixed arm resized");
+    assert!(on.expands >= 1, "malleable arm never expanded");
+    assert!(on.shrinks >= 1, "malleable arm never shrank");
+    assert!(
+        on.throughput_jobs_per_h > off.throughput_jobs_per_h,
+        "malleability did not improve throughput: {:.2} vs {:.2} jobs/h",
+        on.throughput_jobs_per_h,
+        off.throughput_jobs_per_h
+    );
+    assert!(
+        on.mean_turnaround_s < off.mean_turnaround_s,
+        "malleability did not improve turnaround: {:.1} vs {:.1} s",
+        on.mean_turnaround_s,
+        off.mean_turnaround_s
+    );
+}
+
+fn row(label: &str, r: &MalleableRun) -> String {
+    format!(
+        "    {{ \"arm\": \"{label}\", \"jobs\": {}, \"jobs_done\": {}, \
+         \"throughput_jobs_per_h\": {:.3}, \"mean_turnaround_s\": {:.3}, \
+         \"makespan_s\": {:.3}, \"app_finished_s\": {:.3}, \
+         \"expands\": {}, \"shrinks\": {} }}",
+        r.jobs,
+        r.jobs_done,
+        r.throughput_jobs_per_h,
+        r.mean_turnaround_s,
+        r.makespan_s,
+        r.app_finished_s,
+        r.expands,
+        r.shrinks
+    )
+}
+
+fn print_arm(label: &str, r: &MalleableRun) {
+    println!(
+        "{label:>9}: {:.1} jobs/h, mean turnaround {:.0} s, makespan {:.0} s, \
+         app done at {:.0} s, {} expands / {} shrinks",
+        r.throughput_jobs_per_h,
+        r.mean_turnaround_s,
+        r.makespan_s,
+        r.app_finished_s,
+        r.expands,
+        r.shrinks
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    gates();
+    let off = run(Arm::Fixed, SEED, false);
+    let on = run(Arm::Malleable(paper_rules()), SEED, false);
+    print_arm("fixed", &off);
+    print_arm("malleable", &on);
+    require_strictly_better(&on, &off);
+    if smoke {
+        println!("smoke ok");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"bench_malleable\",\n  \"seed\": {SEED},\n  \
+         \"replay_deterministic\": true,\n  \"inert_config_trace_identical\": true,\n  \
+         \"results\": [\n{},\n{}\n  ]\n}}\n",
+        row("fixed", &off),
+        row("malleable", &on)
+    );
+    std::fs::write("BENCH_malleable.json", &json).expect("write BENCH_malleable.json");
+    println!("wrote BENCH_malleable.json");
+}

@@ -20,6 +20,7 @@
 pub mod ablations;
 pub mod efficiency;
 pub mod faults;
+pub mod malleable;
 pub mod overhead;
 pub mod policies;
 pub mod scale;

@@ -1,0 +1,315 @@
+//! Malleability under overload: cluster throughput and batch-job turnaround
+//! with and without autonomic grow/shrink of an MPI application.
+//!
+//! One hub (registry) plus [`WORKERS`] workstations. A malleable
+//! `test_tree` world starts at k = 2 on ws1/ws2; two waves of fixed-size
+//! batch jobs arrive later (wave 1 on ws5/ws6, wave 2 everywhere). With
+//! resize rules installed the registry grows the world onto idle
+//! workstations while the cluster is mostly free (`freeFrac ≥ 0.5` →
+//! `expand:`), and gives capacity back when a meaningful share of it is
+//! overloaded (`overLdFrac ≥ 0.3` → `shrink:`) — the same command channel,
+//! ACK/retransmit bookkeeping and transaction engine migration uses. The
+//! fixed-size arm runs the identical workload with no rules installed.
+//!
+//! Two gates accompany the measurement (driven by `bench_malleable`):
+//!
+//! * **determinism** — the fixed-size arm replayed with the same seed must
+//!   produce a bit-identical trace;
+//! * **inert-config byte-identity** — the fixed-size arm with a malleable
+//!   job *configured but whose rules can never fire* must produce a trace
+//!   byte-identical to the arm with no job configured at all: the
+//!   reconfiguration engine's presence on the heartbeat path is not allowed
+//!   to perturb fixed-size scenarios.
+//!
+//! The batch jobs are deliberately *not* migratable: overloaded hosts then
+//! carry nothing the migration path could select, so the cells isolate the
+//! malleability machinery (the migration machinery is benchmarked
+//! elsewhere).
+
+use ars_apps::{DaemonNoise, MalleableTree, MalleableTreeConfig};
+use ars_hpcm::{HpcmConfig, HpcmHooks, HpcmShell, MigratableApp, MigrationOutcome, ResizeKind};
+use ars_mpisim::Mpi;
+use ars_rescheduler::{deploy, DeployConfig, MalleableJob};
+use ars_rules::{ResizeAction, ResizeMetric, ResizeRule, RuleOp};
+use ars_sim::{Ctx, HostId, Pid, Program, Sim, SimConfig, SpawnOpts, Wake};
+use ars_simcore::{SimDuration, SimTime};
+use ars_simhost::HostConfig;
+use std::any::Any;
+
+/// Monitored workstations (ws1..=ws6); the hub hosts only the registry.
+pub const WORKERS: usize = 6;
+/// Initial world size of the malleable application.
+pub const APP_RANKS: u32 = 2;
+/// Wave 1: heavy batch jobs on ws5/ws6 (hosts the app never expands onto).
+pub const WAVE1_S: u64 = 300;
+const WAVE1_JOBS_PER_HOST: usize = 3;
+const WAVE1_JOB_CPU_S: f64 = 150.0;
+/// Wave 2: moderate batch jobs on every workstation. Late enough after
+/// wave 1 drains (~830 s) for the 1-minute load averages to decay below
+/// the free cut, so the registry sees the idle capacity and re-expands.
+pub const WAVE2_S: u64 = 1_050;
+const WAVE2_JOBS_PER_HOST: usize = 2;
+const WAVE2_JOB_CPU_S: f64 = 150.0;
+/// Observation window; everything must complete well inside it.
+pub const HORIZON_S: u64 = 3_600;
+
+/// A fixed-size, non-migratable batch job: `work` CPU-seconds, then exit.
+struct BatchJob {
+    work: f64,
+}
+
+impl Program for BatchJob {
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>, wake: Wake) {
+        match wake {
+            Wake::Started => ctx.compute(self.work),
+            Wake::OpDone => ctx.exit(),
+            _ => {}
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The resize rules the malleable arm installs: grow by 2 (to at most 4
+/// ranks, leaving ws5/ws6 for batch work) while ≥ 50% of the cluster is
+/// free; shrink back toward 2 while ≥ 30% of it is overloaded.
+pub fn paper_rules() -> Vec<ResizeRule> {
+    vec![
+        ResizeRule {
+            app: "malleable_tree".to_string(),
+            metric: ResizeMetric::FreeFrac,
+            op: RuleOp::GreaterEq,
+            threshold: 0.5,
+            action: ResizeAction::Expand,
+            step: 2,
+            min_ranks: APP_RANKS,
+            max_ranks: 4,
+        },
+        ResizeRule {
+            app: "malleable_tree".to_string(),
+            metric: ResizeMetric::OverloadedFrac,
+            op: RuleOp::GreaterEq,
+            threshold: 0.3,
+            action: ResizeAction::Shrink,
+            step: 2,
+            min_ranks: APP_RANKS,
+            max_ranks: 4,
+        },
+    ]
+}
+
+/// Rules that can never fire (`freeFrac ≥ 2` is unsatisfiable): a
+/// configured-but-inert job for the byte-identity gate.
+pub fn inert_rules() -> Vec<ResizeRule> {
+    vec![ResizeRule {
+        app: "malleable_tree".to_string(),
+        metric: ResizeMetric::FreeFrac,
+        op: RuleOp::GreaterEq,
+        threshold: 2.0,
+        action: ResizeAction::Expand,
+        step: 2,
+        min_ranks: APP_RANKS,
+        max_ranks: 4,
+    }]
+}
+
+/// How the registry is configured for one arm.
+pub enum Arm {
+    /// No malleable job registered (the fixed-size baseline).
+    Fixed,
+    /// A malleable job registered with the given rules.
+    Malleable(Vec<ResizeRule>),
+}
+
+/// Everything one arm reports.
+pub struct MalleableRun {
+    /// Batch jobs submitted.
+    pub jobs: usize,
+    /// Batch jobs that ran to completion inside the horizon.
+    pub jobs_done: usize,
+    /// Mean batch-job turnaround (submit → exit), seconds.
+    pub mean_turnaround_s: f64,
+    /// Completed jobs (batch + the MPI app) per hour of makespan.
+    pub throughput_jobs_per_h: f64,
+    /// Last completion time (batch or app), seconds.
+    pub makespan_s: f64,
+    /// When the malleable application finished (all ranks), seconds.
+    pub app_finished_s: f64,
+    /// Committed expand transactions.
+    pub expands: usize,
+    /// Committed shrink transactions.
+    pub shrinks: usize,
+    /// Rendered trace events when recording was requested.
+    pub trace: Option<Vec<String>>,
+}
+
+fn spawn_wave(
+    sim: &mut Sim,
+    hosts: &[u32],
+    per_host: usize,
+    work: f64,
+    submitted: &mut Vec<(Pid, SimTime)>,
+) {
+    let now = sim.now();
+    for &h in hosts {
+        for _ in 0..per_host {
+            let pid = sim.spawn(
+                HostId(h),
+                Box::new(BatchJob { work }),
+                SpawnOpts::named("batch_job"),
+            );
+            submitted.push((pid, now));
+        }
+    }
+}
+
+/// Run one arm of the scenario.
+pub fn run(arm: Arm, seed: u64, record_trace: bool) -> MalleableRun {
+    let mut hosts = vec![HostConfig::named("hub")];
+    hosts.extend((1..=WORKERS).map(|i| HostConfig::named(format!("ws{i}"))));
+    let mut sim = Sim::new(
+        hosts,
+        SimConfig {
+            seed,
+            trace: record_trace,
+            ..SimConfig::default()
+        },
+    );
+
+    // Ambient daemon activity on every workstation (the §5.2 baseline):
+    // a host running one MPI rank then sits visibly above the free-state
+    // load cut, so the free fraction tracks genuinely idle machines and
+    // the resize rules don't oscillate around the classification edge.
+    for h in 1..=WORKERS as u32 {
+        sim.spawn(
+            HostId(h),
+            Box::new(DaemonNoise::new(0.22, 2.0)),
+            SpawnOpts::named("daemons"),
+        );
+    }
+
+    // The malleable world first, so its coordinator pid exists for the
+    // registry's job table. 2400 reference CPU-seconds of independent
+    // items over block-cyclic arrays.
+    let app_cfg = MalleableTreeConfig {
+        items: 1_200,
+        item_cost: 2.0,
+        chunk_items: 4,
+        block: 4,
+        poll_cost: 0.05,
+        rss_kb: 16_384,
+        seed: 7,
+    };
+    let mpi = Mpi::new();
+    let comm = mpi.create_comm(vec![]);
+    let hpcm = HpcmHooks::new();
+    let mut rank_pids = Vec::new();
+    let mut schema = None;
+    for rank in 0..APP_RANKS {
+        let app = MalleableTree::new(app_cfg.clone(), mpi.clone(), comm);
+        schema.get_or_insert_with(|| MigratableApp::schema(&app));
+        let pid = HpcmShell::spawn_on(
+            &mut sim,
+            HostId(1 + rank),
+            app,
+            HpcmConfig::default(),
+            Some(mpi.clone()),
+            hpcm.clone(),
+        );
+        let task = mpi.task_of(pid).expect("task bound at spawn");
+        mpi.join(comm, task).expect("join world");
+        rank_pids.push(pid);
+    }
+
+    let malleable_jobs = match arm {
+        Arm::Fixed => Vec::new(),
+        Arm::Malleable(rules) => vec![MalleableJob::new(
+            "malleable_tree",
+            "ws1",
+            rank_pids[0].0,
+            vec!["ws1".to_string(), "ws2".to_string()],
+            rules,
+        )],
+    };
+    let monitored: Vec<HostId> = (1..=WORKERS as u32).map(HostId).collect();
+    let dep = deploy(
+        &mut sim,
+        HostId(0),
+        &monitored,
+        DeployConfig {
+            overload_confirm: SimDuration::from_secs(30),
+            malleable_jobs,
+            resize_cooldown: SimDuration::from_secs(45),
+            ..DeployConfig::default()
+        },
+    );
+    dep.schemas.put(schema.expect("schema captured"));
+
+    let mut submitted: Vec<(Pid, SimTime)> = Vec::new();
+    sim.run_until(SimTime::from_secs(WAVE1_S));
+    spawn_wave(
+        &mut sim,
+        &[5, 6],
+        WAVE1_JOBS_PER_HOST,
+        WAVE1_JOB_CPU_S,
+        &mut submitted,
+    );
+    sim.run_until(SimTime::from_secs(WAVE2_S));
+    spawn_wave(
+        &mut sim,
+        &(1..=WORKERS as u32).collect::<Vec<_>>(),
+        WAVE2_JOBS_PER_HOST,
+        WAVE2_JOB_CPU_S,
+        &mut submitted,
+    );
+    sim.run_until(SimTime::from_secs(HORIZON_S));
+
+    // Batch-job accounting.
+    let mut turnarounds = Vec::new();
+    let mut last_done = SimTime::from_secs(0);
+    for &(pid, at) in &submitted {
+        if let Some(exit) = sim.exited_at(pid) {
+            turnarounds.push(exit.since(at).as_secs_f64());
+            last_done = last_done.max(exit);
+        }
+    }
+
+    // App accounting: every rank that completed must carry the exact
+    // digest — malleability is not allowed to buy time with wrong answers.
+    let expected = MalleableTree::expected_digest(&app_cfg);
+    let (mut app_done, mut app_finished) = (0usize, SimTime::from_secs(0));
+    {
+        let log = hpcm.0.borrow();
+        for c in log.completions.iter().filter(|c| c.app == "malleable_tree") {
+            assert_eq!(c.digest, expected, "corrupt result under reconfiguration");
+            app_done += 1;
+            app_finished = app_finished.max(c.finished_at);
+        }
+    }
+    assert!(app_done > 0, "malleable app never finished");
+    last_done = last_done.max(app_finished);
+
+    let jobs_done = turnarounds.len();
+    let completions = jobs_done + 1; // the MPI app counts once
+    let makespan_s = last_done.as_secs_f64();
+    let trace = record_trace.then(|| {
+        sim.kernel()
+            .trace
+            .events()
+            .iter()
+            .map(|e| format!("{:?} {:?} {}", e.t, e.kind, e.detail))
+            .collect()
+    });
+    MalleableRun {
+        jobs: submitted.len(),
+        jobs_done,
+        mean_turnaround_s: turnarounds.iter().sum::<f64>() / jobs_done.max(1) as f64,
+        throughput_jobs_per_h: completions as f64 * 3_600.0 / makespan_s,
+        makespan_s,
+        app_finished_s: app_finished.as_secs_f64(),
+        expands: hpcm.resize_count(ResizeKind::Expand, MigrationOutcome::Committed),
+        shrinks: hpcm.resize_count(ResizeKind::Shrink, MigrationOutcome::Committed),
+        trace,
+    }
+}

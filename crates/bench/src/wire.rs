@@ -74,9 +74,7 @@ impl LoadReport {
         fn field(line: &str, key: &str) -> Option<f64> {
             let at = line.find(&format!("\"{key}\":"))?;
             let rest = line[at..].split_once(':')?.1;
-            let end = rest
-                .find([',', '}'])
-                .unwrap_or(rest.len());
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
             rest[..end].trim().parse().ok()
         }
         Some(LoadReport {

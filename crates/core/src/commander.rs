@@ -81,17 +81,24 @@ impl Program for Commander {
                         // run more than once per migration; the handoff is
                         // idempotent and the migration shell ignores the
                         // signal while a transaction is already in flight.
+                        // Reconfiguration specs (expand:/shrink:) carry their
+                        // own structure and go through verbatim; a bare host
+                        // gets the destination port appended as before.
                         let target = Pid(pid);
-                        ctx.write_file(&dest_file_path(target), &format!("{dest}:{dest_port}"));
+                        let resize = dest.starts_with("expand:") || dest.starts_with("shrink:");
+                        let handoff = if resize {
+                            dest.clone()
+                        } else {
+                            format!("{dest}:{dest_port}")
+                        };
+                        ctx.write_file(&dest_file_path(target), &handoff);
                         ctx.signal(target, MIGRATE_SIGNAL);
                         self.commands_handled += 1;
                         self.obs.inc("commander_commands_handled");
+                        let verb = if resize { "reconfigure" } else { "migrate" };
                         ctx.trace(
                             TraceKind::Decision,
-                            format!(
-                                "commander {}: migrate pid{pid} -> {dest}",
-                                ctx.host().name()
-                            ),
+                            format!("commander {}: {verb} pid{pid} -> {dest}", ctx.host().name()),
                         );
                         let ack = Message::CommandAck {
                             host: ctx.host().name().to_string(),

@@ -4,7 +4,7 @@
 use crate::commander::Commander;
 use crate::hooks::{ReschedHooks, SchemaBook};
 use crate::monitor::{Monitor, MonitorConfig, StateSource};
-use crate::regcore::{Endpoint, RegistryConfig};
+use crate::regcore::{Endpoint, MalleableJob, RegistryConfig};
 use crate::registry::RegistryScheduler;
 use ars_obs::Obs;
 use ars_rules::{MonitoringFrequency, Policy};
@@ -57,6 +57,14 @@ pub struct DeployConfig {
     /// tree topology, escalation deadlines and stale-health decay. Off by
     /// default so fault-free traces stay byte-identical.
     pub registry_ft: bool,
+    /// Malleable applications the registry may grow/shrink with
+    /// `expand:`/`shrink:` reconfiguration commands (consumed by [`deploy`];
+    /// tree deployments ignore it — resize decisions are a single-registry
+    /// concern). Empty by default: the registry's heartbeat path is then
+    /// byte-identical to a build without the reconfiguration engine.
+    pub malleable_jobs: Vec<MalleableJob>,
+    /// Minimum spacing between reconfiguration commands per job.
+    pub resize_cooldown: SimDuration,
 }
 
 impl Default for DeployConfig {
@@ -72,6 +80,8 @@ impl Default for DeployConfig {
             push: true,
             obs: Obs::disabled(),
             registry_ft: false,
+            malleable_jobs: Vec::new(),
+            resize_cooldown: SimDuration::from_secs(30),
         }
     }
 }
@@ -92,6 +102,8 @@ pub fn deploy(
     reg_cfg.lease = cfg.lease;
     reg_cfg.pull = !cfg.push;
     reg_cfg.obs = cfg.obs.clone();
+    reg_cfg.malleable_jobs = cfg.malleable_jobs.clone();
+    reg_cfg.resize_cooldown = cfg.resize_cooldown;
     let registry = sim.spawn(
         registry_host,
         Box::new(RegistryScheduler::new(

@@ -37,7 +37,7 @@ pub use deploy::{
 pub use hooks::{DecisionRecord, ReschedHooks, ReschedLog, SchemaBook, CONTROL_TAG};
 pub use monitor::{Monitor, MonitorConfig, StateSource};
 pub use regcore::{
-    CoreEffect, CoreInput, DomainHealth, Endpoint, HostEntry, Liveness, LogEffect, RegistryConfig,
-    RegistryCore, RegistryFt, SelectionPolicy, TimerId,
+    CoreEffect, CoreInput, DomainHealth, Endpoint, HostEntry, Liveness, LogEffect, MalleableJob,
+    RegistryConfig, RegistryCore, RegistryFt, SelectionPolicy, TimerId,
 };
 pub use registry::RegistryScheduler;

@@ -438,9 +438,21 @@ struct Reactor {
     outbound: Vec<(u64, Message)>,
 }
 
+/// Idle ticks at the short nap before the reactor backs off to the long
+/// one (~16 ms of confirmed quiet).
+const IDLE_TICKS_TO_BACKOFF: u32 = 16;
+/// Nap while recently active: keeps reaction latency ~1 ms under load
+/// gaps.
+const IDLE_NAP_SHORT: Duration = Duration::from_millis(1);
+/// Nap once confirmed idle: a parked registry costs ~100 wakeups/s
+/// instead of ~1000. Any traffic resets to the short nap immediately
+/// (the tick that read it doesn't sleep at all).
+const IDLE_NAP_LONG: Duration = Duration::from_millis(10);
+
 impl Reactor {
     fn run(mut self) {
         let mut rbuf = vec![0u8; 64 * 1024];
+        let mut idle_ticks: u32 = 0;
         while !self.stop.load(Ordering::Relaxed) {
             let mut progressed = false;
             progressed |= self.accept_new();
@@ -450,10 +462,19 @@ impl Reactor {
             if !self.outbound.is_empty() {
                 progressed = true;
             }
-            if !progressed {
-                // Idle tick: nothing accepted, read or written. Sleep a
-                // beat instead of spinning the scan loop at 100% CPU.
-                std::thread::sleep(Duration::from_millis(1));
+            if progressed {
+                idle_ticks = 0;
+            } else {
+                // Idle tick: nothing accepted, read or written. Nap
+                // instead of spinning the scan loop at 100% CPU; after a
+                // stretch of confirmed-idle ticks, back off to the long
+                // nap so a quiet registry barely wakes at all.
+                idle_ticks = idle_ticks.saturating_add(1);
+                std::thread::sleep(if idle_ticks >= IDLE_TICKS_TO_BACKOFF {
+                    IDLE_NAP_LONG
+                } else {
+                    IDLE_NAP_SHORT
+                });
             }
         }
     }
@@ -761,6 +782,7 @@ pub struct LiveClient {
     codec: WireCodecKind,
     scratch: Vec<u8>,
     timeout: Duration,
+    writes: u64,
 }
 
 impl LiveClient {
@@ -807,6 +829,7 @@ impl LiveClient {
             codec,
             scratch: Vec::new(),
             timeout,
+            writes: 0,
         })
     }
 
@@ -828,12 +851,41 @@ impl LiveClient {
     pub fn send(&mut self, msg: &Message) -> Result<(), LiveError> {
         self.scratch.clear();
         encode_frame_into(msg, self.codec, &mut self.scratch);
+        self.write_scratch()
+    }
+
+    /// Send many messages as **one** stream write: every frame is encoded
+    /// into the scratch buffer first, then a single `write_all` carries the
+    /// burst. A monitor batching its heartbeat with pending reports pays
+    /// one syscall (and, with Nagle off, typically one segment) instead of
+    /// one per message. Replies still arrive one per request message —
+    /// callers that batched `n` ack-carrying requests read `n` replies.
+    pub fn send_batch(&mut self, msgs: &[Message]) -> Result<(), LiveError> {
+        if msgs.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        for msg in msgs {
+            encode_frame_into(msg, self.codec, &mut self.scratch);
+        }
+        self.write_scratch()
+    }
+
+    /// Stream writes this client has issued (one per [`send`](Self::send)
+    /// or [`send_batch`](Self::send_batch) — diagnostics for tests that
+    /// assert batching actually coalesces syscalls).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    fn write_scratch(&mut self) -> Result<(), LiveError> {
         let scratch = std::mem::take(&mut self.scratch);
         let result = self
             .stream
             .write_all(&scratch)
             .map_err(|e| self.classify(e));
         self.scratch = scratch;
+        self.writes += 1;
         result
     }
 

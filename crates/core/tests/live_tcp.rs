@@ -572,3 +572,70 @@ fn live_migration_never_picks_a_requirement_or_policy_failing_destination() {
     });
     registry.shutdown();
 }
+
+/// A batched send coalesces many frames into one stream write: the client
+/// pays one syscall for the whole burst where per-message sends pay one
+/// each, and the registry still processes every frame in order (one ack
+/// per heartbeat, final state = last frame's state).
+#[test]
+fn batched_heartbeats_use_one_write_and_all_frames_land() {
+    const BURST: usize = 8;
+    let registry = LiveRegistry::start().expect("bind");
+    let addr = registry.addr();
+
+    // Baseline: the same burst sent message-by-message.
+    let mut single = LiveClient::connect(addr).unwrap();
+    register(&mut single, "single");
+    let writes_before = single.writes();
+    for i in 0..BURST {
+        let state = if i % 2 == 0 {
+            HostState::Free
+        } else {
+            HostState::Busy
+        };
+        heartbeat(&mut single, "single", state);
+    }
+    let single_writes = single.writes() - writes_before;
+    assert_eq!(single_writes, BURST as u64, "one write per send");
+
+    // Batched: every frame encoded into one write.
+    let mut batched = LiveClient::connect(addr).unwrap();
+    register(&mut batched, "batched");
+    let writes_before = batched.writes();
+    let burst: Vec<Message> = (0..BURST)
+        .map(|i| {
+            let state = if i == BURST - 1 {
+                HostState::Overloaded
+            } else {
+                HostState::Free
+            };
+            let mut metrics = Metrics::new();
+            metrics.set("loadAvg1", if state == HostState::Free { 0.2 } else { 2.5 });
+            Message::Heartbeat {
+                host: "batched".to_string(),
+                state,
+                metrics,
+                procs: vec![],
+            }
+        })
+        .collect();
+    batched.send_batch(&burst).expect("batched send");
+    let batch_writes = batched.writes() - writes_before;
+    assert_eq!(batch_writes, 1, "whole burst in one write");
+    assert!(batch_writes < single_writes);
+
+    // One ack per frame, in order — nothing was coalesced away.
+    for _ in 0..BURST {
+        let reply = batched.recv().expect("ack");
+        assert!(matches!(reply, Message::Ack { ok: true, .. }));
+    }
+    registry.inspect(|core, _| {
+        let e = core
+            .entries()
+            .iter()
+            .find(|e| &*e.name == "batched")
+            .expect("registered");
+        assert_eq!(e.state, HostState::Overloaded, "last frame won");
+    });
+    registry.shutdown();
+}

@@ -10,18 +10,25 @@
 //! * [`state`] — the `MigratableApp` trait, configuration (DPM init cost,
 //!   pre-initialization, restore rates) and the shared migration log;
 //! * [`shell`] — [`HpcmShell`], the wrapper process implementing the
-//!   migration protocol over MPI-2 dynamic process management.
+//!   reconfiguration protocol (migrate / expand / shrink) over MPI-2
+//!   dynamic process management;
+//! * [`reconfig`] — the [`Reconfiguration`] request vocabulary: migration
+//!   is one variant of the same prepare → transfer → commit transaction
+//!   that grows and shrinks malleable worlds.
 
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod reconfig;
 pub mod shell;
 pub mod state;
 
 pub use codec::{checksum64, frame_state, unframe_state, CodecError, StateReader, StateWriter};
+pub use reconfig::Reconfiguration;
 pub use shell::HpcmShell;
 pub use state::{
     dest_file_path, AppStatus, CompletionRecord, HpcmConfig, HpcmHooks, HpcmLog, MigratableApp,
-    MigrationOutcome, MigrationRecord, SavedState, MIGRATE_SIGNAL, TAG_HPCM_COMMIT,
-    TAG_HPCM_COMMIT_ACK, TAG_HPCM_EAGER, TAG_HPCM_LAZY, TAG_HPCM_READY,
+    MigrationOutcome, MigrationRecord, ResizeKind, ResizeRecord, SavedState, MIGRATE_SIGNAL,
+    TAG_HPCM_COMMIT, TAG_HPCM_COMMIT_ACK, TAG_HPCM_EAGER, TAG_HPCM_FREEZE, TAG_HPCM_FROZEN,
+    TAG_HPCM_LAZY, TAG_HPCM_READY, TAG_HPCM_RESUME, TAG_HPCM_RETIRE,
 };

@@ -1,0 +1,147 @@
+//! The reconfiguration vocabulary shared by the registry and the shell.
+//!
+//! A registry decision arrives at a shell as a *spec string* (written into
+//! the pid's destination file by the commander, exactly like a migration
+//! destination). [`Reconfiguration::parse`] turns it into the typed request
+//! the transaction engine executes:
+//!
+//! * `"wks03"` / `"wks03:7801"` — migrate this rank to that host (the
+//!   original HPCM command; the optional `:port` is the destination
+//!   daemon's listen port and is irrelevant inside the simulation);
+//! * `"expand:6:wks07,wks08"` — grow the application's world to 6 ranks by
+//!   spawning joiners on the listed hosts (one host per new rank);
+//! * `"shrink:2"` — shrink the world to 2 ranks, retiring the highest
+//!   ranks after draining their block-cyclic data into the survivors.
+//!
+//! Keeping migration as just another [`Reconfiguration`] variant is the
+//! point: the prepare → transfer → commit/rollback transaction in
+//! [`crate::HpcmShell`] is written once against this enum, so malleability
+//! inherits checksummed framing, destination self-abort, bounded phases
+//! and rollback-to-poll-point for free.
+
+/// One reconfiguration request, as decided by the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reconfiguration {
+    /// Move this rank to `host` (classic HPCM migration).
+    MigrateTo {
+        /// Destination host name.
+        host: String,
+    },
+    /// Grow the world to `new_size` ranks; `hosts[i]` receives the joiner
+    /// that will become rank `old_size + i`.
+    ExpandTo {
+        /// Target world size (must exceed the current size).
+        new_size: u32,
+        /// One destination host per new rank.
+        hosts: Vec<String>,
+    },
+    /// Shrink the world to `new_size` ranks; ranks `new_size..` retire.
+    ShrinkTo {
+        /// Target world size (must be ≥ 1 and below the current size).
+        new_size: u32,
+    },
+}
+
+impl Reconfiguration {
+    /// Parse a commander spec string. Bare `host[:port]` means migrate —
+    /// every pre-malleability destination file still parses to the same
+    /// request it always meant.
+    pub fn parse(spec: &str) -> Option<Reconfiguration> {
+        if let Some(rest) = spec.strip_prefix("expand:") {
+            let (size, hosts) = rest.split_once(':')?;
+            let new_size: u32 = size.parse().ok()?;
+            let hosts: Vec<String> = hosts
+                .split(',')
+                .filter(|h| !h.is_empty())
+                .map(str::to_string)
+                .collect();
+            if hosts.is_empty() {
+                return None;
+            }
+            Some(Reconfiguration::ExpandTo { new_size, hosts })
+        } else if let Some(rest) = spec.strip_prefix("shrink:") {
+            rest.parse()
+                .ok()
+                .map(|new_size| Reconfiguration::ShrinkTo { new_size })
+        } else {
+            let host = spec.split(':').next().unwrap_or(spec);
+            if host.is_empty() {
+                return None;
+            }
+            Some(Reconfiguration::MigrateTo {
+                host: host.to_string(),
+            })
+        }
+    }
+
+    /// The spec string [`parse`](Self::parse) inverts (migrate encodes the
+    /// bare host; the commander appends the port on the wire).
+    pub fn encode(&self) -> String {
+        match self {
+            Reconfiguration::MigrateTo { host } => host.clone(),
+            Reconfiguration::ExpandTo { new_size, hosts } => {
+                format!("expand:{new_size}:{}", hosts.join(","))
+            }
+            Reconfiguration::ShrinkTo { new_size } => format!("shrink:{new_size}"),
+        }
+    }
+
+    /// Short verb for traces ("migrate" / "expand" / "shrink").
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Reconfiguration::MigrateTo { .. } => "migrate",
+            Reconfiguration::ExpandTo { .. } => "expand",
+            Reconfiguration::ShrinkTo { .. } => "shrink",
+        }
+    }
+
+    /// True for the two world-resizing variants.
+    pub fn is_resize(&self) -> bool {
+        !matches!(self, Reconfiguration::MigrateTo { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_host_is_migrate() {
+        assert_eq!(
+            Reconfiguration::parse("wks03"),
+            Some(Reconfiguration::MigrateTo {
+                host: "wks03".into()
+            })
+        );
+        // Ports are stripped, matching the pre-malleability parser.
+        assert_eq!(
+            Reconfiguration::parse("wks03:7801"),
+            Some(Reconfiguration::MigrateTo {
+                host: "wks03".into()
+            })
+        );
+        assert_eq!(Reconfiguration::parse(""), None);
+    }
+
+    #[test]
+    fn expand_and_shrink_round_trip() {
+        let e = Reconfiguration::ExpandTo {
+            new_size: 6,
+            hosts: vec!["wks07".into(), "wks08".into()],
+        };
+        assert_eq!(e.encode(), "expand:6:wks07,wks08");
+        assert_eq!(Reconfiguration::parse(&e.encode()), Some(e));
+        let s = Reconfiguration::ShrinkTo { new_size: 2 };
+        assert_eq!(s.encode(), "shrink:2");
+        assert_eq!(Reconfiguration::parse(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert_eq!(Reconfiguration::parse("expand:6:"), None);
+        assert_eq!(Reconfiguration::parse("expand:x:wks07"), None);
+        assert_eq!(Reconfiguration::parse("expand:6"), None);
+        assert_eq!(Reconfiguration::parse("shrink:"), None);
+        assert_eq!(Reconfiguration::parse("shrink:two"), None);
+    }
+}

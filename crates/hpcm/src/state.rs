@@ -21,6 +21,16 @@ pub const TAG_HPCM_READY: u32 = 0xE0E2;
 pub const TAG_HPCM_COMMIT: u32 = 0xE0E3;
 /// Source → destination: commit acknowledged, resume the application.
 pub const TAG_HPCM_COMMIT_ACK: u32 = 0xE0E4;
+/// Coordinator → member: stop at your next safe poll-point (resize).
+pub const TAG_HPCM_FREEZE: u32 = 0xE0E5;
+/// Member → coordinator: frozen at a poll-point; payload carries the
+/// member's [`MigratableApp::sync_key`] for phase-agreement checking.
+pub const TAG_HPCM_FROZEN: u32 = 0xE0E6;
+/// Coordinator → member: verdict. Payload byte 1 = commit (sync to the
+/// resized world), 0 = abort (resume in the old world).
+pub const TAG_HPCM_RESUME: u32 = 0xE0E7;
+/// Coordinator → member: your rank was shrunk away — drain and exit.
+pub const TAG_HPCM_RETIRE: u32 = 0xE0E8;
 
 /// Host-file path the commander writes the destination into for `pid`.
 pub fn dest_file_path(pid: Pid) -> String {
@@ -100,6 +110,30 @@ pub trait MigratableApp: 'static {
     /// answer), carried into the completion record so harnesses can verify
     /// that migration did not corrupt the computation.
     fn result_digest(&self) -> u64 {
+        0
+    }
+
+    /// The communicator this application is willing to resize, or `None`
+    /// for fixed-size applications (the default — expand/shrink commands
+    /// against them are refused at the poll-point, exactly like a migrate
+    /// signal against a non-migratable process).
+    fn resize_comm(&self) -> Option<ars_mpisim::CommId> {
+        None
+    }
+
+    /// Checkpoint for a joiner that will become rank `rank` of a
+    /// `new_size`-rank world. Restored via [`restore`](Self::restore) on
+    /// the destination like a migration checkpoint; `None` (the default)
+    /// refuses to expand.
+    fn save_for_join(&self, _rank: u32, _new_size: u32) -> Option<SavedState> {
+        None
+    }
+
+    /// Phase fingerprint compared across members when they freeze for a
+    /// resize (e.g. the iteration number). A mismatch — members stopped at
+    /// different phases — aborts the resize rather than redistributing
+    /// inconsistent data.
+    fn sync_key(&self) -> u64 {
         0
     }
 }
@@ -216,6 +250,41 @@ pub struct CompletionRecord {
     pub digest: u64,
 }
 
+/// Which way a resize transaction moved the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeKind {
+    /// Grew the world (joiners spawned).
+    Expand,
+    /// Shrank the world (high ranks retired).
+    Shrink,
+}
+
+/// Timeline of one expand/shrink transaction, recorded by the
+/// coordinating shell (the rank the registry signalled).
+#[derive(Debug, Clone)]
+pub struct ResizeRecord {
+    /// Application name.
+    pub app: String,
+    /// Coordinator pid.
+    pub coordinator: Pid,
+    /// Expand or shrink.
+    pub kind: ResizeKind,
+    /// World size when the transaction started.
+    pub from_ranks: u32,
+    /// Target world size.
+    pub to_ranks: u32,
+    /// When the coordinator took the poll-point.
+    pub started_at: SimTime,
+    /// When the world actually resized (epoch bumped), if it did.
+    pub committed_at: Option<SimTime>,
+    /// Bytes that changed owner during array redistribution.
+    pub moved_bytes: u64,
+    /// How the transaction ended (shares the migration vocabulary).
+    pub outcome: MigrationOutcome,
+    /// Why it aborted, when it did.
+    pub abort_reason: Option<String>,
+}
+
 /// Shared event log the experiment harness reads.
 #[derive(Debug, Default)]
 pub struct HpcmLog {
@@ -223,6 +292,8 @@ pub struct HpcmLog {
     pub migrations: Vec<MigrationRecord>,
     /// Application completions.
     pub completions: Vec<CompletionRecord>,
+    /// Expand/shrink transactions.
+    pub resizes: Vec<ResizeRecord>,
 }
 
 /// Cheap handle to the shared log.
@@ -262,6 +333,21 @@ impl HpcmHooks {
             .migrations
             .iter()
             .filter(|m| m.outcome == outcome)
+            .count()
+    }
+
+    /// The most recent resize record, if any.
+    pub fn last_resize(&self) -> Option<ResizeRecord> {
+        self.0.borrow().resizes.last().cloned()
+    }
+
+    /// Number of resizes of the given kind that ended in the given outcome.
+    pub fn resize_count(&self, kind: ResizeKind, outcome: MigrationOutcome) -> usize {
+        self.0
+            .borrow()
+            .resizes
+            .iter()
+            .filter(|r| r.kind == kind && r.outcome == outcome)
             .count()
     }
 }

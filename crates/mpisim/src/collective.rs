@@ -117,6 +117,7 @@ impl Bcast {
         let me = mpi
             .task_of(ctx.pid())
             .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
+        mpi.check_epoch(comm, me)?;
         let my_rank = mpi.rank_of(comm, me)?;
         let n = mpi.comm_size(comm)?;
         let (parent, mut children) = binomial(n, root, my_rank);
@@ -233,6 +234,7 @@ impl Reduce {
         let me = mpi
             .task_of(ctx.pid())
             .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
+        mpi.check_epoch(comm, me)?;
         let my_rank = mpi.rank_of(comm, me)?;
         let n = mpi.comm_size(comm)?;
         let (parent, children) = binomial(n, root, my_rank);
@@ -487,6 +489,7 @@ impl Gather {
         let me = mpi
             .task_of(ctx.pid())
             .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
+        mpi.check_epoch(comm, me)?;
         let my_rank = mpi.rank_of(comm, me)?;
         let n = mpi.comm_size(comm)?;
         let mut g = Gather {
@@ -605,6 +608,7 @@ impl Scatter {
         let me = mpi
             .task_of(ctx.pid())
             .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
+        mpi.check_epoch(comm, me)?;
         let my_rank = mpi.rank_of(comm, me)?;
         let n = mpi.comm_size(comm)?;
         if my_rank == root {

@@ -19,8 +19,9 @@
 
 pub mod collective;
 pub mod p2p;
+pub mod redist;
 pub mod world;
 
 pub use collective::{Allreduce, Barrier, Bcast, Gather, Reduce, ReduceOp, Scatter, Step};
 pub use p2p::{decode_f64s, encode_f64s, pack_tag, recv, recv_any, send, unpack_tag};
-pub use world::{CommId, Communicator, Mpi, MpiError, MpiWorld, Rank, TaskId};
+pub use world::{CommId, Communicator, Mpi, MpiError, MpiWorld, Rank, ResizeOutcome, TaskId};

@@ -59,6 +59,11 @@ pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
 /// Send `payload` to `(comm, dest)` with `tag`. The source rank is derived
 /// from the caller's pid binding. `wire_bytes` optionally models a larger
 /// on-wire size (e.g. a bulk array sent as an empty payload).
+///
+/// Epoch-aware: a task that has not synced to the communicator's current
+/// epoch (the world resized underneath it) gets
+/// [`MpiError::StaleEpoch`] instead of silently delivering into the new
+/// layout.
 pub fn send(
     mpi: &Mpi,
     ctx: &mut Ctx<'_>,
@@ -71,6 +76,7 @@ pub fn send(
     let me = mpi
         .task_of(ctx.pid())
         .ok_or(MpiError::Unbound(crate::world::TaskId(u64::MAX)))?;
+    mpi.check_epoch(comm, me)?;
     let my_rank = mpi.rank_of(comm, me)?;
     let to = mpi.pid_at(comm, dest)?;
     let packed = pack_tag(comm, my_rank, tag);
@@ -81,7 +87,8 @@ pub fn send(
     Ok(())
 }
 
-/// Enqueue a receive matching `(comm, src, tag)` exactly.
+/// Enqueue a receive matching `(comm, src, tag)` exactly. Epoch-aware like
+/// [`send`].
 pub fn recv(
     mpi: &Mpi,
     ctx: &mut Ctx<'_>,
@@ -89,6 +96,9 @@ pub fn recv(
     src: Rank,
     tag: u32,
 ) -> Result<(), MpiError> {
+    if let Some(me) = mpi.task_of(ctx.pid()) {
+        mpi.check_epoch(comm, me)?;
+    }
     // Validate the source rank exists now; matching is by packed tag, so
     // migration (pid re-binding) between post and match is harmless.
     let _ = mpi.task_at(comm, src)?;

@@ -1,0 +1,169 @@
+//! Block-cyclic data (re)distribution — the ReSHAPE / Sudarsan-Ribbens
+//! scheme the malleability layer uses when a communicator resizes.
+//!
+//! A global array of `len` elements is dealt out in blocks of `block`
+//! contiguous elements, round-robin over `k` ranks: global index `g` lives
+//! on rank `(g / block) % k`, at local index
+//! `(g / (block * k)) * block + g % block`. Each rank stores its elements
+//! in increasing global order, so the local image of a part is fully
+//! determined by `(len, block, k, rank)`.
+//!
+//! Everything here is pure math over `Vec<f64>` parts — no kernel, no
+//! world. [`redistribute`] recomputes the layout for a new rank count and
+//! reports how many bytes actually changed owner (the wire traffic a real
+//! redistribution would move), which the reconfiguration transaction both
+//! charges to the network model and feeds into the
+//! `redistribution_bytes` histogram.
+
+/// Owning rank of global index `g` under a block-cyclic layout.
+pub fn owner(g: usize, block: usize, k: u32) -> u32 {
+    debug_assert!(block > 0 && k > 0, "degenerate layout");
+    ((g / block) % k as usize) as u32
+}
+
+/// Local index of global index `g` within its owner's part.
+pub fn global_to_local(g: usize, block: usize, k: u32) -> usize {
+    (g / (block * k as usize)) * block + g % block
+}
+
+/// Number of elements rank `rank` owns out of a `len`-element array.
+pub fn local_len(len: usize, block: usize, k: u32, rank: u32) -> usize {
+    // Full cycles deal `block` elements to every rank; the tail cycle
+    // deals to the lowest ranks first.
+    let cycle = block * k as usize;
+    let full = len / cycle;
+    let tail = len % cycle;
+    let start = rank as usize * block;
+    full * block + tail.saturating_sub(start).min(block)
+}
+
+/// The global indices rank `rank` owns, in increasing (= local) order.
+pub fn owned_globals(
+    len: usize,
+    block: usize,
+    k: u32,
+    rank: u32,
+) -> impl Iterator<Item = usize> + 'static {
+    let cycle = block * k as usize;
+    let start = rank as usize * block;
+    (0..)
+        .map(move |c| c * cycle + start)
+        .take_while(move |&base| base < len)
+        .flat_map(move |base| base..(base + block).min(len))
+}
+
+/// Deal a global array into `k` block-cyclic parts.
+pub fn decompose(global: &[f64], block: usize, k: u32) -> Vec<Vec<f64>> {
+    let mut parts: Vec<Vec<f64>> = (0..k)
+        .map(|r| Vec::with_capacity(local_len(global.len(), block, k, r)))
+        .collect();
+    for (g, &v) in global.iter().enumerate() {
+        parts[owner(g, block, k) as usize].push(v);
+    }
+    parts
+}
+
+/// Reassemble the global array from its block-cyclic parts.
+pub fn recompose(parts: &[Vec<f64>], block: usize) -> Vec<f64> {
+    let k = parts.len() as u32;
+    let len: usize = parts.iter().map(Vec::len).sum();
+    let mut global = vec![0.0; len];
+    for (rank, part) in parts.iter().enumerate() {
+        for (l, &v) in part.iter().enumerate() {
+            // Invert global_to_local: cycle number then in-block offset.
+            let g = (l / block) * block * k as usize + rank * block + l % block;
+            global[g] = v;
+        }
+    }
+    global
+}
+
+/// Outcome of re-dealing an array from `k` to `new_k` ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Redistribution {
+    /// The new parts, one per new rank.
+    pub parts: Vec<Vec<f64>>,
+    /// Bytes whose owner changed (elements moved × 8).
+    pub moved_bytes: u64,
+    /// Per-new-rank inbound bytes (elements arriving from another rank × 8),
+    /// for charging the transfer to the network model.
+    pub incoming_bytes: Vec<u64>,
+}
+
+/// Re-deal block-cyclic parts onto `new_k` ranks, preserving every element
+/// bit-for-bit and counting the traffic the move requires.
+pub fn redistribute(parts: &[Vec<f64>], block: usize, new_k: u32) -> Redistribution {
+    let k = parts.len() as u32;
+    let global = recompose(parts, block);
+    let new_parts = decompose(&global, block, new_k);
+    let mut moved = 0u64;
+    let mut incoming = vec![0u64; new_k as usize];
+    for g in 0..global.len() {
+        let old = owner(g, block, k);
+        let new = owner(g, block, new_k);
+        if old != new {
+            moved += 8;
+            incoming[new as usize] += 8;
+        }
+    }
+    Redistribution {
+        parts: new_parts,
+        moved_bytes: moved,
+        incoming_bytes: incoming,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(len: usize) -> Vec<f64> {
+        (0..len).map(|i| i as f64 + 0.25).collect()
+    }
+
+    #[test]
+    fn ownership_matches_decompose() {
+        for &(len, block, k) in &[(10usize, 3usize, 2u32), (17, 1, 5), (64, 8, 3), (5, 7, 4)] {
+            let parts = decompose(&ramp(len), block, k);
+            for r in 0..k {
+                assert_eq!(parts[r as usize].len(), local_len(len, block, k, r));
+                let owned: Vec<usize> = owned_globals(len, block, k, r).collect();
+                assert_eq!(owned.len(), parts[r as usize].len());
+                for (l, g) in owned.iter().enumerate() {
+                    assert_eq!(owner(*g, block, k), r);
+                    assert_eq!(global_to_local(*g, block, k), l);
+                    assert_eq!(parts[r as usize][l], *g as f64 + 0.25);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recompose_inverts_decompose() {
+        for &(len, block, k) in &[(0usize, 4usize, 3u32), (1, 1, 1), (100, 7, 4), (33, 16, 2)] {
+            let g = ramp(len);
+            assert_eq!(recompose(&decompose(&g, block, k), block), g);
+        }
+    }
+
+    #[test]
+    fn redistribute_preserves_data_and_counts_moves() {
+        let g = ramp(40);
+        let parts = decompose(&g, 4, 2);
+        let r = redistribute(&parts, 4, 5);
+        assert_eq!(recompose(&r.parts, 4), g);
+        assert_eq!(r.incoming_bytes.iter().sum::<u64>(), r.moved_bytes);
+        // Same rank count: nothing moves.
+        let same = redistribute(&parts, 4, 2);
+        assert_eq!(same.moved_bytes, 0);
+        assert_eq!(same.parts, parts);
+    }
+
+    #[test]
+    fn roundtrip_k_kprime_k_is_identity() {
+        let g = ramp(57);
+        let parts = decompose(&g, 3, 4);
+        let out = redistribute(&redistribute(&parts, 3, 7).parts, 3, 4);
+        assert_eq!(out.parts, parts);
+    }
+}

@@ -11,6 +11,7 @@
 //! cheaply-clonable [`Mpi`] handle (the simulator is single-threaded, so a
 //! plain `Rc<RefCell<…>>` suffices).
 
+use crate::redist;
 use ars_sim::Pid;
 use ars_simcore::SimDuration;
 use std::cell::RefCell;
@@ -36,6 +37,10 @@ pub struct Communicator {
     pub id: CommId,
     /// Members in rank order.
     pub members: Vec<TaskId>,
+    /// Membership epoch: bumped by every [`Mpi::resize`]. Operations
+    /// issued against an older epoch are rejected loudly
+    /// ([`MpiError::StaleEpoch`]) until the task re-syncs.
+    pub epoch: u32,
 }
 
 impl Communicator {
@@ -71,6 +76,18 @@ pub enum MpiError {
     Unbound(TaskId),
     /// Port name not published.
     NoSuchPort(String),
+    /// The communicator was resized and this task has not re-synced: the
+    /// op was issued against a stale world and must not proceed.
+    StaleEpoch {
+        /// The resized communicator.
+        comm: CommId,
+        /// Epoch the task last synced to.
+        seen: u32,
+        /// The communicator's current epoch.
+        current: u32,
+    },
+    /// No registered array with that name on the communicator.
+    NoSuchArray(CommId, String),
 }
 
 impl std::fmt::Display for MpiError {
@@ -81,11 +98,40 @@ impl std::fmt::Display for MpiError {
             MpiError::BadRank(r, c) => write!(f, "rank {r:?} out of range in {c:?}"),
             MpiError::Unbound(t) => write!(f, "{t:?} has no pid binding"),
             MpiError::NoSuchPort(p) => write!(f, "port {p:?} not published"),
+            MpiError::StaleEpoch {
+                comm,
+                seen,
+                current,
+            } => write!(
+                f,
+                "stale epoch {seen} (now {current}) in {comm:?}: re-sync before communicating"
+            ),
+            MpiError::NoSuchArray(c, n) => write!(f, "no array {n:?} registered on {c:?}"),
         }
     }
 }
 
 impl std::error::Error for MpiError {}
+
+/// An array registered for block-cyclic redistribution across resizes.
+#[derive(Debug, Clone, PartialEq)]
+struct RegisteredArray {
+    name: String,
+    block: usize,
+    parts: Vec<Vec<f64>>,
+}
+
+/// Outcome of a committed [`Mpi::resize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResizeOutcome {
+    /// The communicator's new epoch.
+    pub epoch: u32,
+    /// Total bytes of registered-array data that changed owner.
+    pub moved_bytes: u64,
+    /// Per-new-rank inbound redistribution bytes (for charging the
+    /// transfer to the network model).
+    pub incoming_bytes: Vec<u64>,
+}
 
 /// Shared MPI state (see module docs).
 #[derive(Debug, Default)]
@@ -94,6 +140,11 @@ pub struct MpiWorld {
     routes: HashMap<TaskId, Pid>,
     reverse: HashMap<Pid, TaskId>,
     ports: HashMap<String, TaskId>,
+    /// Last epoch each task synced to, per resized communicator. Absent
+    /// entries mean epoch 0, so fixed-size worlds never touch this map.
+    synced: HashMap<(CommId, TaskId), u32>,
+    /// Registered arrays, keyed by communicator.
+    arrays: HashMap<CommId, Vec<RegisteredArray>>,
     next_comm: u32,
     next_task: u64,
     /// Cost of a LAM/MPI dynamic-process-management initialization (the
@@ -168,7 +219,14 @@ impl Mpi {
         let mut w = self.0.borrow_mut();
         let id = CommId(w.next_comm);
         w.next_comm += 1;
-        w.comms.insert(id, Communicator { id, members });
+        w.comms.insert(
+            id,
+            Communicator {
+                id,
+                members,
+                epoch: 0,
+            },
+        );
         id
     }
 
@@ -265,6 +323,150 @@ impl Mpi {
     pub fn close_port(&self, name: &str) -> Option<TaskId> {
         self.0.borrow_mut().ports.remove(name)
     }
+
+    // --- Malleability: epochs, registered arrays, resize ---------------------
+
+    /// Current membership epoch of a communicator.
+    pub fn epoch(&self, comm: CommId) -> Result<u32, MpiError> {
+        Ok(self.comm(comm)?.epoch)
+    }
+
+    /// Check that `task` has synced to `comm`'s current epoch. Every p2p
+    /// and collective operation calls this, so in-flight ops from the old
+    /// world fail loudly instead of delivering into the wrong layout.
+    pub fn check_epoch(&self, comm: CommId, task: TaskId) -> Result<(), MpiError> {
+        let w = self.0.borrow();
+        let c = w.comms.get(&comm).ok_or(MpiError::NoSuchComm(comm))?;
+        let seen = w.synced.get(&(comm, task)).copied().unwrap_or(0);
+        if seen != c.epoch {
+            return Err(MpiError::StaleEpoch {
+                comm,
+                seen,
+                current: c.epoch,
+            });
+        }
+        Ok(())
+    }
+
+    /// Adopt `comm`'s current epoch for `task` (called by the
+    /// reconfiguration shell when a member resumes after a committed
+    /// resize, and by joiners when they bind).
+    pub fn sync_task(&self, comm: CommId, task: TaskId) -> Result<u32, MpiError> {
+        let mut w = self.0.borrow_mut();
+        let epoch = w.comms.get(&comm).ok_or(MpiError::NoSuchComm(comm))?.epoch;
+        w.synced.insert((comm, task), epoch);
+        Ok(epoch)
+    }
+
+    /// Register a zero-initialized global array of `len` f64 elements for
+    /// block-cyclic redistribution across resizes of `comm`. Re-registering
+    /// the same name is idempotent (migration restores call it again).
+    pub fn register_array(
+        &self,
+        comm: CommId,
+        name: &str,
+        len: usize,
+        block: usize,
+    ) -> Result<(), MpiError> {
+        let k = self.comm_size(comm)?;
+        let mut w = self.0.borrow_mut();
+        let arrays = w.arrays.entry(comm).or_default();
+        if arrays.iter().any(|a| a.name == name) {
+            return Ok(());
+        }
+        arrays.push(RegisteredArray {
+            name: name.to_string(),
+            block,
+            parts: (0..k)
+                .map(|r| vec![0.0; redist::local_len(len, block, k, r)])
+                .collect(),
+        });
+        Ok(())
+    }
+
+    fn with_array<R>(
+        &self,
+        comm: CommId,
+        name: &str,
+        f: impl FnOnce(&mut RegisteredArray, u32) -> R,
+    ) -> Result<R, MpiError> {
+        let k = self.comm_size(comm)?;
+        let mut w = self.0.borrow_mut();
+        let a = w
+            .arrays
+            .get_mut(&comm)
+            .and_then(|v| v.iter_mut().find(|a| a.name == name))
+            .ok_or_else(|| MpiError::NoSuchArray(comm, name.to_string()))?;
+        Ok(f(a, k))
+    }
+
+    /// Read a registered array element by global index.
+    pub fn array_get(&self, comm: CommId, name: &str, g: usize) -> Result<f64, MpiError> {
+        self.with_array(comm, name, |a, k| {
+            let r = redist::owner(g, a.block, k) as usize;
+            a.parts[r][redist::global_to_local(g, a.block, k)]
+        })
+    }
+
+    /// Write a registered array element by global index.
+    pub fn array_set(&self, comm: CommId, name: &str, g: usize, v: f64) -> Result<(), MpiError> {
+        self.with_array(comm, name, |a, k| {
+            let r = redist::owner(g, a.block, k) as usize;
+            a.parts[r][redist::global_to_local(g, a.block, k)] = v;
+        })
+    }
+
+    /// Total element count of a registered array.
+    pub fn array_len(&self, comm: CommId, name: &str) -> Result<usize, MpiError> {
+        self.with_array(comm, name, |a, _| a.parts.iter().map(Vec::len).sum())
+    }
+
+    /// Block size of a registered array.
+    pub fn array_block(&self, comm: CommId, name: &str) -> Result<usize, MpiError> {
+        self.with_array(comm, name, |a, _| a.block)
+    }
+
+    /// Reassemble a registered array in global order (verification and
+    /// result digests).
+    pub fn array_global(&self, comm: CommId, name: &str) -> Result<Vec<f64>, MpiError> {
+        self.with_array(comm, name, |a, _| redist::recompose(&a.parts, a.block))
+    }
+
+    /// Commit a resize: replace `comm`'s membership, bump the epoch, and
+    /// redistribute every registered array block-cyclically onto the new
+    /// rank count. Surviving tasks keep their ranks (the member prefix is
+    /// preserved by the caller); everyone must [`sync_task`](Self::sync_task)
+    /// before communicating again. Rollback needs no inverse — a failed
+    /// transaction simply never calls this.
+    pub fn resize(
+        &self,
+        comm: CommId,
+        new_members: Vec<TaskId>,
+    ) -> Result<ResizeOutcome, MpiError> {
+        let new_k = new_members.len() as u32;
+        let mut w = self.0.borrow_mut();
+        let c = w.comms.get_mut(&comm).ok_or(MpiError::NoSuchComm(comm))?;
+        c.members = new_members;
+        c.epoch += 1;
+        let epoch = c.epoch;
+        let mut moved_bytes = 0u64;
+        let mut incoming_bytes = vec![0u64; new_k as usize];
+        if let Some(arrays) = w.arrays.get_mut(&comm) {
+            for a in arrays.iter_mut() {
+                let r = redist::redistribute(&a.parts, a.block, new_k);
+                a.parts = r.parts;
+                moved_bytes += r.moved_bytes;
+                for (dst, b) in r.incoming_bytes.iter().enumerate() {
+                    incoming_bytes[dst] += b;
+                }
+            }
+        }
+        Ok(ResizeOutcome {
+            epoch,
+            moved_bytes,
+            incoming_bytes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +555,58 @@ mod tests {
         assert_eq!(mpi.lookup_port("hpcm://ws4:7801").unwrap(), t);
         assert_eq!(mpi.close_port("hpcm://ws4:7801"), Some(t));
         assert!(mpi.lookup_port("hpcm://ws4:7801").is_err());
+    }
+
+    #[test]
+    fn epochs_gate_stale_tasks_after_resize() {
+        let mpi = Mpi::new();
+        let a = mpi.bind_new_task(Pid(1));
+        let b = mpi.bind_new_task(Pid(2));
+        let c = mpi.bind_new_task(Pid(3));
+        let comm = mpi.create_comm(vec![a, b]);
+        assert_eq!(mpi.epoch(comm).unwrap(), 0);
+        assert!(mpi.check_epoch(comm, a).is_ok());
+        let out = mpi.resize(comm, vec![a, b, c]).unwrap();
+        assert_eq!(out.epoch, 1);
+        assert!(matches!(
+            mpi.check_epoch(comm, a),
+            Err(MpiError::StaleEpoch {
+                seen: 0,
+                current: 1,
+                ..
+            })
+        ));
+        mpi.sync_task(comm, a).unwrap();
+        assert!(mpi.check_epoch(comm, a).is_ok());
+        assert!(mpi.check_epoch(comm, b).is_err());
+    }
+
+    #[test]
+    fn registered_arrays_survive_resize_bit_for_bit() {
+        let mpi = Mpi::new();
+        let a = mpi.bind_new_task(Pid(1));
+        let b = mpi.bind_new_task(Pid(2));
+        let c = mpi.bind_new_task(Pid(3));
+        let comm = mpi.create_comm(vec![a, b]);
+        mpi.register_array(comm, "v", 20, 3).unwrap();
+        assert_eq!(mpi.array_len(comm, "v").unwrap(), 20);
+        for g in 0..20 {
+            mpi.array_set(comm, "v", g, g as f64 * 1.5).unwrap();
+        }
+        let before = mpi.array_global(comm, "v").unwrap();
+        let out = mpi.resize(comm, vec![a, b, c]).unwrap();
+        assert!(out.moved_bytes > 0);
+        assert_eq!(
+            out.incoming_bytes.iter().sum::<u64>(),
+            out.moved_bytes,
+            "every moved byte arrives somewhere"
+        );
+        assert_eq!(mpi.array_global(comm, "v").unwrap(), before);
+        // Shrink back: still intact.
+        mpi.resize(comm, vec![a, b]).unwrap();
+        assert_eq!(mpi.array_global(comm, "v").unwrap(), before);
+        // Unknown arrays error instead of panicking.
+        assert!(mpi.array_get(comm, "missing", 0).is_err());
     }
 
     #[test]

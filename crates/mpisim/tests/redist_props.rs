@@ -1,0 +1,121 @@
+//! Property-based tests for the block-cyclic redistribution math that the
+//! reconfiguration transaction rests on. The headline property is the one
+//! malleability needs to be *safe*: re-dealing an array from `k` ranks to
+//! `k'` and back to `k` reproduces every part **bit-for-bit** (compared via
+//! `f64::to_bits`, so NaN payloads and signed zeros count too) — a grow
+//! followed by a shrink, or a shrink rolled back, can never perturb
+//! application data.
+
+use ars_mpisim::redist::{
+    decompose, global_to_local, local_len, owned_globals, owner, recompose, redistribute,
+};
+use proptest::prelude::*;
+
+/// Arbitrary f64 bit patterns (including NaNs, infinities, subnormals,
+/// -0.0): redistribution must be a pure relabeling, so it has to survive
+/// payloads that `==` would mangle.
+fn any_f64_bits() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn arrays() -> impl Strategy<Value = (Vec<f64>, usize)> {
+    (
+        proptest::collection::vec(any_f64_bits(), 0..200),
+        1usize..12,
+    )
+}
+
+fn bits(parts: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    parts
+        .iter()
+        .map(|p| p.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+proptest! {
+    /// k → k' → k round-trips bit-for-bit, for arbitrary payloads
+    /// including NaNs and -0.0.
+    #[test]
+    fn roundtrip_k_kprime_k_is_bit_identical(
+        gb in arrays(),
+        k in 1u32..9,
+        k_prime in 1u32..9,
+    ) {
+        let (global, block) = gb;
+        let parts = decompose(&global, block, k);
+        let there = redistribute(&parts, block, k_prime);
+        let back = redistribute(&there.parts, block, k);
+        prop_assert_eq!(bits(&back.parts), bits(&parts));
+        // And both directions charge the same wire traffic: ownership
+        // change is symmetric in (k, k').
+        prop_assert_eq!(back.moved_bytes, there.moved_bytes);
+    }
+
+    /// recompose is the exact inverse of decompose.
+    #[test]
+    fn recompose_inverts_decompose(
+        gb in arrays(),
+        k in 1u32..9,
+    ) {
+        let (global, block) = gb;
+        let out = recompose(&decompose(&global, block, k), block);
+        let want: Vec<u64> = global.iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Redistributing onto the same rank count moves nothing and leaves
+    /// the parts untouched.
+    #[test]
+    fn same_k_moves_nothing(
+        gb in arrays(),
+        k in 1u32..9,
+    ) {
+        let (global, block) = gb;
+        let parts = decompose(&global, block, k);
+        let r = redistribute(&parts, block, k);
+        prop_assert_eq!(r.moved_bytes, 0);
+        prop_assert!(r.incoming_bytes.iter().all(|&b| b == 0));
+        prop_assert_eq!(bits(&r.parts), bits(&parts));
+    }
+
+    /// Traffic accounting is consistent: per-rank inbound bytes sum to the
+    /// total moved, and nothing moves more than the whole array.
+    #[test]
+    fn traffic_accounting_is_consistent(
+        gb in arrays(),
+        k in 1u32..9,
+        k_prime in 1u32..9,
+    ) {
+        let (global, block) = gb;
+        let r = redistribute(&decompose(&global, block, k), block, k_prime);
+        prop_assert_eq!(r.incoming_bytes.iter().sum::<u64>(), r.moved_bytes);
+        prop_assert!(r.moved_bytes as usize <= global.len() * 8);
+        prop_assert_eq!(r.incoming_bytes.len(), k_prime as usize);
+    }
+
+    /// The layout functions agree with each other: every rank's part has
+    /// `local_len` elements, `owned_globals` enumerates exactly those
+    /// global indices, and `owner`/`global_to_local` invert the mapping.
+    #[test]
+    fn layout_functions_are_consistent(
+        len in 0usize..300,
+        block in 1usize..12,
+        k in 1u32..9,
+    ) {
+        let global: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        let parts = decompose(&global, block, k);
+        let mut seen = 0usize;
+        for rank in 0..k {
+            let part = &parts[rank as usize];
+            prop_assert_eq!(part.len(), local_len(len, block, k, rank));
+            for (l, g) in owned_globals(len, block, k, rank).enumerate() {
+                prop_assert_eq!(owner(g, block, k), rank);
+                prop_assert_eq!(global_to_local(g, block, k), l);
+                prop_assert_eq!(part[l], g as f64);
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, len);
+    }
+}

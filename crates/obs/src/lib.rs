@@ -86,6 +86,14 @@ pub enum ObsKind {
     ChildReparented,
     /// A live TCP connection's first bytes selected a wire codec.
     WireCodecNegotiated,
+    /// Expand prepare phase completed (members frozen, joiners READY).
+    ExpandPrepared,
+    /// Expand commit phase completed (world resized to more ranks).
+    ExpandCommitted,
+    /// An expand transaction aborted; the old world was restored.
+    ExpandAborted,
+    /// Shrink commit phase completed (world resized to fewer ranks).
+    ShrinkCommitted,
 }
 
 impl ObsKind {
@@ -109,6 +117,10 @@ impl ObsKind {
             ObsKind::ParentDown => "ParentDown",
             ObsKind::ChildReparented => "ChildReparented",
             ObsKind::WireCodecNegotiated => "WireCodecNegotiated",
+            ObsKind::ExpandPrepared => "ExpandPrepared",
+            ObsKind::ExpandCommitted => "ExpandCommitted",
+            ObsKind::ExpandAborted => "ExpandAborted",
+            ObsKind::ShrinkCommitted => "ShrinkCommitted",
         }
     }
 }
@@ -251,6 +263,48 @@ pub enum ObsEvent {
         /// Selected codec name ("xml" or "binary").
         codec: String,
     },
+    /// Expand prepare phase completed: every member froze at a poll-point
+    /// and every joiner reported READY.
+    ExpandPrepared {
+        /// Application name.
+        app: String,
+        /// Rank count before the expand.
+        from_ranks: u32,
+        /// Target rank count.
+        to_ranks: u32,
+    },
+    /// Expand commit phase completed: the communicator resized and all
+    /// registered arrays were redistributed.
+    ExpandCommitted {
+        /// Application name.
+        app: String,
+        /// Rank count before the expand.
+        from_ranks: u32,
+        /// Rank count after the expand.
+        to_ranks: u32,
+        /// Bytes that changed owner during redistribution.
+        moved_bytes: u64,
+    },
+    /// An expand transaction aborted (joiner lost, sync mismatch, or
+    /// timeout); members resumed in the untouched old world.
+    ExpandAborted {
+        /// Application name.
+        app: String,
+        /// Why the expand rolled back.
+        reason: String,
+    },
+    /// Shrink commit phase completed: retiring ranks drained their data
+    /// into the survivors and exited.
+    ShrinkCommitted {
+        /// Application name.
+        app: String,
+        /// Rank count before the shrink.
+        from_ranks: u32,
+        /// Rank count after the shrink.
+        to_ranks: u32,
+        /// Bytes that changed owner during redistribution.
+        moved_bytes: u64,
+    },
 }
 
 impl ObsEvent {
@@ -274,6 +328,10 @@ impl ObsEvent {
             ObsEvent::ParentDown { .. } => ObsKind::ParentDown,
             ObsEvent::ChildReparented { .. } => ObsKind::ChildReparented,
             ObsEvent::WireCodecNegotiated { .. } => ObsKind::WireCodecNegotiated,
+            ObsEvent::ExpandPrepared { .. } => ObsKind::ExpandPrepared,
+            ObsEvent::ExpandCommitted { .. } => ObsKind::ExpandCommitted,
+            ObsEvent::ExpandAborted { .. } => ObsKind::ExpandAborted,
+            ObsEvent::ShrinkCommitted { .. } => ObsKind::ShrinkCommitted,
         }
     }
 
@@ -369,6 +427,37 @@ impl ObsEvent {
             ObsEvent::WireCodecNegotiated { conn, codec } => format!(
                 "{{\"kind\":\"{kind}\",\"conn\":{conn},\"codec\":{}}}",
                 json_str(codec)
+            ),
+            ObsEvent::ExpandPrepared {
+                app,
+                from_ranks,
+                to_ranks,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"app\":{},\"from_ranks\":{from_ranks},\"to_ranks\":{to_ranks}}}",
+                json_str(app)
+            ),
+            ObsEvent::ExpandCommitted {
+                app,
+                from_ranks,
+                to_ranks,
+                moved_bytes,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"app\":{},\"from_ranks\":{from_ranks},\"to_ranks\":{to_ranks},\"moved_bytes\":{moved_bytes}}}",
+                json_str(app)
+            ),
+            ObsEvent::ExpandAborted { app, reason } => format!(
+                "{{\"kind\":\"{kind}\",\"app\":{},\"reason\":{}}}",
+                json_str(app),
+                json_str(reason)
+            ),
+            ObsEvent::ShrinkCommitted {
+                app,
+                from_ranks,
+                to_ranks,
+                moved_bytes,
+            } => format!(
+                "{{\"kind\":\"{kind}\",\"app\":{},\"from_ranks\":{from_ranks},\"to_ranks\":{to_ranks},\"moved_bytes\":{moved_bytes}}}",
+                json_str(app)
             ),
         }
     }

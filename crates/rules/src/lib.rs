@@ -11,6 +11,7 @@
 //! * [`state`] — state scores, fine-grained levels, score→state cuts;
 //! * [`policy`] — migration policies (§5.3) and per-state monitoring
 //!   frequency;
+//! * [`resize`] — cluster-capacity rules that grow/shrink malleable worlds;
 //! * [`xml`] — the on-wire XML form of rules and rule sets.
 
 #![warn(missing_docs)]
@@ -18,6 +19,7 @@
 pub mod expr;
 pub mod file;
 pub mod policy;
+pub mod resize;
 pub mod ruleset;
 pub mod simple;
 pub mod state;
@@ -29,6 +31,7 @@ pub use file::{
     RuleFileError,
 };
 pub use policy::{metric_keys, Condition, MonitoringFrequency, Policy};
+pub use resize::{ResizeAction, ResizeMetric, ResizeRule};
 pub use ruleset::{EvalError, Evaluation, RuleSet};
 pub use simple::{RuleOp, SimpleRule};
 pub use state::{StateCuts, StateLevel, StateScore};

@@ -1,0 +1,259 @@
+//! Resize rules: cluster-capacity-driven grow/shrink decisions.
+//!
+//! The paper's rules classify a *single host* (free/busy/overloaded); a
+//! resize rule lifts the same shape — metric, operator, threshold — to the
+//! *cluster* and, instead of choosing a migration destination, decides that
+//! a malleable application should change size. The registry evaluates them
+//! over the fraction of registered hosts in each state and, when one fires,
+//! dispatches an `expand:`/`shrink:` reconfiguration through the same
+//! command channel migration uses.
+
+use crate::simple::RuleOp;
+use ars_xmlwire::{XmlElement, XmlError};
+use std::fmt;
+
+/// Cluster-wide metric a resize rule reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeMetric {
+    /// Fraction of registered hosts currently in the *free* state (0..=1).
+    FreeFrac,
+    /// Fraction of registered hosts currently *overloaded* (0..=1).
+    OverloadedFrac,
+}
+
+impl ResizeMetric {
+    /// Parse the wire form.
+    pub fn parse(s: &str) -> Option<ResizeMetric> {
+        match s.trim() {
+            "freeFrac" => Some(ResizeMetric::FreeFrac),
+            "overLdFrac" => Some(ResizeMetric::OverloadedFrac),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ResizeMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResizeMetric::FreeFrac => "freeFrac",
+            ResizeMetric::OverloadedFrac => "overLdFrac",
+        })
+    }
+}
+
+/// What to do when the rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeAction {
+    /// Grow the world by `step` ranks (capped at `max_ranks`).
+    Expand,
+    /// Shrink the world by `step` ranks (floored at `min_ranks`).
+    Shrink,
+}
+
+impl ResizeAction {
+    /// Parse the wire form.
+    pub fn parse(s: &str) -> Option<ResizeAction> {
+        match s.trim() {
+            "expand" => Some(ResizeAction::Expand),
+            "shrink" => Some(ResizeAction::Shrink),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ResizeAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResizeAction::Expand => "expand",
+            ResizeAction::Shrink => "shrink",
+        })
+    }
+}
+
+/// One resize rule: `if <metric> <op> <threshold> then <action> by <step>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResizeRule {
+    /// Application the rule governs (matches the registered app name).
+    pub app: String,
+    /// Cluster metric the rule reads.
+    pub metric: ResizeMetric,
+    /// Comparison operator.
+    pub op: RuleOp,
+    /// Threshold the metric is compared against.
+    pub threshold: f64,
+    /// Action when the comparison holds.
+    pub action: ResizeAction,
+    /// How many ranks to add/remove per firing.
+    pub step: u32,
+    /// Never shrink below this many ranks.
+    pub min_ranks: u32,
+    /// Never grow beyond this many ranks.
+    pub max_ranks: u32,
+}
+
+impl ResizeRule {
+    /// The default pair for an application: grow while most of the cluster
+    /// is free, shrink while a meaningful share is overloaded.
+    pub fn default_pair(app: &str, min_ranks: u32, max_ranks: u32) -> Vec<ResizeRule> {
+        vec![
+            ResizeRule {
+                app: app.to_string(),
+                metric: ResizeMetric::FreeFrac,
+                op: RuleOp::GreaterEq,
+                threshold: 0.5,
+                action: ResizeAction::Expand,
+                step: 1,
+                min_ranks,
+                max_ranks,
+            },
+            ResizeRule {
+                app: app.to_string(),
+                metric: ResizeMetric::OverloadedFrac,
+                op: RuleOp::GreaterEq,
+                threshold: 0.25,
+                action: ResizeAction::Shrink,
+                step: 1,
+                min_ranks,
+                max_ranks,
+            },
+        ]
+    }
+
+    /// Evaluate against the current cluster capacity. Returns the target
+    /// rank count `k'` when the rule fires *and* changes the size, `None`
+    /// otherwise.
+    pub fn decide(&self, free_frac: f64, overloaded_frac: f64, current: u32) -> Option<u32> {
+        let value = match self.metric {
+            ResizeMetric::FreeFrac => free_frac,
+            ResizeMetric::OverloadedFrac => overloaded_frac,
+        };
+        if !self.op.apply(value, self.threshold) {
+            return None;
+        }
+        // Strictly directional: if the world is already at (or past) the
+        // bound, the rule stays quiet rather than "correcting" sideways.
+        match self.action {
+            ResizeAction::Expand => {
+                let target = current.saturating_add(self.step).min(self.max_ranks);
+                (target > current).then_some(target)
+            }
+            ResizeAction::Shrink => {
+                let target = current.saturating_sub(self.step).max(self.min_ranks);
+                (target < current && target >= 1).then_some(target)
+            }
+        }
+    }
+
+    /// Serialize to the wire XML form.
+    pub fn to_xml(&self) -> XmlElement {
+        XmlElement::new("resize-rule")
+            .attr("app", &self.app)
+            .field("metric", self.metric)
+            .field("operator", self.op)
+            .field("threshold", self.threshold)
+            .field("action", self.action)
+            .field("step", self.step)
+            .field("minRanks", self.min_ranks)
+            .field("maxRanks", self.max_ranks)
+    }
+
+    /// Parse from the wire XML form.
+    pub fn from_xml(el: &XmlElement) -> Result<ResizeRule, XmlError> {
+        if el.name != "resize-rule" {
+            return Err(XmlError::UnexpectedRoot(el.name.clone()));
+        }
+        let app = el
+            .get_attr("app")
+            .ok_or_else(|| XmlError::MissingField("app".to_string()))?
+            .to_string();
+        let metric_text = el
+            .field_text("metric")
+            .ok_or_else(|| XmlError::MissingField("metric".to_string()))?;
+        let metric = ResizeMetric::parse(&metric_text)
+            .ok_or_else(|| XmlError::BadField("metric".to_string(), metric_text))?;
+        let op_text = el
+            .field_text("operator")
+            .ok_or_else(|| XmlError::MissingField("operator".to_string()))?;
+        let op = RuleOp::parse(&op_text)
+            .ok_or_else(|| XmlError::BadField("operator".to_string(), op_text))?;
+        let action_text = el
+            .field_text("action")
+            .ok_or_else(|| XmlError::MissingField("action".to_string()))?;
+        let action = ResizeAction::parse(&action_text)
+            .ok_or_else(|| XmlError::BadField("action".to_string(), action_text))?;
+        Ok(ResizeRule {
+            app,
+            metric,
+            op,
+            threshold: el.field_parse("threshold")?,
+            action,
+            step: el.field_parse("step")?,
+            min_ranks: el.field_parse("minRanks")?,
+            max_ranks: el.field_parse("maxRanks")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pair_grows_on_free_and_shrinks_on_overload() {
+        let rules = ResizeRule::default_pair("stencil", 2, 6);
+        // Cluster mostly free: the expand rule fires, the shrink rule stays
+        // quiet.
+        assert_eq!(rules[0].decide(0.8, 0.0, 3), Some(4));
+        assert_eq!(rules[1].decide(0.8, 0.0, 3), None);
+        // Cluster under pressure: only the shrink rule fires.
+        assert_eq!(rules[0].decide(0.1, 0.5, 3), None);
+        assert_eq!(rules[1].decide(0.1, 0.5, 3), Some(2));
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let rules = ResizeRule::default_pair("a", 2, 4);
+        assert_eq!(rules[0].decide(1.0, 0.0, 4), None, "at max already");
+        assert_eq!(rules[1].decide(0.0, 1.0, 2), None, "at min already");
+        assert_eq!(rules[0].decide(1.0, 0.0, 3), Some(4));
+        assert_eq!(rules[1].decide(0.0, 1.0, 3), Some(2));
+    }
+
+    #[test]
+    fn step_larger_than_room_clamps() {
+        let r = ResizeRule {
+            step: 8,
+            ..ResizeRule::default_pair("a", 1, 5)[0].clone()
+        };
+        assert_eq!(r.decide(1.0, 0.0, 2), Some(5));
+    }
+
+    #[test]
+    fn never_targets_zero_ranks() {
+        let r = ResizeRule {
+            min_ranks: 0,
+            step: 3,
+            ..ResizeRule::default_pair("a", 0, 8)[1].clone()
+        };
+        assert_eq!(r.decide(0.0, 1.0, 2), None, "0-rank target suppressed");
+    }
+
+    #[test]
+    fn xml_roundtrip_is_exact() {
+        for rule in ResizeRule::default_pair("malleable_stencil", 2, 16) {
+            let doc = rule.to_xml().to_document();
+            let back = ResizeRule::from_xml(&ars_xmlwire::parse(&doc).unwrap()).unwrap();
+            assert_eq!(back, rule);
+        }
+    }
+
+    #[test]
+    fn wrong_root_and_bad_fields_rejected() {
+        assert!(ResizeRule::from_xml(&ars_xmlwire::parse("<rule/>").unwrap()).is_err());
+        let doc = ResizeRule::default_pair("a", 1, 4)[0]
+            .to_xml()
+            .to_document()
+            .replace("freeFrac", "bogus");
+        assert!(ResizeRule::from_xml(&ars_xmlwire::parse(&doc).unwrap()).is_err());
+    }
+}

@@ -1,6 +1,9 @@
 //! Property-based tests for the rule engine.
 
-use ars_rules::{ComplexRule, Expr, HostState, Rule, RuleOp, SimpleRule, StateCuts, StateScore};
+use ars_rules::{
+    ComplexRule, Expr, HostState, ResizeAction, ResizeMetric, ResizeRule, Rule, RuleOp, SimpleRule,
+    StateCuts, StateScore,
+};
 use proptest::prelude::*;
 
 /// Strategy producing arbitrary well-formed expressions.
@@ -83,6 +86,38 @@ fn complex_rule_strategy() -> impl Strategy<Value = ComplexRule> {
                     busy_cut,
                     overloaded_cut,
                 },
+            },
+        )
+}
+
+fn resize_rule_strategy() -> impl Strategy<Value = ResizeRule> {
+    (
+        (
+            name_strategy(),
+            prop_oneof![
+                Just(ResizeMetric::FreeFrac),
+                Just(ResizeMetric::OverloadedFrac)
+            ],
+            op_strategy(),
+            0.0f64..1.0,
+        ),
+        (
+            prop_oneof![Just(ResizeAction::Expand), Just(ResizeAction::Shrink)],
+            1u32..8,
+            1u32..4,
+            4u32..32,
+        ),
+    )
+        .prop_map(
+            |((app, metric, op, threshold), (action, step, min_ranks, max_ranks))| ResizeRule {
+                app,
+                metric,
+                op,
+                threshold,
+                action,
+                step,
+                min_ranks,
+                max_ranks,
             },
         )
 }
@@ -192,6 +227,40 @@ proptest! {
         let back = Rule::from_xml(&parsed)
             .map_err(|e| TestCaseError(format!("rule rejected: {e}\n{doc}")))?;
         prop_assert_eq!(back, rule);
+    }
+
+    /// Resize rules round-trip through the XML wire form exactly.
+    #[test]
+    fn resize_rule_xml_roundtrip_is_exact(rule in resize_rule_strategy()) {
+        let doc = rule.to_xml().to_document();
+        let parsed = ars_xmlwire::parse(&doc)
+            .map_err(|e| TestCaseError(format!("unparseable xml: {e}\n{doc}")))?;
+        let back = ResizeRule::from_xml(&parsed)
+            .map_err(|e| TestCaseError(format!("rule rejected: {e}\n{doc}")))?;
+        prop_assert_eq!(back, rule);
+    }
+
+    /// A resize decision always lands inside `[min_ranks, max_ranks]` (or
+    /// fires not at all), never returns the current size, and moves in the
+    /// direction its action says.
+    #[test]
+    fn resize_decisions_bounded_and_directional(
+        rule in resize_rule_strategy(),
+        free in 0.0f64..1.0,
+        over in 0.0f64..1.0,
+        current in 1u32..40,
+    ) {
+        if let Some(target) = rule.decide(free, over, current) {
+            prop_assert!(target != current);
+            match rule.action {
+                ResizeAction::Expand => {
+                    prop_assert!(target > current && target <= rule.max_ranks);
+                }
+                ResizeAction::Shrink => {
+                    prop_assert!(target < current && target >= rule.min_ranks.max(1));
+                }
+            }
+        }
     }
 }
 

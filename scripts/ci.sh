@@ -53,6 +53,24 @@ ARS_CHAOS_SEEDS="5,11,42" timeout 300 \
     cargo test --release -q --test chaos -- \
     tree_chaos_mid_registry_crash_keeps_all_apps_completing
 
+echo "== malleability =="
+# The reconfiguration engine: expand/shrink/back-to-back e2e commits and
+# refusal paths, block-cyclic redistribution proptests (bit-for-bit
+# k→k'→k round-trips), and the full overload scenario with its three
+# gates (replay determinism, inert-config byte-identity, malleable arm
+# strictly better on throughput AND turnaround).
+cargo test --release -q -p ars-apps --test malleable_e2e
+cargo test --release -q -p ars-mpisim --test redist_props
+timeout 180 ./target/release/bench_malleable --smoke
+
+echo "== reconfiguration chaos (mid-expand crashes) =="
+# A joiner host crashed at seeded pre-commit times must always roll the
+# world back (old size, old epoch, exact digests) and replay
+# bit-identically. Wider matrix than the default workspace pass.
+ARS_CHAOS_SEEDS="3,5,11,12,13,17,23,42" timeout 300 \
+    cargo test --release -q --test chaos -- \
+    expand_crash_rolls_back_to_the_old_world_over_the_seed_matrix
+
 echo "== registry fault zero-cost gate =="
 # An armed-but-idle registry fault engine (plan present, nothing fires)
 # must leave tree traces byte-identical, with fault tolerance off and on.

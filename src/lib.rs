@@ -87,23 +87,26 @@ pub use ars_xmlwire as xmlwire;
 /// The names most programs need.
 pub mod prelude {
     pub use ars_apps::{
-        Chatter, CommFlood, CpuHog, DaemonNoise, Sink, Spinner, Stencil, StencilConfig, TestTree,
+        Chatter, CommFlood, CpuHog, DaemonNoise, MalleableStencil, MalleableStencilConfig,
+        MalleableTree, MalleableTreeConfig, Sink, Spinner, Stencil, StencilConfig, TestTree,
         TestTreeConfig,
     };
     pub use ars_hpcm::{
         dest_file_path, AppStatus, HpcmConfig, HpcmHooks, HpcmShell, MigratableApp,
-        MigrationOutcome, MigrationRecord, SavedState, MIGRATE_SIGNAL,
+        MigrationOutcome, MigrationRecord, Reconfiguration, ResizeKind, ResizeRecord, SavedState,
+        MIGRATE_SIGNAL,
     };
     pub use ars_mpisim::{CommId, Mpi, Rank, ReduceOp, TaskId};
     pub use ars_obs::{Obs, ObsEvent, ObsHistogram, ObsKind, ObsRecord};
     pub use ars_rescheduler::{
         deploy, deploy_hierarchical, deploy_tree, Commander, DeployConfig, Deployment,
-        DomainHealth, Endpoint, HierarchicalDeployment, Liveness, Monitor, MonitorConfig,
-        RegistryConfig, RegistryCore, RegistryFt, RegistryScheduler, ReschedHooks, SchemaBook,
-        StateSource, TreeDeployment,
+        DomainHealth, Endpoint, HierarchicalDeployment, Liveness, MalleableJob, Monitor,
+        MonitorConfig, RegistryConfig, RegistryCore, RegistryFt, RegistryScheduler, ReschedHooks,
+        SchemaBook, StateSource, TreeDeployment,
     };
     pub use ars_rules::{
-        metric_keys, Condition, HostState, MonitoringFrequency, Policy, RuleOp, RuleSet, SimpleRule,
+        metric_keys, Condition, HostState, MonitoringFrequency, Policy, ResizeAction, ResizeMetric,
+        ResizeRule, RuleOp, RuleSet, SimpleRule,
     };
     pub use ars_sim::{
         run_sharded, Ctx, Envelope, Fault, FaultPlan, FaultStats, HostId, MessageFaults, Payload,

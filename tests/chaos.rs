@@ -509,6 +509,134 @@ fn obs_story(obs: Obs) -> Vec<(u64, String)> {
         .collect()
 }
 
+/// One mid-expand crash run: a 2-rank malleable world is told to grow to 4
+/// (joiners on ws2/ws3) and ws2 is crashed at a seed-derived time that is
+/// always *before* the transaction can commit. The reconfiguration engine
+/// must abort, roll the world back to its poll-point, and let the original
+/// two ranks finish with the exact answer — no epoch bump, no resize, no
+/// half-joined world.
+fn expand_crash_run(seed: u64) -> Vec<(u64, String)> {
+    let mut sim = Sim::new(
+        (0..4)
+            .map(|i| HostConfig::named(format!("ws{i}")))
+            .collect(),
+        SimConfig {
+            seed,
+            trace: true,
+            ..SimConfig::default()
+        },
+    );
+    // The command lands at 0.6 s, the ranks reach their first poll-point
+    // at ~2.0 s (one chunk = 4 items × 0.5 s), and the earliest possible
+    // commit is ~3.3 s (DPM init + checkpoint transfer + restore). Crash
+    // times span [0.7, 2.46] s: some seeds kill the joiner host before the
+    // transaction even starts (spawn refused → prepare deadline), others
+    // mid-prepare (READY never arrives) — both must end in rollback.
+    let crash_at = 0.7 + (seed % 23) as f64 * 0.08;
+    sim.schedule_fault(t(crash_at), Fault::HostCrash { host: 2 });
+
+    let cfg = MalleableTreeConfig {
+        items: 96,
+        item_cost: 0.5,
+        chunk_items: 4,
+        ..MalleableTreeConfig::small()
+    };
+    let mpi = Mpi::new();
+    let comm = mpi.create_comm(vec![]);
+    let hooks = HpcmHooks::new();
+    let mut pids = Vec::new();
+    for rank in 0..2u32 {
+        let app = MalleableTree::new(cfg.clone(), mpi.clone(), comm);
+        let pid = HpcmShell::spawn_on(
+            &mut sim,
+            HostId(rank),
+            app,
+            HpcmConfig::default(),
+            Some(mpi.clone()),
+            hooks.clone(),
+        );
+        let task = mpi.task_of(pid).expect("task bound at spawn");
+        mpi.join(comm, task).expect("join world");
+        pids.push(pid);
+    }
+
+    sim.run_until(t(0.6));
+    sim.kernel_mut().hosts[0].write_file(dest_file_path(pids[0]), "expand:4:ws2,ws3".to_string());
+    sim.signal(pids[0], MIGRATE_SIGNAL);
+    sim.run_until(t(300.0));
+
+    // Rolled back to the old world: size and epoch exactly as launched.
+    assert_eq!(
+        mpi.comm_size(comm).unwrap(),
+        2,
+        "seed {seed}: world size changed despite the crashed joiner"
+    );
+    assert_eq!(
+        mpi.epoch(comm).unwrap(),
+        0,
+        "seed {seed}: epoch bumped without a committed resize"
+    );
+    assert_eq!(
+        hooks.resize_count(ResizeKind::Expand, MigrationOutcome::Committed),
+        0,
+        "seed {seed}: expand committed onto a dead host"
+    );
+    assert!(
+        hooks.resize_count(ResizeKind::Expand, MigrationOutcome::Aborted) >= 1,
+        "seed {seed}: no aborted expand on record"
+    );
+    assert_eq!(
+        hooks.resize_count(ResizeKind::Expand, MigrationOutcome::InFlight),
+        0,
+        "seed {seed}: expand never resolved"
+    );
+
+    // The original ranks finished with the exact answer; nothing of the
+    // aborted transaction is still alive.
+    let expected = MalleableTree::expected_digest(&cfg);
+    {
+        let log = hooks.0.borrow();
+        let done: Vec<_> = log
+            .completions
+            .iter()
+            .filter(|c| c.app == "malleable_tree")
+            .collect();
+        assert_eq!(done.len(), 2, "seed {seed}: a survivor rank did not finish");
+        for c in &done {
+            assert_eq!(
+                c.digest, expected,
+                "seed {seed}: result corrupted by the aborted expand"
+            );
+        }
+    }
+    for &pid in &pids {
+        assert!(!sim.is_alive(pid), "seed {seed}: {pid} still alive");
+    }
+    let stats = sim.fault_stats().copied().unwrap_or_default();
+    assert_eq!(stats.crashes, 1, "seed {seed}: crash not injected");
+
+    sim.kernel()
+        .trace
+        .events()
+        .iter()
+        .map(|e| (e.t.as_micros(), e.detail.clone()))
+        .collect()
+}
+
+#[test]
+fn expand_crash_rolls_back_to_the_old_world_over_the_seed_matrix() {
+    let seeds = chaos_seeds();
+    assert!(!seeds.is_empty(), "ARS_CHAOS_SEEDS parsed to nothing");
+    for seed in seeds {
+        let outcome = expand_crash_run(seed);
+        let replay = expand_crash_run(seed);
+        assert_eq!(
+            outcome, replay,
+            "seed {seed}: mid-expand crash replay diverged"
+        );
+    }
+}
+
 #[test]
 fn enabling_observability_does_not_perturb_the_trace() {
     // The obs layer's zero-cost guarantee: the disabled handle is a no-op,
